@@ -1,0 +1,122 @@
+//! Virtual CPU cost model for the samplers (see DESIGN.md §2 for the
+//! calibration against Table 2's uniprocessor inference times).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use nscc_sim::SimTime;
+
+/// Per-node sampling cost with multiplicative jitter and rare long
+/// *hiccups* (background daemons, paging — the per-node load skew of a
+/// real workstation cluster that §5 says `Global_Read` tolerates).
+///
+/// Hiccups follow a hazard model: each charged compute interval of `b`
+/// seconds stalls with probability `hiccup_rate_per_sec × b`, adding
+/// `hiccup_stall` of virtual time. Every implementation — including the
+/// serial baseline — runs under the same model, so comparisons are fair.
+#[derive(Debug, Clone)]
+pub struct BayesCost {
+    /// CPU time to sample one node (CPT row lookup + inverse CDF).
+    pub node_cost: SimTime,
+    /// Multiplicative jitter half-width applied per charged interval.
+    pub jitter: f64,
+    /// Hiccups per second of compute (0 disables).
+    pub hiccup_rate_per_sec: f64,
+    /// Stall added by one hiccup.
+    pub hiccup_stall: SimTime,
+}
+
+impl Default for BayesCost {
+    /// Calibrated so a 54-node network converging in ~7000 samples costs
+    /// ~11 s (Table 2's A/AA/C): ~24 µs per node sample on the 77 MHz
+    /// POWER2; ±20% jitter; a ~300 ms stall roughly every 1.5 s of
+    /// compute.
+    fn default() -> Self {
+        BayesCost {
+            node_cost: SimTime::from_micros(24),
+            jitter: 0.2,
+            hiccup_rate_per_sec: 0.7,
+            hiccup_stall: SimTime::from_millis(300),
+        }
+    }
+}
+
+impl BayesCost {
+    /// No jitter or hiccups (tests, controlled studies).
+    pub fn deterministic() -> Self {
+        BayesCost {
+            jitter: 0.0,
+            hiccup_rate_per_sec: 0.0,
+            ..BayesCost::default()
+        }
+    }
+
+    /// Deterministic cost of sampling `nodes` nodes (no jitter source).
+    pub fn iteration_cost(&self, nodes: u64) -> SimTime {
+        self.node_cost * nodes
+    }
+
+    /// Jittered cost of sampling `nodes` nodes, including hiccup hazard.
+    pub fn iteration_cost_jittered(&self, nodes: u64, rng: &mut StdRng) -> SimTime {
+        let base = self.iteration_cost(nodes);
+        let mut out = base;
+        if self.jitter > 0.0 {
+            let scale = 1.0 - self.jitter + 2.0 * self.jitter * rng.gen::<f64>();
+            out = SimTime::from_secs_f64(base.as_secs_f64() * scale);
+        }
+        if self.hiccup_rate_per_sec > 0.0
+            && rng.gen::<f64>() < self.hiccup_rate_per_sec * base.as_secs_f64()
+        {
+            out += self.hiccup_stall;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_cost_is_linear() {
+        let c = BayesCost::deterministic();
+        assert_eq!(c.iteration_cost(10), SimTime::from_micros(240));
+        assert_eq!(c.iteration_cost(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn jitter_bounds_without_hiccups() {
+        let c = BayesCost {
+            jitter: 0.3,
+            hiccup_rate_per_sec: 0.0,
+            ..BayesCost::default()
+        };
+        let base = c.iteration_cost(54).as_secs_f64();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let t = c.iteration_cost_jittered(54, &mut rng).as_secs_f64();
+            assert!(t >= base * 0.699 && t <= base * 1.301);
+        }
+    }
+
+    #[test]
+    fn hiccup_hazard_scales_with_compute() {
+        let c = BayesCost {
+            jitter: 0.0,
+            hiccup_rate_per_sec: 10.0,
+            hiccup_stall: SimTime::from_millis(100),
+            ..BayesCost::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        // 1000 intervals of 54 nodes * 30us = 1.62ms each => expected
+        // hiccups ~ 10/s * 1.62s = ~16.
+        let mut hiccups = 0;
+        for _ in 0..1000 {
+            if c.iteration_cost_jittered(54, &mut rng) > SimTime::from_millis(50) {
+                hiccups += 1;
+            }
+        }
+        assert!((8..=28).contains(&hiccups), "hiccups {hiccups}");
+    }
+}

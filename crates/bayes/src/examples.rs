@@ -1,0 +1,88 @@
+//! The example medical-diagnosis belief network of Figure 1.
+//!
+//! The paper shows a five-node network A→{B,C}, {B,C}→D, C→E with
+//! `p(A=true) = 0.20` and `p(D=true | B=true, C=true) = 0.80` given
+//! explicitly; the remaining entries are not printed, so we fill them with
+//! conventional diagnosis-flavoured values (documented here, asserted in
+//! tests, and irrelevant to the experiments, which use Table 2's
+//! networks).
+
+use crate::network::{binary_node, binary_root, BeliefNetwork};
+
+/// Node indices of the Figure 1 network, in topological order.
+pub mod fig1 {
+    /// A: the root cause (e.g. "metastatic cancer").
+    pub const A: usize = 0;
+    /// B: first consequence of A.
+    pub const B: usize = 1;
+    /// C: second consequence of A.
+    pub const C: usize = 2;
+    /// D: joint consequence of B and C.
+    pub const D: usize = 3;
+    /// E: consequence of C alone.
+    pub const E: usize = 4;
+}
+
+/// Build the Figure 1 network.
+///
+/// CPT conventions (value 1 = *true*):
+/// * `p(A) = 0.20` (from the paper),
+/// * `p(B | A) = 0.80`, `p(B | ¬A) = 0.20`,
+/// * `p(C | A) = 0.20`, `p(C | ¬A) = 0.05`,
+/// * `p(D | B, C) = 0.80` (from the paper), `p(D | B, ¬C) = 0.80`,
+///   `p(D | ¬B, C) = 0.80`, `p(D | ¬B, ¬C) = 0.05`,
+/// * `p(E | C) = 0.80`, `p(E | ¬C) = 0.60`.
+pub fn figure1() -> BeliefNetwork {
+    BeliefNetwork::new(vec![
+        binary_root("A", 0.20),
+        binary_node("B", vec![fig1::A], &[0.20, 0.80]),
+        binary_node("C", vec![fig1::A], &[0.05, 0.20]),
+        // Parent combos in mixed radix (B most significant):
+        // (B=F,C=F), (B=F,C=T), (B=T,C=F), (B=T,C=T)
+        binary_node("D", vec![fig1::B, fig1::C], &[0.05, 0.80, 0.80, 0.80]),
+        binary_node("E", vec![fig1::C], &[0.60, 0.80]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_posterior;
+
+    #[test]
+    fn structure_matches_figure1() {
+        let net = figure1();
+        assert_eq!(net.len(), 5);
+        assert_eq!(net.node(fig1::D).parents, vec![fig1::B, fig1::C]);
+        assert_eq!(net.node(fig1::E).parents, vec![fig1::C]);
+        assert_eq!(net.edge_count(), 5);
+    }
+
+    #[test]
+    fn paper_probabilities_are_encoded() {
+        let net = figure1();
+        // p(A=true) = 0.20
+        assert!((net.cpt_row(fig1::A, &[0; 5])[1] - 0.20).abs() < 1e-12);
+        // p(D=true | B=true, C=true) = 0.80
+        let mut a = [0u8; 5];
+        a[fig1::B] = 1;
+        a[fig1::C] = 1;
+        assert!((net.cpt_row(fig1::D, &a)[1] - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_value_of_a_is_false() {
+        // §3.2: "since p(A=true)=0.20 ... false is used as the default".
+        let net = figure1();
+        assert_eq!(net.default_values()[fig1::A], 0);
+    }
+
+    #[test]
+    fn diagnosis_reasoning_is_sensible() {
+        // Observing the symptom D should raise belief in the cause A.
+        let net = figure1();
+        let prior = exact_posterior(&net, fig1::A, &[]);
+        let post = exact_posterior(&net, fig1::A, &[(fig1::D, 1)]);
+        assert!(post[1] > prior[1], "evidence D=true must raise p(A=true)");
+    }
+}

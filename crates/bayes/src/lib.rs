@@ -1,0 +1,47 @@
+//! # nscc-bayes — probabilistic inference for the NSCC reproduction
+//!
+//! Everything §3.2/§4.2.2 of the paper needs:
+//!
+//! * [`BeliefNetwork`] — DAG + CPTs (Pearl [15]), with exact inference by
+//!   enumeration ([`exact_posterior`]) as ground truth.
+//! * [`figure1`] — the example medical-diagnosis network of Figure 1.
+//! * [`Table2Net`] — generators reproducing Table 2's four benchmark
+//!   networks (random A/AA/C and a Hailfinder-statistics-alike).
+//! * [`sequential_inference`] — logic sampling with the 90% CI ± 0.01
+//!   stopping rule (the uniprocessor baseline of Table 2).
+//! * [`Plan`] — the partitioned execution plan (graph partitioning,
+//!   staged rounds, coalesced interface batches).
+//! * [`run_parallel_inference`] — parallel logic sampling over the DSM in
+//!   three disciplines: synchronous, fully asynchronous with rollback
+//!   (anti-message corrections + counter-based reproducible draws), and
+//!   partially asynchronous (`Global_Read`-throttled speculation).
+
+#![warn(missing_docs)]
+
+mod cost;
+mod examples;
+mod exact;
+mod gen;
+mod gibbs;
+mod network;
+mod parallel;
+mod plan;
+mod sampling;
+mod weighting;
+
+pub use cost::BayesCost;
+pub use examples::{fig1, figure1};
+pub use exact::{evidence_probability, exact_posterior};
+pub use gen::{hailfinder_like, random_network, RandomNetConfig, Table2Net, TABLE2};
+pub use gibbs::{gibbs_inference, GibbsResult};
+pub use network::{binary_node, binary_root, BeliefNetwork, Node, NodeIdx, Value};
+pub use parallel::{
+    run_parallel_inference, BatchValues, BayesPartStats, ParallelBayesConfig,
+    ParallelBayesResult, RollbackPolicy,
+};
+pub use plan::{Batch, BatchId, Plan, RoundPlan};
+pub use sampling::{
+    evidence_matches, forward_sample, node_draw, sequential_inference, Query, SeqResult, StopRule,
+    Tally,
+};
+pub use weighting::{likelihood_weighting, weighted_sample, LwResult, WeightedTally};

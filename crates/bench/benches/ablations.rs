@@ -1,0 +1,177 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **Rollback policy** — the paper's replay-from-earliest (Time Warp
+//!   style, [2]) vs. per-sample selective recomputation (possible because
+//!   logic-sampling iterations are independent).
+//! * **Coalescing** — samples per interface message (block size): the
+//!   asynchronous disciplines' amortization lever.
+//! * **Interconnect** — the shared 10 Mbps Ethernet vs. the SP2 switch.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nscc_bayes::{
+    run_parallel_inference, ParallelBayesConfig, Query, RollbackPolicy, StopRule, Table2Net,
+};
+use nscc_core::{run_ga_experiment, GaExperiment, Interconnect, Platform};
+use nscc_dsm::Coherence;
+use nscc_ga::{CostModel, TestFn};
+use nscc_msg::MsgConfig;
+
+fn hailfinder_cfg(mode: Coherence) -> (Arc<nscc_bayes::BeliefNetwork>, Query, ParallelBayesConfig)
+{
+    let net = Arc::new(Table2Net::Hailfinder.build());
+    let query = Query {
+        node: net.len() - 1,
+        evidence: vec![],
+    };
+    let cfg = ParallelBayesConfig {
+        stop: StopRule {
+            halfwidth: 0.04,
+            ..StopRule::default()
+        },
+        ..ParallelBayesConfig::new(mode)
+    };
+    (net, query, cfg)
+}
+
+fn ablation_rollback(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rollback");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("replay", RollbackPolicy::Replay),
+        ("selective", RollbackPolicy::Selective),
+    ] {
+        g.bench_function(name, |b| {
+            let (net, query, mut cfg) = hailfinder_cfg(Coherence::FullyAsync);
+            cfg.rollback = policy;
+            b.iter(|| {
+                run_parallel_inference(
+                    Arc::clone(&net),
+                    query.clone(),
+                    2,
+                    cfg.clone(),
+                    Platform::paper_ethernet(2).build_network_only(3),
+                    MsgConfig::default(),
+                    3,
+                )
+                .expect("inference runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_coalescing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_coalescing");
+    g.sample_size(10);
+    for block in [1usize, 4, 16] {
+        g.bench_function(format!("block_{block}"), |b| {
+            let (net, query, mut cfg) = hailfinder_cfg(Coherence::PartialAsync { age: 10 });
+            cfg.block = block;
+            b.iter(|| {
+                run_parallel_inference(
+                    Arc::clone(&net),
+                    query.clone(),
+                    2,
+                    cfg.clone(),
+                    Platform::paper_ethernet(2).build_network_only(5),
+                    MsgConfig::default(),
+                    5,
+                )
+                .expect("inference runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_interconnect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_interconnect");
+    g.sample_size(10);
+    for (name, interconnect) in [
+        ("ethernet10", Interconnect::Ethernet10),
+        ("sp2switch", Interconnect::Sp2Switch),
+    ] {
+        g.bench_function(name, |b| {
+            let exp = GaExperiment {
+                generations: 40,
+                runs: 1,
+                platform: Platform {
+                    interconnect,
+                    ..Platform::paper_ethernet(8)
+                },
+                cost: CostModel::default(),
+                ..GaExperiment::new(TestFn::F1Sphere, 8)
+            };
+            b.iter(|| run_ga_experiment(&exp).expect("experiment runs"));
+        });
+    }
+    g.finish();
+}
+
+/// §6 future work: dynamic age control versus a fixed age under load skew.
+fn ablation_adaptive_age(c: &mut Criterion) {
+    use nscc_dsm::{Directory, DsmWorld};
+    use nscc_ga::{
+        run_island, ConvergenceBoard, IslandConfig, MigrantBatch, StopPolicy,
+    };
+    use nscc_net::{EthernetBus, Network};
+    use nscc_sim::{SimBuilder, SimTime};
+
+    let mut g = c.benchmark_group("ablation_adaptive_age");
+    g.sample_size(10);
+    for (name, adaptive) in [("fixed_age5", None), ("adaptive_0_40", Some((0u64, 40u64)))] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let ranks = 4;
+                let mut dir = Directory::new();
+                let locs = dir.add_per_rank("best", ranks);
+                let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(
+                    Network::new(EthernetBus::ten_mbps(3)),
+                    ranks,
+                    MsgConfig::default(),
+                    dir,
+                );
+                for &l in &locs {
+                    world.set_initial(l, Vec::new());
+                }
+                let board = ConvergenceBoard::new(ranks);
+                let mut sim = SimBuilder::new(3);
+                for r in 0..ranks {
+                    let node = world.node(r);
+                    let locs = locs.clone();
+                    let board = board.clone();
+                    let cfg = IslandConfig {
+                        cost: CostModel {
+                            hiccup_rate_per_sec: 2.0,
+                            hiccup_stall: SimTime::from_millis(200),
+                            ..CostModel::default()
+                        },
+                        adaptive,
+                        ..IslandConfig::paper(
+                            TestFn::F1Sphere,
+                            Coherence::PartialAsync { age: 5 },
+                            StopPolicy::FixedGenerations(60),
+                        )
+                    };
+                    sim.spawn(format!("island{r}"), move |ctx| {
+                        run_island(ctx, node, &locs, &cfg, &board);
+                    });
+                }
+                sim.run().expect("runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_rollback,
+    ablation_coalescing,
+    ablation_interconnect,
+    ablation_adaptive_age
+);
+criterion_main!(ablations);

@@ -1,0 +1,146 @@
+//! Criterion benchmarks that exercise each paper figure/table end-to-end
+//! at a reduced scale — one benchmark per table and figure, as the
+//! regeneration index in DESIGN.md requires. (Full-scale regeneration
+//! lives in the `fig2`/`fig3`/`fig4`/`table1`/`table2` binaries; these
+//! keep `cargo bench` exercising the same code paths in minutes.)
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nscc_bayes::{StopRule, Table2Net};
+use nscc_core::{
+    run_bayes_experiment, run_ga_experiment, run_sequential, BayesExperiment, GaExperiment,
+    Platform,
+};
+use nscc_dsm::Coherence;
+use nscc_ga::{CostModel, TestFn, ALL_FUNCTIONS};
+
+fn quick_ga(func: TestFn, procs: usize, load: f64) -> GaExperiment {
+    GaExperiment {
+        generations: 40,
+        runs: 1,
+        cap_factor: 4,
+        platform: if load > 0.0 {
+            Platform::loaded_ethernet(procs, load)
+        } else {
+            Platform::paper_ethernet(procs)
+        },
+        cost: CostModel::default(),
+        ..GaExperiment::new(func, procs)
+    }
+}
+
+fn quick_bayes(net: Table2Net) -> BayesExperiment {
+    BayesExperiment {
+        stop: StopRule {
+            halfwidth: 0.04,
+            ..StopRule::default()
+        },
+        runs: 1,
+        ..BayesExperiment::new(net, 2)
+    }
+}
+
+/// Table 1: evaluate the whole test bed at its optima and random points.
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1/evaluate_test_bed", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in ALL_FUNCTIONS {
+                acc += f.eval(&f.argmin());
+            }
+            acc
+        });
+    });
+}
+
+/// Table 2: one sequential inference run per network (reduced CI).
+fn table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for netid in [Table2Net::A, Table2Net::Hailfinder] {
+        g.bench_function(format!("seq_inference_{}", netid.name()), |b| {
+            let exp = quick_bayes(netid);
+            b.iter(|| run_sequential(&exp, 1));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 2: one reduced GA cell (f1, 4 procs, unloaded).
+fn fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("ga_cell_f1_4procs_unloaded", |b| {
+        let exp = quick_ga(TestFn::F1Sphere, 4, 0.0);
+        b.iter(|| run_ga_experiment(&exp).expect("experiment runs"));
+    });
+    g.finish();
+}
+
+/// Figure 3: one reduced Bayes cell (Hailfinder, 2 procs).
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("bayes_cell_hailfinder_2procs", |b| {
+        let exp = quick_bayes(Table2Net::Hailfinder);
+        b.iter(|| run_bayes_experiment(&exp).expect("experiment runs"));
+    });
+    g.finish();
+}
+
+/// Figure 4: one reduced loaded-network GA cell (f1, 4 procs, 2 Mbps).
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("ga_cell_f1_4procs_2mbps", |b| {
+        let exp = quick_ga(TestFn::F1Sphere, 4, 2.0);
+        b.iter(|| run_ga_experiment(&exp).expect("experiment runs"));
+    });
+    g.finish();
+}
+
+/// A single island-GA run per mode, to expose mode costs directly.
+fn modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modes");
+    g.sample_size(10);
+    for mode in [
+        Coherence::Synchronous,
+        Coherence::FullyAsync,
+        Coherence::PartialAsync { age: 10 },
+    ] {
+        g.bench_function(format!("bayes_hailfinder_{mode}"), |b| {
+            use nscc_bayes::{run_parallel_inference, ParallelBayesConfig, Query};
+            use nscc_msg::MsgConfig;
+            let net = Arc::new(Table2Net::Hailfinder.build());
+            let query = Query {
+                node: net.len() - 1,
+                evidence: vec![],
+            };
+            b.iter(|| {
+                let cfg = ParallelBayesConfig {
+                    stop: StopRule {
+                        halfwidth: 0.04,
+                        ..StopRule::default()
+                    },
+                    ..ParallelBayesConfig::new(mode)
+                };
+                run_parallel_inference(
+                    Arc::clone(&net),
+                    query.clone(),
+                    2,
+                    cfg,
+                    Platform::paper_ethernet(2).build_network_only(1),
+                    MsgConfig::default(),
+                    1,
+                )
+                .expect("inference runs")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, table1, table2, fig2, fig3, fig4, modes);
+criterion_main!(figures);

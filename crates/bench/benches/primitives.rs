@@ -1,0 +1,170 @@
+//! Criterion microbenchmarks of the NSCC substrates: the primitives whose
+//! costs underlie every experiment (wall-clock performance of the
+//! simulator itself, not virtual time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nscc_bayes::{figure1, forward_sample, Table2Net};
+use nscc_dsm::{Directory, DsmWorld};
+use nscc_ga::{CostModel, Deme, GaParams, SerialGa, TestFn};
+use nscc_msg::{wire_size, MsgConfig};
+use nscc_net::{EthernetBus, IdealMedium, Medium, Network, NodeId};
+use nscc_partition::{partition, Graph};
+use nscc_sim::{Mailbox, SimBuilder, SimTime};
+
+fn bench_sim_engine(c: &mut Criterion) {
+    c.bench_function("sim/spawn_run_1000_events", |b| {
+        b.iter(|| {
+            let mut sim = SimBuilder::new(1);
+            sim.spawn("p", |ctx| {
+                for _ in 0..1000 {
+                    ctx.advance(SimTime::from_micros(1));
+                }
+            });
+            sim.run().unwrap()
+        });
+    });
+
+    c.bench_function("sim/mailbox_pingpong_100", |b| {
+        b.iter(|| {
+            let a: Mailbox<u32> = Mailbox::new("a");
+            let bx: Mailbox<u32> = Mailbox::new("b");
+            let (a2, b2) = (a.clone(), bx.clone());
+            let mut sim = SimBuilder::new(1);
+            sim.spawn("ping", move |ctx| {
+                for i in 0..100 {
+                    b2.deliver_now(ctx, i);
+                    let _ = a.recv(ctx);
+                }
+            });
+            sim.spawn("pong", move |ctx| {
+                for _ in 0..100 {
+                    let v = bx.recv(ctx);
+                    a2.deliver_now(ctx, v);
+                }
+            });
+            sim.run().unwrap()
+        });
+    });
+}
+
+fn bench_network_models(c: &mut Criterion) {
+    c.bench_function("net/ethernet_transmit", |b| {
+        let mut bus = EthernetBus::ten_mbps(0);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimTime::from_micros(900);
+            bus.transmit(now, NodeId(0), NodeId(1), 1000)
+        });
+    });
+
+    c.bench_function("net/wire_size_migrant_batch", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let deme = Deme::new(TestFn::F6Rastrigin, GaParams::default(), &mut rng);
+        let migrants = deme.migrants(25);
+        b.iter(|| wire_size(&migrants));
+    });
+}
+
+fn bench_dsm(c: &mut Criterion) {
+    c.bench_function("dsm/global_read_cached", |b| {
+        b.iter_batched(
+            || {
+                let mut dir = Directory::new();
+                let loc = dir.add("x", 0, [1]);
+                let mut world: DsmWorld<u64> = DsmWorld::new(
+                    Network::new(IdealMedium::instant()),
+                    2,
+                    MsgConfig::default(),
+                    dir,
+                );
+                world.set_initial(loc, 7);
+                (world, loc)
+            },
+            |(world, loc)| {
+                let mut reader = world.node(1);
+                let mut sim = SimBuilder::new(0);
+                sim.spawn("r", move |ctx| {
+                    for _ in 0..100 {
+                        let _ = reader.global_read(ctx, loc, 0, 0);
+                    }
+                });
+                sim.run().unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_ga(c: &mut Criterion) {
+    c.bench_function("ga/generation_step_sphere", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut deme = Deme::new(TestFn::F1Sphere, GaParams::default(), &mut rng);
+        b.iter(|| deme.step(&mut rng));
+    });
+
+    c.bench_function("ga/generation_step_rastrigin", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut deme = Deme::new(TestFn::F6Rastrigin, GaParams::default(), &mut rng);
+        b.iter(|| deme.step(&mut rng));
+    });
+
+    c.bench_function("ga/serial_50_generations", |b| {
+        b.iter(|| {
+            SerialGa::new(
+                TestFn::F1Sphere,
+                GaParams::default(),
+                CostModel::deterministic(),
+                9,
+            )
+            .run(50)
+        });
+    });
+}
+
+fn bench_bayes(c: &mut Criterion) {
+    c.bench_function("bayes/forward_sample_figure1", |b| {
+        let net = figure1();
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            forward_sample(&net, 5, i, &mut out);
+        });
+    });
+
+    c.bench_function("bayes/forward_sample_hailfinder", |b| {
+        let net = Table2Net::Hailfinder.build();
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            forward_sample(&net, 5, i, &mut out);
+        });
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    c.bench_function("partition/bisect_54_node_network", |b| {
+        let g = Table2Net::A.build().skeleton();
+        b.iter(|| partition(&g, 2, 42));
+    });
+
+    c.bench_function("partition/4way_ring_200", |b| {
+        let g = Graph::from_edges(200, (0..200).map(|i| (i, (i + 1) % 200)));
+        b.iter(|| partition(&g, 4, 42));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_engine,
+    bench_network_models,
+    bench_dsm,
+    bench_ga,
+    bench_bayes,
+    bench_partition
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Regenerate **Figure 2**: GA speedups over the serial baseline on the
+//! unloaded Ethernet, for 2–16 processors — synchronous, fully
+//! asynchronous, `Global_Read` ages {0, 5, 10, 20, 30}, and the
+//! best-partial-vs-best-competitor summary bar.
+//!
+//! Prints the best case (function 1) and the average over all eight
+//! benchmark functions, exactly the two panels the paper shows.
+
+use nscc_core::fmt::{f2, render_table};
+use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment};
+use nscc_bench::{banner, Scale};
+use nscc_ga::{TestFn, ALL_FUNCTIONS};
+use nscc_sim::SimTime;
+
+fn main() {
+    let scale = Scale::from_env();
+    let all_functions = std::env::args().any(|a| a == "--all-functions");
+    print!(
+        "{}",
+        banner("Figure 2: GA speedups on the unloaded network", &scale)
+    );
+
+    let procs: Vec<usize> = vec![2, 4, 8, 16];
+    let functions: &[TestFn] = if all_functions {
+        &ALL_FUNCTIONS
+    } else {
+        // The averaged panel still needs every function; restrict only in
+        // quick mode to the four cheapest.
+        &ALL_FUNCTIONS[..4]
+    };
+
+    // Collect cells: results[func][proc index].
+    let mut results: Vec<Vec<GaExpResult>> = Vec::new();
+    for &func in functions {
+        let mut per_proc = Vec::new();
+        for &p in &procs {
+            let exp = GaExperiment {
+                generations: scale.generations,
+                runs: scale.runs,
+                base_seed: scale.seed,
+                ..GaExperiment::new(func, p)
+            };
+            let res = run_ga_experiment(&exp).expect("experiment runs");
+            per_proc.push(res);
+        }
+        results.push(per_proc);
+    }
+
+    // Panel 1: best case (function 1).
+    println!("\n-- best case: function 1 (sphere) --");
+    print_panel(&procs, &results[0..1]);
+
+    // Panel 2: average over all functions (ratio of summed serial times
+    // to summed parallel times, as the paper defines it).
+    println!(
+        "\n-- average over {} functions --",
+        results.len()
+    );
+    print_panel(&procs, &results);
+}
+
+fn print_panel(procs: &[usize], per_func: &[Vec<GaExpResult>]) {
+    let labels: Vec<String> = per_func[0][0]
+        .modes
+        .iter()
+        .map(|m| m.label.clone())
+        .collect();
+    let mut rows = vec![{
+        let mut h = vec!["procs".to_string()];
+        h.extend(labels.iter().cloned());
+        h.push("best-partial/best-comp".to_string());
+        h
+    }];
+    for (pi, &p) in procs.iter().enumerate() {
+        // Aggregate over functions: sum of serial times / sum of mode times.
+        let serial_total: SimTime = per_func.iter().map(|f| f[pi].serial_time).sum();
+        let mut row = vec![p.to_string()];
+        let mut speedups = Vec::new();
+        for (mi, _) in labels.iter().enumerate() {
+            // A mode that failed to converge in any cell is a DNF for the
+            // aggregate (SimTime::MAX marks it).
+            let times: Vec<SimTime> = per_func.iter().map(|f| f[pi].modes[mi].mean_time).collect();
+            if times.iter().any(|&t| t == SimTime::MAX) {
+                speedups.push(0.0);
+                row.push("DNF".to_string());
+                continue;
+            }
+            let mode_total: SimTime = times.into_iter().sum();
+            let s = serial_total.as_secs_f64() / mode_total.as_secs_f64();
+            speedups.push(s);
+            row.push(f2(s));
+        }
+        // Best partial over best competitor (competitors: serial=1, sync,
+        // async).
+        let best_partial = speedups[2..].iter().cloned().fold(f64::MIN, f64::max);
+        let best_comp = speedups[..2].iter().cloned().fold(1.0, f64::max);
+        row.push(format!("{:+.0}%", (best_partial / best_comp - 1.0) * 100.0));
+        rows.push(row);
+    }
+    print!("{}", render_table(&rows));
+}

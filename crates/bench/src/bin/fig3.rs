@@ -1,0 +1,85 @@
+//! Regenerate **Figure 3**: parallel probabilistic-inference speedups on
+//! the unloaded network for a 2-node configuration — synchronous, fully
+//! asynchronous (rollback), and `Global_Read` ages, for each of the four
+//! Table 2 networks plus the average panel.
+
+use nscc_bayes::{StopRule, TABLE2};
+use nscc_bench::{banner, Scale};
+use nscc_core::fmt::{f2, render_table};
+use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment};
+use nscc_sim::SimTime;
+
+fn main() {
+    let scale = Scale::from_env();
+    print!(
+        "{}",
+        banner(
+            "Figure 3: Bayesian-network speedups on the unloaded network (2 processors)",
+            &scale
+        )
+    );
+
+    let mut results: Vec<BayesExpResult> = Vec::new();
+    for netid in TABLE2 {
+        let exp = BayesExperiment {
+            stop: StopRule {
+                halfwidth: scale.ci,
+                ..StopRule::default()
+            },
+            runs: scale.runs,
+            base_seed: scale.seed,
+            ..BayesExperiment::new(netid, 2)
+        };
+        results.push(run_bayes_experiment(&exp).expect("experiment runs"));
+    }
+
+    let labels: Vec<String> = results[0].modes.iter().map(|m| m.label.clone()).collect();
+    let mut rows = vec![{
+        let mut h = vec!["network".to_string(), "seq(s)".to_string()];
+        h.extend(labels.iter().cloned());
+        h.push("best-partial/best-comp".to_string());
+        h
+    }];
+    for r in &results {
+        let mut row = vec![
+            r.net.name().to_string(),
+            format!("{:.2}", r.seq_time.as_secs_f64()),
+        ];
+        for m in &r.modes {
+            row.push(f2(m.speedup));
+        }
+        row.push(format!("{:+.0}%", r.improvement() * 100.0));
+        rows.push(row);
+    }
+    // Average panel: ratio of summed sequential to summed parallel times.
+    let seq_total: SimTime = results.iter().map(|r| r.seq_time).sum();
+    let mut avg = vec!["average".to_string(), String::new()];
+    let mut best_partial = f64::MIN;
+    let mut best_comp = 1.0f64;
+    for (mi, label) in labels.iter().enumerate() {
+        let mode_total: SimTime = results.iter().map(|r| r.modes[mi].mean_time).sum();
+        let s = seq_total.as_secs_f64() / mode_total.as_secs_f64();
+        if label.starts_with("age=") {
+            best_partial = best_partial.max(s);
+        } else {
+            best_comp = best_comp.max(s);
+        }
+        avg.push(f2(s));
+    }
+    avg.push(format!("{:+.0}%", (best_partial / best_comp - 1.0) * 100.0));
+    rows.push(avg);
+    print!("{}", render_table(&rows));
+    println!(
+        "\nrollbacks per converged run (mean): {}",
+        results
+            .iter()
+            .map(|r| format!(
+                "{}: async={:.0} best-age={:.0}",
+                r.net.name(),
+                r.modes[1].mean_rollbacks,
+                r.best_partial().mean_rollbacks
+            ))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+}

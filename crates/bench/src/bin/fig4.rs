@@ -1,0 +1,82 @@
+//! Regenerate **Figure 4**: GA speedups under background network load —
+//! 4 compute nodes plus a loader pair offering 0.5, 1 and 2 Mbps on the
+//! shared 10 Mbps Ethernet (plus the unloaded 0 Mbps reference row).
+//!
+//! Prints function 1 and the average over the benchmark functions, and
+//! the best-partial-over-best-competitor improvement per load level —
+//! the paper's headline claim is that this improvement *grows* with load.
+
+use nscc_bench::{banner, Scale};
+use nscc_core::fmt::{f2, render_table};
+use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform};
+use nscc_ga::{TestFn, ALL_FUNCTIONS};
+use nscc_sim::SimTime;
+
+fn main() {
+    let scale = Scale::from_env();
+    let all_functions = std::env::args().any(|a| a == "--all-functions");
+    print!(
+        "{}",
+        banner("Figure 4: GA speedups on the loaded network (4 processors)", &scale)
+    );
+
+    let loads = [0.0, 0.5, 1.0, 2.0];
+    let functions: &[TestFn] = if all_functions {
+        &ALL_FUNCTIONS
+    } else {
+        &ALL_FUNCTIONS[..4]
+    };
+
+    for (title, funcs) in [
+        ("best case: function 1 (sphere)", &functions[..1]),
+        ("average over functions", functions),
+    ] {
+        println!("\n-- {title} --");
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for &load in &loads {
+            let mut per_func: Vec<GaExpResult> = Vec::new();
+            for &func in funcs {
+                let exp = GaExperiment {
+                    generations: scale.generations,
+                    runs: scale.runs,
+                    base_seed: scale.seed,
+                    platform: Platform::loaded_ethernet(4, load),
+                    ..GaExperiment::new(func, 4)
+                };
+                per_func.push(run_ga_experiment(&exp).expect("experiment runs"));
+            }
+            if rows.is_empty() {
+                let mut h = vec!["load (Mbps)".to_string()];
+                h.extend(per_func[0].modes.iter().map(|m| m.label.clone()));
+                h.push("best-partial/best-comp".to_string());
+                h.push("warp(async)".to_string());
+                rows.push(h);
+            }
+            let serial_total: SimTime = per_func.iter().map(|f| f.serial_time).sum();
+            let mut row = vec![format!("{load}")];
+            let mut speedups = Vec::new();
+            for mi in 0..per_func[0].modes.len() {
+                let times: Vec<SimTime> =
+                    per_func.iter().map(|f| f.modes[mi].mean_time).collect();
+                if times.iter().any(|&t| t == SimTime::MAX) {
+                    speedups.push(0.0);
+                    row.push("DNF".to_string());
+                    continue;
+                }
+                let mode_total: SimTime = times.into_iter().sum();
+                let s = serial_total.as_secs_f64() / mode_total.as_secs_f64();
+                speedups.push(s);
+                row.push(f2(s));
+            }
+            let best_partial = speedups[2..].iter().cloned().fold(f64::MIN, f64::max);
+            let best_comp = speedups[..2].iter().cloned().fold(1.0, f64::max);
+            row.push(format!("{:+.0}%", (best_partial / best_comp - 1.0) * 100.0));
+            // Warp of the fully-async mode, averaged over functions.
+            let warp: f64 = per_func.iter().map(|f| f.modes[1].mean_warp).sum::<f64>()
+                / per_func.len() as f64;
+            row.push(format!("{warp:.2}"));
+            rows.push(row);
+        }
+        print!("{}", render_table(&rows));
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared utilities for the NSCC benchmark harness binaries.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index). All binaries accept a scale through
+//! environment variables so `--quick` smoke runs and full paper-scale
+//! sweeps use the same code:
+//!
+//! * `NSCC_RUNS` — repetitions per cell (paper: 25 for GA, 10 for Bayes).
+//! * `NSCC_GENS` — serial-baseline GA generations (paper: 1000).
+//! * `NSCC_CI` — Bayes CI half-width (paper: 0.01).
+//! * `NSCC_SEED` — base seed.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Harness scale, read from the environment with bench-friendly defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Repetitions per experiment cell.
+    pub runs: usize,
+    /// Serial GA generations.
+    pub generations: u64,
+    /// Bayes CI half-width target.
+    pub ci: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Read the scale from the environment (see module docs).
+    pub fn from_env() -> Scale {
+        fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        Scale {
+            runs: var("NSCC_RUNS", 3),
+            generations: var("NSCC_GENS", 120),
+            ci: var("NSCC_CI", 0.02),
+            seed: var("NSCC_SEED", 42),
+        }
+    }
+
+    /// The paper's full scale (25 GA runs, 1000 generations, CI ±0.01).
+    pub fn paper() -> Scale {
+        Scale {
+            runs: 25,
+            generations: 1000,
+            ci: 0.01,
+            seed: 42,
+        }
+    }
+}
+
+/// A figure/table banner with the scale echoed, so saved outputs are
+/// self-describing.
+pub fn banner(title: &str, scale: &Scale) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "=== {title} ===");
+    let _ = writeln!(
+        s,
+        "scale: runs={} generations={} ci=±{} seed={}",
+        scale.runs, scale.generations, scale.ci, scale.seed
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_scale_defaults() {
+        let s = Scale::from_env();
+        assert!(s.runs >= 1);
+        assert!(s.generations >= 1);
+        assert!(s.ci > 0.0);
+    }
+
+    #[test]
+    fn banner_echoes_scale() {
+        let b = banner("Figure 2", &Scale::paper());
+        assert!(b.contains("Figure 2"));
+        assert!(b.contains("runs=25"));
+        assert!(b.contains("1000"));
+    }
+}

@@ -1,0 +1,364 @@
+//! The GA experiment runner: regenerates the data behind Figures 2 and 4.
+//!
+//! Protocol (per run seed):
+//! 1. **Synchronous reference** — `p` islands of 50 run a fixed
+//!    generation budget (the paper's 1000) in lockstep. Its achieved
+//!    mean best-ever fitness is the quality bar `Q`, and its time is
+//!    measured up to its last quality improvement.
+//! 2. **Serial baseline** — one deme of the total population (`50 × p`)
+//!    timed to its first hit of `Q`.
+//! 3. **Asynchronous and Global_Read versions** — run until *every*
+//!    island reaches `Q` ("converged further than the synchronous
+//!    version"), with a generation cap. A capped run is a failure and
+//!    never flatters the mode (the paper ensured convergence per trial).
+//! 4. Speedup = `T_serial / T_mode`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nscc_dsm::{Coherence, Directory, DsmStats, DsmWorld};
+use nscc_ga::{
+    run_island, ConvergenceBoard, CostModel, GaParams, IslandConfig, IslandOutcome, MigrantBatch,
+    SerialGa, TestFn,
+};
+use nscc_net::WarpMeter;
+use nscc_sim::{SimBuilder, SimError, SimTime};
+
+use crate::platform::Platform;
+
+/// The five competitor families of Figure 2.
+pub const PAPER_AGES: [u64; 5] = [0, 5, 10, 20, 30];
+
+/// Configuration of one GA experiment cell (function × processor count ×
+/// platform).
+#[derive(Debug, Clone)]
+pub struct GaExperiment {
+    /// Benchmark function.
+    pub func: TestFn,
+    /// Processor (island) count.
+    pub procs: usize,
+    /// Serial-baseline generations (the paper runs 1000; benches scale
+    /// this down).
+    pub generations: u64,
+    /// Generation cap for parallel runs, as a multiple of `generations`.
+    pub cap_factor: u64,
+    /// Independent repetitions (the paper averages 25).
+    pub runs: usize,
+    /// Base seed; run `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// Platform (interconnect + background load).
+    pub platform: Platform,
+    /// Cost model for every node.
+    pub cost: CostModel,
+    /// Fraction of the serial run whose quality defines the target
+    /// (lower = easier bar; 0.75 keeps island runs from chasing the
+    /// panmictic population's last few multimodal refinements).
+    pub target_fraction: f64,
+}
+
+impl GaExperiment {
+    /// Paper-like defaults at a bench-friendly scale.
+    pub fn new(func: TestFn, procs: usize) -> Self {
+        GaExperiment {
+            func,
+            procs,
+            generations: 200,
+            cap_factor: 3,
+            runs: 5,
+            base_seed: 1000,
+            platform: Platform::paper_ethernet(procs),
+            cost: CostModel::default(),
+            target_fraction: 0.75,
+        }
+    }
+}
+
+/// Measurements for one mode, averaged over runs.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// The mode's label (`serial`, `sync`, `async`, `age=N`).
+    pub label: String,
+    /// Mean completion time.
+    pub mean_time: SimTime,
+    /// Mean speedup over the serial baseline.
+    pub speedup: f64,
+    /// Mean best fitness across islands and runs.
+    pub mean_best: f64,
+    /// Mean generations executed per island.
+    pub mean_generations: f64,
+    /// Fraction of runs in which every island reached the target.
+    pub success_rate: f64,
+    /// Mean messages sent per run (update messages).
+    pub mean_messages: f64,
+    /// Mean warp metric over the run (1.0 = stable network).
+    pub mean_warp: f64,
+    /// Aggregate DSM counters (summed over runs).
+    pub dsm: DsmStats,
+}
+
+/// Full result of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct GaExpResult {
+    /// The cell's configuration echo.
+    pub func: TestFn,
+    /// Processor count.
+    pub procs: usize,
+    /// Serial baseline mean time.
+    pub serial_time: SimTime,
+    /// Serial baseline mean best fitness.
+    pub serial_best: f64,
+    /// One row per mode: sync, async, each age.
+    pub modes: Vec<ModeResult>,
+}
+
+impl GaExpResult {
+    /// The best partially-asynchronous row (among fully-converging
+    /// settings; falls back to the best success rate otherwise).
+    pub fn best_partial(&self) -> &ModeResult {
+        let ages = || self.modes.iter().filter(|m| m.label.starts_with("age="));
+        ages()
+            .filter(|m| m.success_rate >= 1.0)
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+            .or_else(|| ages().max_by(|a, b| a.speedup.total_cmp(&b.speedup)))
+            .expect("age rows exist")
+    }
+
+    /// The best competitor (serial = 1.0, sync, async) among
+    /// fully-converging settings — a version that fails to converge is
+    /// not a competitor (the paper ensured convergence per trial).
+    pub fn best_competitor_speedup(&self) -> f64 {
+        self.modes
+            .iter()
+            .filter(|m| (m.label == "sync" || m.label == "async") && m.success_rate >= 1.0)
+            .map(|m| m.speedup)
+            .fold(1.0, f64::max) // serial itself has speedup 1.0
+    }
+
+    /// The paper's headline metric: best partial over best competitor.
+    pub fn improvement(&self) -> f64 {
+        self.best_partial().speedup / self.best_competitor_speedup() - 1.0
+    }
+}
+
+/// One parallel run's raw measurements.
+struct RunMeasure {
+    time: SimTime,
+    /// Latest instant at which any island improved its best-ever fitness.
+    last_improve: SimTime,
+    best: f64,
+    generations: f64,
+    success: bool,
+    messages: u64,
+    warp: f64,
+    dsm: DsmStats,
+}
+
+/// Run one parallel GA configuration once.
+fn run_parallel_once(
+    exp: &GaExperiment,
+    mode: Coherence,
+    stop: nscc_ga::StopPolicy,
+    seed: u64,
+) -> Result<RunMeasure, SimError> {
+    let p = exp.procs;
+    let mut sim = SimBuilder::new(seed);
+    let net = exp.platform.build(&mut sim, seed);
+    let warp = WarpMeter::new();
+
+    let mut dir = Directory::new();
+    let locs = dir.add_per_rank("best", p);
+    let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(
+        net,
+        p,
+        exp.platform.msg.clone(),
+        dir,
+    )
+    .with_warp(warp.clone());
+    for &l in &locs {
+        world.set_initial(l, Vec::new());
+    }
+
+    let board = ConvergenceBoard::new(p);
+    let outcomes: Arc<Mutex<Vec<Option<IslandOutcome>>>> = Arc::new(Mutex::new(vec![None; p]));
+    let cfg = IslandConfig {
+        func: exp.func,
+        params: GaParams::default(),
+        cost: exp.cost.clone(),
+        mode,
+        migration_count: GaParams::default().pop_size / 2,
+        stop,
+        adaptive: None,
+    };
+    for r in 0..p {
+        let node = world.node(r);
+        let locs = locs.clone();
+        let cfg = cfg.clone();
+        let board = board.clone();
+        let outcomes = Arc::clone(&outcomes);
+        sim.spawn(format!("island{r}"), move |ctx| {
+            let out = run_island(ctx, node, &locs, &cfg, &board);
+            outcomes.lock()[r] = Some(out);
+        });
+    }
+    let report = sim.run()?;
+    let outs = outcomes.lock();
+    // Quality bar: the mean best-ever across islands (a per-subpopulation
+    // criterion, as the paper uses).
+    let best = outs.iter().flatten().map(|o| o.best).sum::<f64>() / p as f64;
+    let gens: f64 = outs.iter().flatten().map(|o| o.generations as f64).sum::<f64>() / p as f64;
+    let success = match stop {
+        nscc_ga::StopPolicy::FixedGenerations(_) => true,
+        nscc_ga::StopPolicy::TargetQuality { .. } => {
+            outs.iter().flatten().all(|o| o.time_to_target.is_some())
+        }
+    };
+    let last_improve = outs
+        .iter()
+        .flatten()
+        .map(|o| o.time_of_last_improvement)
+        .max()
+        .unwrap_or(report.end_time);
+    Ok(RunMeasure {
+        time: report.end_time,
+        last_improve,
+        best,
+        generations: gens,
+        success,
+        messages: world.comm_stats().sent,
+        warp: warp.mean(),
+        dsm: world.total_stats(),
+    })
+}
+
+/// Run the full experiment cell: serial baseline plus every mode.
+pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
+    let modes: Vec<Coherence> = [Coherence::Synchronous, Coherence::FullyAsync]
+        .into_iter()
+        .chain(PAPER_AGES.iter().map(|&a| Coherence::PartialAsync { age: a }))
+        .collect();
+
+    let mut serial_time_sum = SimTime::ZERO;
+    let mut serial_best_sum = 0.0;
+    let mut acc: Vec<Vec<RunMeasure>> = (0..modes.len()).map(|_| Vec::new()).collect();
+
+    for r in 0..exp.runs {
+        let seed = exp.base_seed + r as u64;
+        // Synchronous reference: a fixed generation budget (the paper's
+        // 1000). Its achieved quality is the bar, and its time is the
+        // instant its quality stopped improving (post-convergence
+        // spinning is not billed to it).
+        let mut sync_measure = run_parallel_once(
+            exp,
+            Coherence::Synchronous,
+            nscc_ga::StopPolicy::FixedGenerations(exp.generations),
+            seed,
+        )?;
+        // Quality bar: within 10% of the synchronous quality (absolute
+        // tolerance guards bit-resolution floors near zero).
+        let q_sync = sync_measure.best;
+        let target = q_sync + 0.10 * q_sync.abs() + 1e-9;
+        sync_measure.time = sync_measure.last_improve;
+        acc[0].push(sync_measure);
+
+        // Serial baseline: total population on one node, timed to the
+        // same quality bar.
+        let serial = SerialGa::new(
+            exp.func,
+            GaParams::with_pop_size(50 * exp.procs),
+            exp.cost.clone(),
+            seed ^ 0x5E71A1,
+        )
+        .run(exp.generations * exp.cap_factor);
+        let t_serial = serial.time_to_quality(target).unwrap_or(serial.time);
+        serial_time_sum += t_serial;
+        serial_best_sum += serial.best;
+
+        let stop = nscc_ga::StopPolicy::TargetQuality {
+            target,
+            cap: exp.generations * exp.cap_factor,
+        };
+        for (mi, &mode) in modes.iter().enumerate().skip(1) {
+            acc[mi].push(run_parallel_once(exp, mode, stop, seed)?);
+        }
+    }
+
+    let runs = exp.runs as f64;
+    let serial_time = serial_time_sum / exp.runs as u64;
+    let mode_results = modes
+        .iter()
+        .zip(acc)
+        .map(|(mode, ms)| {
+            // A run that capped out without reaching the quality bar is a
+            // failure (the paper "ensured convergence for every trial"):
+            // its short cap time must not flatter the mode, so the mean
+            // time is taken over *successful* runs only. A mode with no
+            // successful run gets speedup 0 (DNF).
+            let successes: Vec<&RunMeasure> = ms.iter().filter(|m| m.success).collect();
+            let mean_time: SimTime = if successes.is_empty() {
+                SimTime::MAX
+            } else {
+                successes.iter().map(|m| m.time).sum::<SimTime>() / successes.len() as u64
+            };
+            let speedup = if successes.is_empty() {
+                0.0
+            } else {
+                serial_time.as_secs_f64() / mean_time.as_secs_f64()
+            };
+            let mut dsm = DsmStats::default();
+            for m in &ms {
+                dsm.merge(&m.dsm);
+            }
+            ModeResult {
+                label: mode.label(),
+                mean_time,
+                speedup,
+                mean_best: ms.iter().map(|m| m.best).sum::<f64>() / runs,
+                mean_generations: ms.iter().map(|m| m.generations).sum::<f64>() / runs,
+                success_rate: successes.len() as f64 / runs,
+                mean_messages: ms.iter().map(|m| m.messages as f64).sum::<f64>() / runs,
+                mean_warp: ms.iter().map(|m| m.warp).sum::<f64>() / runs,
+                dsm,
+            }
+        })
+        .collect();
+
+    Ok(GaExpResult {
+        func: exp.func,
+        procs: exp.procs,
+        serial_time,
+        serial_best: serial_best_sum / runs,
+        modes: mode_results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cell_produces_consistent_rows() {
+        let exp = GaExperiment {
+            generations: 30,
+            runs: 2,
+            cap_factor: 4,
+            cost: CostModel::deterministic(),
+            ..GaExperiment::new(TestFn::F1Sphere, 2)
+        };
+        let res = run_ga_experiment(&exp).unwrap();
+        assert_eq!(res.modes.len(), 7); // sync, async, 5 ages
+        assert!(res.serial_time > SimTime::ZERO);
+        for m in &res.modes {
+            assert!(m.mean_time > SimTime::ZERO, "{}", m.label);
+            assert!(m.speedup > 0.0);
+            assert!(m.mean_messages > 0.0);
+        }
+        // Parallel exploration with 2x the population should reach the
+        // relaxed serial target reliably.
+        let ok_rate: f64 =
+            res.modes.iter().map(|m| m.success_rate).sum::<f64>() / res.modes.len() as f64;
+        assert!(ok_rate > 0.8, "success rate {ok_rate}");
+        let _ = res.best_partial();
+        assert!(res.best_competitor_speedup() >= 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # nscc-core — the NSCC experiment layer
+//!
+//! Assembles the substrates (simulated platform, DSM, applications) into
+//! the paper's experiments and regenerates every table and figure:
+//!
+//! * [`Platform`] — interconnect + message-cost + background-load presets
+//!   mirroring the paper's IBM SP2 / 10 Mbps Ethernet testbed.
+//! * [`run_ga_experiment`] — one Figure 2/4 cell: serial baseline, then
+//!   synchronous / fully-asynchronous / `Global_Read` (ages 0–30) island
+//!   GAs, with speedups, quality and warp measurements.
+//! * [`run_bayes_experiment`] — one Table 2/Figure 3 cell: sequential
+//!   logic sampling plus the three parallel disciplines.
+//! * [`fmt`] — plain-text table rendering shared by the bench binaries.
+
+#![warn(missing_docs)]
+
+mod bayes_exp;
+pub mod fmt;
+mod ga_exp;
+mod platform;
+
+pub use bayes_exp::{
+    run_bayes_experiment, run_sequential, BayesExpResult, BayesExperiment, BayesModeResult,
+};
+pub use ga_exp::{run_ga_experiment, GaExpResult, GaExperiment, ModeResult, PAPER_AGES};
+pub use platform::{Interconnect, Platform};

@@ -1,0 +1,166 @@
+//! Dynamic (runtime) staleness control — the paper's §6 future work:
+//! "we are experimenting with dynamic (runtime) setting of tolerable age
+//! (staleness) levels when using Global_Read".
+//!
+//! [`AgeController`] adjusts the age bound between a floor and a ceiling
+//! from two observable signals the reader already has:
+//!
+//! * **blocking pressure** — the fraction of recent reads that blocked.
+//!   Blocking means the bound is tighter than the system can currently
+//!   sustain (network delay or peer skew): *raise* the age to keep
+//!   computing through the disturbance.
+//! * **slack** — how much younger than required the returned values are.
+//!   Large slack means the bound is far looser than needed: *lower* the
+//!   age to tighten staleness (better convergence) at no blocking cost.
+//!
+//! The controller is deliberately simple (additive-increase /
+//! additive-decrease over a sliding window) so its behaviour is easy to
+//! reason about; it lives in the DSM because the signals are DSM-level.
+
+/// Adaptive age bound for `Global_Read`.
+#[derive(Debug, Clone)]
+pub struct AgeController {
+    /// Smallest age the controller may choose.
+    pub min_age: u64,
+    /// Largest age the controller may choose.
+    pub max_age: u64,
+    /// Reads per adaptation window.
+    pub window: u32,
+    /// Raise the age when more than this fraction of reads blocked.
+    pub raise_above: f64,
+    /// Lower the age when mean slack exceeds this many iterations.
+    pub lower_above_slack: f64,
+    age: u64,
+    reads: u32,
+    blocked: u32,
+    slack_sum: u64,
+    adjustments: u64,
+}
+
+impl AgeController {
+    /// A controller starting at `initial`, bounded to `[min_age, max_age]`.
+    pub fn new(initial: u64, min_age: u64, max_age: u64) -> Self {
+        assert!(min_age <= max_age, "empty age range");
+        AgeController {
+            min_age,
+            max_age,
+            window: 32,
+            raise_above: 0.25,
+            lower_above_slack: 3.0,
+            age: initial.clamp(min_age, max_age),
+            reads: 0,
+            blocked: 0,
+            slack_sum: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// The age bound to use for the next `Global_Read`.
+    pub fn current(&self) -> u64 {
+        self.age
+    }
+
+    /// Number of times the controller changed the age.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Record the outcome of one read: whether it blocked, and the value's
+    /// slack (`returned_age - required_age`, i.e. how much fresher than
+    /// necessary it was). Adapts once per window.
+    pub fn observe(&mut self, blocked: bool, slack: u64) {
+        self.reads += 1;
+        self.blocked += u32::from(blocked);
+        self.slack_sum += slack;
+        if self.reads < self.window {
+            return;
+        }
+        let blocked_frac = f64::from(self.blocked) / f64::from(self.reads);
+        let mean_slack = self.slack_sum as f64 / f64::from(self.reads);
+        let before = self.age;
+        if blocked_frac > self.raise_above {
+            // Under pressure: tolerate more staleness (AIMD-style step up
+            // proportional to pressure).
+            let step = 1 + (blocked_frac * 4.0) as u64;
+            self.age = (self.age + step).min(self.max_age);
+        } else if mean_slack > self.lower_above_slack && self.age > self.min_age {
+            // Plenty of slack: tighten for convergence quality.
+            self.age -= 1;
+        }
+        if self.age != before {
+            self.adjustments += 1;
+        }
+        self.reads = 0;
+        self.blocked = 0;
+        self.slack_sum = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_window(ctl: &mut AgeController, blocked: bool, slack: u64) {
+        for _ in 0..ctl.window {
+            ctl.observe(blocked, slack);
+        }
+    }
+
+    #[test]
+    fn starts_clamped() {
+        let ctl = AgeController::new(100, 2, 30);
+        assert_eq!(ctl.current(), 30);
+        let ctl = AgeController::new(0, 2, 30);
+        assert_eq!(ctl.current(), 2);
+    }
+
+    #[test]
+    fn raises_under_blocking_pressure() {
+        let mut ctl = AgeController::new(5, 0, 30);
+        drain_window(&mut ctl, true, 0);
+        assert!(ctl.current() > 5, "full blocking must raise the age");
+        assert!(ctl.current() <= 30);
+    }
+
+    #[test]
+    fn lowers_when_slack_is_plentiful() {
+        let mut ctl = AgeController::new(20, 0, 30);
+        drain_window(&mut ctl, false, 10);
+        assert_eq!(ctl.current(), 19, "large slack tightens by one");
+    }
+
+    #[test]
+    fn stays_put_in_the_comfortable_band() {
+        let mut ctl = AgeController::new(10, 0, 30);
+        drain_window(&mut ctl, false, 1);
+        assert_eq!(ctl.current(), 10);
+        assert_eq!(ctl.adjustments(), 0);
+    }
+
+    #[test]
+    fn respects_bounds_under_sustained_pressure() {
+        let mut ctl = AgeController::new(5, 2, 12);
+        for _ in 0..50 {
+            drain_window(&mut ctl, true, 0);
+        }
+        assert_eq!(ctl.current(), 12);
+        let mut ctl = AgeController::new(10, 2, 12);
+        for _ in 0..50 {
+            drain_window(&mut ctl, false, 100);
+        }
+        assert_eq!(ctl.current(), 2);
+    }
+
+    #[test]
+    fn adapts_back_and_forth() {
+        let mut ctl = AgeController::new(5, 0, 30);
+        drain_window(&mut ctl, true, 0);
+        let raised = ctl.current();
+        // Pressure gone and slack high: drifts back down.
+        for _ in 0..40 {
+            drain_window(&mut ctl, false, 8);
+        }
+        assert!(ctl.current() < raised);
+        assert!(ctl.adjustments() >= 2);
+    }
+}

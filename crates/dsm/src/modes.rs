@@ -1,0 +1,88 @@
+//! The three coherence disciplines the paper compares.
+
+use std::fmt;
+
+/// How a parallel program reads shared locations (§5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coherence {
+    /// BSP-style: an explicit message barrier every iteration plus reads
+    /// that require the peer value from the *current* iteration.
+    Synchronous,
+    /// Never block: read whatever the local cache holds, however stale
+    /// (slow-memory style; the uncontrolled asynchronous implementation).
+    FullyAsync,
+    /// The paper's contribution: block only until the cached value is at
+    /// most `age` iterations older than the reader's current iteration
+    /// (`Global_Read`). `age = 0` removes barrier overhead but exploits no
+    /// asynchrony; larger ages trade staleness for progress.
+    PartialAsync {
+        /// Maximum acceptable staleness in iterations.
+        age: u64,
+    },
+}
+
+impl Coherence {
+    /// The required-age bound a read at `curr_iter` imposes, or `None` for
+    /// a never-blocking read.
+    pub fn required_age(self, curr_iter: u64) -> Option<u64> {
+        match self {
+            Coherence::Synchronous => Some(curr_iter),
+            Coherence::FullyAsync => None,
+            Coherence::PartialAsync { age } => Some(curr_iter.saturating_sub(age)),
+        }
+    }
+
+    /// Whether this mode runs a per-iteration barrier.
+    pub fn uses_barrier(self) -> bool {
+        matches!(self, Coherence::Synchronous)
+    }
+
+    /// Short label used in experiment tables (`sync`, `async`, `age=N`).
+    pub fn label(self) -> String {
+        match self {
+            Coherence::Synchronous => "sync".into(),
+            Coherence::FullyAsync => "async".into(),
+            Coherence::PartialAsync { age } => format!("age={age}"),
+        }
+    }
+}
+
+impl fmt::Display for Coherence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_age_bounds() {
+        assert_eq!(Coherence::Synchronous.required_age(7), Some(7));
+        assert_eq!(Coherence::FullyAsync.required_age(7), None);
+        assert_eq!(
+            Coherence::PartialAsync { age: 3 }.required_age(7),
+            Some(4)
+        );
+        // Saturates at iteration 0 (initial values are age 0).
+        assert_eq!(
+            Coherence::PartialAsync { age: 10 }.required_age(7),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Coherence::Synchronous.label(), "sync");
+        assert_eq!(Coherence::FullyAsync.label(), "async");
+        assert_eq!(Coherence::PartialAsync { age: 5 }.label(), "age=5");
+    }
+
+    #[test]
+    fn only_sync_uses_barrier() {
+        assert!(Coherence::Synchronous.uses_barrier());
+        assert!(!Coherence::FullyAsync.uses_barrier());
+        assert!(!Coherence::PartialAsync { age: 0 }.uses_barrier());
+    }
+}

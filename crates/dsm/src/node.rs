@@ -1,0 +1,490 @@
+//! The per-rank DSM node: age-tagged cache, update propagation, the
+//! blocking `Global_Read`, and the message barrier.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use nscc_msg::{Endpoint, Envelope};
+use nscc_sim::{Ctx, SimTime};
+
+use crate::directory::{Directory, LocId};
+
+/// Wire messages exchanged by DSM nodes.
+#[derive(Debug, Clone, Serialize)]
+pub enum DsmMsg<T> {
+    /// A new value of a shared location, stamped with the writer's
+    /// iteration number ("age" in the paper's sense).
+    Update {
+        /// Which location.
+        loc: LocId,
+        /// The writer's iteration number when the value was generated.
+        age: u64,
+        /// The value itself.
+        value: T,
+    },
+    /// Barrier protocol: a rank announcing it reached barrier `epoch`.
+    BarrierArrive {
+        /// Barrier epoch (monotonically increasing per program).
+        epoch: u64,
+    },
+    /// Barrier protocol: the coordinator releasing barrier `epoch`.
+    BarrierRelease {
+        /// Barrier epoch being released.
+        epoch: u64,
+    },
+}
+
+/// Per-node DSM counters, readable after a run via
+/// [`DsmWorld::stats`](crate::DsmWorld::stats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DsmStats {
+    /// `write` calls performed.
+    pub writes: u64,
+    /// Update messages pushed to readers.
+    pub updates_sent: u64,
+    /// Update messages applied to the cache.
+    pub updates_applied: u64,
+    /// Updates discarded because a newer value was already cached.
+    pub updates_stale: u64,
+    /// Reads satisfied immediately from the cache.
+    pub cache_hits: u64,
+    /// Reads that had to block for a fresher value.
+    pub blocked_reads: u64,
+    /// Total virtual time spent blocked in `Global_Read`.
+    pub block_time: SimTime,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Total virtual time spent waiting at barriers.
+    pub barrier_time: SimTime,
+}
+
+impl DsmStats {
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &DsmStats) {
+        self.writes += other.writes;
+        self.updates_sent += other.updates_sent;
+        self.updates_applied += other.updates_applied;
+        self.updates_stale += other.updates_stale;
+        self.cache_hits += other.cache_hits;
+        self.blocked_reads += other.blocked_reads;
+        self.block_time += other.block_time;
+        self.barriers += other.barriers;
+        self.barrier_time += other.barrier_time;
+    }
+}
+
+/// The age stamped on a writer's final "retirement" update: it satisfies
+/// any staleness requirement, letting still-blocked readers observe that
+/// the writer has left the computation (see
+/// [`DsmNode::retire`]).
+pub const RETIRE_AGE: u64 = u64::MAX;
+
+/// Outcome of an exact-version wait: the writer retired before (or
+/// instead of) publishing the requested version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired;
+
+/// Everything a `Global_Read` can report (see
+/// [`DsmNode::global_read_ex`]): the value, its generation age, and the
+/// blocking behaviour an adaptive staleness controller feeds on.
+#[derive(Debug, Clone)]
+pub struct ReadOutcome<T> {
+    /// Iteration in which the returned value was generated.
+    pub age: u64,
+    /// The value.
+    pub value: T,
+    /// Whether the read had to block.
+    pub blocked: bool,
+    /// How long it blocked (zero when served from cache).
+    pub block_time: SimTime,
+    /// The requirement the read enforced (`curr_iter − age`, saturated).
+    pub required: u64,
+}
+
+impl<T> ReadOutcome<T> {
+    /// How much fresher than required the value was (the controller's
+    /// "slack" signal), clamped to a sane range even for retirement
+    /// sentinels.
+    pub fn slack(&self) -> u64 {
+        self.age.saturating_sub(self.required).min(1_000_000)
+    }
+}
+
+/// One rank's DSM state. Move it into the rank's process closure; it is not
+/// shared (each node has exactly one owner process).
+pub struct DsmNode<T: Send + 'static> {
+    rank: usize,
+    ep: Endpoint<DsmMsg<T>>,
+    dir: Arc<Directory>,
+    cache: HashMap<LocId, (u64, T)>,
+    /// Per-location window of recent versions (only when `history > 0`).
+    versions: HashMap<LocId, std::collections::VecDeque<(u64, T)>>,
+    /// How many past versions to retain per location.
+    history: usize,
+    /// Applied-update log (history mode only): rollback consumers drain it
+    /// with [`take_update_log`](DsmNode::take_update_log) to learn which
+    /// `(loc, age)` pairs changed since they last looked.
+    update_log: Vec<(LocId, u64)>,
+    /// Write coalescing (Mermera-style, §2.1): propagate only every k-th
+    /// write per location (1 = every write). The local copy is always
+    /// current; peers see the latest value at a coarser cadence.
+    coalesce: u64,
+    /// Writes since the last propagation, per location.
+    pending_writes: HashMap<LocId, u64>,
+    /// Highest barrier epoch released (observed from the coordinator).
+    released: u64,
+    /// Coordinator only: arrival counts per epoch.
+    arrivals: HashMap<u64, usize>,
+    stats: DsmStats,
+    shared_stats: Arc<Mutex<Vec<DsmStats>>>,
+}
+
+impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
+    pub(crate) fn new(
+        rank: usize,
+        ep: Endpoint<DsmMsg<T>>,
+        dir: Arc<Directory>,
+        initial: HashMap<LocId, (u64, T)>,
+        history: usize,
+        shared_stats: Arc<Mutex<Vec<DsmStats>>>,
+    ) -> Self {
+        // (coalesce is configured post-construction by the world)
+        DsmNode {
+            rank,
+            ep,
+            dir,
+            cache: initial,
+            versions: HashMap::new(),
+            history,
+            update_log: Vec::new(),
+            coalesce: 1,
+            pending_writes: HashMap::new(),
+            released: 0,
+            arrivals: HashMap::new(),
+            stats: DsmStats::default(),
+            shared_stats,
+        }
+    }
+
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn ranks(&self) -> usize {
+        self.ep.ranks()
+    }
+
+    /// Whether this rank is a registered reader of `loc` (sparse
+    /// migration topologies make islands read only their neighbours).
+    pub fn is_reader(&self, loc: LocId) -> bool {
+        self.dir.meta(loc).readers.contains(&self.rank)
+    }
+
+    /// Write a new value of `loc`, generated in the writer's iteration
+    /// `iter`. Updates the local copy and pushes the value to every
+    /// registered reader (direct sends, §4.1 of the paper). Under write
+    /// coalescing ([`set_coalescing`](DsmNode::set_coalescing)) only
+    /// every k-th write per location is propagated — the DSM-level
+    /// amortization the paper credits to Mermera (§2.1): multiple updates
+    /// of one location collapse into a single message carrying the
+    /// latest value.
+    pub fn write(&mut self, ctx: &mut Ctx, loc: LocId, value: T, iter: u64) {
+        let meta = self.dir.meta(loc);
+        assert_eq!(
+            meta.writer, self.rank,
+            "rank {} writing location `{}` owned by rank {}",
+            self.rank, meta.name, meta.writer
+        );
+        self.stats.writes += 1;
+        let pending = self.pending_writes.entry(loc).or_insert(0);
+        *pending += 1;
+        // Retirement sentinels always flush (termination must propagate).
+        let due = *pending >= self.coalesce || iter == RETIRE_AGE;
+        if due {
+            *pending = 0;
+            let readers = meta.readers.clone();
+            if !readers.is_empty() {
+                self.stats.updates_sent += readers.len() as u64;
+                // One pack, one wire frame on broadcast media (pvm_mcast).
+                self.ep.multicast(
+                    ctx,
+                    &readers,
+                    DsmMsg::Update {
+                        loc,
+                        age: iter,
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+        self.cache.insert(loc, (iter, value));
+        self.flush_stats();
+    }
+
+    /// Enable write coalescing: propagate only every `k`-th write per
+    /// location (`k = 1` restores write-through). The local copy is
+    /// always current; remote readers trade staleness for ~k× fewer
+    /// messages — which is why coalescing composes naturally with
+    /// `Global_Read`'s staleness bound.
+    pub fn set_coalescing(&mut self, k: u64) {
+        assert!(k >= 1, "coalescing factor must be at least 1");
+        self.coalesce = k;
+    }
+
+    /// The paper's `Global_Read(locn, curr_iter, age)`: return the cached
+    /// value if it was generated no earlier than iteration
+    /// `curr_iter − age` of the writer, else block until such a value
+    /// arrives. Returns `(generation_age, value)`.
+    pub fn global_read(&mut self, ctx: &mut Ctx, loc: LocId, curr_iter: u64, age: u64) -> (u64, T) {
+        let out = self.global_read_ex(ctx, loc, curr_iter, age);
+        (out.age, out.value)
+    }
+
+    /// [`global_read`](DsmNode::global_read) with the observability an
+    /// adaptive controller ([`AgeController`](crate::AgeController))
+    /// needs: whether the read blocked, and for how long.
+    pub fn global_read_ex(
+        &mut self,
+        ctx: &mut Ctx,
+        loc: LocId,
+        curr_iter: u64,
+        age: u64,
+    ) -> ReadOutcome<T> {
+        let required = curr_iter.saturating_sub(age);
+        self.drain(ctx);
+        if let Some((have, v)) = self.cache.get(&loc) {
+            if *have >= required {
+                self.stats.cache_hits += 1;
+                self.flush_stats();
+                return ReadOutcome {
+                    age: *have,
+                    value: v.clone(),
+                    blocked: false,
+                    block_time: SimTime::ZERO,
+                    required,
+                };
+            }
+        }
+        // Blocked path: wait for updates, applying everything that arrives.
+        self.stats.blocked_reads += 1;
+        let t0 = ctx.now();
+        loop {
+            let env = self.ep.recv(ctx);
+            self.apply(env);
+            if let Some((have, v)) = self.cache.get(&loc) {
+                if *have >= required {
+                    let block_time = ctx.now() - t0;
+                    self.stats.block_time += block_time;
+                    let out = ReadOutcome {
+                        age: *have,
+                        value: v.clone(),
+                        blocked: true,
+                        block_time,
+                        required,
+                    };
+                    self.flush_stats();
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Fully asynchronous read: drain pending updates and return whatever
+    /// the cache holds, never blocking. Panics if the location was never
+    /// initialized (give every readable location an initial value).
+    pub fn read_relaxed(&mut self, ctx: &mut Ctx, loc: LocId) -> (u64, T) {
+        self.drain(ctx);
+        let (have, v) = self
+            .cache
+            .get(&loc)
+            .unwrap_or_else(|| panic!("location `{}` has no value", self.dir.meta(loc).name));
+        self.stats.cache_hits += 1;
+        let out = (*have, v.clone());
+        self.flush_stats();
+        out
+    }
+
+    /// Read under a [`Coherence`](crate::Coherence) discipline.
+    pub fn read(
+        &mut self,
+        ctx: &mut Ctx,
+        loc: LocId,
+        curr_iter: u64,
+        mode: crate::Coherence,
+    ) -> (u64, T) {
+        match mode.required_age(curr_iter) {
+            None => self.read_relaxed(ctx, loc),
+            Some(required) => self.global_read(ctx, loc, required, 0),
+        }
+    }
+
+    /// Publish a final "infinitely fresh" update of `loc` so readers still
+    /// blocked on this writer unblock and can observe termination
+    /// ([`RETIRE_AGE`]). Call once per owned location when leaving the
+    /// computation under a barrier-free discipline.
+    pub fn retire(&mut self, ctx: &mut Ctx, loc: LocId, value: T) {
+        self.write(ctx, loc, value, RETIRE_AGE);
+    }
+
+    /// The exact version of `loc` generated at iteration `age`, if it is
+    /// in the retained window (requires a world built
+    /// [`with_history`](crate::DsmWorld::with_history)). Non-blocking and
+    /// local; drains nothing.
+    pub fn get_version(&self, loc: LocId, age: u64) -> Option<&T> {
+        if let Some(w) = self.versions.get(&loc) {
+            if let Some((_, v)) = w.iter().find(|(a, _)| *a == age) {
+                return Some(v);
+            }
+        }
+        match self.cache.get(&loc) {
+            Some((a, v)) if *a == age => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Block until the exact version of `loc` for iteration `age` arrives,
+    /// returning it — or [`Retired`] if the writer published its
+    /// retirement sentinel instead. Used by the synchronous logic-sampling
+    /// discipline, which needs per-iteration values.
+    pub fn wait_version(&mut self, ctx: &mut Ctx, loc: LocId, age: u64) -> Result<T, Retired> {
+        self.drain(ctx);
+        loop {
+            let hit = self.get_version(loc, age).cloned();
+            if let Some(out) = hit {
+                self.stats.cache_hits += 1;
+                self.flush_stats();
+                return Ok(out);
+            }
+            match self.cache.get(&loc) {
+                Some((a, _)) if *a == RETIRE_AGE => {
+                    self.flush_stats();
+                    return Err(Retired);
+                }
+                Some((a, _)) if *a > age => panic!(
+                    "version {age} of `{}` was evicted (latest {a}, window {}); \
+                     increase DsmWorld::with_history",
+                    self.dir.meta(loc).name,
+                    self.history
+                ),
+                _ => {}
+            }
+            self.stats.blocked_reads += 1;
+            let t0 = ctx.now();
+            let env = self.ep.recv(ctx);
+            self.apply(env);
+            self.stats.block_time += ctx.now() - t0;
+        }
+    }
+
+    /// Apply all pending updates without blocking.
+    pub fn drain(&mut self, ctx: &mut Ctx) {
+        while let Some(env) = self.ep.try_recv(ctx) {
+            self.apply(env);
+        }
+    }
+
+    /// The age of the cached copy of `loc`, if any.
+    pub fn cached_age(&self, loc: LocId) -> Option<u64> {
+        self.cache.get(&loc).map(|(a, _)| *a)
+    }
+
+    /// Message-based barrier: rank 0 coordinates; everyone else announces
+    /// arrival and waits for the release. Updates arriving during the wait
+    /// are applied (they are not lost). `epoch` must increase by 1 per
+    /// barrier, starting at 1.
+    pub fn barrier(&mut self, ctx: &mut Ctx, epoch: u64) {
+        let p = self.ep.ranks();
+        self.stats.barriers += 1;
+        if p == 1 {
+            self.flush_stats();
+            return;
+        }
+        let t0 = ctx.now();
+        if self.rank == 0 {
+            while self.arrivals.get(&epoch).copied().unwrap_or(0) < p - 1 {
+                let env = self.ep.recv(ctx);
+                self.apply(env);
+            }
+            self.arrivals.remove(&epoch);
+            self.ep.broadcast(ctx, DsmMsg::BarrierRelease { epoch });
+        } else {
+            self.ep.send(ctx, 0, DsmMsg::BarrierArrive { epoch });
+            while self.released < epoch {
+                let env = self.ep.recv(ctx);
+                self.apply(env);
+            }
+        }
+        self.stats.barrier_time += ctx.now() - t0;
+        self.flush_stats();
+    }
+
+    /// Drain the applied-update log (history mode): every `(loc, age)`
+    /// whose value was applied (or corrected) since the previous call.
+    pub fn take_update_log(&mut self) -> Vec<(LocId, u64)> {
+        std::mem::take(&mut self.update_log)
+    }
+
+    /// This node's counters so far.
+    pub fn stats(&self) -> DsmStats {
+        self.stats
+    }
+
+    fn apply(&mut self, env: Envelope<DsmMsg<T>>) {
+        match env.payload {
+            DsmMsg::Update { loc, age, value } => {
+                if self.history > 0 {
+                    // Versioned mode: retain a window of recent versions.
+                    // An update re-using an existing age is a *correction*
+                    // (rollback protocols re-publish amended values) and
+                    // replaces that version in place.
+                    self.update_log.push((loc, age));
+                    let w = self.versions.entry(loc).or_default();
+                    if let Some(slot) = w.iter_mut().find(|(a, _)| *a == age) {
+                        slot.1 = value.clone();
+                    } else {
+                        w.push_back((age, value.clone()));
+                        while w.len() > self.history {
+                            w.pop_front();
+                        }
+                    }
+                    self.stats.updates_applied += 1;
+                    match self.cache.get(&loc) {
+                        Some((have, _)) if *have > age => {}
+                        _ => {
+                            self.cache.insert(loc, (age, value));
+                        }
+                    }
+                    self.flush_stats();
+                    return;
+                }
+                match self.cache.get(&loc) {
+                    Some((have, _)) if *have > age => {
+                        // FIFO channels make this rare, but guard anyway:
+                        // never replace a newer value with an older one.
+                        self.stats.updates_stale += 1;
+                    }
+                    _ => {
+                        self.cache.insert(loc, (age, value));
+                        self.stats.updates_applied += 1;
+                    }
+                }
+            }
+            DsmMsg::BarrierArrive { epoch } => {
+                debug_assert_eq!(self.rank, 0, "only rank 0 coordinates barriers");
+                *self.arrivals.entry(epoch).or_insert(0) += 1;
+            }
+            DsmMsg::BarrierRelease { epoch } => {
+                self.released = self.released.max(epoch);
+            }
+        }
+    }
+
+    fn flush_stats(&self) {
+        self.shared_stats.lock()[self.rank] = self.stats;
+    }
+}

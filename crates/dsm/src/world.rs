@@ -1,0 +1,124 @@
+//! Construction of a DSM world: directory + communication layer + per-rank
+//! nodes with seeded initial values.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use nscc_msg::{CommStats, CommWorld, MsgConfig};
+use nscc_net::{Network, WarpMeter};
+
+use crate::directory::{Directory, LocId};
+use crate::node::{DsmMsg, DsmNode, DsmStats};
+
+/// A DSM spanning `ranks` processes over one simulated network.
+///
+/// Build it once, hand each rank its [`DsmNode`] via
+/// [`node`](DsmWorld::node), then read aggregate statistics after the run.
+pub struct DsmWorld<T: Send + 'static> {
+    comm: CommWorld<DsmMsg<T>>,
+    dir: Arc<Directory>,
+    initial: HashMap<LocId, T>,
+    history: usize,
+    coalesce: u64,
+    stats: Arc<Mutex<Vec<DsmStats>>>,
+}
+
+impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
+    /// Create a world of `ranks` nodes over `net` with the given directory.
+    pub fn new(net: Network, ranks: usize, cfg: MsgConfig, dir: Directory) -> Self {
+        DsmWorld {
+            comm: CommWorld::new(net, ranks, cfg),
+            dir: Arc::new(dir),
+            initial: HashMap::new(),
+            history: 0,
+            coalesce: 1,
+            stats: Arc::new(Mutex::new(vec![DsmStats::default(); ranks])),
+        }
+    }
+
+    /// Attach a warp meter to the underlying message layer.
+    pub fn with_warp(mut self, warp: WarpMeter) -> Self {
+        self.comm = self.comm.with_warp(warp);
+        self
+    }
+
+    /// Propagate only every `k`-th write per location from every node
+    /// (Mermera-style update coalescing; see
+    /// [`DsmNode::set_coalescing`]).
+    pub fn with_coalescing(mut self, k: u64) -> Self {
+        assert!(k >= 1, "coalescing factor must be at least 1");
+        self.coalesce = k;
+        self
+    }
+
+    /// Retain a window of `depth` past versions per location in every
+    /// cache, enabling [`DsmNode::get_version`]/[`DsmNode::wait_version`]
+    /// (needed by rollback-style consumers that read per-iteration values).
+    pub fn with_history(mut self, depth: usize) -> Self {
+        self.history = depth;
+        self
+    }
+
+    /// Seed `loc` with an initial value (age 0) in every cache that can see
+    /// it. Reads with a requirement of age ≥ 0 succeed immediately on it.
+    pub fn set_initial(&mut self, loc: LocId, value: T) {
+        self.initial.insert(loc, value);
+    }
+
+    /// The static directory.
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.comm.ranks()
+    }
+
+    /// Build the node for `rank`; call once per rank and move the node into
+    /// that rank's process closure.
+    pub fn node(&self, rank: usize) -> DsmNode<T> {
+        let mut cache = HashMap::new();
+        for (loc, meta) in self.dir.iter() {
+            if meta.writer == rank || meta.readers.contains(&rank) {
+                if let Some(v) = self.initial.get(&loc) {
+                    cache.insert(loc, (0u64, v.clone()));
+                }
+            }
+        }
+        let mut node = DsmNode::new(
+            rank,
+            self.comm.endpoint(rank),
+            Arc::clone(&self.dir),
+            cache,
+            self.history,
+            Arc::clone(&self.stats),
+        );
+        if self.coalesce > 1 {
+            node.set_coalescing(self.coalesce);
+        }
+        node
+    }
+
+    /// Per-rank DSM counters (updated continuously during the run).
+    pub fn stats(&self) -> Vec<DsmStats> {
+        self.stats.lock().clone()
+    }
+
+    /// Sum of all ranks' DSM counters.
+    pub fn total_stats(&self) -> DsmStats {
+        let mut total = DsmStats::default();
+        for s in self.stats.lock().iter() {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Message-layer counters.
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm.stats()
+    }
+}

@@ -1,0 +1,137 @@
+//! The fitness cache — the "software caching technique" the paper applies
+//! to its optimized serial GA [19] to avoid re-evaluating surviving
+//! individuals. Cloned migrants and elitist survivors hit the cache.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::encoding::{decode, Genome};
+use crate::functions::TestFn;
+
+/// Memoizes genome → fitness for one function.
+///
+/// For the noisy F4, the *first sampled* fitness of a genome is cached:
+/// re-evaluating survivors would otherwise resample the noise, which is
+/// exactly the recomputation the caching technique avoids.
+pub struct FitnessCache {
+    func: TestFn,
+    map: HashMap<Vec<u8>, f64>,
+    hits: u64,
+    misses: u64,
+    /// Entry cap; the cache is cleared when full (simple and allocation-
+    /// friendly; in practice GA runs stay far below it).
+    capacity: usize,
+}
+
+impl FitnessCache {
+    /// A cache for `func` with the default capacity.
+    pub fn new(func: TestFn) -> Self {
+        FitnessCache::with_capacity(func, 1 << 20)
+    }
+
+    /// A cache holding at most `capacity` entries.
+    pub fn with_capacity(func: TestFn, capacity: usize) -> Self {
+        FitnessCache {
+            func,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Fitness of `genome`, evaluating (and caching) on a miss. Returns
+    /// `(fitness, was_hit)`.
+    pub fn fitness(&mut self, genome: &Genome, rng: &mut StdRng) -> (f64, bool) {
+        if let Some(&f) = self.map.get(genome.as_bytes()) {
+            self.hits += 1;
+            return (f, true);
+        }
+        self.misses += 1;
+        let x = decode(self.func, genome);
+        let f = self.func.eval_noisy(&x, rng.gen::<f64>(), rng.gen::<f64>());
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+        }
+        self.map.insert(genome.as_bytes().to_vec(), f);
+        (f, false)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (true evaluations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn second_lookup_hits() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cache = FitnessCache::new(TestFn::F1Sphere);
+        let g = Genome::random(TestFn::F1Sphere.genome_bits(), &mut rng);
+        let (f1, hit1) = cache.fitness(&g, &mut rng);
+        let (f2, hit2) = cache.fitness(&g, &mut rng);
+        assert!(!hit1 && hit2);
+        assert_eq!(f1, f2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn noisy_f4_fitness_is_stable_once_cached() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cache = FitnessCache::new(TestFn::F4QuarticNoise);
+        let g = Genome::zeros(TestFn::F4QuarticNoise.genome_bits());
+        let (f1, _) = cache.fitness(&g, &mut rng);
+        for _ in 0..5 {
+            let (f, hit) = cache.fitness(&g, &mut rng);
+            assert!(hit);
+            assert_eq!(f, f1, "cached noisy fitness must not be resampled");
+        }
+    }
+
+    #[test]
+    fn capacity_overflow_clears_but_keeps_working() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cache = FitnessCache::with_capacity(TestFn::F1Sphere, 4);
+        for _ in 0..20 {
+            let g = Genome::random(TestFn::F1Sphere.genome_bits(), &mut rng);
+            let _ = cache.fitness(&g, &mut rng);
+        }
+        assert!(cache.len() <= 4);
+        assert_eq!(cache.misses(), 20);
+    }
+
+    #[test]
+    fn distinct_genomes_are_distinct_entries() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cache = FitnessCache::new(TestFn::F2Rosenbrock);
+        let a = Genome::zeros(TestFn::F2Rosenbrock.genome_bits());
+        let mut b = a.clone();
+        b.flip(0);
+        let (fa, _) = cache.fitness(&a, &mut rng);
+        let (fb, _) = cache.fitness(&b, &mut rng);
+        assert_ne!(fa, fb);
+        assert_eq!(cache.len(), 2);
+    }
+}

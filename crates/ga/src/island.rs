@@ -1,0 +1,392 @@
+//! The island-model parallel GA program (§3.1, §4.2.1): one deme per
+//! simulated process; every generation each island broadcasts its best
+//! `N/2` individuals through the DSM and incorporates migrants from every
+//! peer under the configured coherence discipline.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nscc_dsm::{AgeController, Coherence, DsmNode, LocId};
+use nscc_sim::{Ctx, SimTime};
+
+use crate::cost::CostModel;
+use crate::functions::TestFn;
+use crate::params::GaParams;
+use crate::population::{Deme, GenWork, Individual};
+
+/// The migrant batch exchanged between islands.
+pub type MigrantBatch = Vec<Individual>;
+
+/// Migration topology (§3.1: migration "is controlled by several
+/// parameters: interval, rate, and topology"). The paper's experiments
+/// broadcast to everyone; ring and random-k are the standard sparse
+/// alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every island reads every other island (the paper's setup).
+    AllToAll,
+    /// Bidirectional ring.
+    Ring,
+    /// Each island's migrants reach `k` random others.
+    Random {
+        /// Out-degree of every island.
+        k: usize,
+    },
+}
+
+impl Topology {
+    /// Build the migrant-location directory for this topology.
+    pub fn build_directory(self, ranks: usize, seed: u64) -> (nscc_dsm::Directory, Vec<LocId>) {
+        let mut dir = nscc_dsm::Directory::new();
+        let locs = match self {
+            Topology::AllToAll => dir.add_per_rank("best", ranks),
+            Topology::Ring => dir.add_ring("best", ranks),
+            Topology::Random { k } => dir.add_random_topology("best", ranks, k, seed),
+        };
+        (dir, locs)
+    }
+}
+
+/// When an island stops evolving (§5.1: the synchronous program runs a
+/// fixed 1000 generations; the asynchronous and controlled versions run
+/// "for enough generations so that the subpopulation converged further
+/// than the synchronous version").
+#[derive(Debug, Clone, Copy)]
+pub enum StopPolicy {
+    /// Run exactly this many generations (the synchronous protocol).
+    FixedGenerations(u64),
+    /// Run until every island's best-ever fitness reaches `target`, with
+    /// a hard generation `cap` for runs that never get there.
+    TargetQuality {
+        /// Fitness every deme must reach.
+        target: f64,
+        /// Generation cap.
+        cap: u64,
+    },
+}
+
+/// Per-island configuration for one parallel GA run.
+#[derive(Debug, Clone)]
+pub struct IslandConfig {
+    /// Objective function.
+    pub func: TestFn,
+    /// Per-deme GA parameters (the paper's N=50 defaults).
+    pub params: GaParams,
+    /// Compute-cost model for the island's node.
+    pub cost: CostModel,
+    /// Coherence discipline for migrant reads.
+    pub mode: Coherence,
+    /// Migrants broadcast per generation (the paper uses N/2 = 25).
+    pub migration_count: usize,
+    /// Stopping rule.
+    pub stop: StopPolicy,
+    /// Dynamic staleness control (§6 future work): when set, a
+    /// [`PartialAsync`](Coherence::PartialAsync) island adapts its age
+    /// bound within `(min, max)` from observed blocking and slack.
+    pub adaptive: Option<(u64, u64)>,
+}
+
+impl IslandConfig {
+    /// The paper's configuration for `func` under `mode` with the given
+    /// stopping rule.
+    pub fn paper(func: TestFn, mode: Coherence, stop: StopPolicy) -> Self {
+        IslandConfig {
+            func,
+            params: GaParams::default(),
+            cost: CostModel::default(),
+            mode,
+            migration_count: 25,
+            stop,
+            adaptive: None,
+        }
+    }
+}
+
+/// What one island reports at the end of a run.
+#[derive(Debug, Clone)]
+pub struct IslandOutcome {
+    /// The island's rank.
+    pub rank: usize,
+    /// Generations it executed.
+    pub generations: u64,
+    /// Its best-ever fitness.
+    pub best: f64,
+    /// Mean fitness of its final population (solution-quality metric).
+    pub mean_fitness: f64,
+    /// Virtual time at which it first reached the target, if it did.
+    pub time_to_target: Option<SimTime>,
+    /// Virtual time at which its best-ever fitness last improved.
+    pub time_of_last_improvement: SimTime,
+    /// Virtual time at which it left the generation loop.
+    pub end_time: SimTime,
+    /// Total GA work it performed.
+    pub work: GenWork,
+}
+
+/// Harness-side convergence oracle: tracks which islands have reached the
+/// quality target so that every island can stop as soon as all have.
+///
+/// This is *measurement machinery*, not part of the simulated protocol
+/// (zero virtual cost) — the paper equivalently ran a generous fixed
+/// generation count and verified convergence offline for all 25 trials.
+#[derive(Clone)]
+pub struct ConvergenceBoard {
+    done: Arc<Mutex<Vec<bool>>>,
+}
+
+impl ConvergenceBoard {
+    /// A board for `ranks` islands.
+    pub fn new(ranks: usize) -> Self {
+        ConvergenceBoard {
+            done: Arc::new(Mutex::new(vec![false; ranks])),
+        }
+    }
+
+    /// Mark `rank` as converged.
+    pub fn mark(&self, rank: usize) {
+        self.done.lock()[rank] = true;
+    }
+
+    /// True once every island is marked.
+    pub fn all_done(&self) -> bool {
+        self.done.lock().iter().all(|&d| d)
+    }
+
+    /// Number of islands marked so far.
+    pub fn count(&self) -> usize {
+        self.done.lock().iter().filter(|&&d| d).count()
+    }
+}
+
+/// Run one island inside its simulated process. `locs[r]` is the shared
+/// migrant location written by rank `r` (see
+/// [`Directory::add_per_rank`](nscc_dsm::Directory::add_per_rank)).
+pub fn run_island(
+    ctx: &mut Ctx,
+    mut node: DsmNode<MigrantBatch>,
+    locs: &[LocId],
+    cfg: &IslandConfig,
+    board: &ConvergenceBoard,
+) -> IslandOutcome {
+    let rank = node.rank();
+    let p = node.ranks();
+    assert_eq!(locs.len(), p, "one migrant location per rank");
+
+    let mut deme = Deme::new(cfg.func, cfg.params.clone(), ctx.rng());
+    let mut gen: u64 = 0;
+    let mut time_to_target: Option<SimTime> = None;
+    let mut last_incorporated: Vec<u64> = vec![0; p];
+    let mut best_seen = f64::INFINITY;
+    let mut last_improvement = SimTime::ZERO;
+    let mut controller = match (cfg.adaptive, cfg.mode) {
+        (Some((min, max)), Coherence::PartialAsync { age }) => {
+            Some(AgeController::new(age, min, max))
+        }
+        _ => None,
+    };
+    let (target, max_generations, quality_stop) = match cfg.stop {
+        StopPolicy::FixedGenerations(g) => (f64::NEG_INFINITY, g, false),
+        StopPolicy::TargetQuality { target, cap } => (target, cap, true),
+    };
+
+    // An island that starts at the target still participates (writes) until
+    // everyone is done, so peers' reads stay satisfiable.
+    if quality_stop && deme.best_ever().fitness <= target {
+        time_to_target = Some(ctx.now());
+        board.mark(rank);
+    }
+
+    while gen < max_generations {
+        gen += 1;
+
+        // Compute phase: one generation of real GA math, charged to the
+        // virtual clock through the cost model.
+        let work = deme.step(ctx.rng());
+        let cost = cfg.cost.generation_cost(work, ctx.rng());
+        ctx.advance(cost);
+
+        if p > 1 {
+            // Publish this generation's best individuals (age = gen).
+            node.write(ctx, locs[rank], deme.migrants(cfg.migration_count), gen);
+
+            // Incorporate migrants from every peer under the discipline —
+            // but only batches not seen before ("incorporate migrants
+            // into its population as and when they arrive", §3.1): a
+            // starved deme evolves alone, which is exactly the premature-
+            // convergence risk stale asynchrony carries.
+            for (q, &loc) in locs.iter().enumerate() {
+                if q == rank || !node.is_reader(loc) {
+                    continue;
+                }
+                let (age, migrants) = match &mut controller {
+                    Some(ctl) => {
+                        let out = node.global_read_ex(ctx, loc, gen, ctl.current());
+                        ctl.observe(out.blocked, out.slack());
+                        (out.age, out.value)
+                    }
+                    None => node.read(ctx, loc, gen, cfg.mode),
+                };
+                if age > last_incorporated[q] {
+                    last_incorporated[q] = age;
+                    deme.incorporate(&migrants);
+                }
+            }
+        }
+
+        if deme.best_ever().fitness < best_seen {
+            best_seen = deme.best_ever().fitness;
+            last_improvement = ctx.now();
+        }
+        if quality_stop && time_to_target.is_none() && deme.best_ever().fitness <= target {
+            time_to_target = Some(ctx.now());
+            board.mark(rank);
+        }
+
+        // The exit decision must be taken at the same protocol point on
+        // every island. Under the barrier discipline, marks posted before
+        // barrier `gen` are visible to *all* islands after it and marks of
+        // later generations to none, so the post-barrier check is
+        // consistent and every island leaves at the same generation. The
+        // barrier-free disciplines tolerate ragged exits via the
+        // retirement sentinel below. (Fixed-generation runs exit in
+        // lockstep by construction.)
+        if cfg.mode.uses_barrier() && p > 1 {
+            node.barrier(ctx, gen);
+        }
+        if quality_stop && board.all_done() {
+            break;
+        }
+    }
+
+    // Retirement: publish a final, "infinitely fresh" update so that any
+    // peer still blocked in Global_Read on this island unblocks and can
+    // observe termination itself.
+    if p > 1 && !cfg.mode.uses_barrier() {
+        node.write(
+            ctx,
+            locs[rank],
+            deme.migrants(cfg.migration_count),
+            u64::MAX,
+        );
+    }
+
+    IslandOutcome {
+        rank,
+        generations: gen,
+        best: deme.best_ever().fitness,
+        mean_fitness: deme.mean_fitness(),
+        time_to_target,
+        time_of_last_improvement: last_improvement,
+        end_time: ctx.now(),
+        work: deme.total_work(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscc_dsm::{Directory, DsmWorld};
+    use nscc_msg::MsgConfig;
+    use nscc_net::{IdealMedium, Network};
+    use nscc_sim::SimBuilder;
+
+    fn run_modes(mode: Coherence, seed: u64) -> Vec<IslandOutcome> {
+        let ranks = 3;
+        let mut dir = Directory::new();
+        let locs = dir.add_per_rank("best", ranks);
+        let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(
+            Network::new(IdealMedium::new(SimTime::from_millis(1))),
+            ranks,
+            MsgConfig::default(),
+            dir,
+        );
+        for &l in &locs {
+            world.set_initial(l, Vec::new());
+        }
+        let board = ConvergenceBoard::new(ranks);
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = SimBuilder::new(seed);
+        for r in 0..ranks {
+            let node = world.node(r);
+            let locs = locs.clone();
+            let board = board.clone();
+            let outcomes = Arc::clone(&outcomes);
+            let cfg = IslandConfig {
+                cost: CostModel::deterministic(),
+                ..IslandConfig::paper(
+                    TestFn::F1Sphere,
+                    mode,
+                    StopPolicy::TargetQuality {
+                        target: 0.01,
+                        cap: 120,
+                    },
+                )
+            };
+            sim.spawn(format!("island{r}"), move |ctx| {
+                let out = run_island(ctx, node, &locs, &cfg, &board);
+                outcomes.lock().push(out);
+            });
+        }
+        sim.run().unwrap();
+        let mut v = Arc::try_unwrap(outcomes)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        v.sort_by_key(|o| o.rank);
+        v
+    }
+
+    #[test]
+    fn all_modes_run_to_completion_and_converge() {
+        for mode in [
+            Coherence::Synchronous,
+            Coherence::FullyAsync,
+            Coherence::PartialAsync { age: 0 },
+            Coherence::PartialAsync { age: 5 },
+        ] {
+            let outs = run_modes(mode, 11);
+            assert_eq!(outs.len(), 3, "{mode}: all islands must report");
+            for o in &outs {
+                assert!(o.generations > 0);
+                assert!(
+                    o.best <= 0.01 || o.generations == 120,
+                    "{mode}: island {} best {} after {} gens",
+                    o.rank,
+                    o.best,
+                    o.generations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_islands_stay_in_generation_lockstep() {
+        let outs = run_modes(Coherence::Synchronous, 13);
+        let gens: Vec<u64> = outs.iter().map(|o| o.generations).collect();
+        let (min, max) = (
+            *gens.iter().min().expect("nonempty"),
+            *gens.iter().max().expect("nonempty"),
+        );
+        assert!(max - min <= 1, "sync generations diverged: {gens:?}");
+    }
+
+    #[test]
+    fn migration_helps_over_isolation() {
+        // With migration (any mode), islands share discoveries; the global
+        // best should be at least as good as the worst isolated deme.
+        let outs = run_modes(Coherence::PartialAsync { age: 2 }, 17);
+        let global_best = outs.iter().map(|o| o.best).fold(f64::INFINITY, f64::min);
+        assert!(global_best <= 0.01, "islands with migration should converge");
+    }
+
+    #[test]
+    fn convergence_board_counts() {
+        let b = ConvergenceBoard::new(3);
+        assert!(!b.all_done());
+        b.mark(0);
+        b.mark(2);
+        assert_eq!(b.count(), 2);
+        b.mark(1);
+        assert!(b.all_done());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the GA building blocks.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nscc_ga::{decode, Deme, GaParams, Genome, TestFn, ALL_FUNCTIONS};
+
+fn any_function() -> impl Strategy<Value = TestFn> {
+    prop::sample::select(ALL_FUNCTIONS.to_vec())
+}
+
+proptest! {
+    /// Decoding any genome stays inside the function's domain.
+    #[test]
+    fn decode_stays_in_limits(f in any_function(), seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Genome::random(f.genome_bits(), &mut rng);
+        let x = decode(f, &g);
+        let (lo, hi) = f.limits();
+        prop_assert_eq!(x.len(), f.dims());
+        for v in x {
+            prop_assert!((lo..=hi).contains(&v), "{} out of [{lo}, {hi}]", v);
+        }
+    }
+
+    /// Crossover redistributes but never invents bits: at every position
+    /// the children carry exactly the parents' bits.
+    #[test]
+    fn crossover_preserves_positional_bits(
+        bits in 1usize..200,
+        point_frac in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Genome::random(bits, &mut rng);
+        let b = Genome::random(bits, &mut rng);
+        let point = ((bits as f64) * point_frac) as usize;
+        let (c, d) = a.crossover(&b, point.min(bits));
+        for i in 0..bits {
+            let parents = [a.get(i), b.get(i)];
+            let children = [c.get(i), d.get(i)];
+            prop_assert!(
+                parents == children || parents == [children[1], children[0]],
+                "bit {i} was invented"
+            );
+        }
+    }
+
+    /// Mutation flips exactly the reported number of bits.
+    #[test]
+    fn mutation_reports_exact_flips(bits in 1usize..200, rate in 0.0f64..1.0, seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original = Genome::random(bits, &mut rng);
+        let mut mutated = original.clone();
+        let flips = mutated.mutate(rate, &mut rng);
+        let actual = (0..bits).filter(|&i| mutated.get(i) != original.get(i)).count();
+        prop_assert_eq!(flips, actual);
+    }
+
+    /// decode_uint round-trips through set bits.
+    #[test]
+    fn decode_uint_roundtrip(value in 0u64..1024, width in 10usize..=10, start in 0usize..20) {
+        let mut g = Genome::zeros(start + width);
+        for i in 0..width {
+            g.set(start + i, (value >> (width - 1 - i)) & 1 == 1);
+        }
+        prop_assert_eq!(g.decode_uint(start, width), value);
+    }
+
+    /// A deme's best-ever fitness never regresses, whatever the seed.
+    #[test]
+    fn best_ever_is_monotone(f in any_function(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut deme = Deme::new(f, GaParams::default(), &mut rng);
+        let mut prev = deme.best_ever().fitness;
+        for _ in 0..10 {
+            deme.step(&mut rng);
+            let now = deme.best_ever().fitness;
+            prop_assert!(now <= prev);
+            prev = now;
+        }
+    }
+
+    /// Incorporation never worsens the population's best and never
+    /// changes its size.
+    #[test]
+    fn incorporate_is_safe(seed in 0u64..500, k in 1usize..30) {
+        let f = TestFn::F1Sphere;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Deme::new(f, GaParams::default(), &mut rng);
+        let b = Deme::new(f, GaParams::default(), &mut rng);
+        let before_best = a.current_best();
+        let before_len = a.population().len();
+        a.incorporate(&b.migrants(k));
+        prop_assert!(a.current_best() <= before_best);
+        prop_assert_eq!(a.population().len(), before_len);
+    }
+}

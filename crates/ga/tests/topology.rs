@@ -1,0 +1,90 @@
+//! Migration-topology integration tests: sparse topologies trade traffic
+//! for mixing speed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nscc_dsm::{Coherence, DsmWorld};
+use nscc_ga::{
+    run_island, ConvergenceBoard, CostModel, IslandConfig, IslandOutcome, MigrantBatch,
+    StopPolicy, TestFn, Topology,
+};
+use nscc_msg::MsgConfig;
+use nscc_net::{IdealMedium, Network};
+use nscc_sim::{SimBuilder, SimTime};
+
+fn run(topology: Topology, ranks: usize, seed: u64) -> (Vec<IslandOutcome>, u64) {
+    let (dir, locs) = topology.build_directory(ranks, seed);
+    let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(
+        Network::new(IdealMedium::new(SimTime::from_millis(1))),
+        ranks,
+        MsgConfig::default(),
+        dir,
+    );
+    for &l in &locs {
+        world.set_initial(l, Vec::new());
+    }
+    let board = ConvergenceBoard::new(ranks);
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = SimBuilder::new(seed);
+    for r in 0..ranks {
+        let node = world.node(r);
+        let locs = locs.clone();
+        let board = board.clone();
+        let outcomes = Arc::clone(&outcomes);
+        let cfg = IslandConfig {
+            cost: CostModel::deterministic(),
+            ..IslandConfig::paper(
+                TestFn::F1Sphere,
+                Coherence::PartialAsync { age: 3 },
+                StopPolicy::FixedGenerations(40),
+            )
+        };
+        sim.spawn(format!("island{r}"), move |ctx| {
+            let out = run_island(ctx, node, &locs, &cfg, &board);
+            outcomes.lock().push(out);
+        });
+    }
+    sim.run().expect("simulation runs");
+    let v = outcomes.lock().clone();
+    (v, world.comm_stats().sent)
+}
+
+#[test]
+fn all_topologies_run_to_completion() {
+    for topology in [
+        Topology::AllToAll,
+        Topology::Ring,
+        Topology::Random { k: 2 },
+    ] {
+        let (outs, sent) = run(topology, 6, 9);
+        assert_eq!(outs.len(), 6, "{topology:?}");
+        assert!(outs.iter().all(|o| o.generations == 40));
+        assert!(sent > 0, "{topology:?} must exchange migrants");
+    }
+}
+
+#[test]
+fn ring_sends_fewer_migrant_copies_than_all_to_all() {
+    let (_, all) = run(Topology::AllToAll, 8, 3);
+    let (_, ring) = run(Topology::Ring, 8, 3);
+    // All-to-all: 7 logical receivers per write; ring: 2.
+    assert!(
+        ring * 3 < all,
+        "ring ({ring}) should send far fewer copies than all-to-all ({all})"
+    );
+}
+
+#[test]
+fn random_topology_respects_out_degree() {
+    let (dir, locs) = Topology::Random { k: 3 }.build_directory(10, 5);
+    for &l in &locs {
+        assert_eq!(dir.meta(l).readers.len(), 3);
+    }
+    // Deterministic per seed.
+    let (dir2, locs2) = Topology::Random { k: 3 }.build_directory(10, 5);
+    for (&a, &b) in locs.iter().zip(&locs2) {
+        assert_eq!(dir.meta(a).readers, dir2.meta(b).readers);
+    }
+}

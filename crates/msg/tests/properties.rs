@@ -1,0 +1,43 @@
+//! Property-based tests of the wire-size accounting.
+
+use proptest::prelude::*;
+use serde::Serialize;
+
+use nscc_msg::wire_size;
+
+#[derive(Serialize, Clone, Debug)]
+struct Migrant {
+    genome: Vec<u8>,
+    fitness: f64,
+}
+
+proptest! {
+    /// Vectors cost a length prefix plus their elements.
+    #[test]
+    fn vec_size_is_prefix_plus_elements(v in prop::collection::vec(any::<u32>(), 0..200)) {
+        prop_assert_eq!(wire_size(&v), 4 + 4 * v.len());
+    }
+
+    /// Structs are the sum of their fields; batches scale linearly.
+    #[test]
+    fn batch_size_is_linear(genome_len in 0usize..64, count in 0usize..40) {
+        let m = Migrant { genome: vec![0; genome_len], fitness: 1.0 };
+        let single = wire_size(&m);
+        prop_assert_eq!(single, 4 + genome_len + 8);
+        let batch = vec![m; count];
+        prop_assert_eq!(wire_size(&batch), 4 + count * single);
+    }
+
+    /// Options cost one byte of tag plus the payload when present.
+    #[test]
+    fn option_size(x in any::<Option<u64>>()) {
+        let expect = match x { Some(_) => 9, None => 1 };
+        prop_assert_eq!(wire_size(&x), expect);
+    }
+
+    /// Strings are length-prefixed UTF-8 bytes.
+    #[test]
+    fn string_size(s in "[a-z]{0,80}") {
+        prop_assert_eq!(wire_size(&s), 4 + s.len());
+    }
+}

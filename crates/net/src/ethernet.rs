@@ -1,0 +1,379 @@
+//! A shared-bus 10 Mbps Ethernet model (the paper's interconnect).
+//!
+//! The defining property of the paper's platform is a *single shared
+//! medium*: every frame from every host serializes onto one 10 Mbps bus, so
+//! latency grows with aggregate offered load and the network exhibits the
+//! queueing feedback loop described in §3.1 of the paper. We model:
+//!
+//! * store-and-forward serialization at `bandwidth` bits/second,
+//! * fragmentation into MTU-sized frames, each paying header overhead,
+//! * a FIFO bus (frames queue behind the in-flight frame),
+//! * propagation delay plus inter-frame gap,
+//! * optional bounded random backoff jitter when the bus is found busy
+//!   (a cheap stand-in for CSMA/CD contention resolution).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nscc_sim::SimTime;
+
+use crate::medium::{Medium, MediumStats, NodeId};
+
+/// Configuration of the shared Ethernet bus.
+#[derive(Debug, Clone)]
+pub struct EthernetConfig {
+    /// Raw bandwidth in bits per second (paper: 10 Mbps).
+    pub bandwidth_bps: f64,
+    /// Maximum payload bytes per frame (Ethernet MTU, 1500).
+    pub mtu: usize,
+    /// Per-frame header/framing overhead in bytes (Ethernet + IP + UDP +
+    /// message-layer header).
+    pub frame_overhead: usize,
+    /// One-way propagation delay plus inter-frame gap.
+    pub propagation: SimTime,
+    /// Upper bound of the uniform random backoff added when the bus is busy
+    /// at submission (0 disables contention jitter).
+    pub max_backoff: SimTime,
+    /// Window over which recent utilization is measured for the collision
+    /// model.
+    pub collision_window: SimTime,
+    /// Utilization above which CSMA/CD collisions start degrading
+    /// effective service time (≈0.6 for classic shared Ethernet).
+    pub collision_knee: f64,
+    /// Strength of the collision degradation (0 disables the model).
+    pub collision_strength: f64,
+}
+
+impl Default for EthernetConfig {
+    /// The paper's platform: 10 Mbps shared Ethernet, 1500-byte MTU,
+    /// ~60 bytes of framing, 50 µs propagation + gap, 200 µs max backoff.
+    fn default() -> Self {
+        EthernetConfig {
+            bandwidth_bps: 10e6,
+            mtu: 1500,
+            frame_overhead: 60,
+            propagation: SimTime::from_micros(50),
+            max_backoff: SimTime::from_micros(200),
+            collision_window: SimTime::from_millis(100),
+            collision_knee: 0.6,
+            collision_strength: 5.0,
+        }
+    }
+}
+
+/// The shared-bus Ethernet medium. See the module docs for the model.
+///
+/// Besides FIFO serialization, the bus models **congestion collapse**: a
+/// CSMA/CD medium loses effective capacity to collisions as utilization
+/// climbs, so offered load beyond the knee inflates service times
+/// super-linearly ("moving the network to unstable conditions and thus
+/// unboundedly increasing the communication delay", §1 of the paper —
+/// the pathology receiver-driven flow control exists to prevent).
+pub struct EthernetBus {
+    cfg: EthernetConfig,
+    /// Instant at which the bus finishes its last accepted transmission.
+    bus_free: SimTime,
+    /// Recent transmissions `(start, wire_seconds)` inside the
+    /// utilization window, for the collision model.
+    recent: std::collections::VecDeque<(SimTime, f64)>,
+    rng: StdRng,
+    stats: MediumStats,
+}
+
+impl EthernetBus {
+    /// A bus with the given configuration; `seed` drives backoff jitter.
+    pub fn new(cfg: EthernetConfig, seed: u64) -> Self {
+        EthernetBus {
+            cfg,
+            bus_free: SimTime::ZERO,
+            recent: std::collections::VecDeque::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xE7E2_17E7_0000_0001),
+            stats: MediumStats::default(),
+        }
+    }
+
+    /// Recent utilization of the bus (wire seconds carried inside the
+    /// collision window ending at `now`).
+    pub fn recent_utilization(&self, now: SimTime) -> f64 {
+        let window = self.cfg.collision_window.as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let horizon = now.saturating_sub(self.cfg.collision_window);
+        let busy: f64 = self
+            .recent
+            .iter()
+            .filter(|(t, _)| *t >= horizon)
+            .map(|(_, w)| *w)
+            .sum();
+        busy / window
+    }
+
+    /// Collision-induced service-time multiplier at utilization `rho`.
+    fn collision_factor(&self, rho: f64) -> f64 {
+        if self.cfg.collision_strength <= 0.0 || rho <= self.cfg.collision_knee {
+            return 1.0;
+        }
+        let over = rho - self.cfg.collision_knee;
+        let f = 1.0 + self.cfg.collision_strength * over * over / (1.02 - rho.min(1.0)).max(0.02);
+        f.min(12.0) // collisions degrade Ethernet to ~1/12 capacity at worst
+    }
+
+    /// The paper's 10 Mbps Ethernet with default parameters.
+    pub fn ten_mbps(seed: u64) -> Self {
+        EthernetBus::new(EthernetConfig::default(), seed)
+    }
+
+    /// Serialization time for `wire_bytes` at the configured bandwidth.
+    fn tx_time(&self, wire_bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(wire_bytes as f64 * 8.0 / self.cfg.bandwidth_bps)
+    }
+
+    /// Total bytes on the wire for a message of `payload` bytes, after
+    /// fragmentation into MTU-sized frames.
+    fn wire_bytes(&self, payload: usize) -> u64 {
+        let frames = payload.div_ceil(self.cfg.mtu).max(1);
+        (payload + frames * self.cfg.frame_overhead) as u64
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &EthernetConfig {
+        &self.cfg
+    }
+}
+
+impl Medium for EthernetBus {
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        _src: NodeId,
+        _dst: NodeId,
+        payload_bytes: usize,
+    ) -> SimTime {
+        let wire = self.wire_bytes(payload_bytes);
+        let mut tx = self.tx_time(wire);
+
+        // Contention: if the bus is busy, wait for it and pay a bounded
+        // random backoff (deterministic given the seed and call order).
+        let mut start = now;
+        if self.bus_free > now {
+            start = self.bus_free;
+            if !self.cfg.max_backoff.is_zero() {
+                let backoff = self.rng.gen_range(0..=self.cfg.max_backoff.as_nanos());
+                start += SimTime::from_nanos(backoff);
+            }
+        }
+
+        // Congestion collapse: collisions inflate the effective service
+        // time once recent *offered* load (submission-time, uninflated
+        // wire time) passes the knee. Offered load is the causal driver:
+        // when senders throttle, the window drains and the bus recovers —
+        // a backlog being worked off does not by itself keep collisions
+        // alive.
+        let horizon = now.saturating_sub(self.cfg.collision_window);
+        while matches!(self.recent.front(), Some((t, _)) if *t < horizon) {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((now, tx.as_secs_f64()));
+        let rho = self.recent_utilization(now);
+        let factor = self.collision_factor(rho);
+        if factor > 1.0 {
+            tx = SimTime::from_secs_f64(tx.as_secs_f64() * factor);
+        }
+
+        let queueing = start - now;
+        let end = start + tx;
+        self.bus_free = end;
+
+        self.stats.frames += 1;
+        self.stats.payload_bytes += payload_bytes as u64;
+        self.stats.wire_bytes += wire;
+        self.stats.queueing = self.stats.queueing.saturating_add(queueing);
+        self.stats.busy = self.stats.busy.saturating_add(tx);
+
+        end + self.cfg.propagation
+    }
+
+    fn transmit_broadcast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        payload_bytes: usize,
+    ) -> Option<SimTime> {
+        // A shared bus is a physical broadcast medium: one frame, all
+        // stations hear it. Model it as a normal transmission.
+        Some(self.transmit(now, src, src, payload_bytes))
+    }
+
+    fn stats(&self) -> MediumStats {
+        self.stats
+    }
+
+    fn next_free(&self, now: SimTime) -> SimTime {
+        self.bus_free.max(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_jitter() -> EthernetBus {
+        let cfg = EthernetConfig {
+            max_backoff: SimTime::ZERO,
+            ..EthernetConfig::default()
+        };
+        EthernetBus::new(cfg, 0)
+    }
+
+    #[test]
+    fn single_frame_latency_matches_formula() {
+        let mut bus = no_jitter();
+        let arrival = bus.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        // (1000 + 60) bytes * 8 / 10 Mbps = 848 us, + 50 us propagation.
+        assert_eq!(arrival, SimTime::from_micros(848 + 50));
+    }
+
+    #[test]
+    fn frames_serialize_on_shared_bus() {
+        let mut bus = no_jitter();
+        let a = bus.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        // Submitted at the same instant by a different pair of nodes: must
+        // queue behind the first frame (shared medium).
+        let b = bus.transmit(SimTime::ZERO, NodeId(2), NodeId(3), 1000);
+        assert_eq!(b - a, SimTime::from_micros(848));
+        assert_eq!(bus.stats().queueing, SimTime::from_micros(848));
+    }
+
+    #[test]
+    fn idle_bus_has_no_queueing() {
+        let mut bus = no_jitter();
+        bus.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        let later = SimTime::from_secs(1);
+        bus.transmit(later, NodeId(0), NodeId(1), 100);
+        assert_eq!(bus.stats().queueing, SimTime::ZERO);
+    }
+
+    #[test]
+    fn fragmentation_pays_overhead_per_frame() {
+        let mut bus = no_jitter();
+        // 3001 bytes -> 3 frames -> 3 * 60 bytes overhead.
+        bus.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 3001);
+        assert_eq!(bus.stats().wire_bytes, 3001 + 3 * 60);
+    }
+
+    #[test]
+    fn zero_byte_message_still_sends_one_frame() {
+        let mut bus = no_jitter();
+        let arrival = bus.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 0);
+        assert!(arrival > SimTime::ZERO);
+        assert_eq!(bus.stats().wire_bytes, 60);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut bus = EthernetBus::ten_mbps(seed);
+            let mut times = Vec::new();
+            for _ in 0..10 {
+                times.push(bus.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 500));
+            }
+            times
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn sustained_load_half_bandwidth_keeps_up() {
+        // Offer 5 Mbps to a 10 Mbps bus: queueing should stay bounded.
+        let mut bus = no_jitter();
+        let frame = 1000usize; // 1060 wire bytes = 848 us tx
+        let interval = SimTime::from_micros(1696); // twice the tx time
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            bus.transmit(now, NodeId(0), NodeId(1), frame);
+            now += interval;
+        }
+        // All queueing comes from at most one in-flight frame.
+        assert_eq!(bus.stats().queueing, SimTime::ZERO);
+    }
+
+    #[test]
+    fn overload_grows_queueing_without_bound() {
+        // Offer 20 Mbps to a 10 Mbps bus: delays must grow.
+        let mut bus = no_jitter();
+        let mut now = SimTime::ZERO;
+        let mut last_delay = SimTime::ZERO;
+        for i in 0..100 {
+            let arrival = bus.transmit(now, NodeId(0), NodeId(1), 1000);
+            let delay = arrival - now;
+            if i > 10 {
+                assert!(delay >= last_delay, "delay should be non-decreasing");
+            }
+            last_delay = delay;
+            now += SimTime::from_micros(424); // half the service time
+        }
+        assert!(last_delay > SimTime::from_millis(10));
+    }
+}
+
+#[cfg(test)]
+mod collision_tests {
+    use super::*;
+
+    #[test]
+    fn light_load_pays_no_collision_penalty() {
+        let mut bus = EthernetBus::ten_mbps(0);
+        // ~20% utilization: 1000B frames every 4 ms.
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            bus.transmit(now, NodeId(0), NodeId(1), 1000);
+            now += SimTime::from_millis(4);
+        }
+        assert!(bus.recent_utilization(now) < 0.6);
+        // Service time of a fresh frame equals the uncongested formula.
+        let arrival = bus.transmit(now + SimTime::from_secs(1), NodeId(0), NodeId(1), 1000);
+        let expect = SimTime::from_micros(848 + 50);
+        assert_eq!(arrival - (now + SimTime::from_secs(1)), expect);
+    }
+
+    #[test]
+    fn overload_collapses_throughput() {
+        // Offer ~110% of capacity: collisions must inflate delays far
+        // beyond plain queueing.
+        let serve = |strength: f64| {
+            let cfg = EthernetConfig {
+                max_backoff: SimTime::ZERO,
+                collision_strength: strength,
+                ..EthernetConfig::default()
+            };
+            let mut bus = EthernetBus::new(cfg, 0);
+            let mut now = SimTime::ZERO;
+            let mut last = SimTime::ZERO;
+            for _ in 0..600 {
+                last = bus.transmit(now, NodeId(0), NodeId(1), 1200);
+                now += SimTime::from_micros(920); // ~110% offered
+            }
+            last
+        };
+        let stable = serve(0.0);
+        let collapsing = serve(2.0);
+        assert!(
+            collapsing.as_secs_f64() > stable.as_secs_f64() * 1.5,
+            "collision model should amplify overload: {stable} vs {collapsing}"
+        );
+    }
+
+    #[test]
+    fn utilization_window_decays() {
+        let mut bus = EthernetBus::ten_mbps(0);
+        for i in 0..200 {
+            bus.transmit(SimTime::from_micros(900 * i), NodeId(0), NodeId(1), 1000);
+        }
+        let busy_now = bus.recent_utilization(SimTime::from_micros(900 * 200));
+        assert!(busy_now > 0.7, "offered ~94%: {busy_now}");
+        let later = bus.recent_utilization(SimTime::from_secs(10));
+        assert_eq!(later, 0.0, "old frames leave the window");
+    }
+}

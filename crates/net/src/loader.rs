@@ -1,0 +1,118 @@
+//! Background network-load generation (the paper's "network loader
+//! program", §4.3).
+//!
+//! The paper loads the shared Ethernet with 0.5, 1, and 2 Mbps of competing
+//! traffic produced by a loader program running on two extra nodes. We
+//! reproduce that as a pair of daemon processes exchanging fixed-size junk
+//! frames at the rate needed to hit the target offered load.
+
+use nscc_sim::{SimBuilder, SimTime};
+
+use crate::medium::NodeId;
+use crate::network::Network;
+
+/// Parameters of a background load generator.
+#[derive(Debug, Clone)]
+pub struct LoaderConfig {
+    /// Target offered load in bits per second of *payload*.
+    pub target_bps: f64,
+    /// Payload bytes per junk frame.
+    pub frame_bytes: usize,
+    /// The two nodes the loader traffic flows between.
+    pub node_a: NodeId,
+    /// Destination of frames from `node_a` (and source of the reverse flow).
+    pub node_b: NodeId,
+}
+
+impl LoaderConfig {
+    /// A loader between `a` and `b` offering `mbps` megabits/second using
+    /// MTU-sized frames, split evenly across both directions (as a chatty
+    /// loader program would).
+    pub fn mbps(mbps: f64, a: NodeId, b: NodeId) -> Self {
+        LoaderConfig {
+            target_bps: mbps * 1e6,
+            frame_bytes: 1500,
+            node_a: a,
+            node_b: b,
+        }
+    }
+
+    /// Interval between frames for one direction carrying half the load.
+    pub fn frame_interval(&self) -> SimTime {
+        let per_dir_bps = self.target_bps / 2.0;
+        SimTime::from_secs_f64(self.frame_bytes as f64 * 8.0 / per_dir_bps)
+    }
+}
+
+/// Spawn the two loader daemons onto `sim`. They run for the whole
+/// simulation and never block it from finishing (daemons).
+pub fn spawn_loaders(sim: &mut SimBuilder, net: &Network, cfg: &LoaderConfig) {
+    for (name, src, dst) in [
+        ("loader-a", cfg.node_a, cfg.node_b),
+        ("loader-b", cfg.node_b, cfg.node_a),
+    ] {
+        let net = net.clone();
+        let interval = cfg.frame_interval();
+        let bytes = cfg.frame_bytes;
+        sim.spawn_daemon(name, move |ctx| loop {
+            net.inject(ctx.now(), src, dst, bytes);
+            ctx.advance(interval);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::EthernetBus;
+
+    #[test]
+    fn frame_interval_hits_target_rate() {
+        let cfg = LoaderConfig::mbps(1.0, NodeId(4), NodeId(5));
+        // Per direction: 0.5 Mbps with 1500B frames -> 24 ms between frames.
+        assert_eq!(cfg.frame_interval(), SimTime::from_millis(24));
+    }
+
+    #[test]
+    fn loaders_offer_approximately_the_target_load() {
+        let net = Network::new(EthernetBus::ten_mbps(0));
+        let cfg = LoaderConfig::mbps(2.0, NodeId(4), NodeId(5));
+        let mut sim = SimBuilder::new(0);
+        spawn_loaders(&mut sim, &net, &cfg);
+        let horizon = SimTime::from_secs(10);
+        sim.spawn("clock", move |ctx| ctx.advance(horizon));
+        sim.run().unwrap();
+        let bits = net.stats().medium.payload_bytes as f64 * 8.0;
+        let rate = bits / horizon.as_secs_f64();
+        assert!(
+            (rate - 2e6).abs() / 2e6 < 0.05,
+            "offered load {rate:.0} bps should be within 5% of 2 Mbps"
+        );
+    }
+
+    #[test]
+    fn loader_traffic_slows_foreground_messages() {
+        let delay_under = |mbps: f64| {
+            let net = Network::new(EthernetBus::ten_mbps(0));
+            let mut sim = SimBuilder::new(0);
+            if mbps > 0.0 {
+                spawn_loaders(&mut sim, &net, &LoaderConfig::mbps(mbps, NodeId(4), NodeId(5)));
+            }
+            let net2 = net.clone();
+            sim.spawn("fg", move |ctx| {
+                for _ in 0..200 {
+                    ctx.advance(SimTime::from_micros(700));
+                    net2.inject(ctx.now(), NodeId(0), NodeId(1), 800);
+                }
+            });
+            sim.run().unwrap();
+            net.stats().mean_delay()
+        };
+        let unloaded = delay_under(0.0);
+        let loaded = delay_under(8.0);
+        assert!(
+            loaded > unloaded,
+            "8 Mbps background load must raise mean delay ({unloaded} -> {loaded})"
+        );
+    }
+}

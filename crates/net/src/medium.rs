@@ -1,0 +1,141 @@
+//! The [`Medium`] abstraction: how frames acquire arrival times.
+
+use nscc_sim::SimTime;
+
+/// A network node (host) identifier. Distinct from a simulated process id:
+/// several processes could share a node, and loader nodes need no process
+/// mailboxes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Cumulative counters a medium maintains about itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MediumStats {
+    /// Frames accepted for transmission.
+    pub frames: u64,
+    /// Payload bytes accepted (excluding per-frame overhead).
+    pub payload_bytes: u64,
+    /// Bytes actually put on the wire (payload + framing overhead).
+    pub wire_bytes: u64,
+    /// Total time frames spent waiting for the medium (queueing delay).
+    pub queueing: SimTime,
+    /// Total time the medium spent transmitting.
+    pub busy: SimTime,
+}
+
+/// A transmission medium: computes when a frame submitted now will arrive,
+/// updating whatever queue/contention state it keeps.
+///
+/// Implementations must be deterministic: the same sequence of
+/// [`transmit`](Medium::transmit) calls must produce the same arrival times.
+pub trait Medium: Send {
+    /// Submit a frame of `payload_bytes` from `src` to `dst` at virtual time
+    /// `now`; returns the arrival instant at `dst` (strictly `>= now`).
+    fn transmit(&mut self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: usize)
+        -> SimTime;
+
+    /// Submit one *broadcast* frame reaching every node, if the medium
+    /// supports hardware broadcast (a shared bus does: the frame is
+    /// transmitted once and heard by all). Returns `None` when
+    /// unsupported — the caller falls back to unicast fan-out (as on a
+    /// crossbar switch).
+    fn transmit_broadcast(
+        &mut self,
+        _now: SimTime,
+        _src: NodeId,
+        _payload_bytes: usize,
+    ) -> Option<SimTime> {
+        None
+    }
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> MediumStats;
+
+    /// The earliest instant at which the medium could begin a new
+    /// transmission submitted at `now` (i.e. `now` plus any queueing).
+    /// Used for utilization probes and tests.
+    fn next_free(&self, now: SimTime) -> SimTime;
+}
+
+/// An idealized medium with a fixed latency and no contention: every frame
+/// arrives exactly `latency` after submission. Useful as a baseline and for
+/// unit-testing protocol layers without network effects.
+#[derive(Debug, Clone)]
+pub struct IdealMedium {
+    latency: SimTime,
+    stats: MediumStats,
+}
+
+impl IdealMedium {
+    /// A medium with constant `latency` per frame.
+    pub fn new(latency: SimTime) -> Self {
+        IdealMedium {
+            latency,
+            stats: MediumStats::default(),
+        }
+    }
+
+    /// Zero-latency instantaneous medium.
+    pub fn instant() -> Self {
+        IdealMedium::new(SimTime::ZERO)
+    }
+}
+
+impl Medium for IdealMedium {
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        _src: NodeId,
+        _dst: NodeId,
+        payload_bytes: usize,
+    ) -> SimTime {
+        self.stats.frames += 1;
+        self.stats.payload_bytes += payload_bytes as u64;
+        self.stats.wire_bytes += payload_bytes as u64;
+        now + self.latency
+    }
+
+    fn stats(&self) -> MediumStats {
+        self.stats
+    }
+
+    fn next_free(&self, now: SimTime) -> SimTime {
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_medium_fixed_latency() {
+        let mut m = IdealMedium::new(SimTime::from_millis(2));
+        let t0 = SimTime::from_millis(10);
+        assert_eq!(
+            m.transmit(t0, NodeId(0), NodeId(1), 1000),
+            SimTime::from_millis(12)
+        );
+        // No contention: a second frame at the same instant also takes 2 ms.
+        assert_eq!(
+            m.transmit(t0, NodeId(2), NodeId(3), 1000),
+            SimTime::from_millis(12)
+        );
+        assert_eq!(m.stats().frames, 2);
+        assert_eq!(m.stats().payload_bytes, 2000);
+    }
+
+    #[test]
+    fn instant_medium_delivers_now() {
+        let mut m = IdealMedium::instant();
+        let t0 = SimTime::from_secs(1);
+        assert_eq!(m.transmit(t0, NodeId(0), NodeId(1), 64), t0);
+    }
+}

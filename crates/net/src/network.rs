@@ -1,0 +1,215 @@
+//! The [`Network`] handle: shared access to a medium from simulated
+//! processes and events, with delivery scheduling and aggregate statistics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nscc_sim::{Ctx, EventCtx, Mailbox, SimTime};
+
+use crate::medium::{Medium, MediumStats, NodeId};
+
+/// Aggregate network-level statistics (medium counters plus end-to-end
+/// delay bookkeeping).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetStats {
+    /// Counters from the underlying medium.
+    pub medium: MediumStats,
+    /// Messages submitted through this handle.
+    pub messages: u64,
+    /// Sum of end-to-end delays (arrival − submission) for those messages.
+    pub total_delay: SimTime,
+    /// Largest single end-to-end delay observed.
+    pub max_delay: SimTime,
+}
+
+impl NetStats {
+    /// Mean end-to-end delay per message.
+    pub fn mean_delay(&self) -> SimTime {
+        if self.messages == 0 {
+            SimTime::ZERO
+        } else {
+            self.total_delay / self.messages
+        }
+    }
+}
+
+struct NetInner {
+    medium: Box<dyn Medium>,
+    messages: u64,
+    total_delay: SimTime,
+    max_delay: SimTime,
+}
+
+/// A cloneable handle to one simulated interconnect.
+///
+/// All sends from all processes go through the same handle, so the medium
+/// sees the true interleaving of traffic (that is what creates contention).
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Mutex<NetInner>>,
+}
+
+impl Network {
+    /// Wrap a medium.
+    pub fn new(medium: impl Medium + 'static) -> Self {
+        Network {
+            inner: Arc::new(Mutex::new(NetInner {
+                medium: Box::new(medium),
+                messages: 0,
+                total_delay: SimTime::ZERO,
+                max_delay: SimTime::ZERO,
+            })),
+        }
+    }
+
+    /// Submit a message and schedule its delivery into `mailbox` at the
+    /// arrival time computed by the medium. Returns the arrival time.
+    pub fn send_to<T: Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        mailbox: &Mailbox<T>,
+        msg: T,
+    ) -> SimTime {
+        let now = ctx.now();
+        let arrival = self.submit(now, src, dst, payload_bytes);
+        let mb = mailbox.clone();
+        ctx.schedule_fn(arrival - now, move |ec| mb.deliver(ec, msg));
+        arrival
+    }
+
+    /// Like [`send_to`](Network::send_to), but callable from event context
+    /// (used by protocol layers that forward inside events).
+    pub fn send_to_from_event<T: Send + 'static>(
+        &self,
+        ec: &mut EventCtx<'_>,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        mailbox: &Mailbox<T>,
+        msg: T,
+    ) -> SimTime {
+        let now = ec.now();
+        let arrival = self.submit(now, src, dst, payload_bytes);
+        let mb = mailbox.clone();
+        ec.schedule_fn(arrival - now, move |ec2| mb.deliver(ec2, msg));
+        arrival
+    }
+
+    /// Deliver one message to several mailboxes. On broadcast-capable
+    /// media (the shared Ethernet bus) this costs *one* frame on the
+    /// wire; otherwise it falls back to one unicast per destination (as
+    /// on a crossbar switch). Returns the latest arrival time.
+    pub fn multicast_to<T: Clone + Send + 'static>(
+        &self,
+        ctx: &mut Ctx,
+        src: NodeId,
+        dests: &[(NodeId, Mailbox<T>)],
+        payload_bytes: usize,
+        msg: T,
+    ) -> SimTime {
+        let now = ctx.now();
+        let bcast = {
+            let mut inner = self.inner.lock();
+            inner.medium.transmit_broadcast(now, src, payload_bytes)
+        };
+        match bcast {
+            Some(arrival) => {
+                debug_assert!(arrival >= now);
+                let delay = arrival - now;
+                {
+                    let mut inner = self.inner.lock();
+                    inner.messages += 1;
+                    inner.total_delay = inner.total_delay.saturating_add(delay);
+                    inner.max_delay = inner.max_delay.max(delay);
+                }
+                for (_, mb) in dests {
+                    let mb = mb.clone();
+                    let m = msg.clone();
+                    ctx.schedule_fn(delay, move |ec| mb.deliver(ec, m));
+                }
+                arrival
+            }
+            None => {
+                let mut last = now;
+                for (dst, mb) in dests {
+                    last = last.max(self.send_to(ctx, src, *dst, payload_bytes, mb, msg.clone()));
+                }
+                last
+            }
+        }
+    }
+
+    /// Occupy the medium without delivering anything (used by background
+    /// load generators). Returns the arrival time of the junk frame.
+    pub fn inject(&self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimTime {
+        self.submit(now, src, dst, payload_bytes)
+    }
+
+    fn submit(&self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimTime {
+        let mut inner = self.inner.lock();
+        let arrival = inner.medium.transmit(now, src, dst, payload_bytes);
+        debug_assert!(arrival >= now, "medium produced an arrival in the past");
+        let delay = arrival - now;
+        inner.messages += 1;
+        inner.total_delay = inner.total_delay.saturating_add(delay);
+        inner.max_delay = inner.max_delay.max(delay);
+        arrival
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> NetStats {
+        let inner = self.inner.lock();
+        NetStats {
+            medium: inner.medium.stats(),
+            messages: inner.messages,
+            total_delay: inner.total_delay,
+            max_delay: inner.max_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::EthernetBus;
+    use crate::medium::IdealMedium;
+    use nscc_sim::SimBuilder;
+
+    #[test]
+    fn send_to_delivers_at_medium_arrival_time() {
+        let net = Network::new(IdealMedium::new(SimTime::from_millis(4)));
+        let mb: Mailbox<u8> = Mailbox::new("m");
+        let (net2, mb2) = (net.clone(), mb.clone());
+        let mb3 = mb.clone();
+        let mut sim = SimBuilder::new(0);
+        sim.spawn("sender", move |ctx| {
+            ctx.advance(SimTime::from_millis(1));
+            net2.send_to(ctx, NodeId(0), NodeId(1), 128, &mb2, 9);
+        });
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(mb3.recv(ctx), 9);
+            assert_eq!(ctx.now(), SimTime::from_millis(5));
+        });
+        sim.run().unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.mean_delay(), SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn stats_track_max_delay_under_contention() {
+        let net = Network::new(EthernetBus::ten_mbps(0));
+        let t = SimTime::ZERO;
+        for _ in 0..50 {
+            net.inject(t, NodeId(0), NodeId(1), 1500);
+        }
+        let stats = net.stats();
+        assert_eq!(stats.messages, 50);
+        assert!(stats.max_delay > stats.mean_delay());
+        assert!(stats.medium.queueing > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,121 @@
+//! A small undirected graph type for partitioning.
+
+use std::collections::BTreeSet;
+
+/// An undirected graph stored as adjacency lists. Vertices are `0..n`.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Build from an edge list (duplicates and self-loops are ignored).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut seen = BTreeSet::new();
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            let (a, b) = (u.min(v), u.max(v));
+            if a != b && seen.insert((a, b)) {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// Add the undirected edge `{u, v}`. Panics on self-loops or
+    /// out-of-range vertices; does not deduplicate.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(u < self.len() && v < self.len(), "vertex out of range");
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+        self.edges += 1;
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Mean number of edges per node (the statistic Table 2 reports).
+    pub fn edges_per_node(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            self.edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Iterate over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ns)| ns.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_skips_loops() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 0), (2, 2), (2, 3)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn edges_per_node_statistic() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2)]);
+        assert!((g.edges_per_node() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn add_edge_rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types reported by the simulation engine.
+
+use std::fmt;
+
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// A fatal condition that terminated a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// Every runnable process is blocked and no future event can unblock one.
+    ///
+    /// Carries the virtual time of the deadlock and, for each blocked
+    /// process, its pid, name, and the reason string it blocked with.
+    Deadlock {
+        /// Virtual time at which the engine ran out of events.
+        at: SimTime,
+        /// `(pid, name, wait reason)` for every blocked process.
+        blocked: Vec<(Pid, String, String)>,
+    },
+    /// A simulated process panicked; the panic message is captured.
+    ProcessPanicked {
+        /// The process that panicked.
+        pid: Pid,
+        /// Its registered name.
+        name: String,
+        /// The stringified panic payload.
+        message: String,
+    },
+    /// The virtual-time horizon configured via
+    /// [`SimBuilder::time_limit`](crate::SimBuilder::time_limit) was reached.
+    TimeLimitExceeded {
+        /// The configured horizon.
+        limit: SimTime,
+    },
+    /// The event-count safety cap configured via
+    /// [`SimBuilder::event_limit`](crate::SimBuilder::event_limit) was reached.
+    EventLimitExceeded {
+        /// The configured cap.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                writeln!(f, "simulation deadlocked at t={at}: all processes blocked")?;
+                for (pid, name, reason) in blocked {
+                    writeln!(f, "  {pid:?} `{name}` waiting on: {reason}")?;
+                }
+                Ok(())
+            }
+            SimError::ProcessPanicked { pid, name, message } => {
+                write!(f, "process {pid:?} `{name}` panicked: {message}")
+            }
+            SimError::TimeLimitExceeded { limit } => {
+                write!(f, "virtual time limit {limit} exceeded")
+            }
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "event limit {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,270 @@
+//! # nscc-sim — deterministic discrete-event simulation engine
+//!
+//! The substrate beneath the whole NSCC reproduction. Real application code
+//! (the actual genetic algorithm, the actual logic sampler) runs on
+//! dedicated OS threads, but the engine executes exactly one process slice
+//! or event at a time and all waiting happens in **virtual time**, so runs
+//! are fully deterministic for a given seed.
+//!
+//! Key pieces:
+//!
+//! * [`SimTime`] — nanosecond virtual clock.
+//! * [`SimBuilder`] — spawn processes (plain or daemon), set safety caps, run.
+//! * [`Ctx`] — the in-process handle: [`Ctx::advance`] charges compute time,
+//!   [`Ctx::schedule_fn`] defers events, [`Ctx::rng`] gives a seeded RNG.
+//! * [`Mailbox`] — virtual-time FIFO channels between processes; receives
+//!   block in virtual time.
+//! * [`EventCtx`] — what a firing event may do (deliver, wake, reschedule).
+//!
+//! ## Why threads and not an async runtime?
+//!
+//! Blocking style keeps the ported applications byte-for-byte close to their
+//! paper pseudocode, and a rendezvous-driven scheduler gives determinism
+//! that no wall-clock runtime can. Context switches are ~1 µs, far below the
+//! cost of the real math being simulated.
+//!
+//! ```
+//! use nscc_sim::{Mailbox, SimBuilder, SimTime};
+//!
+//! let mb: Mailbox<u64> = Mailbox::new("pings");
+//! let (tx, rx) = (mb.clone(), mb.clone());
+//! let mut sim = SimBuilder::new(7);
+//! sim.spawn("producer", move |ctx| {
+//!     for i in 0..3 {
+//!         ctx.advance(SimTime::from_millis(10)); // compute
+//!         let tx = tx.clone();
+//!         ctx.schedule_fn(SimTime::from_millis(2), move |ec| tx.deliver(ec, i));
+//!     }
+//! });
+//! sim.spawn("consumer", move |ctx| {
+//!     for want in 0..3 {
+//!         assert_eq!(rx.recv(ctx), want);
+//!     }
+//! });
+//! assert_eq!(sim.run().unwrap().end_time, SimTime::from_millis(32));
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod event;
+mod mailbox;
+mod process;
+mod scheduler;
+mod time;
+mod trace;
+
+pub use error::SimError;
+pub use event::{Event, EventCtx};
+pub use mailbox::Mailbox;
+pub use process::{Ctx, Pid};
+pub use scheduler::{SimBuilder, SimReport};
+pub use trace::{Span, SpanKind, Trace, TraceTotals};
+pub use time::SimTime;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let sim = SimBuilder::new(0);
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.processes, 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut sim = SimBuilder::new(0);
+        sim.spawn("p", |ctx| {
+            for _ in 0..5 {
+                ctx.advance(SimTime::from_millis(2));
+            }
+            assert_eq!(ctx.now(), SimTime::from_millis(10));
+        });
+        assert_eq!(sim.run().unwrap().end_time, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn interleaving_is_by_virtual_time() {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = SimBuilder::new(0);
+        for (name, step) in [("a", 3u64), ("b", 5u64)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                for i in 0..3 {
+                    ctx.advance(SimTime::from_millis(step));
+                    log.lock().push((name, i, ctx.now().as_nanos() / 1_000_000));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = log.lock().clone();
+        assert_eq!(
+            got,
+            vec![
+                ("a", 0, 3),
+                ("b", 0, 5),
+                ("a", 1, 6),
+                ("a", 2, 9),
+                ("b", 1, 10),
+                ("b", 2, 15),
+            ]
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once(seed: u64) -> Vec<u64> {
+            let samples = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut sim = SimBuilder::new(seed);
+            for p in 0..4 {
+                let samples = Arc::clone(&samples);
+                sim.spawn(format!("p{p}"), move |ctx| {
+                    use rand::Rng;
+                    for _ in 0..10 {
+                        let jitter: u64 = ctx.rng().gen_range(1..100);
+                        ctx.advance(SimTime::from_micros(jitter));
+                        samples.lock().push(ctx.now().as_nanos());
+                    }
+                });
+            }
+            sim.run().unwrap();
+            let v = samples.lock().clone();
+            v
+        }
+        assert_eq!(run_once(99), run_once(99));
+        assert_ne!(run_once(99), run_once(100));
+    }
+
+    #[test]
+    fn deadlock_is_detected_with_diagnostics() {
+        let mb: Mailbox<()> = Mailbox::new("never");
+        let mut sim = SimBuilder::new(0);
+        let mb2 = mb.clone();
+        sim.spawn("stuck", move |ctx| {
+            let _ = mb2.recv(ctx);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].1, "stuck");
+                assert!(blocked[0].2.contains("never"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_daemon_does_not_deadlock() {
+        let mb: Mailbox<()> = Mailbox::new("quiet");
+        let mut sim = SimBuilder::new(0);
+        let mb2 = mb.clone();
+        sim.spawn_daemon("idle-daemon", move |ctx| {
+            let _ = mb2.recv(ctx);
+        });
+        sim.spawn("worker", |ctx| ctx.advance(SimTime::from_millis(1)));
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn daemon_does_not_prolong_run() {
+        let mut sim = SimBuilder::new(0);
+        sim.spawn_daemon("loader", |ctx| loop {
+            ctx.advance(SimTime::from_millis(1));
+        });
+        sim.spawn("worker", |ctx| ctx.advance(SimTime::from_millis(5)));
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = SimBuilder::new(0);
+        sim.spawn("bad", |ctx| {
+            ctx.advance(SimTime::from_millis(1));
+            panic!("boom at {}", ctx.now());
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message, .. }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_limit_enforced() {
+        let mut sim = SimBuilder::new(0);
+        sim.time_limit(SimTime::from_millis(10));
+        sim.spawn("runner", |ctx| loop {
+            ctx.advance(SimTime::from_millis(3));
+        });
+        assert!(matches!(sim.run(), Err(SimError::TimeLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn event_limit_enforced() {
+        let mut sim = SimBuilder::new(0);
+        sim.event_limit(50);
+        sim.spawn("runner", |ctx| loop {
+            ctx.advance(SimTime::from_millis(1));
+        });
+        assert!(matches!(sim.run(), Err(SimError::EventLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn scheduled_events_fire_in_order() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut sim = SimBuilder::new(0);
+        let c = Arc::clone(&counter);
+        sim.spawn("scheduler", move |ctx| {
+            for i in (0..10u64).rev() {
+                let c = Arc::clone(&c);
+                ctx.schedule_fn(SimTime::from_millis(i), move |ec| {
+                    // Each event asserts it fires after all earlier ones.
+                    let prev = c.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(prev, i, "event at t={} fired out of order", ec.now());
+                });
+            }
+            ctx.advance(SimTime::from_millis(20));
+        });
+        sim.run().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn wake_on_nonblocked_process_is_ignored() {
+        let mut sim = SimBuilder::new(0);
+        let target = sim.spawn("sleeper", |ctx| {
+            ctx.advance(SimTime::from_millis(5));
+        });
+        sim.spawn("waker", move |ctx| {
+            // Sleeper is in an Advance (not Blocked); wake must be a no-op.
+            ctx.schedule_fn(SimTime::from_millis(1), move |ec| ec.wake(target));
+            ctx.advance(SimTime::from_millis(2));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn yield_now_lets_same_instant_events_run() {
+        let mb: Mailbox<u32> = Mailbox::new("inst");
+        let mb2 = mb.clone();
+        let mut sim = SimBuilder::new(0);
+        sim.spawn("p", move |ctx| {
+            let mb3 = mb2.clone();
+            ctx.schedule_fn(SimTime::ZERO, move |ec| mb3.deliver(ec, 1));
+            assert!(mb2.try_recv().is_none(), "event must not fire inline");
+            ctx.yield_now();
+            assert_eq!(mb2.try_recv(), Some(1));
+        });
+        sim.run().unwrap();
+    }
+}

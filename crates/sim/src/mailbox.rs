@@ -1,0 +1,209 @@
+//! Virtual-time mailboxes: the basic inter-process communication channel.
+//!
+//! A [`Mailbox`] is an unbounded FIFO of messages owned by one receiving
+//! process. Deliveries happen from *events* (typically scheduled by a
+//! network model at the computed arrival time); receives happen from the
+//! owning process and block in virtual time until a message is available.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::EventCtx;
+use crate::process::{Ctx, Pid};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    waiter: Option<Pid>,
+    delivered: u64,
+    received: u64,
+}
+
+/// An unbounded virtual-time FIFO channel with a single logical receiver.
+///
+/// Cloning a `Mailbox` clones a handle to the same queue (cheap `Arc`
+/// clone). Access is serialized by the engine (only one process/event runs
+/// at a time), so the internal lock is uncontended.
+pub struct Mailbox<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+    name: String,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Mailbox {
+            inner: Arc::clone(&self.inner),
+            name: self.name.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> Mailbox<T> {
+    /// Create an empty mailbox; `name` appears in deadlock diagnostics.
+    pub fn new(name: impl Into<String>) -> Self {
+        Mailbox {
+            inner: Arc::new(Mutex::new(Inner {
+                queue: VecDeque::new(),
+                waiter: None,
+                delivered: 0,
+                received: 0,
+            })),
+            name: name.into(),
+        }
+    }
+
+    /// Push a message from an event (e.g. a network delivery) and wake the
+    /// receiver if it is blocked in [`recv`](Mailbox::recv).
+    pub fn deliver(&self, ec: &mut EventCtx<'_>, msg: T) {
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(msg);
+        inner.delivered += 1;
+        if let Some(pid) = inner.waiter.take() {
+            ec.wake(pid);
+        }
+    }
+
+    /// Push a message directly from process context **at the current
+    /// instant** (zero-latency local delivery). The wake is scheduled as an
+    /// immediate event.
+    pub fn deliver_now(&self, ctx: &mut Ctx, msg: T) {
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(msg);
+        inner.delivered += 1;
+        if let Some(pid) = inner.waiter.take() {
+            drop(inner);
+            ctx.wake(pid);
+        }
+    }
+
+    /// Blocking receive: suspends the calling process in virtual time until
+    /// a message is available.
+    pub fn recv(&self, ctx: &mut Ctx) -> T {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(msg) = inner.queue.pop_front() {
+                    inner.received += 1;
+                    return msg;
+                }
+                debug_assert!(
+                    inner.waiter.is_none() || inner.waiter == Some(ctx.pid()),
+                    "mailbox `{}` has multiple waiters",
+                    self.name
+                );
+                inner.waiter = Some(ctx.pid());
+            }
+            ctx.block(format!("recv on mailbox `{}`", self.name));
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        let msg = inner.queue.pop_front();
+        if msg.is_some() {
+            inner.received += 1;
+        }
+        msg
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True if no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total messages ever delivered into this mailbox.
+    pub fn total_delivered(&self) -> u64 {
+        self.inner.lock().delivered
+    }
+
+    /// Total messages ever received out of this mailbox.
+    pub fn total_received(&self) -> u64 {
+        self.inner.lock().received
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimBuilder, SimTime};
+
+    #[test]
+    fn try_recv_on_empty_is_none() {
+        let mb: Mailbox<u32> = Mailbox::new("t");
+        assert!(mb.try_recv().is_none());
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let mb: Mailbox<u32> = Mailbox::new("data");
+        let mb_r = mb.clone();
+        let mb_s = mb.clone();
+        let mut sim = SimBuilder::new(1);
+        sim.spawn("receiver", move |ctx| {
+            let v = mb_r.recv(ctx);
+            assert_eq!(v, 7);
+            assert_eq!(ctx.now(), SimTime::from_millis(3));
+        });
+        sim.spawn("sender", move |ctx| {
+            let mb = mb_s.clone();
+            ctx.schedule_fn(SimTime::from_millis(3), move |ec| {
+                mb.deliver(ec, 7);
+            });
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_millis(3));
+        assert_eq!(mb.total_delivered(), 1);
+        assert_eq!(mb.total_received(), 1);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mb: Mailbox<u32> = Mailbox::new("fifo");
+        let mb_r = mb.clone();
+        let mb_s = mb.clone();
+        let mut sim = SimBuilder::new(1);
+        sim.spawn("receiver", move |ctx| {
+            for expect in 0..10u32 {
+                assert_eq!(mb_r.recv(ctx), expect);
+            }
+        });
+        sim.spawn("sender", move |ctx| {
+            for i in 0..10u32 {
+                let mb = mb_s.clone();
+                ctx.schedule_fn(SimTime::from_millis(i as u64 + 1), move |ec| {
+                    mb.deliver(ec, i);
+                });
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn deliver_now_wakes_peer() {
+        let mb: Mailbox<&'static str> = Mailbox::new("local");
+        let mb_r = mb.clone();
+        let mb_s = mb.clone();
+        let mut sim = SimBuilder::new(1);
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(mb_r.recv(ctx), "hi");
+        });
+        sim.spawn("sender", move |ctx| {
+            ctx.advance(SimTime::from_millis(1));
+            mb_s.deliver_now(ctx, "hi");
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulated processes and the process-side context handle.
+//!
+//! Every simulated process runs its application code on a dedicated OS
+//! thread, but threads execute strictly one at a time: control is handed
+//! back and forth between the scheduler and the running process through
+//! rendezvous channels. This lets application code be written in natural,
+//! blocking style (the real GA loop, the real sampler) while time remains
+//! fully virtual and deterministic.
+
+use std::panic;
+
+use crossbeam::channel::{Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::Event;
+use crate::time::SimTime;
+
+/// Identifier of a simulated process; assigned densely in spawn order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u32);
+
+impl Pid {
+    /// The dense index of this process (spawn order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A request sent from a running process thread to the scheduler.
+pub(crate) enum ProcCall {
+    /// Charge `dur` of virtual compute time; resume the process afterwards.
+    Advance(SimTime),
+    /// Block until some event wakes this process. The reason string is used
+    /// in deadlock diagnostics.
+    Block { reason: String },
+    /// Schedule an event `delay` in the future; the scheduler replies
+    /// immediately and the process keeps running at the same instant.
+    Schedule { delay: SimTime, event: Event },
+    /// The process body returned normally.
+    Done,
+    /// The process body panicked with the given message.
+    Panicked(String),
+}
+
+/// Scheduler -> process replies.
+pub(crate) enum Reply {
+    /// Resume execution; the process's local clock becomes `now`.
+    Resume { now: SimTime },
+    /// Acknowledge a non-yielding call such as [`ProcCall::Schedule`].
+    Ack,
+}
+
+/// Sentinel panic payload used to unwind process threads at shutdown.
+pub(crate) struct ShutdownToken;
+
+/// The handle a simulated process uses to interact with virtual time.
+///
+/// A `Ctx` is passed by the engine to the process closure. All methods that
+/// "take time" ([`advance`](Ctx::advance), [`Mailbox::recv`]) suspend the
+/// calling thread and hand control to the scheduler; everything else runs
+/// inline at the current virtual instant.
+///
+/// [`Mailbox::recv`]: crate::Mailbox::recv
+pub struct Ctx {
+    pid: Pid,
+    now: SimTime,
+    rng: StdRng,
+    call_tx: Sender<(Pid, ProcCall)>,
+    reply_rx: Receiver<Reply>,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        pid: Pid,
+        seed: u64,
+        call_tx: Sender<(Pid, ProcCall)>,
+        reply_rx: Receiver<Reply>,
+    ) -> Self {
+        // Derive a per-process stream from the global seed; SplitMix64-style
+        // mixing keeps the streams decorrelated.
+        let mut z = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(pid.0 as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Ctx {
+            pid,
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(z),
+            call_tx,
+            reply_rx,
+        }
+    }
+
+    /// This process's identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// A deterministic per-process random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Charge `dur` of virtual time (e.g. a compute phase) and resume
+    /// afterwards. Other processes and events run in the meantime.
+    pub fn advance(&mut self, dur: SimTime) {
+        let reply = self.roundtrip(ProcCall::Advance(dur));
+        match reply {
+            Reply::Resume { now } => self.now = now,
+            Reply::Ack => unreachable!("Advance must be answered with Resume"),
+        }
+    }
+
+    /// Yield to the scheduler without consuming virtual time. Equivalent to
+    /// `advance(SimTime::ZERO)`; lets same-instant events (e.g. message
+    /// deliveries already scheduled for `now`) run before this process
+    /// continues.
+    pub fn yield_now(&mut self) {
+        self.advance(SimTime::ZERO);
+    }
+
+    /// Block until another event wakes this process via
+    /// [`EventCtx::wake`](crate::EventCtx::wake). The `reason` appears in
+    /// deadlock diagnostics. Wake-ups may be spurious from the caller's
+    /// perspective; re-check your condition in a loop.
+    pub fn block(&mut self, reason: impl Into<String>) {
+        let reply = self.roundtrip(ProcCall::Block {
+            reason: reason.into(),
+        });
+        match reply {
+            Reply::Resume { now } => self.now = now,
+            Reply::Ack => unreachable!("Block must be answered with Resume"),
+        }
+    }
+
+    /// Schedule `event` to fire `delay` after the current instant. Returns
+    /// immediately; the process keeps running at the same virtual time.
+    pub fn schedule(&mut self, delay: SimTime, event: Event) {
+        let reply = self.roundtrip(ProcCall::Schedule { delay, event });
+        match reply {
+            Reply::Ack => {}
+            Reply::Resume { .. } => unreachable!("Schedule must be answered with Ack"),
+        }
+    }
+
+    /// Schedule a closure to fire `delay` after the current instant.
+    pub fn schedule_fn<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut crate::event::EventCtx<'_>) + Send + 'static,
+    {
+        self.schedule(delay, Event::new(f));
+    }
+
+    /// Wake `pid` at the current instant (a convenience for simple
+    /// cross-process signalling; most code should use
+    /// [`Mailbox`](crate::Mailbox) instead).
+    pub fn wake(&mut self, pid: Pid) {
+        self.schedule_fn(SimTime::ZERO, move |ec| ec.wake(pid));
+    }
+
+    /// Park until the scheduler issues the first `Resume`; `Err` means the
+    /// scheduler was torn down before this process ever ran.
+    pub(crate) fn await_first_resume(&mut self) -> Result<(), ()> {
+        match self.reply_rx.recv() {
+            Ok(Reply::Resume { now }) => {
+                self.now = now;
+                Ok(())
+            }
+            Ok(Reply::Ack) | Err(_) => Err(()),
+        }
+    }
+
+    fn roundtrip(&mut self, call: ProcCall) -> Reply {
+        if self.call_tx.send((self.pid, call)).is_err() {
+            // Scheduler has gone away: unwind this thread quietly.
+            panic::panic_any(ShutdownToken);
+        }
+        match self.reply_rx.recv() {
+            Ok(reply) => reply,
+            Err(_) => panic::panic_any(ShutdownToken),
+        }
+    }
+}
+
+/// Extract a readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,360 @@
+//! The virtual-time scheduler: owns the event queue and the process table,
+//! and executes exactly one thing (event or process slice) at a time.
+
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::error::SimError;
+use crate::event::{Event, EventCtx, EventKind, QueueEntry};
+use crate::process::{panic_message, Ctx, Pid, ProcCall, Reply, ShutdownToken};
+use crate::time::SimTime;
+
+/// Lifecycle state of a simulated process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProcState {
+    /// Has a pending `Resume` entry in the queue (or is currently running).
+    Runnable,
+    /// Suspended; waiting for an [`EventCtx::wake`]. Carries the reason.
+    Blocked(String),
+    /// Body returned.
+    Done,
+}
+
+struct ProcSlot {
+    name: String,
+    daemon: bool,
+    state: ProcState,
+    reply_tx: Sender<Reply>,
+    body: Option<Box<dyn FnOnce(&mut Ctx) + Send>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Summary statistics for a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which the run ended (all non-daemon processes done).
+    pub end_time: SimTime,
+    /// Total queue entries executed (events + process resumptions).
+    pub events_executed: u64,
+    /// Number of processes spawned (including daemons).
+    pub processes: usize,
+}
+
+/// Builder/owner of a simulation: spawn processes, then [`run`](SimBuilder::run).
+///
+/// ```
+/// use nscc_sim::{SimBuilder, SimTime};
+///
+/// let mut sim = SimBuilder::new(42);
+/// sim.spawn("worker", |ctx| {
+///     ctx.advance(SimTime::from_millis(5));
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time, SimTime::from_millis(5));
+/// ```
+pub struct SimBuilder {
+    seed: u64,
+    procs: Vec<ProcSlot>,
+    time_limit: SimTime,
+    event_limit: u64,
+    call_tx: Sender<(Pid, ProcCall)>,
+    call_rx: Receiver<(Pid, ProcCall)>,
+    ctxs: Vec<Option<Ctx>>,
+}
+
+impl SimBuilder {
+    /// Create a simulation whose randomness derives entirely from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let (call_tx, call_rx) = channel::unbounded();
+        SimBuilder {
+            seed,
+            procs: Vec::new(),
+            time_limit: SimTime::MAX,
+            event_limit: u64::MAX,
+            call_tx,
+            call_rx,
+            ctxs: Vec::new(),
+        }
+    }
+
+    /// Abort the run with [`SimError::TimeLimitExceeded`] if virtual time
+    /// passes `limit` (a safety net against livelock).
+    pub fn time_limit(&mut self, limit: SimTime) -> &mut Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Abort the run with [`SimError::EventLimitExceeded`] after `limit`
+    /// queue entries (a safety net against runaway event loops).
+    pub fn event_limit(&mut self, limit: u64) -> &mut Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Spawn a process. The simulation completes when every non-daemon
+    /// process body has returned.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.spawn_inner(name.into(), false, Box::new(body))
+    }
+
+    /// Spawn a daemon process: it participates normally but the simulation
+    /// does not wait for it to finish (e.g. background-load generators).
+    pub fn spawn_daemon<F>(&mut self, name: impl Into<String>, body: F) -> Pid
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        self.spawn_inner(name.into(), true, Box::new(body))
+    }
+
+    fn spawn_inner(
+        &mut self,
+        name: String,
+        daemon: bool,
+        body: Box<dyn FnOnce(&mut Ctx) + Send>,
+    ) -> Pid {
+        let pid = Pid(self.procs.len() as u32);
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let ctx = Ctx::new(pid, self.seed, self.call_tx.clone(), reply_rx);
+        self.ctxs.push(Some(ctx));
+        self.procs.push(ProcSlot {
+            name,
+            daemon,
+            state: ProcState::Runnable,
+            reply_tx,
+            body: Some(body),
+            join: None,
+        });
+        pid
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// Returns a [`SimReport`] when every non-daemon process finishes, or a
+    /// [`SimError`] on deadlock, process panic, or a safety cap.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        install_quiet_shutdown_hook();
+        // Start every process thread parked on its reply channel.
+        for (i, slot) in self.procs.iter_mut().enumerate() {
+            let body = slot.body.take().expect("process body consumed twice");
+            let mut ctx = self.ctxs[i].take().expect("process ctx consumed twice");
+            let call_tx = self.call_tx.clone();
+            let pid = Pid(i as u32);
+            let name = slot.name.clone();
+            slot.join = Some(
+                std::thread::Builder::new()
+                    .name(format!("sim-{}-{}", i, name))
+                    .spawn(move || {
+                        // Wait for the first Resume before running the body.
+                        match ctx_first_resume(&mut ctx) {
+                            Ok(()) => {}
+                            Err(()) => return, // shutdown before start
+                        }
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                            (body)(&mut ctx);
+                        }));
+                        match result {
+                            Ok(()) => {
+                                let _ = call_tx.send((pid, ProcCall::Done));
+                            }
+                            Err(payload) => {
+                                if payload.downcast_ref::<ShutdownToken>().is_none() {
+                                    let msg = panic_message(payload.as_ref());
+                                    let _ = call_tx.send((pid, ProcCall::Panicked(msg)));
+                                }
+                            }
+                        }
+                    })
+                    .expect("failed to spawn simulation thread"),
+            );
+        }
+
+        let result = self.event_loop();
+
+        // Tear down: drop reply senders so parked threads unwind, then join.
+        for slot in &mut self.procs {
+            let (dead_tx, _) = channel::unbounded();
+            slot.reply_tx = dead_tx; // drop the real sender
+        }
+        for slot in &mut self.procs {
+            if let Some(handle) = slot.join.take() {
+                let _ = handle.join();
+            }
+        }
+        result
+    }
+
+    fn event_loop(&mut self) -> Result<SimReport, SimError> {
+        let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut now = SimTime::ZERO;
+        let mut executed: u64 = 0;
+        let mut live_nondaemons = self.procs.iter().filter(|p| !p.daemon).count();
+
+        // Initial resume for every process, in spawn order.
+        for i in 0..self.procs.len() {
+            queue.push(QueueEntry {
+                time: SimTime::ZERO,
+                seq,
+                kind: EventKind::Resume(Pid(i as u32)),
+            });
+            seq += 1;
+        }
+
+        let mut pending: Vec<(SimTime, EventKind)> = Vec::new();
+        let mut wakes: Vec<Pid> = Vec::new();
+
+        loop {
+            if live_nondaemons == 0 {
+                return Ok(SimReport {
+                    end_time: now,
+                    events_executed: executed,
+                    processes: self.procs.len(),
+                });
+            }
+            let entry = match queue.pop() {
+                Some(e) => e,
+                None => {
+                    let blocked: Vec<(Pid, String, String)> = self
+                        .procs
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, p)| match &p.state {
+                            ProcState::Blocked(reason) if !p.daemon => {
+                                Some((Pid(i as u32), p.name.clone(), reason.clone()))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    return Err(SimError::Deadlock { at: now, blocked });
+                }
+            };
+            debug_assert!(entry.time >= now, "event queue went backwards in time");
+            now = entry.time;
+            executed += 1;
+            if now > self.time_limit {
+                return Err(SimError::TimeLimitExceeded {
+                    limit: self.time_limit,
+                });
+            }
+            if executed > self.event_limit {
+                return Err(SimError::EventLimitExceeded {
+                    limit: self.event_limit,
+                });
+            }
+
+            match entry.kind {
+                EventKind::Fire(Event(f)) => {
+                    let mut ec = EventCtx {
+                        now,
+                        pending: &mut pending,
+                        wakes: &mut wakes,
+                    };
+                    f(&mut ec);
+                }
+                EventKind::Resume(pid) => {
+                    let slot = &mut self.procs[pid.index()];
+                    match slot.state {
+                        ProcState::Runnable => {}
+                        // A wake raced with completion, or a stale resume:
+                        // skip quietly.
+                        ProcState::Done | ProcState::Blocked(_) => continue,
+                    }
+                    if slot.reply_tx.send(Reply::Resume { now }).is_err() {
+                        // Thread died without reporting: treat as panic.
+                        return Err(SimError::ProcessPanicked {
+                            pid,
+                            name: slot.name.clone(),
+                            message: "process thread terminated unexpectedly".into(),
+                        });
+                    }
+                    // Serve the process until it yields control.
+                    loop {
+                        let (from, call) = match self.call_rx.recv() {
+                            Ok(c) => c,
+                            Err(_) => unreachable!("call channel cannot close while we hold a sender"),
+                        };
+                        debug_assert_eq!(from, pid, "call from a process that is not running");
+                        match call {
+                            ProcCall::Advance(d) => {
+                                pending.push((now + d, EventKind::Resume(pid)));
+                                break;
+                            }
+                            ProcCall::Block { reason } => {
+                                self.procs[pid.index()].state = ProcState::Blocked(reason);
+                                break;
+                            }
+                            ProcCall::Schedule { delay, event } => {
+                                pending.push((now + delay, EventKind::Fire(event)));
+                                let slot = &self.procs[pid.index()];
+                                if slot.reply_tx.send(Reply::Ack).is_err() {
+                                    return Err(SimError::ProcessPanicked {
+                                        pid,
+                                        name: slot.name.clone(),
+                                        message: "process thread terminated unexpectedly".into(),
+                                    });
+                                }
+                            }
+                            ProcCall::Done => {
+                                let slot = &mut self.procs[pid.index()];
+                                slot.state = ProcState::Done;
+                                if !slot.daemon {
+                                    live_nondaemons -= 1;
+                                }
+                                break;
+                            }
+                            ProcCall::Panicked(message) => {
+                                return Err(SimError::ProcessPanicked {
+                                    pid,
+                                    name: self.procs[pid.index()].name.clone(),
+                                    message,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Flush effects produced by the entry we just executed, in order.
+            for w in wakes.drain(..) {
+                let slot = &mut self.procs[w.index()];
+                if matches!(slot.state, ProcState::Blocked(_)) {
+                    slot.state = ProcState::Runnable;
+                    pending.push((now, EventKind::Resume(w)));
+                }
+            }
+            for (t, kind) in pending.drain(..) {
+                queue.push(QueueEntry { time: t, seq, kind });
+                seq += 1;
+            }
+        }
+    }
+}
+
+/// Park a fresh process thread until its first `Resume` arrives.
+fn ctx_first_resume(ctx: &mut Ctx) -> Result<(), ()> {
+    ctx.await_first_resume()
+}
+
+/// Teardown of daemon processes unwinds their threads with a
+/// [`ShutdownToken`] panic, which is caught — but the default panic hook
+/// would still print a scary message. Install (once) a wrapper hook that
+/// stays silent for shutdown tokens and defers to the previous hook for
+/// everything else.
+fn install_quiet_shutdown_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownToken>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,174 @@
+//! Lightweight execution tracing: who ran when, who blocked on what.
+//!
+//! A [`Trace`] is an optional, shared sink the application layers can
+//! record spans into; it costs nothing when not attached. Used by the
+//! examples to print per-process utilization timelines and by tests to
+//! assert scheduling behaviour.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::process::Pid;
+use crate::time::SimTime;
+
+/// What a traced span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Virtual CPU time (an `advance`).
+    Compute,
+    /// Blocked waiting for a message or condition.
+    Blocked,
+    /// Application-defined phase (e.g. "barrier", "migration").
+    Phase,
+}
+
+/// One traced interval of a process's life.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// The process.
+    pub pid: Pid,
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval.
+    pub end: SimTime,
+    /// What the process was doing.
+    pub kind: SpanKind,
+    /// Free-form label.
+    pub label: &'static str,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<Span>,
+}
+
+/// A shareable span sink.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Record a span.
+    pub fn record(&self, pid: Pid, start: SimTime, end: SimTime, kind: SpanKind, label: &'static str) {
+        debug_assert!(end >= start, "span ends before it starts");
+        self.inner.lock().spans.push(Span {
+            pid,
+            start,
+            end,
+            kind,
+            label,
+        });
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().spans.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All spans, sorted by start time (clones; call once at the end).
+    pub fn spans(&self) -> Vec<Span> {
+        let mut v = self.inner.lock().spans.clone();
+        v.sort_by_key(|s| (s.start, s.pid.0));
+        v
+    }
+
+    /// Total time per kind for one process.
+    pub fn totals(&self, pid: Pid) -> TraceTotals {
+        let inner = self.inner.lock();
+        let mut t = TraceTotals::default();
+        for s in inner.spans.iter().filter(|s| s.pid == pid) {
+            let d = s.end.saturating_sub(s.start);
+            match s.kind {
+                SpanKind::Compute => t.compute += d,
+                SpanKind::Blocked => t.blocked += d,
+                SpanKind::Phase => t.phase += d,
+            }
+        }
+        t
+    }
+
+    /// A compact utilization summary line per process (for examples).
+    pub fn summary(&self, pids: &[Pid]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &pid in pids {
+            let t = self.totals(pid);
+            let total = (t.compute + t.blocked + t.phase).as_secs_f64();
+            let util = if total > 0.0 {
+                t.compute.as_secs_f64() / total * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  pid {:>3}: compute {:>10} blocked {:>10} phase {:>10} (util {:>5.1}%)",
+                pid.0, t.compute, t.blocked, t.phase, util
+            );
+        }
+        out
+    }
+}
+
+/// Aggregated span durations for one process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceTotals {
+    /// Total compute time.
+    pub compute: SimTime,
+    /// Total blocked time.
+    pub blocked: SimTime,
+    /// Total phase time.
+    pub phase: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn records_and_totals() {
+        let tr = Trace::new();
+        tr.record(Pid(0), t(0), t(5), SpanKind::Compute, "gen");
+        tr.record(Pid(0), t(5), t(8), SpanKind::Blocked, "read");
+        tr.record(Pid(1), t(0), t(2), SpanKind::Compute, "gen");
+        assert_eq!(tr.len(), 3);
+        let p0 = tr.totals(Pid(0));
+        assert_eq!(p0.compute, t(5));
+        assert_eq!(p0.blocked, t(3));
+        assert_eq!(tr.totals(Pid(1)).compute, t(2));
+    }
+
+    #[test]
+    fn spans_sorted_by_start() {
+        let tr = Trace::new();
+        tr.record(Pid(0), t(7), t(9), SpanKind::Phase, "b");
+        tr.record(Pid(1), t(1), t(2), SpanKind::Phase, "a");
+        let spans = tr.spans();
+        assert_eq!(spans[0].label, "a");
+        assert_eq!(spans[1].label, "b");
+    }
+
+    #[test]
+    fn summary_mentions_every_pid() {
+        let tr = Trace::new();
+        tr.record(Pid(2), t(0), t(4), SpanKind::Compute, "x");
+        let s = tr.summary(&[Pid(2)]);
+        assert!(s.contains("pid   2"));
+        assert!(s.contains("util 100.0%"));
+    }
+}

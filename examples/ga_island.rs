@@ -1,0 +1,54 @@
+//! Island-model parallel GA under the four coherence disciplines the
+//! paper compares: serial, synchronous, fully asynchronous, and
+//! `Global_Read` partially asynchronous.
+//!
+//! Run with `cargo run --release --example ga_island`.
+
+use nscc::core::{run_ga_experiment, GaExperiment};
+use nscc::ga::TestFn;
+
+fn main() {
+    let func = TestFn::F1Sphere;
+    let procs = 4;
+    println!(
+        "Island GA on {} with {procs} islands of 50 over a 10 Mbps Ethernet",
+        func.name()
+    );
+    println!("(speedups are against a serial GA running the total population)\n");
+
+    let exp = GaExperiment {
+        generations: 120,
+        runs: 3,
+        ..GaExperiment::new(func, procs)
+    };
+    let res = run_ga_experiment(&exp).expect("experiment runs");
+
+    println!(
+        "serial baseline: {:.2} virtual s (best fitness {:.4})",
+        res.serial_time.as_secs_f64(),
+        res.serial_best
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>12} {:>10} {:>9}",
+        "mode", "speedup", "time (s)", "generations", "messages", "warp"
+    );
+    for m in &res.modes {
+        println!(
+            "{:<8} {:>8.2} {:>9.2} {:>12.0} {:>10.0} {:>9.2}",
+            m.label,
+            m.speedup,
+            m.mean_time.as_secs_f64(),
+            m.mean_generations,
+            m.mean_messages,
+            m.mean_warp
+        );
+    }
+    let best = res.best_partial();
+    println!(
+        "\nbest partially-asynchronous setting: {} at {:.2}x \
+         ({:+.0}% over the best competitor)",
+        best.label,
+        best.speedup,
+        res.improvement() * 100.0
+    );
+}
