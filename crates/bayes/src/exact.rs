@@ -53,10 +53,7 @@ fn enumerate(
     if prob == 0.0 {
         return; // dead branch
     }
-    let fixed = evidence
-        .iter()
-        .find(|&&(n, _)| n == idx)
-        .map(|&(_, v)| v);
+    let fixed = evidence.iter().find(|&&(n, _)| n == idx).map(|&(_, v)| v);
     let row: Vec<f64> = net.cpt_row(idx, assignment).to_vec();
     for v in 0..net.node(idx).arity {
         if let Some(f) = fixed {
@@ -128,9 +125,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero probability")]
     fn impossible_evidence_panics() {
-        let net = BeliefNetwork::new(vec![
-            binary_root("x", 1.0),
-        ]);
+        let net = BeliefNetwork::new(vec![binary_root("x", 1.0)]);
         let _ = exact_posterior(&net, 0, &[(0, 0)]);
     }
 }

@@ -107,7 +107,9 @@ fn random_distribution(arity: usize, rng: &mut StdRng) -> Vec<f64> {
             .map(|v| if v == dominant { top } else { rest })
             .collect()
     } else {
-        let mut raw: Vec<f64> = (0..arity).map(|_| rng.gen::<f64>().powi(2) + 1e-6).collect();
+        let mut raw: Vec<f64> = (0..arity)
+            .map(|_| rng.gen::<f64>().powi(2) + 1e-6)
+            .collect();
         let sum: f64 = raw.iter().sum();
         for x in &mut raw {
             *x /= sum;

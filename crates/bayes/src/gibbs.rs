@@ -127,8 +127,8 @@ pub fn gibbs_inference(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::examples::{fig1, figure1};
     use crate::exact::exact_posterior;
+    use crate::examples::{fig1, figure1};
 
     #[test]
     fn matches_exact_posterior_on_figure1() {

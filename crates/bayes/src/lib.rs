@@ -19,8 +19,8 @@
 #![warn(missing_docs)]
 
 mod cost;
-mod examples;
 mod exact;
+mod examples;
 mod gen;
 mod gibbs;
 mod network;
@@ -30,14 +30,14 @@ mod sampling;
 mod weighting;
 
 pub use cost::BayesCost;
-pub use examples::{fig1, figure1};
 pub use exact::{evidence_probability, exact_posterior};
+pub use examples::{fig1, figure1};
 pub use gen::{hailfinder_like, random_network, RandomNetConfig, Table2Net, TABLE2};
 pub use gibbs::{gibbs_inference, GibbsResult};
 pub use network::{binary_node, binary_root, BeliefNetwork, Node, NodeIdx, Value};
 pub use parallel::{
-    run_parallel_inference, BatchValues, BayesPartStats, ParallelBayesConfig,
-    ParallelBayesResult, RollbackPolicy,
+    run_parallel_inference, BatchValues, BayesPartStats, ParallelBayesConfig, ParallelBayesResult,
+    RollbackPolicy,
 };
 pub use plan::{Batch, BatchId, Plan, RoundPlan};
 pub use sampling::{

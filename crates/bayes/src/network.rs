@@ -40,7 +40,11 @@ impl BeliefNetwork {
     /// children and every CPT row is a probability distribution.
     pub fn new(nodes: Vec<Node>) -> Self {
         for (i, node) in nodes.iter().enumerate() {
-            assert!(node.arity >= 2, "node `{}` needs at least 2 values", node.name);
+            assert!(
+                node.arity >= 2,
+                "node `{}` needs at least 2 values",
+                node.name
+            );
             for &p in &node.parents {
                 assert!(
                     p < i,

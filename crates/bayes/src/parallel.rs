@@ -24,6 +24,7 @@ use parking_lot::Mutex;
 use nscc_dsm::{Coherence, Directory, DsmNode, DsmStats, DsmWorld, LocId, Retired};
 use nscc_msg::MsgConfig;
 use nscc_net::Network;
+use nscc_obs::{Hub, ObsEvent};
 use nscc_sim::{Ctx, SimBuilder, SimError, SimTime};
 
 use crate::cost::BayesCost;
@@ -75,6 +76,9 @@ pub struct ParallelBayesConfig {
     /// Seed of the counter-based sampling draws (shared by all
     /// partitions so a (node, sample) pair always draws the same value).
     pub sample_seed: u64,
+    /// Optional observability hub: attached to the DSM world, and fed an
+    /// `AntiMessage` event for every correction a rollback re-publishes.
+    pub obs: Option<Hub>,
 }
 
 impl ParallelBayesConfig {
@@ -89,6 +93,7 @@ impl ParallelBayesConfig {
             max_iterations: 400_000,
             window: 64,
             sample_seed: 0x5EED,
+            obs: None,
         }
     }
 }
@@ -198,21 +203,21 @@ impl PartRuntime {
     /// Value of node `u` for sample `s` of iteration `iter`, resolving
     /// remote nodes through the given record's `used` map (fetching from
     /// the DSM window on first use).
-    fn lookup(
-        &mut self,
-        node: &DsmNode<BatchValues>,
-        iter: u64,
-        s: usize,
-        u: usize,
-    ) -> Value {
+    fn lookup(&mut self, node: &DsmNode<BatchValues>, iter: u64, s: usize, u: usize) -> Value {
         if let Some(&pos) = self.owned_pos.get(&u) {
-            let rec = self.records.get(&iter).expect("record exists during compute");
+            let rec = self
+                .records
+                .get(&iter)
+                .expect("record exists during compute");
             return rec.values[pos * self.cfg.block + s];
         }
         let (bid, idx) = self.plan.value_index[self.rank][&u];
         let loc = self.batch_locs[bid];
         let block = self.cfg.block;
-        let rec = self.records.get_mut(&iter).expect("record exists during compute");
+        let rec = self
+            .records
+            .get_mut(&iter)
+            .expect("record exists during compute");
         let used = rec
             .used
             .entry(bid)
@@ -490,6 +495,16 @@ impl PartRuntime {
             let changed = self.recompute_samples(node, age, &cols, true, affected.as_ref());
             ctx.advance(self.cfg.cost.iteration_cost(resamples));
             for (bid, vals) in changed {
+                // Each correction is the collapsed anti-message +
+                // replacement pair of the Time-Warp protocol.
+                if let Some(hub) = &self.cfg.obs {
+                    hub.emit(ObsEvent::AntiMessage {
+                        t_ns: ctx.now().as_nanos(),
+                        rank: self.rank as u32,
+                        loc: self.batch_locs[bid].0,
+                        age,
+                    });
+                }
                 node.write(ctx, self.batch_locs[bid], vals, age);
             }
         }
@@ -555,6 +570,9 @@ pub fn run_parallel_inference(
 
     let mut world: DsmWorld<BatchValues> =
         DsmWorld::new(network, parts, msg_cfg, dir).with_history(2 * cfg.window + 8);
+    if let Some(hub) = &cfg.obs {
+        world = world.with_obs(hub.clone());
+    }
     for &l in batch_locs.iter().chain(hb_locs.iter()) {
         world.set_initial(l, Vec::new());
     }
@@ -586,9 +604,8 @@ pub fn run_parallel_inference(
                 ..BayesPartStats::default()
             },
             stop_flag: Arc::clone(&stop_flag),
-            hb_needed: (0..parts).any(|q| {
-                q != rank && !plan.batches.iter().any(|b| b.src == rank && b.dst == q)
-            }),
+            hb_needed: (0..parts)
+                .any(|q| q != rank && !plan.batches.iter().any(|b| b.src == rank && b.dst == q)),
         };
         let results = Arc::clone(&results);
         sim.spawn(format!("bayes{rank}"), move |ctx| {
@@ -674,9 +691,7 @@ fn partition_body(
             // Wait for (sync) or opportunistically drain (async/partial)
             // the batches produced by peers in earlier rounds.
             if r > 0 && parts > 1 {
-                let reads: Vec<BatchId> = rt.plan.schedules[rank][r - 1]
-                    .reads_after
-                    .clone();
+                let reads: Vec<BatchId> = rt.plan.schedules[rank][r - 1].reads_after.clone();
                 for bid in reads {
                     if matches!(mode, Coherence::Synchronous) {
                         match node.wait_version(ctx, rt.batch_locs[bid], iter) {

@@ -142,8 +142,7 @@ impl Plan {
         }
 
         // Per-partition schedules and value indices.
-        let mut schedules: Vec<Vec<RoundPlan>> =
-            vec![vec![RoundPlan::default(); rounds]; parts];
+        let mut schedules: Vec<Vec<RoundPlan>> = vec![vec![RoundPlan::default(); rounds]; parts];
         for v in 0..net.len() {
             schedules[assign[v]][stage[v]].compute.push(v);
         }
@@ -152,8 +151,7 @@ impl Plan {
                 round.compute.sort_unstable();
             }
         }
-        let mut value_index: Vec<HashMap<NodeIdx, (BatchId, usize)>> =
-            vec![HashMap::new(); parts];
+        let mut value_index: Vec<HashMap<NodeIdx, (BatchId, usize)>> = vec![HashMap::new(); parts];
         for (bid, b) in batches.iter().enumerate() {
             schedules[b.src][b.round].writes.push(bid);
             schedules[b.dst][b.round].reads_after.push(bid);

@@ -184,8 +184,8 @@ pub fn sequential_inference(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::examples::{fig1, figure1};
     use crate::exact::exact_posterior;
+    use crate::examples::{fig1, figure1};
 
     #[test]
     fn node_draw_is_deterministic_and_uniform_ish() {

@@ -63,9 +63,9 @@ impl WeightedTally {
         if ess < rule.min_accepted as f64 {
             return false;
         }
-        self.estimate().iter().all(|&p| {
-            rule.z * (p * (1.0 - p) / ess).sqrt() <= rule.halfwidth
-        })
+        self.estimate()
+            .iter()
+            .all(|&p| rule.z * (p * (1.0 - p) / ess).sqrt() <= rule.halfwidth)
     }
 }
 
@@ -147,8 +147,8 @@ pub fn likelihood_weighting(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::examples::{fig1, figure1};
     use crate::exact::exact_posterior;
+    use crate::examples::{fig1, figure1};
     use crate::sampling::sequential_inference;
 
     fn query() -> Query {

@@ -7,8 +7,8 @@ use nscc_bayes::{
     ParallelBayesConfig, Query, StopRule, Table2Net,
 };
 use nscc_dsm::Coherence;
-use nscc_net::{EthernetBus, IdealMedium, Network};
 use nscc_msg::MsgConfig;
+use nscc_net::{EthernetBus, IdealMedium, Network};
 use nscc_sim::SimTime;
 
 fn fig1_query() -> Query {

@@ -19,8 +19,7 @@ use nscc_dsm::Coherence;
 use nscc_ga::{CostModel, TestFn};
 use nscc_msg::MsgConfig;
 
-fn hailfinder_cfg(mode: Coherence) -> (Arc<nscc_bayes::BeliefNetwork>, Query, ParallelBayesConfig)
-{
+fn hailfinder_cfg(mode: Coherence) -> (Arc<nscc_bayes::BeliefNetwork>, Query, ParallelBayesConfig) {
     let net = Arc::new(Table2Net::Hailfinder.build());
     let query = Query {
         node: net.len() - 1,
@@ -114,9 +113,7 @@ fn ablation_interconnect(c: &mut Criterion) {
 /// §6 future work: dynamic age control versus a fixed age under load skew.
 fn ablation_adaptive_age(c: &mut Criterion) {
     use nscc_dsm::{Directory, DsmWorld};
-    use nscc_ga::{
-        run_island, ConvergenceBoard, IslandConfig, MigrantBatch, StopPolicy,
-    };
+    use nscc_ga::{run_island, ConvergenceBoard, IslandConfig, MigrantBatch, StopPolicy};
     use nscc_net::{EthernetBus, Network};
     use nscc_sim::{SimBuilder, SimTime};
 

@@ -11,6 +11,7 @@ use nscc_dsm::{Directory, DsmWorld};
 use nscc_ga::{CostModel, Deme, GaParams, SerialGa, TestFn};
 use nscc_msg::{wire_size, MsgConfig};
 use nscc_net::{EthernetBus, IdealMedium, Medium, Network, NodeId};
+use nscc_obs::Hub;
 use nscc_partition::{partition, Graph};
 use nscc_sim::{Mailbox, SimBuilder, SimTime};
 
@@ -98,6 +99,45 @@ fn bench_dsm(c: &mut Criterion) {
     });
 }
 
+/// The observability hub's cost at the hottest event site: cached
+/// `global_read`s with the hub detached (the `Option` is `None` — the
+/// default) versus attached (every read emits a `ReadDone` event). The
+/// detached case should be indistinguishable from `dsm/global_read_cached`.
+fn bench_obs(c: &mut Criterion) {
+    for (name, attached) in [("detached", false), ("attached", true)] {
+        c.bench_function(&format!("obs/global_read_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut dir = Directory::new();
+                    let loc = dir.add("x", 0, [1]);
+                    let mut world: DsmWorld<u64> = DsmWorld::new(
+                        Network::new(IdealMedium::instant()),
+                        2,
+                        MsgConfig::default(),
+                        dir,
+                    );
+                    if attached {
+                        world = world.with_obs(Hub::new());
+                    }
+                    world.set_initial(loc, 7);
+                    (world, loc)
+                },
+                |(world, loc)| {
+                    let mut reader = world.node(1);
+                    let mut sim = SimBuilder::new(0);
+                    sim.spawn("r", move |ctx| {
+                        for _ in 0..100 {
+                            let _ = reader.global_read(ctx, loc, 0, 0);
+                        }
+                    });
+                    sim.run().unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
 fn bench_ga(c: &mut Criterion) {
     c.bench_function("ga/generation_step_sphere", |b| {
         let mut rng = StdRng::seed_from_u64(3);
@@ -163,6 +203,7 @@ criterion_group!(
     bench_sim_engine,
     bench_network_models,
     bench_dsm,
+    bench_obs,
     bench_ga,
     bench_bayes,
     bench_partition

@@ -4,12 +4,18 @@
 //! best-partial-vs-best-competitor summary bar.
 //!
 //! Prints the best case (function 1) and the average over all eight
-//! benchmark functions, exactly the two panels the paper shows.
+//! benchmark functions, exactly the two panels the paper shows. With
+//! `NSCC_JSON=1` (or `--json`) also writes `BENCH_fig2.json`: the
+//! averaged-panel speedups plus merged DSM/network counters and the
+//! observability hub's staleness/block/delay histograms.
 
+use nscc_bench::{banner, write_report, Scale};
 use nscc_core::fmt::{f2, render_table};
-use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment};
-use nscc_bench::{banner, Scale};
+use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, RunReport};
+use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
+use nscc_net::NetStats;
+use nscc_obs::Hub;
 use nscc_sim::SimTime;
 
 fn main() {
@@ -20,6 +26,7 @@ fn main() {
         banner("Figure 2: GA speedups on the unloaded network", &scale)
     );
 
+    let hub = Hub::new();
     let procs: Vec<usize> = vec![2, 4, 8, 16];
     let functions: &[TestFn] = if all_functions {
         &ALL_FUNCTIONS
@@ -38,6 +45,7 @@ fn main() {
                 generations: scale.generations,
                 runs: scale.runs,
                 base_seed: scale.seed,
+                obs: scale.json.then(|| hub.clone()),
                 ..GaExperiment::new(func, p)
             };
             let res = run_ga_experiment(&exp).expect("experiment runs");
@@ -52,49 +60,93 @@ fn main() {
 
     // Panel 2: average over all functions (ratio of summed serial times
     // to summed parallel times, as the paper defines it).
-    println!(
-        "\n-- average over {} functions --",
-        results.len()
-    );
+    println!("\n-- average over {} functions --", results.len());
     print_panel(&procs, &results);
+
+    if scale.json {
+        let mut rep = RunReport::new("fig2", &hub);
+        rep.param("runs", scale.runs as f64)
+            .param("generations", scale.generations as f64)
+            .param("functions", functions.len() as f64)
+            .param("seed", scale.seed as f64);
+        let mut dsm = DsmStats::default();
+        let mut net = NetStats::default();
+        for per_proc in &results {
+            for r in per_proc {
+                net.merge(&r.net);
+                for m in &r.modes {
+                    dsm.merge(&m.dsm);
+                }
+            }
+        }
+        rep.dsm = dsm;
+        rep.net = Some(net);
+        let labels = mode_labels(&results);
+        for (p, speedups, improvement) in panel_rows(&procs, &results) {
+            for (label, s) in labels.iter().zip(&speedups) {
+                rep.metric(format!("p{p}_{label}"), *s);
+            }
+            rep.metric(format!("p{p}_improvement"), improvement);
+        }
+        write_report(&scale, &rep);
+    }
 }
 
-fn print_panel(procs: &[usize], per_func: &[Vec<GaExpResult>]) {
-    let labels: Vec<String> = per_func[0][0]
+fn mode_labels(per_func: &[Vec<GaExpResult>]) -> Vec<String> {
+    per_func[0][0]
         .modes
         .iter()
         .map(|m| m.label.clone())
-        .collect();
+        .collect()
+}
+
+/// Per processor count: the function-averaged speedup per mode (0.0 marks
+/// a DNF) and the best-partial-over-best-competitor improvement.
+fn panel_rows(procs: &[usize], per_func: &[Vec<GaExpResult>]) -> Vec<(usize, Vec<f64>, f64)> {
+    let mode_count = per_func[0][0].modes.len();
+    procs
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| {
+            // Aggregate over functions: sum of serial times / sum of mode
+            // times. A mode that failed to converge in any cell is a DNF
+            // for the aggregate (SimTime::MAX marks it).
+            let serial_total: SimTime = per_func.iter().map(|f| f[pi].serial_time).sum();
+            let speedups: Vec<f64> = (0..mode_count)
+                .map(|mi| {
+                    let times: Vec<SimTime> =
+                        per_func.iter().map(|f| f[pi].modes[mi].mean_time).collect();
+                    if times.iter().any(|&t| t == SimTime::MAX) {
+                        0.0
+                    } else {
+                        let mode_total: SimTime = times.into_iter().sum();
+                        serial_total.as_secs_f64() / mode_total.as_secs_f64()
+                    }
+                })
+                .collect();
+            // Best partial over best competitor (competitors: serial=1,
+            // sync, async).
+            let best_partial = speedups[2..].iter().cloned().fold(f64::MIN, f64::max);
+            let best_comp = speedups[..2].iter().cloned().fold(1.0, f64::max);
+            (p, speedups, best_partial / best_comp - 1.0)
+        })
+        .collect()
+}
+
+fn print_panel(procs: &[usize], per_func: &[Vec<GaExpResult>]) {
+    let labels = mode_labels(per_func);
     let mut rows = vec![{
         let mut h = vec!["procs".to_string()];
         h.extend(labels.iter().cloned());
         h.push("best-partial/best-comp".to_string());
         h
     }];
-    for (pi, &p) in procs.iter().enumerate() {
-        // Aggregate over functions: sum of serial times / sum of mode times.
-        let serial_total: SimTime = per_func.iter().map(|f| f[pi].serial_time).sum();
+    for (p, speedups, improvement) in panel_rows(procs, per_func) {
         let mut row = vec![p.to_string()];
-        let mut speedups = Vec::new();
-        for (mi, _) in labels.iter().enumerate() {
-            // A mode that failed to converge in any cell is a DNF for the
-            // aggregate (SimTime::MAX marks it).
-            let times: Vec<SimTime> = per_func.iter().map(|f| f[pi].modes[mi].mean_time).collect();
-            if times.iter().any(|&t| t == SimTime::MAX) {
-                speedups.push(0.0);
-                row.push("DNF".to_string());
-                continue;
-            }
-            let mode_total: SimTime = times.into_iter().sum();
-            let s = serial_total.as_secs_f64() / mode_total.as_secs_f64();
-            speedups.push(s);
-            row.push(f2(s));
+        for &s in &speedups {
+            row.push(if s == 0.0 { "DNF".to_string() } else { f2(s) });
         }
-        // Best partial over best competitor (competitors: serial=1, sync,
-        // async).
-        let best_partial = speedups[2..].iter().cloned().fold(f64::MIN, f64::max);
-        let best_comp = speedups[..2].iter().cloned().fold(1.0, f64::max);
-        row.push(format!("{:+.0}%", (best_partial / best_comp - 1.0) * 100.0));
+        row.push(format!("{:+.0}%", improvement * 100.0));
         rows.push(row);
     }
     print!("{}", render_table(&rows));

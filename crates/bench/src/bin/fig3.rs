@@ -1,12 +1,16 @@
 //! Regenerate **Figure 3**: parallel probabilistic-inference speedups on
 //! the unloaded network for a 2-node configuration — synchronous, fully
 //! asynchronous (rollback), and `Global_Read` ages, for each of the four
-//! Table 2 networks plus the average panel.
+//! Table 2 networks plus the average panel. With `NSCC_JSON=1` (or
+//! `--json`) also writes `BENCH_fig3.json`.
 
 use nscc_bayes::{StopRule, TABLE2};
-use nscc_bench::{banner, Scale};
+use nscc_bench::{banner, write_report, Scale};
 use nscc_core::fmt::{f2, render_table};
-use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment};
+use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment, RunReport};
+use nscc_dsm::DsmStats;
+use nscc_net::NetStats;
+use nscc_obs::Hub;
 use nscc_sim::SimTime;
 
 fn main() {
@@ -19,6 +23,7 @@ fn main() {
         )
     );
 
+    let hub = Hub::new();
     let mut results: Vec<BayesExpResult> = Vec::new();
     for netid in TABLE2 {
         let exp = BayesExperiment {
@@ -28,6 +33,7 @@ fn main() {
             },
             runs: scale.runs,
             base_seed: scale.seed,
+            obs: scale.json.then(|| hub.clone()),
             ..BayesExperiment::new(netid, 2)
         };
         results.push(run_bayes_experiment(&exp).expect("experiment runs"));
@@ -82,4 +88,27 @@ fn main() {
             .collect::<Vec<_>>()
             .join("  ")
     );
+
+    if scale.json {
+        let mut rep = RunReport::new("fig3", &hub);
+        rep.param("runs", scale.runs as f64)
+            .param("ci", scale.ci)
+            .param("seed", scale.seed as f64)
+            .param("procs", 2.0);
+        let mut dsm = DsmStats::default();
+        let mut net = NetStats::default();
+        for r in &results {
+            dsm.merge(&r.dsm);
+            net.merge(&r.net_stats);
+            let name = r.net.name();
+            rep.metric(format!("{name}_seq_s"), r.seq_time.as_secs_f64());
+            rep.metric(format!("{name}_improvement"), r.improvement());
+            for m in &r.modes {
+                rep.metric(format!("{name}_{}", m.label), m.speedup);
+            }
+        }
+        rep.dsm = dsm;
+        rep.net = Some(net);
+        write_report(&scale, &rep);
+    }
 }

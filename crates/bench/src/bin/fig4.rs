@@ -6,10 +6,13 @@
 //! the best-partial-over-best-competitor improvement per load level —
 //! the paper's headline claim is that this improvement *grows* with load.
 
-use nscc_bench::{banner, Scale};
+use nscc_bench::{banner, write_report, Scale};
 use nscc_core::fmt::{f2, render_table};
-use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform};
+use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform, RunReport};
+use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
+use nscc_net::NetStats;
+use nscc_obs::Hub;
 use nscc_sim::SimTime;
 
 fn main() {
@@ -17,7 +20,10 @@ fn main() {
     let all_functions = std::env::args().any(|a| a == "--all-functions");
     print!(
         "{}",
-        banner("Figure 4: GA speedups on the loaded network (4 processors)", &scale)
+        banner(
+            "Figure 4: GA speedups on the loaded network (4 processors)",
+            &scale
+        )
     );
 
     let loads = [0.0, 0.5, 1.0, 2.0];
@@ -26,6 +32,12 @@ fn main() {
     } else {
         &ALL_FUNCTIONS[..4]
     };
+
+    let hub = Hub::new();
+    let mut dsm = DsmStats::default();
+    let mut net = NetStats::default();
+    // Metric rows collected from the averaged panel for the JSON report.
+    let mut metrics: Vec<(String, f64)> = Vec::new();
 
     for (title, funcs) in [
         ("best case: function 1 (sphere)", &functions[..1]),
@@ -41,9 +53,15 @@ fn main() {
                     runs: scale.runs,
                     base_seed: scale.seed,
                     platform: Platform::loaded_ethernet(4, load),
+                    obs: scale.json.then(|| hub.clone()),
                     ..GaExperiment::new(func, 4)
                 };
-                per_func.push(run_ga_experiment(&exp).expect("experiment runs"));
+                let res = run_ga_experiment(&exp).expect("experiment runs");
+                net.merge(&res.net);
+                for m in &res.modes {
+                    dsm.merge(&m.dsm);
+                }
+                per_func.push(res);
             }
             if rows.is_empty() {
                 let mut h = vec!["load (Mbps)".to_string()];
@@ -56,8 +74,7 @@ fn main() {
             let mut row = vec![format!("{load}")];
             let mut speedups = Vec::new();
             for mi in 0..per_func[0].modes.len() {
-                let times: Vec<SimTime> =
-                    per_func.iter().map(|f| f.modes[mi].mean_time).collect();
+                let times: Vec<SimTime> = per_func.iter().map(|f| f.modes[mi].mean_time).collect();
                 if times.iter().any(|&t| t == SimTime::MAX) {
                     speedups.push(0.0);
                     row.push("DNF".to_string());
@@ -70,13 +87,38 @@ fn main() {
             }
             let best_partial = speedups[2..].iter().cloned().fold(f64::MIN, f64::max);
             let best_comp = speedups[..2].iter().cloned().fold(1.0, f64::max);
-            row.push(format!("{:+.0}%", (best_partial / best_comp - 1.0) * 100.0));
+            let improvement = best_partial / best_comp - 1.0;
+            row.push(format!("{:+.0}%", improvement * 100.0));
             // Warp of the fully-async mode, averaged over functions.
-            let warp: f64 = per_func.iter().map(|f| f.modes[1].mean_warp).sum::<f64>()
-                / per_func.len() as f64;
+            let warp: f64 =
+                per_func.iter().map(|f| f.modes[1].mean_warp).sum::<f64>() / per_func.len() as f64;
             row.push(format!("{warp:.2}"));
             rows.push(row);
+            // Report metrics come from the averaged panel only.
+            if funcs.len() == functions.len() {
+                for (mi, s) in speedups.iter().enumerate() {
+                    let label = &per_func[0].modes[mi].label;
+                    metrics.push((format!("load{load}_{label}"), *s));
+                }
+                metrics.push((format!("load{load}_improvement"), improvement));
+                metrics.push((format!("load{load}_warp_async"), warp));
+            }
         }
         print!("{}", render_table(&rows));
+    }
+
+    if scale.json {
+        let mut rep = RunReport::new("fig4", &hub);
+        rep.param("runs", scale.runs as f64)
+            .param("generations", scale.generations as f64)
+            .param("functions", functions.len() as f64)
+            .param("seed", scale.seed as f64)
+            .param("procs", 4.0);
+        for (k, v) in metrics {
+            rep.metric(k, v);
+        }
+        rep.dsm = dsm;
+        rep.net = Some(net);
+        write_report(&scale, &rep);
     }
 }

@@ -1,11 +1,17 @@
 //! Regenerate **Table 1**: the eight-function GA test bed — definition,
 //! limits, known minimum, and a verification that our implementation
-//! attains each minimum at the known optimum.
+//! attains each minimum at the known optimum. With `NSCC_JSON=1` (or
+//! `--json`) also writes `BENCH_table1.json` (no simulation is involved,
+//! so the report carries only the per-function minima).
 
+use nscc_bench::{write_report, Scale};
 use nscc_core::fmt::render_table;
+use nscc_core::RunReport;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
+use nscc_obs::Hub;
 
 fn main() {
+    let scale = Scale::from_env();
     let mut rows = vec![vec![
         "No.".to_string(),
         "Function".to_string(),
@@ -35,6 +41,16 @@ fn main() {
         "note: F4's Table-1 minimum (≤ -2.5) includes its Gauss(0,1) noise; \
          the deterministic part is minimized at 0."
     );
+
+    if scale.json {
+        let mut rep = RunReport::new("table1", &Hub::new());
+        rep.param("functions", ALL_FUNCTIONS.len() as f64);
+        for f in ALL_FUNCTIONS {
+            rep.metric(format!("f{}_at_argmin", f.number()), f.eval(&f.argmin()));
+            rep.metric(format!("f{}_paper_min", f.number()), paper_min(f));
+        }
+        write_report(&scale, &rep);
+    }
 }
 
 /// The minimum as printed in Table 1.

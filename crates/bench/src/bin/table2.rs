@@ -1,15 +1,21 @@
 //! Regenerate **Table 2**: the four Bayesian belief networks — structure
 //! statistics, 2-way partition edge-cut, and uniprocessor inference time
-//! (logic sampling to a 90% CI of the configured half-width).
+//! (logic sampling to a 90% CI of the configured half-width). With
+//! `NSCC_JSON=1` (or `--json`) also writes `BENCH_table2.json` (the
+//! baseline is sequential, so no DSM/network counters are involved).
 
 use nscc_bayes::{Plan, StopRule, TABLE2};
-use nscc_bench::{banner, Scale};
+use nscc_bench::{banner, write_report, Scale};
 use nscc_core::fmt::render_table;
-use nscc_core::{run_sequential, BayesExperiment};
+use nscc_core::{run_sequential, BayesExperiment, RunReport};
+use nscc_obs::Hub;
 
 fn main() {
     let scale = Scale::from_env();
-    print!("{}", banner("Table 2: Four Bayesian belief networks", &scale));
+    print!(
+        "{}",
+        banner("Table 2: Four Bayesian belief networks", &scale)
+    );
 
     let mut rows = vec![vec![
         "".to_string(),
@@ -26,6 +32,10 @@ fn main() {
     let mut time = vec!["Uniproc time (s)".to_string()];
     let mut time_paper = vec!["  (paper)".to_string()];
     let mut samples = vec!["Samples".to_string()];
+    let mut rep = RunReport::new("table2", &Hub::new());
+    rep.param("runs", scale.runs as f64)
+        .param("ci", scale.ci)
+        .param("seed", scale.seed as f64);
 
     for (i, netid) in TABLE2.iter().enumerate() {
         let net = netid.build();
@@ -51,6 +61,10 @@ fn main() {
         time.push(format!("{:.2}", t_sum / scale.runs as f64));
         time_paper.push(["11.12", "11.19", "11.81", "3.15"][i].to_string());
         samples.push(format!("{:.0}", s_sum / scale.runs as f64));
+        let name = netid.name();
+        rep.metric(format!("{name}_edge_cut"), plan.edge_cut as f64);
+        rep.metric(format!("{name}_uniproc_s"), t_sum / scale.runs as f64);
+        rep.metric(format!("{name}_samples"), s_sum / scale.runs as f64);
     }
     rows.push(nodes);
     rows.push(epn);
@@ -61,4 +75,5 @@ fn main() {
     rows.push(time_paper);
     rows.push(samples);
     print!("{}", render_table(&rows));
+    write_report(&scale, &rep);
 }

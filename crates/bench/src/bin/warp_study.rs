@@ -1,15 +1,24 @@
 //! The warp instrumentation study (§4.3): measure the warp metric — the
 //! ratio of inter-arrival to inter-send times of consecutive messages —
 //! on the shared Ethernet under increasing offered load, showing warp ≈ 1
-//! on a stable network and warp ≫ 1 as the network loads up.
+//! on a stable network and warp ≫ 1 as the network loads up. With
+//! `NSCC_JSON=1` (or `--json`) also writes `BENCH_warp_study.json`,
+//! including the observability hub's warp timeline and network-delay
+//! histogram aggregated over every load level.
 
+use nscc_bench::{write_report, Scale};
 use nscc_core::fmt::render_table;
-use nscc_net::{spawn_loaders, EthernetBus, LoaderConfig, Network, NodeId, WarpMeter};
+use nscc_core::RunReport;
 use nscc_msg::{CommWorld, MsgConfig};
+use nscc_net::{spawn_loaders, EthernetBus, LoaderConfig, Network, NodeId, WarpMeter};
+use nscc_obs::Hub;
 use nscc_sim::{SimBuilder, SimTime};
 
 fn main() {
+    let scale = Scale::from_env();
     println!("=== Warp metric vs offered background load (10 Mbps Ethernet) ===");
+    let hub = Hub::new();
+    let mut rep = RunReport::new("warp_study", &hub);
     let mut rows = vec![vec![
         "load (Mbps)".to_string(),
         "mean warp".to_string(),
@@ -18,7 +27,7 @@ fn main() {
         "mean delay (ms)".to_string(),
     ]];
     for &load in &[0.0, 2.0, 4.0, 6.0, 8.0, 9.5] {
-        let (warp, delay_ms) = measure(load);
+        let (warp, delay_ms) = measure(load, scale.json.then(|| hub.clone()));
         rows.push(vec![
             format!("{load}"),
             format!("{:.3}", warp.0),
@@ -26,18 +35,35 @@ fn main() {
             format!("{:.2}", warp.2),
             format!("{delay_ms:.2}"),
         ]);
+        rep.metric(format!("load{load}_warp_mean"), warp.0);
+        rep.metric(format!("load{load}_warp_p95"), warp.1);
+        rep.metric(format!("load{load}_warp_max"), warp.2);
+        rep.metric(format!("load{load}_delay_ms"), delay_ms);
     }
     print!("{}", render_table(&rows));
     println!("\nwarp ≈ 1: stable network; warp ≫ 1: load is building up (§4.3).");
+
+    if scale.json {
+        // The hub summary was captured before the runs; refresh it so the
+        // report carries the aggregated warp timeline and delay histogram.
+        rep.obs = hub.summary();
+        write_report(&scale, &rep);
+    }
 }
 
 /// Run a fixed two-node message pattern under `load` Mbps of background
 /// traffic; return (mean, p95, max) warp and the mean delivery delay.
-fn measure(load: f64) -> ((f64, f64, f64), f64) {
+/// When a hub is given, the network and message layer are instrumented so
+/// warp samples and delivery delays land in the hub as well.
+fn measure(load: f64, hub: Option<Hub>) -> ((f64, f64, f64), f64) {
     let net = Network::new(EthernetBus::ten_mbps(7));
     let warp = WarpMeter::new();
-    let world: CommWorld<u64> =
+    let mut world: CommWorld<u64> =
         CommWorld::new(net.clone(), 2, MsgConfig::default()).with_warp(warp.clone());
+    if let Some(hub) = hub {
+        net.attach_obs(hub.clone());
+        world = world.with_obs(hub);
+    }
     let mut sim = SimBuilder::new(7);
     if load > 0.0 {
         spawn_loaders(

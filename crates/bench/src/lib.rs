@@ -9,10 +9,15 @@
 //! * `NSCC_GENS` — serial-baseline GA generations (paper: 1000).
 //! * `NSCC_CI` — Bayes CI half-width (paper: 0.01).
 //! * `NSCC_SEED` — base seed.
+//! * `NSCC_JSON` — set to `1`/`true` (or pass `--json`) to also write a
+//!   machine-readable `BENCH_<name>.json` run report into the working
+//!   directory.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+
+use nscc_core::RunReport;
 
 /// Harness scale, read from the environment with bench-friendly defaults.
 #[derive(Debug, Clone, Copy)]
@@ -25,10 +30,13 @@ pub struct Scale {
     pub ci: f64,
     /// Base seed.
     pub seed: u64,
+    /// Whether to write a `BENCH_<name>.json` run report.
+    pub json: bool,
 }
 
 impl Scale {
-    /// Read the scale from the environment (see module docs).
+    /// Read the scale from the environment (see module docs). JSON output
+    /// is enabled by `NSCC_JSON=1`/`true` or a `--json` argument.
     pub fn from_env() -> Scale {
         fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
             std::env::var(name)
@@ -36,11 +44,14 @@ impl Scale {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(default)
         }
+        let json = matches!(std::env::var("NSCC_JSON").as_deref(), Ok("1") | Ok("true"))
+            || std::env::args().any(|a| a == "--json");
         Scale {
             runs: var("NSCC_RUNS", 3),
             generations: var("NSCC_GENS", 120),
             ci: var("NSCC_CI", 0.02),
             seed: var("NSCC_SEED", 42),
+            json,
         }
     }
 
@@ -51,6 +62,7 @@ impl Scale {
             generations: 1000,
             ci: 0.01,
             seed: 42,
+            json: false,
         }
     }
 }
@@ -62,10 +74,26 @@ pub fn banner(title: &str, scale: &Scale) -> String {
     let _ = writeln!(s, "=== {title} ===");
     let _ = writeln!(
         s,
-        "scale: runs={} generations={} ci=±{} seed={}",
-        scale.runs, scale.generations, scale.ci, scale.seed
+        "scale: runs={} generations={} ci=±{} seed={} json={}",
+        scale.runs,
+        scale.generations,
+        scale.ci,
+        scale.seed,
+        if scale.json { "on" } else { "off" }
     );
     s
+}
+
+/// Write the run report into the working directory when JSON output is
+/// enabled (no-op otherwise), echoing the path written.
+pub fn write_report(scale: &Scale, report: &RunReport) {
+    if !scale.json {
+        return;
+    }
+    match report.write_json(".") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", report.filename()),
+    }
 }
 
 #[cfg(test)]

@@ -7,8 +7,9 @@ use nscc_bayes::{
     run_parallel_inference, sequential_inference, BayesCost, ParallelBayesConfig, Plan, Query,
     SeqResult, StopRule, Table2Net,
 };
-use nscc_dsm::Coherence;
-
+use nscc_dsm::{Coherence, DsmStats};
+use nscc_net::NetStats;
+use nscc_obs::Hub;
 use nscc_sim::{SimError, SimTime};
 
 use crate::ga_exp::PAPER_AGES;
@@ -35,6 +36,9 @@ pub struct BayesExperiment {
     pub block: usize,
     /// Iteration cap per partition.
     pub max_iterations: u64,
+    /// Optional observability hub, attached to every run's DSM world and
+    /// network (shared across runs and modes: the cell aggregates).
+    pub obs: Option<Hub>,
 }
 
 impl BayesExperiment {
@@ -54,6 +58,7 @@ impl BayesExperiment {
             cost: BayesCost::default(),
             block: 8,
             max_iterations: 200_000,
+            obs: None,
         }
     }
 
@@ -80,11 +85,7 @@ impl BayesExperiment {
             }
         }
         let skewness = |v: usize| -> f64 {
-            *counts[v]
-                .iter()
-                .max()
-                .expect("counts nonempty") as f64
-                / probe as f64
+            *counts[v].iter().max().expect("counts nonempty") as f64 / probe as f64
         };
         let candidates = start..net.len();
         let node = match self.net {
@@ -134,6 +135,11 @@ pub struct BayesExpResult {
     pub edge_cut: usize,
     /// One row per mode.
     pub modes: Vec<BayesModeResult>,
+    /// Aggregate DSM counters over every parallel run in the cell.
+    pub dsm: DsmStats,
+    /// Aggregate network counters over every parallel run in the cell
+    /// (`net` names the benchmark belief network).
+    pub net_stats: NetStats,
 }
 
 impl BayesExpResult {
@@ -183,11 +189,17 @@ pub fn run_bayes_experiment(exp: &BayesExperiment) -> Result<BayesExpResult, Sim
 
     let modes: Vec<Coherence> = [Coherence::Synchronous, Coherence::FullyAsync]
         .into_iter()
-        .chain(PAPER_AGES.iter().map(|&a| Coherence::PartialAsync { age: a }))
+        .chain(
+            PAPER_AGES
+                .iter()
+                .map(|&a| Coherence::PartialAsync { age: a }),
+        )
         .collect();
 
     let mut seq_time_sum = SimTime::ZERO;
     let mut seq_samples_sum = 0.0;
+    let mut dsm_total = DsmStats::default();
+    let mut net_total = NetStats::default();
     let mut acc: Vec<Vec<(SimTime, u64, u64, bool)>> =
         (0..modes.len()).map(|_| Vec::new()).collect();
 
@@ -202,12 +214,16 @@ pub fn run_bayes_experiment(exp: &BayesExperiment) -> Result<BayesExpResult, Sim
             // builds its own, so loaded Bayes runs use the network-only
             // build (the paper's loaded experiments are GA-only anyway).
             let network = exp.platform.build_network_only(seed);
+            if let Some(hub) = &exp.obs {
+                network.attach_obs(hub.clone());
+            }
             let cfg = ParallelBayesConfig {
                 stop: exp.stop,
                 cost: exp.cost.clone(),
                 block: exp.block,
                 max_iterations: exp.max_iterations,
                 sample_seed: seed,
+                obs: exp.obs.clone(),
                 ..ParallelBayesConfig::new(mode)
             };
             let res = run_parallel_inference(
@@ -215,11 +231,13 @@ pub fn run_bayes_experiment(exp: &BayesExperiment) -> Result<BayesExpResult, Sim
                 query.clone(),
                 exp.procs,
                 cfg,
-                network,
+                network.clone(),
                 exp.platform.msg.clone(),
                 seed,
             )?;
             let rollbacks: u64 = res.per_part.iter().map(|p| p.rollbacks).sum();
+            dsm_total.merge(&res.dsm);
+            net_total.merge(&network.stats());
             acc[mi].push((res.completion, res.drawn, rollbacks, res.converged));
         }
     }
@@ -250,6 +268,8 @@ pub fn run_bayes_experiment(exp: &BayesExperiment) -> Result<BayesExpResult, Sim
         seq_samples: seq_samples_sum / runs,
         edge_cut: plan.edge_cut,
         modes: mode_results,
+        dsm: dsm_total,
+        net_stats: net_total,
     })
 }
 

@@ -22,7 +22,8 @@ use nscc_ga::{
     run_island, ConvergenceBoard, CostModel, GaParams, IslandConfig, IslandOutcome, MigrantBatch,
     SerialGa, TestFn,
 };
-use nscc_net::WarpMeter;
+use nscc_net::{NetStats, WarpMeter};
+use nscc_obs::Hub;
 use nscc_sim::{SimBuilder, SimError, SimTime};
 
 use crate::platform::Platform;
@@ -55,6 +56,10 @@ pub struct GaExperiment {
     /// (lower = easier bar; 0.75 keeps island runs from chasing the
     /// panmictic population's last few multimodal refinements).
     pub target_fraction: f64,
+    /// Optional observability hub, attached to every run's DSM world and
+    /// network (shared across runs: histograms and counters aggregate
+    /// over the whole cell).
+    pub obs: Option<Hub>,
 }
 
 impl GaExperiment {
@@ -70,6 +75,7 @@ impl GaExperiment {
             platform: Platform::paper_ethernet(procs),
             cost: CostModel::default(),
             target_fraction: 0.75,
+            obs: None,
         }
     }
 }
@@ -110,6 +116,8 @@ pub struct GaExpResult {
     pub serial_best: f64,
     /// One row per mode: sync, async, each age.
     pub modes: Vec<ModeResult>,
+    /// Aggregate network counters over every parallel run in the cell.
+    pub net: NetStats,
 }
 
 impl GaExpResult {
@@ -152,6 +160,7 @@ struct RunMeasure {
     messages: u64,
     warp: f64,
     dsm: DsmStats,
+    net: NetStats,
 }
 
 /// Run one parallel GA configuration once.
@@ -168,13 +177,12 @@ fn run_parallel_once(
 
     let mut dir = Directory::new();
     let locs = dir.add_per_rank("best", p);
-    let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(
-        net,
-        p,
-        exp.platform.msg.clone(),
-        dir,
-    )
-    .with_warp(warp.clone());
+    let mut world: DsmWorld<MigrantBatch> =
+        DsmWorld::new(net.clone(), p, exp.platform.msg.clone(), dir).with_warp(warp.clone());
+    if let Some(hub) = &exp.obs {
+        net.attach_obs(hub.clone());
+        world = world.with_obs(hub.clone());
+    }
     for &l in &locs {
         world.set_initial(l, Vec::new());
     }
@@ -206,7 +214,12 @@ fn run_parallel_once(
     // Quality bar: the mean best-ever across islands (a per-subpopulation
     // criterion, as the paper uses).
     let best = outs.iter().flatten().map(|o| o.best).sum::<f64>() / p as f64;
-    let gens: f64 = outs.iter().flatten().map(|o| o.generations as f64).sum::<f64>() / p as f64;
+    let gens: f64 = outs
+        .iter()
+        .flatten()
+        .map(|o| o.generations as f64)
+        .sum::<f64>()
+        / p as f64;
     let success = match stop {
         nscc_ga::StopPolicy::FixedGenerations(_) => true,
         nscc_ga::StopPolicy::TargetQuality { .. } => {
@@ -228,6 +241,7 @@ fn run_parallel_once(
         messages: world.comm_stats().sent,
         warp: warp.mean(),
         dsm: world.total_stats(),
+        net: net.stats(),
     })
 }
 
@@ -235,7 +249,11 @@ fn run_parallel_once(
 pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
     let modes: Vec<Coherence> = [Coherence::Synchronous, Coherence::FullyAsync]
         .into_iter()
-        .chain(PAPER_AGES.iter().map(|&a| Coherence::PartialAsync { age: a }))
+        .chain(
+            PAPER_AGES
+                .iter()
+                .map(|&a| Coherence::PartialAsync { age: a }),
+        )
         .collect();
 
     let mut serial_time_sum = SimTime::ZERO;
@@ -285,6 +303,7 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
 
     let runs = exp.runs as f64;
     let serial_time = serial_time_sum / exp.runs as u64;
+    let mut net_total = NetStats::default();
     let mode_results = modes
         .iter()
         .zip(acc)
@@ -308,6 +327,7 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
             let mut dsm = DsmStats::default();
             for m in &ms {
                 dsm.merge(&m.dsm);
+                net_total.merge(&m.net);
             }
             ModeResult {
                 label: mode.label(),
@@ -329,6 +349,7 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
         serial_time,
         serial_best: serial_best_sum / runs,
         modes: mode_results,
+        net: net_total,
     })
 }
 

@@ -10,6 +10,9 @@
 //!   GAs, with speedups, quality and warp measurements.
 //! * [`run_bayes_experiment`] — one Table 2/Figure 3 cell: sequential
 //!   logic sampling plus the three parallel disciplines.
+//! * [`RunReport`] — machine-readable merged run record
+//!   (`BENCH_<name>.json`) combining layer stats with the observability
+//!   hub's histograms and counters.
 //! * [`fmt`] — plain-text table rendering shared by the bench binaries.
 
 #![warn(missing_docs)]
@@ -18,9 +21,11 @@ mod bayes_exp;
 pub mod fmt;
 mod ga_exp;
 mod platform;
+mod report;
 
 pub use bayes_exp::{
     run_bayes_experiment, run_sequential, BayesExpResult, BayesExperiment, BayesModeResult,
 };
 pub use ga_exp::{run_ga_experiment, GaExpResult, GaExperiment, ModeResult, PAPER_AGES};
 pub use platform::{Interconnect, Platform};
+pub use report::RunReport;

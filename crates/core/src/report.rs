@@ -1,0 +1,140 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] merges everything one experiment run (or sweep)
+//! produced — experiment parameters, headline metrics, aggregate
+//! [`DsmStats`], [`NetStats`] and [`CommStats`], and the observability
+//! hub's [`HubSummary`] (histograms, warp distribution, event counters) —
+//! into one serializable document. The bench binaries write it as
+//! `BENCH_<name>.json` next to the working directory when `NSCC_JSON=1`
+//! (or `--json`) is set, so sweeps can be diffed and plotted without
+//! scraping stdout tables.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use nscc_dsm::DsmStats;
+use nscc_msg::CommStats;
+use nscc_net::NetStats;
+use nscc_obs::{json, Hub, HubSummary};
+
+/// One run's merged, serializable record.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Report name (`BENCH_<name>.json`).
+    pub name: String,
+    /// Experiment parameters (procs, generations, ages, …).
+    pub params: BTreeMap<String, f64>,
+    /// Headline metrics (speedups, times in seconds, success rates, …).
+    pub metrics: BTreeMap<String, f64>,
+    /// Aggregate DSM counters over every run in the cell/sweep.
+    pub dsm: DsmStats,
+    /// Aggregate network counters, when a network was involved.
+    pub net: Option<NetStats>,
+    /// Message-layer counters, when available.
+    pub comm: Option<CommStats>,
+    /// The observability hub's summary: staleness/block/delay histograms,
+    /// warp distribution, event and drop counters.
+    pub obs: HubSummary,
+}
+
+impl RunReport {
+    /// Start a report from a hub's current summary. Layer stats and
+    /// metrics are filled in afterwards.
+    pub fn new(name: impl Into<String>, hub: &Hub) -> Self {
+        RunReport {
+            name: name.into(),
+            params: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            dsm: DsmStats::default(),
+            net: None,
+            comm: None,
+            obs: hub.summary(),
+        }
+    }
+
+    /// Record an experiment parameter.
+    pub fn param(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.params.insert(key.into(), value);
+        self
+    }
+
+    /// Record a headline metric.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.insert(key.into(), value);
+        self
+    }
+
+    /// The canonical file name, `BENCH_<name>.json`.
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Serialize to a JSON string (hand-rolled serializer; no external
+    /// JSON crate in the workspace).
+    pub fn to_json(&self) -> String {
+        json::to_json(self)
+    }
+
+    /// Write `BENCH_<name>.json` into `dir`, returning the path written.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let path = dir.as_ref().join(self.filename());
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscc_obs::ObsEvent;
+
+    fn sample_report() -> RunReport {
+        let hub = Hub::new();
+        hub.emit(ObsEvent::ReadDone {
+            t_ns: 10,
+            rank: 0,
+            loc: 0,
+            curr_iter: 7,
+            requested: 5,
+            delivered: 4,
+            staleness: 3,
+            blocked: false,
+            block_ns: 0,
+        });
+        let mut rep = RunReport::new("unit", &hub);
+        rep.param("procs", 4.0).metric("speedup", 2.5);
+        rep.dsm.writes = 11;
+        rep.net = Some(NetStats::default());
+        rep
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let rep = sample_report();
+        let s = rep.to_json();
+        json::validate(&s).expect("report JSON validates");
+        assert!(s.contains("\"name\":\"unit\""));
+        assert!(s.contains("\"speedup\":2.5"));
+        assert!(s.contains("\"staleness\""));
+    }
+
+    #[test]
+    fn filename_is_bench_prefixed() {
+        assert_eq!(sample_report().filename(), "BENCH_unit.json");
+    }
+
+    #[test]
+    fn write_json_creates_the_file() {
+        let dir = std::env::temp_dir().join("nscc_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_report().write_json(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        json::validate(body.trim()).expect("file contents validate");
+        std::fs::remove_file(path).ok();
+    }
+}

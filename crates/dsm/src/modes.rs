@@ -61,15 +61,9 @@ mod tests {
     fn required_age_bounds() {
         assert_eq!(Coherence::Synchronous.required_age(7), Some(7));
         assert_eq!(Coherence::FullyAsync.required_age(7), None);
-        assert_eq!(
-            Coherence::PartialAsync { age: 3 }.required_age(7),
-            Some(4)
-        );
+        assert_eq!(Coherence::PartialAsync { age: 3 }.required_age(7), Some(4));
         // Saturates at iteration 0 (initial values are age 0).
-        assert_eq!(
-            Coherence::PartialAsync { age: 10 }.required_age(7),
-            Some(0)
-        );
+        assert_eq!(Coherence::PartialAsync { age: 10 }.required_age(7), Some(0));
     }
 
     #[test]

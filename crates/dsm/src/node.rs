@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use serde::Serialize;
 
 use nscc_msg::{Endpoint, Envelope};
+use nscc_obs::{Hub, ObsEvent, SpanKind};
 use nscc_sim::{Ctx, SimTime};
 
 use crate::directory::{Directory, LocId};
@@ -39,7 +40,7 @@ pub enum DsmMsg<T> {
 
 /// Per-node DSM counters, readable after a run via
 /// [`DsmWorld::stats`](crate::DsmWorld::stats).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct DsmStats {
     /// `write` calls performed.
     pub writes: u64,
@@ -140,6 +141,7 @@ pub struct DsmNode<T: Send + 'static> {
     arrivals: HashMap<u64, usize>,
     stats: DsmStats,
     shared_stats: Arc<Mutex<Vec<DsmStats>>>,
+    obs: Option<Hub>,
 }
 
 impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
@@ -150,6 +152,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         initial: HashMap<LocId, (u64, T)>,
         history: usize,
         shared_stats: Arc<Mutex<Vec<DsmStats>>>,
+        obs: Option<Hub>,
     ) -> Self {
         // (coalesce is configured post-construction by the world)
         DsmNode {
@@ -166,6 +169,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             arrivals: HashMap::new(),
             stats: DsmStats::default(),
             shared_stats,
+            obs,
         }
     }
 
@@ -201,6 +205,14 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             self.rank, meta.name, meta.writer
         );
         self.stats.writes += 1;
+        if let Some(hub) = &self.obs {
+            hub.emit(ObsEvent::Write {
+                t_ns: ctx.now().as_nanos(),
+                rank: self.rank as u32,
+                loc: loc.0,
+                age: iter,
+            });
+        }
         let pending = self.pending_writes.entry(loc).or_insert(0);
         *pending += 1;
         // Retirement sentinels always flush (termination must propagate).
@@ -260,6 +272,18 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         if let Some((have, v)) = self.cache.get(&loc) {
             if *have >= required {
                 self.stats.cache_hits += 1;
+                if let Some(hub) = &self.obs {
+                    hub.emit(read_done_event(
+                        ctx.now(),
+                        self.rank,
+                        loc,
+                        curr_iter,
+                        age,
+                        *have,
+                        false,
+                        SimTime::ZERO,
+                    ));
+                }
                 self.flush_stats();
                 return ReadOutcome {
                     age: *have,
@@ -273,6 +297,14 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         // Blocked path: wait for updates, applying everything that arrives.
         self.stats.blocked_reads += 1;
         let t0 = ctx.now();
+        if let Some(hub) = &self.obs {
+            hub.emit(ObsEvent::ReadBlocked {
+                t_ns: t0.as_nanos(),
+                rank: self.rank as u32,
+                loc: loc.0,
+                required,
+            });
+        }
         loop {
             let env = self.ep.recv(ctx);
             self.apply(env);
@@ -287,6 +319,27 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                         block_time,
                         required,
                     };
+                    if let Some(hub) = &self.obs {
+                        hub.emit(read_done_event(
+                            ctx.now(),
+                            self.rank,
+                            loc,
+                            curr_iter,
+                            age,
+                            out.age,
+                            true,
+                            block_time,
+                        ));
+                        // Blocked waits live on the Phase lane (pid = rank),
+                        // which the scheduler's own Blocked spans never use.
+                        hub.span(
+                            self.rank as u32,
+                            t0.as_nanos(),
+                            ctx.now().as_nanos(),
+                            SpanKind::Phase,
+                            format!("Global_Read:{}", self.dir.meta(loc).name),
+                        );
+                    }
                     self.flush_stats();
                     return out;
                 }
@@ -317,9 +370,29 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         curr_iter: u64,
         mode: crate::Coherence,
     ) -> (u64, T) {
-        match mode.required_age(curr_iter) {
-            None => self.read_relaxed(ctx, loc),
-            Some(required) => self.global_read(ctx, loc, required, 0),
+        match mode {
+            crate::Coherence::FullyAsync => {
+                let (have, v) = self.read_relaxed(ctx, loc);
+                if let Some(hub) = &self.obs {
+                    hub.emit(read_done_event(
+                        ctx.now(),
+                        self.rank,
+                        loc,
+                        curr_iter,
+                        u64::MAX,
+                        have,
+                        false,
+                        SimTime::ZERO,
+                    ));
+                }
+                (have, v)
+            }
+            // The (curr_iter, age) pair passes through unchanged —
+            // blocking-wise identical to waiting for
+            // `mode.required_age(curr_iter)`, but the emitted `ReadDone`
+            // carries the true requested age and delivered staleness.
+            crate::Coherence::Synchronous => self.global_read(ctx, loc, curr_iter, 0),
+            crate::Coherence::PartialAsync { age } => self.global_read(ctx, loc, curr_iter, age),
         }
     }
 
@@ -353,15 +426,19 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
     /// discipline, which needs per-iteration values.
     pub fn wait_version(&mut self, ctx: &mut Ctx, loc: LocId, age: u64) -> Result<T, Retired> {
         self.drain(ctx);
+        let entry = ctx.now();
+        let mut waited = false;
         loop {
             let hit = self.get_version(loc, age).cloned();
             if let Some(out) = hit {
                 self.stats.cache_hits += 1;
+                self.record_wait_span(ctx, loc, entry, waited);
                 self.flush_stats();
                 return Ok(out);
             }
             match self.cache.get(&loc) {
                 Some((a, _)) if *a == RETIRE_AGE => {
+                    self.record_wait_span(ctx, loc, entry, waited);
                     self.flush_stats();
                     return Err(Retired);
                 }
@@ -374,10 +451,29 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                 _ => {}
             }
             self.stats.blocked_reads += 1;
+            waited = true;
             let t0 = ctx.now();
             let env = self.ep.recv(ctx);
             self.apply(env);
             self.stats.block_time += ctx.now() - t0;
+        }
+    }
+
+    /// Record the Phase-lane span covering a blocked
+    /// [`wait_version`](DsmNode::wait_version) episode (no-op for
+    /// immediate hits or when detached).
+    fn record_wait_span(&self, ctx: &Ctx, loc: LocId, entry: SimTime, waited: bool) {
+        if !waited {
+            return;
+        }
+        if let Some(hub) = &self.obs {
+            hub.span(
+                self.rank as u32,
+                entry.as_nanos(),
+                ctx.now().as_nanos(),
+                SpanKind::Phase,
+                format!("wait_version:{}", self.dir.meta(loc).name),
+            );
         }
     }
 
@@ -400,11 +496,18 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
     pub fn barrier(&mut self, ctx: &mut Ctx, epoch: u64) {
         let p = self.ep.ranks();
         self.stats.barriers += 1;
+        let t0 = ctx.now();
+        if let Some(hub) = &self.obs {
+            hub.emit(ObsEvent::BarrierEnter {
+                t_ns: t0.as_nanos(),
+                rank: self.rank as u32,
+                epoch,
+            });
+        }
         if p == 1 {
-            self.flush_stats();
+            self.finish_barrier(ctx, epoch, t0);
             return;
         }
-        let t0 = ctx.now();
         if self.rank == 0 {
             while self.arrivals.get(&epoch).copied().unwrap_or(0) < p - 1 {
                 let env = self.ep.recv(ctx);
@@ -419,7 +522,31 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                 self.apply(env);
             }
         }
-        self.stats.barrier_time += ctx.now() - t0;
+        self.finish_barrier(ctx, epoch, t0);
+    }
+
+    /// Common barrier epilogue: account the wait, emit the release event
+    /// and its Phase-lane span, and publish the counters.
+    fn finish_barrier(&mut self, ctx: &mut Ctx, epoch: u64, t0: SimTime) {
+        let wait = ctx.now() - t0;
+        self.stats.barrier_time += wait;
+        if let Some(hub) = &self.obs {
+            hub.emit(ObsEvent::BarrierExit {
+                t_ns: ctx.now().as_nanos(),
+                rank: self.rank as u32,
+                epoch,
+                wait_ns: wait.as_nanos(),
+            });
+            if wait > SimTime::ZERO {
+                hub.span(
+                    self.rank as u32,
+                    t0.as_nanos(),
+                    ctx.now().as_nanos(),
+                    SpanKind::Phase,
+                    "barrier",
+                );
+            }
+        }
         self.flush_stats();
     }
 
@@ -435,6 +562,9 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
     }
 
     fn apply(&mut self, env: Envelope<DsmMsg<T>>) {
+        // Events emitted here are stamped with the update's send time: the
+        // receive handler has no clock of its own.
+        let sent_at = env.sent_at;
         match env.payload {
             DsmMsg::Update { loc, age, value } => {
                 if self.history > 0 {
@@ -467,6 +597,15 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                         // FIFO channels make this rare, but guard anyway:
                         // never replace a newer value with an older one.
                         self.stats.updates_stale += 1;
+                        if let Some(hub) = &self.obs {
+                            hub.emit(ObsEvent::StaleDiscard {
+                                t_ns: sent_at.as_nanos(),
+                                rank: self.rank as u32,
+                                loc: loc.0,
+                                age,
+                                have: *have,
+                            });
+                        }
                     }
                     _ => {
                         self.cache.insert(loc, (age, value));
@@ -486,5 +625,33 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
 
     fn flush_stats(&self) {
         self.shared_stats.lock()[self.rank] = self.stats;
+    }
+}
+
+/// Build the `ReadDone` event shared by every read flavour. `requested` is
+/// the raw `age` argument (`u64::MAX` for relaxed reads); the recorded
+/// staleness is `curr_iter − delivered`, saturated so future or retired
+/// values count as perfectly fresh.
+#[allow(clippy::too_many_arguments)]
+fn read_done_event(
+    now: SimTime,
+    rank: usize,
+    loc: LocId,
+    curr_iter: u64,
+    requested: u64,
+    delivered: u64,
+    blocked: bool,
+    block_time: SimTime,
+) -> ObsEvent {
+    ObsEvent::ReadDone {
+        t_ns: now.as_nanos(),
+        rank: rank as u32,
+        loc: loc.0,
+        curr_iter,
+        requested,
+        delivered,
+        staleness: curr_iter.saturating_sub(delivered),
+        blocked,
+        block_ns: block_time.as_nanos(),
     }
 }

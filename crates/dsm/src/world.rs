@@ -9,6 +9,7 @@ use serde::Serialize;
 
 use nscc_msg::{CommStats, CommWorld, MsgConfig};
 use nscc_net::{Network, WarpMeter};
+use nscc_obs::Hub;
 
 use crate::directory::{Directory, LocId};
 use crate::node::{DsmMsg, DsmNode, DsmStats};
@@ -24,6 +25,7 @@ pub struct DsmWorld<T: Send + 'static> {
     history: usize,
     coalesce: u64,
     stats: Arc<Mutex<Vec<DsmStats>>>,
+    obs: Option<Hub>,
 }
 
 impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
@@ -36,12 +38,23 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
             history: 0,
             coalesce: 1,
             stats: Arc::new(Mutex::new(vec![DsmStats::default(); ranks])),
+            obs: None,
         }
     }
 
     /// Attach a warp meter to the underlying message layer.
     pub fn with_warp(mut self, warp: WarpMeter) -> Self {
         self.comm = self.comm.with_warp(warp);
+        self
+    }
+
+    /// Attach an observability hub: every node built afterwards emits
+    /// structured read/write/barrier events, and the message layer
+    /// forwards warp samples (when a meter is attached). Detached costs
+    /// one branch per operation.
+    pub fn with_obs(mut self, hub: Hub) -> Self {
+        self.comm = self.comm.with_obs(hub.clone());
+        self.obs = Some(hub);
         self
     }
 
@@ -96,6 +109,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
             cache,
             self.history,
             Arc::clone(&self.stats),
+            self.obs.clone(),
         );
         if self.coalesce > 1 {
             node.set_coalescing(self.coalesce);

@@ -158,7 +158,10 @@ fn fully_async_never_blocks_and_sees_staleness() {
         }
         // Reader finished its 10 iterations in ~50 ms having seen at most
         // the writer's first value: staleness grows unbounded.
-        assert!(max_staleness >= 8, "expected deep staleness, saw {max_staleness}");
+        assert!(
+            max_staleness >= 8,
+            "expected deep staleness, saw {max_staleness}"
+        );
         assert!(ctx.now() < SimTime::from_millis(100));
     });
     sim.run().unwrap();
@@ -474,7 +477,10 @@ fn write_coalescing_cuts_messages_and_respects_global_read() {
             for iter in 1..=40u64 {
                 ctx.advance(SimTime::from_millis(2));
                 let (age, _) = reader.global_read(ctx, loc, iter, 8);
-                assert!(age >= iter.saturating_sub(8), "bound violated at k-coalescing");
+                assert!(
+                    age >= iter.saturating_sub(8),
+                    "bound violated at k-coalescing"
+                );
             }
         });
         sim.run().unwrap();

@@ -122,7 +122,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
             let c = m.generation_cost(work(), &mut rng).as_secs_f64();
-            assert!(c >= base * 0.799 && c <= base * 1.201, "c = {c}, base = {base}");
+            assert!(
+                c >= base * 0.799 && c <= base * 1.201,
+                "c = {c}, base = {base}"
+            );
         }
     }
 

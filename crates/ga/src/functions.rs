@@ -142,7 +142,10 @@ impl TestFn {
     /// A point attaining the known minimum (for tests).
     pub fn argmin(self) -> Vec<f64> {
         match self {
-            TestFn::F1Sphere | TestFn::F4QuarticNoise | TestFn::F6Rastrigin | TestFn::F8Griewank => {
+            TestFn::F1Sphere
+            | TestFn::F4QuarticNoise
+            | TestFn::F6Rastrigin
+            | TestFn::F8Griewank => {
                 vec![0.0; self.dims()]
             }
             TestFn::F2Rosenbrock => vec![1.0, 1.0],
@@ -156,7 +159,12 @@ impl TestFn {
     /// Evaluate the deterministic part of the function at `x`.
     /// Panics if `x.len() != dims()`.
     pub fn eval(self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.dims(), "{}: wrong dimensionality", self.name());
+        assert_eq!(
+            x.len(),
+            self.dims(),
+            "{}: wrong dimensionality",
+            self.name()
+        );
         match self {
             TestFn::F1Sphere => x.iter().map(|v| v * v).sum(),
             TestFn::F2Rosenbrock => {

@@ -376,7 +376,10 @@ mod tests {
         // best should be at least as good as the worst isolated deme.
         let outs = run_modes(Coherence::PartialAsync { age: 2 }, 17);
         let global_best = outs.iter().map(|o| o.best).fold(f64::INFINITY, f64::min);
-        assert!(global_best <= 0.01, "islands with migration should converge");
+        assert!(
+            global_best <= 0.01,
+            "islands with migration should converge"
+        );
     }
 
     #[test]

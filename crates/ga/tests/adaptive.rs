@@ -7,8 +7,8 @@ use parking_lot::Mutex;
 
 use nscc_dsm::{Coherence, Directory, DsmWorld};
 use nscc_ga::{
-    run_island, ConvergenceBoard, CostModel, IslandConfig, IslandOutcome, MigrantBatch,
-    StopPolicy, TestFn,
+    run_island, ConvergenceBoard, CostModel, IslandConfig, IslandOutcome, MigrantBatch, StopPolicy,
+    TestFn,
 };
 use nscc_msg::MsgConfig;
 use nscc_net::{EthernetBus, Network};

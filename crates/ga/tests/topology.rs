@@ -7,8 +7,8 @@ use parking_lot::Mutex;
 
 use nscc_dsm::{Coherence, DsmWorld};
 use nscc_ga::{
-    run_island, ConvergenceBoard, CostModel, IslandConfig, IslandOutcome, MigrantBatch,
-    StopPolicy, TestFn, Topology,
+    run_island, ConvergenceBoard, CostModel, IslandConfig, IslandOutcome, MigrantBatch, StopPolicy,
+    TestFn, Topology,
 };
 use nscc_msg::MsgConfig;
 use nscc_net::{IdealMedium, Network};

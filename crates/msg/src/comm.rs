@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use serde::Serialize;
 
 use nscc_net::{Network, NodeId, WarpMeter};
+use nscc_obs::Hub;
 use nscc_sim::{Ctx, Mailbox, SimTime};
 
 use crate::wire::wire_size;
@@ -54,7 +55,7 @@ pub struct Envelope<T> {
 }
 
 /// Cumulative per-world message counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct CommStats {
     /// Messages sent (one per destination; a broadcast to `p-1` peers
     /// counts `p-1`).
@@ -76,6 +77,7 @@ pub struct CommWorld<T: Send + 'static> {
     nodes: Vec<NodeId>,
     cfg: MsgConfig,
     warp: Option<WarpMeter>,
+    obs: Option<Hub>,
     inner: Arc<Mutex<WorldInner>>,
 }
 
@@ -92,6 +94,7 @@ impl<T: Send + 'static> CommWorld<T> {
             nodes,
             cfg,
             warp: None,
+            obs: None,
             inner: Arc::new(Mutex::new(WorldInner {
                 stats: CommStats::default(),
             })),
@@ -102,6 +105,14 @@ impl<T: Send + 'static> CommWorld<T> {
     /// observation (as the paper instruments *all* messages above PVM).
     pub fn with_warp(mut self, warp: WarpMeter) -> Self {
         self.warp = Some(warp);
+        self
+    }
+
+    /// Attach an observability hub. When a [`WarpMeter`] is also attached,
+    /// every warp sample produced at receive time is forwarded to the
+    /// hub's warp timeline, timestamped with the receiver's virtual clock.
+    pub fn with_obs(mut self, hub: Hub) -> Self {
+        self.obs = Some(hub);
         self
     }
 
@@ -120,6 +131,7 @@ impl<T: Send + 'static> CommWorld<T> {
             nodes: self.nodes.clone(),
             cfg: self.cfg.clone(),
             warp: self.warp.clone(),
+            obs: self.obs.clone(),
             inner: Arc::clone(&self.inner),
         }
     }
@@ -138,6 +150,7 @@ pub struct Endpoint<T: Send + 'static> {
     nodes: Vec<NodeId>,
     cfg: MsgConfig,
     warp: Option<WarpMeter>,
+    obs: Option<Hub>,
     inner: Arc<Mutex<WorldInner>>,
 }
 
@@ -150,6 +163,7 @@ impl<T: Send + 'static> Clone for Endpoint<T> {
             nodes: self.nodes.clone(),
             cfg: self.cfg.clone(),
             warp: self.warp.clone(),
+            obs: self.obs.clone(),
             inner: Arc::clone(&self.inner),
         }
     }
@@ -169,8 +183,14 @@ impl<T: Serialize + Send + 'static> Endpoint<T> {
     /// Send `payload` to `dst`, charging the sender's CPU overhead and
     /// occupying the network. Returns the scheduled arrival time.
     pub fn send(&self, ctx: &mut Ctx, dst: usize, payload: T) -> SimTime {
-        assert!(dst < self.boxes.len(), "destination rank {dst} out of range");
-        assert_ne!(dst, self.rank, "self-sends are not modeled; use local state");
+        assert!(
+            dst < self.boxes.len(),
+            "destination rank {dst} out of range"
+        );
+        assert_ne!(
+            dst, self.rank,
+            "self-sends are not modeled; use local state"
+        );
         ctx.advance(self.cfg.send_overhead);
         let bytes = wire_size(&payload) + self.cfg.header_bytes;
         {
@@ -267,12 +287,15 @@ impl<T: Serialize + Send + 'static> Endpoint<T> {
         ctx.advance(self.cfg.recv_overhead);
         self.inner.lock().stats.received += 1;
         if let Some(warp) = &self.warp {
-            warp.observe(
+            let sample = warp.observe(
                 self.nodes[self.rank],
                 self.nodes[env.src],
                 env.sent_at,
                 ctx.now(),
             );
+            if let (Some(s), Some(hub)) = (sample, &self.obs) {
+                hub.warp_sample(ctx.now().as_nanos(), s);
+            }
         }
     }
 }
@@ -383,6 +406,36 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(warp.len(), 4);
         assert!((warp.mean() - 1.0).abs() < 0.05, "ideal medium is stable");
+    }
+
+    #[test]
+    fn warp_samples_are_forwarded_to_the_hub() {
+        let warp = WarpMeter::new();
+        let hub = Hub::new();
+        let w = CommWorld::<u64>::new(
+            Network::new(IdealMedium::new(SimTime::from_millis(1))),
+            2,
+            MsgConfig::default(),
+        )
+        .with_warp(warp.clone())
+        .with_obs(hub.clone());
+        let (e0, e1) = (w.endpoint(0), w.endpoint(1));
+        let mut sim = SimBuilder::new(0);
+        sim.spawn("r0", move |ctx| {
+            for _ in 0..5 {
+                ctx.advance(SimTime::from_millis(10));
+                e0.send(ctx, 1, 0);
+            }
+        });
+        sim.spawn("r1", move |ctx| {
+            for _ in 0..5 {
+                let _ = e1.recv(ctx);
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(warp.len(), 4);
+        assert_eq!(hub.warp().len(), 4);
+        assert!((hub.warp().summary().mean - warp.mean()).abs() < 1e-12);
     }
 
     #[test]

@@ -96,7 +96,11 @@ mod tests {
             let net = Network::new(EthernetBus::ten_mbps(0));
             let mut sim = SimBuilder::new(0);
             if mbps > 0.0 {
-                spawn_loaders(&mut sim, &net, &LoaderConfig::mbps(mbps, NodeId(4), NodeId(5)));
+                spawn_loaders(
+                    &mut sim,
+                    &net,
+                    &LoaderConfig::mbps(mbps, NodeId(4), NodeId(5)),
+                );
             }
             let net2 = net.clone();
             sim.spawn("fg", move |ctx| {

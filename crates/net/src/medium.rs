@@ -16,7 +16,7 @@ impl NodeId {
 }
 
 /// Cumulative counters a medium maintains about itself.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct MediumStats {
     /// Frames accepted for transmission.
     pub frames: u64,
@@ -28,6 +28,17 @@ pub struct MediumStats {
     pub queueing: SimTime,
     /// Total time the medium spent transmitting.
     pub busy: SimTime,
+}
+
+impl MediumStats {
+    /// Fold another medium's counters into this one (for run aggregation).
+    pub fn merge(&mut self, other: &MediumStats) {
+        self.frames += other.frames;
+        self.payload_bytes += other.payload_bytes;
+        self.wire_bytes += other.wire_bytes;
+        self.queueing = self.queueing.saturating_add(other.queueing);
+        self.busy = self.busy.saturating_add(other.busy);
+    }
 }
 
 /// A transmission medium: computes when a frame submitted now will arrive,

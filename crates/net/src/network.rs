@@ -5,13 +5,17 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use nscc_obs::{Hub, ObsEvent};
 use nscc_sim::{Ctx, EventCtx, Mailbox, SimTime};
 
 use crate::medium::{Medium, MediumStats, NodeId};
 
+/// Destination marker for broadcast frames in emitted events.
+const BROADCAST: u32 = u32::MAX;
+
 /// Aggregate network-level statistics (medium counters plus end-to-end
 /// delay bookkeeping).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
 pub struct NetStats {
     /// Counters from the underlying medium.
     pub medium: MediumStats,
@@ -32,6 +36,14 @@ impl NetStats {
             self.total_delay / self.messages
         }
     }
+
+    /// Fold another network's counters into this one (for run aggregation).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.medium.merge(&other.medium);
+        self.messages += other.messages;
+        self.total_delay = self.total_delay.saturating_add(other.total_delay);
+        self.max_delay = self.max_delay.max(other.max_delay);
+    }
 }
 
 struct NetInner {
@@ -39,6 +51,7 @@ struct NetInner {
     messages: u64,
     total_delay: SimTime,
     max_delay: SimTime,
+    obs: Option<Hub>,
 }
 
 /// A cloneable handle to one simulated interconnect.
@@ -59,8 +72,17 @@ impl Network {
                 messages: 0,
                 total_delay: SimTime::ZERO,
                 max_delay: SimTime::ZERO,
+                obs: None,
             })),
         }
+    }
+
+    /// Attach an observability hub: every frame emits a send event (with
+    /// its queueing delay ahead of service) and a deliver event (feeding
+    /// the hub's network-delay histogram). Detached costs one branch per
+    /// frame.
+    pub fn attach_obs(&self, hub: Hub) {
+        self.inner.lock().obs = Some(hub);
     }
 
     /// Submit a message and schedule its delivery into `mailbox` at the
@@ -112,9 +134,17 @@ impl Network {
         msg: T,
     ) -> SimTime {
         let now = ctx.now();
-        let bcast = {
+        let (bcast, queue_ns) = {
             let mut inner = self.inner.lock();
-            inner.medium.transmit_broadcast(now, src, payload_bytes)
+            let queue_ns = if inner.obs.is_some() {
+                inner.medium.next_free(now).saturating_sub(now).as_nanos()
+            } else {
+                0
+            };
+            (
+                inner.medium.transmit_broadcast(now, src, payload_bytes),
+                queue_ns,
+            )
         };
         match bcast {
             Some(arrival) => {
@@ -125,6 +155,21 @@ impl Network {
                     inner.messages += 1;
                     inner.total_delay = inner.total_delay.saturating_add(delay);
                     inner.max_delay = inner.max_delay.max(delay);
+                    if let Some(hub) = &inner.obs {
+                        hub.emit(ObsEvent::NetSend {
+                            t_ns: now.as_nanos(),
+                            src: src.0,
+                            dst: BROADCAST,
+                            bytes: payload_bytes as u64,
+                            queue_ns,
+                        });
+                        hub.emit(ObsEvent::NetDeliver {
+                            t_ns: arrival.as_nanos(),
+                            src: src.0,
+                            dst: BROADCAST,
+                            delay_ns: delay.as_nanos(),
+                        });
+                    }
                 }
                 for (_, mb) in dests {
                     let mb = mb.clone();
@@ -151,12 +196,33 @@ impl Network {
 
     fn submit(&self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimTime {
         let mut inner = self.inner.lock();
+        // Queueing must be probed before the transmit mutates medium state.
+        let queue_ns = if inner.obs.is_some() {
+            inner.medium.next_free(now).saturating_sub(now).as_nanos()
+        } else {
+            0
+        };
         let arrival = inner.medium.transmit(now, src, dst, payload_bytes);
         debug_assert!(arrival >= now, "medium produced an arrival in the past");
         let delay = arrival - now;
         inner.messages += 1;
         inner.total_delay = inner.total_delay.saturating_add(delay);
         inner.max_delay = inner.max_delay.max(delay);
+        if let Some(hub) = &inner.obs {
+            hub.emit(ObsEvent::NetSend {
+                t_ns: now.as_nanos(),
+                src: src.0,
+                dst: dst.0,
+                bytes: payload_bytes as u64,
+                queue_ns,
+            });
+            hub.emit(ObsEvent::NetDeliver {
+                t_ns: arrival.as_nanos(),
+                src: src.0,
+                dst: dst.0,
+                delay_ns: delay.as_nanos(),
+            });
+        }
         arrival
     }
 

@@ -35,23 +35,27 @@ impl WarpMeter {
 
     /// Record a message from `sender` observed at `receiver`, stamped with
     /// its original `send_time` and its `arrival_time`. Produces one warp
-    /// sample per consecutive pair from the same sender.
+    /// sample per consecutive pair from the same sender; the sample (if
+    /// any) is returned so callers can forward it to an observability sink.
     pub fn observe(
         &self,
         receiver: NodeId,
         sender: NodeId,
         send_time: SimTime,
         arrival_time: SimTime,
-    ) {
+    ) -> Option<f64> {
         let mut st = self.state.lock();
         let key = (receiver, sender);
         if let Some((prev_send, prev_arrival)) = st.last.insert(key, (send_time, arrival_time)) {
             let ds = send_time.saturating_sub(prev_send).as_secs_f64();
             let da = arrival_time.saturating_sub(prev_arrival).as_secs_f64();
             if ds > 0.0 {
-                st.samples.push(da / ds);
+                let sample = da / ds;
+                st.samples.push(sample);
+                return Some(sample);
             }
         }
+        None
     }
 
     /// Number of samples collected.
@@ -141,6 +145,16 @@ mod tests {
         assert!(m.is_empty());
         m.observe(NodeId(1), NodeId(0), t(10), t(15));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn observe_returns_the_sample() {
+        let m = WarpMeter::new();
+        assert_eq!(m.observe(NodeId(1), NodeId(0), t(0), t(5)), None);
+        let s = m.observe(NodeId(1), NodeId(0), t(10), t(15));
+        assert_eq!(s, Some(1.0));
+        // Same send time twice: no inter-send gap, no sample.
+        assert_eq!(m.observe(NodeId(1), NodeId(0), t(10), t(16)), None);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Structured events emitted by the runtime layers.
+//!
+//! All fields are plain integers so the event stream is layer-agnostic:
+//! times are virtual nanoseconds (`t_ns`), network endpoints are `NodeId`
+//! indices, DSM processes are ranks and locations are `LocId` indices.
+
+use serde::Serialize;
+
+use crate::Label;
+
+/// One structured observation. Serialized (externally tagged) into run
+/// reports and dumps, e.g. `{"ReadDone":{"t_ns":…,"rank":…,…}}`.
+#[derive(Debug, Clone, Serialize)]
+pub enum ObsEvent {
+    /// A message was submitted to the network. `dst == u32::MAX` marks a
+    /// broadcast frame. `queue_ns` is the time the frame waited for the
+    /// medium before its service started.
+    NetSend {
+        /// Submission time.
+        t_ns: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node (`u32::MAX` for broadcast).
+        dst: u32,
+        /// Payload bytes (pre-framing).
+        bytes: u64,
+        /// Queueing delay ahead of service.
+        queue_ns: u64,
+    },
+    /// A message arrived at its destination.
+    NetDeliver {
+        /// Arrival time.
+        t_ns: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node (`u32::MAX` for broadcast).
+        dst: u32,
+        /// Total submit→arrival delay.
+        delay_ns: u64,
+    },
+    /// A DSM owner published a new value for a location.
+    Write {
+        /// Publish time.
+        t_ns: u64,
+        /// Writing rank.
+        rank: u32,
+        /// Location index.
+        loc: u32,
+        /// Generation (iteration) tag of the value.
+        age: u64,
+    },
+    /// A `Global_Read` found its bound unmet and blocked.
+    ReadBlocked {
+        /// Block time.
+        t_ns: u64,
+        /// Reading rank.
+        rank: u32,
+        /// Location index.
+        loc: u32,
+        /// Minimum acceptable generation (`curr_iter − age`).
+        required: u64,
+    },
+    /// A read completed (cache hit, unblocked `Global_Read`, or relaxed
+    /// read). The coherence contract is `staleness ≤ requested`.
+    ReadDone {
+        /// Completion time.
+        t_ns: u64,
+        /// Reading rank.
+        rank: u32,
+        /// Location index.
+        loc: u32,
+        /// Reader's current iteration.
+        curr_iter: u64,
+        /// Requested staleness bound (the `age` argument; `u64::MAX` for a
+        /// relaxed, never-blocking read).
+        requested: u64,
+        /// Generation of the delivered value (`u64::MAX` if retired).
+        delivered: u64,
+        /// Delivered staleness gap, `curr_iter − delivered` (0 when the
+        /// value is from the future or retired).
+        staleness: u64,
+        /// Whether the read blocked.
+        blocked: bool,
+        /// Time spent blocked (0 for hits).
+        block_ns: u64,
+    },
+    /// An incoming update was older than the cached value and discarded.
+    StaleDiscard {
+        /// Discard time.
+        t_ns: u64,
+        /// Receiving rank.
+        rank: u32,
+        /// Location index.
+        loc: u32,
+        /// Generation of the discarded update.
+        age: u64,
+        /// Generation already cached.
+        have: u64,
+    },
+    /// A rank arrived at a barrier.
+    BarrierEnter {
+        /// Arrival time.
+        t_ns: u64,
+        /// Rank.
+        rank: u32,
+        /// Barrier epoch.
+        epoch: u64,
+    },
+    /// A rank was released from a barrier.
+    BarrierExit {
+        /// Release time.
+        t_ns: u64,
+        /// Rank.
+        rank: u32,
+        /// Barrier epoch.
+        epoch: u64,
+        /// Enter→release wait.
+        wait_ns: u64,
+    },
+    /// A rollback re-published corrected state — the collapsed
+    /// anti-message + replacement pair of the Time-Warp-style bayes path.
+    AntiMessage {
+        /// Publish time.
+        t_ns: u64,
+        /// Correcting rank.
+        rank: u32,
+        /// Location index.
+        loc: u32,
+        /// Generation tag of the correction.
+        age: u64,
+    },
+    /// Application-defined marker.
+    Custom {
+        /// Event time.
+        t_ns: u64,
+        /// Free-form label.
+        label: Label,
+    },
+}
+
+impl ObsEvent {
+    /// The event's timestamp in virtual nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            ObsEvent::NetSend { t_ns, .. }
+            | ObsEvent::NetDeliver { t_ns, .. }
+            | ObsEvent::Write { t_ns, .. }
+            | ObsEvent::ReadBlocked { t_ns, .. }
+            | ObsEvent::ReadDone { t_ns, .. }
+            | ObsEvent::StaleDiscard { t_ns, .. }
+            | ObsEvent::BarrierEnter { t_ns, .. }
+            | ObsEvent::BarrierExit { t_ns, .. }
+            | ObsEvent::AntiMessage { t_ns, .. }
+            | ObsEvent::Custom { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// Short kind name, for counting and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::NetSend { .. } => "net_send",
+            ObsEvent::NetDeliver { .. } => "net_deliver",
+            ObsEvent::Write { .. } => "write",
+            ObsEvent::ReadBlocked { .. } => "read_blocked",
+            ObsEvent::ReadDone { .. } => "read_done",
+            ObsEvent::StaleDiscard { .. } => "stale_discard",
+            ObsEvent::BarrierEnter { .. } => "barrier_enter",
+            ObsEvent::BarrierExit { .. } => "barrier_exit",
+            ObsEvent::AntiMessage { .. } => "anti_message",
+            ObsEvent::Custom { .. } => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_and_kinds() {
+        let e = ObsEvent::Write {
+            t_ns: 7,
+            rank: 1,
+            loc: 2,
+            age: 3,
+        };
+        assert_eq!(e.t_ns(), 7);
+        assert_eq!(e.kind(), "write");
+        let c = ObsEvent::Custom {
+            t_ns: 9,
+            label: "checkpoint".into(),
+        };
+        assert_eq!(c.t_ns(), 9);
+        assert_eq!(c.kind(), "custom");
+    }
+}

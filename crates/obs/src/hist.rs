@@ -1,0 +1,248 @@
+//! A small log₂-bucketed histogram for latency- and staleness-like values.
+//!
+//! Values are `u64` (nanoseconds, iterations, bytes — the unit is the
+//! caller's business). Bucket `i` holds values whose bit length is `i`,
+//! i.e. bucket 0 is exactly `{0}`, bucket 1 is `{1}`, bucket 2 is `{2, 3}`,
+//! bucket 3 is `{4..=7}`, and so on — 65 buckets cover the full `u64`
+//! range. Recording is O(1) and allocation-free after construction, so the
+//! hub can keep histograms exact even when it has to drop raw events.
+
+use serde::ser::{Serialize, SerializeStruct, Serializer};
+
+/// Number of log₂ buckets needed to cover `u64` (bit lengths 0..=64).
+pub const BUCKETS: usize = 65;
+
+/// A mergeable log₂ histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+}
+
+/// Bucket index of a value: its bit length.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket.
+fn bucket_upper(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the first bucket whose
+    /// cumulative count reaches `q` (0.0..=1.0) of the total, clamped to
+    /// the exact observed maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket_upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper(i), n))
+            .collect()
+    }
+
+    /// One-line human summary, e.g. for bench footers.
+    pub fn brief(&self) -> String {
+        if self.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={:.1} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+// Hand-written so the JSON form carries derived stats and only the
+// populated buckets (65 mostly-zero entries would dominate the report).
+impl Serialize for Histogram {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Histogram", 8)?;
+        st.serialize_field("count", &self.count)?;
+        st.serialize_field("sum", &self.sum)?;
+        st.serialize_field("min", &self.min())?;
+        st.serialize_field("max", &self.max())?;
+        st.serialize_field("mean", &self.mean())?;
+        st.serialize_field("p50", &self.quantile(0.50))?;
+        st.serialize_field("p99", &self.quantile(0.99))?;
+        st.serialize_field("buckets", &self.nonzero_buckets())?;
+        st.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn records_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        assert_eq!(h.quantile(0.5), 1);
+        // p100 lands in the 1000 bucket [512, 1023], clamped to max.
+        assert_eq!(h.quantile(1.0), 1000);
+        // Quantiles never exceed the observed max.
+        assert!(h.quantile(0.999) <= 1000);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5, 9, 13] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2, 70000] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

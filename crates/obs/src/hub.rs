@@ -1,0 +1,361 @@
+//! The instrumentation hub: one cloneable sink every layer can share.
+//!
+//! A [`Hub`] collects three streams — structured [`ObsEvent`]s, execution
+//! [`Span`]s, warp samples — and maintains derived metrics (staleness,
+//! block-time and network-delay [`Histogram`]s, event-kind counters) as a
+//! side effect of [`Hub::emit`]. Raw event and span storage is bounded
+//! (overflow bumps drop counters); the histograms and counters stay exact
+//! regardless, so long experiment sweeps keep correct aggregates even when
+//! the raw streams saturate.
+//!
+//! Layers hold an `Option<Hub>`: detached (`None`) costs a single branch
+//! per event site — see the `obs/` group in `crates/bench/benches`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::event::ObsEvent;
+use crate::hist::Histogram;
+use crate::span::{Span, SpanKind, Trace, TraceTotals};
+use crate::warp::{WarpSummary, WarpTimeline};
+use crate::Label;
+
+/// Events kept before the hub starts counting drops instead.
+const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
+
+struct EventStore {
+    events: Vec<ObsEvent>,
+    dropped: u64,
+    capacity: usize,
+}
+
+struct HubInner {
+    events: Mutex<EventStore>,
+    trace: Trace,
+    warp: WarpTimeline,
+    staleness: Mutex<Histogram>,
+    block_ns: Mutex<Histogram>,
+    net_delay_ns: Mutex<Histogram>,
+    names: Mutex<BTreeMap<u32, String>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    messages: AtomicU64,
+    stale_discards: AtomicU64,
+    barriers: AtomicU64,
+    anti_messages: AtomicU64,
+}
+
+/// The shared instrumentation hub. Cloning is cheap (an `Arc` bump); all
+/// clones feed the same sink.
+#[derive(Clone)]
+pub struct Hub {
+    inner: Arc<HubInner>,
+}
+
+impl Default for Hub {
+    fn default() -> Self {
+        Hub::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl Hub {
+    /// A fresh hub with default storage bounds.
+    pub fn new() -> Self {
+        Hub::default()
+    }
+
+    /// A fresh hub keeping at most `capacity` raw events (derived metrics
+    /// stay exact past the bound).
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Hub {
+            inner: Arc::new(HubInner {
+                events: Mutex::new(EventStore {
+                    events: Vec::new(),
+                    dropped: 0,
+                    capacity,
+                }),
+                trace: Trace::new(),
+                warp: WarpTimeline::new(),
+                staleness: Mutex::new(Histogram::new()),
+                block_ns: Mutex::new(Histogram::new()),
+                net_delay_ns: Mutex::new(Histogram::new()),
+                names: Mutex::new(BTreeMap::new()),
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                messages: AtomicU64::new(0),
+                stale_discards: AtomicU64::new(0),
+                barriers: AtomicU64::new(0),
+                anti_messages: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record a structured event, updating derived metrics first so they
+    /// survive raw-event overflow.
+    pub fn emit(&self, ev: ObsEvent) {
+        match ev {
+            ObsEvent::ReadDone {
+                staleness,
+                blocked,
+                block_ns,
+                ..
+            } => {
+                self.inner.reads.fetch_add(1, Ordering::Relaxed);
+                self.inner.staleness.lock().record(staleness);
+                if blocked {
+                    self.inner.block_ns.lock().record(block_ns);
+                }
+            }
+            ObsEvent::Write { .. } => {
+                self.inner.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::NetDeliver { delay_ns, .. } => {
+                self.inner.messages.fetch_add(1, Ordering::Relaxed);
+                self.inner.net_delay_ns.lock().record(delay_ns);
+            }
+            ObsEvent::StaleDiscard { .. } => {
+                self.inner.stale_discards.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::BarrierExit { .. } => {
+                self.inner.barriers.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::AntiMessage { .. } => {
+                self.inner.anti_messages.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        let mut store = self.inner.events.lock();
+        if store.events.len() >= store.capacity {
+            store.dropped += 1;
+            return;
+        }
+        store.events.push(ev);
+    }
+
+    /// Record an execution span (see [`Trace::record`]).
+    pub fn span(
+        &self,
+        pid: u32,
+        start_ns: u64,
+        end_ns: u64,
+        kind: SpanKind,
+        label: impl Into<Label>,
+    ) {
+        self.inner.trace.record(pid, start_ns, end_ns, kind, label);
+    }
+
+    /// Record a warp sample at virtual time `t_ns`.
+    pub fn warp_sample(&self, t_ns: u64, warp: f64) {
+        self.inner.warp.record(t_ns, warp);
+    }
+
+    /// Name a pid/rank for trace exports (e.g. `"island3"`, `"loader"`).
+    pub fn set_proc_name(&self, pid: u32, name: impl Into<String>) {
+        self.inner.names.lock().insert(pid, name.into());
+    }
+
+    /// The span trace shared by this hub.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// The warp timeline shared by this hub.
+    pub fn warp(&self) -> &WarpTimeline {
+        &self.inner.warp
+    }
+
+    /// Snapshot of all kept events, in emission order.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        self.inner.events.lock().events.clone()
+    }
+
+    /// Number of kept events.
+    pub fn event_count(&self) -> usize {
+        self.inner.events.lock().events.len()
+    }
+
+    /// Events dropped after the capacity was reached.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.events.lock().dropped
+    }
+
+    /// Snapshot of the staleness histogram (delivered-age gap per read).
+    pub fn staleness(&self) -> Histogram {
+        self.inner.staleness.lock().clone()
+    }
+
+    /// Snapshot of the blocked-read time histogram (virtual ns).
+    pub fn block_time(&self) -> Histogram {
+        self.inner.block_ns.lock().clone()
+    }
+
+    /// Snapshot of the network delay histogram (virtual ns).
+    pub fn net_delay(&self) -> Histogram {
+        self.inner.net_delay_ns.lock().clone()
+    }
+
+    /// Registered pid/rank names.
+    pub fn proc_names(&self) -> BTreeMap<u32, String> {
+        self.inner.names.lock().clone()
+    }
+
+    /// Per-process span totals (see [`Trace::totals`]).
+    pub fn totals(&self, pid: u32) -> TraceTotals {
+        self.inner.trace.totals(pid)
+    }
+
+    /// Aggregate summary for embedding in a run report.
+    pub fn summary(&self) -> HubSummary {
+        let (events, events_dropped) = {
+            let store = self.inner.events.lock();
+            (store.events.len() as u64, store.dropped)
+        };
+        HubSummary {
+            events,
+            events_dropped,
+            spans: self.inner.trace.len() as u64,
+            spans_dropped: self.inner.trace.dropped(),
+            reads: self.inner.reads.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            stale_discards: self.inner.stale_discards.load(Ordering::Relaxed),
+            barriers: self.inner.barriers.load(Ordering::Relaxed),
+            anti_messages: self.inner.anti_messages.load(Ordering::Relaxed),
+            staleness: self.staleness(),
+            block_ns: self.block_time(),
+            net_delay_ns: self.net_delay(),
+            warp: self.inner.warp.summary(),
+        }
+    }
+
+    /// Export all spans as Chrome trace-event JSON (see [`crate::perfetto`]).
+    pub fn perfetto(&self) -> String {
+        crate::perfetto::export(&self.inner.trace.spans(), &self.proc_names())
+    }
+
+    /// All kept spans, sorted by start time.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.trace.spans()
+    }
+}
+
+impl fmt::Debug for Hub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hub")
+            .field("events", &self.event_count())
+            .field("spans", &self.inner.trace.len())
+            .field("warp_samples", &self.inner.warp.len())
+            .finish()
+    }
+}
+
+/// Serializable aggregate of everything a hub collected.
+#[derive(Debug, Clone, Serialize)]
+pub struct HubSummary {
+    /// Raw events kept.
+    pub events: u64,
+    /// Raw events dropped at the capacity bound.
+    pub events_dropped: u64,
+    /// Spans kept.
+    pub spans: u64,
+    /// Spans dropped at the capacity bound.
+    pub spans_dropped: u64,
+    /// Reads observed (`ReadDone` events; exact despite drops).
+    pub reads: u64,
+    /// DSM writes observed.
+    pub writes: u64,
+    /// Network deliveries observed.
+    pub messages: u64,
+    /// Updates discarded as stale.
+    pub stale_discards: u64,
+    /// Barrier releases observed.
+    pub barriers: u64,
+    /// Rollback anti-messages observed.
+    pub anti_messages: u64,
+    /// Delivered-age gap per read (iterations).
+    pub staleness: Histogram,
+    /// Blocked-read durations (virtual ns).
+    pub block_ns: Histogram,
+    /// Network submit→arrival delays (virtual ns).
+    pub net_delay_ns: Histogram,
+    /// Warp sample distribution (§4.3).
+    pub warp: WarpSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_done(staleness: u64, blocked: bool, block_ns: u64) -> ObsEvent {
+        ObsEvent::ReadDone {
+            t_ns: 0,
+            rank: 0,
+            loc: 0,
+            curr_iter: 10,
+            requested: 5,
+            delivered: 10 - staleness,
+            staleness,
+            blocked,
+            block_ns,
+        }
+    }
+
+    #[test]
+    fn emit_updates_derived_metrics() {
+        let hub = Hub::new();
+        hub.emit(read_done(3, false, 0));
+        hub.emit(read_done(0, true, 1_000));
+        hub.emit(ObsEvent::NetDeliver {
+            t_ns: 5,
+            src: 0,
+            dst: 1,
+            delay_ns: 2_000,
+        });
+        hub.emit(ObsEvent::AntiMessage {
+            t_ns: 6,
+            rank: 1,
+            loc: 0,
+            age: 4,
+        });
+        let s = hub.summary();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.anti_messages, 1);
+        assert_eq!(s.staleness.count(), 2);
+        assert_eq!(s.staleness.max(), 3);
+        assert_eq!(s.block_ns.count(), 1);
+        assert_eq!(s.net_delay_ns.max(), 2_000);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.events_dropped, 0);
+    }
+
+    #[test]
+    fn counters_survive_event_overflow() {
+        let hub = Hub::with_event_capacity(1);
+        for _ in 0..5 {
+            hub.emit(read_done(1, false, 0));
+        }
+        let s = hub.summary();
+        assert_eq!(s.events, 1);
+        assert_eq!(s.events_dropped, 4);
+        assert_eq!(s.reads, 5);
+        assert_eq!(s.staleness.count(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let hub = Hub::new();
+        let clone = hub.clone();
+        clone.span(0, 0, 10, SpanKind::Compute, "run");
+        clone.warp_sample(0, 1.5);
+        clone.set_proc_name(0, "island0");
+        assert_eq!(hub.spans().len(), 1);
+        assert_eq!(hub.warp().len(), 1);
+        assert_eq!(hub.proc_names()[&0], "island0");
+    }
+}

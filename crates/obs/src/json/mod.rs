@@ -1,0 +1,13 @@
+//! Minimal JSON support: a serde [`Serializer`](serde::Serializer) that
+//! renders any `Serialize` type to compact JSON, and a strict validator
+//! used by tests. The workspace deliberately carries no `serde_json`; this
+//! module follows the same pattern as `nscc-msg`'s byte-counting
+//! serializer and supports exactly what run reports and trace exports need.
+
+mod check;
+mod ser;
+
+pub use check::validate;
+pub use ser::{to_json, JsonError};
+
+pub(crate) use check::{escape_into, write_f64};

@@ -1,0 +1,47 @@
+//! Unified observability layer for the NSCC workspace.
+//!
+//! Every runtime layer (simulation scheduler, network, message passing, DSM,
+//! application runners) accepts an optional [`Hub`] — a cheap, cloneable,
+//! thread-safe sink for structured [`ObsEvent`]s, execution [`Span`]s, and
+//! warp samples. Detached layers hold `None` and pay exactly one branch per
+//! event site; attached layers pay one short critical section.
+//!
+//! On top of the raw streams the hub maintains derived metrics that the
+//! paper's evaluation is built on:
+//!
+//! - a **staleness histogram** — the delivered-age gap `curr_iter −
+//!   delivered_generation` of every `Global_Read`, which the coherence
+//!   contract bounds by the requested age;
+//! - **block-time** and **network-delay** histograms ([`Histogram`] is
+//!   log₂-bucketed, mergeable and serializable);
+//! - a **warp timeline** (§4.3 of the paper) sampling the ratio of
+//!   inter-arrival to inter-send times per (receiver, sender) pair;
+//! - a span [`Trace`] exportable as Chrome trace-event / Perfetto JSON
+//!   ([`Hub::perfetto`]).
+//!
+//! The crate sits at the bottom of the workspace dependency graph: events
+//! carry plain integers (times as nanoseconds, processes/ranks/locations as
+//! `u32`) so `nscc-sim`, `nscc-net`, `nscc-msg`, `nscc-dsm` and the
+//! application crates can all depend on it without cycles. `nscc-core`
+//! assembles the hub's summary together with layer stats into a
+//! machine-readable `RunReport`.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod hub;
+pub mod json;
+pub mod perfetto;
+pub mod span;
+pub mod warp;
+
+/// A span/event label: borrowed for the common static case, owned when a
+/// layer needs a dynamic label (per-location, per-island, …).
+pub type Label = std::borrow::Cow<'static, str>;
+
+pub use event::ObsEvent;
+pub use hist::Histogram;
+pub use hub::{Hub, HubSummary};
+pub use span::{Span, SpanKind, Trace, TraceTotals};
+pub use warp::{WarpPoint, WarpSummary, WarpTimeline};

@@ -1,0 +1,171 @@
+//! Chrome trace-event ("Perfetto") export of span traces.
+//!
+//! The output loads in <https://ui.perfetto.dev> or `chrome://tracing`.
+//! Spans render as complete (`"ph":"X"`) events with microsecond
+//! timestamps. Each [`SpanKind`] becomes its own trace *process* lane —
+//! `compute`, `blocked`, `phase` — and each simulated process/rank becomes
+//! a *thread* inside the lane, named via [`Hub::set_proc_name`]
+//! (`crate::Hub::set_proc_name`). Within one (lane, thread) row the
+//! emitting layers guarantee spans do not overlap: a process computes,
+//! blocks, and passes through phases strictly sequentially.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Serialize;
+
+use crate::json::to_json;
+use crate::span::{Span, SpanKind};
+
+/// The trace-event "process" lane a span kind renders into.
+pub fn lane(kind: SpanKind) -> (u32, &'static str) {
+    match kind {
+        SpanKind::Compute => (1, "compute"),
+        SpanKind::Blocked => (2, "blocked"),
+        SpanKind::Phase => (3, "phase"),
+    }
+}
+
+#[derive(Serialize)]
+struct Complete<'a> {
+    name: &'a str,
+    cat: &'static str,
+    ph: &'static str,
+    ts: f64,
+    dur: f64,
+    pid: u32,
+    tid: u32,
+}
+
+#[derive(Serialize)]
+struct MetaArgs<'a> {
+    name: &'a str,
+}
+
+#[derive(Serialize)]
+struct Meta<'a> {
+    name: &'static str,
+    ph: &'static str,
+    pid: u32,
+    tid: u32,
+    args: MetaArgs<'a>,
+}
+
+#[derive(Serialize)]
+#[serde(untagged)]
+enum Event<'a> {
+    Complete(Complete<'a>),
+    Meta(Meta<'a>),
+}
+
+#[derive(Serialize)]
+struct Doc<'a> {
+    #[serde(rename = "traceEvents")]
+    trace_events: Vec<Event<'a>>,
+    #[serde(rename = "displayTimeUnit")]
+    display_time_unit: &'static str,
+}
+
+/// Render spans (plus pid/rank display names) as a complete JSON trace
+/// document.
+pub fn export(spans: &[Span], names: &BTreeMap<u32, String>) -> String {
+    let mut events: Vec<Event<'_>> = Vec::with_capacity(spans.len() + 16);
+    let mut rows: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for s in spans {
+        let (pid, cat) = lane(s.kind);
+        rows.insert((pid, s.pid));
+        events.push(Event::Complete(Complete {
+            name: s.label.as_ref(),
+            cat,
+            ph: "X",
+            ts: s.start_ns as f64 / 1_000.0,
+            dur: s.end_ns.saturating_sub(s.start_ns) as f64 / 1_000.0,
+            pid,
+            tid: s.pid,
+        }));
+    }
+    let mut fallback: BTreeMap<u32, String> = BTreeMap::new();
+    for &(_, tid) in &rows {
+        fallback.entry(tid).or_insert_with(|| format!("p{tid}"));
+    }
+    let lanes: BTreeSet<u32> = rows.iter().map(|&(pid, _)| pid).collect();
+    for kind in [SpanKind::Compute, SpanKind::Blocked, SpanKind::Phase] {
+        let (pid, lane_name) = lane(kind);
+        if !lanes.contains(&pid) {
+            continue;
+        }
+        events.push(Event::Meta(Meta {
+            name: "process_name",
+            ph: "M",
+            pid,
+            tid: 0,
+            args: MetaArgs { name: lane_name },
+        }));
+    }
+    for &(pid, tid) in &rows {
+        let name = names.get(&tid).unwrap_or(&fallback[&tid]);
+        events.push(Event::Meta(Meta {
+            name: "thread_name",
+            ph: "M",
+            pid,
+            tid,
+            args: MetaArgs { name },
+        }));
+    }
+    to_json(&Doc {
+        trace_events: events,
+        display_time_unit: "ms",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn exports_valid_trace_document() {
+        let spans = vec![
+            Span {
+                pid: 0,
+                start_ns: 0,
+                end_ns: 5_000,
+                kind: SpanKind::Compute,
+                label: "run".into(),
+            },
+            Span {
+                pid: 0,
+                start_ns: 5_000,
+                end_ns: 9_000,
+                kind: SpanKind::Blocked,
+                label: "rank0".into(),
+            },
+            Span {
+                pid: 1,
+                start_ns: 0,
+                end_ns: 2_500,
+                kind: SpanKind::Phase,
+                label: "barrier".into(),
+            },
+        ];
+        let mut names = BTreeMap::new();
+        names.insert(0u32, "island0".to_string());
+        let doc = export(&spans, &names);
+        validate(&doc).unwrap();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("island0"));
+        // Unnamed pid 1 gets a fallback name.
+        assert!(doc.contains("\"p1\""));
+        // Compute lane is pid 1, blocked lane pid 2, phase lane pid 3.
+        assert!(doc.contains("\"cat\":\"compute\""));
+        assert!(doc.contains("\"cat\":\"blocked\""));
+        assert!(doc.contains("\"cat\":\"phase\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = export(&[], &BTreeMap::new());
+        validate(&doc).unwrap();
+    }
+}

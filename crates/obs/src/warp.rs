@@ -1,0 +1,223 @@
+//! Warp timeline: time-stamped samples of the paper's §4.3 warp metric.
+//!
+//! Warp is the ratio of inter-arrival to inter-send times of consecutive
+//! messages on a (receiver, sender) pair — 1.0 on an unloaded network,
+//! larger when contention stretches deliveries. `nscc-net`'s `WarpMeter`
+//! computes the samples; when a hub is attached the message layer forwards
+//! each sample here with its virtual timestamp, so runs can report not just
+//! the mean but how warp evolves as load builds up.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Samples kept before the sink starts counting drops instead.
+const DEFAULT_SAMPLE_CAPACITY: usize = 1 << 20;
+
+struct Inner {
+    points: Vec<(u64, f64)>,
+    dropped: u64,
+    capacity: usize,
+}
+
+/// A shareable, bounded sink of `(t_ns, warp)` samples.
+#[derive(Clone)]
+pub struct WarpTimeline {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for WarpTimeline {
+    fn default() -> Self {
+        WarpTimeline::with_capacity(DEFAULT_SAMPLE_CAPACITY)
+    }
+}
+
+impl WarpTimeline {
+    /// An empty timeline with the default capacity.
+    pub fn new() -> Self {
+        WarpTimeline::default()
+    }
+
+    /// An empty timeline keeping at most `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WarpTimeline {
+            inner: Arc::new(Mutex::new(Inner {
+                points: Vec::new(),
+                dropped: 0,
+                capacity,
+            })),
+        }
+    }
+
+    /// Record one warp sample observed at virtual time `t_ns`.
+    pub fn record(&self, t_ns: u64, warp: f64) {
+        let mut inner = self.inner.lock();
+        if inner.points.len() >= inner.capacity {
+            inner.dropped += 1;
+            return;
+        }
+        inner.points.push((t_ns, warp));
+    }
+
+    /// Number of kept samples.
+    pub fn len(&self) -> usize {
+        self.inner.lock().points.len()
+    }
+
+    /// True if no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples dropped after the capacity was reached.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Distribution summary of all kept samples.
+    pub fn summary(&self) -> WarpSummary {
+        let inner = self.inner.lock();
+        if inner.points.is_empty() {
+            return WarpSummary::default();
+        }
+        let mut vals: Vec<f64> = inner.points.iter().map(|&(_, w)| w).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("warp samples are finite"));
+        let n = vals.len();
+        let pick = |q: f64| vals[(((n - 1) as f64) * q).round() as usize];
+        WarpSummary {
+            samples: n as u64,
+            mean: vals.iter().sum::<f64>() / n as f64,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            max: vals[n - 1],
+        }
+    }
+
+    /// The timeline bucketed into `bins` equal time slices over the sampled
+    /// range: per-slice mean and count. Empty when no samples (or `bins`
+    /// is 0).
+    pub fn timeline(&self, bins: usize) -> Vec<WarpPoint> {
+        let inner = self.inner.lock();
+        if inner.points.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        let t0 = inner
+            .points
+            .iter()
+            .map(|&(t, _)| t)
+            .min()
+            .expect("nonempty");
+        let t1 = inner
+            .points
+            .iter()
+            .map(|&(t, _)| t)
+            .max()
+            .expect("nonempty");
+        let width = ((t1 - t0) / bins as u64).max(1);
+        let mut sums = vec![(0.0f64, 0u64); bins];
+        for &(t, w) in &inner.points {
+            let idx = (((t - t0) / width) as usize).min(bins - 1);
+            sums[idx].0 += w;
+            sums[idx].1 += 1;
+        }
+        sums.iter()
+            .enumerate()
+            .filter(|(_, &(_, n))| n > 0)
+            .map(|(i, &(sum, n))| WarpPoint {
+                t_ns: t0 + width * i as u64,
+                mean: sum / n as f64,
+                count: n,
+            })
+            .collect()
+    }
+}
+
+/// Distribution summary of warp samples. `mean` is 1.0 when no samples
+/// were recorded (no inter-message stretching observed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WarpSummary {
+    /// Number of samples.
+    pub samples: u64,
+    /// Mean warp.
+    pub mean: f64,
+    /// Median warp.
+    pub p50: f64,
+    /// 95th-percentile warp.
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Default for WarpSummary {
+    fn default() -> Self {
+        WarpSummary {
+            samples: 0,
+            mean: 1.0,
+            p50: 1.0,
+            p95: 1.0,
+            max: 1.0,
+        }
+    }
+}
+
+/// One time-bucket of the warp timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WarpPoint {
+    /// Bucket start (virtual ns).
+    pub t_ns: u64,
+    /// Mean warp of the bucket's samples.
+    pub mean: f64,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_unit_warp() {
+        let w = WarpTimeline::new();
+        assert!(w.is_empty());
+        let s = w.summary();
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.mean, 1.0);
+        assert!(w.timeline(4).is_empty());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let w = WarpTimeline::new();
+        for (t, v) in [(0, 1.0), (10, 2.0), (20, 3.0)] {
+            w.record(t, v);
+        }
+        let s = w.summary();
+        assert_eq!(s.samples, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn timeline_buckets_by_time() {
+        let w = WarpTimeline::new();
+        w.record(0, 1.0);
+        w.record(1, 3.0);
+        w.record(100, 5.0);
+        let tl = w.timeline(2);
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0].mean - 2.0).abs() < 1e-12);
+        assert_eq!(tl[0].count, 2);
+        assert_eq!(tl[1].mean, 5.0);
+    }
+
+    #[test]
+    fn capacity_drops_are_counted() {
+        let w = WarpTimeline::with_capacity(1);
+        w.record(0, 1.0);
+        w.record(1, 2.0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.dropped(), 1);
+    }
+}

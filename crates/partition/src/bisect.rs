@@ -9,7 +9,12 @@ use crate::graph::Graph;
 /// Split `vertices` (a subset of `g`) into two sides of sizes
 /// `(target_a, vertices.len() - target_a)`, minimizing the cut between
 /// them. Returns `side[i]` (false = side A) aligned with `vertices`.
-pub(crate) fn bisect(g: &Graph, vertices: &[usize], target_a: usize, rng: &mut StdRng) -> Vec<bool> {
+pub(crate) fn bisect(
+    g: &Graph,
+    vertices: &[usize],
+    target_a: usize,
+    rng: &mut StdRng,
+) -> Vec<bool> {
     let n = vertices.len();
     assert!(target_a <= n);
     if n == 0 || target_a == 0 {
@@ -168,7 +173,7 @@ fn fm_refine(g: &Graph, vertices: &[usize], local: &[usize], side: &mut [bool], 
             locked[i] = true;
             moves.push(i);
             cum_delta -= gval; // positive gain reduces the cut
-            // Only accept prefixes that restore exact balance.
+                               // Only accept prefixes that restore exact balance.
             if count_a(&work) == target_a && cum_delta < best_cut_delta {
                 best_cut_delta = cum_delta;
                 best_prefix = moves.len();

@@ -145,7 +145,11 @@ mod tests {
     fn ring_bisection_cut_is_two() {
         let g = ring(20);
         let parts = partition(&g, 2, 3);
-        assert_eq!(edge_cut(&g, &parts), 2, "a ring split in two halves cuts 2 edges");
+        assert_eq!(
+            edge_cut(&g, &parts),
+            2,
+            "a ring split in two halves cuts 2 edges"
+        );
     }
 
     #[test]

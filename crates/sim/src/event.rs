@@ -82,7 +82,8 @@ impl EventCtx<'_> {
 
     /// Schedule another event `delay` after the current instant.
     pub fn schedule(&mut self, delay: SimTime, event: Event) {
-        self.pending.push((self.now + delay, EventKind::Fire(event)));
+        self.pending
+            .push((self.now + delay, EventKind::Fire(event)));
     }
 
     /// Schedule a closure `delay` after the current instant.

@@ -52,14 +52,15 @@ mod mailbox;
 mod process;
 mod scheduler;
 mod time;
-mod trace;
 
 pub use error::SimError;
 pub use event::{Event, EventCtx};
 pub use mailbox::Mailbox;
+// Tracing moved into the shared observability crate; re-exported here so
+// span types stay reachable where the engine hands them out.
+pub use nscc_obs::{Hub, Span, SpanKind, Trace, TraceTotals};
 pub use process::{Ctx, Pid};
 pub use scheduler::{SimBuilder, SimReport};
-pub use trace::{Span, SpanKind, Trace, TraceTotals};
 pub use time::SimTime;
 
 #[cfg(test)]
@@ -215,7 +216,10 @@ mod tests {
         sim.spawn("runner", |ctx| loop {
             ctx.advance(SimTime::from_millis(1));
         });
-        assert!(matches!(sim.run(), Err(SimError::EventLimitExceeded { .. })));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::EventLimitExceeded { .. })
+        ));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Receiver, Sender};
+use nscc_obs::{Hub, SpanKind};
 
 use crate::error::SimError;
 use crate::event::{Event, EventCtx, EventKind, QueueEntry};
@@ -63,6 +64,7 @@ pub struct SimBuilder {
     call_tx: Sender<(Pid, ProcCall)>,
     call_rx: Receiver<(Pid, ProcCall)>,
     ctxs: Vec<Option<Ctx>>,
+    obs: Option<Hub>,
 }
 
 impl SimBuilder {
@@ -77,7 +79,17 @@ impl SimBuilder {
             call_tx,
             call_rx,
             ctxs: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability hub: the scheduler records a compute span
+    /// per `advance` and a blocked span (labelled with the block reason)
+    /// per block/wake pair, and registers process names for trace exports.
+    /// Detached (the default) costs one branch per scheduling decision.
+    pub fn attach_obs(&mut self, hub: Hub) -> &mut Self {
+        self.obs = Some(hub);
+        self
     }
 
     /// Abort the run with [`SimError::TimeLimitExceeded`] if virtual time
@@ -139,6 +151,11 @@ impl SimBuilder {
     /// [`SimError`] on deadlock, process panic, or a safety cap.
     pub fn run(mut self) -> Result<SimReport, SimError> {
         install_quiet_shutdown_hook();
+        if let Some(hub) = &self.obs {
+            for (i, slot) in self.procs.iter().enumerate() {
+                hub.set_proc_name(i as u32, slot.name.clone());
+            }
+        }
         // Start every process thread parked on its reply channel.
         for (i, slot) in self.procs.iter_mut().enumerate() {
             let body = slot.body.take().expect("process body consumed twice");
@@ -208,6 +225,8 @@ impl SimBuilder {
 
         let mut pending: Vec<(SimTime, EventKind)> = Vec::new();
         let mut wakes: Vec<Pid> = Vec::new();
+        // Block start + reason per pid, kept only while a hub is attached.
+        let mut block_since: Vec<Option<(SimTime, String)>> = vec![None; self.procs.len()];
 
         loop {
             if live_nondaemons == 0 {
@@ -277,15 +296,29 @@ impl SimBuilder {
                     loop {
                         let (from, call) = match self.call_rx.recv() {
                             Ok(c) => c,
-                            Err(_) => unreachable!("call channel cannot close while we hold a sender"),
+                            Err(_) => {
+                                unreachable!("call channel cannot close while we hold a sender")
+                            }
                         };
                         debug_assert_eq!(from, pid, "call from a process that is not running");
                         match call {
                             ProcCall::Advance(d) => {
+                                if let Some(hub) = &self.obs {
+                                    hub.span(
+                                        pid.0,
+                                        now.as_nanos(),
+                                        (now + d).as_nanos(),
+                                        SpanKind::Compute,
+                                        "run",
+                                    );
+                                }
                                 pending.push((now + d, EventKind::Resume(pid)));
                                 break;
                             }
                             ProcCall::Block { reason } => {
+                                if self.obs.is_some() {
+                                    block_since[pid.index()] = Some((now, reason.clone()));
+                                }
                                 self.procs[pid.index()].state = ProcState::Blocked(reason);
                                 break;
                             }
@@ -325,6 +358,17 @@ impl SimBuilder {
                 let slot = &mut self.procs[w.index()];
                 if matches!(slot.state, ProcState::Blocked(_)) {
                     slot.state = ProcState::Runnable;
+                    if let Some(hub) = &self.obs {
+                        if let Some((since, reason)) = block_since[w.index()].take() {
+                            hub.span(
+                                w.0,
+                                since.as_nanos(),
+                                now.as_nanos(),
+                                SpanKind::Blocked,
+                                reason,
+                            );
+                        }
+                    }
                     pending.push((now, EventKind::Resume(w)));
                 }
             }

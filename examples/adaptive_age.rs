@@ -11,8 +11,8 @@ use std::sync::Mutex;
 
 use nscc::dsm::{Coherence, DsmWorld};
 use nscc::ga::{
-    run_island, ConvergenceBoard, CostModel, IslandConfig, IslandOutcome, MigrantBatch,
-    StopPolicy, TestFn, Topology,
+    run_island, ConvergenceBoard, CostModel, IslandConfig, IslandOutcome, MigrantBatch, StopPolicy,
+    TestFn, Topology,
 };
 use nscc::msg::MsgConfig;
 use nscc::net::{EthernetBus, Network};
@@ -20,11 +20,18 @@ use nscc::sim::{SimBuilder, SimTime};
 
 fn main() {
     println!("Island GA (rastrigin, 4 islands) under heavy load skew");
-    println!("{:<16} {:>10} {:>12} {:>12}", "setting", "best", "time (s)", "blocked (s)");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "setting", "best", "time (s)", "blocked (s)"
+    );
     for (name, mode, adaptive) in [
         ("age=2 fixed", Coherence::PartialAsync { age: 2 }, None),
         ("age=30 fixed", Coherence::PartialAsync { age: 30 }, None),
-        ("adaptive 0..40", Coherence::PartialAsync { age: 2 }, Some((0u64, 40u64))),
+        (
+            "adaptive 0..40",
+            Coherence::PartialAsync { age: 2 },
+            Some((0u64, 40u64)),
+        ),
     ] {
         let (outs, blocked) = run(mode, adaptive);
         let best = outs.iter().map(|o| o.best).fold(f64::INFINITY, f64::min);
@@ -49,10 +56,7 @@ fn main() {
     );
 }
 
-fn run(
-    mode: Coherence,
-    adaptive: Option<(u64, u64)>,
-) -> (Vec<IslandOutcome>, SimTime) {
+fn run(mode: Coherence, adaptive: Option<(u64, u64)>) -> (Vec<IslandOutcome>, SimTime) {
     let ranks = 4;
     let (dir, locs) = Topology::AllToAll.build_directory(ranks, 1);
     let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(

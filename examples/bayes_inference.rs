@@ -6,8 +6,7 @@
 use std::sync::Arc;
 
 use nscc::bayes::{
-    exact_posterior, run_parallel_inference, ParallelBayesConfig, Plan, Query, StopRule,
-    Table2Net,
+    exact_posterior, run_parallel_inference, ParallelBayesConfig, Plan, Query, StopRule, Table2Net,
 };
 use nscc::core::Platform;
 use nscc::dsm::Coherence;
@@ -29,7 +28,11 @@ fn main() {
         plan.edge_cut
     );
     let exact = exact_posterior(&net, query.node, &query.evidence);
-    println!("exact posterior of node {}: {:?}\n", query.node, round3(&exact));
+    println!(
+        "exact posterior of node {}: {:?}\n",
+        query.node,
+        round3(&exact)
+    );
 
     println!(
         "{:<8} {:>9} {:>8} {:>10} {:>10} {:>10}  posterior",

@@ -1,7 +1,10 @@
 //! Quickstart: the `Global_Read` primitive in thirty lines, plus the
 //! paper's Figure 1 belief network with exact and sampled inference.
 //!
-//! Run with `cargo run --example quickstart`.
+//! Run with `cargo run --example quickstart`. The `Global_Read` demo is
+//! fully instrumented: it prints a per-process utilization summary and
+//! exports `quickstart_trace.json`, loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
 use nscc::bayes::{
     exact_posterior, fig1, figure1, sequential_inference, BayesCost, Query, StopRule,
@@ -9,6 +12,7 @@ use nscc::bayes::{
 use nscc::dsm::{Directory, DsmWorld};
 use nscc::msg::MsgConfig;
 use nscc::net::{EthernetBus, Network};
+use nscc::obs::Hub;
 use nscc::sim::{SimBuilder, SimTime};
 
 fn main() {
@@ -20,19 +24,19 @@ fn main() {
 /// staleness behind a slow writer, over a simulated 10 Mbps Ethernet.
 fn global_read_demo() {
     println!("-- Global_Read demo --");
+    let hub = Hub::new();
+    let net = Network::new(EthernetBus::ten_mbps(1));
+    net.attach_obs(hub.clone());
     let mut dir = Directory::new();
     let loc = dir.add("shared", 0, [1]);
-    let mut world: DsmWorld<u64> = DsmWorld::new(
-        Network::new(EthernetBus::ten_mbps(1)),
-        2,
-        MsgConfig::default(),
-        dir,
-    );
+    let mut world: DsmWorld<u64> =
+        DsmWorld::new(net, 2, MsgConfig::default(), dir).with_obs(hub.clone());
     world.set_initial(loc, 0);
 
     let mut writer = world.node(0);
     let mut reader = world.node(1);
     let mut sim = SimBuilder::new(1);
+    sim.attach_obs(hub.clone());
     sim.spawn("writer", move |ctx| {
         for iter in 1..=10u64 {
             ctx.advance(SimTime::from_millis(20)); // slow compute
@@ -54,9 +58,14 @@ fn global_read_demo() {
     });
     let report = sim.run().expect("simulation runs");
     println!(
-        "  done at t={} — the reader was throttled to the writer's pace\n",
+        "  done at t={} — the reader was throttled to the writer's pace",
         report.end_time
     );
+    print!("{}", hub.trace().summary(&[0, 1]));
+    match std::fs::write("quickstart_trace.json", hub.perfetto()) {
+        Ok(()) => println!("  trace exported to quickstart_trace.json (open in ui.perfetto.dev)\n"),
+        Err(e) => println!("  trace export failed: {e}\n"),
+    }
 }
 
 /// Figure 1's medical-diagnosis network: p(A | D=true) exactly and by
@@ -77,7 +86,10 @@ fn figure1_demo() {
         7,
         10_000_000,
     );
-    println!("  p(A | D=true): exact = {:.4}, sampled = {:.4}", exact[1], sampled.posterior[1]);
+    println!(
+        "  p(A | D=true): exact = {:.4}, sampled = {:.4}",
+        exact[1], sampled.posterior[1]
+    );
     println!(
         "  {} samples ({} accepted), {:.2} virtual seconds on one 77 MHz node",
         sampled.samples,

@@ -10,6 +10,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! * [`obs`] — the unified observability layer: structured events,
+//!   staleness/block/delay histograms, warp timelines, span traces and
+//!   Perfetto export.
 //! * [`sim`] — deterministic discrete-event engine (virtual time,
 //!   thread-backed processes, mailboxes).
 //! * [`net`] — interconnect models (shared Ethernet bus, SP2 switch),
@@ -68,5 +71,6 @@ pub use nscc_dsm as dsm;
 pub use nscc_ga as ga;
 pub use nscc_msg as msg;
 pub use nscc_net as net;
+pub use nscc_obs as obs;
 pub use nscc_partition as partition;
 pub use nscc_sim as sim;

@@ -134,8 +134,7 @@ fn switch_beats_ethernet_for_the_same_workload() {
         let ranks = 4;
         let mut dir = Directory::new();
         let locs = dir.add_per_rank("v", ranks);
-        let mut world: DsmWorld<Vec<u8>> =
-            DsmWorld::new(net, ranks, MsgConfig::default(), dir);
+        let mut world: DsmWorld<Vec<u8>> = DsmWorld::new(net, ranks, MsgConfig::default(), dir);
         for &l in &locs {
             world.set_initial(l, vec![0; 900]);
         }

@@ -1,0 +1,160 @@
+//! Observability-layer integration tests: the staleness contract as seen
+//! through the instrumentation hub, Perfetto export well-formedness, and
+//! machine-readable run reports.
+
+use proptest::prelude::*;
+
+use nscc::core::RunReport;
+use nscc::dsm::{Coherence, Directory, DsmWorld};
+use nscc::msg::MsgConfig;
+use nscc::net::{EthernetBus, Network};
+use nscc::obs::{json, Hub, ObsEvent, SpanKind};
+use nscc::sim::{SimBuilder, SimTime};
+
+/// Run an all-to-all read/write workload with every layer instrumented,
+/// returning the shared hub.
+fn instrumented_run(seed: u64, ranks: usize, iters: u64, mode: Coherence) -> Hub {
+    let hub = Hub::new();
+    let net = Network::new(EthernetBus::ten_mbps(seed));
+    net.attach_obs(hub.clone());
+    let mut dir = Directory::new();
+    let locs = dir.add_per_rank("v", ranks);
+    let mut world: DsmWorld<u64> =
+        DsmWorld::new(net, ranks, MsgConfig::default(), dir).with_obs(hub.clone());
+    for &l in &locs {
+        world.set_initial(l, 0);
+    }
+    let mut sim = SimBuilder::new(seed);
+    sim.attach_obs(hub.clone());
+    for r in 0..ranks {
+        let mut node = world.node(r);
+        let locs = locs.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            for iter in 1..=iters {
+                ctx.advance(SimTime::from_micros(300 + 100 * r as u64));
+                node.write(ctx, locs[r], iter, iter);
+                for (q, &l) in locs.iter().enumerate() {
+                    if q != r {
+                        let _ = node.read(ctx, l, iter, mode);
+                    }
+                }
+            }
+            node.retire(ctx, locs[r], 0);
+        });
+    }
+    sim.run().expect("instrumented run completes");
+    hub
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The paper's contract, observed rather than asserted in-band: every
+    /// `ReadDone` event satisfies `staleness ≤ requested`, whichever
+    /// coherence discipline produced it (relaxed reads carry
+    /// `requested = u64::MAX`, so the bound is vacuous there by design).
+    #[test]
+    fn staleness_never_exceeds_requested_age(
+        seed in 0u64..1000,
+        age in 0u64..=6,
+        ranks in 2usize..=3,
+        iters in 4u64..=12,
+        mode_ix in 0usize..3,
+    ) {
+        let mode = [
+            Coherence::Synchronous,
+            Coherence::FullyAsync,
+            Coherence::PartialAsync { age },
+        ][mode_ix];
+        let hub = instrumented_run(seed, ranks, iters, mode);
+        let mut reads = 0u64;
+        for ev in hub.events() {
+            if let ObsEvent::ReadDone { requested, staleness, .. } = ev {
+                reads += 1;
+                prop_assert!(
+                    staleness <= requested,
+                    "staleness {staleness} > requested {requested} under {mode}"
+                );
+            }
+        }
+        prop_assert!(reads > 0, "no reads observed");
+        prop_assert_eq!(hub.summary().reads, reads);
+    }
+}
+
+/// The Perfetto export is valid JSON and, lane by lane, spans never
+/// overlap: each (kind, pid) timeline is a sequence of disjoint intervals,
+/// as a scheduler trace of sequential processes must be.
+#[test]
+fn perfetto_export_is_valid_and_lanes_do_not_overlap() {
+    let hub = instrumented_run(7, 3, 10, Coherence::PartialAsync { age: 2 });
+    let trace = hub.perfetto();
+    json::validate(&trace).expect("Perfetto JSON validates");
+    assert!(trace.contains("traceEvents"));
+
+    let spans = hub.spans();
+    assert!(!spans.is_empty(), "instrumented run recorded no spans");
+    let lane = |k: SpanKind| match k {
+        SpanKind::Compute => 0u8,
+        SpanKind::Blocked => 1,
+        SpanKind::Phase => 2,
+    };
+    let mut by_lane: std::collections::BTreeMap<(u8, u32), Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for s in &spans {
+        by_lane
+            .entry((lane(s.kind), s.pid))
+            .or_default()
+            .push((s.start_ns, s.end_ns));
+    }
+    for ((kind, pid), mut iv) in by_lane {
+        iv.sort_unstable();
+        for w in iv.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1,
+                "lane (kind {kind}, pid {pid}): span starting at {} overlaps one ending at {}",
+                w[1].0,
+                w[0].1
+            );
+        }
+    }
+}
+
+/// A report built from an instrumented run validates as JSON and carries a
+/// non-empty staleness histogram — the acceptance shape of
+/// `NSCC_JSON=1 fig2`.
+#[test]
+fn run_report_carries_staleness_histogram() {
+    let hub = instrumented_run(11, 2, 12, Coherence::PartialAsync { age: 1 });
+    let mut rep = RunReport::new("obs_test", &hub);
+    rep.param("ranks", 2.0).metric("ok", 1.0);
+    let s = rep.to_json();
+    json::validate(&s).expect("report JSON validates");
+    assert!(
+        rep.obs.staleness.count() > 0,
+        "staleness histogram is empty"
+    );
+    assert!(rep.obs.reads > 0);
+    assert!(rep.obs.messages > 0, "network deliveries not observed");
+    assert!(s.contains("\"staleness\""));
+}
+
+/// The scheduler feeds the hub: compute spans and registered process names
+/// appear without any manual instrumentation in the workload.
+#[test]
+fn scheduler_spans_and_names_reach_the_hub() {
+    let hub = instrumented_run(3, 2, 6, Coherence::Synchronous);
+    let compute: Vec<_> = hub
+        .spans()
+        .into_iter()
+        .filter(|s| s.kind == SpanKind::Compute)
+        .collect();
+    assert!(!compute.is_empty(), "no compute spans recorded");
+    let names = hub.proc_names();
+    assert!(
+        names.values().any(|n| n.starts_with("rank")),
+        "process names not registered: {names:?}"
+    );
+    let t = hub.totals(0);
+    assert!(t.compute_ns > 0, "pid 0 recorded no compute time");
+}
