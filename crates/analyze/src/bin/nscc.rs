@@ -1,0 +1,166 @@
+//! `nscc` — trace analysis, run diffing, and the perf regression gate.
+//!
+//! ```text
+//! nscc inspect <FILE...>                      summarize reports / event dumps
+//! nscc diff <OLD> <NEW>                       structured delta of two runs
+//! nscc gate [OPTS] <FRESH...>                 compare against baselines/
+//!   --baselines <DIR>    baseline directory (default: baselines)
+//!   --rel <R>            relative tolerance (default: 0.05)
+//!   --abs <A>            absolute floor (default: 0.02)
+//!   --all                gate every numeric scalar, not just metrics.*
+//!   --update-baselines   copy fresh reports over the baselines and exit
+//! ```
+//!
+//! Exit codes: 0 success/pass, 1 regression, 2 usage or config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nscc_analyze::{diff, gate_all, inspect, update_baselines, GateConfig, Report};
+
+const USAGE: &str = "\
+nscc — NSCC run analysis
+
+usage:
+  nscc inspect <FILE...>
+  nscc diff <OLD> <NEW>
+  nscc gate [--baselines DIR] [--rel R] [--abs A] [--all] [--update-baselines] <FRESH...>
+
+Artifacts are the BENCH_*.json run reports (NSCC_JSON=1) and
+TRACE_*.json event dumps (NSCC_TRACE=1) written by the bench binaries.
+Exit codes: 0 pass, 1 regression, 2 usage/config error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "inspect" => cmd_inspect(rest),
+        "diff" => cmd_diff(rest),
+        "gate" => cmd_gate(rest),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("nscc: unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Report, ExitCode> {
+    Report::load(path).map_err(|e| {
+        eprintln!("nscc: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn cmd_inspect(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("nscc inspect: no files given\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    for (i, path) in files.iter().enumerate() {
+        let rep = match load(path) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        if i > 0 {
+            println!();
+        }
+        print!("{}", inspect(&rep));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(files: &[String]) -> ExitCode {
+    let [old, new] = files else {
+        eprintln!("nscc diff: expected exactly <OLD> <NEW>\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (a, b) = match (load(old), load(new)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    print!("{}", diff(&a, &b));
+    ExitCode::SUCCESS
+}
+
+fn cmd_gate(args: &[String]) -> ExitCode {
+    let mut cfg = GateConfig::default();
+    let mut baselines = PathBuf::from("baselines");
+    let mut update = false;
+    let mut fresh: Vec<PathBuf> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("nscc gate: {name} needs a value");
+                ExitCode::from(2)
+            })
+        };
+        match arg.as_str() {
+            "--baselines" => match value("--baselines") {
+                Ok(v) => baselines = PathBuf::from(v),
+                Err(code) => return code,
+            },
+            "--rel" | "--abs" => {
+                let parsed = match value(arg) {
+                    Ok(v) => v.parse::<f64>(),
+                    Err(code) => return code,
+                };
+                match parsed {
+                    Ok(v) if v >= 0.0 => {
+                        if arg == "--rel" {
+                            cfg.rel = v;
+                        } else {
+                            cfg.abs = v;
+                        }
+                    }
+                    _ => {
+                        eprintln!("nscc gate: {arg} needs a non-negative number");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--all" => cfg.all = true,
+            "--update-baselines" => update = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("nscc gate: unknown flag `{flag}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => fresh.push(PathBuf::from(path)),
+        }
+    }
+    if fresh.is_empty() {
+        eprintln!("nscc gate: no fresh reports given\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    if update {
+        return match update_baselines(&baselines, &fresh) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("nscc gate: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let (text, outcome) = gate_all(&baselines, &fresh, &cfg);
+    print!("{text}");
+    ExitCode::from(outcome.exit_code() as u8)
+}

@@ -1,0 +1,376 @@
+//! `nscc gate`: the perf regression gate.
+//!
+//! Compares fresh `BENCH_*.json` reports against checked-in baselines
+//! with per-metric relative thresholds. The simulation is deterministic
+//! per seed, so any drift at all is a code change showing up in the
+//! numbers — the tolerance exists only to absorb baselines transcribed
+//! from 2-decimal printed tables, plus deliberate slack for metrics
+//! derived from float reductions.
+//!
+//! Semantics:
+//! - `params` must match the baseline exactly (same keys, same values).
+//!   A mismatch means the comparison is meaningless (different workload),
+//!   which is a configuration error (exit 2), not a regression (exit 1).
+//! - Default scope is the union of `metrics.*` keys: a metric missing on
+//!   either side fails the gate. `--all` widens the scope to every
+//!   numeric scalar in the report (counters, histogram stats).
+//! - A metric passes iff `|new − base| ≤ max(rel·|base|, abs)`. Equality
+//!   at the boundary passes.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::fmt::num;
+use crate::report::Report;
+
+/// Gate thresholds and scope.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Relative tolerance (fraction of the baseline magnitude).
+    pub rel: f64,
+    /// Absolute floor: deltas within this always pass. Absorbs baselines
+    /// transcribed from 2-dp tables (worst case ±0.005 per side).
+    pub abs: f64,
+    /// Compare every numeric scalar, not just `metrics.*`.
+    pub all: bool,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            rel: 0.05,
+            abs: 0.02,
+            all: false,
+        }
+    }
+}
+
+/// What the gate decided, in decreasing order of severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Everything inside tolerance.
+    Pass,
+    /// At least one metric drifted beyond tolerance or vanished.
+    Regression,
+    /// The runs are not comparable (params differ, baseline missing).
+    ConfigError,
+}
+
+impl Outcome {
+    /// Process exit code: 0 pass, 1 regression, 2 config error.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Outcome::Pass => 0,
+            Outcome::Regression => 1,
+            Outcome::ConfigError => 2,
+        }
+    }
+}
+
+/// Gate one fresh report against its baseline. Returns the human-readable
+/// verdict text and the outcome.
+pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Outcome) {
+    let mut out = format!(
+        "gate {} vs baseline {}\n",
+        fresh.path.display(),
+        base.path.display()
+    );
+
+    // Params must match exactly; anything else compares different workloads.
+    let (pa, pb) = (base.numeric_map("params"), fresh.numeric_map("params"));
+    if pa != pb {
+        let keys: BTreeSet<&String> = pa.keys().chain(pb.keys()).collect();
+        for k in keys {
+            match (pa.get(k), pb.get(k)) {
+                (Some(a), Some(b)) if a == b => {}
+                (a, b) => out.push_str(&format!(
+                    "  param mismatch {k}: baseline {} vs fresh {}\n",
+                    a.map_or("(missing)".into(), |v| num(*v)),
+                    b.map_or("(missing)".into(), |v| num(*v)),
+                )),
+            }
+        }
+        out.push_str("  CONFIG ERROR: params differ — refresh the baseline or fix the run\n");
+        return (out, Outcome::ConfigError);
+    }
+
+    let scope = |r: &Report| -> BTreeMap<String, f64> {
+        if cfg.all {
+            r.flatten()
+                .into_iter()
+                .filter(|(k, _)| !k.starts_with("params.") && k != "schema_version")
+                .collect()
+        } else {
+            r.numeric_map("metrics")
+                .into_iter()
+                .map(|(k, v)| (format!("metrics.{k}"), v))
+                .collect()
+        }
+    };
+    let (ma, mb) = (scope(base), scope(fresh));
+    let keys: BTreeSet<&String> = ma.keys().chain(mb.keys()).collect();
+    let total = keys.len();
+    let mut failures = 0usize;
+    for k in keys {
+        match (ma.get(k).copied(), mb.get(k).copied()) {
+            (Some(base_v), Some(new_v)) => {
+                let tol = (cfg.rel * base_v.abs()).max(cfg.abs);
+                let delta = new_v - base_v;
+                if delta.abs() > tol {
+                    failures += 1;
+                    // Round display only — the comparison above is exact.
+                    let round6 = |v: f64| (v * 1e6).round() / 1e6;
+                    out.push_str(&format!(
+                        "  FAIL {k}: {} -> {} (delta {}, allowed ±{})\n",
+                        num(base_v),
+                        num(new_v),
+                        num(round6(delta)),
+                        num(round6(tol))
+                    ));
+                }
+            }
+            (Some(base_v), None) => {
+                failures += 1;
+                out.push_str(&format!(
+                    "  FAIL {k}: {} -> (missing from fresh run)\n",
+                    num(base_v)
+                ));
+            }
+            (None, Some(new_v)) => {
+                failures += 1;
+                out.push_str(&format!(
+                    "  FAIL {k}: (not in baseline) -> {} — refresh the baseline\n",
+                    num(new_v)
+                ));
+            }
+            (None, None) => {}
+        }
+    }
+
+    let outcome = if failures == 0 {
+        out.push_str(&format!(
+            "  PASS: {total} metrics within rel={} abs={}\n",
+            num(cfg.rel),
+            num(cfg.abs)
+        ));
+        Outcome::Pass
+    } else {
+        out.push_str(&format!(
+            "  REGRESSION: {failures}/{total} metrics out of tolerance\n"
+        ));
+        Outcome::Regression
+    };
+    (out, outcome)
+}
+
+/// Gate a set of fresh reports against `<baselines_dir>/<same filename>`.
+/// Returns combined text and the worst outcome across all files.
+pub fn gate_all(
+    baselines_dir: &std::path::Path,
+    fresh_paths: &[std::path::PathBuf],
+    cfg: &GateConfig,
+) -> (String, Outcome) {
+    let mut out = String::new();
+    let mut worst = Outcome::Pass;
+    for path in fresh_paths {
+        let fresh = match Report::load(path) {
+            Ok(r) => r,
+            Err(e) => {
+                out.push_str(&format!("{e}\n"));
+                worst = worst.max(Outcome::ConfigError);
+                continue;
+            }
+        };
+        let Some(file_name) = path.file_name() else {
+            out.push_str(&format!("{}: not a file path\n", path.display()));
+            worst = worst.max(Outcome::ConfigError);
+            continue;
+        };
+        let base_path = baselines_dir.join(file_name);
+        let base = match Report::load(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                out.push_str(&format!(
+                    "{e}\n  CONFIG ERROR: no baseline for {} — run `nscc gate \
+                     --update-baselines` to create it\n",
+                    path.display()
+                ));
+                worst = worst.max(Outcome::ConfigError);
+                continue;
+            }
+        };
+        let (text, outcome) = gate_pair(&base, &fresh, cfg);
+        out.push_str(&text);
+        worst = worst.max(outcome);
+    }
+    (out, worst)
+}
+
+/// Copy fresh reports over their baselines (`--update-baselines`).
+pub fn update_baselines(
+    baselines_dir: &std::path::Path,
+    fresh_paths: &[std::path::PathBuf],
+) -> Result<String, String> {
+    let mut out = String::new();
+    std::fs::create_dir_all(baselines_dir)
+        .map_err(|e| format!("{}: cannot create: {e}", baselines_dir.display()))?;
+    for path in fresh_paths {
+        // Validate before overwriting a known-good baseline.
+        Report::load(path)?;
+        let Some(file_name) = path.file_name() else {
+            return Err(format!("{}: not a file path", path.display()));
+        };
+        let dest = baselines_dir.join(file_name);
+        std::fs::copy(path, &dest)
+            .map_err(|e| format!("{} -> {}: {e}", path.display(), dest.display()))?;
+        out.push_str(&format!("updated {}\n", dest.display()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::path::PathBuf;
+
+    fn report(doc: &str) -> Report {
+        Report {
+            path: PathBuf::from("test.json"),
+            root: parse(doc).unwrap(),
+        }
+    }
+
+    fn base() -> Report {
+        report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.0}}"#,
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let (text, outcome) = gate_pair(&base(), &base(), &GateConfig::default());
+        assert_eq!(outcome, Outcome::Pass);
+        assert!(text.contains("PASS: 2 metrics"), "{text}");
+        assert_eq!(outcome.exit_code(), 0);
+    }
+
+    #[test]
+    fn threshold_boundary_exactly_passes_and_just_over_fails() {
+        // rel=0.05 of base 10 → tolerance 0.5: 10.5 is exactly at the
+        // boundary and must pass; anything beyond fails.
+        let at = report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.5,"zeroish":0.0}}"#,
+        );
+        let (_, outcome) = gate_pair(&base(), &at, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Pass);
+
+        let over = report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.51,"zeroish":0.0}}"#,
+        );
+        let (text, outcome) = gate_pair(&base(), &over, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Regression);
+        assert!(text.contains("FAIL metrics.speedup"), "{text}");
+        assert_eq!(outcome.exit_code(), 1);
+    }
+
+    #[test]
+    fn absolute_floor_covers_zero_baselines() {
+        // rel tolerance of a 0.0 baseline is 0; the abs floor (0.02,
+        // sized for 2-dp rounding) must carry it.
+        let near = report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.02}}"#,
+        );
+        let (_, outcome) = gate_pair(&base(), &near, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Pass);
+
+        let far = report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.03}}"#,
+        );
+        let (_, outcome) = gate_pair(&base(), &far, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Regression);
+    }
+
+    #[test]
+    fn param_mismatch_is_config_error_not_regression() {
+        let other = report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":5,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.0}}"#,
+        );
+        let (text, outcome) = gate_pair(&base(), &other, &GateConfig::default());
+        assert_eq!(outcome, Outcome::ConfigError);
+        assert!(
+            text.contains("param mismatch runs: baseline 3 vs fresh 5"),
+            "{text}"
+        );
+        assert_eq!(outcome.exit_code(), 2);
+    }
+
+    #[test]
+    fn missing_metric_on_either_side_fails() {
+        let fewer = report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0}}"#,
+        );
+        let (text, outcome) = gate_pair(&base(), &fewer, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Regression);
+        assert!(text.contains("missing from fresh run"), "{text}");
+
+        let (text, outcome) = gate_pair(&fewer, &base(), &GateConfig::default());
+        assert_eq!(outcome, Outcome::Regression);
+        assert!(text.contains("not in baseline"), "{text}");
+    }
+
+    #[test]
+    fn all_scope_compares_counters_too() {
+        let a = report(
+            r#"{"schema_version":2,"name":"t","params":{},
+               "metrics":{},"obs":{"reads":100}}"#,
+        );
+        let b = report(
+            r#"{"schema_version":2,"name":"t","params":{},
+               "metrics":{},"obs":{"reads":200}}"#,
+        );
+        let cfg = GateConfig {
+            all: true,
+            ..GateConfig::default()
+        };
+        let (text, outcome) = gate_pair(&a, &b, &cfg);
+        assert_eq!(outcome, Outcome::Regression);
+        assert!(text.contains("FAIL obs.reads"), "{text}");
+        // Default scope ignores the counter drift entirely.
+        let (_, outcome) = gate_pair(&a, &b, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn gate_all_and_update_baselines_roundtrip() {
+        let dir = std::env::temp_dir().join("nscc_gate_rt");
+        let baselines = dir.join("baselines");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fresh = dir.join("BENCH_t.json");
+        std::fs::write(
+            &fresh,
+            r#"{"schema_version":2,"name":"t","params":{"runs":3},"metrics":{"m":1.0}}"#,
+        )
+        .unwrap();
+
+        // No baseline yet: config error with a pointer to --update-baselines.
+        let cfg = GateConfig::default();
+        let (text, outcome) = gate_all(&baselines, &[fresh.clone()], &cfg);
+        assert_eq!(outcome, Outcome::ConfigError);
+        assert!(text.contains("--update-baselines"), "{text}");
+
+        // Update, then the same fresh file gates clean.
+        update_baselines(&baselines, &[fresh.clone()]).unwrap();
+        let (text, outcome) = gate_all(&baselines, &[fresh.clone()], &cfg);
+        assert_eq!(outcome, Outcome::Pass, "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,162 @@
+//! Read-side view of the serialized log₂ histograms.
+//!
+//! `crates/obs` serializes a `Histogram` as exact `count/sum/min/max`,
+//! derived `mean/p50/p99`, and the non-empty `(bucket_upper, count)`
+//! pairs in ascending order. This view recomputes any quantile from the
+//! bucket pairs with the *same* semantics as the writer (upper bound of
+//! the first bucket whose cumulative count reaches `ceil(q·count)`,
+//! clamped to the observed max) — which is how `nscc inspect` can report
+//! p90 and a full CDF even though the report only pins p50/p99.
+
+use crate::json::Json;
+
+/// A deserialized histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistView {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Mean as serialized by the writer.
+    pub mean: f64,
+    /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistView {
+    /// Read a histogram from its serialized object form. `None` when the
+    /// value is not shaped like a histogram.
+    pub fn from_json(v: &Json) -> Option<HistView> {
+        let buckets = v
+            .get("buckets")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr()?;
+                Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(HistView {
+            count: v.get("count")?.as_u64()?,
+            sum: v.get("sum")?.as_u64()?,
+            min: v.get("min")?.as_u64()?,
+            max: v.get("max")?.as_u64()?,
+            mean: v.get("mean")?.as_f64()?,
+            buckets,
+        })
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Quantile with the writer's exact semantics (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The CDF as `(value_upper_bound, cumulative_fraction)` points, one
+    /// per populated bucket. Empty when nothing was recorded.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut seen = 0u64;
+        self.buckets
+            .iter()
+            .map(|&(upper, n)| {
+                seen += n;
+                (upper.min(self.max), seen as f64 / self.count as f64)
+            })
+            .collect()
+    }
+
+    /// One-line summary: `n=… mean=… p50=… p90=… p99=… max=…`.
+    pub fn brief(&self) -> String {
+        if self.is_empty() {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean,
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn hist(doc: &str) -> HistView {
+        HistView::from_json(&parse(doc).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = hist(r#"{"count":0,"sum":0,"min":0,"max":0,"mean":0.0,"buckets":[]}"#);
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.cdf().is_empty());
+        assert_eq!(h.brief(), "n=0");
+    }
+
+    #[test]
+    fn quantiles_match_writer_semantics() {
+        // 99 values of 1 plus one value of 1000: p50 = 1 (bucket upper 1),
+        // p100 = bucket [512,1023] clamped to max 1000 — mirrors the
+        // writer-side unit test in crates/obs.
+        let h = hist(
+            r#"{"count":100,"sum":1099,"min":1,"max":1000,"mean":10.99,
+                "buckets":[[1,99],[1023,1]]}"#,
+        );
+        assert_eq!(h.quantile(0.50), 1);
+        assert_eq!(h.quantile(0.99), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        let cdf = h.cdf();
+        assert_eq!(cdf, vec![(1, 0.99), (1000, 1.0)]);
+    }
+
+    #[test]
+    fn p90_interpolates_between_pinned_percentiles() {
+        // 8 of value ≤3, 2 of value ≤7: p90 needs the second bucket.
+        let h = hist(
+            r#"{"count":10,"sum":30,"min":2,"max":6,"mean":3.0,
+                "buckets":[[3,8],[7,2]]}"#,
+        );
+        assert_eq!(h.quantile(0.80), 3);
+        assert_eq!(h.quantile(0.90), 6); // 7 clamped to max
+    }
+
+    #[test]
+    fn malformed_histograms_are_rejected() {
+        assert!(HistView::from_json(&parse("null").unwrap()).is_none());
+        assert!(HistView::from_json(&parse(r#"{"count":1}"#).unwrap()).is_none());
+        assert!(HistView::from_json(
+            &parse(r#"{"count":1,"sum":1,"min":1,"max":1,"mean":1.0,"buckets":[[1]]}"#).unwrap()
+        )
+        .is_none());
+    }
+}

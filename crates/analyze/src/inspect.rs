@@ -1,0 +1,644 @@
+//! `nscc inspect`: human-readable breakdown of one artifact.
+//!
+//! Works on both export shapes:
+//!
+//! * a **run report** (`BENCH_*.json`) — parameters, headline metrics,
+//!   exact counters, staleness/block/delay distributions with CDFs, warp,
+//!   and the periodic metric-snapshot timeline;
+//! * an **event dump** (`TRACE_*.json`, from `NSCC_TRACE=1`) — per-process
+//!   blocked-time attribution (compute vs `Global_Read` blocking vs
+//!   barrier waits), the critical path reconstructed from send/deliver
+//!   edges, and message-queue-depth / warp timelines recomputed from the
+//!   raw network events.
+
+use std::collections::BTreeMap;
+
+use crate::fmt::{ns, num, table};
+use crate::hist::HistView;
+use crate::json::Json;
+use crate::report::Report;
+
+/// Render one artifact (report or dump).
+pub fn inspect(rep: &Report) -> String {
+    if rep.is_event_dump() {
+        inspect_dump(rep)
+    } else {
+        inspect_report(rep)
+    }
+}
+
+// ---------------------------------------------------------------- reports
+
+fn inspect_report(rep: &Report) -> String {
+    let mut out = format!("run report {} (schema v2)\n", rep.path.display());
+    out.push_str(&format!("name: {}\n", rep.name()));
+
+    for section in ["params", "metrics"] {
+        let map = rep.numeric_map(section);
+        if !map.is_empty() {
+            out.push_str(&format!("\n{section}:\n"));
+            for (k, v) in &map {
+                out.push_str(&format!("  {k} = {}\n", num(*v)));
+            }
+        }
+    }
+
+    let obs = rep.root.get("obs");
+    if let Some(obs) = obs {
+        out.push_str("\ncounters:\n");
+        for key in [
+            "reads",
+            "writes",
+            "messages",
+            "stale_discards",
+            "barriers",
+            "anti_messages",
+            "events",
+            "spans",
+        ] {
+            if let Some(v) = obs.get(key).and_then(Json::as_u64) {
+                out.push_str(&format!("  {key} = {v}\n"));
+            }
+        }
+        let ev_drop = obs
+            .get("events_dropped")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let sp_drop = obs.get("spans_dropped").and_then(Json::as_u64).unwrap_or(0);
+        if ev_drop > 0 || sp_drop > 0 {
+            out.push_str(&format!(
+                "  WARNING: raw trace truncated ({ev_drop} events, {sp_drop} spans \
+                 dropped at capacity); counters and histograms above stay exact\n"
+            ));
+        }
+
+        for (key, unit) in [
+            ("staleness", "iterations"),
+            ("block_ns", "ns"),
+            ("net_delay_ns", "ns"),
+        ] {
+            if let Some(h) = obs.get(key).and_then(HistView::from_json) {
+                out.push_str(&format!("\n{key} ({unit}): {}\n", h.brief()));
+                if !h.is_empty() {
+                    out.push_str("  cdf:");
+                    for (upper, frac) in h.cdf() {
+                        out.push_str(&format!(" <={upper}:{:.1}%", frac * 100.0));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+
+        if let Some(w) = obs.get("warp") {
+            let f = |k: &str| w.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            if f("samples") > 0.0 {
+                out.push_str(&format!(
+                    "\nwarp: samples={} mean={:.3} p50={:.3} p95={:.3} max={:.3}\n",
+                    num(f("samples")),
+                    f("mean"),
+                    f("p50"),
+                    f("p95"),
+                    f("max")
+                ));
+            }
+        }
+
+        if let Some(snaps) = obs.get("snapshots").and_then(Json::as_arr) {
+            if !snaps.is_empty() {
+                out.push_str(&format!(
+                    "\nmetric snapshots ({} samples, cumulative):\n",
+                    snaps.len()
+                ));
+                out.push_str(&snapshot_table(snaps));
+            }
+        }
+    }
+    out
+}
+
+/// The snapshot series as a table, downsampled to at most 12 rows.
+fn snapshot_table(snaps: &[Json]) -> String {
+    let mut rows = vec![vec![
+        "t".to_string(),
+        "reads".to_string(),
+        "messages".to_string(),
+        "stale_p99".to_string(),
+        "block_total".to_string(),
+        "barriers".to_string(),
+    ]];
+    let step = snaps.len().div_ceil(12).max(1);
+    for (i, s) in snaps.iter().enumerate() {
+        if i % step != 0 && i != snaps.len() - 1 {
+            continue;
+        }
+        let g = |k: &str| s.get(k).and_then(Json::as_u64).unwrap_or(0);
+        rows.push(vec![
+            ns(g("t_ns")),
+            g("reads").to_string(),
+            g("messages").to_string(),
+            g("staleness_p99").to_string(),
+            ns(g("block_ns_total")),
+            g("barriers").to_string(),
+        ]);
+    }
+    table(&rows)
+}
+
+// ------------------------------------------------------------ event dumps
+
+/// One event, decoded from its externally-tagged form.
+struct Ev<'a> {
+    kind: &'a str,
+    body: &'a Json,
+    t: u64,
+    /// The process the event is attributed to (sender for sends, receiver
+    /// for delivers, rank otherwise).
+    pid: Option<u32>,
+}
+
+fn decode_events(root: &Json) -> Vec<Ev<'_>> {
+    let Some(events) = root.get("events").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let Some([(kind, body)]) = e.as_obj() else {
+            continue;
+        };
+        let t = body.get("t_ns").and_then(Json::as_u64).unwrap_or(0);
+        let field = match kind.as_str() {
+            "NetSend" => "src",
+            "NetDeliver" => "dst",
+            "Custom" => "",
+            _ => "rank",
+        };
+        let pid = body.get(field).and_then(Json::as_u64).map(|v| v as u32);
+        out.push(Ev {
+            kind: kind.as_str(),
+            body,
+            t,
+            pid,
+        });
+    }
+    out
+}
+
+fn proc_name(names: &BTreeMap<u32, String>, pid: u32) -> String {
+    names
+        .get(&pid)
+        .cloned()
+        .unwrap_or_else(|| format!("pid{pid}"))
+}
+
+fn inspect_dump(rep: &Report) -> String {
+    let root = &rep.root;
+    let events = decode_events(root);
+    let names: BTreeMap<u32, String> = root
+        .get("proc_names")
+        .and_then(Json::as_obj)
+        .map(|members| {
+            members
+                .iter()
+                .filter_map(|(k, v)| Some((k.parse().ok()?, v.as_str()?.to_string())))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut out = format!("event dump {} (schema v2)\n", rep.path.display());
+    let spans = root.get("spans").and_then(Json::as_arr).unwrap_or(&[]);
+    out.push_str(&format!(
+        "events: {}  spans: {}\n",
+        events.len(),
+        spans.len()
+    ));
+    let ev_drop = root
+        .get("events_dropped")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let sp_drop = root
+        .get("spans_dropped")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if ev_drop > 0 || sp_drop > 0 {
+        out.push_str(&format!(
+            "WARNING: trace truncated ({ev_drop} events, {sp_drop} spans dropped); \
+             every analysis below is over the kept prefix only\n"
+        ));
+    }
+    if events.is_empty() {
+        out.push_str("no events: nothing to analyze\n");
+        return out;
+    }
+
+    out.push_str(&attribution_section(&events, spans, &names));
+    out.push_str(&critical_path_section(&events, &names));
+    out.push_str(&queue_depth_section(&events));
+    out.push_str(&warp_section(&events));
+    out
+}
+
+/// Per-process time attribution: compute/blocked from spans, blocked-read
+/// and barrier-wait time from events. The paper's whole argument is about
+/// where blocked time goes, so this is the lead table.
+fn attribution_section(events: &[Ev<'_>], spans: &[Json], names: &BTreeMap<u32, String>) -> String {
+    #[derive(Default, Clone)]
+    struct Acc {
+        compute_ns: u64,
+        blocked_ns: u64,
+        read_block_ns: u64,
+        blocked_reads: u64,
+        reads: u64,
+        barrier_wait_ns: u64,
+        barriers: u64,
+    }
+    let mut per: BTreeMap<u32, Acc> = BTreeMap::new();
+    for s in spans {
+        let (Some(pid), Some(start), Some(end)) = (
+            s.get("pid").and_then(Json::as_u64),
+            s.get("start_ns").and_then(Json::as_u64),
+            s.get("end_ns").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        let acc = per.entry(pid as u32).or_default();
+        let d = end.saturating_sub(start);
+        match s.get("kind").and_then(Json::as_str) {
+            Some("Compute") => acc.compute_ns += d,
+            Some("Blocked") => acc.blocked_ns += d,
+            _ => {}
+        }
+    }
+    for e in events {
+        let Some(pid) = e.pid else { continue };
+        let acc = per.entry(pid).or_default();
+        match e.kind {
+            "ReadDone" => {
+                acc.reads += 1;
+                let block = e.body.get("block_ns").and_then(Json::as_u64).unwrap_or(0);
+                if block > 0 {
+                    acc.blocked_reads += 1;
+                    acc.read_block_ns += block;
+                }
+            }
+            "BarrierExit" => {
+                acc.barriers += 1;
+                acc.barrier_wait_ns += e.body.get("wait_ns").and_then(Json::as_u64).unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+
+    let mut rows = vec![vec![
+        "proc".to_string(),
+        "compute".to_string(),
+        "blocked".to_string(),
+        "gr_block".to_string(),
+        "blocked/reads".to_string(),
+        "barrier_wait".to_string(),
+        "barriers".to_string(),
+    ]];
+    for (&pid, a) in &per {
+        rows.push(vec![
+            proc_name(names, pid),
+            ns(a.compute_ns),
+            ns(a.blocked_ns),
+            ns(a.read_block_ns),
+            format!("{}/{}", a.blocked_reads, a.reads),
+            ns(a.barrier_wait_ns),
+            a.barriers.to_string(),
+        ]);
+    }
+    format!(
+        "\nblocked-time attribution (gr_block = Global_Read blocking):\n{}",
+        table(&rows)
+    )
+}
+
+/// A (send → deliver) edge matched FIFO per (src, dst) channel.
+struct Edge {
+    send_t: u64,
+    deliver_t: u64,
+    src: u32,
+    dst: u32,
+}
+
+fn message_edges(events: &[Ev<'_>]) -> Vec<Edge> {
+    let mut queues: BTreeMap<(u32, u32), Vec<u64>> = BTreeMap::new();
+    let mut edges = Vec::new();
+    for e in events {
+        match e.kind {
+            "NetSend" => {
+                let src = e.body.get("src").and_then(Json::as_u64).unwrap_or(0) as u32;
+                let dst = e.body.get("dst").and_then(Json::as_u64).unwrap_or(0) as u32;
+                queues.entry((src, dst)).or_default().push(e.t);
+            }
+            "NetDeliver" => {
+                let src = e.body.get("src").and_then(Json::as_u64).unwrap_or(0) as u32;
+                let dst = e.body.get("dst").and_then(Json::as_u64).unwrap_or(0) as u32;
+                // Exact channel first; fall back to the broadcast channel
+                // (one broadcast send fans out to many delivers, so its
+                // send entry is peeked, not popped).
+                let send_t = if let Some(q) = queues.get_mut(&(src, dst)).filter(|q| !q.is_empty())
+                {
+                    Some(q.remove(0))
+                } else {
+                    queues
+                        .get(&(src, u32::MAX))
+                        .and_then(|q| q.iter().rev().find(|&&s| s <= e.t))
+                        .copied()
+                };
+                if let Some(send_t) = send_t {
+                    edges.push(Edge {
+                        send_t,
+                        deliver_t: e.t,
+                        src,
+                        dst,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    edges
+}
+
+/// Critical path: walk backwards from the process with the last event,
+/// hopping across the latest enabling message edge each time. Segments
+/// are `proc [from → to]`; the path explains what the makespan was spent
+/// waiting on.
+fn critical_path_section(events: &[Ev<'_>], names: &BTreeMap<u32, String>) -> String {
+    let edges = message_edges(events);
+    let mut first_event: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut last_event: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in events {
+        let Some(pid) = e.pid else { continue };
+        first_event.entry(pid).or_insert(e.t);
+        let last = last_event.entry(pid).or_insert(e.t);
+        *last = (*last).max(e.t);
+    }
+    let Some((&end_pid, &end_t)) = last_event.iter().max_by_key(|(_, &t)| t) else {
+        return String::new();
+    };
+
+    let mut segments: Vec<(u32, u64, u64)> = Vec::new();
+    let (mut pid, mut t) = (end_pid, end_t);
+    for _ in 0..64 {
+        let start = first_event.get(&pid).copied().unwrap_or(0);
+        // The latest delivery into `pid` at or before `t` that actually
+        // moves the walk backwards.
+        let enabling = edges
+            .iter()
+            .filter(|e| e.dst == pid && e.deliver_t <= t && e.send_t < e.deliver_t)
+            .max_by_key(|e| e.deliver_t);
+        match enabling {
+            // Progress is guaranteed: send_t < deliver_t <= t, so each hop
+            // strictly decreases t.
+            Some(e) => {
+                segments.push((pid, e.deliver_t, t));
+                pid = e.src;
+                t = e.send_t;
+            }
+            None => {
+                segments.push((pid, start.min(t), t));
+                break;
+            }
+        }
+    }
+    segments.reverse();
+
+    let mut out = format!(
+        "\ncritical path (makespan {}, {} hops):\n",
+        ns(end_t),
+        segments.len().saturating_sub(1)
+    );
+    for (pid, from, to) in &segments {
+        let share = if end_t > 0 {
+            (to - from) as f64 / end_t as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<10} {} -> {}  ({}, {:.1}%)\n",
+            proc_name(names, *pid),
+            ns(*from),
+            ns(*to),
+            ns(to - from),
+            share
+        ));
+    }
+    out
+}
+
+/// In-flight message count over time (sends minus delivers), sampled on a
+/// 10-bin grid — the queue-depth timeline.
+fn queue_depth_section(events: &[Ev<'_>]) -> String {
+    let mut sends: Vec<u64> = Vec::new();
+    let mut delivers: Vec<u64> = Vec::new();
+    for e in events {
+        match e.kind {
+            "NetSend" => sends.push(e.t),
+            "NetDeliver" => delivers.push(e.t),
+            _ => {}
+        }
+    }
+    if sends.is_empty() {
+        return "\nmessage queue: no traffic\n".to_string();
+    }
+    sends.sort_unstable();
+    delivers.sort_unstable();
+    let t0 = sends[0];
+    let t1 = events.iter().map(|e| e.t).max().unwrap_or(t0).max(t0 + 1);
+    let bins = 10u64;
+    let width = ((t1 - t0) / bins).max(1);
+    let mut rows = vec![vec![
+        "t".to_string(),
+        "in-flight".to_string(),
+        "sent".to_string(),
+    ]];
+    let mut peak = 0i64;
+    for b in 1..=bins {
+        let edge = t0 + width * b;
+        let sent = sends.partition_point(|&t| t <= edge);
+        let arrived = delivers.partition_point(|&t| t <= edge);
+        let depth = sent as i64 - arrived as i64;
+        peak = peak.max(depth);
+        rows.push(vec![ns(edge), depth.to_string(), sent.to_string()]);
+    }
+    format!(
+        "\nmessage queue depth (peak in-flight {peak}):\n{}",
+        table(&rows)
+    )
+}
+
+/// Warp (§4.3) recomputed from raw send/deliver edges: the ratio of
+/// inter-arrival to inter-send gaps of consecutive messages per channel,
+/// bucketed over time.
+fn warp_section(events: &[Ev<'_>]) -> String {
+    let edges = message_edges(events);
+    let mut per_channel: BTreeMap<(u32, u32), Vec<&Edge>> = BTreeMap::new();
+    for e in &edges {
+        per_channel.entry((e.src, e.dst)).or_default().push(e);
+    }
+    let mut samples: Vec<(u64, f64)> = Vec::new();
+    for chan in per_channel.values() {
+        for pair in chan.windows(2) {
+            let ds = pair[1].send_t.saturating_sub(pair[0].send_t);
+            let da = pair[1].deliver_t.saturating_sub(pair[0].deliver_t);
+            if ds > 0 {
+                samples.push((pair[1].deliver_t, da as f64 / ds as f64));
+            }
+        }
+    }
+    if samples.is_empty() {
+        return String::new();
+    }
+    samples.sort_by_key(|&(t, _)| t);
+    let t0 = samples[0].0;
+    let t1 = samples[samples.len() - 1].0.max(t0 + 1);
+    let bins = 10u64;
+    let width = ((t1 - t0) / bins).max(1);
+    let mut acc = vec![(0.0f64, 0u64); bins as usize];
+    for &(t, w) in &samples {
+        let idx = (((t - t0) / width) as usize).min(bins as usize - 1);
+        acc[idx].0 += w;
+        acc[idx].1 += 1;
+    }
+    let mean: f64 = samples.iter().map(|&(_, w)| w).sum::<f64>() / samples.len() as f64;
+    let mut rows = vec![vec!["t".to_string(), "warp".to_string(), "n".to_string()]];
+    for (i, &(sum, n)) in acc.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        rows.push(vec![
+            ns(t0 + width * (i as u64 + 1)),
+            format!("{:.3}", sum / n as f64),
+            n.to_string(),
+        ]);
+    }
+    format!(
+        "\nwarp timeline ({} samples, mean {mean:.3}; 1.0 = stable network):\n{}",
+        samples.len(),
+        table(&rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::path::PathBuf;
+
+    fn report_from(doc: &str) -> Report {
+        Report {
+            path: PathBuf::from("test.json"),
+            root: parse(doc).unwrap(),
+        }
+    }
+
+    #[test]
+    fn report_rendering_covers_sections() {
+        let rep = report_from(
+            r#"{"schema_version":2,"name":"unit","params":{"procs":4},
+               "metrics":{"speedup":2.5},
+               "obs":{"events":3,"events_dropped":0,"spans":0,"spans_dropped":0,
+                      "reads":10,"writes":4,"messages":6,"stale_discards":1,
+                      "barriers":0,"anti_messages":0,
+                      "staleness":{"count":10,"sum":12,"min":0,"max":5,"mean":1.2,
+                                   "p50":1,"p99":5,"buckets":[[0,4],[1,3],[7,3]]},
+                      "block_ns":{"count":0,"sum":0,"min":0,"max":0,"mean":0.0,
+                                  "p50":0,"p99":0,"buckets":[]},
+                      "net_delay_ns":{"count":6,"sum":600,"min":100,"max":100,
+                                      "mean":100.0,"p50":100,"p99":100,
+                                      "buckets":[[127,6]]},
+                      "warp":{"samples":5,"mean":1.2,"p50":1.1,"p95":1.5,"max":2.0},
+                      "snapshots":[{"t_ns":1000,"reads":5,"writes":2,"messages":3,
+                        "stale_discards":0,"barriers":0,"anti_messages":0,
+                        "staleness_p50":1,"staleness_p99":3,"block_ns_total":0,
+                        "blocked_reads":0,"net_delay_p99":100,"events_dropped":0,
+                        "spans_dropped":0}]}}"#,
+        );
+        let text = inspect(&rep);
+        assert!(text.contains("name: unit"));
+        assert!(text.contains("speedup = 2.5"));
+        assert!(text.contains("reads = 10"));
+        assert!(text.contains("staleness (iterations): n=10"));
+        assert!(text.contains("cdf: <=0:40.0%"));
+        assert!(text.contains("block_ns (ns): n=0"));
+        assert!(text.contains("warp: samples=5"));
+        assert!(text.contains("metric snapshots (1 samples"));
+        assert!(!text.contains("WARNING"));
+    }
+
+    #[test]
+    fn drop_warning_surfaces_in_reports() {
+        let rep = report_from(
+            r#"{"schema_version":2,"name":"unit","metrics":{},
+               "obs":{"events_dropped":9,"spans_dropped":0,"reads":1}}"#,
+        );
+        assert!(inspect(&rep).contains("WARNING: raw trace truncated (9 events"));
+    }
+
+    fn dump() -> Report {
+        // Two ranks: rank 0 computes and sends at t=10, the network
+        // delivers to rank 1 at t=40, rank 1's read completes at t=50
+        // after blocking 25ns, then both hit a barrier.
+        report_from(
+            r#"{"schema_version":2,"proc_names":{"0":"island0","1":"island1"},
+               "events_dropped":0,"spans_dropped":0,
+               "events":[
+                 {"Write":{"t_ns":5,"rank":0,"loc":0,"age":1}},
+                 {"NetSend":{"t_ns":10,"src":0,"dst":1,"bytes":64,"queue_ns":0}},
+                 {"NetDeliver":{"t_ns":40,"src":0,"dst":1,"delay_ns":30}},
+                 {"ReadDone":{"t_ns":50,"rank":1,"loc":0,"curr_iter":1,
+                   "requested":0,"delivered":1,"staleness":0,"blocked":true,
+                   "block_ns":25}},
+                 {"BarrierExit":{"t_ns":60,"rank":0,"epoch":1,"wait_ns":12}},
+                 {"BarrierExit":{"t_ns":60,"rank":1,"epoch":1,"wait_ns":3}}
+               ],
+               "spans":[
+                 {"pid":0,"start_ns":0,"end_ns":10,"kind":"Compute","label":"gen"},
+                 {"pid":1,"start_ns":25,"end_ns":50,"kind":"Blocked","label":"read"}
+               ]}"#,
+        )
+    }
+
+    #[test]
+    fn dump_attribution_and_critical_path() {
+        let text = inspect(&dump());
+        assert!(text.contains("blocked-time attribution"));
+        assert!(text.contains("island0"));
+        assert!(text.contains("1/1")); // island1: one blocked read of one
+        assert!(text.contains("25ns")); // its Global_Read block time
+        assert!(text.contains("12ns")); // island0 barrier wait
+        assert!(text.contains("critical path"));
+        // The path must hop island0 → island1 across the message edge.
+        let cp = text.split("critical path").nth(1).unwrap();
+        let i0 = cp.find("island0").expect("island0 on path");
+        let i1 = cp.find("island1").expect("island1 on path");
+        assert!(i0 < i1, "sender segment precedes receiver segment");
+        assert!(text.contains("message queue depth"));
+        assert!(text.contains("peak in-flight 1"));
+    }
+
+    #[test]
+    fn zero_message_dump_does_not_panic() {
+        let rep = report_from(
+            r#"{"schema_version":2,"proc_names":{},"events_dropped":0,
+               "spans_dropped":0,"events":[
+                 {"Write":{"t_ns":5,"rank":0,"loc":0,"age":1}}
+               ],"spans":[]}"#,
+        );
+        let text = inspect(&rep);
+        assert!(text.contains("message queue: no traffic"));
+        assert!(!text.contains("warp timeline"));
+    }
+
+    #[test]
+    fn empty_dump_reports_nothing_to_analyze() {
+        let rep = report_from(
+            r#"{"schema_version":2,"proc_names":{},"events_dropped":0,
+               "spans_dropped":0,"events":[],"spans":[]}"#,
+        );
+        assert!(inspect(&rep).contains("no events"));
+    }
+}

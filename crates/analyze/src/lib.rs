@@ -1,0 +1,47 @@
+//! Post-hoc analysis of NSCC observability artifacts.
+//!
+//! The benchmark binaries (with `NSCC_JSON=1` / `NSCC_TRACE=1`) emit two
+//! kinds of JSON artifact through the obs hub:
+//!
+//! - `BENCH_*.json` **run reports** — headline metrics, raw counters,
+//!   log₂ histograms (staleness, block time, network delay), warp
+//!   summary, and periodic metric snapshots on a virtual-time cadence;
+//! - `TRACE_*.json` **event dumps** — the full structured event stream
+//!   plus execution spans.
+//!
+//! This crate is the read side: the `nscc` binary loads those artifacts
+//! and answers the questions the paper's evaluation keeps asking —
+//!
+//! - [`inspect`] — where did the time go? Per-process blocked-time
+//!   attribution (compute vs `Global_Read` blocking vs barrier waits),
+//!   the critical path through send/deliver edges, staleness CDFs,
+//!   queue-depth and warp timelines.
+//! - [`diff`] — what changed between two runs (say `age=0` vs `age=20`)?
+//!   Structured deltas of every metric, counter, histogram percentile,
+//!   and the convergence-vs-virtual-time curve.
+//! - [`gate`] — did this commit regress? Fresh reports vs checked-in
+//!   `baselines/` with per-metric thresholds; nonzero exit on drift
+//!   (wired into CI).
+//!
+//! The crate is deliberately **dependency-free** (std only): it parses
+//! JSON with its own strict reader ([`json`]) and mirrors the writer-side
+//! schema constants ([`report::SCHEMA_VERSION`]). That keeps the analyzer
+//! buildable anywhere the toolchain exists, with no version skew against
+//! the simulator it inspects beyond the schema number it checks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod fmt;
+pub mod gate;
+pub mod hist;
+pub mod inspect;
+pub mod json;
+pub mod report;
+
+pub use diff::diff;
+pub use gate::{gate_all, gate_pair, update_baselines, GateConfig, Outcome};
+pub use hist::HistView;
+pub use inspect::inspect;
+pub use report::{Report, SCHEMA_VERSION};

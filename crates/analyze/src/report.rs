@@ -1,0 +1,178 @@
+//! Loading and flattening of `BENCH_*.json` run reports and
+//! `TRACE_*.json` event dumps.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::json::{parse, Json};
+
+/// The export schema this analyzer understands. Must track
+/// `nscc_obs::SCHEMA_VERSION` (the analyzer is dependency-free by design,
+/// so the constant is mirrored here; `tests/observability.rs` in the
+/// workspace root pins the two together).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// A loaded, schema-checked JSON artifact (run report or event dump).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Where it was loaded from.
+    pub path: PathBuf,
+    /// The parsed document.
+    pub root: Json,
+}
+
+impl Report {
+    /// Load and schema-check one artifact. Refuses files whose
+    /// `schema_version` is missing or different from [`SCHEMA_VERSION`] —
+    /// guessing at missing or renamed keys produces silently wrong
+    /// analyses, so a mismatch is a hard, explained error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Report, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+        let root = parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+        match root.get("schema_version").and_then(Json::as_u64) {
+            Some(SCHEMA_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "{}: schema version {v} but this nscc-analyze understands only \
+                     version {SCHEMA_VERSION}; re-run the benchmark with a matching \
+                     toolchain or upgrade nscc-analyze",
+                    path.display()
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "{}: no schema_version field — not an NSCC run report or event \
+                     dump (or one predating schema stamping)",
+                    path.display()
+                ))
+            }
+        }
+        Ok(Report {
+            path: path.to_path_buf(),
+            root,
+        })
+    }
+
+    /// The report's `name` field, or the file stem as a fallback.
+    pub fn name(&self) -> String {
+        self.root
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| {
+                self.path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            })
+    }
+
+    /// True when the artifact is a raw event dump (`TRACE_*.json`) rather
+    /// than a run report.
+    pub fn is_event_dump(&self) -> bool {
+        self.root.get("events").is_some() && self.root.get("metrics").is_none()
+    }
+
+    /// One top-level object as a string → number map (empty when absent).
+    pub fn numeric_map(&self, key: &str) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        if let Some(members) = self.root.get(key).and_then(Json::as_obj) {
+            for (k, v) in members {
+                if let Some(n) = v.as_f64() {
+                    out.insert(k.clone(), n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every numeric scalar in the report as a dotted-path map:
+    /// `metrics.p4_age=5`, `dsm.blocked_reads`, `obs.staleness.p99`, ….
+    /// Arrays (bucket lists, snapshot series, raw streams) are skipped —
+    /// their lengths are run-shape, not performance, and the gate compares
+    /// scalars.
+    pub fn flatten(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        flatten_into(&self.root, String::new(), &mut out);
+        out
+    }
+}
+
+fn flatten_into(v: &Json, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Json::Num(n) => {
+            out.insert(prefix, *n);
+        }
+        Json::Obj(members) => {
+            for (k, v) in members {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(v, path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_temp(name: &str, body: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("nscc_analyze_{name}"));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(body.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn loads_and_flattens_a_report() {
+        let path = write_temp(
+            "ok.json",
+            r#"{"schema_version":2,"name":"unit","params":{"runs":3},
+                "metrics":{"speedup":2.5},"obs":{"reads":7,"staleness":
+                {"count":1,"sum":2,"min":2,"max":2,"mean":2.0,"p50":2,
+                 "p99":2,"buckets":[[3,1]]}}}"#,
+        );
+        let rep = Report::load(&path).unwrap();
+        assert_eq!(rep.name(), "unit");
+        assert!(!rep.is_event_dump());
+        assert_eq!(rep.numeric_map("metrics")["speedup"], 2.5);
+        let flat = rep.flatten();
+        assert_eq!(flat["metrics.speedup"], 2.5);
+        assert_eq!(flat["obs.staleness.p99"], 2.0);
+        assert_eq!(flat["obs.reads"], 7.0);
+        assert!(!flat.keys().any(|k| k.contains("buckets")));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn refuses_wrong_or_missing_schema() {
+        let old = write_temp("old.json", r#"{"schema_version":1,"name":"x"}"#);
+        let err = Report::load(&old).unwrap_err();
+        assert!(err.contains("schema version 1"), "{err}");
+        assert!(err.contains("version 2"), "{err}");
+        let none = write_temp("none.json", r#"{"name":"x"}"#);
+        let err = Report::load(&none).unwrap_err();
+        assert!(err.contains("no schema_version"), "{err}");
+        std::fs::remove_file(old).ok();
+        std::fs::remove_file(none).ok();
+    }
+
+    #[test]
+    fn detects_event_dumps() {
+        let path = write_temp(
+            "dump.json",
+            r#"{"schema_version":2,"proc_names":{},"events_dropped":0,
+                "spans_dropped":0,"events":[],"spans":[]}"#,
+        );
+        assert!(Report::load(&path).unwrap().is_event_dump());
+        std::fs::remove_file(path).ok();
+    }
+}

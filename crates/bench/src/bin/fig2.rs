@@ -9,13 +9,12 @@
 //! averaged-panel speedups plus merged DSM/network counters and the
 //! observability hub's staleness/block/delay histograms.
 
-use nscc_bench::{banner, write_report, Scale};
+use nscc_bench::{banner, make_hub, modes_from_env, write_report, write_trace, Scale};
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
 use nscc_net::NetStats;
-use nscc_obs::Hub;
 use nscc_sim::SimTime;
 
 fn main() {
@@ -26,7 +25,8 @@ fn main() {
         banner("Figure 2: GA speedups on the unloaded network", &scale)
     );
 
-    let hub = Hub::new();
+    let hub = make_hub(&scale);
+    let modes = modes_from_env();
     let procs: Vec<usize> = vec![2, 4, 8, 16];
     let functions: &[TestFn] = if all_functions {
         &ALL_FUNCTIONS
@@ -45,7 +45,8 @@ fn main() {
                 generations: scale.generations,
                 runs: scale.runs,
                 base_seed: scale.seed,
-                obs: scale.json.then(|| hub.clone()),
+                obs: (scale.json || scale.trace).then(|| hub.clone()),
+                modes: modes.clone().unwrap_or_else(GaExperiment::default_modes),
                 ..GaExperiment::new(func, p)
             };
             let res = run_ga_experiment(&exp).expect("experiment runs");
@@ -86,10 +87,13 @@ fn main() {
             for (label, s) in labels.iter().zip(&speedups) {
                 rep.metric(format!("p{p}_{label}"), *s);
             }
-            rep.metric(format!("p{p}_improvement"), improvement);
+            if improvement.is_finite() {
+                rep.metric(format!("p{p}_improvement"), improvement);
+            }
         }
         write_report(&scale, &rep);
     }
+    write_trace(&scale, &hub, "fig2");
 }
 
 fn mode_labels(per_func: &[Vec<GaExpResult>]) -> Vec<String> {
@@ -101,9 +105,10 @@ fn mode_labels(per_func: &[Vec<GaExpResult>]) -> Vec<String> {
 }
 
 /// Per processor count: the function-averaged speedup per mode (0.0 marks
-/// a DNF) and the best-partial-over-best-competitor improvement.
+/// a DNF) and the best-partial-over-best-competitor improvement (NaN when
+/// the reported mode set — `NSCC_MODES` — has no `age=N` row).
 fn panel_rows(procs: &[usize], per_func: &[Vec<GaExpResult>]) -> Vec<(usize, Vec<f64>, f64)> {
-    let mode_count = per_func[0][0].modes.len();
+    let labels = mode_labels(per_func);
     procs
         .iter()
         .enumerate()
@@ -112,7 +117,7 @@ fn panel_rows(procs: &[usize], per_func: &[Vec<GaExpResult>]) -> Vec<(usize, Vec
             // times. A mode that failed to converge in any cell is a DNF
             // for the aggregate (SimTime::MAX marks it).
             let serial_total: SimTime = per_func.iter().map(|f| f[pi].serial_time).sum();
-            let speedups: Vec<f64> = (0..mode_count)
+            let speedups: Vec<f64> = (0..labels.len())
                 .map(|mi| {
                     let times: Vec<SimTime> =
                         per_func.iter().map(|f| f[pi].modes[mi].mean_time).collect();
@@ -125,9 +130,20 @@ fn panel_rows(procs: &[usize], per_func: &[Vec<GaExpResult>]) -> Vec<(usize, Vec
                 })
                 .collect();
             // Best partial over best competitor (competitors: serial=1,
-            // sync, async).
-            let best_partial = speedups[2..].iter().cloned().fold(f64::MIN, f64::max);
-            let best_comp = speedups[..2].iter().cloned().fold(1.0, f64::max);
+            // sync, async). Rows are matched by label, not position, so a
+            // restricted mode list keeps the summary honest.
+            let best_partial = labels
+                .iter()
+                .zip(&speedups)
+                .filter(|(l, _)| l.starts_with("age="))
+                .map(|(_, &s)| s)
+                .fold(f64::NAN, f64::max);
+            let best_comp = labels
+                .iter()
+                .zip(&speedups)
+                .filter(|(l, _)| !l.starts_with("age="))
+                .map(|(_, &s)| s)
+                .fold(1.0, f64::max);
             (p, speedups, best_partial / best_comp - 1.0)
         })
         .collect()
@@ -146,7 +162,11 @@ fn print_panel(procs: &[usize], per_func: &[Vec<GaExpResult>]) {
         for &s in &speedups {
             row.push(if s == 0.0 { "DNF".to_string() } else { f2(s) });
         }
-        row.push(format!("{:+.0}%", improvement * 100.0));
+        row.push(if improvement.is_finite() {
+            format!("{:+.0}%", improvement * 100.0)
+        } else {
+            "n/a".to_string()
+        });
         rows.push(row);
     }
     print!("{}", render_table(&rows));

@@ -5,12 +5,11 @@
 //! `--json`) also writes `BENCH_fig3.json`.
 
 use nscc_bayes::{StopRule, TABLE2};
-use nscc_bench::{banner, write_report, Scale};
+use nscc_bench::{banner, make_hub, write_report, write_trace, Scale};
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_net::NetStats;
-use nscc_obs::Hub;
 use nscc_sim::SimTime;
 
 fn main() {
@@ -23,7 +22,7 @@ fn main() {
         )
     );
 
-    let hub = Hub::new();
+    let hub = make_hub(&scale);
     let mut results: Vec<BayesExpResult> = Vec::new();
     for netid in TABLE2 {
         let exp = BayesExperiment {
@@ -33,7 +32,7 @@ fn main() {
             },
             runs: scale.runs,
             base_seed: scale.seed,
-            obs: scale.json.then(|| hub.clone()),
+            obs: (scale.json || scale.trace).then(|| hub.clone()),
             ..BayesExperiment::new(netid, 2)
         };
         results.push(run_bayes_experiment(&exp).expect("experiment runs"));
@@ -111,4 +110,5 @@ fn main() {
         rep.net = Some(net);
         write_report(&scale, &rep);
     }
+    write_trace(&scale, &hub, "fig3");
 }

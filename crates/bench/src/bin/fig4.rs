@@ -6,13 +6,12 @@
 //! the best-partial-over-best-competitor improvement per load level —
 //! the paper's headline claim is that this improvement *grows* with load.
 
-use nscc_bench::{banner, write_report, Scale};
+use nscc_bench::{banner, make_hub, modes_from_env, write_report, write_trace, Scale};
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
 use nscc_net::NetStats;
-use nscc_obs::Hub;
 use nscc_sim::SimTime;
 
 fn main() {
@@ -33,7 +32,8 @@ fn main() {
         &ALL_FUNCTIONS[..4]
     };
 
-    let hub = Hub::new();
+    let hub = make_hub(&scale);
+    let modes = modes_from_env();
     let mut dsm = DsmStats::default();
     let mut net = NetStats::default();
     // Metric rows collected from the averaged panel for the JSON report.
@@ -53,7 +53,8 @@ fn main() {
                     runs: scale.runs,
                     base_seed: scale.seed,
                     platform: Platform::loaded_ethernet(4, load),
-                    obs: scale.json.then(|| hub.clone()),
+                    obs: (scale.json || scale.trace).then(|| hub.clone()),
+                    modes: modes.clone().unwrap_or_else(GaExperiment::default_modes),
                     ..GaExperiment::new(func, 4)
                 };
                 let res = run_ga_experiment(&exp).expect("experiment runs");
@@ -85,14 +86,34 @@ fn main() {
                 speedups.push(s);
                 row.push(f2(s));
             }
-            let best_partial = speedups[2..].iter().cloned().fold(f64::MIN, f64::max);
-            let best_comp = speedups[..2].iter().cloned().fold(1.0, f64::max);
+            // Rows are matched by label, not position, so a restricted
+            // `NSCC_MODES` list keeps the summary honest.
+            let mode_labels: Vec<&str> =
+                per_func[0].modes.iter().map(|m| m.label.as_str()).collect();
+            let best_partial = mode_labels
+                .iter()
+                .zip(&speedups)
+                .filter(|(l, _)| l.starts_with("age="))
+                .map(|(_, &s)| s)
+                .fold(f64::NAN, f64::max);
+            let best_comp = mode_labels
+                .iter()
+                .zip(&speedups)
+                .filter(|(l, _)| !l.starts_with("age="))
+                .map(|(_, &s)| s)
+                .fold(1.0, f64::max);
             let improvement = best_partial / best_comp - 1.0;
-            row.push(format!("{:+.0}%", improvement * 100.0));
-            // Warp of the fully-async mode, averaged over functions.
-            let warp: f64 =
-                per_func.iter().map(|f| f.modes[1].mean_warp).sum::<f64>() / per_func.len() as f64;
-            row.push(format!("{warp:.2}"));
+            row.push(if improvement.is_finite() {
+                format!("{:+.0}%", improvement * 100.0)
+            } else {
+                "n/a".to_string()
+            });
+            // Warp of the fully-async mode, averaged over functions (only
+            // reported when `async` is in the mode set).
+            let warp: Option<f64> = mode_labels.iter().position(|&l| l == "async").map(|ai| {
+                per_func.iter().map(|f| f.modes[ai].mean_warp).sum::<f64>() / per_func.len() as f64
+            });
+            row.push(warp.map_or("n/a".to_string(), |w| format!("{w:.2}")));
             rows.push(row);
             // Report metrics come from the averaged panel only.
             if funcs.len() == functions.len() {
@@ -100,8 +121,12 @@ fn main() {
                     let label = &per_func[0].modes[mi].label;
                     metrics.push((format!("load{load}_{label}"), *s));
                 }
-                metrics.push((format!("load{load}_improvement"), improvement));
-                metrics.push((format!("load{load}_warp_async"), warp));
+                if improvement.is_finite() {
+                    metrics.push((format!("load{load}_improvement"), improvement));
+                }
+                if let Some(w) = warp {
+                    metrics.push((format!("load{load}_warp_async"), w));
+                }
             }
         }
         print!("{}", render_table(&rows));
@@ -121,4 +146,5 @@ fn main() {
         rep.net = Some(net);
         write_report(&scale, &rep);
     }
+    write_trace(&scale, &hub, "fig4");
 }

@@ -4,11 +4,10 @@
 //! `--json`) also writes `BENCH_table1.json` (no simulation is involved,
 //! so the report carries only the per-function minima).
 
-use nscc_bench::{write_report, Scale};
+use nscc_bench::{make_hub, write_report, write_trace, Scale};
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
-use nscc_obs::Hub;
 
 fn main() {
     let scale = Scale::from_env();
@@ -42,8 +41,9 @@ fn main() {
          the deterministic part is minimized at 0."
     );
 
+    let hub = make_hub(&scale);
     if scale.json {
-        let mut rep = RunReport::new("table1", &Hub::new());
+        let mut rep = RunReport::new("table1", &hub);
         rep.param("functions", ALL_FUNCTIONS.len() as f64);
         for f in ALL_FUNCTIONS {
             rep.metric(format!("f{}_at_argmin", f.number()), f.eval(&f.argmin()));
@@ -51,6 +51,7 @@ fn main() {
         }
         write_report(&scale, &rep);
     }
+    write_trace(&scale, &hub, "table1");
 }
 
 /// The minimum as printed in Table 1.

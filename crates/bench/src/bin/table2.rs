@@ -5,10 +5,9 @@
 //! baseline is sequential, so no DSM/network counters are involved).
 
 use nscc_bayes::{Plan, StopRule, TABLE2};
-use nscc_bench::{banner, write_report, Scale};
+use nscc_bench::{banner, make_hub, write_report, write_trace, Scale};
 use nscc_core::fmt::render_table;
 use nscc_core::{run_sequential, BayesExperiment, RunReport};
-use nscc_obs::Hub;
 
 fn main() {
     let scale = Scale::from_env();
@@ -32,7 +31,8 @@ fn main() {
     let mut time = vec!["Uniproc time (s)".to_string()];
     let mut time_paper = vec!["  (paper)".to_string()];
     let mut samples = vec!["Samples".to_string()];
-    let mut rep = RunReport::new("table2", &Hub::new());
+    let hub = make_hub(&scale);
+    let mut rep = RunReport::new("table2", &hub);
     rep.param("runs", scale.runs as f64)
         .param("ci", scale.ci)
         .param("seed", scale.seed as f64);
@@ -76,4 +76,5 @@ fn main() {
     rows.push(samples);
     print!("{}", render_table(&rows));
     write_report(&scale, &rep);
+    write_trace(&scale, &hub, "table2");
 }

@@ -6,7 +6,7 @@
 //! including the observability hub's warp timeline and network-delay
 //! histogram aggregated over every load level.
 
-use nscc_bench::{write_report, Scale};
+use nscc_bench::{make_hub, write_report, write_trace, Scale};
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
 use nscc_msg::{CommWorld, MsgConfig};
@@ -17,7 +17,7 @@ use nscc_sim::{SimBuilder, SimTime};
 fn main() {
     let scale = Scale::from_env();
     println!("=== Warp metric vs offered background load (10 Mbps Ethernet) ===");
-    let hub = Hub::new();
+    let hub = make_hub(&scale);
     let mut rep = RunReport::new("warp_study", &hub);
     let mut rows = vec![vec![
         "load (Mbps)".to_string(),
@@ -27,7 +27,7 @@ fn main() {
         "mean delay (ms)".to_string(),
     ]];
     for &load in &[0.0, 2.0, 4.0, 6.0, 8.0, 9.5] {
-        let (warp, delay_ms) = measure(load, scale.json.then(|| hub.clone()));
+        let (warp, delay_ms) = measure(load, (scale.json || scale.trace).then(|| hub.clone()));
         rows.push(vec![
             format!("{load}"),
             format!("{:.3}", warp.0),
@@ -49,6 +49,7 @@ fn main() {
         rep.obs = hub.summary();
         write_report(&scale, &rep);
     }
+    write_trace(&scale, &hub, "warp_study");
 }
 
 /// Run a fixed two-node message pattern under `load` Mbps of background

@@ -12,12 +12,25 @@
 //! * `NSCC_JSON` — set to `1`/`true` (or pass `--json`) to also write a
 //!   machine-readable `BENCH_<name>.json` run report into the working
 //!   directory.
+//! * `NSCC_TRACE` — set to `1`/`true` (or pass `--trace`) to also dump the
+//!   hub's raw event/span streams as `TRACE_<name>.json` for
+//!   `nscc inspect`.
+//! * `NSCC_SNAP_MS` — virtual-time cadence (milliseconds) of periodic
+//!   metric snapshots recorded into the report's `obs.snapshots` series
+//!   (0 disables; default 100).
+//! * `NSCC_MODES` — comma-separated coherence labels (`sync`, `async`,
+//!   `age=N`) restricting which modes the GA bins report; unset runs the
+//!   full Figure-2 mode family. Single-mode runs (e.g. `NSCC_MODES=age=0`
+//!   vs `NSCC_MODES=age=20`) produce reports whose histograms describe
+//!   that mode alone — the inputs `nscc diff` is built for.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
 
 use nscc_core::RunReport;
+use nscc_dsm::Coherence;
+use nscc_obs::Hub;
 
 /// Harness scale, read from the environment with bench-friendly defaults.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +45,11 @@ pub struct Scale {
     pub seed: u64,
     /// Whether to write a `BENCH_<name>.json` run report.
     pub json: bool,
+    /// Whether to dump the raw event/span streams as `TRACE_<name>.json`.
+    pub trace: bool,
+    /// Virtual-time cadence of periodic metric snapshots, in milliseconds
+    /// (0 disables).
+    pub snap_ms: u64,
 }
 
 impl Scale {
@@ -44,14 +62,18 @@ impl Scale {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(default)
         }
-        let json = matches!(std::env::var("NSCC_JSON").as_deref(), Ok("1") | Ok("true"))
-            || std::env::args().any(|a| a == "--json");
+        fn flag(name: &str, arg: &str) -> bool {
+            matches!(std::env::var(name).as_deref(), Ok("1") | Ok("true"))
+                || std::env::args().any(|a| a == arg)
+        }
         Scale {
             runs: var("NSCC_RUNS", 3),
             generations: var("NSCC_GENS", 120),
             ci: var("NSCC_CI", 0.02),
             seed: var("NSCC_SEED", 42),
-            json,
+            json: flag("NSCC_JSON", "--json"),
+            trace: flag("NSCC_TRACE", "--trace"),
+            snap_ms: var("NSCC_SNAP_MS", 100),
         }
     }
 
@@ -63,7 +85,47 @@ impl Scale {
             ci: 0.01,
             seed: 42,
             json: false,
+            trace: false,
+            snap_ms: 100,
         }
+    }
+}
+
+/// The coherence modes the GA bins should report: the `NSCC_MODES`
+/// restriction when set and non-empty, the full Figure-2 family
+/// otherwise. Unknown labels are warned about and skipped.
+pub fn modes_from_env() -> Option<Vec<Coherence>> {
+    let raw = std::env::var("NSCC_MODES").ok()?;
+    let mut modes = Vec::new();
+    for tok in raw.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match Coherence::parse(tok) {
+            Some(m) => modes.push(m),
+            None => eprintln!("NSCC_MODES: ignoring unknown mode label {tok:?}"),
+        }
+    }
+    (!modes.is_empty()).then_some(modes)
+}
+
+/// Build the observability hub for a bench binary: snapshot cadence from
+/// the scale (virtual-time milliseconds), everything else at defaults.
+pub fn make_hub(scale: &Scale) -> Hub {
+    let hub = Hub::new();
+    if scale.snap_ms > 0 {
+        hub.sample_every(scale.snap_ms.saturating_mul(1_000_000));
+    }
+    hub
+}
+
+/// Dump the hub's raw event/span streams as `TRACE_<name>.json` when
+/// tracing is enabled (no-op otherwise), echoing the path written.
+pub fn write_trace(scale: &Scale, hub: &Hub, name: &str) {
+    if !scale.trace {
+        return;
+    }
+    let path = format!("TRACE_{name}.json");
+    match std::fs::write(&path, hub.export_events_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
     }
 }
 
@@ -106,6 +168,21 @@ mod tests {
         assert!(s.runs >= 1);
         assert!(s.generations >= 1);
         assert!(s.ci > 0.0);
+    }
+
+    #[test]
+    fn modes_env_parses_labels_and_skips_junk() {
+        std::env::set_var("NSCC_MODES", "age=0, age=20, bogus");
+        let m = modes_from_env().expect("modes parse");
+        assert_eq!(
+            m,
+            vec![
+                Coherence::PartialAsync { age: 0 },
+                Coherence::PartialAsync { age: 20 },
+            ]
+        );
+        std::env::remove_var("NSCC_MODES");
+        assert!(modes_from_env().is_none());
     }
 
     #[test]

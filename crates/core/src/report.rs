@@ -23,6 +23,9 @@ use nscc_obs::{json, Hub, HubSummary};
 /// One run's merged, serializable record.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
+    /// Export schema version ([`nscc_obs::SCHEMA_VERSION`]); consumers
+    /// refuse mismatched files instead of guessing at missing keys.
+    pub schema_version: u32,
     /// Report name (`BENCH_<name>.json`).
     pub name: String,
     /// Experiment parameters (procs, generations, ages, …).
@@ -45,6 +48,7 @@ impl RunReport {
     /// metrics are filled in afterwards.
     pub fn new(name: impl Into<String>, hub: &Hub) -> Self {
         RunReport {
+            schema_version: nscc_obs::SCHEMA_VERSION,
             name: name.into(),
             params: BTreeMap::new(),
             metrics: BTreeMap::new(),
@@ -78,8 +82,30 @@ impl RunReport {
         json::to_json(self)
     }
 
+    /// A warning line when the hub dropped raw events or spans — the
+    /// aggregate counters and histograms in this report stay exact, but
+    /// the raw streams (and anything derived from them, like a critical
+    /// path) are truncated. `None` when the capture is complete.
+    pub fn drop_warning(&self) -> Option<String> {
+        if self.obs.events_dropped == 0 && self.obs.spans_dropped == 0 {
+            return None;
+        }
+        Some(format!(
+            "warning: {}: raw trace truncated ({} events, {} spans dropped at capacity); \
+             counters/histograms stay exact, raw-stream analyses are partial",
+            self.filename(),
+            self.obs.events_dropped,
+            self.obs.spans_dropped
+        ))
+    }
+
     /// Write `BENCH_<name>.json` into `dir`, returning the path written.
+    /// Prints a stderr warning when the underlying hub dropped events or
+    /// spans, so truncated traces can't masquerade as complete.
     pub fn write_json(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        if let Some(w) = self.drop_warning() {
+            eprintln!("{w}");
+        }
         let path = dir.as_ref().join(self.filename());
         let mut f = std::fs::File::create(&path)?;
         f.write_all(self.to_json().as_bytes())?;
@@ -118,9 +144,22 @@ mod tests {
         let rep = sample_report();
         let s = rep.to_json();
         json::validate(&s).expect("report JSON validates");
+        assert!(s.contains(&format!("\"schema_version\":{}", nscc_obs::SCHEMA_VERSION)));
         assert!(s.contains("\"name\":\"unit\""));
         assert!(s.contains("\"speedup\":2.5"));
         assert!(s.contains("\"staleness\""));
+    }
+
+    #[test]
+    fn drop_warning_flags_truncated_traces() {
+        let mut rep = sample_report();
+        assert!(rep.drop_warning().is_none());
+        rep.obs.events_dropped = 7;
+        let w = rep.drop_warning().expect("warning for dropped events");
+        assert!(w.contains("7 events"));
+        rep.obs.events_dropped = 0;
+        rep.obs.spans_dropped = 3;
+        assert!(rep.drop_warning().unwrap().contains("3 spans"));
     }
 
     #[test]

@@ -45,6 +45,19 @@ impl Coherence {
             Coherence::PartialAsync { age } => format!("age={age}"),
         }
     }
+
+    /// Parse a [`Coherence::label`] string back into a mode (`sync`,
+    /// `async`, `age=N`), e.g. for the `NSCC_MODES` environment variable.
+    pub fn parse(label: &str) -> Option<Coherence> {
+        match label.trim() {
+            "sync" => Some(Coherence::Synchronous),
+            "async" => Some(Coherence::FullyAsync),
+            s => s
+                .strip_prefix("age=")
+                .and_then(|n| n.parse().ok())
+                .map(|age| Coherence::PartialAsync { age }),
+        }
+    }
 }
 
 impl fmt::Display for Coherence {
@@ -71,6 +84,25 @@ mod tests {
         assert_eq!(Coherence::Synchronous.label(), "sync");
         assert_eq!(Coherence::FullyAsync.label(), "async");
         assert_eq!(Coherence::PartialAsync { age: 5 }.label(), "age=5");
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for mode in [
+            Coherence::Synchronous,
+            Coherence::FullyAsync,
+            Coherence::PartialAsync { age: 0 },
+            Coherence::PartialAsync { age: 30 },
+        ] {
+            assert_eq!(Coherence::parse(&mode.label()), Some(mode));
+        }
+        assert_eq!(
+            Coherence::parse(" age=5 "),
+            Some(Coherence::PartialAsync { age: 5 })
+        );
+        assert_eq!(Coherence::parse("age="), None);
+        assert_eq!(Coherence::parse("age=x"), None);
+        assert_eq!(Coherence::parse("serial"), None);
     }
 
     #[test]

@@ -42,6 +42,11 @@ struct HubInner {
     block_ns: Mutex<Histogram>,
     net_delay_ns: Mutex<Histogram>,
     names: Mutex<BTreeMap<u32, String>>,
+    snapshots: Mutex<Vec<MetricSnapshot>>,
+    /// Virtual-time snapshot cadence (0 = disabled).
+    snap_every_ns: AtomicU64,
+    /// Next virtual instant at which a snapshot is due.
+    snap_next_ns: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     messages: AtomicU64,
@@ -85,6 +90,9 @@ impl Hub {
                 block_ns: Mutex::new(Histogram::new()),
                 net_delay_ns: Mutex::new(Histogram::new()),
                 names: Mutex::new(BTreeMap::new()),
+                snapshots: Mutex::new(Vec::new()),
+                snap_every_ns: AtomicU64::new(0),
+                snap_next_ns: AtomicU64::new(0),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
                 messages: AtomicU64::new(0),
@@ -98,6 +106,7 @@ impl Hub {
     /// Record a structured event, updating derived metrics first so they
     /// survive raw-event overflow.
     pub fn emit(&self, ev: ObsEvent) {
+        let t_ns = ev.t_ns();
         match ev {
             ObsEvent::ReadDone {
                 staleness,
@@ -129,12 +138,73 @@ impl Hub {
             }
             _ => {}
         }
-        let mut store = self.inner.events.lock();
-        if store.events.len() >= store.capacity {
-            store.dropped += 1;
+        {
+            let mut store = self.inner.events.lock();
+            if store.events.len() >= store.capacity {
+                store.dropped += 1;
+            } else {
+                store.events.push(ev);
+            }
+        }
+        self.maybe_snapshot(t_ns);
+    }
+
+    /// Enable periodic metric snapshots every `every_ns` of virtual time
+    /// (0 disables). Snapshots are cut lazily, on the first event at or
+    /// past each cadence boundary, so they cost nothing between events and
+    /// keep long runs analyzable even after raw-event storage saturates.
+    pub fn sample_every(&self, every_ns: u64) {
+        self.inner.snap_every_ns.store(every_ns, Ordering::Relaxed);
+        self.inner.snap_next_ns.store(every_ns, Ordering::Relaxed);
+    }
+
+    /// Cut a snapshot now if the cadence says one is due at `t_ns`.
+    fn maybe_snapshot(&self, t_ns: u64) {
+        let every = self.inner.snap_every_ns.load(Ordering::Relaxed);
+        if every == 0 || t_ns < self.inner.snap_next_ns.load(Ordering::Relaxed) {
             return;
         }
-        store.events.push(ev);
+        let mut snaps = self.inner.snapshots.lock();
+        // Re-check under the lock: a racing emitter may have taken this
+        // boundary's snapshot already.
+        if t_ns < self.inner.snap_next_ns.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner
+            .snap_next_ns
+            .store(t_ns - t_ns % every + every, Ordering::Relaxed);
+        snaps.push(self.snapshot_at(t_ns));
+    }
+
+    /// Sample the current derived metrics as one [`MetricSnapshot`].
+    /// Called automatically on the cadence set by [`Hub::sample_every`];
+    /// also usable directly for one-off probes.
+    pub fn snapshot_at(&self, t_ns: u64) -> MetricSnapshot {
+        let (events_dropped, spans_dropped) = (self.events_dropped(), self.inner.trace.dropped());
+        let staleness = self.inner.staleness.lock();
+        let block = self.inner.block_ns.lock();
+        let delay = self.inner.net_delay_ns.lock();
+        MetricSnapshot {
+            t_ns,
+            reads: self.inner.reads.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            messages: self.inner.messages.load(Ordering::Relaxed),
+            stale_discards: self.inner.stale_discards.load(Ordering::Relaxed),
+            barriers: self.inner.barriers.load(Ordering::Relaxed),
+            anti_messages: self.inner.anti_messages.load(Ordering::Relaxed),
+            staleness_p50: staleness.quantile(0.50),
+            staleness_p99: staleness.quantile(0.99),
+            block_ns_total: block.sum(),
+            blocked_reads: block.count(),
+            net_delay_p99: delay.quantile(0.99),
+            events_dropped,
+            spans_dropped,
+        }
+    }
+
+    /// All periodic snapshots cut so far, in virtual-time order.
+    pub fn snapshots(&self) -> Vec<MetricSnapshot> {
+        self.inner.snapshots.lock().clone()
     }
 
     /// Record an execution span (see [`Trace::record`]).
@@ -230,7 +300,31 @@ impl Hub {
             block_ns: self.block_time(),
             net_delay_ns: self.net_delay(),
             warp: self.inner.warp.summary(),
+            snapshots: self.snapshots(),
         }
+    }
+
+    /// Export the full raw streams — events, spans, process names, drop
+    /// accounting — as one JSON document, the event-dump input format of
+    /// `nscc inspect` (schema-stamped with [`crate::SCHEMA_VERSION`]).
+    pub fn export_events_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Dump {
+            schema_version: u32,
+            proc_names: BTreeMap<u32, String>,
+            events_dropped: u64,
+            spans_dropped: u64,
+            events: Vec<ObsEvent>,
+            spans: Vec<Span>,
+        }
+        crate::json::to_json(&Dump {
+            schema_version: crate::SCHEMA_VERSION,
+            proc_names: self.proc_names(),
+            events_dropped: self.events_dropped(),
+            spans_dropped: self.inner.trace.dropped(),
+            events: self.events(),
+            spans: self.spans(),
+        })
     }
 
     /// Export all spans as Chrome trace-event JSON (see [`crate::perfetto`]).
@@ -285,6 +379,46 @@ pub struct HubSummary {
     pub net_delay_ns: Histogram,
     /// Warp sample distribution (§4.3).
     pub warp: WarpSummary,
+    /// Periodic metric snapshots (empty unless [`Hub::sample_every`] was
+    /// enabled): the convergence-vs-virtual-time curve of the run.
+    pub snapshots: Vec<MetricSnapshot>,
+}
+
+/// One periodic sample of the hub's derived metrics, cut on a virtual-time
+/// cadence ([`Hub::sample_every`]). Counters are cumulative since the start
+/// of the run; percentiles are over everything recorded so far. The series
+/// stays meaningful even after raw-event storage saturates, because it is
+/// fed by the exact aggregate metrics, not the bounded raw stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MetricSnapshot {
+    /// Virtual instant of the sample.
+    pub t_ns: u64,
+    /// Reads completed so far.
+    pub reads: u64,
+    /// DSM writes so far.
+    pub writes: u64,
+    /// Network deliveries so far.
+    pub messages: u64,
+    /// Updates discarded as stale so far.
+    pub stale_discards: u64,
+    /// Barrier releases so far.
+    pub barriers: u64,
+    /// Rollback anti-messages so far.
+    pub anti_messages: u64,
+    /// Median delivered-age gap so far.
+    pub staleness_p50: u64,
+    /// 99th-percentile delivered-age gap so far.
+    pub staleness_p99: u64,
+    /// Total virtual ns spent in blocked reads so far.
+    pub block_ns_total: u64,
+    /// Blocked reads so far.
+    pub blocked_reads: u64,
+    /// 99th-percentile network delay so far (virtual ns).
+    pub net_delay_p99: u64,
+    /// Raw events dropped so far.
+    pub events_dropped: u64,
+    /// Spans dropped so far.
+    pub spans_dropped: u64,
 }
 
 #[cfg(test)]
@@ -345,6 +479,69 @@ mod tests {
         assert_eq!(s.events_dropped, 4);
         assert_eq!(s.reads, 5);
         assert_eq!(s.staleness.count(), 5);
+    }
+
+    #[test]
+    fn snapshots_follow_the_cadence() {
+        let hub = Hub::new();
+        hub.sample_every(1_000);
+        // Events inside the first interval cut nothing; the first event at
+        // or past each boundary cuts exactly one snapshot.
+        for t in [100, 400, 900] {
+            hub.emit(ObsEvent::Write {
+                t_ns: t,
+                rank: 0,
+                loc: 0,
+                age: 1,
+            });
+        }
+        assert!(hub.snapshots().is_empty());
+        hub.emit(read_done(2, true, 50));
+        hub.emit(ObsEvent::Write {
+            t_ns: 1_200,
+            rank: 0,
+            loc: 0,
+            age: 2,
+        });
+        hub.emit(ObsEvent::Write {
+            t_ns: 3_500,
+            rank: 0,
+            loc: 0,
+            age: 3,
+        });
+        let snaps = hub.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].t_ns, 1_200);
+        assert_eq!(snaps[0].writes, 4);
+        assert_eq!(snaps[0].reads, 1);
+        assert_eq!(snaps[0].blocked_reads, 1);
+        assert_eq!(snaps[0].block_ns_total, 50);
+        assert_eq!(snaps[1].t_ns, 3_500);
+        assert_eq!(snaps[1].writes, 5);
+        assert_eq!(hub.summary().snapshots.len(), 2);
+    }
+
+    #[test]
+    fn snapshots_off_by_default() {
+        let hub = Hub::new();
+        for _ in 0..10 {
+            hub.emit(read_done(1, false, 0));
+        }
+        assert!(hub.snapshots().is_empty());
+        assert!(hub.summary().snapshots.is_empty());
+    }
+
+    #[test]
+    fn event_dump_exports_valid_versioned_json() {
+        let hub = Hub::new();
+        hub.emit(read_done(1, false, 0));
+        hub.span(0, 0, 10, SpanKind::Compute, "run");
+        hub.set_proc_name(0, "rank0");
+        let dump = hub.export_events_json();
+        crate::json::validate(&dump).expect("event dump validates");
+        assert!(dump.contains(&format!("\"schema_version\":{}", crate::SCHEMA_VERSION)));
+        assert!(dump.contains("\"ReadDone\""));
+        assert!(dump.contains("\"rank0\""));
     }
 
     #[test]

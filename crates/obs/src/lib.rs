@@ -36,12 +36,18 @@ pub mod perfetto;
 pub mod span;
 pub mod warp;
 
+/// Version stamp carried by every machine-readable export (run reports,
+/// event dumps). Consumers such as `nscc-analyze` refuse files whose
+/// version does not match instead of guessing at missing or renamed keys.
+/// Bump it whenever the export schema changes shape.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// A span/event label: borrowed for the common static case, owned when a
 /// layer needs a dynamic label (per-location, per-island, …).
 pub type Label = std::borrow::Cow<'static, str>;
 
 pub use event::ObsEvent;
 pub use hist::Histogram;
-pub use hub::{Hub, HubSummary};
+pub use hub::{Hub, HubSummary, MetricSnapshot};
 pub use span::{Span, SpanKind, Trace, TraceTotals};
 pub use warp::{WarpPoint, WarpSummary, WarpTimeline};

@@ -25,6 +25,9 @@
 //! * [`bayes`] — belief networks, logic sampling, rollback machinery.
 //! * [`core`] — experiment runners regenerating the paper's tables and
 //!   figures.
+//! * [`analyze`] — offline analysis of exported run reports and event
+//!   dumps: `nscc inspect` / `nscc diff` / the `nscc gate` perf
+//!   regression gate.
 //!
 //! ## Quick start
 //!
@@ -65,6 +68,7 @@
 //! sim.run().unwrap();
 //! ```
 
+pub use nscc_analyze as analyze;
 pub use nscc_bayes as bayes;
 pub use nscc_core as core;
 pub use nscc_dsm as dsm;

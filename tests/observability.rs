@@ -158,3 +158,14 @@ fn scheduler_spans_and_names_reach_the_hub() {
     let t = hub.totals(0);
     assert!(t.compute_ns > 0, "pid 0 recorded no compute time");
 }
+
+/// The analyzer mirrors the writer's schema constant (it is
+/// dependency-free by design, so it cannot import it). If this fails,
+/// bump `nscc_analyze::SCHEMA_VERSION` alongside the obs one.
+#[test]
+fn analyzer_schema_version_tracks_obs() {
+    assert_eq!(
+        nscc::analyze::SCHEMA_VERSION,
+        u64::from(nscc::obs::SCHEMA_VERSION)
+    );
+}
