@@ -94,6 +94,21 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
         return (out, Outcome::ConfigError);
     }
 
+    // A fresh run that dropped raw trace events recorded less than it
+    // claims to summarize: gating it would bless a truncated capture.
+    let obs = fresh.numeric_map("obs");
+    let events_dropped = obs.get("events_dropped").copied().unwrap_or(0.0);
+    let spans_dropped = obs.get("spans_dropped").copied().unwrap_or(0.0);
+    if events_dropped > 0.0 || spans_dropped > 0.0 {
+        out.push_str(&format!(
+            "  CONFIG ERROR: fresh run dropped raw trace data ({} events, {} spans at \
+             capture capacity) — rerun with a larger hub capacity before gating\n",
+            num(events_dropped),
+            num(spans_dropped)
+        ));
+        return (out, Outcome::ConfigError);
+    }
+
     let scope = |r: &Report| -> BTreeMap<String, f64> {
         if cfg.all {
             r.flatten()
@@ -309,6 +324,22 @@ mod tests {
             "{text}"
         );
         assert_eq!(outcome.exit_code(), 2);
+    }
+
+    #[test]
+    fn dropped_trace_events_in_fresh_run_are_a_config_error() {
+        let truncated = report(
+            r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.0},"obs":{"events_dropped":7}}"#,
+        );
+        let (text, outcome) = gate_pair(&base(), &truncated, &GateConfig::default());
+        assert_eq!(outcome, Outcome::ConfigError);
+        assert!(text.contains("dropped raw trace data"), "{text}");
+        assert_eq!(outcome.exit_code(), 2);
+
+        // A truncated *baseline* alone doesn't block gating a clean run.
+        let (_, outcome) = gate_pair(&truncated, &base(), &GateConfig::default());
+        assert_ne!(outcome, Outcome::ConfigError);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Chaos sweep: GA resilience under frame loss, across `Global_Read`
+//! age bounds.
+//!
+//! For every cell of the loss-rate × age-bound grid (`NSCC_LOSS` ×
+//! `NSCC_AGES`) the island GA runs on the lossy Ethernet with the full
+//! robustness stack on — reliable delivery (seq/ack/retransmit), read
+//! timeouts degrading to cached values, heartbeat failure detection and
+//! a virtual-time watchdog — and reports how much of the fault-free
+//! speedup survives, what the reliable layer paid for it (retransmits,
+//! give-ups) and how often reads had to degrade. Runs the watchdog cut
+//! short appear as structured fault reports, not hung sweeps.
+//!
+//! With `NSCC_JSON=1` (or `--json`) also writes `BENCH_fault_study.json`
+//! with one metric set per cell.
+
+use nscc_bench::{
+    ages_from_env, banner, loss_rates_from_env, make_hub, write_report, write_trace, Scale,
+};
+use nscc_core::fmt::{f2, render_table};
+use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RunReport};
+use nscc_dsm::Coherence;
+use nscc_ga::{CostModel, TestFn};
+use nscc_msg::ReliableConfig;
+use nscc_sim::SimTime;
+
+const PROCS: usize = 4;
+
+fn main() {
+    let scale = Scale::from_env();
+    let losses = loss_rates_from_env();
+    let ages = ages_from_env();
+    print!(
+        "{}",
+        banner("Fault study: GA resilience under frame loss", &scale)
+    );
+    println!(
+        "grid: loss={:?} age={:?} procs={PROCS} (reliable delivery on)",
+        losses, ages
+    );
+
+    let hub = make_hub(&scale);
+    let mut rows = vec![[
+        "loss", "age", "speedup", "ok", "rtx", "giveup", "dropped", "degraded", "cut",
+    ]
+    .map(String::from)
+    .to_vec()];
+    let mut rep = RunReport::new("fault_study", &hub);
+    rep.param("runs", scale.runs as f64)
+        .param("generations", scale.generations as f64)
+        .param("seed", scale.seed as f64)
+        .param("procs", PROCS as f64);
+
+    for &loss in &losses {
+        for &age in &ages {
+            // Every cell runs the same robustness stack; only the wire's
+            // loss rate and the reads' age bound vary. The plan's seed is
+            // derived from the cell so each cell's chaos is independent
+            // and reproducible.
+            let plan_seed = scale.seed ^ ((loss * 1e6) as u64).wrapping_mul(31) ^ age;
+            let mut platform = Platform::paper_ethernet(PROCS);
+            if loss > 0.0 {
+                platform = platform.with_faults(FaultPlan::new(plan_seed).loss(loss));
+            }
+            // The default 10 ms RTO suits low-latency links; the shared
+            // 10 Mbps Ethernet queues migrant batches for longer than
+            // that under load, so a tight RTO would retransmit frames
+            // that were merely queued.
+            platform.msg.reliable = Some(ReliableConfig {
+                base_rto: SimTime::from_millis(80),
+                ..ReliableConfig::default()
+            });
+            let exp = GaExperiment {
+                generations: scale.generations,
+                runs: scale.runs,
+                base_seed: scale.seed,
+                cost: CostModel::deterministic(),
+                platform,
+                obs: (scale.json || scale.trace).then(|| hub.clone()),
+                modes: vec![Coherence::PartialAsync { age }],
+                read_timeout: Some(SimTime::from_millis(50)),
+                heartbeat: Some(SimTime::from_millis(20)),
+                watchdog: Some(SimTime::from_secs(3600)),
+                ..GaExperiment::new(TestFn::F1Sphere, PROCS)
+            };
+            let res = run_ga_experiment(&exp).expect("chaos cell runs");
+            let m = &res.modes[0];
+            rows.push(vec![
+                format!("{loss}"),
+                format!("{age}"),
+                f2(m.speedup),
+                f2(m.success_rate),
+                m.comm.retransmits.to_string(),
+                m.comm.give_ups.to_string(),
+                res.net.dropped.to_string(),
+                m.dsm.degraded_reads.to_string(),
+                res.fault_reports.len().to_string(),
+            ]);
+            for f in &res.fault_reports {
+                eprintln!("cell loss={loss} age={age}: {}", f.summary());
+            }
+            let key = |metric: &str| format!("loss={loss}_age={age}_{metric}");
+            rep.metric(key("speedup"), m.speedup)
+                .metric(key("success_rate"), m.success_rate)
+                .metric(key("retransmits"), m.comm.retransmits as f64)
+                .metric(key("give_ups"), m.comm.give_ups as f64)
+                .metric(key("dropped"), res.net.dropped as f64)
+                .metric(key("degraded_reads"), m.dsm.degraded_reads as f64)
+                .metric(key("fault_reports"), res.fault_reports.len() as f64);
+            rep.fault_reports += res.fault_reports.len() as u64;
+            rep.dsm.merge(&m.dsm);
+            match rep.net.as_mut() {
+                Some(net) => net.merge(&res.net),
+                None => rep.net = Some(res.net.clone()),
+            }
+            match rep.comm.as_mut() {
+                Some(comm) => comm.merge(&res.comm),
+                None => rep.comm = Some(res.comm),
+            }
+        }
+    }
+
+    println!("\n{}", render_table(&rows));
+    println!(
+        "columns: speedup over the fault-free serial baseline; ok = fraction of runs \
+         reaching the quality bar; rtx/giveup = reliable-layer retransmits and abandoned \
+         frames; dropped = frames the fault layer ate; degraded = reads that timed out \
+         onto a cached value; cut = runs stopped by the watchdog (see stderr)."
+    );
+
+    rep.obs = hub.summary();
+    rep.note_degradation();
+    write_report(&scale, &rep);
+    write_trace(&scale, &hub, "fault_study");
+}

@@ -23,6 +23,12 @@
 //!   full Figure-2 mode family. Single-mode runs (e.g. `NSCC_MODES=age=0`
 //!   vs `NSCC_MODES=age=20`) produce reports whose histograms describe
 //!   that mode alone — the inputs `nscc diff` is built for.
+//! * `NSCC_LOSS` / `NSCC_AGES` — the loss-rate × age-bound grid of the
+//!   `fault_study` chaos sweep (comma-separated).
+//!
+//! A variable that is *set but malformed* is a hard error: the binary
+//! prints one line naming the variable and the expected format and exits
+//! with code 2, rather than silently running at a default scale.
 
 #![warn(missing_docs)]
 
@@ -55,26 +61,54 @@ pub struct Scale {
 impl Scale {
     /// Read the scale from the environment (see module docs). JSON output
     /// is enabled by `NSCC_JSON=1`/`true` or a `--json` argument.
+    ///
+    /// A *present but malformed* variable is a hard error (one line
+    /// naming the variable and the expected format, exit code 2) — a
+    /// typo'd `NSCC_GENS=1OOO` silently running the default scale would
+    /// waste a paper-scale sweep.
     pub fn from_env() -> Scale {
-        fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(default)
+        match Scale::parse(&env_lookup) {
+            Ok(mut s) => {
+                s.json |= std::env::args().any(|a| a == "--json");
+                s.trace |= std::env::args().any(|a| a == "--trace");
+                s
+            }
+            Err(e) => die(&e),
         }
-        fn flag(name: &str, arg: &str) -> bool {
-            matches!(std::env::var(name).as_deref(), Ok("1") | Ok("true"))
-                || std::env::args().any(|a| a == arg)
-        }
-        Scale {
-            runs: var("NSCC_RUNS", 3),
-            generations: var("NSCC_GENS", 120),
-            ci: var("NSCC_CI", 0.02),
-            seed: var("NSCC_SEED", 42),
-            json: flag("NSCC_JSON", "--json"),
-            trace: flag("NSCC_TRACE", "--trace"),
-            snap_ms: var("NSCC_SNAP_MS", 100),
-        }
+    }
+
+    /// Pure parsing core of [`from_env`](Scale::from_env): `get` maps a
+    /// variable name to its value when set. Exposed for tests.
+    pub fn parse(get: &dyn Fn(&str) -> Option<String>) -> Result<Scale, String> {
+        Ok(Scale {
+            runs: env_num(get, "NSCC_RUNS", 3, "a positive integer (e.g. NSCC_RUNS=5)")?,
+            generations: env_num(
+                get,
+                "NSCC_GENS",
+                120,
+                "a positive integer (e.g. NSCC_GENS=200)",
+            )?,
+            ci: env_num(
+                get,
+                "NSCC_CI",
+                0.02,
+                "a positive decimal (e.g. NSCC_CI=0.01)",
+            )?,
+            seed: env_num(
+                get,
+                "NSCC_SEED",
+                42,
+                "an unsigned integer (e.g. NSCC_SEED=42)",
+            )?,
+            json: env_flag(get, "NSCC_JSON")?,
+            trace: env_flag(get, "NSCC_TRACE")?,
+            snap_ms: env_num(
+                get,
+                "NSCC_SNAP_MS",
+                100,
+                "milliseconds as an unsigned integer (e.g. NSCC_SNAP_MS=100)",
+            )?,
+        })
     }
 
     /// The paper's full scale (25 GA runs, 1000 generations, CI ±0.01).
@@ -91,19 +125,135 @@ impl Scale {
     }
 }
 
+/// Environment lookup used by the `*_from_env` readers.
+fn env_lookup(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// Print a one-line error and exit 2 — the bench binaries' contract for
+/// malformed `NSCC_*` variables.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// A numeric variable: absent → `default`; present and parsable → the
+/// value; present but malformed → a one-line error naming the variable
+/// and the expected format.
+fn env_num<T: std::str::FromStr>(
+    get: &dyn Fn(&str) -> Option<String>,
+    name: &str,
+    default: T,
+    expected: &str,
+) -> Result<T, String> {
+    match get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("{name}={raw:?} is malformed: expected {expected}")),
+    }
+}
+
+/// A boolean variable: `1`/`true` on, `0`/`false`/unset off, anything
+/// else malformed.
+fn env_flag(get: &dyn Fn(&str) -> Option<String>, name: &str) -> Result<bool, String> {
+    match get(name).as_deref().map(str::trim) {
+        None | Some("") | Some("0") | Some("false") => Ok(false),
+        Some("1") | Some("true") => Ok(true),
+        Some(raw) => Err(format!(
+            "{name}={raw:?} is malformed: expected 1 or 0 (or true/false)"
+        )),
+    }
+}
+
+/// Parse a comma-separated list variable; absent or empty → `default`.
+fn env_list<T: std::str::FromStr + Clone>(
+    get: &dyn Fn(&str) -> Option<String>,
+    name: &str,
+    default: &[T],
+    expected: &str,
+) -> Result<Vec<T>, String> {
+    let raw = match get(name) {
+        None => return Ok(default.to_vec()),
+        Some(raw) => raw,
+    };
+    let toks: Vec<&str> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    if toks.is_empty() {
+        return Ok(default.to_vec());
+    }
+    toks.iter()
+        .map(|t| {
+            t.parse()
+                .map_err(|_| format!("{name}={raw:?} is malformed: expected {expected}"))
+        })
+        .collect()
+}
+
+/// The loss-rate axis of the `fault_study` sweep: `NSCC_LOSS` as a
+/// comma-separated list of per-frame drop probabilities in `[0, 1)`.
+pub fn loss_rates_from_env() -> Vec<f64> {
+    let rates = env_list(
+        &env_lookup,
+        "NSCC_LOSS",
+        &[0.0, 0.01, 0.05],
+        "comma-separated probabilities in [0,1) (e.g. NSCC_LOSS=0.01,0.05)",
+    )
+    .unwrap_or_else(|e| die(&e));
+    if let Some(bad) = rates.iter().find(|p| !(0.0..1.0).contains(*p)) {
+        die(&format!(
+            "NSCC_LOSS contains {bad}: expected comma-separated probabilities in [0,1)"
+        ));
+    }
+    rates
+}
+
+/// The age-bound axis of the `fault_study` sweep: `NSCC_AGES` as a
+/// comma-separated list of `Global_Read` age bounds (iterations).
+pub fn ages_from_env() -> Vec<u64> {
+    env_list(
+        &env_lookup,
+        "NSCC_AGES",
+        &[0, 10, 30],
+        "comma-separated unsigned integers (e.g. NSCC_AGES=0,10,30)",
+    )
+    .unwrap_or_else(|e| die(&e))
+}
+
 /// The coherence modes the GA bins should report: the `NSCC_MODES`
 /// restriction when set and non-empty, the full Figure-2 family
-/// otherwise. Unknown labels are warned about and skipped.
+/// otherwise. An unknown label is a hard error (exit 2) — a typo'd mode
+/// silently narrowing a sweep is worse than stopping.
 pub fn modes_from_env() -> Option<Vec<Coherence>> {
-    let raw = std::env::var("NSCC_MODES").ok()?;
+    match parse_modes(&env_lookup) {
+        Ok(modes) => modes,
+        Err(e) => die(&e),
+    }
+}
+
+/// Pure parsing core of [`modes_from_env`]. Exposed for tests.
+pub fn parse_modes(get: &dyn Fn(&str) -> Option<String>) -> Result<Option<Vec<Coherence>>, String> {
+    let raw = match get("NSCC_MODES") {
+        None => return Ok(None),
+        Some(raw) => raw,
+    };
     let mut modes = Vec::new();
     for tok in raw.split(',').map(str::trim).filter(|t| !t.is_empty()) {
         match Coherence::parse(tok) {
             Some(m) => modes.push(m),
-            None => eprintln!("NSCC_MODES: ignoring unknown mode label {tok:?}"),
+            None => {
+                return Err(format!(
+                    "NSCC_MODES contains unknown label {tok:?}: expected \
+                     comma-separated sync, async, or age=N"
+                ))
+            }
         }
     }
-    (!modes.is_empty()).then_some(modes)
+    Ok((!modes.is_empty()).then_some(modes))
 }
 
 /// Build the observability hub for a bench binary: snapshot cadence from
@@ -162,18 +312,52 @@ pub fn write_report(scale: &Scale, report: &RunReport) {
 mod tests {
     use super::*;
 
-    #[test]
-    fn env_scale_defaults() {
-        let s = Scale::from_env();
-        assert!(s.runs >= 1);
-        assert!(s.generations >= 1);
-        assert!(s.ci > 0.0);
+    /// A fake environment for the pure parsers.
+    fn env<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| v.to_string())
+        }
     }
 
     #[test]
-    fn modes_env_parses_labels_and_skips_junk() {
-        std::env::set_var("NSCC_MODES", "age=0, age=20, bogus");
-        let m = modes_from_env().expect("modes parse");
+    fn env_scale_defaults() {
+        let s = Scale::parse(&env(&[])).unwrap();
+        assert_eq!((s.runs, s.generations, s.seed), (3, 120, 42));
+        assert!(s.ci > 0.0);
+        assert!(!s.json && !s.trace);
+    }
+
+    #[test]
+    fn env_scale_reads_values_and_flags() {
+        let get = env(&[
+            ("NSCC_RUNS", "7"),
+            ("NSCC_JSON", "true"),
+            ("NSCC_CI", " 0.5 "),
+        ]);
+        let s = Scale::parse(&get).unwrap();
+        assert_eq!(s.runs, 7);
+        assert!(s.json);
+        assert_eq!(s.ci, 0.5);
+    }
+
+    #[test]
+    fn malformed_env_names_the_variable_and_the_format() {
+        let e = Scale::parse(&env(&[("NSCC_GENS", "1OOO")])).unwrap_err();
+        assert!(e.contains("NSCC_GENS=\"1OOO\""), "{e}");
+        assert!(e.contains("positive integer"), "{e}");
+        let e = Scale::parse(&env(&[("NSCC_JSON", "yes")])).unwrap_err();
+        assert!(e.contains("NSCC_JSON"), "{e}");
+        assert!(e.contains("1 or 0"), "{e}");
+    }
+
+    #[test]
+    fn modes_env_parses_labels_and_rejects_junk() {
+        let m = parse_modes(&env(&[("NSCC_MODES", "age=0, age=20")]))
+            .unwrap()
+            .expect("modes parse");
         assert_eq!(
             m,
             vec![
@@ -181,8 +365,22 @@ mod tests {
                 Coherence::PartialAsync { age: 20 },
             ]
         );
-        std::env::remove_var("NSCC_MODES");
-        assert!(modes_from_env().is_none());
+        assert!(parse_modes(&env(&[])).unwrap().is_none());
+        let e = parse_modes(&env(&[("NSCC_MODES", "age=0, bogus")])).unwrap_err();
+        assert!(e.contains("bogus"), "{e}");
+        assert!(e.contains("age=N"), "{e}");
+    }
+
+    #[test]
+    fn list_env_parses_and_defaults() {
+        let v: Vec<f64> = env_list(&env(&[]), "NSCC_LOSS", &[0.5], "probabilities").unwrap();
+        assert_eq!(v, vec![0.5]);
+        let v: Vec<f64> =
+            env_list(&env(&[("NSCC_LOSS", "0.01, 0.05")]), "NSCC_LOSS", &[], "p").unwrap();
+        assert_eq!(v, vec![0.01, 0.05]);
+        let e =
+            env_list::<f64>(&env(&[("NSCC_LOSS", "0.01,x")]), "NSCC_LOSS", &[], "p").unwrap_err();
+        assert!(e.contains("NSCC_LOSS"), "{e}");
     }
 
     #[test]

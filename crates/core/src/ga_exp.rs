@@ -18,10 +18,12 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use nscc_dsm::{Coherence, Directory, DsmStats, DsmWorld};
+use nscc_faults::FaultReport;
 use nscc_ga::{
     run_island, ConvergenceBoard, CostModel, GaParams, IslandConfig, IslandOutcome, MigrantBatch,
     SerialGa, TestFn,
 };
+use nscc_msg::CommStats;
 use nscc_net::{NetStats, WarpMeter};
 use nscc_obs::Hub;
 use nscc_sim::{SimBuilder, SimError, SimTime};
@@ -68,6 +70,17 @@ pub struct GaExperiment {
     /// yields a report whose histograms describe that mode alone, which
     /// is what makes `nscc diff` of two ages meaningful.
     pub modes: Vec<Coherence>,
+    /// Blocked reads degrade to the freshest cached value after this long
+    /// (chaos runs only; `None` keeps the paper's wait-forever reads).
+    pub read_timeout: Option<SimTime>,
+    /// Heartbeat period for the failure detector's daemons (chaos runs
+    /// only; `None` spawns none).
+    pub heartbeat: Option<SimTime>,
+    /// Watchdog: virtual-time limit per parallel run. Under faults a run
+    /// that hangs (e.g. every retransmit of a barrier message lost) is
+    /// cut here and reported as a failure with a [`FaultReport`] instead
+    /// of wedging the sweep.
+    pub watchdog: Option<SimTime>,
 }
 
 impl GaExperiment {
@@ -85,6 +98,9 @@ impl GaExperiment {
             target_fraction: 0.75,
             obs: None,
             modes: Self::default_modes(),
+            read_timeout: None,
+            heartbeat: None,
+            watchdog: None,
         }
     }
 
@@ -123,6 +139,10 @@ pub struct ModeResult {
     pub mean_warp: f64,
     /// Aggregate DSM counters (summed over runs).
     pub dsm: DsmStats,
+    /// Aggregate message-layer counters (summed over runs) — includes
+    /// retransmits, suppressed duplicates and give-ups when the reliable
+    /// layer is on.
+    pub comm: CommStats,
 }
 
 /// Full result of one experiment cell.
@@ -140,6 +160,11 @@ pub struct GaExpResult {
     pub modes: Vec<ModeResult>,
     /// Aggregate network counters over every parallel run in the cell.
     pub net: NetStats,
+    /// Aggregate message-layer counters over every reported run.
+    pub comm: CommStats,
+    /// One structured report per parallel run the watchdog (or deadlock
+    /// detector) cut short under chaos — empty on fault-free cells.
+    pub fault_reports: Vec<FaultReport>,
 }
 
 impl GaExpResult {
@@ -183,30 +208,61 @@ struct RunMeasure {
     warp: f64,
     dsm: DsmStats,
     net: NetStats,
+    comm: CommStats,
+    /// Set when the run was cut short (watchdog/deadlock under chaos).
+    fault: Option<FaultReport>,
 }
 
 /// Run one parallel GA configuration once. `observe` gates hub
 /// attachment, so internal reference runs of unreported modes don't
-/// pollute the cell's histograms.
+/// pollute the cell's histograms. `inject` gates the chaos machinery
+/// (fault plan, read timeouts, heartbeats, watchdog): the bar-setting
+/// synchronous reference always runs with it off, so the quality target
+/// describes the clean platform.
 fn run_parallel_once(
     exp: &GaExperiment,
     mode: Coherence,
     stop: nscc_ga::StopPolicy,
     seed: u64,
     observe: bool,
+    inject: bool,
 ) -> Result<RunMeasure, SimError> {
     let p = exp.procs;
+    let chaos = inject
+        && (exp.platform.faults.is_some()
+            || exp.watchdog.is_some()
+            || exp.read_timeout.is_some()
+            || exp.heartbeat.is_some());
     let mut sim = SimBuilder::new(seed);
-    let net = exp.platform.build(&mut sim, seed);
+    let platform = if inject {
+        exp.platform.clone()
+    } else {
+        Platform {
+            faults: None,
+            ..exp.platform.clone()
+        }
+    };
+    let net = platform.build(&mut sim, seed);
     let warp = WarpMeter::new();
 
     let mut dir = Directory::new();
     let locs = dir.add_per_rank("best", p);
     let mut world: DsmWorld<MigrantBatch> =
-        DsmWorld::new(net.clone(), p, exp.platform.msg.clone(), dir).with_warp(warp.clone());
+        DsmWorld::new(net.clone(), p, platform.msg.clone(), dir).with_warp(warp.clone());
     if let Some(hub) = exp.obs.as_ref().filter(|_| observe) {
         net.attach_obs(hub.clone());
         world = world.with_obs(hub.clone());
+    }
+    if chaos {
+        if let Some(to) = exp.read_timeout {
+            world = world.with_read_timeout(to);
+        }
+        if let Some(period) = exp.heartbeat {
+            world.spawn_heartbeats(&mut sim, period);
+        }
+        if let Some(limit) = exp.watchdog {
+            sim.time_limit(limit);
+        }
     }
     for &l in &locs {
         world.set_initial(l, Vec::new());
@@ -234,7 +290,40 @@ fn run_parallel_once(
             outcomes.lock()[r] = Some(out);
         });
     }
-    let report = sim.run()?;
+    let report = match sim.run() {
+        Ok(report) => report,
+        Err(err) if chaos => {
+            // Under chaos a wedged or over-budget run is data, not a
+            // crash: report what the islands achieved before the cut and
+            // attach the structured diagnosis.
+            let at = match &err {
+                SimError::Deadlock { at, .. } => *at,
+                SimError::TimeLimitExceeded { limit } => *limit,
+                _ => exp.watchdog.unwrap_or(SimTime::ZERO),
+            };
+            let outs = outcomes.lock();
+            let done = outs.iter().flatten().count().max(1) as f64;
+            return Ok(RunMeasure {
+                time: at,
+                last_improve: at,
+                best: outs.iter().flatten().map(|o| o.best).sum::<f64>() / done,
+                generations: outs
+                    .iter()
+                    .flatten()
+                    .map(|o| o.generations as f64)
+                    .sum::<f64>()
+                    / done,
+                success: false,
+                messages: world.comm_stats().sent,
+                warp: warp.mean(),
+                dsm: world.total_stats(),
+                net: net.stats(),
+                comm: world.comm_stats(),
+                fault: Some(FaultReport::from_sim_error(seed, &err)),
+            });
+        }
+        Err(err) => return Err(err),
+    };
     let outs = outcomes.lock();
     // Quality bar: the mean best-ever across islands (a per-subpopulation
     // criterion, as the paper uses).
@@ -267,6 +356,8 @@ fn run_parallel_once(
         warp: warp.mean(),
         dsm: world.total_stats(),
         net: net.stats(),
+        comm: world.comm_stats(),
+        fault: None,
     })
 }
 
@@ -289,13 +380,16 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
         // instant its quality stopped improving (post-convergence
         // spinning is not billed to it). It runs even when `sync` is not
         // a reported mode (the bar must stay identical across mode
-        // subsets), but is only observed when reported.
+        // subsets), but is only observed when reported. It always runs
+        // on the clean platform: the quality bar must describe what the
+        // application achieves, not what the fault plan permits.
         let mut sync_measure = run_parallel_once(
             exp,
             Coherence::Synchronous,
             nscc_ga::StopPolicy::FixedGenerations(exp.generations),
             seed,
             sync_ix.is_some(),
+            false,
         )?;
         // Quality bar: within 10% of the synchronous quality (absolute
         // tolerance guards bit-resolution floors near zero).
@@ -327,13 +421,15 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
             if matches!(mode, Coherence::Synchronous) {
                 continue;
             }
-            acc[mi].push(run_parallel_once(exp, mode, stop, seed, true)?);
+            acc[mi].push(run_parallel_once(exp, mode, stop, seed, true, true)?);
         }
     }
 
     let runs = exp.runs as f64;
     let serial_time = serial_time_sum / exp.runs as u64;
     let mut net_total = NetStats::default();
+    let mut comm_total = CommStats::default();
+    let mut fault_reports = Vec::new();
     let mode_results = modes
         .iter()
         .zip(acc)
@@ -355,9 +451,15 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
                 serial_time.as_secs_f64() / mean_time.as_secs_f64()
             };
             let mut dsm = DsmStats::default();
+            let mut comm = CommStats::default();
             for m in &ms {
                 dsm.merge(&m.dsm);
+                comm.merge(&m.comm);
                 net_total.merge(&m.net);
+                comm_total.merge(&m.comm);
+                if let Some(f) = &m.fault {
+                    fault_reports.push(f.clone());
+                }
             }
             ModeResult {
                 label: mode.label(),
@@ -369,6 +471,7 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
                 mean_messages: ms.iter().map(|m| m.messages as f64).sum::<f64>() / runs,
                 mean_warp: ms.iter().map(|m| m.warp).sum::<f64>() / runs,
                 dsm,
+                comm,
             }
         })
         .collect();
@@ -380,6 +483,8 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
         serial_best: serial_best_sum / runs,
         modes: mode_results,
         net: net_total,
+        comm: comm_total,
+        fault_reports,
     })
 }
 
@@ -411,6 +516,51 @@ mod tests {
         assert!(ok_rate > 0.8, "success rate {ok_rate}");
         let _ = res.best_partial();
         assert!(res.best_competitor_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn chaos_cell_completes_and_reports_resilience_counters() {
+        use crate::platform::Platform;
+        use nscc_faults::FaultPlan;
+        use nscc_msg::ReliableConfig;
+
+        let mut platform = Platform::paper_ethernet(2).with_faults(
+            FaultPlan::new(42)
+                .loss(0.05)
+                .crash(1, SimTime::from_millis(400)),
+        );
+        platform.msg.reliable = Some(ReliableConfig::default());
+        let exp = GaExperiment {
+            generations: 20,
+            runs: 1,
+            cap_factor: 3,
+            cost: CostModel::deterministic(),
+            platform,
+            modes: vec![Coherence::PartialAsync { age: 5 }],
+            read_timeout: Some(SimTime::from_millis(50)),
+            heartbeat: Some(SimTime::from_millis(20)),
+            watchdog: Some(SimTime::from_secs(600)),
+            ..GaExperiment::new(TestFn::F1Sphere, 2)
+        };
+        let res = run_ga_experiment(&exp).unwrap();
+        assert_eq!(res.modes.len(), 1);
+        let m = &res.modes[0];
+        // The run must have finished (possibly degraded, never wedged):
+        // either cleanly or via the watchdog with a structured report.
+        assert!(m.success_rate >= 1.0 || !res.fault_reports.is_empty());
+        // With 5% loss on every frame the fault layer must have bitten,
+        // and the reliable layer must have answered.
+        assert!(res.net.dropped > 0, "no frames dropped");
+        assert!(m.comm.retransmits > 0, "no retransmits recorded");
+        // Determinism: the same seeds reproduce the same resilience story.
+        let res2 = run_ga_experiment(&exp).unwrap();
+        assert_eq!(res.net.dropped, res2.net.dropped);
+        assert_eq!(m.comm.retransmits, res2.modes[0].comm.retransmits);
+        assert_eq!(
+            res.fault_reports.len(),
+            res2.fault_reports.len(),
+            "fault reports must reproduce per seed"
+        );
     }
 
     #[test]

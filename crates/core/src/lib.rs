@@ -13,6 +13,10 @@
 //! * [`RunReport`] — machine-readable merged run record
 //!   (`BENCH_<name>.json`) combining layer stats with the observability
 //!   hub's histograms and counters.
+//! * [`FaultPlan`] (via [`Platform::with_faults`]) — seeded chaos:
+//!   frame loss/duplication/delay, degradation windows, node crashes and
+//!   partitions, with runs that wedge cut by a watchdog into structured
+//!   [`FaultReport`]s instead of hung sweeps.
 //! * [`fmt`] — plain-text table rendering shared by the bench binaries.
 
 #![warn(missing_docs)]
@@ -27,5 +31,6 @@ pub use bayes_exp::{
     run_bayes_experiment, run_sequential, BayesExpResult, BayesExperiment, BayesModeResult,
 };
 pub use ga_exp::{run_ga_experiment, GaExpResult, GaExperiment, ModeResult, PAPER_AGES};
+pub use nscc_faults::{FaultPlan, FaultReport, FaultStats, FaultStatsHandle};
 pub use platform::{Interconnect, Platform};
 pub use report::RunReport;

@@ -1,7 +1,8 @@
 //! Platform presets: the simulated equivalents of the paper's testbed.
 
+use nscc_faults::{FaultPlan, FaultStatsHandle, FaultyMedium};
 use nscc_msg::MsgConfig;
-use nscc_net::{EthernetBus, IdealMedium, LoaderConfig, Network, NodeId, Sp2Switch};
+use nscc_net::{EthernetBus, IdealMedium, LoaderConfig, Medium, Network, NodeId, Sp2Switch};
 use nscc_sim::{SimBuilder, SimTime};
 
 /// Which interconnect to simulate.
@@ -29,6 +30,11 @@ pub struct Platform {
     pub load_mbps: f64,
     /// Number of compute ranks (loaders get the two node ids above this).
     pub ranks: usize,
+    /// Optional fault plan: when set (and not a no-op), the interconnect
+    /// is wrapped in a [`FaultyMedium`] that drops, duplicates, delays
+    /// and partitions frames per the plan's own seed. `None` keeps the
+    /// paper's fault-free wire byte-for-byte.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Platform {
@@ -40,7 +46,15 @@ impl Platform {
             msg: MsgConfig::default(),
             load_mbps: 0.0,
             ranks,
+            faults: None,
         }
+    }
+
+    /// Inject faults per `plan` into whatever interconnect this platform
+    /// builds.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The loaded-network configuration of §5.2 (4 compute nodes plus a
@@ -55,25 +69,45 @@ impl Platform {
     /// Build the network for a run and spawn loader daemons when
     /// configured. Call once per simulation.
     pub fn build(&self, sim: &mut SimBuilder, seed: u64) -> Network {
-        let net = match self.interconnect {
-            Interconnect::Ethernet10 => Network::new(EthernetBus::ten_mbps(seed)),
-            Interconnect::Sp2Switch => Network::new(Sp2Switch::sp2()),
-            Interconnect::Ideal { latency } => Network::new(IdealMedium::new(latency)),
-        };
+        self.build_instrumented(sim, seed).0
+    }
+
+    /// Like [`build`](Platform::build), additionally returning a live
+    /// handle onto the fault layer's counters (`None` when the platform
+    /// has no effective fault plan).
+    pub fn build_instrumented(
+        &self,
+        sim: &mut SimBuilder,
+        seed: u64,
+    ) -> (Network, Option<FaultStatsHandle>) {
+        let (net, handle) = self.wire(seed);
         if self.load_mbps > 0.0 {
             let a = NodeId(self.ranks as u32);
             let b = NodeId(self.ranks as u32 + 1);
             nscc_net::spawn_loaders(sim, &net, &LoaderConfig::mbps(self.load_mbps, a, b));
         }
-        net
+        (net, handle)
     }
 
     /// Build the network without a simulation (no loaders possible).
     pub fn build_network_only(&self, seed: u64) -> Network {
-        match self.interconnect {
-            Interconnect::Ethernet10 => Network::new(EthernetBus::ten_mbps(seed)),
-            Interconnect::Sp2Switch => Network::new(Sp2Switch::sp2()),
-            Interconnect::Ideal { latency } => Network::new(IdealMedium::new(latency)),
+        self.wire(seed).0
+    }
+
+    /// The interconnect medium, fault-wrapped when the plan is effective.
+    fn wire(&self, seed: u64) -> (Network, Option<FaultStatsHandle>) {
+        let medium: Box<dyn Medium> = match self.interconnect {
+            Interconnect::Ethernet10 => Box::new(EthernetBus::ten_mbps(seed)),
+            Interconnect::Sp2Switch => Box::new(Sp2Switch::sp2()),
+            Interconnect::Ideal { latency } => Box::new(IdealMedium::new(latency)),
+        };
+        match self.faults.as_ref().filter(|p| !p.is_noop()) {
+            Some(plan) => {
+                let faulty = FaultyMedium::wrap(medium, plan.clone());
+                let handle = faulty.stats_handle();
+                (Network::new(faulty), Some(handle))
+            }
+            None => (Network::new(medium), None),
         }
     }
 }

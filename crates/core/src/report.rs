@@ -38,6 +38,15 @@ pub struct RunReport {
     pub net: Option<NetStats>,
     /// Message-layer counters, when available.
     pub comm: Option<CommStats>,
+    /// Parallel runs the watchdog (or deadlock detector) cut short under
+    /// fault injection.
+    pub fault_reports: u64,
+    /// `true` when any graceful-degradation path fired during the run —
+    /// reads timing out onto cached values, peers suspected dead, frames
+    /// abandoned after retries, or watchdog-cut runs. Recomputed by
+    /// [`note_degradation`](RunReport::note_degradation); a fault-free
+    /// run stays `false` byte-for-byte.
+    pub degraded: bool,
     /// The observability hub's summary: staleness/block/delay histograms,
     /// warp distribution, event and drop counters.
     pub obs: HubSummary,
@@ -55,8 +64,22 @@ impl RunReport {
             dsm: DsmStats::default(),
             net: None,
             comm: None,
+            fault_reports: 0,
+            degraded: false,
             obs: hub.summary(),
         }
+    }
+
+    /// Recompute the [`degraded`](RunReport::degraded) marker from the
+    /// merged stats. Call after filling `dsm`/`comm`/`fault_reports`.
+    pub fn note_degradation(&mut self) -> &mut Self {
+        let give_ups = self.comm.map_or(0, |c| c.give_ups);
+        self.degraded = self.fault_reports > 0
+            || give_ups > 0
+            || self.dsm.degraded_reads > 0
+            || self.dsm.suspected_writers > 0
+            || self.dsm.barrier_timeouts > 0;
+        self
     }
 
     /// Record an experiment parameter.
@@ -160,6 +183,24 @@ mod tests {
         rep.obs.events_dropped = 0;
         rep.obs.spans_dropped = 3;
         assert!(rep.drop_warning().unwrap().contains("3 spans"));
+    }
+
+    #[test]
+    fn degraded_marker_tracks_resilience_counters() {
+        let mut rep = sample_report();
+        rep.note_degradation();
+        assert!(!rep.degraded, "clean run must not be marked degraded");
+        assert!(rep.to_json().contains("\"degraded\":false"));
+
+        rep.dsm.degraded_reads = 2;
+        rep.note_degradation();
+        assert!(rep.degraded);
+        assert!(rep.to_json().contains("\"degraded\":true"));
+
+        rep.dsm.degraded_reads = 0;
+        rep.fault_reports = 1;
+        rep.note_degradation();
+        assert!(rep.degraded, "watchdog-cut runs mark the report degraded");
     }
 
     #[test]

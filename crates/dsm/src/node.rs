@@ -1,7 +1,7 @@
 //! The per-rank DSM node: age-tagged cache, update propagation, the
 //! blocking `Global_Read`, and the message barrier.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -36,6 +36,10 @@ pub enum DsmMsg<T> {
         /// Barrier epoch being released.
         epoch: u64,
     },
+    /// Liveness beacon for the failure detector (see
+    /// [`DsmWorld::spawn_heartbeats`](crate::DsmWorld::spawn_heartbeats)).
+    /// Carries no data; receipt refreshes the sender's last-heard stamp.
+    Heartbeat,
 }
 
 /// Per-node DSM counters, readable after a run via
@@ -60,6 +64,13 @@ pub struct DsmStats {
     pub barriers: u64,
     /// Total virtual time spent waiting at barriers.
     pub barrier_time: SimTime,
+    /// `Global_Read`s that timed out and returned a stale cached value
+    /// instead of enforcing their staleness bound.
+    pub degraded_reads: u64,
+    /// Peers this node's failure detector declared dead.
+    pub suspected_writers: u64,
+    /// Barrier waits abandoned by the failure detector.
+    pub barrier_timeouts: u64,
 }
 
 impl DsmStats {
@@ -74,6 +85,9 @@ impl DsmStats {
         self.block_time += other.block_time;
         self.barriers += other.barriers;
         self.barrier_time += other.barrier_time;
+        self.degraded_reads += other.degraded_reads;
+        self.suspected_writers += other.suspected_writers;
+        self.barrier_timeouts += other.barrier_timeouts;
     }
 }
 
@@ -103,6 +117,10 @@ pub struct ReadOutcome<T> {
     pub block_time: SimTime,
     /// The requirement the read enforced (`curr_iter − age`, saturated).
     pub required: u64,
+    /// Whether the staleness bound was *violated*: the read timed out
+    /// (see [`DsmWorld::with_read_timeout`](crate::DsmWorld::with_read_timeout))
+    /// and returned the freshest cached value instead of blocking further.
+    pub degraded: bool,
 }
 
 impl<T> ReadOutcome<T> {
@@ -137,8 +155,16 @@ pub struct DsmNode<T: Send + 'static> {
     pending_writes: HashMap<LocId, u64>,
     /// Highest barrier epoch released (observed from the coordinator).
     released: u64,
-    /// Coordinator only: arrival counts per epoch.
-    arrivals: HashMap<u64, usize>,
+    /// Coordinator only: which ranks have arrived, per epoch.
+    arrivals: HashMap<u64, HashSet<usize>>,
+    /// Give up on blocked reads / barrier waits after this long without
+    /// progress (`None` = wait forever, the paper's semantics).
+    timeout: Option<SimTime>,
+    /// Failure detector: when each peer was last heard from (send-time
+    /// stamps of arriving messages, heartbeats included).
+    last_heard: HashMap<usize, SimTime>,
+    /// Peers declared dead by the failure detector.
+    suspected: HashSet<usize>,
     stats: DsmStats,
     shared_stats: Arc<Mutex<Vec<DsmStats>>>,
     obs: Option<Hub>,
@@ -167,6 +193,9 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             pending_writes: HashMap::new(),
             released: 0,
             arrivals: HashMap::new(),
+            timeout: None,
+            last_heard: HashMap::new(),
+            suspected: HashSet::new(),
             stats: DsmStats::default(),
             shared_stats,
             obs,
@@ -248,6 +277,53 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         self.coalesce = k;
     }
 
+    /// Bound how long blocked reads and barrier waits may stall without
+    /// progress before degrading (see
+    /// [`DsmWorld::with_read_timeout`](crate::DsmWorld::with_read_timeout)).
+    pub fn set_timeout(&mut self, timeout: SimTime) {
+        self.timeout = Some(timeout);
+    }
+
+    /// Peers this node's failure detector has declared dead so far.
+    pub fn suspected(&self) -> &HashSet<usize> {
+        &self.suspected
+    }
+
+    /// Mark every peer that has been silent for longer than `window` as
+    /// suspected, emitting one [`WriterSuspected`](ObsEvent::WriterSuspected)
+    /// per new suspect. Peers in `exempt` have already proven themselves
+    /// (e.g. by arriving at the barrier being waited on) and are skipped —
+    /// a rank blocked waiting alongside us is silent but not dead.
+    /// Returns how many peers were newly suspected.
+    fn suspect_silent_peers(
+        &mut self,
+        ctx: &Ctx,
+        window: SimTime,
+        exempt: &HashSet<usize>,
+    ) -> usize {
+        let now = ctx.now();
+        let mut newly = 0;
+        for peer in 0..self.ep.ranks() {
+            if peer == self.rank || self.suspected.contains(&peer) || exempt.contains(&peer) {
+                continue;
+            }
+            let heard = self.last_heard.get(&peer).copied().unwrap_or(SimTime::ZERO);
+            if now.saturating_sub(heard) > window {
+                self.suspected.insert(peer);
+                self.stats.suspected_writers += 1;
+                newly += 1;
+                if let Some(hub) = &self.obs {
+                    hub.emit(ObsEvent::WriterSuspected {
+                        t_ns: now.as_nanos(),
+                        rank: self.rank as u32,
+                        peer: peer as u32,
+                    });
+                }
+            }
+        }
+        newly
+    }
+
     /// The paper's `Global_Read(locn, curr_iter, age)`: return the cached
     /// value if it was generated no earlier than iteration
     /// `curr_iter − age` of the writer, else block until such a value
@@ -291,6 +367,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                     blocked: false,
                     block_time: SimTime::ZERO,
                     required,
+                    degraded: false,
                 };
             }
         }
@@ -305,8 +382,45 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                 required,
             });
         }
+        let mut deadline = self.timeout.map(|to| t0 + to);
         loop {
-            let env = self.ep.recv(ctx);
+            let env = match deadline {
+                None => self.ep.recv(ctx),
+                Some(dl) => match self.ep.recv_deadline(ctx, dl) {
+                    Some(env) => env,
+                    None => {
+                        // Timed out. If anything is cached, violate the
+                        // staleness bound rather than the liveness of the
+                        // whole computation; otherwise keep waiting with a
+                        // fresh deadline (there is nothing to degrade to).
+                        if let Some((have, v)) = self.cache.get(&loc) {
+                            let block_time = ctx.now() - t0;
+                            self.stats.block_time += block_time;
+                            self.stats.degraded_reads += 1;
+                            if let Some(hub) = &self.obs {
+                                hub.emit(ObsEvent::ReadDegraded {
+                                    t_ns: ctx.now().as_nanos(),
+                                    rank: self.rank as u32,
+                                    loc: loc.0,
+                                    required,
+                                    delivered: *have,
+                                });
+                            }
+                            self.flush_stats();
+                            return ReadOutcome {
+                                age: *have,
+                                value: v.clone(),
+                                blocked: true,
+                                block_time,
+                                required,
+                                degraded: true,
+                            };
+                        }
+                        deadline = self.timeout.map(|to| ctx.now() + to);
+                        continue;
+                    }
+                },
+            };
             self.apply(env);
             if let Some((have, v)) = self.cache.get(&loc) {
                 if *have >= required {
@@ -318,6 +432,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                         blocked: true,
                         block_time,
                         required,
+                        degraded: false,
                     };
                     if let Some(hub) = &self.obs {
                         hub.emit(read_done_event(
@@ -509,20 +624,60 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             return;
         }
         if self.rank == 0 {
-            while self.arrivals.get(&epoch).copied().unwrap_or(0) < p - 1 {
-                let env = self.ep.recv(ctx);
-                self.apply(env);
+            // Wait until every peer has arrived or been declared dead:
+            // a barrier must not wait forever on a crashed node.
+            loop {
+                let arrived = self.arrivals.entry(epoch).or_default().clone();
+                let waiting = (1..p)
+                    .filter(|q| !arrived.contains(q) && !self.suspected.contains(q))
+                    .count();
+                if waiting == 0 {
+                    break;
+                }
+                match self.barrier_recv(ctx) {
+                    Some(env) => self.apply(env),
+                    None => {
+                        // Silence exceeded the window: declare unheard
+                        // peers dead. Already-arrived peers are exempt —
+                        // they are silent because they are waiting on us.
+                        if self.suspect_silent_peers(ctx, self.timeout.unwrap(), &arrived) > 0 {
+                            self.stats.barrier_timeouts += 1;
+                        }
+                    }
+                }
             }
             self.arrivals.remove(&epoch);
             self.ep.broadcast(ctx, DsmMsg::BarrierRelease { epoch });
         } else {
             self.ep.send(ctx, 0, DsmMsg::BarrierArrive { epoch });
             while self.released < epoch {
-                let env = self.ep.recv(ctx);
-                self.apply(env);
+                match self.barrier_recv(ctx) {
+                    Some(env) => self.apply(env),
+                    None => {
+                        // A dead coordinator can never release us; exit
+                        // the barrier degraded rather than deadlock.
+                        self.suspect_silent_peers(ctx, self.timeout.unwrap(), &HashSet::new());
+                        if self.suspected.contains(&0) {
+                            self.stats.barrier_timeouts += 1;
+                            break;
+                        }
+                    }
+                }
             }
         }
         self.finish_barrier(ctx, epoch, t0);
+    }
+
+    /// One barrier-wait receive: blocking forever without a timeout,
+    /// otherwise bounded by one silence window (`None` = window expired).
+    fn barrier_recv(&mut self, ctx: &mut Ctx) -> Option<Envelope<DsmMsg<T>>> {
+        match self.timeout {
+            None => Some(self.ep.recv(ctx)),
+            Some(to) => {
+                let deadline = ctx.now() + to;
+                self.ep.recv_deadline(ctx, deadline)
+            }
+        }
     }
 
     /// Common barrier epilogue: account the wait, emit the release event
@@ -565,6 +720,10 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         // Events emitted here are stamped with the update's send time: the
         // receive handler has no clock of its own.
         let sent_at = env.sent_at;
+        // Any message is proof of life at its send time (the failure
+        // detector compares against send-time stamps throughout).
+        let heard = self.last_heard.entry(env.src).or_insert(SimTime::ZERO);
+        *heard = (*heard).max(sent_at);
         match env.payload {
             DsmMsg::Update { loc, age, value } => {
                 if self.history > 0 {
@@ -615,11 +774,13 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             }
             DsmMsg::BarrierArrive { epoch } => {
                 debug_assert_eq!(self.rank, 0, "only rank 0 coordinates barriers");
-                *self.arrivals.entry(epoch).or_insert(0) += 1;
+                self.arrivals.entry(epoch).or_default().insert(env.src);
             }
             DsmMsg::BarrierRelease { epoch } => {
                 self.released = self.released.max(epoch);
             }
+            // Proof of life only; handled above for every message kind.
+            DsmMsg::Heartbeat => {}
         }
     }
 

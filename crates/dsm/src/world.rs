@@ -10,6 +10,7 @@ use serde::Serialize;
 use nscc_msg::{CommStats, CommWorld, MsgConfig};
 use nscc_net::{Network, WarpMeter};
 use nscc_obs::Hub;
+use nscc_sim::{SimBuilder, SimTime};
 
 use crate::directory::{Directory, LocId};
 use crate::node::{DsmMsg, DsmNode, DsmStats};
@@ -24,6 +25,7 @@ pub struct DsmWorld<T: Send + 'static> {
     initial: HashMap<LocId, T>,
     history: usize,
     coalesce: u64,
+    read_timeout: Option<SimTime>,
     stats: Arc<Mutex<Vec<DsmStats>>>,
     obs: Option<Hub>,
 }
@@ -37,6 +39,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
             initial: HashMap::new(),
             history: 0,
             coalesce: 1,
+            read_timeout: None,
             stats: Arc::new(Mutex::new(vec![DsmStats::default(); ranks])),
             obs: None,
         }
@@ -65,6 +68,38 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
         assert!(k >= 1, "coalescing factor must be at least 1");
         self.coalesce = k;
         self
+    }
+
+    /// Bound how long any node's blocked read or barrier wait may go
+    /// without progress before degrading: reads return the freshest
+    /// cached value (tagged [`ReadOutcome::degraded`](crate::ReadOutcome))
+    /// and barriers stop waiting on peers the failure detector has
+    /// declared dead. `None` (the default) preserves the paper's
+    /// wait-forever semantics. Pair with
+    /// [`spawn_heartbeats`](DsmWorld::spawn_heartbeats) so silence
+    /// implies death rather than idleness.
+    pub fn with_read_timeout(mut self, timeout: SimTime) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Spawn one daemon per rank that beacons [`DsmMsg::Heartbeat`] to
+    /// every peer each `period`, keeping the failure detector's
+    /// last-heard stamps fresh while a node computes silently. Daemons
+    /// never prolong the run; call after building the world, before
+    /// `sim.run()`.
+    pub fn spawn_heartbeats(&self, sim: &mut SimBuilder, period: SimTime) {
+        assert!(period > SimTime::ZERO, "heartbeat period must be positive");
+        let ranks = self.ranks();
+        for rank in 0..ranks {
+            let ep = self.comm.endpoint(rank);
+            sim.spawn_daemon(format!("heartbeat{rank}"), move |ctx| loop {
+                ctx.advance(period);
+                for peer in (0..ranks).filter(|&p| p != rank) {
+                    ep.send(ctx, peer, DsmMsg::Heartbeat);
+                }
+            });
+        }
     }
 
     /// Retain a window of `depth` past versions per location in every
@@ -113,6 +148,9 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
         );
         if self.coalesce > 1 {
             node.set_coalescing(self.coalesce);
+        }
+        if let Some(to) = self.read_timeout {
+            node.set_timeout(to);
         }
         node
     }

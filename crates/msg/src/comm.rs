@@ -17,6 +17,7 @@ use nscc_net::{Network, NodeId, WarpMeter};
 use nscc_obs::Hub;
 use nscc_sim::{Ctx, Mailbox, SimTime};
 
+use crate::reliable::{self, RelMsg, RelState, ReliableConfig};
 use crate::wire::wire_size;
 
 /// Per-message CPU costs and fixed header size.
@@ -28,17 +29,21 @@ pub struct MsgConfig {
     pub recv_overhead: SimTime,
     /// Message-layer header bytes added to every payload.
     pub header_bytes: usize,
+    /// Ack/retransmit layer for lossy media; `None` (the default) keeps
+    /// the paper's fire-and-forget transport, byte-for-byte.
+    pub reliable: Option<ReliableConfig>,
 }
 
 impl Default for MsgConfig {
     /// PVM 3.x (direct routing) on a 77 MHz RS/6000: roughly 150 µs of
     /// sender CPU and 100 µs of receiver CPU per message, 32-byte message
-    /// header.
+    /// header, no reliability layer.
     fn default() -> Self {
         MsgConfig {
             send_overhead: SimTime::from_micros(150),
             recv_overhead: SimTime::from_micros(100),
             header_bytes: 32,
+            reliable: None,
         }
     }
 }
@@ -64,10 +69,32 @@ pub struct CommStats {
     pub received: u64,
     /// Total payload bytes sent (excluding headers).
     pub payload_bytes: u64,
+    /// Frames retransmitted by the reliable layer (0 when disabled).
+    pub retransmits: u64,
+    /// Acknowledgement frames put on the wire by the reliable layer.
+    pub acks_sent: u64,
+    /// Duplicate deliveries suppressed before reaching a mailbox.
+    pub dup_suppressed: u64,
+    /// Frames abandoned after exhausting their retries.
+    pub give_ups: u64,
 }
 
-struct WorldInner {
-    stats: CommStats,
+impl CommStats {
+    /// Accumulate another world's counters (for aggregating over runs).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.sent += other.sent;
+        self.received += other.received;
+        self.payload_bytes += other.payload_bytes;
+        self.retransmits += other.retransmits;
+        self.acks_sent += other.acks_sent;
+        self.dup_suppressed += other.dup_suppressed;
+        self.give_ups += other.give_ups;
+    }
+}
+
+pub(crate) struct WorldInner {
+    pub(crate) stats: CommStats,
+    pub(crate) rel: RelState,
 }
 
 /// A communication world of `p` ranks over one simulated network.
@@ -97,6 +124,7 @@ impl<T: Send + 'static> CommWorld<T> {
             obs: None,
             inner: Arc::new(Mutex::new(WorldInner {
                 stats: CommStats::default(),
+                rel: RelState::default(),
             })),
         }
     }
@@ -169,7 +197,7 @@ impl<T: Send + 'static> Clone for Endpoint<T> {
     }
 }
 
-impl<T: Serialize + Send + 'static> Endpoint<T> {
+impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
     /// This endpoint's rank.
     pub fn rank(&self) -> usize {
         self.rank
@@ -203,24 +231,57 @@ impl<T: Serialize + Send + 'static> Endpoint<T> {
             sent_at: ctx.now(),
             payload,
         };
-        self.net.send_to(
-            ctx,
-            self.nodes[self.rank],
-            self.nodes[dst],
+        match self.cfg.reliable {
+            None => self.net.send_to(
+                ctx,
+                self.nodes[self.rank],
+                self.nodes[dst],
+                bytes,
+                &self.boxes[dst],
+                env,
+            ),
+            Some(rc) => self.rel_send(ctx, dst, bytes, env, rc),
+        }
+    }
+
+    /// Hand one envelope to the ack/retransmit layer (see
+    /// [`crate::reliable`]).
+    fn rel_send(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        bytes: usize,
+        env: Envelope<T>,
+        rc: ReliableConfig,
+    ) -> SimTime {
+        let seq = {
+            let mut inner = self.inner.lock();
+            let seq = inner.rel.next_seq;
+            inner.rel.next_seq += 1;
+            seq
+        };
+        let msg = RelMsg {
+            net: self.net.clone(),
+            inner: Arc::clone(&self.inner),
+            obs: self.obs.clone(),
+            cfg: rc,
+            src_node: self.nodes[self.rank],
+            dst_node: self.nodes[dst],
+            src: self.rank,
+            dst,
+            seq,
             bytes,
-            &self.boxes[dst],
+            mailbox: self.boxes[dst].clone(),
             env,
-        )
+        };
+        reliable::attempt(ctx, &msg, 0)
     }
 
     /// Send `payload` to every other rank. On broadcast-capable media
     /// (the shared Ethernet) this is one frame on the wire and one
     /// sender-side CPU charge — `pvm_mcast` over a bus; elsewhere it
     /// falls back to unicast fan-out.
-    pub fn broadcast(&self, ctx: &mut Ctx, payload: T)
-    where
-        T: Clone,
-    {
+    pub fn broadcast(&self, ctx: &mut Ctx, payload: T) {
         let dsts: Vec<usize> = (0..self.boxes.len()).filter(|&d| d != self.rank).collect();
         self.multicast(ctx, &dsts, payload);
     }
@@ -228,10 +289,7 @@ impl<T: Serialize + Send + 'static> Endpoint<T> {
     /// Send `payload` to the given ranks with a single sender-side pack
     /// (one wire frame on broadcast media). Destination order must not
     /// include this rank.
-    pub fn multicast(&self, ctx: &mut Ctx, dsts: &[usize], payload: T)
-    where
-        T: Clone,
-    {
+    pub fn multicast(&self, ctx: &mut Ctx, dsts: &[usize], payload: T) {
         if dsts.is_empty() {
             return;
         }
@@ -255,6 +313,15 @@ impl<T: Serialize + Send + 'static> Endpoint<T> {
             sent_at: ctx.now(),
             payload,
         };
+        if let Some(rc) = self.cfg.reliable {
+            // Per-destination acking is incompatible with a single wire
+            // frame, so reliable multicast is unicast fan-out (still one
+            // sender-side CPU charge).
+            for &d in dsts {
+                self.rel_send(ctx, d, bytes, env.clone(), rc);
+            }
+            return;
+        }
         let dests: Vec<(NodeId, nscc_sim::Mailbox<Envelope<T>>)> = dsts
             .iter()
             .map(|&d| (self.nodes[d], self.boxes[d].clone()))
@@ -269,6 +336,15 @@ impl<T: Serialize + Send + 'static> Endpoint<T> {
         let env = self.boxes[self.rank].recv(ctx);
         self.finish_recv(ctx, &env);
         env
+    }
+
+    /// Blocking receive with a virtual-time deadline: returns `None` if no
+    /// message arrives by `deadline` (overhead is charged only on
+    /// success). The degradation primitive for fault-tolerant layers.
+    pub fn recv_deadline(&self, ctx: &mut Ctx, deadline: SimTime) -> Option<Envelope<T>> {
+        let env = self.boxes[self.rank].recv_deadline(ctx, deadline)?;
+        self.finish_recv(ctx, &env);
+        Some(env)
     }
 
     /// Non-blocking receive; charges receive overhead only on success.

@@ -27,7 +27,9 @@
 #![warn(missing_docs)]
 
 mod comm;
+mod reliable;
 mod wire;
 
 pub use comm::{CommStats, CommWorld, Endpoint, Envelope, MsgConfig};
+pub use reliable::ReliableConfig;
 pub use wire::wire_size;

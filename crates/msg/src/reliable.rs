@@ -1,0 +1,408 @@
+//! Optional ack/retransmit layer under the PVM-like endpoints.
+//!
+//! The paper's PVM transport assumes a lossless LAN; under the fault plans
+//! of `nscc-faults` frames can vanish. When [`ReliableConfig`] is set on
+//! [`MsgConfig`](crate::MsgConfig), every unicast send is tracked by a
+//! sequence number: the receiver acknowledges each frame with a small ack
+//! frame (charged to the wire but not to either CPU — think NIC-level),
+//! and the sender retransmits unacknowledged frames with exponential
+//! backoff until `max_retries` is exhausted. Duplicate deliveries — from
+//! spurious retransmits or the medium itself — are suppressed before the
+//! application mailbox sees them.
+//!
+//! Everything after the initial send runs in event context, so a sender
+//! blocked in `recv` (or long dead, under a crash plan) still has its
+//! frames retried; the protocol state lives in the world-shared
+//! [`RelState`].
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nscc_net::{Network, NodeId, Verdict};
+use nscc_obs::{Hub, ObsEvent};
+use nscc_sim::{Ctx, EventCtx, Mailbox, SimTime};
+
+use crate::comm::{Envelope, WorldInner};
+
+/// Tuning knobs for the reliable-delivery layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliableConfig {
+    /// Wire size of an acknowledgement frame.
+    pub ack_bytes: usize,
+    /// Retransmission timeout for the first retry; each further retry
+    /// doubles it.
+    pub base_rto: SimTime,
+    /// Retransmissions attempted before giving up on a frame.
+    pub max_retries: u32,
+}
+
+impl Default for ReliableConfig {
+    /// 32-byte acks, 10 ms initial RTO (several LAN round-trips), and five
+    /// retries — enough to ride out ~97% loss on an independent-loss link.
+    fn default() -> Self {
+        ReliableConfig {
+            ack_bytes: 32,
+            base_rto: SimTime::from_millis(10),
+            max_retries: 5,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Timeout before retry `n + 1` (0-based attempt `n`): `base_rto << n`,
+    /// with the shift capped so it cannot overflow.
+    fn rto_for(&self, attempt: u32) -> SimTime {
+        SimTime::from_nanos(
+            self.base_rto
+                .as_nanos()
+                .saturating_mul(1u64 << attempt.min(16)),
+        )
+    }
+}
+
+/// World-shared protocol state, embedded in the comm world's inner lock.
+#[derive(Debug, Default)]
+pub(crate) struct RelState {
+    /// Next sequence number (world-unique; allocation order is
+    /// deterministic because the simulation is).
+    pub(crate) next_seq: u64,
+    /// Receiver side: sequence numbers already delivered to a mailbox.
+    pub(crate) seen: HashSet<u64>,
+    /// Sender side: sequence numbers acknowledged by their receiver.
+    pub(crate) acked: HashSet<u64>,
+}
+
+/// Everything one tracked frame needs to retry itself from event context.
+pub(crate) struct RelMsg<T> {
+    pub(crate) net: Network,
+    pub(crate) inner: Arc<Mutex<WorldInner>>,
+    pub(crate) obs: Option<Hub>,
+    pub(crate) cfg: ReliableConfig,
+    pub(crate) src_node: NodeId,
+    pub(crate) dst_node: NodeId,
+    pub(crate) src: usize,
+    pub(crate) dst: usize,
+    pub(crate) seq: u64,
+    pub(crate) bytes: usize,
+    pub(crate) mailbox: Mailbox<Envelope<T>>,
+    pub(crate) env: Envelope<T>,
+}
+
+impl<T: Clone> Clone for RelMsg<T> {
+    fn clone(&self) -> Self {
+        RelMsg {
+            net: self.net.clone(),
+            inner: Arc::clone(&self.inner),
+            obs: self.obs.clone(),
+            cfg: self.cfg,
+            src_node: self.src_node,
+            dst_node: self.dst_node,
+            src: self.src,
+            dst: self.dst,
+            seq: self.seq,
+            bytes: self.bytes,
+            mailbox: self.mailbox.clone(),
+            env: self.env.clone(),
+        }
+    }
+}
+
+/// The two scheduling contexts a retry can be issued from.
+pub(crate) trait Sched {
+    fn now(&self) -> SimTime;
+    fn after(&mut self, delay: SimTime, f: Box<dyn FnOnce(&mut EventCtx<'_>) + Send>);
+}
+
+impl Sched for Ctx {
+    fn now(&self) -> SimTime {
+        Ctx::now(self)
+    }
+    fn after(&mut self, delay: SimTime, f: Box<dyn FnOnce(&mut EventCtx<'_>) + Send>) {
+        self.schedule_fn(delay, f);
+    }
+}
+
+impl Sched for EventCtx<'_> {
+    fn now(&self) -> SimTime {
+        EventCtx::now(self)
+    }
+    fn after(&mut self, delay: SimTime, f: Box<dyn FnOnce(&mut EventCtx<'_>) + Send>) {
+        self.schedule_fn(delay, f);
+    }
+}
+
+/// Put attempt `n` (0-based) of `m` on the wire and arm its retry timer.
+/// Returns the planned arrival of this attempt (the sender-observed time,
+/// even if the frame is fated to drop).
+pub(crate) fn attempt<T: Clone + Send + 'static>(
+    s: &mut dyn Sched,
+    m: &RelMsg<T>,
+    n: u32,
+) -> SimTime {
+    let now = s.now();
+    let tx = m.net.plan(now, m.src_node, m.dst_node, m.bytes);
+    let arrivals: &[SimTime] = match tx.verdict {
+        Verdict::Deliver => &[tx.arrival],
+        Verdict::Drop(_) => &[],
+        Verdict::Duplicate { second } => &[tx.arrival, second],
+    };
+    for &at in arrivals {
+        let mm = m.clone();
+        s.after(at.saturating_sub(now), Box::new(move |ec| deliver(ec, &mm)));
+    }
+
+    let mm = m.clone();
+    s.after(
+        m.cfg.rto_for(n),
+        Box::new(move |ec| {
+            if mm.inner.lock().rel.acked.contains(&mm.seq) {
+                return;
+            }
+            if n >= mm.cfg.max_retries {
+                mm.inner.lock().stats.give_ups += 1;
+                if let Some(hub) = &mm.obs {
+                    hub.emit(ObsEvent::RetransmitGiveUp {
+                        t_ns: ec.now().as_nanos(),
+                        src: mm.src as u32,
+                        dst: mm.dst as u32,
+                        seq: mm.seq,
+                    });
+                }
+                return;
+            }
+            mm.inner.lock().stats.retransmits += 1;
+            if let Some(hub) = &mm.obs {
+                hub.emit(ObsEvent::Retransmit {
+                    t_ns: ec.now().as_nanos(),
+                    src: mm.src as u32,
+                    dst: mm.dst as u32,
+                    seq: mm.seq,
+                    attempt: n + 1,
+                });
+            }
+            attempt(ec, &mm, n + 1);
+        }),
+    );
+    tx.arrival
+}
+
+/// A copy of frame `m` reached the receiving node: deliver it to the
+/// application mailbox unless a copy already did, and acknowledge either
+/// way (the previous ack may itself have been lost).
+fn deliver<T: Clone + Send + 'static>(ec: &mut EventCtx<'_>, m: &RelMsg<T>) {
+    let fresh = {
+        let mut g = m.inner.lock();
+        let fresh = g.rel.seen.insert(m.seq);
+        if !fresh {
+            g.stats.dup_suppressed += 1;
+        }
+        g.stats.acks_sent += 1;
+        fresh
+    };
+    if fresh {
+        m.mailbox.deliver(ec, m.env.clone());
+    }
+
+    let now = ec.now();
+    let ack = m.net.plan(now, m.dst_node, m.src_node, m.cfg.ack_bytes);
+    match ack.verdict {
+        Verdict::Deliver | Verdict::Duplicate { .. } => {
+            let inner = Arc::clone(&m.inner);
+            let seq = m.seq;
+            ec.schedule_fn(ack.arrival.saturating_sub(now), move |_| {
+                inner.lock().rel.acked.insert(seq);
+            });
+        }
+        Verdict::Drop(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommWorld, MsgConfig};
+    use nscc_net::{DropReason, MediumStats, Transmission};
+    use nscc_sim::SimBuilder;
+
+    /// Fixed-latency medium that misbehaves on *data* frames (anything
+    /// bigger than an ack): the first `drop_next` are lost, and every data
+    /// frame is duplicated when `duplicate` is set. Acks always pass.
+    struct Chaotic {
+        delay: SimTime,
+        data_min: usize,
+        drop_next: u32,
+        duplicate: bool,
+        stats: MediumStats,
+    }
+
+    impl Chaotic {
+        fn new(drop_next: u32, duplicate: bool) -> Self {
+            Chaotic {
+                delay: SimTime::from_millis(1),
+                // Data frames here are 8-byte payloads + 32-byte header;
+                // anything larger than a bare ack counts as data.
+                data_min: 33,
+                drop_next,
+                duplicate,
+                stats: MediumStats::default(),
+            }
+        }
+    }
+
+    impl nscc_net::Medium for Chaotic {
+        fn transmit(
+            &mut self,
+            now: SimTime,
+            _src: NodeId,
+            _dst: NodeId,
+            payload_bytes: usize,
+        ) -> SimTime {
+            self.stats.frames += 1;
+            self.stats.payload_bytes += payload_bytes as u64;
+            now + self.delay
+        }
+
+        fn plan_transmit(
+            &mut self,
+            now: SimTime,
+            src: NodeId,
+            dst: NodeId,
+            payload_bytes: usize,
+        ) -> Transmission {
+            let arrival = self.transmit(now, src, dst, payload_bytes);
+            if payload_bytes >= self.data_min {
+                if self.drop_next > 0 {
+                    self.drop_next -= 1;
+                    return Transmission {
+                        arrival,
+                        verdict: Verdict::Drop(DropReason::Loss),
+                    };
+                }
+                if self.duplicate {
+                    return Transmission {
+                        arrival,
+                        verdict: Verdict::Duplicate {
+                            second: arrival + self.delay,
+                        },
+                    };
+                }
+            }
+            Transmission {
+                arrival,
+                verdict: Verdict::Deliver,
+            }
+        }
+
+        fn stats(&self) -> MediumStats {
+            self.stats
+        }
+
+        fn next_free(&self, now: SimTime) -> SimTime {
+            now
+        }
+    }
+
+    fn reliable_world(medium: Chaotic) -> CommWorld<u64> {
+        CommWorld::new(
+            Network::new(medium),
+            2,
+            MsgConfig {
+                reliable: Some(ReliableConfig::default()),
+                ..MsgConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn retransmit_recovers_lost_frame() {
+        let w = reliable_world(Chaotic::new(2, false));
+        let (tx, rx) = (w.endpoint(0), w.endpoint(1));
+        let mut sim = SimBuilder::new(7);
+        sim.spawn("tx", move |ctx| {
+            tx.send(ctx, 1, 99);
+        });
+        sim.spawn("rx", move |ctx| {
+            let env = rx.recv(ctx);
+            assert_eq!(env.payload, 99);
+            // Two drops at a 10 ms initial RTO: delivery on the third try.
+            assert!(ctx.now() >= SimTime::from_millis(30));
+        });
+        sim.run().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.received, 1);
+        assert_eq!(stats.retransmits, 2);
+        assert_eq!(stats.give_ups, 0);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let w = reliable_world(Chaotic::new(0, true));
+        let (tx, rx) = (w.endpoint(0), w.endpoint(1));
+        let mut sim = SimBuilder::new(7);
+        sim.spawn("tx", move |ctx| {
+            tx.send(ctx, 1, 5);
+            tx.send(ctx, 1, 6);
+        });
+        sim.spawn("rx", move |ctx| {
+            assert_eq!(rx.recv(ctx).payload, 5);
+            assert_eq!(rx.recv(ctx).payload, 6);
+            // The duplicate copies must never surface.
+            assert!(rx
+                .recv_deadline(ctx, ctx.now() + SimTime::from_millis(50))
+                .is_none());
+        });
+        sim.run().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.received, 2);
+        assert!(stats.dup_suppressed >= 2, "dups: {}", stats.dup_suppressed);
+        assert_eq!(stats.retransmits, 0);
+    }
+
+    #[test]
+    fn black_hole_gives_up_after_max_retries() {
+        let w = reliable_world(Chaotic::new(u32::MAX, false));
+        let (tx, rx) = (w.endpoint(0), w.endpoint(1));
+        let mut sim = SimBuilder::new(7);
+        sim.spawn("tx", move |ctx| {
+            tx.send(ctx, 1, 1);
+            // Past base_rto * (2^6 - 1) = 630 ms, every retry has fired.
+            ctx.advance(SimTime::from_secs(2));
+        });
+        sim.spawn("rx", move |ctx| {
+            assert!(rx.recv_deadline(ctx, SimTime::from_secs(1)).is_none());
+        });
+        sim.run().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.received, 0);
+        assert_eq!(
+            stats.retransmits,
+            ReliableConfig::default().max_retries as u64
+        );
+        assert_eq!(stats.give_ups, 1);
+    }
+
+    #[test]
+    fn clean_link_needs_no_retransmits() {
+        let w = reliable_world(Chaotic::new(0, false));
+        let (tx, rx) = (w.endpoint(0), w.endpoint(1));
+        let mut sim = SimBuilder::new(7);
+        sim.spawn("tx", move |ctx| {
+            for v in 0..10 {
+                tx.send(ctx, 1, v);
+            }
+        });
+        sim.spawn("rx", move |ctx| {
+            for v in 0..10 {
+                assert_eq!(rx.recv(ctx).payload, v);
+            }
+        });
+        sim.run().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.received, 10);
+        assert_eq!(stats.retransmits, 0);
+        assert_eq!(stats.dup_suppressed, 0);
+        assert_eq!(stats.acks_sent, 10);
+    }
+}

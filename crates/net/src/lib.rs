@@ -28,7 +28,7 @@ mod warp;
 
 pub use ethernet::{EthernetBus, EthernetConfig};
 pub use loader::{spawn_loaders, LoaderConfig};
-pub use medium::{IdealMedium, Medium, MediumStats, NodeId};
+pub use medium::{DropReason, IdealMedium, Medium, MediumStats, NodeId, Transmission, Verdict};
 pub use network::{NetStats, Network};
 pub use switch::{Sp2Switch, SwitchConfig};
 pub use warp::WarpMeter;

@@ -41,6 +41,53 @@ impl MediumStats {
     }
 }
 
+/// Why a fault layer decided not to deliver a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random per-link message loss.
+    Loss,
+    /// The source or destination node is crashed (fail-silent).
+    NodeDown,
+    /// A network partition separates the endpoints.
+    Partitioned,
+}
+
+impl DropReason {
+    /// Short label for events and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::NodeDown => "node_down",
+            DropReason::Partitioned => "partitioned",
+        }
+    }
+}
+
+/// What should happen to a frame after the medium computed its arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver once at the planned arrival (the only verdict well-behaved
+    /// media ever produce).
+    Deliver,
+    /// Deliver nothing: the frame occupied the wire but is lost.
+    Drop(DropReason),
+    /// Deliver twice: once at the planned arrival and again at `second`.
+    Duplicate {
+        /// Arrival instant of the spurious second copy.
+        second: SimTime,
+    },
+}
+
+/// A planned frame transmission: the arrival instant the medium computed
+/// plus the delivery verdict a fault layer (if any) attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// Arrival instant at the destination (`>= now`).
+    pub arrival: SimTime,
+    /// Whether/how the frame is actually delivered.
+    pub verdict: Verdict,
+}
+
 /// A transmission medium: computes when a frame submitted now will arrive,
 /// updating whatever queue/contention state it keeps.
 ///
@@ -51,6 +98,24 @@ pub trait Medium: Send {
     /// `now`; returns the arrival instant at `dst` (strictly `>= now`).
     fn transmit(&mut self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: usize)
         -> SimTime;
+
+    /// Submit a frame and also report a delivery [`Verdict`]. The default
+    /// forwards to [`transmit`](Medium::transmit) and always delivers, so
+    /// well-behaved media ([`IdealMedium`], the Ethernet bus, the SP2
+    /// switch) need not know faults exist; a fault-injecting wrapper
+    /// overrides this to drop, duplicate, or delay frames.
+    fn plan_transmit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+    ) -> Transmission {
+        Transmission {
+            arrival: self.transmit(now, src, dst, payload_bytes),
+            verdict: Verdict::Deliver,
+        }
+    }
 
     /// Submit one *broadcast* frame reaching every node, if the medium
     /// supports hardware broadcast (a shared bus does: the frame is
@@ -73,6 +138,48 @@ pub trait Medium: Send {
     /// transmission submitted at `now` (i.e. `now` plus any queueing).
     /// Used for utilization probes and tests.
     fn next_free(&self, now: SimTime) -> SimTime;
+}
+
+/// Boxed media forward every method — including the overridable
+/// [`plan_transmit`](Medium::plan_transmit)/[`transmit_broadcast`](Medium::transmit_broadcast)
+/// hooks, so a boxed fault-injecting wrapper keeps its verdicts.
+impl Medium for Box<dyn Medium> {
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+    ) -> SimTime {
+        (**self).transmit(now, src, dst, payload_bytes)
+    }
+
+    fn plan_transmit(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+    ) -> Transmission {
+        (**self).plan_transmit(now, src, dst, payload_bytes)
+    }
+
+    fn transmit_broadcast(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        payload_bytes: usize,
+    ) -> Option<SimTime> {
+        (**self).transmit_broadcast(now, src, payload_bytes)
+    }
+
+    fn stats(&self) -> MediumStats {
+        (**self).stats()
+    }
+
+    fn next_free(&self, now: SimTime) -> SimTime {
+        (**self).next_free(now)
+    }
 }
 
 /// An idealized medium with a fixed latency and no contention: every frame
@@ -148,5 +255,14 @@ mod tests {
         let mut m = IdealMedium::instant();
         let t0 = SimTime::from_secs(1);
         assert_eq!(m.transmit(t0, NodeId(0), NodeId(1), 64), t0);
+    }
+
+    #[test]
+    fn default_plan_transmit_always_delivers() {
+        let mut m = IdealMedium::new(SimTime::from_millis(3));
+        let tx = m.plan_transmit(SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        assert_eq!(tx.arrival, SimTime::from_millis(3));
+        assert_eq!(tx.verdict, Verdict::Deliver);
+        assert_eq!(m.stats().frames, 1);
     }
 }

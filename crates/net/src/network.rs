@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use nscc_obs::{Hub, ObsEvent};
 use nscc_sim::{Ctx, EventCtx, Mailbox, SimTime};
 
-use crate::medium::{Medium, MediumStats, NodeId};
+use crate::medium::{Medium, MediumStats, NodeId, Transmission, Verdict};
 
 /// Destination marker for broadcast frames in emitted events.
 const BROADCAST: u32 = u32::MAX;
@@ -25,6 +25,10 @@ pub struct NetStats {
     pub total_delay: SimTime,
     /// Largest single end-to-end delay observed.
     pub max_delay: SimTime,
+    /// Frames the medium's fault layer dropped (0 on well-behaved media).
+    pub dropped: u64,
+    /// Spurious duplicate deliveries the fault layer injected.
+    pub duplicated: u64,
 }
 
 impl NetStats {
@@ -43,6 +47,8 @@ impl NetStats {
         self.messages += other.messages;
         self.total_delay = self.total_delay.saturating_add(other.total_delay);
         self.max_delay = self.max_delay.max(other.max_delay);
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
     }
 }
 
@@ -51,6 +57,8 @@ struct NetInner {
     messages: u64,
     total_delay: SimTime,
     max_delay: SimTime,
+    dropped: u64,
+    duplicated: u64,
     obs: Option<Hub>,
 }
 
@@ -72,6 +80,8 @@ impl Network {
                 messages: 0,
                 total_delay: SimTime::ZERO,
                 max_delay: SimTime::ZERO,
+                dropped: 0,
+                duplicated: 0,
                 obs: None,
             })),
         }
@@ -86,8 +96,11 @@ impl Network {
     }
 
     /// Submit a message and schedule its delivery into `mailbox` at the
-    /// arrival time computed by the medium. Returns the arrival time.
-    pub fn send_to<T: Send + 'static>(
+    /// arrival time computed by the medium (honouring the medium's
+    /// delivery verdict: dropped frames schedule nothing, duplicated
+    /// frames schedule a second copy). Returns the arrival time the
+    /// sender observes.
+    pub fn send_to<T: Clone + Send + 'static>(
         &self,
         ctx: &mut Ctx,
         src: NodeId,
@@ -97,15 +110,26 @@ impl Network {
         msg: T,
     ) -> SimTime {
         let now = ctx.now();
-        let arrival = self.submit(now, src, dst, payload_bytes);
-        let mb = mailbox.clone();
-        ctx.schedule_fn(arrival - now, move |ec| mb.deliver(ec, msg));
-        arrival
+        let tx = self.plan(now, src, dst, payload_bytes);
+        match tx.verdict {
+            Verdict::Deliver => {
+                let mb = mailbox.clone();
+                ctx.schedule_fn(tx.arrival - now, move |ec| mb.deliver(ec, msg));
+            }
+            Verdict::Drop(_) => {}
+            Verdict::Duplicate { second } => {
+                let (mb, mb2) = (mailbox.clone(), mailbox.clone());
+                let copy = msg.clone();
+                ctx.schedule_fn(tx.arrival - now, move |ec| mb.deliver(ec, msg));
+                ctx.schedule_fn(second.saturating_sub(now), move |ec| mb2.deliver(ec, copy));
+            }
+        }
+        tx.arrival
     }
 
     /// Like [`send_to`](Network::send_to), but callable from event context
     /// (used by protocol layers that forward inside events).
-    pub fn send_to_from_event<T: Send + 'static>(
+    pub fn send_to_from_event<T: Clone + Send + 'static>(
         &self,
         ec: &mut EventCtx<'_>,
         src: NodeId,
@@ -115,10 +139,23 @@ impl Network {
         msg: T,
     ) -> SimTime {
         let now = ec.now();
-        let arrival = self.submit(now, src, dst, payload_bytes);
-        let mb = mailbox.clone();
-        ec.schedule_fn(arrival - now, move |ec2| mb.deliver(ec2, msg));
-        arrival
+        let tx = self.plan(now, src, dst, payload_bytes);
+        match tx.verdict {
+            Verdict::Deliver => {
+                let mb = mailbox.clone();
+                ec.schedule_fn(tx.arrival - now, move |ec2| mb.deliver(ec2, msg));
+            }
+            Verdict::Drop(_) => {}
+            Verdict::Duplicate { second } => {
+                let (mb, mb2) = (mailbox.clone(), mailbox.clone());
+                let copy = msg.clone();
+                ec.schedule_fn(tx.arrival - now, move |ec2| mb.deliver(ec2, msg));
+                ec.schedule_fn(second.saturating_sub(now), move |ec2| {
+                    mb2.deliver(ec2, copy)
+                });
+            }
+        }
+        tx.arrival
     }
 
     /// Deliver one message to several mailboxes. On broadcast-capable
@@ -191,10 +228,21 @@ impl Network {
     /// Occupy the medium without delivering anything (used by background
     /// load generators). Returns the arrival time of the junk frame.
     pub fn inject(&self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimTime {
-        self.submit(now, src, dst, payload_bytes)
+        self.plan(now, src, dst, payload_bytes).arrival
     }
 
-    fn submit(&self, now: SimTime, src: NodeId, dst: NodeId, payload_bytes: usize) -> SimTime {
+    /// Submit a frame, account for it, and return the planned
+    /// [`Transmission`] — arrival time plus delivery verdict. Protocol
+    /// layers that schedule their own delivery events (e.g. an
+    /// ack/retransmit shim) use this directly; everything else goes
+    /// through [`send_to`](Network::send_to).
+    pub fn plan(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+    ) -> Transmission {
         let mut inner = self.inner.lock();
         // Queueing must be probed before the transmit mutates medium state.
         let queue_ns = if inner.obs.is_some() {
@@ -202,12 +250,17 @@ impl Network {
         } else {
             0
         };
-        let arrival = inner.medium.transmit(now, src, dst, payload_bytes);
-        debug_assert!(arrival >= now, "medium produced an arrival in the past");
-        let delay = arrival - now;
+        let tx = inner.medium.plan_transmit(now, src, dst, payload_bytes);
+        debug_assert!(tx.arrival >= now, "medium produced an arrival in the past");
+        let delay = tx.arrival - now;
         inner.messages += 1;
         inner.total_delay = inner.total_delay.saturating_add(delay);
         inner.max_delay = inner.max_delay.max(delay);
+        match tx.verdict {
+            Verdict::Deliver => {}
+            Verdict::Drop(_) => inner.dropped += 1,
+            Verdict::Duplicate { .. } => inner.duplicated += 1,
+        }
         if let Some(hub) = &inner.obs {
             hub.emit(ObsEvent::NetSend {
                 t_ns: now.as_nanos(),
@@ -216,14 +269,35 @@ impl Network {
                 bytes: payload_bytes as u64,
                 queue_ns,
             });
-            hub.emit(ObsEvent::NetDeliver {
-                t_ns: arrival.as_nanos(),
-                src: src.0,
-                dst: dst.0,
-                delay_ns: delay.as_nanos(),
-            });
+            match tx.verdict {
+                Verdict::Deliver => hub.emit(ObsEvent::NetDeliver {
+                    t_ns: tx.arrival.as_nanos(),
+                    src: src.0,
+                    dst: dst.0,
+                    delay_ns: delay.as_nanos(),
+                }),
+                Verdict::Drop(reason) => hub.emit(ObsEvent::FaultDrop {
+                    t_ns: now.as_nanos(),
+                    src: src.0,
+                    dst: dst.0,
+                    reason: reason.label().into(),
+                }),
+                Verdict::Duplicate { second } => {
+                    hub.emit(ObsEvent::NetDeliver {
+                        t_ns: tx.arrival.as_nanos(),
+                        src: src.0,
+                        dst: dst.0,
+                        delay_ns: delay.as_nanos(),
+                    });
+                    hub.emit(ObsEvent::FaultDup {
+                        t_ns: second.as_nanos(),
+                        src: src.0,
+                        dst: dst.0,
+                    });
+                }
+            }
         }
-        arrival
+        tx
     }
 
     /// Snapshot of the aggregate statistics.
@@ -234,6 +308,8 @@ impl Network {
             messages: inner.messages,
             total_delay: inner.total_delay,
             max_delay: inner.max_delay,
+            dropped: inner.dropped,
+            duplicated: inner.duplicated,
         }
     }
 }

@@ -129,6 +129,75 @@ pub enum ObsEvent {
         /// Generation tag of the correction.
         age: u64,
     },
+    /// The fault layer dropped a frame (injected loss, crash, partition).
+    FaultDrop {
+        /// Submission time of the lost frame.
+        t_ns: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Why the frame was dropped (`loss`, `node_down`, `partitioned`).
+        reason: Label,
+    },
+    /// The fault layer injected a spurious duplicate delivery.
+    FaultDup {
+        /// Arrival time of the second copy.
+        t_ns: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+    },
+    /// The reliable-delivery layer retransmitted an unacknowledged frame.
+    Retransmit {
+        /// Retransmission time.
+        t_ns: u64,
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Sequence number of the frame.
+        seq: u64,
+        /// Retry attempt (1 = first retransmission).
+        attempt: u32,
+    },
+    /// The reliable-delivery layer gave up on a frame after exhausting its
+    /// retries.
+    RetransmitGiveUp {
+        /// Give-up time.
+        t_ns: u64,
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Sequence number of the abandoned frame.
+        seq: u64,
+    },
+    /// A `Global_Read` timed out and returned the freshest cached value
+    /// instead of its staleness bound (graceful degradation).
+    ReadDegraded {
+        /// Completion time.
+        t_ns: u64,
+        /// Reading rank.
+        rank: u32,
+        /// Location index.
+        loc: u32,
+        /// Generation the read required.
+        required: u64,
+        /// Generation actually delivered (stale).
+        delivered: u64,
+    },
+    /// The failure detector declared a peer dead (no heartbeat or update
+    /// within the suspicion window).
+    WriterSuspected {
+        /// Suspicion time.
+        t_ns: u64,
+        /// Rank doing the suspecting.
+        rank: u32,
+        /// The suspected peer rank.
+        peer: u32,
+    },
     /// Application-defined marker.
     Custom {
         /// Event time.
@@ -151,6 +220,12 @@ impl ObsEvent {
             | ObsEvent::BarrierEnter { t_ns, .. }
             | ObsEvent::BarrierExit { t_ns, .. }
             | ObsEvent::AntiMessage { t_ns, .. }
+            | ObsEvent::FaultDrop { t_ns, .. }
+            | ObsEvent::FaultDup { t_ns, .. }
+            | ObsEvent::Retransmit { t_ns, .. }
+            | ObsEvent::RetransmitGiveUp { t_ns, .. }
+            | ObsEvent::ReadDegraded { t_ns, .. }
+            | ObsEvent::WriterSuspected { t_ns, .. }
             | ObsEvent::Custom { t_ns, .. } => t_ns,
         }
     }
@@ -167,6 +242,12 @@ impl ObsEvent {
             ObsEvent::BarrierEnter { .. } => "barrier_enter",
             ObsEvent::BarrierExit { .. } => "barrier_exit",
             ObsEvent::AntiMessage { .. } => "anti_message",
+            ObsEvent::FaultDrop { .. } => "fault_drop",
+            ObsEvent::FaultDup { .. } => "fault_dup",
+            ObsEvent::Retransmit { .. } => "retransmit",
+            ObsEvent::RetransmitGiveUp { .. } => "retransmit_give_up",
+            ObsEvent::ReadDegraded { .. } => "read_degraded",
+            ObsEvent::WriterSuspected { .. } => "writer_suspected",
             ObsEvent::Custom { .. } => "custom",
         }
     }

@@ -53,6 +53,11 @@ struct HubInner {
     stale_discards: AtomicU64,
     barriers: AtomicU64,
     anti_messages: AtomicU64,
+    faults_dropped: AtomicU64,
+    faults_duplicated: AtomicU64,
+    retransmits: AtomicU64,
+    degraded_reads: AtomicU64,
+    suspected_writers: AtomicU64,
 }
 
 /// The shared instrumentation hub. Cloning is cheap (an `Arc` bump); all
@@ -99,6 +104,11 @@ impl Hub {
                 stale_discards: AtomicU64::new(0),
                 barriers: AtomicU64::new(0),
                 anti_messages: AtomicU64::new(0),
+                faults_dropped: AtomicU64::new(0),
+                faults_duplicated: AtomicU64::new(0),
+                retransmits: AtomicU64::new(0),
+                degraded_reads: AtomicU64::new(0),
+                suspected_writers: AtomicU64::new(0),
             }),
         }
     }
@@ -135,6 +145,21 @@ impl Hub {
             }
             ObsEvent::AntiMessage { .. } => {
                 self.inner.anti_messages.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::FaultDrop { .. } => {
+                self.inner.faults_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::FaultDup { .. } => {
+                self.inner.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::Retransmit { .. } => {
+                self.inner.retransmits.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::ReadDegraded { .. } => {
+                self.inner.degraded_reads.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::WriterSuspected { .. } => {
+                self.inner.suspected_writers.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -192,6 +217,9 @@ impl Hub {
             stale_discards: self.inner.stale_discards.load(Ordering::Relaxed),
             barriers: self.inner.barriers.load(Ordering::Relaxed),
             anti_messages: self.inner.anti_messages.load(Ordering::Relaxed),
+            faults_dropped: self.inner.faults_dropped.load(Ordering::Relaxed),
+            retransmits: self.inner.retransmits.load(Ordering::Relaxed),
+            degraded_reads: self.inner.degraded_reads.load(Ordering::Relaxed),
             staleness_p50: staleness.quantile(0.50),
             staleness_p99: staleness.quantile(0.99),
             block_ns_total: block.sum(),
@@ -296,6 +324,11 @@ impl Hub {
             stale_discards: self.inner.stale_discards.load(Ordering::Relaxed),
             barriers: self.inner.barriers.load(Ordering::Relaxed),
             anti_messages: self.inner.anti_messages.load(Ordering::Relaxed),
+            faults_dropped: self.inner.faults_dropped.load(Ordering::Relaxed),
+            faults_duplicated: self.inner.faults_duplicated.load(Ordering::Relaxed),
+            retransmits: self.inner.retransmits.load(Ordering::Relaxed),
+            degraded_reads: self.inner.degraded_reads.load(Ordering::Relaxed),
+            suspected_writers: self.inner.suspected_writers.load(Ordering::Relaxed),
             staleness: self.staleness(),
             block_ns: self.block_time(),
             net_delay_ns: self.net_delay(),
@@ -371,6 +404,16 @@ pub struct HubSummary {
     pub barriers: u64,
     /// Rollback anti-messages observed.
     pub anti_messages: u64,
+    /// Frames dropped by the fault-injection layer.
+    pub faults_dropped: u64,
+    /// Spurious duplicate deliveries injected by the fault layer.
+    pub faults_duplicated: u64,
+    /// Reliable-delivery retransmissions observed.
+    pub retransmits: u64,
+    /// Reads that timed out and returned a degraded (stale) value.
+    pub degraded_reads: u64,
+    /// Failure-detector suspicions raised against peers.
+    pub suspected_writers: u64,
     /// Delivered-age gap per read (iterations).
     pub staleness: Histogram,
     /// Blocked-read durations (virtual ns).
@@ -405,6 +448,12 @@ pub struct MetricSnapshot {
     pub barriers: u64,
     /// Rollback anti-messages so far.
     pub anti_messages: u64,
+    /// Frames dropped by the fault layer so far.
+    pub faults_dropped: u64,
+    /// Reliable-delivery retransmissions so far.
+    pub retransmits: u64,
+    /// Degraded (timed-out) reads so far.
+    pub degraded_reads: u64,
     /// Median delivered-age gap so far.
     pub staleness_p50: u64,
     /// 99th-percentile delivered-age gap so far.

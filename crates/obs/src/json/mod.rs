@@ -9,5 +9,3 @@ mod ser;
 
 pub use check::validate;
 pub use ser::{to_json, JsonError};
-
-pub(crate) use check::{escape_into, write_f64};

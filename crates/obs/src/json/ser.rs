@@ -423,10 +423,15 @@ impl<'a> ser::Serializer for MapKeySer<'a> {
         serialize_bytes(v: &[u8]),
         serialize_none(),
         serialize_unit(),
-        serialize_unit_struct(name: &'static str),
-        serialize_seq(len: Option<usize>),
-        serialize_tuple(len: usize)
+        serialize_unit_struct(name: &'static str)
     );
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, JsonError> {
+        Err(key_error())
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, JsonError> {
+        Err(key_error())
+    }
 
     fn serialize_some<T: Serialize + ?Sized>(self, _value: &T) -> Result<(), JsonError> {
         Err(key_error())

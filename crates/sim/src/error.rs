@@ -5,18 +5,53 @@ use std::fmt;
 use crate::process::Pid;
 use crate::time::SimTime;
 
+/// Diagnostics for one blocked process inside a [`SimError::Deadlock`]:
+/// everything needed to tell *why* a run wedged without re-running it
+/// under a debugger.
+#[derive(Debug, Clone)]
+pub struct DeadlockInfo {
+    /// The blocked process.
+    pub pid: Pid,
+    /// Its registered name.
+    pub name: String,
+    /// The reason string it blocked with (e.g. the mailbox name).
+    pub reason: String,
+    /// Virtual time at which it entered the current block.
+    pub since: SimTime,
+    /// Virtual time at which it last started running (its final resume).
+    pub last_progress: SimTime,
+    /// Messages sitting in the mailbox it is waiting on, if the wait
+    /// registered a depth probe (a non-zero depth means the process is
+    /// wedged *despite* pending input — a protocol bug, not starvation).
+    pub mailbox_depth: Option<usize>,
+}
+
+impl fmt::Display for DeadlockInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} `{}` waiting on: {} (blocked since t={}, last progress t={}",
+            self.pid, self.name, self.reason, self.since, self.last_progress
+        )?;
+        if let Some(depth) = self.mailbox_depth {
+            write!(f, ", mailbox depth {depth}")?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// A fatal condition that terminated a simulation run.
 #[derive(Debug)]
 pub enum SimError {
     /// Every runnable process is blocked and no future event can unblock one.
     ///
-    /// Carries the virtual time of the deadlock and, for each blocked
-    /// process, its pid, name, and the reason string it blocked with.
+    /// Carries the virtual time of the deadlock and per-process
+    /// [`DeadlockInfo`] diagnostics for every blocked non-daemon process.
     Deadlock {
         /// Virtual time at which the engine ran out of events.
         at: SimTime,
-        /// `(pid, name, wait reason)` for every blocked process.
-        blocked: Vec<(Pid, String, String)>,
+        /// Diagnostics for every blocked non-daemon process.
+        blocked: Vec<DeadlockInfo>,
     },
     /// A simulated process panicked; the panic message is captured.
     ProcessPanicked {
@@ -46,8 +81,8 @@ impl fmt::Display for SimError {
         match self {
             SimError::Deadlock { at, blocked } => {
                 writeln!(f, "simulation deadlocked at t={at}: all processes blocked")?;
-                for (pid, name, reason) in blocked {
-                    writeln!(f, "  {pid:?} `{name}` waiting on: {reason}")?;
+                for info in blocked {
+                    writeln!(f, "  {info}")?;
                 }
                 Ok(())
             }

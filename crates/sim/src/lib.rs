@@ -53,7 +53,7 @@ mod process;
 mod scheduler;
 mod time;
 
-pub use error::SimError;
+pub use error::{DeadlockInfo, SimError};
 pub use event::{Event, EventCtx};
 pub use mailbox::Mailbox;
 // Tracing moved into the shared observability crate; re-exported here so
@@ -152,8 +152,47 @@ mod tests {
         match sim.run() {
             Err(SimError::Deadlock { blocked, .. }) => {
                 assert_eq!(blocked.len(), 1);
-                assert_eq!(blocked[0].1, "stuck");
-                assert!(blocked[0].2.contains("never"));
+                assert_eq!(blocked[0].name, "stuck");
+                assert!(blocked[0].reason.contains("never"));
+                assert_eq!(blocked[0].since, SimTime::ZERO);
+                assert_eq!(blocked[0].last_progress, SimTime::ZERO);
+                assert_eq!(blocked[0].mailbox_depth, Some(0));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_diagnostics_report_depth_and_progress() {
+        // A process wedges waiting on a condition while a message sits
+        // queued in a mailbox nobody drains — the depth probe must surface
+        // the jam, and since/last_progress must date the wedge.
+        let jam: Mailbox<u32> = Mailbox::new("jammed");
+        let mut sim = SimBuilder::new(0);
+        let jam_probe = jam.clone();
+        sim.spawn("consumer", move |ctx| {
+            ctx.advance(SimTime::from_millis(2));
+            let jam = jam_probe.clone();
+            ctx.block_with_probe("waiting for flush signal", move || jam.len());
+        });
+        sim.spawn("producer", move |ctx| {
+            let jam = jam.clone();
+            // Delivered with no waiter: stays queued, nobody ever drains it.
+            ctx.schedule_fn(SimTime::from_micros(1500), move |ec| jam.deliver(ec, 9));
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { at, blocked }) => {
+                assert_eq!(at, SimTime::from_millis(2));
+                assert_eq!(blocked.len(), 1);
+                let info = &blocked[0];
+                assert_eq!(info.name, "consumer");
+                assert!(info.reason.contains("flush signal"));
+                assert_eq!(info.since, SimTime::from_millis(2));
+                assert_eq!(info.last_progress, SimTime::from_millis(2));
+                assert_eq!(info.mailbox_depth, Some(1));
+                let rendered = format!("{}", SimError::Deadlock { at, blocked });
+                assert!(rendered.contains("flush signal"));
+                assert!(rendered.contains("mailbox depth 1"));
             }
             other => panic!("expected deadlock, got {other:?}"),
         }

@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 
 use crate::event::EventCtx;
 use crate::process::{Ctx, Pid};
+use crate::time::SimTime;
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -94,7 +95,51 @@ impl<T: Send + 'static> Mailbox<T> {
                 );
                 inner.waiter = Some(ctx.pid());
             }
-            ctx.block(format!("recv on mailbox `{}`", self.name));
+            let depth = Arc::clone(&self.inner);
+            ctx.block_with_probe(format!("recv on mailbox `{}`", self.name), move || {
+                depth.lock().queue.len()
+            });
+        }
+    }
+
+    /// Blocking receive with a virtual-time deadline: returns `None` once
+    /// the clock reaches `deadline` with no message available. The timeout
+    /// is driven by a scheduled wake event, so it fires even when nothing
+    /// else is happening (it never turns into a deadlock).
+    pub fn recv_deadline(&self, ctx: &mut Ctx, deadline: SimTime) -> Option<T> {
+        let mut armed = false;
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(msg) = inner.queue.pop_front() {
+                    inner.received += 1;
+                    return Some(msg);
+                }
+                if ctx.now() >= deadline {
+                    if inner.waiter == Some(ctx.pid()) {
+                        inner.waiter = None;
+                    }
+                    return None;
+                }
+                debug_assert!(
+                    inner.waiter.is_none() || inner.waiter == Some(ctx.pid()),
+                    "mailbox `{}` has multiple waiters",
+                    self.name
+                );
+                inner.waiter = Some(ctx.pid());
+            }
+            if !armed {
+                armed = true;
+                let pid = ctx.pid();
+                // A wake on a non-blocked process is ignored, so the timer
+                // is harmless if a message arrives first.
+                ctx.schedule_fn(deadline.saturating_sub(ctx.now()), move |ec| ec.wake(pid));
+            }
+            let depth = Arc::clone(&self.inner);
+            ctx.block_with_probe(
+                format!("recv (deadline) on mailbox `{}`", self.name),
+                move || depth.lock().queue.len(),
+            );
         }
     }
 
@@ -187,6 +232,43 @@ mod tests {
                     mb.deliver(ec, i);
                 });
             }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_empty() {
+        let mb: Mailbox<u32> = Mailbox::new("slow");
+        let mb_r = mb.clone();
+        let mut sim = SimBuilder::new(1);
+        sim.spawn("receiver", move |ctx| {
+            let got = mb_r.recv_deadline(ctx, SimTime::from_millis(5));
+            assert_eq!(got, None);
+            assert_eq!(ctx.now(), SimTime::from_millis(5));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn recv_deadline_returns_early_message() {
+        let mb: Mailbox<u32> = Mailbox::new("fast");
+        let mb_r = mb.clone();
+        let mb_s = mb.clone();
+        let mut sim = SimBuilder::new(1);
+        sim.spawn("receiver", move |ctx| {
+            let got = mb_r.recv_deadline(ctx, SimTime::from_millis(10));
+            assert_eq!(got, Some(42));
+            assert_eq!(ctx.now(), SimTime::from_millis(2));
+            // The stale timer wake must not disturb a later plain recv.
+            let v = mb_r.recv(ctx);
+            assert_eq!(v, 43);
+        });
+        sim.spawn("sender", move |ctx| {
+            let mb1 = mb_s.clone();
+            ctx.schedule_fn(SimTime::from_millis(2), move |ec| mb1.deliver(ec, 42));
+            let mb2 = mb_s.clone();
+            ctx.schedule_fn(SimTime::from_millis(20), move |ec| mb2.deliver(ec, 43));
         });
         sim.run().unwrap();
     }

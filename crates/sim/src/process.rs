@@ -32,8 +32,12 @@ pub(crate) enum ProcCall {
     /// Charge `dur` of virtual compute time; resume the process afterwards.
     Advance(SimTime),
     /// Block until some event wakes this process. The reason string is used
-    /// in deadlock diagnostics.
-    Block { reason: String },
+    /// in deadlock diagnostics; the optional probe reports the depth of the
+    /// queue being waited on if the run deadlocks.
+    Block {
+        reason: String,
+        probe: Option<Box<dyn Fn() -> usize + Send>>,
+    },
     /// Schedule an event `delay` in the future; the scheduler replies
     /// immediately and the process keeps running at the same instant.
     Schedule { delay: SimTime, event: Event },
@@ -130,9 +134,22 @@ impl Ctx {
     /// deadlock diagnostics. Wake-ups may be spurious from the caller's
     /// perspective; re-check your condition in a loop.
     pub fn block(&mut self, reason: impl Into<String>) {
-        let reply = self.roundtrip(ProcCall::Block {
-            reason: reason.into(),
-        });
+        self.block_inner(reason.into(), None);
+    }
+
+    /// Like [`block`](Ctx::block), but registers a depth probe: if the run
+    /// deadlocks while this process is blocked, the scheduler calls the
+    /// probe and attaches the result to the diagnostics as the waited-on
+    /// queue's depth (see [`DeadlockInfo`](crate::DeadlockInfo)).
+    pub fn block_with_probe<F>(&mut self, reason: impl Into<String>, probe: F)
+    where
+        F: Fn() -> usize + Send + 'static,
+    {
+        self.block_inner(reason.into(), Some(Box::new(probe)));
+    }
+
+    fn block_inner(&mut self, reason: String, probe: Option<Box<dyn Fn() -> usize + Send>>) {
+        let reply = self.roundtrip(ProcCall::Block { reason, probe });
         match reply {
             Reply::Resume { now } => self.now = now,
             Reply::Ack => unreachable!("Block must be answered with Resume"),

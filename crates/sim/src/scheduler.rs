@@ -8,7 +8,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{self, Receiver, Sender};
 use nscc_obs::{Hub, SpanKind};
 
-use crate::error::SimError;
+use crate::error::{DeadlockInfo, SimError};
 use crate::event::{Event, EventCtx, EventKind, QueueEntry};
 use crate::process::{panic_message, Ctx, Pid, ProcCall, Reply, ShutdownToken};
 use crate::time::SimTime;
@@ -18,8 +18,10 @@ use crate::time::SimTime;
 enum ProcState {
     /// Has a pending `Resume` entry in the queue (or is currently running).
     Runnable,
-    /// Suspended; waiting for an [`EventCtx::wake`]. Carries the reason.
-    Blocked(String),
+    /// Suspended; waiting for an [`EventCtx::wake`]. Carries the reason and
+    /// the virtual time the block began, for deadlock diagnostics and
+    /// blocked-span observability.
+    Blocked { reason: String, since: SimTime },
     /// Body returned.
     Done,
 }
@@ -31,6 +33,10 @@ struct ProcSlot {
     reply_tx: Sender<Reply>,
     body: Option<Box<dyn FnOnce(&mut Ctx) + Send>>,
     join: Option<JoinHandle<()>>,
+    /// Virtual time this process last started a run slice.
+    last_progress: SimTime,
+    /// Depth probe registered by the current block, if any.
+    probe: Option<Box<dyn Fn() -> usize + Send>>,
 }
 
 /// Summary statistics for a completed simulation run.
@@ -141,6 +147,8 @@ impl SimBuilder {
             reply_tx,
             body: Some(body),
             join: None,
+            last_progress: SimTime::ZERO,
+            probe: None,
         });
         pid
     }
@@ -225,8 +233,6 @@ impl SimBuilder {
 
         let mut pending: Vec<(SimTime, EventKind)> = Vec::new();
         let mut wakes: Vec<Pid> = Vec::new();
-        // Block start + reason per pid, kept only while a hub is attached.
-        let mut block_since: Vec<Option<(SimTime, String)>> = vec![None; self.procs.len()];
 
         loop {
             if live_nondaemons == 0 {
@@ -239,13 +245,20 @@ impl SimBuilder {
             let entry = match queue.pop() {
                 Some(e) => e,
                 None => {
-                    let blocked: Vec<(Pid, String, String)> = self
+                    let blocked: Vec<DeadlockInfo> = self
                         .procs
                         .iter()
                         .enumerate()
                         .filter_map(|(i, p)| match &p.state {
-                            ProcState::Blocked(reason) if !p.daemon => {
-                                Some((Pid(i as u32), p.name.clone(), reason.clone()))
+                            ProcState::Blocked { reason, since } if !p.daemon => {
+                                Some(DeadlockInfo {
+                                    pid: Pid(i as u32),
+                                    name: p.name.clone(),
+                                    reason: reason.clone(),
+                                    since: *since,
+                                    last_progress: p.last_progress,
+                                    mailbox_depth: p.probe.as_ref().map(|probe| probe()),
+                                })
                             }
                             _ => None,
                         })
@@ -282,8 +295,9 @@ impl SimBuilder {
                         ProcState::Runnable => {}
                         // A wake raced with completion, or a stale resume:
                         // skip quietly.
-                        ProcState::Done | ProcState::Blocked(_) => continue,
+                        ProcState::Done | ProcState::Blocked { .. } => continue,
                     }
+                    slot.last_progress = now;
                     if slot.reply_tx.send(Reply::Resume { now }).is_err() {
                         // Thread died without reporting: treat as panic.
                         return Err(SimError::ProcessPanicked {
@@ -315,11 +329,10 @@ impl SimBuilder {
                                 pending.push((now + d, EventKind::Resume(pid)));
                                 break;
                             }
-                            ProcCall::Block { reason } => {
-                                if self.obs.is_some() {
-                                    block_since[pid.index()] = Some((now, reason.clone()));
-                                }
-                                self.procs[pid.index()].state = ProcState::Blocked(reason);
+                            ProcCall::Block { reason, probe } => {
+                                let slot = &mut self.procs[pid.index()];
+                                slot.probe = probe;
+                                slot.state = ProcState::Blocked { reason, since: now };
                                 break;
                             }
                             ProcCall::Schedule { delay, event } => {
@@ -356,10 +369,12 @@ impl SimBuilder {
             // Flush effects produced by the entry we just executed, in order.
             for w in wakes.drain(..) {
                 let slot = &mut self.procs[w.index()];
-                if matches!(slot.state, ProcState::Blocked(_)) {
-                    slot.state = ProcState::Runnable;
-                    if let Some(hub) = &self.obs {
-                        if let Some((since, reason)) = block_since[w.index()].take() {
+                if matches!(slot.state, ProcState::Blocked { .. }) {
+                    slot.probe = None;
+                    if let ProcState::Blocked { reason, since } =
+                        std::mem::replace(&mut slot.state, ProcState::Runnable)
+                    {
+                        if let Some(hub) = &self.obs {
                             hub.span(
                                 w.0,
                                 since.as_nanos(),

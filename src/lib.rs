@@ -17,7 +17,11 @@
 //!   thread-backed processes, mailboxes).
 //! * [`net`] — interconnect models (shared Ethernet bus, SP2 switch),
 //!   background-load generation, the warp metric.
-//! * [`msg`] — PVM-like typed message passing with wire-size accounting.
+//! * [`faults`] — seeded fault injection: per-link loss/duplication/
+//!   delay, degradation windows, node crashes, partitions, and the
+//!   structured fault reports a cut-short run leaves behind.
+//! * [`msg`] — PVM-like typed message passing with wire-size accounting
+//!   and optional reliable delivery (seq/ack/retransmit).
 //! * [`dsm`] — age-tagged shared locations and `Global_Read`
 //!   ([`dsm::DsmNode::global_read`]): non-strict cache coherence.
 //! * [`partition`] — balanced graph partitioning (METIS substitute).
@@ -72,6 +76,7 @@ pub use nscc_analyze as analyze;
 pub use nscc_bayes as bayes;
 pub use nscc_core as core;
 pub use nscc_dsm as dsm;
+pub use nscc_faults as faults;
 pub use nscc_ga as ga;
 pub use nscc_msg as msg;
 pub use nscc_net as net;

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Offline build + test of the NSCC workspace in a container with no cargo
+# registry. External deps are replaced by the API-compatible shims in this
+# directory; workspace crates are compiled with plain rustc in dependency
+# order, and each crate's unit tests are built and run.
+#
+# This is NOT the real tier-1 build (`cargo build --release && cargo test
+# -q`) — criterion benches are skipped, proptest-based integration tests
+# run against a deterministic 3-samples-per-axis shim instead of a random
+# search, and the rand shim's streams differ from real rand, so anything
+# asserting exact golden values from RNG draws cannot be checked here.
+# Everything else — full typecheck, borrowck, unit tests including the
+# serde-driven JSON reports — runs for real.
+#
+# Usage: tools/offline/check.sh [--no-test] [crate ...]
+#   With crate names, only those crates (plus everything they need) are
+#   rebuilt; with none, the whole workspace is processed.
+
+set -u
+cd "$(dirname "$0")/../.."
+OUT="${NSCC_OFFLINE_OUT:-/tmp/nscc-offline}"
+mkdir -p "$OUT"
+RUSTC="rustc --edition 2021 -L $OUT"
+RUN_TESTS=1
+ONLY=()
+for arg in "$@"; do
+    case "$arg" in
+        --no-test) RUN_TESTS=0 ;;
+        *) ONLY+=("$arg") ;;
+    esac
+done
+
+want() { # crate selected (or no filter)?
+    [ ${#ONLY[@]} -eq 0 ] && return 0
+    for o in "${ONLY[@]}"; do [ "$o" = "$1" ] && return 0; done
+    return 1
+}
+
+fail=0
+
+step() {
+    echo "--- $*" >&2
+}
+
+# --- stubs (always built; cheap) ---
+step stub serde_derive
+$RUSTC --crate-type proc-macro --crate-name serde_derive \
+    tools/offline/serde_derive_shim.rs --out-dir "$OUT" || exit 1
+step stub serde
+$RUSTC --crate-type rlib --crate-name serde tools/offline/serde_shim.rs \
+    --extern serde_derive="$OUT/libserde_derive.so" --out-dir "$OUT" || exit 1
+step stub parking_lot
+$RUSTC --crate-type rlib --crate-name parking_lot \
+    tools/offline/parking_lot_shim.rs --out-dir "$OUT" || exit 1
+step stub crossbeam
+$RUSTC --crate-type rlib --crate-name crossbeam \
+    tools/offline/crossbeam_shim.rs --out-dir "$OUT" || exit 1
+step stub rand
+$RUSTC --crate-type rlib --crate-name rand tools/offline/rand_shim.rs \
+    --out-dir "$OUT" || exit 1
+step stub proptest
+$RUSTC --crate-type rlib --crate-name proptest tools/offline/proptest_shim.rs \
+    --out-dir "$OUT" || exit 1
+
+EXT_SERDE="--extern serde=$OUT/libserde.rlib"
+EXT_PL="--extern parking_lot=$OUT/libparking_lot.rlib"
+EXT_CB="--extern crossbeam=$OUT/libcrossbeam.rlib"
+EXT_RAND="--extern rand=$OUT/librand.rlib"
+
+# build <crate> <src> <externs...>: rlib + unit-test binary (run).
+build() {
+    local crate="$1" src="$2"
+    shift 2
+    want "$crate" || return 0
+    step "build $crate"
+    $RUSTC --crate-type rlib --crate-name "$crate" "$src" "$@" \
+        --out-dir "$OUT" || { fail=1; return 1; }
+    if [ "$RUN_TESTS" = 1 ]; then
+        step "test $crate"
+        $RUSTC --test --crate-name "${crate}_unit" "$src" "$@" \
+            -o "$OUT/test_$crate" || { fail=1; return 1; }
+        "$OUT/test_$crate" -q || fail=1
+    fi
+}
+
+# itest <crate> <src> <externs...>: an integration-test file, built and run.
+itest() {
+    local crate="$1" src="$2"
+    shift 2
+    want "$crate" || return 0
+    [ "$RUN_TESTS" = 1 ] || return 0
+    step "itest $crate $(basename "$src")"
+    local name
+    name="$(basename "$src" .rs)"
+    $RUSTC --test --crate-name "${crate}_it_${name}" "$src" "$@" \
+        -o "$OUT/itest_${crate}_${name}" || { fail=1; return 1; }
+    "$OUT/itest_${crate}_${name}" -q || fail=1
+}
+
+# binary <name> <src> <externs...>: plain executable, not run.
+binary() {
+    local name="$1" src="$2"
+    shift 2
+    step "bin $name"
+    $RUSTC --crate-name "${name//-/_}" "$src" "$@" -o "$OUT/bin_$name" \
+        || fail=1
+}
+
+E_OBS="--extern nscc_obs=$OUT/libnscc_obs.rlib"
+E_SIM="--extern nscc_sim=$OUT/libnscc_sim.rlib"
+E_NET="--extern nscc_net=$OUT/libnscc_net.rlib"
+E_FAULTS="--extern nscc_faults=$OUT/libnscc_faults.rlib"
+E_MSG="--extern nscc_msg=$OUT/libnscc_msg.rlib"
+E_DSM="--extern nscc_dsm=$OUT/libnscc_dsm.rlib"
+E_PART="--extern nscc_partition=$OUT/libnscc_partition.rlib"
+E_GA="--extern nscc_ga=$OUT/libnscc_ga.rlib"
+E_BAYES="--extern nscc_bayes=$OUT/libnscc_bayes.rlib"
+E_CORE="--extern nscc_core=$OUT/libnscc_core.rlib"
+E_BENCH="--extern nscc_bench=$OUT/libnscc_bench.rlib"
+E_ANALYZE="--extern nscc_analyze=$OUT/libnscc_analyze.rlib"
+
+build nscc_obs crates/obs/src/lib.rs $EXT_PL $EXT_SERDE
+build nscc_sim crates/sim/src/lib.rs $EXT_CB $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS
+build nscc_net crates/net/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM
+build nscc_faults crates/faults/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_SIM $E_NET
+build nscc_msg crates/msg/src/lib.rs $EXT_PL $EXT_SERDE $E_OBS $E_SIM $E_NET
+build nscc_dsm crates/dsm/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM $E_NET $E_MSG
+itest nscc_dsm crates/dsm/tests/global_read.rs $EXT_PL $E_DSM $E_MSG $E_NET $E_SIM
+itest nscc_dsm crates/dsm/tests/resilience.rs $E_DSM $E_MSG $E_NET $E_SIM
+build nscc_partition crates/partition/src/lib.rs $EXT_RAND
+build nscc_ga crates/ga/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_SIM $E_NET $E_MSG $E_DSM
+build nscc_bayes crates/bayes/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM $E_NET $E_MSG $E_DSM $E_PART
+build nscc_core crates/core/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES
+build nscc_bench crates/bench/src/lib.rs $EXT_PL $EXT_RAND $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE
+build nscc_analyze crates/analyze/src/lib.rs
+build nscc src/lib.rs $EXT_RAND $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_ANALYZE
+# Root integration tests (proptest-based ones run against the shim: three
+# deterministic samples per axis instead of a random search).
+E_NSCC="--extern nscc=$OUT/libnscc.rlib"
+E_PROPTEST="--extern proptest=$OUT/libproptest.rlib"
+for t in tests/*.rs; do
+    itest nscc "$t" $E_NSCC $E_PROPTEST $EXT_RAND
+done
+
+ALL="$EXT_PL $EXT_RAND $EXT_SERDE $EXT_CB $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_BENCH"
+if want nscc_bench; then
+    for b in crates/bench/src/bin/*.rs; do
+        binary "bench-$(basename "$b" .rs)" "$b" $ALL
+    done
+fi
+if want nscc_analyze; then
+    binary nscc-cli crates/analyze/src/bin/nscc.rs $E_ANALYZE
+fi
+
+if [ "$fail" = 0 ]; then
+    echo "offline check OK"
+else
+    echo "offline check FAILED" >&2
+fi
+exit $fail

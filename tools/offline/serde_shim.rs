@@ -1,0 +1,425 @@
+//! Offline stand-in for `serde`'s serialization half (see
+//! tools/offline/README.md).
+//!
+//! Mirrors the `serde::ser` API surface this workspace uses — the
+//! `Serialize`/`Serializer` traits, the seven compound traits,
+//! `Impossible`, `ser::Error` — with `Serialize` impls for the std types
+//! that appear in reports. The real derive is provided by the sibling
+//! `serde_derive_shim` proc macro, re-exported here like real serde does.
+
+extern crate serde_derive;
+
+pub use serde_derive::Serialize;
+
+pub use ser::{Serialize, Serializer};
+
+pub mod ser {
+    use std::fmt::Display;
+    use std::marker::PhantomData;
+
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T)
+            -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        fn serialize_tuple_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+        fn serialize_i128(self, _v: i128) -> Result<Self::Ok, Self::Error> {
+            Err(Error::custom("i128 is not supported"))
+        }
+        fn serialize_u128(self, _v: u128) -> Result<Self::Ok, Self::Error> {
+            Err(Error::custom("u128 is not supported"))
+        }
+        fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+            self.serialize_str(&value.to_string())
+        }
+        fn is_human_readable(&self) -> bool {
+            true
+        }
+    }
+
+    pub trait SerializeSeq {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeTuple {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeTupleStruct {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeTupleVariant {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    pub trait SerializeMap {
+        type Ok;
+        type Error: Error;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error> {
+            self.serialize_key(key)?;
+            self.serialize_value(value)
+        }
+    }
+
+    pub trait SerializeStruct {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+
+        fn skip_field(&mut self, _key: &'static str) -> Result<(), Self::Error> {
+            Ok(())
+        }
+    }
+
+    pub trait SerializeStructVariant {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Uninhabitable placeholder for unsupported compound types.
+    pub struct Impossible<Ok, E> {
+        never: Never,
+        _marker: PhantomData<(Ok, E)>,
+    }
+
+    enum Never {}
+
+    macro_rules! impossible {
+        ($($trait:ident { $($method:ident($($arg:ty),*));+ })+) => {
+            $(
+                impl<Ok, E: Error> $trait for Impossible<Ok, E> {
+                    type Ok = Ok;
+                    type Error = E;
+                    $(
+                        fn $method<T: Serialize + ?Sized>(
+                            &mut self,
+                            $(_: $arg,)*
+                            _: &T,
+                        ) -> Result<(), E> {
+                            match self.never {}
+                        }
+                    )+
+                    fn end(self) -> Result<Ok, E> {
+                        match self.never {}
+                    }
+                }
+            )+
+        };
+    }
+
+    impossible! {
+        SerializeSeq { serialize_element() }
+        SerializeTuple { serialize_element() }
+        SerializeTupleStruct { serialize_field() }
+        SerializeTupleVariant { serialize_field() }
+        SerializeStruct { serialize_field(&'static str) }
+        SerializeStructVariant { serialize_field(&'static str) }
+    }
+
+    impl<Ok, E: Error> SerializeMap for Impossible<Ok, E> {
+        type Ok = Ok;
+        type Error = E;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, _: &T) -> Result<(), E> {
+            match self.never {}
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, _: &T) -> Result<(), E> {
+            match self.never {}
+        }
+        fn end(self) -> Result<Ok, E> {
+            match self.never {}
+        }
+    }
+
+    // ---- Serialize impls for std types used in this workspace ----
+
+    macro_rules! primitive {
+        ($($ty:ty => $method:ident),+) => {
+            $(
+                impl Serialize for $ty {
+                    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                        s.$method(*self)
+                    }
+                }
+            )+
+        };
+    }
+
+    primitive!(
+        bool => serialize_bool,
+        i8 => serialize_i8,
+        i16 => serialize_i16,
+        i32 => serialize_i32,
+        i64 => serialize_i64,
+        u8 => serialize_u8,
+        u16 => serialize_u16,
+        u32 => serialize_u32,
+        u64 => serialize_u64,
+        f32 => serialize_f32,
+        f64 => serialize_f64,
+        char => serialize_char
+    );
+
+    impl Serialize for isize {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_i64(*self as i64)
+        }
+    }
+
+    impl Serialize for usize {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_u64(*self as u64)
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_unit()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &mut T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<'a, T: Serialize + ToOwned + ?Sized> Serialize for std::borrow::Cow<'a, T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(v) => s.serialize_some(v),
+                None => s.serialize_none(),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut seq = s.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut seq = s.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+
+    macro_rules! count {
+        ($a:ident) => { 1 };
+        ($a:ident $b:ident) => { 2 };
+        ($a:ident $b:ident $c:ident) => { 3 };
+        ($a:ident $b:ident $c:ident $d:ident) => { 4 };
+    }
+
+    macro_rules! tuple {
+        ($(($($idx:tt $ty:ident),+))+) => {
+            $(
+                impl<$($ty: Serialize),+> Serialize for ($($ty,)+) {
+                    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                        let mut tup = s.serialize_tuple(count!($($ty)+))?;
+                        $(tup.serialize_element(&self.$idx)?;)+
+                        tup.end()
+                    }
+                }
+            )+
+        };
+    }
+
+    tuple!(
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    );
+
+    impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut map = s.serialize_map(Some(self.len()))?;
+            for (k, v) in self {
+                map.serialize_entry(k, v)?;
+            }
+            map.end()
+        }
+    }
+
+    impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut map = s.serialize_map(Some(self.len()))?;
+            for (k, v) in self {
+                map.serialize_entry(k, v)?;
+            }
+            map.end()
+        }
+    }
+}
