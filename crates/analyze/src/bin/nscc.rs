@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! nscc inspect <FILE...>                      summarize reports / event dumps
+//! nscc inspect --ckpt <DIR>                   list checkpoint generations
 //! nscc diff <OLD> <NEW>                       structured delta of two runs
 //! nscc gate [OPTS] <FRESH...>                 compare against baselines/
 //!   --baselines <DIR>    baseline directory (default: baselines)
@@ -16,18 +17,22 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nscc_analyze::{diff, gate_all, inspect, update_baselines, GateConfig, Report};
+use nscc_analyze::{
+    diff, gate_all, inspect, inspect_ckpt_dir, update_baselines, GateConfig, Report,
+};
 
 const USAGE: &str = "\
 nscc — NSCC run analysis
 
 usage:
   nscc inspect <FILE...>
+  nscc inspect --ckpt <DIR>
   nscc diff <OLD> <NEW>
   nscc gate [--baselines DIR] [--rel R] [--abs A] [--all] [--update-baselines] <FRESH...>
 
-Artifacts are the BENCH_*.json run reports (NSCC_JSON=1) and
-TRACE_*.json event dumps (NSCC_TRACE=1) written by the bench binaries.
+Artifacts are the BENCH_*.json run reports (NSCC_JSON=1), TRACE_*.json
+event dumps (NSCC_TRACE=1) and NSCC_CKPT_DIR checkpoint stores written
+by the bench binaries.
 Exit codes: 0 pass, 1 regression, 2 usage/config error.
 ";
 
@@ -61,6 +66,23 @@ fn load(path: &str) -> Result<Report, ExitCode> {
 }
 
 fn cmd_inspect(files: &[String]) -> ExitCode {
+    if files.first().map(String::as_str) == Some("--ckpt") {
+        let [_, dir] = files else {
+            eprintln!("nscc inspect: --ckpt needs exactly one directory\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        return match inspect_ckpt_dir(std::path::Path::new(dir)) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("nscc inspect: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if files.is_empty() {
         eprintln!("nscc inspect: no files given\n");
         eprint!("{USAGE}");

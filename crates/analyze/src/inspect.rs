@@ -53,6 +53,9 @@ fn inspect_report(rep: &Report) -> String {
             "stale_discards",
             "barriers",
             "anti_messages",
+            "checkpoints",
+            "restores",
+            "mailbox_warnings",
             "events",
             "spans",
         ] {
@@ -74,6 +77,7 @@ fn inspect_report(rep: &Report) -> String {
 
         for (key, unit) in [
             ("staleness", "iterations"),
+            ("rollback", "iterations"),
             ("block_ns", "ns"),
             ("net_delay_ns", "ns"),
         ] {
@@ -234,7 +238,55 @@ fn inspect_dump(rep: &Report) -> String {
     out.push_str(&critical_path_section(&events, &names));
     out.push_str(&queue_depth_section(&events));
     out.push_str(&warp_section(&events));
+    out.push_str(&recovery_timeline_section(&events, &names));
     out
+}
+
+/// Crash-recovery timeline: every checkpoint cut, restore and mailbox
+/// warning in event order, with the restore's rollback distance — the
+/// view that shows a recovered node re-entering the sweep within its age
+/// bound (DESIGN.md's recovery line). Empty when the run never
+/// checkpointed.
+fn recovery_timeline_section(events: &[Ev<'_>], names: &BTreeMap<u32, String>) -> String {
+    let mut rows = vec![vec![
+        "t".to_string(),
+        "proc".to_string(),
+        "event".to_string(),
+        "detail".to_string(),
+    ]];
+    let mut restores = 0u64;
+    let mut max_rollback = 0u64;
+    for e in events {
+        let g = |k: &str| e.body.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let detail = match e.kind {
+            "Checkpoint" => format!("iter={} bytes={}", g("iter"), g("bytes")),
+            "Restore" => {
+                restores += 1;
+                max_rollback = max_rollback.max(g("rollback"));
+                format!(
+                    "iter {} -> {} (rollback {})",
+                    g("from_iter"),
+                    g("to_iter"),
+                    g("rollback")
+                )
+            }
+            "MailboxHigh" => format!("depth={}", g("depth")),
+            _ => continue,
+        };
+        rows.push(vec![
+            ns(e.t),
+            e.pid.map_or_else(String::new, |p| proc_name(names, p)),
+            e.kind.to_lowercase(),
+            detail,
+        ]);
+    }
+    if rows.len() == 1 {
+        return String::new();
+    }
+    format!(
+        "\nrecovery timeline ({restores} restore(s), max rollback {max_rollback}):\n{}",
+        table(&rows)
+    )
 }
 
 /// Per-process time attribution: compute/blocked from spans, blocked-read
@@ -618,6 +670,47 @@ mod tests {
         assert!(i0 < i1, "sender segment precedes receiver segment");
         assert!(text.contains("message queue depth"));
         assert!(text.contains("peak in-flight 1"));
+    }
+
+    #[test]
+    fn recovery_timeline_lists_checkpoints_and_restores() {
+        let rep = report_from(
+            r#"{"schema_version":2,"proc_names":{"1":"island1"},
+               "events_dropped":0,"spans_dropped":0,
+               "events":[
+                 {"Checkpoint":{"t_ns":100,"rank":1,"iter":3,"bytes":512}},
+                 {"MailboxHigh":{"t_ns":150,"rank":1,"depth":70}},
+                 {"Restore":{"t_ns":200,"rank":1,"from_iter":5,"to_iter":3,
+                   "rollback":2}}
+               ],"spans":[]}"#,
+        );
+        let text = inspect(&rep);
+        assert!(
+            text.contains("recovery timeline (1 restore(s), max rollback 2)"),
+            "{text}"
+        );
+        assert!(text.contains("iter=3 bytes=512"), "{text}");
+        assert!(text.contains("iter 5 -> 3 (rollback 2)"), "{text}");
+        assert!(text.contains("depth=70"), "{text}");
+        assert!(text.contains("island1"), "{text}");
+        // A run without recovery events has no such section.
+        assert!(!inspect(&dump()).contains("recovery timeline"));
+    }
+
+    #[test]
+    fn report_counters_include_recovery_and_mailbox() {
+        let rep = report_from(
+            r#"{"schema_version":2,"name":"unit","metrics":{},
+               "obs":{"reads":1,"checkpoints":4,"restores":1,
+                      "mailbox_warnings":2,
+                      "rollback":{"count":1,"sum":2,"min":2,"max":2,"mean":2.0,
+                                  "p50":2,"p99":2,"buckets":[[3,1]]}}}"#,
+        );
+        let text = inspect(&rep);
+        assert!(text.contains("checkpoints = 4"), "{text}");
+        assert!(text.contains("restores = 1"), "{text}");
+        assert!(text.contains("mailbox_warnings = 2"), "{text}");
+        assert!(text.contains("rollback (iterations): n=1"), "{text}");
     }
 
     #[test]

@@ -22,8 +22,12 @@
 //! - [`gate`] — did this commit regress? Fresh reports vs checked-in
 //!   `baselines/` with per-metric thresholds; nonzero exit on drift
 //!   (wired into CI).
+//! - [`inspect_ckpt_dir`] — what state is in a checkpoint store
+//!   (`NSCC_CKPT_DIR`)? Generation listing with virtual cut times,
+//!   sizes, checksums, per-node iteration vectors and corruption flags.
 //!
-//! The crate is deliberately **dependency-free** (std only): it parses
+//! The crate depends only on `nscc-ckpt` (itself std-only, for reading
+//! checkpoint stores) and otherwise stays **dependency-free**: it parses
 //! JSON with its own strict reader ([`json`]) and mirrors the writer-side
 //! schema constants ([`report::SCHEMA_VERSION`]). That keeps the analyzer
 //! buildable anywhere the toolchain exists, with no version skew against
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ckpt;
 pub mod diff;
 pub mod fmt;
 pub mod gate;
@@ -40,6 +45,7 @@ pub mod inspect;
 pub mod json;
 pub mod report;
 
+pub use ckpt::inspect_ckpt_dir;
 pub use diff::diff;
 pub use gate::{gate_all, gate_pair, update_baselines, GateConfig, Outcome};
 pub use hist::HistView;

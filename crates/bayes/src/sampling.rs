@@ -65,6 +65,24 @@ pub struct Tally {
     pub drawn: u64,
 }
 
+impl nscc_ckpt::Snapshot for Tally {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.counts.encode(enc);
+        enc.put_u64(self.drawn);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        let counts = Vec::<u64>::decode(dec)?;
+        let drawn = dec.u64()?;
+        if counts.is_empty() {
+            return Err(nscc_ckpt::CkptError::Malformed(
+                "tally with zero query arity".into(),
+            ));
+        }
+        Ok(Tally { counts, drawn })
+    }
+}
+
 impl Tally {
     /// An empty tally for a query node of the given arity.
     pub fn new(arity: usize) -> Self {
@@ -186,6 +204,25 @@ mod tests {
     use super::*;
     use crate::exact::exact_posterior;
     use crate::examples::{fig1, figure1};
+
+    #[test]
+    fn tally_snapshot_roundtrip_is_byte_identical() {
+        let mut t = Tally::new(3);
+        t.counts = vec![5, 0, 12];
+        t.drawn = 40;
+        let bytes = nscc_ckpt::to_bytes(&t);
+        let back: Tally = nscc_ckpt::from_bytes(&bytes).unwrap();
+        assert_eq!(back.counts, t.counts);
+        assert_eq!(back.drawn, t.drawn);
+        assert_eq!(nscc_ckpt::to_bytes(&back), bytes);
+        // Zero-arity tallies are rejected rather than decoded into a
+        // divide-by-zero time bomb in estimate().
+        let empty = nscc_ckpt::to_bytes(&Tally {
+            counts: Vec::new(),
+            drawn: 0,
+        });
+        assert!(nscc_ckpt::from_bytes::<Tally>(&empty).is_err());
+    }
 
     #[test]
     fn node_draw_is_deterministic_and_uniform_ish() {

@@ -4,29 +4,165 @@
 //! For every cell of the loss-rate × age-bound grid (`NSCC_LOSS` ×
 //! `NSCC_AGES`) the island GA runs on the lossy Ethernet with the full
 //! robustness stack on — reliable delivery (seq/ack/retransmit), read
-//! timeouts degrading to cached values, heartbeat failure detection and
-//! a virtual-time watchdog — and reports how much of the fault-free
-//! speedup survives, what the reliable layer paid for it (retransmits,
-//! give-ups) and how often reads had to degrade. Runs the watchdog cut
-//! short appear as structured fault reports, not hung sweeps.
+//! timeouts degrading to cached values, heartbeat failure detection,
+//! warm crash recovery and a virtual-time watchdog — and reports how
+//! much of the fault-free speedup survives, what the reliable layer paid
+//! for it (retransmits, give-ups) and how often reads had to degrade.
+//! Runs the watchdog cut short appear as structured fault reports, not
+//! hung sweeps.
 //!
 //! With `NSCC_JSON=1` (or `--json`) also writes `BENCH_fault_study.json`
 //! with one metric set per cell.
+//!
+//! With `NSCC_CKPT_DIR` set, every completed cell is checkpointed; a
+//! killed sweep rerun with `NSCC_RESUME=1` (or `--resume`) skips the
+//! finished cells and produces a byte-identical report.
 
 use nscc_bench::{
-    ages_from_env, banner, loss_rates_from_env, make_hub, write_report, write_trace, Scale,
+    ages_from_env, banner, loss_rates_from_env, make_hub, write_report, write_trace, ResumeOpts,
+    Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
-use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RunReport};
-use nscc_dsm::Coherence;
+use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
+use nscc_dsm::{Coherence, DsmStats};
 use nscc_ga::{CostModel, TestFn};
-use nscc_msg::ReliableConfig;
+use nscc_msg::{CommStats, ReliableConfig};
+use nscc_net::NetStats;
+use nscc_obs::{Hub, HubSummary};
 use nscc_sim::SimTime;
 
 const PROCS: usize = 4;
 
+/// Everything one grid cell contributes to the sweep's output — the
+/// checkpoint unit of a resumable run. Replaying stored cells in grid
+/// order reproduces the table, the metric set and every merged counter
+/// exactly.
+struct CellData {
+    row: Vec<String>,
+    metrics: Vec<(String, f64)>,
+    fault_lines: Vec<String>,
+    fault_count: u64,
+    /// Mean cell completion time (ns) — the checkpoint header's cut time.
+    t_ns: u64,
+    /// Mean generations per island — the header's iteration vector.
+    iters: Vec<u64>,
+    dsm: DsmStats,
+    net: NetStats,
+    comm: CommStats,
+    obs: HubSummary,
+}
+
+impl nscc_ckpt::Snapshot for CellData {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.row.encode(enc);
+        self.metrics.encode(enc);
+        self.fault_lines.encode(enc);
+        enc.put_u64(self.fault_count);
+        enc.put_u64(self.t_ns);
+        self.iters.encode(enc);
+        self.dsm.encode(enc);
+        self.net.encode(enc);
+        self.comm.encode(enc);
+        self.obs.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(CellData {
+            row: nscc_ckpt::Snapshot::decode(dec)?,
+            metrics: nscc_ckpt::Snapshot::decode(dec)?,
+            fault_lines: nscc_ckpt::Snapshot::decode(dec)?,
+            fault_count: dec.u64()?,
+            t_ns: dec.u64()?,
+            iters: nscc_ckpt::Snapshot::decode(dec)?,
+            dsm: nscc_ckpt::Snapshot::decode(dec)?,
+            net: nscc_ckpt::Snapshot::decode(dec)?,
+            comm: nscc_ckpt::Snapshot::decode(dec)?,
+            obs: nscc_ckpt::Snapshot::decode(dec)?,
+        })
+    }
+}
+
+/// Run one grid cell. `exp_obs` is the hub clone the experiment streams
+/// events into (`None` when observability is off for this run).
+fn run_cell(scale: &Scale, loss: f64, age: u64, exp_obs: Option<Hub>) -> CellData {
+    // Every cell runs the same robustness stack; only the wire's loss
+    // rate and the reads' age bound vary. The plan's seed is derived from
+    // the cell so each cell's chaos is independent and reproducible.
+    let plan_seed = scale.seed ^ ((loss * 1e6) as u64).wrapping_mul(31) ^ age;
+    let mut platform = Platform::paper_ethernet(PROCS);
+    if loss > 0.0 {
+        platform = platform.with_faults(FaultPlan::new(plan_seed).loss(loss));
+    }
+    // The default 10 ms RTO suits low-latency links; the shared 10 Mbps
+    // Ethernet queues migrant batches for longer than that under load,
+    // so a tight RTO would retransmit frames that were merely queued.
+    platform.msg.reliable = Some(ReliableConfig {
+        base_rto: SimTime::from_millis(80),
+        ..ReliableConfig::default()
+    });
+    platform.msg.mailbox_warn = scale.mailbox_warn;
+    let exp = GaExperiment {
+        generations: scale.generations,
+        runs: scale.runs,
+        base_seed: scale.seed,
+        cost: CostModel::deterministic(),
+        platform,
+        obs: exp_obs,
+        modes: vec![Coherence::PartialAsync { age }],
+        read_timeout: Some(SimTime::from_millis(50)),
+        heartbeat: Some(SimTime::from_millis(20)),
+        watchdog: Some(SimTime::from_secs(3600)),
+        recovery: Some(RecoveryStyle::Warm),
+        ..GaExperiment::new(TestFn::F1Sphere, PROCS)
+    };
+    let res = run_ga_experiment(&exp).expect("chaos cell runs");
+    let m = &res.modes[0];
+    let row = vec![
+        format!("{loss}"),
+        format!("{age}"),
+        f2(m.speedup),
+        f2(m.success_rate),
+        m.comm.retransmits.to_string(),
+        m.comm.give_ups.to_string(),
+        res.net.dropped.to_string(),
+        m.dsm.degraded_reads.to_string(),
+        res.fault_reports.len().to_string(),
+    ];
+    let fault_lines = res
+        .fault_reports
+        .iter()
+        .map(|f| format!("cell loss={loss} age={age}: {}", f.summary()))
+        .collect();
+    let key = |metric: &str| format!("loss={loss}_age={age}_{metric}");
+    let metrics = vec![
+        (key("speedup"), m.speedup),
+        (key("success_rate"), m.success_rate),
+        (key("retransmits"), m.comm.retransmits as f64),
+        (key("give_ups"), m.comm.give_ups as f64),
+        (key("dropped"), res.net.dropped as f64),
+        (key("degraded_reads"), m.dsm.degraded_reads as f64),
+        (key("fault_reports"), res.fault_reports.len() as f64),
+        (key("restores"), m.restores as f64),
+        (key("max_rollback"), m.max_rollback as f64),
+    ];
+    CellData {
+        row,
+        metrics,
+        fault_lines,
+        fault_count: res.fault_reports.len() as u64,
+        t_ns: m.mean_time.as_nanos(),
+        iters: vec![m.mean_generations as u64],
+        dsm: m.dsm,
+        net: res.net.clone(),
+        comm: m.comm,
+        obs: Hub::new().summary(),
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let ropts = ResumeOpts::from_env();
+    let mut ckpt = SweepCkpt::from_opts(&ropts, "fault_study");
     let losses = loss_rates_from_env();
     let ages = ages_from_env();
     print!(
@@ -50,72 +186,68 @@ fn main() {
         .param("seed", scale.seed as f64)
         .param("procs", PROCS as f64);
 
+    // Checkpointed runs give each cell its own hub (so a stored cell
+    // carries its own summary) and merge the summaries in grid order;
+    // plain runs keep the single shared hub.
+    let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut cell_idx = 0u64;
     for &loss in &losses {
         for &age in &ages {
-            // Every cell runs the same robustness stack; only the wire's
-            // loss rate and the reads' age bound vary. The plan's seed is
-            // derived from the cell so each cell's chaos is independent
-            // and reproducible.
-            let plan_seed = scale.seed ^ ((loss * 1e6) as u64).wrapping_mul(31) ^ age;
-            let mut platform = Platform::paper_ethernet(PROCS);
-            if loss > 0.0 {
-                platform = platform.with_faults(FaultPlan::new(plan_seed).loss(loss));
-            }
-            // The default 10 ms RTO suits low-latency links; the shared
-            // 10 Mbps Ethernet queues migrant batches for longer than
-            // that under load, so a tight RTO would retransmit frames
-            // that were merely queued.
-            platform.msg.reliable = Some(ReliableConfig {
-                base_rto: SimTime::from_millis(80),
-                ..ReliableConfig::default()
-            });
-            let exp = GaExperiment {
-                generations: scale.generations,
-                runs: scale.runs,
-                base_seed: scale.seed,
-                cost: CostModel::deterministic(),
-                platform,
-                obs: (scale.json || scale.trace).then(|| hub.clone()),
-                modes: vec![Coherence::PartialAsync { age }],
-                read_timeout: Some(SimTime::from_millis(50)),
-                heartbeat: Some(SimTime::from_millis(20)),
-                watchdog: Some(SimTime::from_secs(3600)),
-                ..GaExperiment::new(TestFn::F1Sphere, PROCS)
+            let loaded: Option<CellData> = ckpt
+                .as_ref()
+                .and_then(|c| c.load_cell(cell_idx))
+                .and_then(|payload| match nscc_ckpt::from_bytes(&payload) {
+                    Ok(cell) => Some(cell),
+                    Err(e) => {
+                        eprintln!("warning: recomputing cell {cell_idx}: {e}");
+                        None
+                    }
+                });
+            let cell = match loaded {
+                Some(cell) => cell,
+                None => {
+                    let cell = if ckpt.is_some() {
+                        let cell_hub = make_hub(&scale);
+                        let exp_obs = (scale.json || scale.trace).then(|| cell_hub.clone());
+                        let mut cell = run_cell(&scale, loss, age, exp_obs);
+                        cell.obs = cell_hub.summary();
+                        cell
+                    } else {
+                        let exp_obs = (scale.json || scale.trace).then(|| hub.clone());
+                        run_cell(&scale, loss, age, exp_obs)
+                    };
+                    if let Some(ck) = ckpt.as_mut() {
+                        ck.save_cell(
+                            cell_idx,
+                            cell.t_ns,
+                            &cell.iters,
+                            &nscc_ckpt::to_bytes(&cell),
+                        );
+                    }
+                    cell
+                }
             };
-            let res = run_ga_experiment(&exp).expect("chaos cell runs");
-            let m = &res.modes[0];
-            rows.push(vec![
-                format!("{loss}"),
-                format!("{age}"),
-                f2(m.speedup),
-                f2(m.success_rate),
-                m.comm.retransmits.to_string(),
-                m.comm.give_ups.to_string(),
-                res.net.dropped.to_string(),
-                m.dsm.degraded_reads.to_string(),
-                res.fault_reports.len().to_string(),
-            ]);
-            for f in &res.fault_reports {
-                eprintln!("cell loss={loss} age={age}: {}", f.summary());
+            rows.push(cell.row.clone());
+            for line in &cell.fault_lines {
+                eprintln!("{line}");
             }
-            let key = |metric: &str| format!("loss={loss}_age={age}_{metric}");
-            rep.metric(key("speedup"), m.speedup)
-                .metric(key("success_rate"), m.success_rate)
-                .metric(key("retransmits"), m.comm.retransmits as f64)
-                .metric(key("give_ups"), m.comm.give_ups as f64)
-                .metric(key("dropped"), res.net.dropped as f64)
-                .metric(key("degraded_reads"), m.dsm.degraded_reads as f64)
-                .metric(key("fault_reports"), res.fault_reports.len() as f64);
-            rep.fault_reports += res.fault_reports.len() as u64;
-            rep.dsm.merge(&m.dsm);
+            for (k, v) in &cell.metrics {
+                rep.metric(k.clone(), *v);
+            }
+            rep.fault_reports += cell.fault_count;
+            rep.dsm.merge(&cell.dsm);
             match rep.net.as_mut() {
-                Some(net) => net.merge(&res.net),
-                None => rep.net = Some(res.net.clone()),
+                Some(net) => net.merge(&cell.net),
+                None => rep.net = Some(cell.net.clone()),
             }
             match rep.comm.as_mut() {
-                Some(comm) => comm.merge(&res.comm),
-                None => rep.comm = Some(res.comm),
+                Some(comm) => comm.merge(&cell.comm),
+                None => rep.comm = Some(cell.comm),
             }
+            if let Some(acc) = obs_merged.as_mut() {
+                acc.merge(&cell.obs);
+            }
+            cell_idx += 1;
         }
     }
 
@@ -127,8 +259,20 @@ fn main() {
          onto a cached value; cut = runs stopped by the watchdog (see stderr)."
     );
 
-    rep.obs = hub.summary();
+    rep.obs = match obs_merged {
+        Some(acc) => acc,
+        None => hub.summary(),
+    };
     rep.note_degradation();
     write_report(&scale, &rep);
-    write_trace(&scale, &hub, "fault_study");
+    if ckpt.is_some() {
+        if scale.trace {
+            eprintln!(
+                "note: NSCC_TRACE is unsupported with NSCC_CKPT_DIR (events live in \
+                 per-cell hubs); no TRACE_fault_study.json written"
+            );
+        }
+    } else {
+        write_trace(&scale, &hub, "fault_study");
+    }
 }

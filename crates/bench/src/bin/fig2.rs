@@ -6,19 +6,91 @@
 //! Prints the best case (function 1) and the average over all eight
 //! benchmark functions, exactly the two panels the paper shows. With
 //! `NSCC_JSON=1` (or `--json`) also writes `BENCH_fig2.json`: the
-//! averaged-panel speedups plus merged DSM/network counters and the
-//! observability hub's staleness/block/delay histograms.
+//! averaged-panel speedups plus merged DSM/network/message counters and
+//! the observability hub's staleness/block/delay histograms.
+//!
+//! With `NSCC_CKPT_DIR` set, every completed function × processor cell
+//! is checkpointed; a killed sweep rerun with `NSCC_RESUME=1` (or
+//! `--resume`) skips the finished cells and produces a byte-identical
+//! report.
 
-use nscc_bench::{banner, make_hub, modes_from_env, write_report, write_trace, Scale};
+use nscc_bench::{
+    banner, make_hub, modes_from_env, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
+};
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
+use nscc_msg::CommStats;
 use nscc_net::NetStats;
+use nscc_obs::{Hub, HubSummary};
 use nscc_sim::SimTime;
+
+/// What one function × processor cell contributes to the figure — the
+/// checkpoint unit of a resumable run. `times[i]` is mode `labels[i]`'s
+/// mean completion time (`SimTime::MAX` marks a DNF).
+struct Cell {
+    serial_time: SimTime,
+    labels: Vec<String>,
+    times: Vec<SimTime>,
+    /// Mean generations per mode — the checkpoint header's iteration
+    /// vector.
+    iters: Vec<u64>,
+    dsm: DsmStats,
+    net: NetStats,
+    comm: CommStats,
+    obs: HubSummary,
+}
+
+impl Cell {
+    fn from_result(r: &GaExpResult) -> Cell {
+        let mut dsm = DsmStats::default();
+        for m in &r.modes {
+            dsm.merge(&m.dsm);
+        }
+        Cell {
+            serial_time: r.serial_time,
+            labels: r.modes.iter().map(|m| m.label.clone()).collect(),
+            times: r.modes.iter().map(|m| m.mean_time).collect(),
+            iters: r.modes.iter().map(|m| m.mean_generations as u64).collect(),
+            dsm,
+            net: r.net.clone(),
+            comm: r.comm,
+            obs: Hub::new().summary(),
+        }
+    }
+}
+
+impl nscc_ckpt::Snapshot for Cell {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.serial_time.encode(enc);
+        self.labels.encode(enc);
+        self.times.encode(enc);
+        self.iters.encode(enc);
+        self.dsm.encode(enc);
+        self.net.encode(enc);
+        self.comm.encode(enc);
+        self.obs.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(Cell {
+            serial_time: nscc_ckpt::Snapshot::decode(dec)?,
+            labels: nscc_ckpt::Snapshot::decode(dec)?,
+            times: nscc_ckpt::Snapshot::decode(dec)?,
+            iters: nscc_ckpt::Snapshot::decode(dec)?,
+            dsm: nscc_ckpt::Snapshot::decode(dec)?,
+            net: nscc_ckpt::Snapshot::decode(dec)?,
+            comm: nscc_ckpt::Snapshot::decode(dec)?,
+            obs: nscc_ckpt::Snapshot::decode(dec)?,
+        })
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
+    let ropts = ResumeOpts::from_env();
+    let mut ckpt = SweepCkpt::from_opts(&ropts, "fig2");
     let all_functions = std::env::args().any(|a| a == "--all-functions");
     print!(
         "{}",
@@ -36,21 +108,64 @@ fn main() {
         &ALL_FUNCTIONS[..4]
     };
 
-    // Collect cells: results[func][proc index].
-    let mut results: Vec<Vec<GaExpResult>> = Vec::new();
-    for &func in functions {
+    // Collect cells: results[func][proc index]. Checkpointed runs give
+    // each cell its own hub (so a stored cell carries its own summary)
+    // and merge the summaries in grid order; plain runs keep the single
+    // shared hub.
+    let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut results: Vec<Vec<Cell>> = Vec::new();
+    for (fi, &func) in functions.iter().enumerate() {
         let mut per_proc = Vec::new();
-        for &p in &procs {
-            let exp = GaExperiment {
-                generations: scale.generations,
-                runs: scale.runs,
-                base_seed: scale.seed,
-                obs: (scale.json || scale.trace).then(|| hub.clone()),
-                modes: modes.clone().unwrap_or_else(GaExperiment::default_modes),
-                ..GaExperiment::new(func, p)
+        for (pi, &p) in procs.iter().enumerate() {
+            let cell_idx = (fi * procs.len() + pi) as u64;
+            let loaded: Option<Cell> =
+                ckpt.as_ref()
+                    .and_then(|c| c.load_cell(cell_idx))
+                    .and_then(|payload| match nscc_ckpt::from_bytes(&payload) {
+                        Ok(cell) => Some(cell),
+                        Err(e) => {
+                            eprintln!("warning: recomputing cell {cell_idx}: {e}");
+                            None
+                        }
+                    });
+            let cell = match loaded {
+                Some(cell) => cell,
+                None => {
+                    let (exp_obs, cell_hub) = if ckpt.is_some() {
+                        let h = make_hub(&scale);
+                        ((scale.json || scale.trace).then(|| h.clone()), Some(h))
+                    } else {
+                        ((scale.json || scale.trace).then(|| hub.clone()), None)
+                    };
+                    let mut exp = GaExperiment {
+                        generations: scale.generations,
+                        runs: scale.runs,
+                        base_seed: scale.seed,
+                        obs: exp_obs,
+                        modes: modes.clone().unwrap_or_else(GaExperiment::default_modes),
+                        ..GaExperiment::new(func, p)
+                    };
+                    exp.platform.msg.mailbox_warn = scale.mailbox_warn;
+                    let res = run_ga_experiment(&exp).expect("experiment runs");
+                    let mut cell = Cell::from_result(&res);
+                    if let Some(h) = cell_hub {
+                        cell.obs = h.summary();
+                    }
+                    if let Some(ck) = ckpt.as_mut() {
+                        ck.save_cell(
+                            cell_idx,
+                            cell.serial_time.as_nanos(),
+                            &cell.iters,
+                            &nscc_ckpt::to_bytes(&cell),
+                        );
+                    }
+                    cell
+                }
             };
-            let res = run_ga_experiment(&exp).expect("experiment runs");
-            per_proc.push(res);
+            if let Some(acc) = obs_merged.as_mut() {
+                acc.merge(&cell.obs);
+            }
+            per_proc.push(cell);
         }
         results.push(per_proc);
     }
@@ -72,16 +187,17 @@ fn main() {
             .param("seed", scale.seed as f64);
         let mut dsm = DsmStats::default();
         let mut net = NetStats::default();
+        let mut comm = CommStats::default();
         for per_proc in &results {
-            for r in per_proc {
-                net.merge(&r.net);
-                for m in &r.modes {
-                    dsm.merge(&m.dsm);
-                }
+            for c in per_proc {
+                dsm.merge(&c.dsm);
+                net.merge(&c.net);
+                comm.merge(&c.comm);
             }
         }
         rep.dsm = dsm;
         rep.net = Some(net);
+        rep.comm = Some(comm);
         let labels = mode_labels(&results);
         for (p, speedups, improvement) in panel_rows(&procs, &results) {
             for (label, s) in labels.iter().zip(&speedups) {
@@ -91,23 +207,32 @@ fn main() {
                 rep.metric(format!("p{p}_improvement"), improvement);
             }
         }
+        if let Some(acc) = obs_merged {
+            rep.obs = acc;
+        }
+        rep.note_degradation();
         write_report(&scale, &rep);
     }
-    write_trace(&scale, &hub, "fig2");
+    if ckpt.is_some() {
+        if scale.trace {
+            eprintln!(
+                "note: NSCC_TRACE is unsupported with NSCC_CKPT_DIR (events live in \
+                 per-cell hubs); no TRACE_fig2.json written"
+            );
+        }
+    } else {
+        write_trace(&scale, &hub, "fig2");
+    }
 }
 
-fn mode_labels(per_func: &[Vec<GaExpResult>]) -> Vec<String> {
-    per_func[0][0]
-        .modes
-        .iter()
-        .map(|m| m.label.clone())
-        .collect()
+fn mode_labels(per_func: &[Vec<Cell>]) -> Vec<String> {
+    per_func[0][0].labels.clone()
 }
 
 /// Per processor count: the function-averaged speedup per mode (0.0 marks
 /// a DNF) and the best-partial-over-best-competitor improvement (NaN when
 /// the reported mode set — `NSCC_MODES` — has no `age=N` row).
-fn panel_rows(procs: &[usize], per_func: &[Vec<GaExpResult>]) -> Vec<(usize, Vec<f64>, f64)> {
+fn panel_rows(procs: &[usize], per_func: &[Vec<Cell>]) -> Vec<(usize, Vec<f64>, f64)> {
     let labels = mode_labels(per_func);
     procs
         .iter()
@@ -119,8 +244,7 @@ fn panel_rows(procs: &[usize], per_func: &[Vec<GaExpResult>]) -> Vec<(usize, Vec
             let serial_total: SimTime = per_func.iter().map(|f| f[pi].serial_time).sum();
             let speedups: Vec<f64> = (0..labels.len())
                 .map(|mi| {
-                    let times: Vec<SimTime> =
-                        per_func.iter().map(|f| f[pi].modes[mi].mean_time).collect();
+                    let times: Vec<SimTime> = per_func.iter().map(|f| f[pi].times[mi]).collect();
                     if times.iter().any(|&t| t == SimTime::MAX) {
                         0.0
                     } else {
@@ -149,7 +273,7 @@ fn panel_rows(procs: &[usize], per_func: &[Vec<GaExpResult>]) -> Vec<(usize, Vec
         .collect()
 }
 
-fn print_panel(procs: &[usize], per_func: &[Vec<GaExpResult>]) {
+fn print_panel(procs: &[usize], per_func: &[Vec<Cell>]) {
     let labels = mode_labels(per_func);
     let mut rows = vec![{
         let mut h = vec!["procs".to_string()];

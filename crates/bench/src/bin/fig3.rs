@@ -25,7 +25,7 @@ fn main() {
     let hub = make_hub(&scale);
     let mut results: Vec<BayesExpResult> = Vec::new();
     for netid in TABLE2 {
-        let exp = BayesExperiment {
+        let mut exp = BayesExperiment {
             stop: StopRule {
                 halfwidth: scale.ci,
                 ..StopRule::default()
@@ -35,6 +35,7 @@ fn main() {
             obs: (scale.json || scale.trace).then(|| hub.clone()),
             ..BayesExperiment::new(netid, 2)
         };
+        exp.platform.msg.mailbox_warn = scale.mailbox_warn;
         results.push(run_bayes_experiment(&exp).expect("experiment runs"));
     }
 
@@ -108,6 +109,7 @@ fn main() {
         }
         rep.dsm = dsm;
         rep.net = Some(net);
+        rep.note_degradation();
         write_report(&scale, &rep);
     }
     write_trace(&scale, &hub, "fig3");

@@ -11,6 +11,7 @@ use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
+use nscc_msg::CommStats;
 use nscc_net::NetStats;
 use nscc_sim::SimTime;
 
@@ -36,6 +37,7 @@ fn main() {
     let modes = modes_from_env();
     let mut dsm = DsmStats::default();
     let mut net = NetStats::default();
+    let mut comm = CommStats::default();
     // Metric rows collected from the averaged panel for the JSON report.
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
@@ -48,7 +50,7 @@ fn main() {
         for &load in &loads {
             let mut per_func: Vec<GaExpResult> = Vec::new();
             for &func in funcs {
-                let exp = GaExperiment {
+                let mut exp = GaExperiment {
                     generations: scale.generations,
                     runs: scale.runs,
                     base_seed: scale.seed,
@@ -57,8 +59,10 @@ fn main() {
                     modes: modes.clone().unwrap_or_else(GaExperiment::default_modes),
                     ..GaExperiment::new(func, 4)
                 };
+                exp.platform.msg.mailbox_warn = scale.mailbox_warn;
                 let res = run_ga_experiment(&exp).expect("experiment runs");
                 net.merge(&res.net);
+                comm.merge(&res.comm);
                 for m in &res.modes {
                     dsm.merge(&m.dsm);
                 }
@@ -144,6 +148,8 @@ fn main() {
         }
         rep.dsm = dsm;
         rep.net = Some(net);
+        rep.comm = Some(comm);
+        rep.note_degradation();
         write_report(&scale, &rep);
     }
     write_trace(&scale, &hub, "fig4");

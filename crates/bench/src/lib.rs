@@ -25,6 +25,19 @@
 //!   that mode alone — the inputs `nscc diff` is built for.
 //! * `NSCC_LOSS` / `NSCC_AGES` — the loss-rate × age-bound grid of the
 //!   `fault_study` chaos sweep (comma-separated).
+//! * `NSCC_MAILBOX_WARN` — mailbox-depth warning threshold (messages).
+//!   When set, a rank whose mailbox backlog crosses it emits a one-line
+//!   stderr warning plus an observability event, and the run report
+//!   records the high watermark.
+//! * `NSCC_CKPT_DIR` — directory for sweep checkpoints. When set, the
+//!   sweep bins (`fault_study`, `fig2`) persist each completed cell so a
+//!   killed run can restart from the last completed point.
+//! * `NSCC_RESUME` — set to `1`/`true` (or pass `--resume`) to reuse the
+//!   cells already in `NSCC_CKPT_DIR` instead of clearing them; the
+//!   resumed run produces a byte-identical `BENCH_<name>.json`.
+//! * `NSCC_CKPT_EXIT_AFTER` — testing hook: exit with code 3 after this
+//!   many cells have been computed *and checkpointed* by this process
+//!   (simulating a mid-sweep kill at a deterministic point).
 //!
 //! A variable that is *set but malformed* is a hard error: the binary
 //! prints one line naming the variable and the expected format and exits
@@ -56,6 +69,9 @@ pub struct Scale {
     /// Virtual-time cadence of periodic metric snapshots, in milliseconds
     /// (0 disables).
     pub snap_ms: u64,
+    /// Mailbox-depth warning threshold (messages); `None` disables the
+    /// warning (the high watermark is still recorded).
+    pub mailbox_warn: Option<u64>,
 }
 
 impl Scale {
@@ -108,6 +124,11 @@ impl Scale {
                 100,
                 "milliseconds as an unsigned integer (e.g. NSCC_SNAP_MS=100)",
             )?,
+            mailbox_warn: env_opt_num(
+                get,
+                "NSCC_MAILBOX_WARN",
+                "a positive integer (e.g. NSCC_MAILBOX_WARN=64)",
+            )?,
         })
     }
 
@@ -121,6 +142,7 @@ impl Scale {
             json: false,
             trace: false,
             snap_ms: 100,
+            mailbox_warn: None,
         }
     }
 }
@@ -151,6 +173,23 @@ fn env_num<T: std::str::FromStr>(
         Some(raw) => raw
             .trim()
             .parse()
+            .map_err(|_| format!("{name}={raw:?} is malformed: expected {expected}")),
+    }
+}
+
+/// An optional numeric variable: absent → `None`; present and parsable →
+/// `Some(value)`; present but malformed → a one-line error.
+fn env_opt_num<T: std::str::FromStr>(
+    get: &dyn Fn(&str) -> Option<String>,
+    name: &str,
+    expected: &str,
+) -> Result<Option<T>, String> {
+    match get(name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map(Some)
             .map_err(|_| format!("{name}={raw:?} is malformed: expected {expected}")),
     }
 }
@@ -254,6 +293,137 @@ pub fn parse_modes(get: &dyn Fn(&str) -> Option<String>) -> Result<Option<Vec<Co
         }
     }
     Ok((!modes.is_empty()).then_some(modes))
+}
+
+/// Checkpoint/resume options for the sweep bins, read from the
+/// environment (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ResumeOpts {
+    /// Checkpoint directory (`NSCC_CKPT_DIR`); `None` disables
+    /// checkpointing entirely.
+    pub dir: Option<String>,
+    /// Reuse cells already in the store (`NSCC_RESUME` or `--resume`)
+    /// instead of clearing them.
+    pub resume: bool,
+    /// Exit with code 3 after this many cells have been computed and
+    /// checkpointed by this process (`NSCC_CKPT_EXIT_AFTER`; testing
+    /// hook simulating a mid-sweep kill).
+    pub exit_after: Option<u64>,
+}
+
+impl ResumeOpts {
+    /// Read the options from the environment and argv.
+    pub fn from_env() -> ResumeOpts {
+        let resume_arg = std::env::args().any(|a| a == "--resume");
+        match ResumeOpts::parse(&env_lookup, resume_arg) {
+            Ok(o) => o,
+            Err(e) => die(&e),
+        }
+    }
+
+    /// Pure parsing core of [`from_env`](ResumeOpts::from_env). Exposed
+    /// for tests; `resume_arg` is whether `--resume` was on the command
+    /// line.
+    pub fn parse(
+        get: &dyn Fn(&str) -> Option<String>,
+        resume_arg: bool,
+    ) -> Result<ResumeOpts, String> {
+        let dir = get("NSCC_CKPT_DIR")
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        let resume = env_flag(get, "NSCC_RESUME")? || resume_arg;
+        let exit_after = env_opt_num(
+            get,
+            "NSCC_CKPT_EXIT_AFTER",
+            "a positive integer (e.g. NSCC_CKPT_EXIT_AFTER=2)",
+        )?;
+        if dir.is_none() && (resume || exit_after.is_some()) {
+            return Err(
+                "NSCC_RESUME/NSCC_CKPT_EXIT_AFTER require NSCC_CKPT_DIR to be set".to_string(),
+            );
+        }
+        Ok(ResumeOpts {
+            dir,
+            resume,
+            exit_after,
+        })
+    }
+}
+
+/// Per-cell checkpointing of a sweep binary: each completed cell is one
+/// generation in a [`nscc_ckpt::CkptStore`], keyed by its cell index, so
+/// a killed sweep resumes from the last completed point and replays the
+/// stored cells into a byte-identical report.
+pub struct SweepCkpt {
+    store: nscc_ckpt::CkptStore,
+    resume: bool,
+    exit_after: Option<u64>,
+    computed: u64,
+}
+
+impl SweepCkpt {
+    /// Open the store for bench `name` under `opts.dir` (a per-binary
+    /// subdirectory, so one `NSCC_CKPT_DIR` serves several bins). `None`
+    /// when checkpointing is disabled. A fresh (non-resume) run clears
+    /// any stale generations first.
+    pub fn from_opts(opts: &ResumeOpts, name: &str) -> Option<SweepCkpt> {
+        let dir = opts.dir.as_ref()?;
+        let path = std::path::Path::new(dir).join(name);
+        let store = match nscc_ckpt::CkptStore::open(&path) {
+            Ok(s) => s,
+            Err(e) => die(&format!("cannot open checkpoint store {path:?}: {e}")),
+        };
+        if !opts.resume {
+            if let Err(e) = store.clear() {
+                die(&format!("cannot clear checkpoint store {path:?}: {e}"));
+            }
+        }
+        Some(SweepCkpt {
+            store,
+            resume: opts.resume,
+            exit_after: opts.exit_after,
+            computed: 0,
+        })
+    }
+
+    /// The payload checkpointed for `cell`, when resuming and the cell
+    /// completed in a previous run (corrupt generations are skipped —
+    /// the cell is simply recomputed).
+    pub fn load_cell(&self, cell: u64) -> Option<Vec<u8>> {
+        if !self.resume {
+            return None;
+        }
+        let gens = self.store.generations().ok()?;
+        let info = gens.iter().find(|g| g.gen == cell && g.ok())?;
+        match nscc_ckpt::CkptStore::load_path(&info.path) {
+            Ok((_, payload)) => Some(payload),
+            Err(e) => {
+                eprintln!("warning: recomputing cell {cell}: {e}");
+                None
+            }
+        }
+    }
+
+    /// Persist a freshly computed `cell` (`t_ns`/`iters` are the cell's
+    /// virtual completion time and per-node iteration vector, shown by
+    /// `nscc inspect --ckpt`). When `NSCC_CKPT_EXIT_AFTER` is reached the
+    /// process exits with code 3 — the deterministic "kill" the resume CI
+    /// job relies on.
+    pub fn save_cell(&mut self, cell: u64, t_ns: u64, iters: &[u64], payload: &[u8]) {
+        if let Err(e) = self.store.save(cell, t_ns, iters, payload) {
+            die(&format!("cannot checkpoint cell {cell}: {e}"));
+        }
+        self.computed += 1;
+        if let Some(limit) = self.exit_after {
+            if self.computed >= limit {
+                eprintln!(
+                    "NSCC_CKPT_EXIT_AFTER: exiting after {limit} checkpointed cell(s); \
+                     resume with NSCC_RESUME=1"
+                );
+                std::process::exit(3);
+            }
+        }
+    }
 }
 
 /// Build the observability hub for a bench binary: snapshot cadence from
@@ -381,6 +551,71 @@ mod tests {
         let e =
             env_list::<f64>(&env(&[("NSCC_LOSS", "0.01,x")]), "NSCC_LOSS", &[], "p").unwrap_err();
         assert!(e.contains("NSCC_LOSS"), "{e}");
+    }
+
+    #[test]
+    fn mailbox_warn_parses_and_rejects_junk() {
+        assert_eq!(Scale::parse(&env(&[])).unwrap().mailbox_warn, None);
+        let s = Scale::parse(&env(&[("NSCC_MAILBOX_WARN", "64")])).unwrap();
+        assert_eq!(s.mailbox_warn, Some(64));
+        let e = Scale::parse(&env(&[("NSCC_MAILBOX_WARN", "lots")])).unwrap_err();
+        assert!(e.contains("NSCC_MAILBOX_WARN"), "{e}");
+    }
+
+    #[test]
+    fn resume_opts_parse() {
+        let o = ResumeOpts::parse(&env(&[]), false).unwrap();
+        assert!(o.dir.is_none() && !o.resume && o.exit_after.is_none());
+        let o = ResumeOpts::parse(
+            &env(&[
+                ("NSCC_CKPT_DIR", "ck"),
+                ("NSCC_RESUME", "1"),
+                ("NSCC_CKPT_EXIT_AFTER", "2"),
+            ]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(o.dir.as_deref(), Some("ck"));
+        assert!(o.resume);
+        assert_eq!(o.exit_after, Some(2));
+        // --resume argument also turns resume on.
+        let o = ResumeOpts::parse(&env(&[("NSCC_CKPT_DIR", "ck")]), true).unwrap();
+        assert!(o.resume);
+        // Resume without a directory is a configuration error, not a
+        // silent cold run.
+        let e = ResumeOpts::parse(&env(&[("NSCC_RESUME", "1")]), false).unwrap_err();
+        assert!(e.contains("NSCC_CKPT_DIR"), "{e}");
+    }
+
+    #[test]
+    fn sweep_ckpt_saves_and_resumes_cells() {
+        let dir = std::env::temp_dir().join(format!("nscc-bench-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ResumeOpts {
+            dir: Some(dir.to_string_lossy().into_owned()),
+            resume: false,
+            exit_after: None,
+        };
+        let mut ck = SweepCkpt::from_opts(&opts, "demo").expect("store");
+        assert!(ck.load_cell(0).is_none(), "fresh run never loads");
+        ck.save_cell(0, 123, &[7], b"cell-zero");
+        ck.save_cell(1, 456, &[8], b"cell-one");
+
+        let resumed = ResumeOpts {
+            resume: true,
+            ..opts.clone()
+        };
+        let ck2 = SweepCkpt::from_opts(&resumed, "demo").expect("store");
+        assert_eq!(ck2.load_cell(0).as_deref(), Some(&b"cell-zero"[..]));
+        assert_eq!(ck2.load_cell(1).as_deref(), Some(&b"cell-one"[..]));
+        assert!(ck2.load_cell(2).is_none(), "uncomputed cell is absent");
+
+        // A fresh (non-resume) open clears the old generations.
+        let ck3 = SweepCkpt::from_opts(&opts, "demo").expect("store");
+        let _ = &ck3;
+        let ck4 = SweepCkpt::from_opts(&resumed, "demo").expect("store");
+        assert!(ck4.load_cell(0).is_none(), "cleared store has no cells");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

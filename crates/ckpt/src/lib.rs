@@ -1,0 +1,335 @@
+//! # nscc-ckpt — deterministic, versioned checkpoints
+//!
+//! The recovery half of the NSCC story. `Global_Read`'s age bound means a
+//! node restored from a snapshot ≤ `age` iterations old is
+//! indistinguishable from a legitimately stale peer, so checkpoint/restore
+//! is cheap *by construction*: no coordinated global snapshot, no replay —
+//! just roll one node back to its last checkpoint and let bounded
+//! staleness absorb the seam.
+//!
+//! This crate is the substrate every layer shares:
+//!
+//! * [`wire`] — a stable little-endian binary codec ([`Enc`]/[`Dec`])
+//!   whose `f64` encoding is the IEEE bit pattern, so restored state is
+//!   bit-identical to what was saved;
+//! * [`Snapshot`] — the encode/decode trait ga/bayes/dsm/sim/obs types
+//!   implement for their own state;
+//! * [`seal`]/[`unseal`] — integrity framing (length + FNV-1a checksum)
+//!   so a corrupt checkpoint is rejected with a structured [`CkptError`]
+//!   instead of resurrecting garbage state;
+//! * [`store`] — a directory of numbered checkpoint generations with
+//!   atomic writes and corrupt-generation fallback.
+//!
+//! Deliberately std-only: the analyzer (equally dependency-free) lists and
+//! verifies checkpoint directories without linking the simulator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod store;
+pub mod wire;
+
+use std::fmt;
+
+pub use store::{CkptStore, GenerationInfo};
+pub use wire::{fnv1a, Dec, Enc};
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 4] = *b"NSCK";
+
+/// Version stamp of the checkpoint layout. Bump on any encoding change;
+/// readers reject mismatches rather than misinterpret bytes.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Structured checkpoint failure. Corrupt or truncated data is always one
+/// of these — never a panic, never silently-wrong state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The layout version is not the one this build writes.
+    BadVersion {
+        /// Version found in the data.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The data ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The stored checksum does not match the content.
+    Checksum {
+        /// Checksum recorded in the frame.
+        stored: u64,
+        /// Checksum recomputed over the content.
+        computed: u64,
+    },
+    /// Structurally invalid content (bad bool byte, trailing bytes, …).
+    Malformed(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CkptError::BadVersion { found, expected } => {
+                write!(f, "checkpoint version {found}, expected {expected}")
+            }
+            CkptError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "checkpoint truncated: needed {needed} byte(s), have {have}"
+                )
+            }
+            CkptError::Checksum { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CkptError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// State that can be checkpointed: a stable binary encoding plus a
+/// bounds-checked decode. The contract is exact roundtrip —
+/// `decode(encode(x)) == x` — which the restore seams (byte-identical
+/// resumed reports, deterministic warm restarts) rely on.
+pub trait Snapshot: Sized {
+    /// Append this value's encoding to `enc`.
+    fn encode(&self, enc: &mut Enc);
+    /// Decode one value from `dec`, consuming exactly what `encode` wrote.
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError>;
+}
+
+impl Snapshot for u8 {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u8(*self);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        dec.u8()
+    }
+}
+
+impl Snapshot for u32 {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u32(*self);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        dec.u32()
+    }
+}
+
+impl Snapshot for u64 {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        dec.u64()
+    }
+}
+
+impl Snapshot for usize {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u64(*self as u64);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let v = dec.u64()?;
+        usize::try_from(v).map_err(|_| CkptError::Malformed(format!("usize overflow: {v}")))
+    }
+}
+
+impl Snapshot for f64 {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_f64(*self);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        dec.f64()
+    }
+}
+
+impl Snapshot for bool {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_bool(*self);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        dec.bool()
+    }
+}
+
+impl Snapshot for String {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_str(self);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        dec.str_()
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn encode(&self, enc: &mut Enc) {
+        enc.put_u64(self.len() as u64);
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let n = dec.u64()?;
+        // Cap the pre-allocation by what could possibly fit: corrupt
+        // length prefixes must not become gigabyte allocations.
+        let mut out = Vec::with_capacity((n as usize).min(dec.remaining().max(16)));
+        for _ in 0..n {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        match dec.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            b => Err(CkptError::Malformed(format!("Option tag {b}"))),
+        }
+    }
+}
+
+impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
+    fn encode(&self, enc: &mut Enc) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<A: Snapshot, B: Snapshot, C: Snapshot> Snapshot for (A, B, C) {
+    fn encode(&self, enc: &mut Enc) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
+    }
+}
+
+/// Encode one value to raw bytes (no framing; pair with [`from_bytes`]).
+pub fn to_bytes<T: Snapshot>(v: &T) -> Vec<u8> {
+    let mut enc = Enc::new();
+    v.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Decode one value from raw bytes, requiring full consumption.
+pub fn from_bytes<T: Snapshot>(bytes: &[u8]) -> Result<T, CkptError> {
+    let mut dec = Dec::new(bytes);
+    let v = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(v)
+}
+
+/// Wrap a payload in the integrity frame: `len | fnv1a | payload`. This is
+/// what in-memory checkpoints (island snapshots) use; [`CkptStore`] adds a
+/// file header on top for on-disk generations.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(payload.len() as u64);
+    enc.put_u64(fnv1a(payload));
+    let mut out = enc.into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verify and strip the [`seal`] frame, returning the payload.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], CkptError> {
+    let mut dec = Dec::new(bytes);
+    let len = dec.u64()? as usize;
+    let stored = dec.u64()?;
+    if dec.remaining() != len {
+        return Err(CkptError::Truncated {
+            needed: len,
+            have: dec.remaining(),
+        });
+    }
+    let payload = &bytes[16..];
+    let computed = fnv1a(payload);
+    if computed != stored {
+        return Err(CkptError::Checksum { stored, computed });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_roundtrip() {
+        let v: Vec<(u64, Option<String>, f64)> = vec![
+            (1, Some("a".into()), 0.5),
+            (2, None, f64::NAN),
+            (u64::MAX, Some(String::new()), -0.0),
+        ];
+        let bytes = to_bytes(&v);
+        let back: Vec<(u64, Option<String>, f64)> = from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], (1, Some("a".into()), 0.5));
+        assert!(back[1].1.is_none() && back[1].2.is_nan());
+        assert_eq!(back[2].2.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn seal_roundtrip_and_rejection() {
+        let payload = b"island state".to_vec();
+        let sealed = seal(&payload);
+        assert_eq!(unseal(&sealed).unwrap(), payload.as_slice());
+
+        // One flipped payload bit => checksum error.
+        let mut bad = sealed.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(unseal(&bad), Err(CkptError::Checksum { .. })));
+
+        // Truncation => truncation error, not a short read.
+        assert!(matches!(
+            unseal(&sealed[..sealed.len() - 1]),
+            Err(CkptError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn from_bytes_rejects_trailing_bytes() {
+        let mut bytes = to_bytes(&7u64);
+        bytes.push(0);
+        assert!(from_bytes::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CkptError::Checksum {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+        assert!(CkptError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,335 @@
+//! On-disk checkpoint generations: `gen-NNNNNN.nsck` files in one
+//! directory, written atomically (temp file + rename) so a kill mid-write
+//! can never corrupt an existing generation.
+//!
+//! File layout (everything after the checksum is covered by it):
+//!
+//! ```text
+//! MAGIC "NSCK" | version u32 | checksum u64 | gen u64 | t_ns u64
+//!             | iters Vec<u64> | payload Vec<u8>
+//! ```
+//!
+//! `iters` is the producer's per-node iteration vector (which generation
+//! each island/sampler had completed), `t_ns` the virtual time of the cut.
+//! [`CkptStore::load_latest`] falls back across corrupt generations: a
+//! damaged newest file degrades recovery by one cadence interval instead
+//! of killing it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::wire::{fnv1a, Dec, Enc};
+use crate::{CkptError, CKPT_VERSION, MAGIC};
+
+/// Extension of checkpoint generation files.
+const EXT: &str = "nsck";
+
+/// Metadata of one on-disk checkpoint generation (the payload itself is
+/// loaded separately).
+#[derive(Debug, Clone)]
+pub struct GenerationInfo {
+    /// Generation number (monotonic per store).
+    pub gen: u64,
+    /// Virtual time of the checkpoint cut (nanoseconds).
+    pub t_ns: u64,
+    /// Per-node iteration vector at the cut.
+    pub iters: Vec<u64>,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// The frame checksum (FNV-1a over everything after the checksum
+    /// field).
+    pub checksum: u64,
+    /// Path of the generation file.
+    pub path: PathBuf,
+    /// `Some(error)` when the file failed integrity or structural checks.
+    pub error: Option<String>,
+}
+
+impl GenerationInfo {
+    /// True when the generation passed all integrity checks.
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// A directory of numbered checkpoint generations.
+#[derive(Debug, Clone)]
+pub struct CkptStore {
+    dir: PathBuf,
+}
+
+impl CkptStore {
+    /// Open (creating if needed) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| CkptError::Io(format!("create {dir:?}: {e}")))?;
+        Ok(CkptStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, gen: u64) -> PathBuf {
+        self.dir.join(format!("gen-{gen:06}.{EXT}"))
+    }
+
+    /// Write generation `gen` atomically. Returns the final path.
+    pub fn save(
+        &self,
+        gen: u64,
+        t_ns: u64,
+        iters: &[u64],
+        payload: &[u8],
+    ) -> Result<PathBuf, CkptError> {
+        // Body = everything the checksum covers.
+        let mut body = Enc::new();
+        body.put_u64(gen);
+        body.put_u64(t_ns);
+        body.put_u64(iters.len() as u64);
+        for &it in iters {
+            body.put_u64(it);
+        }
+        body.put_bytes(payload);
+        let body = body.into_bytes();
+
+        let mut head = Enc::new();
+        head.put_u32(u32::from_le_bytes(MAGIC));
+        head.put_u32(CKPT_VERSION);
+        head.put_u64(fnv1a(&body));
+        let mut file = head.into_bytes();
+        file.extend_from_slice(&body);
+
+        let tmp = self.dir.join(format!(".gen-{gen:06}.{EXT}.tmp"));
+        let path = self.path_of(gen);
+        fs::write(&tmp, &file).map_err(|e| CkptError::Io(format!("write {tmp:?}: {e}")))?;
+        fs::rename(&tmp, &path).map_err(|e| CkptError::Io(format!("rename to {path:?}: {e}")))?;
+        Ok(path)
+    }
+
+    /// Parse and verify one generation file, returning its metadata and
+    /// payload.
+    pub fn load_path(path: &Path) -> Result<(GenerationInfo, Vec<u8>), CkptError> {
+        let data = fs::read(path).map_err(|e| CkptError::Io(format!("read {path:?}: {e}")))?;
+        let mut dec = Dec::new(&data);
+        let magic = dec.u32()?;
+        if magic != u32::from_le_bytes(MAGIC) {
+            return Err(CkptError::BadMagic);
+        }
+        let version = dec.u32()?;
+        if version != CKPT_VERSION {
+            return Err(CkptError::BadVersion {
+                found: version,
+                expected: CKPT_VERSION,
+            });
+        }
+        let stored = dec.u64()?;
+        let body = &data[16..];
+        let computed = fnv1a(body);
+        if computed != stored {
+            return Err(CkptError::Checksum { stored, computed });
+        }
+        let gen = dec.u64()?;
+        let t_ns = dec.u64()?;
+        let n = dec.u64()?;
+        let mut iters = Vec::with_capacity((n as usize).min(1 << 16));
+        for _ in 0..n {
+            iters.push(dec.u64()?);
+        }
+        let payload = dec.bytes()?.to_vec();
+        dec.finish()?;
+        Ok((
+            GenerationInfo {
+                gen,
+                t_ns,
+                iters,
+                bytes: data.len() as u64,
+                checksum: stored,
+                path: path.to_path_buf(),
+                error: None,
+            },
+            payload,
+        ))
+    }
+
+    /// All generations in the directory, sorted by generation number.
+    /// Corrupt files are included with `error` set (and `gen` parsed from
+    /// the filename) so tooling can show them instead of hiding them.
+    pub fn generations(&self) -> Result<Vec<GenerationInfo>, CkptError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| CkptError::Io(format!("list {:?}: {e}", self.dir)))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CkptError::Io(e.to_string()))?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(stem) = name
+                .strip_prefix("gen-")
+                .and_then(|s| s.strip_suffix(&format!(".{EXT}")))
+            else {
+                continue;
+            };
+            let file_gen: u64 = match stem.parse() {
+                Ok(g) => g,
+                Err(_) => continue,
+            };
+            match Self::load_path(&path) {
+                Ok((info, _)) => out.push(info),
+                Err(e) => out.push(GenerationInfo {
+                    gen: file_gen,
+                    t_ns: 0,
+                    iters: Vec::new(),
+                    bytes: fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                    checksum: 0,
+                    path,
+                    error: Some(e.to_string()),
+                }),
+            }
+        }
+        out.sort_by_key(|g| g.gen);
+        Ok(out)
+    }
+
+    /// Load the newest intact generation, falling back across corrupt ones
+    /// (each skip is reported on stderr). `None` when the directory holds
+    /// no generation files at all.
+    pub fn load_latest(&self) -> Result<Option<(GenerationInfo, Vec<u8>)>, CkptError> {
+        let mut gens = self.generations()?;
+        gens.sort_by_key(|g| std::cmp::Reverse(g.gen));
+        if gens.is_empty() {
+            return Ok(None);
+        }
+        for info in &gens {
+            if let Some(err) = &info.error {
+                eprintln!(
+                    "warning: skipping corrupt checkpoint generation {} ({}): {err}",
+                    info.gen,
+                    info.path.display()
+                );
+                continue;
+            }
+            let (info, payload) = Self::load_path(&info.path)?;
+            return Ok(Some((info, payload)));
+        }
+        // Files exist but none is intact: that is an error the caller must
+        // see, not a silent cold start.
+        Err(CkptError::Malformed(format!(
+            "all {} checkpoint generation(s) in {:?} are corrupt",
+            gens.len(),
+            self.dir
+        )))
+    }
+
+    /// Delete every generation file (a non-resume run starting fresh).
+    pub fn clear(&self) -> Result<(), CkptError> {
+        for info in self.generations()? {
+            fs::remove_file(&info.path)
+                .map_err(|e| CkptError::Io(format!("remove {:?}: {e}", info.path)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("nscc-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let store = CkptStore::open(&dir).unwrap();
+        store.save(1, 500, &[10, 20], b"alpha").unwrap();
+        store.save(2, 900, &[30, 40], b"beta").unwrap();
+
+        let gens = store.generations().unwrap();
+        assert_eq!(gens.len(), 2);
+        assert_eq!(gens[0].gen, 1);
+        assert_eq!(gens[1].iters, vec![30, 40]);
+        assert!(gens.iter().all(|g| g.ok()));
+
+        let (info, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(info.gen, 2);
+        assert_eq!(info.t_ns, 900);
+        assert_eq!(payload, b"beta");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_has_no_latest() {
+        let dir = tmpdir("empty");
+        let store = CkptStore::open(&dir).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = tmpdir("fallback");
+        let store = CkptStore::open(&dir).unwrap();
+        store.save(1, 100, &[5], b"good").unwrap();
+        let p2 = store.save(2, 200, &[6], b"newer").unwrap();
+        // Flip a payload bit in generation 2.
+        let mut data = fs::read(&p2).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF;
+        fs::write(&p2, &data).unwrap();
+
+        let gens = store.generations().unwrap();
+        assert!(gens[0].ok());
+        assert!(!gens[1].ok(), "corrupt generation must be flagged");
+        assert!(gens[1].error.as_ref().unwrap().contains("checksum"));
+
+        let (info, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(info.gen, 1, "fallback to the previous generation");
+        assert_eq!(payload, b"good");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_corrupt_is_an_error_not_a_cold_start() {
+        let dir = tmpdir("allbad");
+        let store = CkptStore::open(&dir).unwrap();
+        let p = store.save(1, 100, &[], b"x").unwrap();
+        fs::write(&p, b"NSCKgarbage").unwrap();
+        assert!(store.load_latest().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_and_magic_are_checked() {
+        let dir = tmpdir("version");
+        let store = CkptStore::open(&dir).unwrap();
+        let p = store.save(1, 0, &[], b"v").unwrap();
+        let mut data = fs::read(&p).unwrap();
+        data[4] ^= 0xFF; // version field
+        fs::write(&p, &data).unwrap();
+        assert!(matches!(
+            CkptStore::load_path(&p),
+            Err(CkptError::BadVersion { .. })
+        ));
+        let mut data = fs::read(&p).unwrap();
+        data[0] = b'X';
+        fs::write(&p, &data).unwrap();
+        assert!(matches!(CkptStore::load_path(&p), Err(CkptError::BadMagic)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_removes_generations() {
+        let dir = tmpdir("clear");
+        let store = CkptStore::open(&dir).unwrap();
+        store.save(1, 0, &[], b"a").unwrap();
+        store.save(2, 0, &[], b"b").unwrap();
+        store.clear().unwrap();
+        assert!(store.generations().unwrap().is_empty());
+        assert!(store.load_latest().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,254 @@
+//! The stable binary codec checkpoints are written in.
+//!
+//! Everything is little-endian and length-prefixed; floats travel as their
+//! IEEE-754 bit patterns so `decode(encode(x)) == x` exactly (including
+//! NaN payloads), which is what makes a resumed run byte-identical to an
+//! uninterrupted one. The format carries no type tags — readers must
+//! decode exactly what writers encoded, in the same order — so layout
+//! changes must bump [`crate::CKPT_VERSION`].
+
+use crate::CkptError;
+
+/// FNV-1a 64-bit hash, the integrity checksum of checkpoint frames.
+/// Not cryptographic — it guards against truncation and bit rot, not
+/// adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// An append-only encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The bytes encoded so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (lossless roundtrip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// A cursor decoding the format written by [`Enc`]. Every read is
+/// bounds-checked and returns [`CkptError::Truncated`] rather than
+/// panicking, so corrupt checkpoints surface as structured errors.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a bool; any byte other than 0/1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Malformed(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(CkptError::Truncated {
+                needed: n as usize,
+                have: self.remaining(),
+            });
+        }
+        self.take(n as usize)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str_(&mut self) -> Result<String, CkptError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|e| CkptError::Malformed(format!("utf-8: {e}")))
+    }
+
+    /// Require that every byte was consumed (trailing garbage is how a
+    /// mismatched schema most often shows up).
+    pub fn finish(&self) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::Malformed(format!(
+                "{} trailing byte(s) after decode",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut e = Enc::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX);
+        e.put_f64(-0.1);
+        e.put_bool(true);
+        e.put_str("migrants");
+        e.put_bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f64().unwrap(), -0.1);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str_().unwrap(), "migrants");
+        assert_eq!(d.bytes().unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_bit_patterns_survive() {
+        for v in [0.0, -0.0, f64::NAN, f64::INFINITY, 1e-300, f64::MIN] {
+            let mut e = Enc::new();
+            e.put_f64(v);
+            let b = e.into_bytes();
+            let got = Dec::new(&b).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_structured_error() {
+        let mut e = Enc::new();
+        e.put_u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..5]);
+        assert!(matches!(d.u64(), Err(CkptError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_truncation_not_alloc() {
+        let mut e = Enc::new();
+        e.put_u64(u64::MAX); // absurd length prefix
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.bytes(), Err(CkptError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_fails_finish() {
+        let mut e = Enc::new();
+        e.put_u8(1);
+        e.put_u8(2);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        d.u8().unwrap();
+        assert!(d.finish().is_err());
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"acb"));
+    }
+}

@@ -21,7 +21,7 @@ use nscc_dsm::{Coherence, Directory, DsmStats, DsmWorld};
 use nscc_faults::FaultReport;
 use nscc_ga::{
     run_island, ConvergenceBoard, CostModel, GaParams, IslandConfig, IslandOutcome, MigrantBatch,
-    SerialGa, TestFn,
+    RecoveryPlan, RecoveryStyle, SerialGa, TestFn,
 };
 use nscc_msg::CommStats;
 use nscc_net::{NetStats, WarpMeter};
@@ -81,6 +81,13 @@ pub struct GaExperiment {
     /// cut here and reported as a failure with a [`FaultReport`] instead
     /// of wedging the sweep.
     pub watchdog: Option<SimTime>,
+    /// Crash recovery for islands with `crash_and_restart` windows in the
+    /// fault plan (chaos runs, barrier-free modes only). Warm recovery
+    /// checkpoints every `age` generations — rollback then stays within
+    /// the staleness `Global_Read` already tolerates (§4.1) — while cold
+    /// restarts are the baseline it is measured against. `None` (the
+    /// default) restarts nodes with whatever state they had, as before.
+    pub recovery: Option<RecoveryStyle>,
 }
 
 impl GaExperiment {
@@ -101,6 +108,7 @@ impl GaExperiment {
             read_timeout: None,
             heartbeat: None,
             watchdog: None,
+            recovery: None,
         }
     }
 
@@ -143,6 +151,10 @@ pub struct ModeResult {
     /// retransmits, suppressed duplicates and give-ups when the reliable
     /// layer is on.
     pub comm: CommStats,
+    /// Crash recoveries performed across all islands and runs.
+    pub restores: u64,
+    /// Largest warm-restore rollback (generations) seen in any run.
+    pub max_rollback: u64,
 }
 
 /// Full result of one experiment cell.
@@ -209,6 +221,8 @@ struct RunMeasure {
     dsm: DsmStats,
     net: NetStats,
     comm: CommStats,
+    restores: u64,
+    max_rollback: u64,
     /// Set when the run was cut short (watchdog/deadlock under chaos).
     fault: Option<FaultReport>,
 }
@@ -278,11 +292,44 @@ fn run_parallel_once(
         migration_count: GaParams::default().pop_size / 2,
         stop,
         adaptive: None,
+        recovery: None,
+    };
+    // Crash-with-restart windows become per-rank recovery plans on the
+    // barrier-free disciplines. The checkpoint cadence is the age bound
+    // (min 1) under Global_Read — so a warm restore never rolls back
+    // further than the staleness the discipline already tolerates — and a
+    // conservative 5 generations for the fully asynchronous free-for-all.
+    let recovery_for = |rank: usize| -> Option<RecoveryPlan> {
+        let style = exp.recovery?;
+        if !chaos || mode.uses_barrier() {
+            return None;
+        }
+        let plan = exp.platform.faults.as_ref()?;
+        let mut crashes: Vec<(SimTime, SimTime)> = plan
+            .crashes()
+            .iter()
+            .filter(|c| c.node as usize == rank)
+            .filter_map(|c| c.restart.map(|restart| (c.at, restart)))
+            .collect();
+        if crashes.is_empty() {
+            return None;
+        }
+        crashes.sort_by_key(|&(at, _)| at);
+        let every = match mode {
+            Coherence::PartialAsync { age } => age.max(1),
+            _ => 5,
+        };
+        Some(RecoveryPlan {
+            every,
+            crashes,
+            style,
+        })
     };
     for r in 0..p {
         let node = world.node(r);
         let locs = locs.clone();
-        let cfg = cfg.clone();
+        let mut cfg = cfg.clone();
+        cfg.recovery = recovery_for(r);
         let board = board.clone();
         let outcomes = Arc::clone(&outcomes);
         sim.spawn(format!("island{r}"), move |ctx| {
@@ -319,6 +366,13 @@ fn run_parallel_once(
                 dsm: world.total_stats(),
                 net: net.stats(),
                 comm: world.comm_stats(),
+                restores: outs.iter().flatten().map(|o| o.restores).sum(),
+                max_rollback: outs
+                    .iter()
+                    .flatten()
+                    .map(|o| o.max_rollback)
+                    .max()
+                    .unwrap_or(0),
                 fault: Some(FaultReport::from_sim_error(seed, &err)),
             });
         }
@@ -346,6 +400,21 @@ fn run_parallel_once(
         .map(|o| o.time_of_last_improvement)
         .max()
         .unwrap_or(report.end_time);
+    let restores: u64 = outs.iter().flatten().map(|o| o.restores).sum();
+    let max_rollback = outs
+        .iter()
+        .flatten()
+        .map(|o| o.max_rollback)
+        .max()
+        .unwrap_or(0);
+    // The age-bounded-recovery invariant (§4.1): under Global_Read a warm
+    // restore may never roll a node back further than the staleness bound.
+    if let Coherence::PartialAsync { age } = mode {
+        assert!(
+            max_rollback <= age.max(1),
+            "warm-restore rollback {max_rollback} exceeds age bound {age}"
+        );
+    }
     Ok(RunMeasure {
         time: report.end_time,
         last_improve,
@@ -357,6 +426,8 @@ fn run_parallel_once(
         dsm: world.total_stats(),
         net: net.stats(),
         comm: world.comm_stats(),
+        restores,
+        max_rollback,
         fault: None,
     })
 }
@@ -472,6 +543,8 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
                 mean_warp: ms.iter().map(|m| m.warp).sum::<f64>() / runs,
                 dsm,
                 comm,
+                restores: ms.iter().map(|m| m.restores).sum(),
+                max_rollback: ms.iter().map(|m| m.max_rollback).max().unwrap_or(0),
             }
         })
         .collect();
@@ -561,6 +634,42 @@ mod tests {
             res2.fault_reports.len(),
             "fault reports must reproduce per seed"
         );
+    }
+
+    #[test]
+    fn crash_with_warm_recovery_bounds_rollback_to_age() {
+        use crate::platform::Platform;
+        use nscc_faults::FaultPlan;
+
+        let platform =
+            Platform::paper_ethernet(2).with_faults(FaultPlan::new(42).crash_and_restart(
+                1,
+                SimTime::from_millis(40),
+                SimTime::from_millis(55),
+            ));
+        let exp = GaExperiment {
+            generations: 20,
+            runs: 1,
+            cap_factor: 3,
+            cost: CostModel::deterministic(),
+            platform,
+            modes: vec![Coherence::PartialAsync { age: 5 }],
+            watchdog: Some(SimTime::from_secs(600)),
+            recovery: Some(RecoveryStyle::Warm),
+            ..GaExperiment::new(TestFn::F1Sphere, 2)
+        };
+        let res = run_ga_experiment(&exp).unwrap();
+        let m = &res.modes[0];
+        assert_eq!(m.restores, 1, "the crash window must be taken");
+        assert!(
+            m.max_rollback <= 5,
+            "rollback {} exceeds the age bound",
+            m.max_rollback
+        );
+        // Determinism: the same seed reproduces the same recovery story.
+        let res2 = run_ga_experiment(&exp).unwrap();
+        assert_eq!(res2.modes[0].restores, 1);
+        assert_eq!(res2.modes[0].max_rollback, m.max_rollback);
     }
 
     #[test]

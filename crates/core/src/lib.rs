@@ -32,5 +32,6 @@ pub use bayes_exp::{
 };
 pub use ga_exp::{run_ga_experiment, GaExpResult, GaExperiment, ModeResult, PAPER_AGES};
 pub use nscc_faults::{FaultPlan, FaultReport, FaultStats, FaultStatsHandle};
+pub use nscc_ga::{RecoveryPlan, RecoveryStyle};
 pub use platform::{Interconnect, Platform};
 pub use report::RunReport;

@@ -9,6 +9,16 @@
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize)]
 pub struct LocId(pub u32);
 
+impl nscc_ckpt::Snapshot for LocId {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u32(self.0);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(LocId(dec.u32()?))
+    }
+}
+
 impl LocId {
     /// Dense index of this location.
     pub fn index(self) -> usize {

@@ -73,6 +73,40 @@ pub struct DsmStats {
     pub barrier_timeouts: u64,
 }
 
+impl nscc_ckpt::Snapshot for DsmStats {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u64(self.writes);
+        enc.put_u64(self.updates_sent);
+        enc.put_u64(self.updates_applied);
+        enc.put_u64(self.updates_stale);
+        enc.put_u64(self.cache_hits);
+        enc.put_u64(self.blocked_reads);
+        self.block_time.encode(enc);
+        enc.put_u64(self.barriers);
+        self.barrier_time.encode(enc);
+        enc.put_u64(self.degraded_reads);
+        enc.put_u64(self.suspected_writers);
+        enc.put_u64(self.barrier_timeouts);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(DsmStats {
+            writes: dec.u64()?,
+            updates_sent: dec.u64()?,
+            updates_applied: dec.u64()?,
+            updates_stale: dec.u64()?,
+            cache_hits: dec.u64()?,
+            blocked_reads: dec.u64()?,
+            block_time: nscc_ckpt::Snapshot::decode(dec)?,
+            barriers: dec.u64()?,
+            barrier_time: nscc_ckpt::Snapshot::decode(dec)?,
+            degraded_reads: dec.u64()?,
+            suspected_writers: dec.u64()?,
+            barrier_timeouts: dec.u64()?,
+        })
+    }
+}
+
 impl DsmStats {
     /// Element-wise accumulation.
     pub fn merge(&mut self, other: &DsmStats) {
@@ -709,6 +743,48 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
     /// whose value was applied (or corrected) since the previous call.
     pub fn take_update_log(&mut self) -> Vec<(LocId, u64)> {
         std::mem::take(&mut self.update_log)
+    }
+
+    /// The attached observability hub, if any (recovery layers emit their
+    /// checkpoint/restore events through the node's own hub).
+    pub fn hub(&self) -> Option<&Hub> {
+        self.obs.as_ref()
+    }
+
+    /// Export the age-tagged cache, sorted by location for deterministic
+    /// encoding: the DSM half of a node checkpoint.
+    pub fn export_cache(&self) -> Vec<(LocId, u64, T)> {
+        let mut entries: Vec<(LocId, u64, T)> = self
+            .cache
+            .iter()
+            .map(|(loc, (age, v))| (*loc, *age, v.clone()))
+            .collect();
+        entries.sort_by_key(|(loc, _, _)| loc.0);
+        entries
+    }
+
+    /// Restore cache entries from a checkpoint, replacing whatever is
+    /// cached for those locations. In history mode the restored values
+    /// also enter the version window, so exact-version readers stay
+    /// consistent. Pending (undelivered) updates are untouched: draining
+    /// them afterwards resyncs the node from its writers, which is exactly
+    /// how a legitimately stale peer catches up — the paper's age bound
+    /// makes recovery indistinguishable from staleness.
+    pub fn restore_cache(&mut self, entries: Vec<(LocId, u64, T)>) {
+        for (loc, age, value) in entries {
+            if self.history > 0 {
+                let w = self.versions.entry(loc).or_default();
+                if let Some(slot) = w.iter_mut().find(|(a, _)| *a == age) {
+                    slot.1 = value.clone();
+                } else {
+                    w.push_back((age, value.clone()));
+                    while w.len() > self.history {
+                        w.pop_front();
+                    }
+                }
+            }
+            self.cache.insert(loc, (age, value));
+        }
     }
 
     /// This node's counters so far.

@@ -265,6 +265,12 @@ impl FaultPlan {
             && self.partitions.is_empty()
     }
 
+    /// The scheduled crash windows (recovery layers use these to plan
+    /// checkpoint cadence and restart handling).
+    pub fn crashes(&self) -> &[CrashSchedule] {
+        &self.crashes
+    }
+
     /// Whether `node` is crashed at virtual time `t`.
     pub fn crashed(&self, node: u32, t: SimTime) -> bool {
         self.crashes

@@ -121,6 +121,29 @@ impl Genome {
     }
 }
 
+impl nscc_ckpt::Snapshot for Genome {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u64(self.bits as u64);
+        enc.put_bytes(&self.bytes);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        let bits = dec.u64()? as usize;
+        let bytes = dec.bytes()?.to_vec();
+        if bytes.len() != bits.div_ceil(8) {
+            return Err(nscc_ckpt::CkptError::Malformed(format!(
+                "genome of {bits} bits carries {} bytes",
+                bytes.len()
+            )));
+        }
+        let mut g = Genome { bits, bytes };
+        // Canonicalize padding so Eq/Hash behave even for a checkpoint
+        // written by a buggy or hostile encoder.
+        g.mask_tail();
+        Ok(g)
+    }
+}
+
 /// Decode a genome into `f`'s decision variables under DeJong's coding:
 /// each variable is `bits_per_var` bits mapped affinely onto `[lo, hi]`.
 pub fn decode(f: TestFn, genome: &Genome) -> Vec<f64> {

@@ -3,17 +3,21 @@
 //! `N/2` individuals through the DSM and incorporates migrants from every
 //! peer under the configured coherence discipline.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use nscc_ckpt::Snapshot;
 use nscc_dsm::{AgeController, Coherence, DsmNode, LocId};
-use nscc_sim::{Ctx, SimTime};
+use nscc_sim::{Ctx, ObsEvent, SimTime};
 
 use crate::cost::CostModel;
 use crate::functions::TestFn;
 use crate::params::GaParams;
-use crate::population::{Deme, GenWork, Individual};
+use crate::population::{Deme, DemeState, GenWork, Individual};
 
 /// The migrant batch exchanged between islands.
 pub type MigrantBatch = Vec<Individual>;
@@ -66,6 +70,77 @@ pub enum StopPolicy {
     },
 }
 
+/// How a crashed island comes back (§4.1's recovery corollary: a node
+/// restored from a snapshot at most `age` iterations old is
+/// indistinguishable from a legitimately stale peer, so `Global_Read`'s
+/// tolerance makes warm recovery seamless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStyle {
+    /// Restore application + DSM state from the last intact checkpoint and
+    /// resync from writers; rollback distance is `gen − ckpt_gen`.
+    Warm,
+    /// Abandon state and restart with a fresh random deme at the current
+    /// generation (the cold-restart baseline warm recovery is measured
+    /// against).
+    Cold,
+}
+
+/// Crash/recovery schedule for one island: checkpoint cadence plus the
+/// crash windows extracted from the platform's fault plan.
+#[derive(Debug, Clone)]
+pub struct RecoveryPlan {
+    /// Cut a checkpoint every this many generations (≥ 1). Strict modes
+    /// set this to the age bound, which caps warm-restore rollback at the
+    /// staleness the discipline already tolerates.
+    pub every: u64,
+    /// `(crash_at, restart_at)` windows, sorted by crash time. During a
+    /// window the fault layer drops the island's traffic; the island
+    /// itself sleeps until `restart_at` and then recovers.
+    pub crashes: Vec<(SimTime, SimTime)>,
+    /// Warm (from checkpoint) or cold (from scratch).
+    pub style: RecoveryStyle,
+}
+
+/// Everything an island checkpoint captures: the deme, the RNG reseed that
+/// reproduces the post-checkpoint random stream, migration bookkeeping,
+/// convergence tracking, and the node's age-tagged DSM cache.
+struct IslandCkpt {
+    gen: u64,
+    reseed: u64,
+    deme: DemeState,
+    last_incorporated: Vec<u64>,
+    best_seen: f64,
+    last_improvement: SimTime,
+    time_to_target: Option<SimTime>,
+    cache: Vec<(LocId, u64, MigrantBatch)>,
+}
+
+impl Snapshot for IslandCkpt {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u64(self.gen);
+        enc.put_u64(self.reseed);
+        self.deme.encode(enc);
+        self.last_incorporated.encode(enc);
+        enc.put_f64(self.best_seen);
+        self.last_improvement.encode(enc);
+        self.time_to_target.encode(enc);
+        self.cache.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(IslandCkpt {
+            gen: dec.u64()?,
+            reseed: dec.u64()?,
+            deme: DemeState::decode(dec)?,
+            last_incorporated: Vec::<u64>::decode(dec)?,
+            best_seen: dec.f64()?,
+            last_improvement: Snapshot::decode(dec)?,
+            time_to_target: Option::<SimTime>::decode(dec)?,
+            cache: Vec::<(LocId, u64, MigrantBatch)>::decode(dec)?,
+        })
+    }
+}
+
 /// Per-island configuration for one parallel GA run.
 #[derive(Debug, Clone)]
 pub struct IslandConfig {
@@ -85,6 +160,10 @@ pub struct IslandConfig {
     /// [`PartialAsync`](Coherence::PartialAsync) island adapts its age
     /// bound within `(min, max)` from observed blocking and slack.
     pub adaptive: Option<(u64, u64)>,
+    /// Crash/recovery schedule (`None` = no checkpointing, the default —
+    /// which also keeps the RNG stream byte-identical to pre-recovery
+    /// builds).
+    pub recovery: Option<RecoveryPlan>,
 }
 
 impl IslandConfig {
@@ -99,6 +178,7 @@ impl IslandConfig {
             migration_count: 25,
             stop,
             adaptive: None,
+            recovery: None,
         }
     }
 }
@@ -122,6 +202,11 @@ pub struct IslandOutcome {
     pub end_time: SimTime,
     /// Total GA work it performed.
     pub work: GenWork,
+    /// Crash recoveries it performed (warm or cold).
+    pub restores: u64,
+    /// Largest rollback distance across its warm restores, in generations
+    /// (0 when it never crashed, or only restarted cold).
+    pub max_rollback: u64,
 }
 
 /// Harness-side convergence oracle: tracks which islands have reached the
@@ -173,7 +258,24 @@ pub fn run_island(
     let p = node.ranks();
     assert_eq!(locs.len(), p, "one migrant location per rank");
 
-    let mut deme = Deme::new(cfg.func, cfg.params.clone(), ctx.rng());
+    // Recovery runs draw the deme's randomness from an island-owned RNG so
+    // that a checkpointed reseed reproduces the post-restore stream exactly;
+    // without recovery everything stays on the shared process RNG, keeping
+    // baseline runs byte-identical to pre-recovery builds. The cost model
+    // always draws from the process RNG — its stream shapes virtual time,
+    // not evolution, and must not shift across a restore.
+    let mut own_rng: Option<StdRng> = cfg
+        .recovery
+        .as_ref()
+        .map(|_| StdRng::seed_from_u64(ctx.rng().gen()));
+    let mut deme = match own_rng.as_mut() {
+        Some(rng) => Deme::new(cfg.func, cfg.params.clone(), rng),
+        None => Deme::new(cfg.func, cfg.params.clone(), ctx.rng()),
+    };
+    let mut ckpts: VecDeque<Vec<u8>> = VecDeque::new();
+    let mut crash_idx = 0usize;
+    let mut restores = 0u64;
+    let mut max_rollback = 0u64;
     let mut gen: u64 = 0;
     let mut time_to_target: Option<SimTime> = None;
     let mut last_incorporated: Vec<u64> = vec![0; p];
@@ -198,11 +300,79 @@ pub fn run_island(
     }
 
     while gen < max_generations {
+        // Crash windows: the fault layer has been dropping this island's
+        // traffic since the crash instant; the island notices here, sits
+        // out until the restart time, then recovers per the plan's style.
+        if let Some(rec) = &cfg.recovery {
+            while crash_idx < rec.crashes.len() && ctx.now() >= rec.crashes[crash_idx].0 {
+                let restart_at = rec.crashes[crash_idx].1;
+                crash_idx += 1;
+                if restart_at > ctx.now() {
+                    ctx.advance(restart_at - ctx.now());
+                }
+                let from_gen = gen;
+                let mut rolled: Option<IslandCkpt> = None;
+                if rec.style == RecoveryStyle::Warm {
+                    // Newest intact frame wins; a corrupt frame is dropped
+                    // and the previous generation tried instead.
+                    while let Some(frame) = ckpts.pop_back() {
+                        let decoded =
+                            nscc_ckpt::unseal(&frame).and_then(nscc_ckpt::from_bytes::<IslandCkpt>);
+                        if let Ok(ck) = decoded {
+                            ckpts.push_back(frame);
+                            rolled = Some(ck);
+                            break;
+                        }
+                    }
+                }
+                let to_gen = match rolled {
+                    Some(ck) => {
+                        deme = Deme::from_state(cfg.func, cfg.params.clone(), ck.deme);
+                        own_rng = Some(StdRng::seed_from_u64(ck.reseed));
+                        last_incorporated = ck.last_incorporated;
+                        best_seen = ck.best_seen;
+                        last_improvement = ck.last_improvement;
+                        time_to_target = time_to_target.or(ck.time_to_target);
+                        // The restored cache is ≤ `every` generations stale
+                        // — exactly the staleness Global_Read tolerates, so
+                        // the node rejoins as if it were a slow peer (§4.1).
+                        node.restore_cache(ck.cache);
+                        gen = ck.gen;
+                        gen
+                    }
+                    // Cold restart (or no intact checkpoint survived):
+                    // abandon state, fresh deme at the current generation.
+                    None => {
+                        let rng = own_rng.as_mut().expect("recovery implies own rng");
+                        deme = Deme::new(cfg.func, cfg.params.clone(), rng);
+                        gen
+                    }
+                };
+                // Resync: absorb whatever peer updates queued while down.
+                node.drain(ctx);
+                let rollback = from_gen - to_gen;
+                max_rollback = max_rollback.max(rollback);
+                restores += 1;
+                if let Some(hub) = node.hub() {
+                    hub.emit(ObsEvent::Restore {
+                        t_ns: ctx.now().as_nanos(),
+                        rank: rank as u32,
+                        from_iter: from_gen,
+                        to_iter: to_gen,
+                        rollback,
+                    });
+                }
+            }
+        }
+
         gen += 1;
 
         // Compute phase: one generation of real GA math, charged to the
         // virtual clock through the cost model.
-        let work = deme.step(ctx.rng());
+        let work = match own_rng.as_mut() {
+            Some(rng) => deme.step(rng),
+            None => deme.step(ctx.rng()),
+        };
         let cost = cfg.cost.generation_cost(work, ctx.rng());
         ctx.advance(cost);
 
@@ -243,6 +413,40 @@ pub fn run_island(
             board.mark(rank);
         }
 
+        // Checkpoint cut: every `every` generations, capture deme + DSM
+        // cache + an RNG reseed into a sealed frame. Two frames are kept so
+        // a corrupt newest frame still leaves a usable older generation.
+        if let Some(rec) = &cfg.recovery {
+            if gen % rec.every == 0 {
+                let rng = own_rng.as_mut().expect("recovery implies own rng");
+                let reseed: u64 = rng.gen();
+                *rng = StdRng::seed_from_u64(reseed);
+                let ck = IslandCkpt {
+                    gen,
+                    reseed,
+                    deme: deme.export_state(),
+                    last_incorporated: last_incorporated.clone(),
+                    best_seen,
+                    last_improvement,
+                    time_to_target,
+                    cache: node.export_cache(),
+                };
+                let sealed = nscc_ckpt::seal(&nscc_ckpt::to_bytes(&ck));
+                if let Some(hub) = node.hub() {
+                    hub.emit(ObsEvent::Checkpoint {
+                        t_ns: ctx.now().as_nanos(),
+                        rank: rank as u32,
+                        iter: gen,
+                        bytes: sealed.len() as u64,
+                    });
+                }
+                ckpts.push_back(sealed);
+                if ckpts.len() > 2 {
+                    ckpts.pop_front();
+                }
+            }
+        }
+
         // The exit decision must be taken at the same protocol point on
         // every island. Under the barrier discipline, marks posted before
         // barrier `gen` are visible to *all* islands after it and marks of
@@ -280,6 +484,8 @@ pub fn run_island(
         time_of_last_improvement: last_improvement,
         end_time: ctx.now(),
         work: deme.total_work(),
+        restores,
+        max_rollback,
     }
 }
 
@@ -380,6 +586,119 @@ mod tests {
             global_best <= 0.01,
             "islands with migration should converge"
         );
+    }
+
+    fn run_with_recovery(style: RecoveryStyle, seed: u64) -> Vec<IslandOutcome> {
+        let ranks = 3;
+        let mut dir = Directory::new();
+        let locs = dir.add_per_rank("best", ranks);
+        let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(
+            Network::new(IdealMedium::new(SimTime::from_millis(1))),
+            ranks,
+            MsgConfig::default(),
+            dir,
+        );
+        for &l in &locs {
+            world.set_initial(l, Vec::new());
+        }
+        let board = ConvergenceBoard::new(ranks);
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = SimBuilder::new(seed);
+        for r in 0..ranks {
+            let node = world.node(r);
+            let locs = locs.clone();
+            let board = board.clone();
+            let outcomes = Arc::clone(&outcomes);
+            let mut cfg = IslandConfig {
+                cost: CostModel::deterministic(),
+                ..IslandConfig::paper(
+                    TestFn::F1Sphere,
+                    Coherence::PartialAsync { age: 3 },
+                    StopPolicy::TargetQuality {
+                        target: 0.01,
+                        cap: 200,
+                    },
+                )
+            };
+            if r == 1 {
+                cfg.recovery = Some(RecoveryPlan {
+                    every: 3,
+                    crashes: vec![(SimTime::from_millis(25), SimTime::from_millis(35))],
+                    style,
+                });
+            }
+            sim.spawn(format!("island{r}"), move |ctx| {
+                let out = run_island(ctx, node, &locs, &cfg, &board);
+                outcomes.lock().push(out);
+            });
+        }
+        sim.run().unwrap();
+        let mut v = Arc::try_unwrap(outcomes)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        v.sort_by_key(|o| o.rank);
+        v
+    }
+
+    #[test]
+    fn warm_recovery_bounds_rollback_to_cadence() {
+        let outs = run_with_recovery(RecoveryStyle::Warm, 23);
+        let crashed = &outs[1];
+        assert_eq!(crashed.restores, 1, "the scheduled crash must be taken");
+        assert!(
+            crashed.max_rollback <= 3,
+            "rollback {} exceeds the checkpoint cadence",
+            crashed.max_rollback
+        );
+        for o in [&outs[0], &outs[2]] {
+            assert_eq!(o.restores, 0, "rank {} never crashes", o.rank);
+            assert_eq!(o.max_rollback, 0);
+        }
+        // The run as a whole still converges despite the crash.
+        let global_best = outs.iter().map(|o| o.best).fold(f64::INFINITY, f64::min);
+        assert!(global_best <= 0.01, "crashed run failed to converge");
+    }
+
+    #[test]
+    fn cold_restart_reports_zero_rollback() {
+        let outs = run_with_recovery(RecoveryStyle::Cold, 23);
+        let crashed = &outs[1];
+        assert_eq!(crashed.restores, 1);
+        assert_eq!(
+            crashed.max_rollback, 0,
+            "cold restart abandons state instead of rolling back"
+        );
+    }
+
+    #[test]
+    fn island_ckpt_roundtrip_is_byte_identical() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut deme = Deme::new(TestFn::F1Sphere, GaParams::default(), &mut rng);
+        deme.step(&mut rng);
+        let ck = IslandCkpt {
+            gen: 7,
+            reseed: 0xfeed,
+            deme: deme.export_state(),
+            last_incorporated: vec![3, 0, 7],
+            best_seen: 0.25,
+            last_improvement: SimTime::from_millis(42),
+            time_to_target: None,
+            cache: vec![(LocId(2), 6, vec![deme.best_ever().clone()])],
+        };
+        let bytes = nscc_ckpt::to_bytes(&ck);
+        let back: IslandCkpt = nscc_ckpt::from_bytes(&bytes).unwrap();
+        assert_eq!(back.gen, 7);
+        assert_eq!(back.reseed, 0xfeed);
+        assert_eq!(back.last_incorporated, vec![3, 0, 7]);
+        assert_eq!(back.deme.pop.len(), ck.deme.pop.len());
+        assert_eq!(back.cache.len(), 1);
+        assert_eq!(nscc_ckpt::to_bytes(&back), bytes);
+        // A sealed frame passes the integrity check; a flipped byte fails.
+        let mut sealed = nscc_ckpt::seal(&bytes);
+        assert!(nscc_ckpt::unseal(&sealed).is_ok());
+        let mid = sealed.len() / 2;
+        sealed[mid] ^= 1;
+        assert!(nscc_ckpt::unseal(&sealed).is_err());
     }
 
     #[test]

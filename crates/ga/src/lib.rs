@@ -35,8 +35,9 @@ pub use cost::CostModel;
 pub use encoding::{decode, eval_genome, Genome};
 pub use functions::{TestFn, ALL_FUNCTIONS};
 pub use island::{
-    run_island, ConvergenceBoard, IslandConfig, IslandOutcome, MigrantBatch, StopPolicy, Topology,
+    run_island, ConvergenceBoard, IslandConfig, IslandOutcome, MigrantBatch, RecoveryPlan,
+    RecoveryStyle, StopPolicy, Topology,
 };
 pub use params::{GaParams, Selection};
-pub use population::{Deme, GenWork, Individual};
+pub use population::{Deme, DemeState, GenWork, Individual};
 pub use serial::{SerialGa, SerialResult};

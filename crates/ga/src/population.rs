@@ -42,6 +42,76 @@ impl GenWork {
     }
 }
 
+impl nscc_ckpt::Snapshot for Individual {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.genome.encode(enc);
+        enc.put_f64(self.fitness);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(Individual {
+            genome: Genome::decode(dec)?,
+            fitness: dec.f64()?,
+        })
+    }
+}
+
+impl nscc_ckpt::Snapshot for GenWork {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u64(self.evals);
+        enc.put_u64(self.cache_hits);
+        enc.put_u64(self.individuals);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(GenWork {
+            evals: dec.u64()?,
+            cache_hits: dec.u64()?,
+            individuals: dec.u64()?,
+        })
+    }
+}
+
+/// The semantic state of a [`Deme`], extracted for checkpointing. The
+/// fitness cache is deliberately excluded: it is a performance artifact
+/// whose entries are recomputable, so a restored deme restarts with a cold
+/// cache and identical GA behaviour (cache hits change *work accounting*,
+/// never selection outcomes — lookups return the same fitness a fresh
+/// evaluation would).
+#[derive(Debug, Clone)]
+pub struct DemeState {
+    /// The population, in the deme's current internal order.
+    pub pop: Vec<Individual>,
+    /// The scaling window of recent worst fitnesses, oldest first.
+    pub window: Vec<f64>,
+    /// Generations evolved so far.
+    pub generation: u64,
+    /// Elitist memory.
+    pub best_ever: Individual,
+    /// Accumulated work counters.
+    pub total_work: GenWork,
+}
+
+impl nscc_ckpt::Snapshot for DemeState {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.pop.encode(enc);
+        self.window.encode(enc);
+        enc.put_u64(self.generation);
+        self.best_ever.encode(enc);
+        self.total_work.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(DemeState {
+            pop: Vec::<Individual>::decode(dec)?,
+            window: Vec::<f64>::decode(dec)?,
+            generation: dec.u64()?,
+            best_ever: Individual::decode(dec)?,
+            total_work: GenWork::decode(dec)?,
+        })
+    }
+}
+
 /// A deme: one (sub-)population evolving under the paper's GA settings.
 pub struct Deme {
     func: TestFn,
@@ -139,6 +209,36 @@ impl Deme {
     /// Cache statistics `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.cache.hits(), self.cache.misses())
+    }
+
+    /// Extract the deme's semantic state for a checkpoint (see
+    /// [`DemeState`] for what is and isn't captured).
+    pub fn export_state(&self) -> DemeState {
+        DemeState {
+            pop: self.pop.clone(),
+            window: self.window.iter().copied().collect(),
+            generation: self.generation,
+            best_ever: self.best_ever.clone(),
+            total_work: self.total_work,
+        }
+    }
+
+    /// Rebuild a deme from checkpointed state. `func` and `params` come
+    /// from the run configuration (they are static and never encoded); the
+    /// fitness cache restarts cold.
+    pub fn from_state(func: TestFn, params: GaParams, state: DemeState) -> Self {
+        params.validate();
+        assert!(!state.pop.is_empty(), "checkpointed population is empty");
+        Deme {
+            func,
+            params,
+            pop: state.pop,
+            window: state.window.into_iter().collect(),
+            generation: state.generation,
+            best_ever: state.best_ever,
+            cache: FitnessCache::new(func),
+            total_work: state.total_work,
+        }
     }
 
     /// Evolve one generation; returns the work it cost.

@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 use serde::Serialize;
 
 use nscc_net::{Network, NodeId, WarpMeter};
-use nscc_obs::Hub;
+use nscc_obs::{Hub, ObsEvent};
 use nscc_sim::{Ctx, Mailbox, SimTime};
 
 use crate::reliable::{self, RelMsg, RelState, ReliableConfig};
@@ -32,6 +32,10 @@ pub struct MsgConfig {
     /// Ack/retransmit layer for lossy media; `None` (the default) keeps
     /// the paper's fire-and-forget transport, byte-for-byte.
     pub reliable: Option<ReliableConfig>,
+    /// Mailbox depth at which a one-shot backpressure warning fires per
+    /// rank (stderr line + `MailboxHigh` obs event). `None` disables.
+    /// Bench bins set this from `NSCC_MAILBOX_WARN`.
+    pub mailbox_warn: Option<u64>,
 }
 
 impl Default for MsgConfig {
@@ -44,6 +48,7 @@ impl Default for MsgConfig {
             recv_overhead: SimTime::from_micros(100),
             header_bytes: 32,
             reliable: None,
+            mailbox_warn: None,
         }
     }
 }
@@ -77,10 +82,14 @@ pub struct CommStats {
     pub dup_suppressed: u64,
     /// Frames abandoned after exhausting their retries.
     pub give_ups: u64,
+    /// Deepest any rank's mailbox has ever been (backpressure gauge; a
+    /// receiver keeping up holds this near 1 regardless of volume).
+    pub mailbox_high_watermark: u64,
 }
 
 impl CommStats {
     /// Accumulate another world's counters (for aggregating over runs).
+    /// The mailbox high-watermark is a gauge, so it merges by max.
     pub fn merge(&mut self, other: &CommStats) {
         self.sent += other.sent;
         self.received += other.received;
@@ -89,6 +98,39 @@ impl CommStats {
         self.acks_sent += other.acks_sent;
         self.dup_suppressed += other.dup_suppressed;
         self.give_ups += other.give_ups;
+        self.mailbox_high_watermark = self
+            .mailbox_high_watermark
+            .max(other.mailbox_high_watermark);
+    }
+}
+
+impl nscc_ckpt::Snapshot for CommStats {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        for v in [
+            self.sent,
+            self.received,
+            self.payload_bytes,
+            self.retransmits,
+            self.acks_sent,
+            self.dup_suppressed,
+            self.give_ups,
+            self.mailbox_high_watermark,
+        ] {
+            enc.put_u64(v);
+        }
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(CommStats {
+            sent: dec.u64()?,
+            received: dec.u64()?,
+            payload_bytes: dec.u64()?,
+            retransmits: dec.u64()?,
+            acks_sent: dec.u64()?,
+            dup_suppressed: dec.u64()?,
+            give_ups: dec.u64()?,
+            mailbox_high_watermark: dec.u64()?,
+        })
     }
 }
 
@@ -111,9 +153,14 @@ pub struct CommWorld<T: Send + 'static> {
 impl<T: Send + 'static> CommWorld<T> {
     /// A world of `ranks` endpoints mapped to nodes `0..ranks` of `net`.
     pub fn new(net: Network, ranks: usize, cfg: MsgConfig) -> Self {
-        let boxes = (0..ranks)
+        let boxes: Vec<Mailbox<Envelope<T>>> = (0..ranks)
             .map(|r| Mailbox::new(format!("rank{r}")))
             .collect();
+        if let Some(warn) = cfg.mailbox_warn {
+            for mb in &boxes {
+                mb.set_warn_threshold(warn);
+            }
+        }
         let nodes = (0..ranks).map(|r| NodeId(r as u32)).collect();
         CommWorld {
             net,
@@ -164,9 +211,17 @@ impl<T: Send + 'static> CommWorld<T> {
         }
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters. The mailbox high-watermark is computed
+    /// here, as the max over every rank's mailbox.
     pub fn stats(&self) -> CommStats {
-        self.inner.lock().stats
+        let mut stats = self.inner.lock().stats;
+        stats.mailbox_high_watermark = self
+            .boxes
+            .iter()
+            .map(|mb| mb.high_watermark())
+            .max()
+            .unwrap_or(0);
+        stats
     }
 }
 
@@ -362,6 +417,15 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
     fn finish_recv(&self, ctx: &mut Ctx, env: &Envelope<T>) {
         ctx.advance(self.cfg.recv_overhead);
         self.inner.lock().stats.received += 1;
+        if let Some(depth) = self.boxes[self.rank].take_warn() {
+            if let Some(hub) = &self.obs {
+                hub.emit(ObsEvent::MailboxHigh {
+                    t_ns: ctx.now().as_nanos(),
+                    rank: self.rank as u32,
+                    depth,
+                });
+            }
+        }
         if let Some(warp) = &self.warp {
             let sample = warp.observe(
                 self.nodes[self.rank],
@@ -512,6 +576,43 @@ mod tests {
         assert_eq!(warp.len(), 4);
         assert_eq!(hub.warp().len(), 4);
         assert!((hub.warp().summary().mean - warp.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mailbox_watermark_flows_into_stats_and_obs() {
+        let hub = Hub::new();
+        let w = CommWorld::<u64>::new(
+            Network::new(IdealMedium::new(SimTime::from_micros(1))),
+            2,
+            MsgConfig {
+                mailbox_warn: Some(3),
+                ..MsgConfig::default()
+            },
+        )
+        .with_obs(hub.clone());
+        let (e0, e1) = (w.endpoint(0), w.endpoint(1));
+        let mut sim = SimBuilder::new(0);
+        sim.spawn("r0", move |ctx| {
+            for i in 0..5u64 {
+                e0.send(ctx, 1, i);
+            }
+        });
+        sim.spawn("r1", move |ctx| {
+            // Let everything pile up before draining.
+            ctx.advance(SimTime::from_millis(50));
+            for want in 0..5u64 {
+                assert_eq!(e1.recv(ctx).payload, want);
+            }
+        });
+        sim.run().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.mailbox_high_watermark, 5);
+        let s = hub.summary();
+        assert_eq!(s.mailbox_warnings, 1, "one-shot event at the crossing");
+        // CommStats roundtrips through the checkpoint codec.
+        let back: CommStats = nscc_ckpt::from_bytes(&nscc_ckpt::to_bytes(&stats)).unwrap();
+        assert_eq!(back.mailbox_high_watermark, 5);
+        assert_eq!(back.sent, stats.sent);
     }
 
     #[test]

@@ -198,6 +198,44 @@ pub enum ObsEvent {
         /// The suspected peer rank.
         peer: u32,
     },
+    /// A node cut a recovery checkpoint of its application + DSM state.
+    Checkpoint {
+        /// Cut time.
+        t_ns: u64,
+        /// Checkpointing rank.
+        rank: u32,
+        /// Iteration (generation) the checkpoint captures.
+        iter: u64,
+        /// Encoded snapshot size in bytes (sealed frame).
+        bytes: u64,
+    },
+    /// A node restored itself from a checkpoint after a crash. The paper's
+    /// age bound makes this cheap: a restored node at `to_iter` looks like
+    /// a peer `rollback` iterations stale, which `Global_Read` tolerates
+    /// whenever `rollback ≤ age`.
+    Restore {
+        /// Restore time.
+        t_ns: u64,
+        /// Recovering rank.
+        rank: u32,
+        /// Iteration the node had reached when it crashed.
+        from_iter: u64,
+        /// Iteration of the checkpoint it restored to.
+        to_iter: u64,
+        /// Rollback distance, `from_iter − to_iter` (0 for a cold restart,
+        /// which abandons state instead of rolling it back).
+        rollback: u64,
+    },
+    /// A mailbox's queue depth crossed its configured warn threshold
+    /// (`NSCC_MAILBOX_WARN`) — backpressure is building.
+    MailboxHigh {
+        /// Crossing time (virtual ns of the receive that noticed it).
+        t_ns: u64,
+        /// Rank owning the mailbox.
+        rank: u32,
+        /// Queue depth at the crossing.
+        depth: u64,
+    },
     /// Application-defined marker.
     Custom {
         /// Event time.
@@ -226,6 +264,9 @@ impl ObsEvent {
             | ObsEvent::RetransmitGiveUp { t_ns, .. }
             | ObsEvent::ReadDegraded { t_ns, .. }
             | ObsEvent::WriterSuspected { t_ns, .. }
+            | ObsEvent::Checkpoint { t_ns, .. }
+            | ObsEvent::Restore { t_ns, .. }
+            | ObsEvent::MailboxHigh { t_ns, .. }
             | ObsEvent::Custom { t_ns, .. } => t_ns,
         }
     }
@@ -248,6 +289,9 @@ impl ObsEvent {
             ObsEvent::RetransmitGiveUp { .. } => "retransmit_give_up",
             ObsEvent::ReadDegraded { .. } => "read_degraded",
             ObsEvent::WriterSuspected { .. } => "writer_suspected",
+            ObsEvent::Checkpoint { .. } => "checkpoint",
+            ObsEvent::Restore { .. } => "restore",
+            ObsEvent::MailboxHigh { .. } => "mailbox_high",
             ObsEvent::Custom { .. } => "custom",
         }
     }

@@ -156,6 +156,39 @@ impl Histogram {
     }
 }
 
+// Stable binary form for checkpoints: the raw fields, including the
+// `u64::MAX` min sentinel of an empty histogram, so decode∘encode is the
+// identity and re-serialized JSON reports match byte-for-byte.
+impl nscc_ckpt::Snapshot for Histogram {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u64(self.count);
+        enc.put_u64(self.sum);
+        enc.put_u64(self.min);
+        enc.put_u64(self.max);
+        for &b in &self.buckets {
+            enc.put_u64(b);
+        }
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        let count = dec.u64()?;
+        let sum = dec.u64()?;
+        let min = dec.u64()?;
+        let max = dec.u64()?;
+        let mut buckets = vec![0u64; BUCKETS];
+        for b in &mut buckets {
+            *b = dec.u64()?;
+        }
+        Ok(Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
 // Hand-written so the JSON form carries derived stats and only the
 // populated buckets (65 mostly-zero entries would dominate the report).
 impl Serialize for Histogram {

@@ -41,6 +41,7 @@ struct HubInner {
     staleness: Mutex<Histogram>,
     block_ns: Mutex<Histogram>,
     net_delay_ns: Mutex<Histogram>,
+    rollback: Mutex<Histogram>,
     names: Mutex<BTreeMap<u32, String>>,
     snapshots: Mutex<Vec<MetricSnapshot>>,
     /// Virtual-time snapshot cadence (0 = disabled).
@@ -58,6 +59,9 @@ struct HubInner {
     retransmits: AtomicU64,
     degraded_reads: AtomicU64,
     suspected_writers: AtomicU64,
+    checkpoints: AtomicU64,
+    restores: AtomicU64,
+    mailbox_warnings: AtomicU64,
 }
 
 /// The shared instrumentation hub. Cloning is cheap (an `Arc` bump); all
@@ -94,6 +98,7 @@ impl Hub {
                 staleness: Mutex::new(Histogram::new()),
                 block_ns: Mutex::new(Histogram::new()),
                 net_delay_ns: Mutex::new(Histogram::new()),
+                rollback: Mutex::new(Histogram::new()),
                 names: Mutex::new(BTreeMap::new()),
                 snapshots: Mutex::new(Vec::new()),
                 snap_every_ns: AtomicU64::new(0),
@@ -109,6 +114,9 @@ impl Hub {
                 retransmits: AtomicU64::new(0),
                 degraded_reads: AtomicU64::new(0),
                 suspected_writers: AtomicU64::new(0),
+                checkpoints: AtomicU64::new(0),
+                restores: AtomicU64::new(0),
+                mailbox_warnings: AtomicU64::new(0),
             }),
         }
     }
@@ -160,6 +168,16 @@ impl Hub {
             }
             ObsEvent::WriterSuspected { .. } => {
                 self.inner.suspected_writers.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::Checkpoint { .. } => {
+                self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+            ObsEvent::Restore { rollback, .. } => {
+                self.inner.restores.fetch_add(1, Ordering::Relaxed);
+                self.inner.rollback.lock().record(rollback);
+            }
+            ObsEvent::MailboxHigh { .. } => {
+                self.inner.mailbox_warnings.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }
@@ -297,6 +315,12 @@ impl Hub {
         self.inner.net_delay_ns.lock().clone()
     }
 
+    /// Snapshot of the rollback-depth histogram (iterations rolled back
+    /// per restore; the recovery analogue of staleness).
+    pub fn rollback(&self) -> Histogram {
+        self.inner.rollback.lock().clone()
+    }
+
     /// Registered pid/rank names.
     pub fn proc_names(&self) -> BTreeMap<u32, String> {
         self.inner.names.lock().clone()
@@ -329,9 +353,13 @@ impl Hub {
             retransmits: self.inner.retransmits.load(Ordering::Relaxed),
             degraded_reads: self.inner.degraded_reads.load(Ordering::Relaxed),
             suspected_writers: self.inner.suspected_writers.load(Ordering::Relaxed),
+            checkpoints: self.inner.checkpoints.load(Ordering::Relaxed),
+            restores: self.inner.restores.load(Ordering::Relaxed),
+            mailbox_warnings: self.inner.mailbox_warnings.load(Ordering::Relaxed),
             staleness: self.staleness(),
             block_ns: self.block_time(),
             net_delay_ns: self.net_delay(),
+            rollback: self.rollback(),
             warp: self.inner.warp.summary(),
             snapshots: self.snapshots(),
         }
@@ -414,17 +442,199 @@ pub struct HubSummary {
     pub degraded_reads: u64,
     /// Failure-detector suspicions raised against peers.
     pub suspected_writers: u64,
+    /// Recovery checkpoints cut.
+    pub checkpoints: u64,
+    /// Restores from checkpoint after a crash.
+    pub restores: u64,
+    /// Mailbox depth warn-threshold crossings.
+    pub mailbox_warnings: u64,
     /// Delivered-age gap per read (iterations).
     pub staleness: Histogram,
     /// Blocked-read durations (virtual ns).
     pub block_ns: Histogram,
     /// Network submit→arrival delays (virtual ns).
     pub net_delay_ns: Histogram,
+    /// Rollback depth per restore (iterations; bounded by the age bound
+    /// when recovery runs in a strict mode).
+    pub rollback: Histogram,
     /// Warp sample distribution (§4.3).
     pub warp: WarpSummary,
     /// Periodic metric snapshots (empty unless [`Hub::sample_every`] was
     /// enabled): the convergence-vs-virtual-time curve of the run.
     pub snapshots: Vec<MetricSnapshot>,
+}
+
+impl HubSummary {
+    /// Fold another summary into this one: counters add, histograms merge
+    /// exactly, snapshot series concatenate in order. The warp summary is
+    /// a distribution digest, so its merge is approximate — sample counts
+    /// add, the mean is sample-weighted, and p50/p95/max take the
+    /// pairwise max (pessimistic but deterministic). Used by sweep bins
+    /// that run each cell on its own hub and need one report-level
+    /// aggregate that is identical whether the sweep ran straight through
+    /// or was resumed from a checkpoint.
+    pub fn merge(&mut self, other: &HubSummary) {
+        self.events += other.events;
+        self.events_dropped += other.events_dropped;
+        self.spans += other.spans;
+        self.spans_dropped += other.spans_dropped;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.messages += other.messages;
+        self.stale_discards += other.stale_discards;
+        self.barriers += other.barriers;
+        self.anti_messages += other.anti_messages;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.retransmits += other.retransmits;
+        self.degraded_reads += other.degraded_reads;
+        self.suspected_writers += other.suspected_writers;
+        self.checkpoints += other.checkpoints;
+        self.restores += other.restores;
+        self.mailbox_warnings += other.mailbox_warnings;
+        self.staleness.merge(&other.staleness);
+        self.block_ns.merge(&other.block_ns);
+        self.net_delay_ns.merge(&other.net_delay_ns);
+        self.rollback.merge(&other.rollback);
+        self.warp = merge_warp(&self.warp, &other.warp);
+        self.snapshots.extend(other.snapshots.iter().copied());
+    }
+}
+
+/// Pairwise merge of two warp digests (see [`HubSummary::merge`]).
+fn merge_warp(a: &WarpSummary, b: &WarpSummary) -> WarpSummary {
+    if a.samples == 0 {
+        return *b;
+    }
+    if b.samples == 0 {
+        return *a;
+    }
+    let n = a.samples + b.samples;
+    WarpSummary {
+        samples: n,
+        mean: (a.mean * a.samples as f64 + b.mean * b.samples as f64) / n as f64,
+        p50: a.p50.max(b.p50),
+        p95: a.p95.max(b.p95),
+        max: a.max.max(b.max),
+    }
+}
+
+impl nscc_ckpt::Snapshot for HubSummary {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        for v in [
+            self.events,
+            self.events_dropped,
+            self.spans,
+            self.spans_dropped,
+            self.reads,
+            self.writes,
+            self.messages,
+            self.stale_discards,
+            self.barriers,
+            self.anti_messages,
+            self.faults_dropped,
+            self.faults_duplicated,
+            self.retransmits,
+            self.degraded_reads,
+            self.suspected_writers,
+            self.checkpoints,
+            self.restores,
+            self.mailbox_warnings,
+        ] {
+            enc.put_u64(v);
+        }
+        self.staleness.encode(enc);
+        self.block_ns.encode(enc);
+        self.net_delay_ns.encode(enc);
+        self.rollback.encode(enc);
+        self.warp.encode(enc);
+        self.snapshots.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        let mut vals = [0u64; 18];
+        for v in &mut vals {
+            *v = dec.u64()?;
+        }
+        Ok(HubSummary {
+            events: vals[0],
+            events_dropped: vals[1],
+            spans: vals[2],
+            spans_dropped: vals[3],
+            reads: vals[4],
+            writes: vals[5],
+            messages: vals[6],
+            stale_discards: vals[7],
+            barriers: vals[8],
+            anti_messages: vals[9],
+            faults_dropped: vals[10],
+            faults_duplicated: vals[11],
+            retransmits: vals[12],
+            degraded_reads: vals[13],
+            suspected_writers: vals[14],
+            checkpoints: vals[15],
+            restores: vals[16],
+            mailbox_warnings: vals[17],
+            staleness: Histogram::decode(dec)?,
+            block_ns: Histogram::decode(dec)?,
+            net_delay_ns: Histogram::decode(dec)?,
+            rollback: Histogram::decode(dec)?,
+            warp: WarpSummary::decode(dec)?,
+            snapshots: Vec::<MetricSnapshot>::decode(dec)?,
+        })
+    }
+}
+
+impl nscc_ckpt::Snapshot for MetricSnapshot {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        for v in [
+            self.t_ns,
+            self.reads,
+            self.writes,
+            self.messages,
+            self.stale_discards,
+            self.barriers,
+            self.anti_messages,
+            self.faults_dropped,
+            self.retransmits,
+            self.degraded_reads,
+            self.staleness_p50,
+            self.staleness_p99,
+            self.block_ns_total,
+            self.blocked_reads,
+            self.net_delay_p99,
+            self.events_dropped,
+            self.spans_dropped,
+        ] {
+            enc.put_u64(v);
+        }
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        let mut vals = [0u64; 17];
+        for v in &mut vals {
+            *v = dec.u64()?;
+        }
+        Ok(MetricSnapshot {
+            t_ns: vals[0],
+            reads: vals[1],
+            writes: vals[2],
+            messages: vals[3],
+            stale_discards: vals[4],
+            barriers: vals[5],
+            anti_messages: vals[6],
+            faults_dropped: vals[7],
+            retransmits: vals[8],
+            degraded_reads: vals[9],
+            staleness_p50: vals[10],
+            staleness_p99: vals[11],
+            block_ns_total: vals[12],
+            blocked_reads: vals[13],
+            net_delay_p99: vals[14],
+            events_dropped: vals[15],
+            spans_dropped: vals[16],
+        })
+    }
 }
 
 /// One periodic sample of the hub's derived metrics, cut on a virtual-time
@@ -591,6 +801,112 @@ mod tests {
         assert!(dump.contains(&format!("\"schema_version\":{}", crate::SCHEMA_VERSION)));
         assert!(dump.contains("\"ReadDone\""));
         assert!(dump.contains("\"rank0\""));
+    }
+
+    #[test]
+    fn recovery_events_update_counters() {
+        let hub = Hub::new();
+        hub.emit(ObsEvent::Checkpoint {
+            t_ns: 10,
+            rank: 0,
+            iter: 5,
+            bytes: 128,
+        });
+        hub.emit(ObsEvent::Restore {
+            t_ns: 20,
+            rank: 0,
+            from_iter: 9,
+            to_iter: 5,
+            rollback: 4,
+        });
+        hub.emit(ObsEvent::MailboxHigh {
+            t_ns: 30,
+            rank: 1,
+            depth: 64,
+        });
+        let s = hub.summary();
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.restores, 1);
+        assert_eq!(s.mailbox_warnings, 1);
+        assert_eq!(s.rollback.count(), 1);
+        assert_eq!(s.rollback.max(), 4);
+    }
+
+    #[test]
+    fn summary_merge_adds_counters_and_histograms() {
+        let a = Hub::new();
+        a.emit(read_done(3, false, 0));
+        a.emit(read_done(1, true, 500));
+        let b = Hub::new();
+        b.emit(read_done(7, false, 0));
+        b.emit(ObsEvent::Restore {
+            t_ns: 5,
+            rank: 2,
+            from_iter: 8,
+            to_iter: 6,
+            rollback: 2,
+        });
+        b.warp_sample(0, 2.0);
+        let mut merged = a.summary();
+        merged.merge(&b.summary());
+        assert_eq!(merged.reads, 3);
+        assert_eq!(merged.restores, 1);
+        assert_eq!(merged.staleness.count(), 3);
+        assert_eq!(merged.staleness.max(), 7);
+        assert_eq!(merged.block_ns.count(), 1);
+        assert_eq!(merged.rollback.max(), 2);
+        // Warp merge: one side empty takes the other verbatim.
+        assert_eq!(merged.warp.samples, 1);
+        assert_eq!(merged.warp.mean, 2.0);
+        // Merging two non-empty warps is sample-weighted on the mean.
+        let mut w = merged.warp;
+        w = super::merge_warp(
+            &w,
+            &WarpSummary {
+                samples: 3,
+                mean: 4.0,
+                p50: 1.0,
+                p95: 1.0,
+                max: 5.0,
+            },
+        );
+        assert_eq!(w.samples, 4);
+        assert!((w.mean - 3.5).abs() < 1e-12);
+        assert_eq!(w.max, 5.0);
+    }
+
+    #[test]
+    fn summary_snapshot_roundtrip() {
+        let hub = Hub::new();
+        hub.sample_every(100);
+        hub.emit(read_done(3, true, 700));
+        hub.emit(ObsEvent::NetDeliver {
+            t_ns: 150,
+            src: 0,
+            dst: 1,
+            delay_ns: 2_000,
+        });
+        hub.emit(ObsEvent::Checkpoint {
+            t_ns: 200,
+            rank: 0,
+            iter: 9,
+            bytes: 64,
+        });
+        hub.warp_sample(10, 1.25);
+        let s = hub.summary();
+        assert!(!s.snapshots.is_empty());
+        let bytes = nscc_ckpt::to_bytes(&s);
+        let back: HubSummary = nscc_ckpt::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back.reads, s.reads);
+        assert_eq!(back.checkpoints, s.checkpoints);
+        assert_eq!(back.staleness, s.staleness);
+        assert_eq!(back.block_ns, s.block_ns);
+        assert_eq!(back.net_delay_ns, s.net_delay_ns);
+        assert_eq!(back.rollback, s.rollback);
+        assert_eq!(back.warp, s.warp);
+        assert_eq!(back.snapshots, s.snapshots);
+        // Byte-identity of the re-encoding: decode∘encode is the identity.
+        assert_eq!(nscc_ckpt::to_bytes(&back), bytes);
     }
 
     #[test]

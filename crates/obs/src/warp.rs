@@ -161,6 +161,26 @@ impl Default for WarpSummary {
     }
 }
 
+impl nscc_ckpt::Snapshot for WarpSummary {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u64(self.samples);
+        enc.put_f64(self.mean);
+        enc.put_f64(self.p50);
+        enc.put_f64(self.p95);
+        enc.put_f64(self.max);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(WarpSummary {
+            samples: dec.u64()?,
+            mean: dec.f64()?,
+            p50: dec.f64()?,
+            p95: dec.f64()?,
+            max: dec.f64()?,
+        })
+    }
+}
+
 /// One time-bucket of the warp timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct WarpPoint {

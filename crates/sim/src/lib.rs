@@ -58,7 +58,7 @@ pub use event::{Event, EventCtx};
 pub use mailbox::Mailbox;
 // Tracing moved into the shared observability crate; re-exported here so
 // span types stay reachable where the engine hands them out.
-pub use nscc_obs::{Hub, Span, SpanKind, Trace, TraceTotals};
+pub use nscc_obs::{Hub, ObsEvent, Span, SpanKind, Trace, TraceTotals};
 pub use process::{Ctx, Pid};
 pub use scheduler::{SimBuilder, SimReport};
 pub use time::SimTime;

@@ -19,6 +19,36 @@ struct Inner<T> {
     waiter: Option<Pid>,
     delivered: u64,
     received: u64,
+    /// Deepest the queue has ever been.
+    high_watermark: u64,
+    /// Depth at which a one-shot warning fires (None = disabled).
+    warn_at: Option<u64>,
+    /// The warning already fired (it is once per mailbox, not per message).
+    warned: bool,
+    /// A fired warning not yet collected by [`Mailbox::take_warn`]; holds
+    /// the depth observed at the crossing.
+    warn_pending: Option<u64>,
+}
+
+impl<T> Inner<T> {
+    /// Track depth after a push; arm the one-shot warning at the crossing.
+    fn note_depth(&mut self, name: &str) {
+        let depth = self.queue.len() as u64;
+        if depth > self.high_watermark {
+            self.high_watermark = depth;
+        }
+        if let Some(warn) = self.warn_at {
+            if depth >= warn && !self.warned {
+                self.warned = true;
+                self.warn_pending = Some(depth);
+                eprintln!(
+                    "warning: mailbox `{name}` depth {depth} crossed warn \
+                     threshold {warn} (NSCC_MAILBOX_WARN) — receiver is \
+                     falling behind"
+                );
+            }
+        }
+    }
 }
 
 /// An unbounded virtual-time FIFO channel with a single logical receiver.
@@ -49,6 +79,10 @@ impl<T: Send + 'static> Mailbox<T> {
                 waiter: None,
                 delivered: 0,
                 received: 0,
+                high_watermark: 0,
+                warn_at: None,
+                warned: false,
+                warn_pending: None,
             })),
             name: name.into(),
         }
@@ -60,6 +94,7 @@ impl<T: Send + 'static> Mailbox<T> {
         let mut inner = self.inner.lock();
         inner.queue.push_back(msg);
         inner.delivered += 1;
+        inner.note_depth(&self.name);
         if let Some(pid) = inner.waiter.take() {
             ec.wake(pid);
         }
@@ -72,6 +107,7 @@ impl<T: Send + 'static> Mailbox<T> {
         let mut inner = self.inner.lock();
         inner.queue.push_back(msg);
         inner.delivered += 1;
+        inner.note_depth(&self.name);
         if let Some(pid) = inner.waiter.take() {
             drop(inner);
             ctx.wake(pid);
@@ -166,6 +202,26 @@ impl<T: Send + 'static> Mailbox<T> {
     /// Total messages ever delivered into this mailbox.
     pub fn total_delivered(&self) -> u64 {
         self.inner.lock().delivered
+    }
+
+    /// Deepest the queue has ever been (a backpressure gauge: a receiver
+    /// keeping up holds this near 1 regardless of traffic volume).
+    pub fn high_watermark(&self) -> u64 {
+        self.inner.lock().high_watermark
+    }
+
+    /// Arm a one-shot depth warning: the first delivery that leaves the
+    /// queue at or above `depth` prints one stderr line and records a
+    /// pending warning for [`Mailbox::take_warn`].
+    pub fn set_warn_threshold(&self, depth: u64) {
+        self.inner.lock().warn_at = Some(depth);
+    }
+
+    /// Collect a fired-but-unreported depth warning, if any: the depth
+    /// observed at the crossing. Polled by the message layer so it can emit
+    /// a structured observability event from receiver context.
+    pub fn take_warn(&self) -> Option<u64> {
+        self.inner.lock().warn_pending.take()
     }
 
     /// Total messages ever received out of this mailbox.
@@ -271,6 +327,54 @@ mod tests {
             ctx.schedule_fn(SimTime::from_millis(20), move |ec| mb2.deliver(ec, 43));
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn high_watermark_and_one_shot_warn() {
+        let mb: Mailbox<u32> = Mailbox::new("deep");
+        mb.set_warn_threshold(3);
+        let mb_r = mb.clone();
+        let mb_s = mb.clone();
+        let mut sim = SimBuilder::new(1);
+        sim.spawn("receiver", move |ctx| {
+            // Drain only after everything is queued.
+            ctx.advance(SimTime::from_millis(100));
+            for expect in 0..5u32 {
+                assert_eq!(mb_r.recv(ctx), expect);
+            }
+        });
+        sim.spawn("sender", move |ctx| {
+            for i in 0..5u32 {
+                let mb = mb_s.clone();
+                ctx.schedule_fn(SimTime::from_millis(i as u64 + 1), move |ec| {
+                    mb.deliver(ec, i);
+                });
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(mb.high_watermark(), 5);
+        // The crossing fired once, at the delivery that reached depth 3.
+        assert_eq!(mb.take_warn(), Some(3));
+        assert_eq!(mb.take_warn(), None);
+    }
+
+    #[test]
+    fn no_warn_below_threshold() {
+        let mb: Mailbox<u32> = Mailbox::new("shallow");
+        mb.set_warn_threshold(10);
+        let mb_r = mb.clone();
+        let mb_s = mb.clone();
+        let mut sim = SimBuilder::new(1);
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(mb_r.recv(ctx), 1);
+        });
+        sim.spawn("sender", move |ctx| {
+            let mb = mb_s.clone();
+            ctx.schedule_fn(SimTime::from_millis(1), move |ec| mb.deliver(ec, 1));
+        });
+        sim.run().unwrap();
+        assert_eq!(mb.high_watermark(), 1);
+        assert_eq!(mb.take_warn(), None);
     }
 
     #[test]

@@ -104,6 +104,16 @@ impl SimTime {
     }
 }
 
+impl nscc_ckpt::Snapshot for SimTime {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u64(self.0);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(SimTime(dec.u64()?))
+    }
+}
+
 impl Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {

@@ -10,6 +10,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! * [`ckpt`] — deterministic, versioned snapshots: the `Snapshot`
+//!   binary encoding, checksummed frames, and on-disk generation stores
+//!   behind crash recovery and resumable sweeps (`NSCC_CKPT_DIR`).
 //! * [`obs`] — the unified observability layer: structured events,
 //!   staleness/block/delay histograms, warp timelines, span traces and
 //!   Perfetto export.
@@ -74,6 +77,7 @@
 
 pub use nscc_analyze as analyze;
 pub use nscc_bayes as bayes;
+pub use nscc_ckpt as ckpt;
 pub use nscc_core as core;
 pub use nscc_dsm as dsm;
 pub use nscc_faults as faults;

@@ -7,8 +7,8 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
-use nscc::core::{run_ga_experiment, GaExperiment, Platform, RunReport};
-use nscc::dsm::{Coherence, Directory, DsmWorld, ReadOutcome};
+use nscc::core::{run_ga_experiment, GaExperiment, Platform, RecoveryStyle, RunReport};
+use nscc::dsm::{Coherence, Directory, DsmWorld, LocId, ReadOutcome};
 use nscc::faults::{FaultPlan, FaultyMedium};
 use nscc::ga::{CostModel, TestFn};
 use nscc::msg::{MsgConfig, ReliableConfig};
@@ -112,6 +112,154 @@ proptest! {
             );
         }
     }
+}
+
+/// A read/write loop where one rank checkpoints its DSM cache and later
+/// restores it (a warm crash recovery rolled back `restore_iter −
+/// snap_iter` iterations), then keeps reading. Returns the post-restore
+/// read outcomes.
+fn readback_across_restore(
+    seed: u64,
+    iters: u64,
+    age: u64,
+    snap_iter: u64,
+    restore_iter: u64,
+) -> Vec<ReadOutcome<u64>> {
+    let net = Network::new(EthernetBus::ten_mbps(seed));
+    let mut dir = Directory::new();
+    let locs = dir.add_per_rank("v", 2);
+    let mut world: DsmWorld<u64> = DsmWorld::new(net, 2, MsgConfig::default(), dir)
+        .with_read_timeout(SimTime::from_millis(30));
+    for &l in &locs {
+        world.set_initial(l, 0);
+    }
+
+    let outcomes: Arc<Mutex<Vec<ReadOutcome<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = SimBuilder::new(seed);
+    for r in 0..2usize {
+        let mut node = world.node(r);
+        let locs = locs.clone();
+        let outcomes = Arc::clone(&outcomes);
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mut frame: Option<Vec<u8>> = None;
+            for iter in 1..=iters {
+                ctx.advance(SimTime::from_micros(400 + 130 * r as u64));
+                if r == 1 && iter == snap_iter {
+                    // The sealed frame round-trips byte-identically — the
+                    // same encoding the island checkpoints use.
+                    let bytes = nscc::ckpt::to_bytes(&node.export_cache());
+                    let sealed = nscc::ckpt::seal(&bytes);
+                    let back: Vec<(LocId, u64, u64)> =
+                        nscc::ckpt::from_bytes(nscc::ckpt::unseal(&sealed).unwrap()).unwrap();
+                    assert_eq!(nscc::ckpt::to_bytes(&back), bytes);
+                    frame = Some(sealed);
+                }
+                if r == 1 && iter == restore_iter {
+                    let sealed = frame.take().expect("snapshot taken before restore");
+                    let entries: Vec<(LocId, u64, u64)> =
+                        nscc::ckpt::from_bytes(nscc::ckpt::unseal(&sealed).unwrap()).unwrap();
+                    node.restore_cache(entries);
+                    // Drain pending updates: the resync that makes a
+                    // restored node look like a legitimately stale peer.
+                    node.drain(ctx);
+                }
+                node.write(ctx, locs[r], iter, iter);
+                let peer = locs[1 - r];
+                let out = node.global_read_ex(ctx, peer, iter, age);
+                if r == 1 && iter >= restore_iter {
+                    outcomes.lock().unwrap().push(out);
+                }
+            }
+        });
+    }
+    sim.run().expect("restore run completes");
+    Arc::try_unwrap(outcomes).unwrap().into_inner().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// §4.1's recovery claim, as a property: rolling a node's cache back
+    /// to an earlier checkpoint and resyncing from pending updates never
+    /// lets an undegraded `Global_Read` break the staleness bound — the
+    /// restored node is indistinguishable from a legitimately stale peer.
+    #[test]
+    fn staleness_bound_holds_across_a_restore(
+        seed in 0u64..500,
+        age in 0u64..=5,
+        snap_iter in 2u64..=6,
+        rollback in 1u64..=6,
+    ) {
+        let restore_iter = snap_iter + rollback;
+        let outs = readback_across_restore(seed, restore_iter + 8, age, snap_iter, restore_iter);
+        prop_assert!(!outs.is_empty(), "no post-restore reads recorded");
+        for out in &outs {
+            if !out.degraded {
+                prop_assert!(
+                    out.age >= out.required,
+                    "post-restore undegraded read broke the bound: \
+                     delivered version {} < required {}",
+                    out.age,
+                    out.required
+                );
+            }
+        }
+    }
+}
+
+/// Warm recovery vs cold restart on the same crash: both runs share the
+/// seed, the fault plan and the quality target, so the only difference
+/// is what the crashed island comes back with. Restoring a checkpoint at
+/// most `age` generations old must never converge later than restarting
+/// from scratch, and the rollback distance must honor the age bound.
+#[test]
+fn warm_recovery_converges_no_later_than_cold_restart() {
+    let age = 5u64;
+    let run = |style: RecoveryStyle| {
+        let platform =
+            Platform::paper_ethernet(2).with_faults(FaultPlan::new(42).crash_and_restart(
+                1,
+                SimTime::from_millis(40),
+                SimTime::from_millis(55),
+            ));
+        let exp = GaExperiment {
+            generations: 20,
+            runs: 1,
+            cost: CostModel::deterministic(),
+            platform,
+            modes: vec![Coherence::PartialAsync { age }],
+            read_timeout: Some(SimTime::from_millis(50)),
+            heartbeat: Some(SimTime::from_millis(20)),
+            watchdog: Some(SimTime::from_secs(600)),
+            recovery: Some(style),
+            ..GaExperiment::new(TestFn::F1Sphere, 2)
+        };
+        let res = run_ga_experiment(&exp).expect("recovery cell completes");
+        res.modes[0].clone()
+    };
+
+    let warm = run(RecoveryStyle::Warm);
+    let cold = run(RecoveryStyle::Cold);
+    assert!(warm.restores >= 1, "warm run never restored");
+    assert!(cold.restores >= 1, "cold run never restarted");
+    assert!(
+        warm.max_rollback <= age,
+        "warm rollback {} exceeds the age bound {age}",
+        warm.max_rollback
+    );
+    assert_eq!(cold.max_rollback, 0, "cold restarts roll nothing back");
+    assert!(
+        warm.mean_time <= cold.mean_time,
+        "warm recovery converged later ({:?}) than a cold restart ({:?})",
+        warm.mean_time,
+        cold.mean_time
+    );
+
+    // Same seed, same style: the recovery path itself is deterministic.
+    let warm2 = run(RecoveryStyle::Warm);
+    assert_eq!(warm.mean_time, warm2.mean_time);
+    assert_eq!(warm.restores, warm2.restores);
+    assert_eq!(warm.max_rollback, warm2.max_rollback);
 }
 
 /// The ISSUE's acceptance scenario: ≥1% frame loss plus one node crash

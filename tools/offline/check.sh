@@ -106,6 +106,7 @@ binary() {
         || fail=1
 }
 
+E_CKPT="--extern nscc_ckpt=$OUT/libnscc_ckpt.rlib"
 E_OBS="--extern nscc_obs=$OUT/libnscc_obs.rlib"
 E_SIM="--extern nscc_sim=$OUT/libnscc_sim.rlib"
 E_NET="--extern nscc_net=$OUT/libnscc_net.rlib"
@@ -119,21 +120,22 @@ E_CORE="--extern nscc_core=$OUT/libnscc_core.rlib"
 E_BENCH="--extern nscc_bench=$OUT/libnscc_bench.rlib"
 E_ANALYZE="--extern nscc_analyze=$OUT/libnscc_analyze.rlib"
 
-build nscc_obs crates/obs/src/lib.rs $EXT_PL $EXT_SERDE
-build nscc_sim crates/sim/src/lib.rs $EXT_CB $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS
-build nscc_net crates/net/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM
+build nscc_ckpt crates/ckpt/src/lib.rs
+build nscc_obs crates/obs/src/lib.rs $EXT_PL $EXT_SERDE $E_CKPT
+build nscc_sim crates/sim/src/lib.rs $EXT_CB $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS
+build nscc_net crates/net/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM
 build nscc_faults crates/faults/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_SIM $E_NET
-build nscc_msg crates/msg/src/lib.rs $EXT_PL $EXT_SERDE $E_OBS $E_SIM $E_NET
-build nscc_dsm crates/dsm/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM $E_NET $E_MSG
+build nscc_msg crates/msg/src/lib.rs $EXT_PL $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET
+build nscc_dsm crates/dsm/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_MSG
 itest nscc_dsm crates/dsm/tests/global_read.rs $EXT_PL $E_DSM $E_MSG $E_NET $E_SIM
 itest nscc_dsm crates/dsm/tests/resilience.rs $E_DSM $E_MSG $E_NET $E_SIM
 build nscc_partition crates/partition/src/lib.rs $EXT_RAND
-build nscc_ga crates/ga/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_SIM $E_NET $E_MSG $E_DSM
-build nscc_bayes crates/bayes/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM $E_NET $E_MSG $E_DSM $E_PART
-build nscc_core crates/core/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES
-build nscc_bench crates/bench/src/lib.rs $EXT_PL $EXT_RAND $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE
-build nscc_analyze crates/analyze/src/lib.rs
-build nscc src/lib.rs $EXT_RAND $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_ANALYZE
+build nscc_ga crates/ga/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_SIM $E_NET $E_MSG $E_DSM
+build nscc_bayes crates/bayes/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_MSG $E_DSM $E_PART
+build nscc_core crates/core/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES
+build nscc_bench crates/bench/src/lib.rs $EXT_PL $EXT_RAND $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE
+build nscc_analyze crates/analyze/src/lib.rs $E_CKPT
+build nscc src/lib.rs $EXT_RAND $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_ANALYZE
 # Root integration tests (proptest-based ones run against the shim: three
 # deterministic samples per axis instead of a random search).
 E_NSCC="--extern nscc=$OUT/libnscc.rlib"
@@ -142,14 +144,14 @@ for t in tests/*.rs; do
     itest nscc "$t" $E_NSCC $E_PROPTEST $EXT_RAND
 done
 
-ALL="$EXT_PL $EXT_RAND $EXT_SERDE $EXT_CB $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_BENCH"
+ALL="$EXT_PL $EXT_RAND $EXT_SERDE $EXT_CB $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_BENCH"
 if want nscc_bench; then
     for b in crates/bench/src/bin/*.rs; do
         binary "bench-$(basename "$b" .rs)" "$b" $ALL
     done
 fi
 if want nscc_analyze; then
-    binary nscc-cli crates/analyze/src/bin/nscc.rs $E_ANALYZE
+    binary nscc-cli crates/analyze/src/bin/nscc.rs $E_ANALYZE $E_CKPT
 fi
 
 if [ "$fail" = 0 ]; then
