@@ -4,6 +4,8 @@
 //! nscc inspect <FILE...>                      summarize reports / event dumps
 //! nscc inspect --ckpt <DIR>                   list checkpoint generations
 //! nscc diff <OLD> <NEW>                       structured delta of two runs
+//! nscc heat <REPORT...>                       per-location staleness heatmaps
+//! nscc why <REPORT> [--proc P] [--locn L]     causal read attribution
 //! nscc gate [OPTS] <FRESH...>                 compare against baselines/
 //!   --baselines <DIR>    baseline directory (default: baselines)
 //!   --rel <R>            relative tolerance (default: 0.05)
@@ -18,7 +20,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nscc_analyze::{
-    diff, gate_all, inspect, inspect_ckpt_dir, update_baselines, GateConfig, Report,
+    diff, gate_all, heat, inspect, inspect_ckpt_dir, update_baselines, why, GateConfig, Report,
 };
 
 const USAGE: &str = "\
@@ -28,6 +30,8 @@ usage:
   nscc inspect <FILE...>
   nscc inspect --ckpt <DIR>
   nscc diff <OLD> <NEW>
+  nscc heat <REPORT...>
+  nscc why <REPORT> [--proc P] [--locn L]
   nscc gate [--baselines DIR] [--rel R] [--abs A] [--all] [--update-baselines] <FRESH...>
 
 Artifacts are the BENCH_*.json run reports (NSCC_JSON=1), TRACE_*.json
@@ -45,6 +49,8 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "inspect" => cmd_inspect(rest),
         "diff" => cmd_diff(rest),
+        "heat" => cmd_heat(rest),
+        "why" => cmd_why(rest),
         "gate" => cmd_gate(rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
@@ -113,6 +119,77 @@ fn cmd_diff(files: &[String]) -> ExitCode {
     };
     print!("{}", diff(&a, &b));
     ExitCode::SUCCESS
+}
+
+fn cmd_heat(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("nscc heat: no reports given\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    for (i, path) in files.iter().enumerate() {
+        let rep = match load(path) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        if i > 0 {
+            println!();
+        }
+        print!("{}", heat(&rep));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_why(args: &[String]) -> ExitCode {
+    let mut report: Option<String> = None;
+    let mut proc_sel: Option<String> = None;
+    let mut loc_sel: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--proc" | "--locn" => {
+                let Some(v) = it.next() else {
+                    eprintln!("nscc why: {arg} needs a value");
+                    return ExitCode::from(2);
+                };
+                if arg == "--proc" {
+                    proc_sel = Some(v.clone());
+                } else {
+                    loc_sel = Some(v.clone());
+                }
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("nscc why: unknown flag `{flag}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            path if report.is_none() => report = Some(path.to_string()),
+            extra => {
+                eprintln!("nscc why: unexpected argument `{extra}` (one report at a time)\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = report else {
+        eprintln!("nscc why: no report given\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rep = match load(&path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match why(&rep, proc_sel.as_deref(), loc_sel.as_deref()) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("nscc why: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_gate(args: &[String]) -> ExitCode {

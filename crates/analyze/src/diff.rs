@@ -310,6 +310,39 @@ staleness (iterations):
         assert!(text.contains("3.00us | 12 20 |"));
     }
 
+    /// A v2 report diffed against a v3 report that differs *only* in the
+    /// causal-attribution sections (heat/deps/profile/name maps) must show
+    /// no deltas: the new sections are arrays and string maps, invisible
+    /// to the scalar walk by design, and `schema_version` is excluded from
+    /// the counters.
+    #[test]
+    fn provenance_sections_do_not_pollute_the_diff() {
+        let a = report(
+            "a.json",
+            r#"{"schema_version":2,"name":"ga","metrics":{"speedup":2.0},
+               "obs":{"reads":10}}"#,
+        );
+        let b = report(
+            "b.json",
+            r#"{"schema_version":3,"name":"ga","metrics":{"speedup":2.0},
+               "obs":{"reads":10,
+                 "heat":[{"loc":0,"staleness":{"count":1,"sum":2,"min":2,
+                   "max":2,"mean":2.0,"p50":2,"p99":2,"buckets":[[3,1]]}}],
+                 "deps":[{"reader":1,"loc":0,"writer":0,"blocks":1,
+                   "block_ns":500,"queued_ns":0,"inflight_ns":500,
+                   "retrans_ns":0,"last_write_iter":3,"last_msg_seq":9}],
+                 "profile":[{"pid":0,"phase":"compute","detail":"","samples":8}],
+                 "loc_names":{"0":"best"},"proc_names":{"0":"island0"}}}"#,
+        );
+        let text = diff(&a, &b);
+        assert!(text.contains("speedup: 2\n"), "{text}");
+        // Skip the `diff a.json -> b.json` header: nothing below it may
+        // report a change.
+        let body = text.split_once('\n').unwrap().1;
+        assert!(!body.contains("->"), "unexpected delta:\n{text}");
+        assert!(!body.contains("(missing)"), "unexpected delta:\n{text}");
+    }
+
     #[test]
     fn zero_message_reports_diff_cleanly() {
         let empty_hist = r#"{"count":0,"sum":0,"min":0,"max":0,"mean":0.0,

@@ -14,6 +14,14 @@
 //! - Default scope is the union of `metrics.*` keys: a metric missing on
 //!   either side fails the gate. `--all` widens the scope to every
 //!   numeric scalar in the report (counters, histogram stats).
+//! - A fresh run that dropped raw trace data (events/spans past the hub's
+//!   capture capacity) still gates soundly in the default scope: every
+//!   `metrics.*` value is derived from unbounded counters, not the raw
+//!   streams, so truncation cannot move them. The gate prints a note and
+//!   proceeds. Under `--all` the kept-stream counters (`obs.events`,
+//!   `obs.spans`) enter the scope, and those saturate at the capacity —
+//!   comparing them on a truncated capture is meaningless, so that case
+//!   stays a configuration error.
 //! - A metric passes iff `|new − base| ≤ max(rel·|base|, abs)`. Equality
 //!   at the boundary passes.
 
@@ -94,19 +102,31 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
         return (out, Outcome::ConfigError);
     }
 
-    // A fresh run that dropped raw trace events recorded less than it
-    // claims to summarize: gating it would bless a truncated capture.
+    // Raw trace truncation never moves a `metrics.*` value (those are
+    // counter-derived), so the default scope gates soundly and only gets
+    // a note. `--all` pulls the kept-stream counters (`obs.events`,
+    // `obs.spans`) into scope, and those saturate at the capture
+    // capacity, so gating a truncated capture there is meaningless.
     let obs = fresh.numeric_map("obs");
     let events_dropped = obs.get("events_dropped").copied().unwrap_or(0.0);
     let spans_dropped = obs.get("spans_dropped").copied().unwrap_or(0.0);
     if events_dropped > 0.0 || spans_dropped > 0.0 {
+        if cfg.all {
+            out.push_str(&format!(
+                "  CONFIG ERROR: fresh run dropped raw trace data ({} events, {} spans at \
+                 capture capacity) and --all gates the kept-stream counters — rerun with a \
+                 larger hub capacity or gate the default metric scope\n",
+                num(events_dropped),
+                num(spans_dropped)
+            ));
+            return (out, Outcome::ConfigError);
+        }
         out.push_str(&format!(
-            "  CONFIG ERROR: fresh run dropped raw trace data ({} events, {} spans at \
-             capture capacity) — rerun with a larger hub capacity before gating\n",
+            "  note: fresh run dropped raw trace data ({} events, {} spans at capture \
+             capacity); counters and histograms stay exact, gated metrics are unaffected\n",
             num(events_dropped),
             num(spans_dropped)
         ));
-        return (out, Outcome::ConfigError);
     }
 
     let scope = |r: &Report| -> BTreeMap<String, f64> {
@@ -327,12 +347,27 @@ mod tests {
     }
 
     #[test]
-    fn dropped_trace_events_in_fresh_run_are_a_config_error() {
+    fn dropped_trace_data_is_a_note_by_default_and_a_config_error_under_all() {
         let truncated = report(
             r#"{"schema_version":2,"name":"t","params":{"runs":3,"seed":42},
                "metrics":{"speedup":10.0,"zeroish":0.0},"obs":{"events_dropped":7}}"#,
         );
+        // Default scope gates counter-derived metrics, which truncation
+        // cannot move: note, then a normal verdict.
         let (text, outcome) = gate_pair(&base(), &truncated, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Pass);
+        assert!(
+            text.contains("note: fresh run dropped raw trace data"),
+            "{text}"
+        );
+
+        // --all gates the kept-stream counters, which saturate at the
+        // capture capacity — a truncated capture is not comparable.
+        let cfg = GateConfig {
+            all: true,
+            ..GateConfig::default()
+        };
+        let (text, outcome) = gate_pair(&base(), &truncated, &cfg);
         assert_eq!(outcome, Outcome::ConfigError);
         assert!(text.contains("dropped raw trace data"), "{text}");
         assert_eq!(outcome.exit_code(), 2);

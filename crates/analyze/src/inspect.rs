@@ -30,7 +30,11 @@ pub fn inspect(rep: &Report) -> String {
 // ---------------------------------------------------------------- reports
 
 fn inspect_report(rep: &Report) -> String {
-    let mut out = format!("run report {} (schema v2)\n", rep.path.display());
+    let mut out = format!(
+        "run report {} (schema v{})\n",
+        rep.path.display(),
+        rep.schema_version()
+    );
     out.push_str(&format!("name: {}\n", rep.name()));
 
     for section in ["params", "metrics"] {
@@ -208,7 +212,11 @@ fn inspect_dump(rep: &Report) -> String {
         })
         .unwrap_or_default();
 
-    let mut out = format!("event dump {} (schema v2)\n", rep.path.display());
+    let mut out = format!(
+        "event dump {} (schema v{})\n",
+        rep.path.display(),
+        rep.schema_version()
+    );
     let spans = root.get("spans").and_then(Json::as_arr).unwrap_or(&[]);
     out.push_str(&format!(
         "events: {}  spans: {}\n",

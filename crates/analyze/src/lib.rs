@@ -16,6 +16,12 @@
 //!   attribution (compute vs `Global_Read` blocking vs barrier waits),
 //!   the critical path through send/deliver edges, staleness CDFs,
 //!   queue-depth and warp timelines.
+//! - [`causal::why`] — *why* was a process blocked? Walks the causal
+//!   dependency edges a v3 report carries: which writer's update to which
+//!   location released each blocking `Global_Read`, with the queued /
+//!   in-flight / retransmit-delayed breakdown of the releasing frames.
+//! - [`causal::heat`] — where does staleness concentrate? Per-location
+//!   staleness heatmaps rendered from the `obs.heat` section.
 //! - [`diff`] — what changed between two runs (say `age=0` vs `age=20`)?
 //!   Structured deltas of every metric, counter, histogram percentile,
 //!   and the convergence-vs-virtual-time curve.
@@ -36,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod ckpt;
 pub mod diff;
 pub mod fmt;
@@ -45,6 +52,7 @@ pub mod inspect;
 pub mod json;
 pub mod report;
 
+pub use causal::{heat, why};
 pub use ckpt::inspect_ckpt_dir;
 pub use diff::diff;
 pub use gate::{gate_all, gate_pair, update_baselines, GateConfig, Outcome};

@@ -6,11 +6,16 @@ use std::path::{Path, PathBuf};
 
 use crate::json::{parse, Json};
 
-/// The export schema this analyzer understands. Must track
+/// The newest export schema this analyzer understands. Must track
 /// `nscc_obs::SCHEMA_VERSION` (the analyzer is dependency-free by design,
 /// so the constant is mirrored here; `tests/observability.rs` in the
-/// workspace root pins the two together).
-pub const SCHEMA_VERSION: u64 = 2;
+/// workspace root pins the two together). Every version since
+/// [`MIN_SCHEMA_VERSION`] is additive, so older documents load too — a
+/// v2 report simply has no heatmap/dependency/profile sections.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// The oldest export schema this analyzer still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// A loaded, schema-checked JSON artifact (run report or event dump).
 #[derive(Debug, Clone)]
@@ -22,22 +27,24 @@ pub struct Report {
 }
 
 impl Report {
-    /// Load and schema-check one artifact. Refuses files whose
-    /// `schema_version` is missing or different from [`SCHEMA_VERSION`] —
-    /// guessing at missing or renamed keys produces silently wrong
-    /// analyses, so a mismatch is a hard, explained error.
+    /// Load and schema-check one artifact. Accepts any version in
+    /// `MIN_SCHEMA_VERSION..=SCHEMA_VERSION` (schema growth is additive;
+    /// sections an old writer never emitted simply render empty) and
+    /// refuses anything newer or unstamped — guessing at missing or
+    /// renamed keys produces silently wrong analyses, so those are hard,
+    /// explained errors.
     pub fn load(path: impl AsRef<Path>) -> Result<Report, String> {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
         let root = parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
         match root.get("schema_version").and_then(Json::as_u64) {
-            Some(SCHEMA_VERSION) => {}
+            Some(v) if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&v) => {}
             Some(v) => {
                 return Err(format!(
                     "{}: schema version {v} but this nscc-analyze understands only \
-                     version {SCHEMA_VERSION}; re-run the benchmark with a matching \
-                     toolchain or upgrade nscc-analyze",
+                     versions {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}; re-run the \
+                     benchmark with a matching toolchain or upgrade nscc-analyze",
                     path.display()
                 ))
             }
@@ -53,6 +60,15 @@ impl Report {
             path: path.to_path_buf(),
             root,
         })
+    }
+
+    /// The document's stamped `schema_version` (validated by
+    /// [`load`](Report::load), so always within the accepted range).
+    pub fn schema_version(&self) -> u64 {
+        self.root
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .unwrap_or(SCHEMA_VERSION)
     }
 
     /// The report's `name` field, or the file stem as a fallback.
@@ -153,15 +169,26 @@ mod tests {
     }
 
     #[test]
-    fn refuses_wrong_or_missing_schema() {
-        let old = write_temp("old.json", r#"{"schema_version":1,"name":"x"}"#);
-        let err = Report::load(&old).unwrap_err();
-        assert!(err.contains("schema version 1"), "{err}");
-        assert!(err.contains("version 2"), "{err}");
+    fn accepts_older_schemas_refuses_newer_or_missing() {
+        // v1 and v2 documents predate the causal-attribution sections but
+        // remain loadable (the schema grows additively).
+        for v in 1..=3u64 {
+            let p = write_temp(
+                &format!("v{v}.json"),
+                &format!(r#"{{"schema_version":{v},"name":"x"}}"#),
+            );
+            let rep = Report::load(&p).unwrap_or_else(|e| panic!("v{v}: {e}"));
+            assert_eq!(rep.schema_version(), v);
+            std::fs::remove_file(p).ok();
+        }
+        let newer = write_temp("v4.json", r#"{"schema_version":4,"name":"x"}"#);
+        let err = Report::load(&newer).unwrap_err();
+        assert!(err.contains("schema version 4"), "{err}");
+        assert!(err.contains("1..=3"), "{err}");
         let none = write_temp("none.json", r#"{"name":"x"}"#);
         let err = Report::load(&none).unwrap_err();
         assert!(err.contains("no schema_version"), "{err}");
-        std::fs::remove_file(old).ok();
+        std::fs::remove_file(newer).ok();
         std::fs::remove_file(none).ok();
     }
 

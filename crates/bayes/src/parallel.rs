@@ -582,6 +582,12 @@ pub fn run_parallel_inference(
         Arc::new(Mutex::new(vec![None; parts]));
 
     let mut sim = SimBuilder::new(sim_seed);
+    // The sampling profiler is driven by the scheduler; only attach it
+    // there when profiling is on, so plain json/trace runs keep their
+    // span-free reports byte-for-byte.
+    if let Some(hub) = cfg.obs.as_ref().filter(|h| h.profile_period() > 0) {
+        sim.attach_obs(hub.clone());
+    }
     for rank in 0..parts {
         let node = world.node(rank);
         let owned = plan.owned(rank);

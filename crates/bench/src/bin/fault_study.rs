@@ -19,8 +19,8 @@
 //! finished cells and produces a byte-identical report.
 
 use nscc_bench::{
-    ages_from_env, banner, loss_rates_from_env, make_hub, write_report, write_trace, ResumeOpts,
-    Scale, SweepCkpt,
+    ages_from_env, banner, loss_rates_from_env, make_hub, write_folded, write_report, write_trace,
+    ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
@@ -208,12 +208,12 @@ fn main() {
                 None => {
                     let cell = if ckpt.is_some() {
                         let cell_hub = make_hub(&scale);
-                        let exp_obs = (scale.json || scale.trace).then(|| cell_hub.clone());
+                        let exp_obs = scale.wants_obs().then(|| cell_hub.clone());
                         let mut cell = run_cell(&scale, loss, age, exp_obs);
                         cell.obs = cell_hub.summary();
                         cell
                     } else {
-                        let exp_obs = (scale.json || scale.trace).then(|| hub.clone());
+                        let exp_obs = scale.wants_obs().then(|| hub.clone());
                         run_cell(&scale, loss, age, exp_obs)
                     };
                     if let Some(ck) = ckpt.as_mut() {
@@ -275,4 +275,5 @@ fn main() {
     } else {
         write_trace(&scale, &hub, "fault_study");
     }
+    write_folded(&scale, &rep.obs);
 }

@@ -15,7 +15,8 @@
 //! report.
 
 use nscc_bench::{
-    banner, make_hub, modes_from_env, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
+    banner, make_hub, modes_from_env, write_folded, write_report, write_trace, ResumeOpts, Scale,
+    SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, RunReport};
@@ -133,9 +134,9 @@ fn main() {
                 None => {
                     let (exp_obs, cell_hub) = if ckpt.is_some() {
                         let h = make_hub(&scale);
-                        ((scale.json || scale.trace).then(|| h.clone()), Some(h))
+                        (scale.wants_obs().then(|| h.clone()), Some(h))
                     } else {
-                        ((scale.json || scale.trace).then(|| hub.clone()), None)
+                        (scale.wants_obs().then(|| hub.clone()), None)
                     };
                     let mut exp = GaExperiment {
                         generations: scale.generations,
@@ -207,8 +208,8 @@ fn main() {
                 rep.metric(format!("p{p}_improvement"), improvement);
             }
         }
-        if let Some(acc) = obs_merged {
-            rep.obs = acc;
+        if let Some(acc) = &obs_merged {
+            rep.obs = acc.clone();
         }
         rep.note_degradation();
         write_report(&scale, &rep);
@@ -223,6 +224,11 @@ fn main() {
     } else {
         write_trace(&scale, &hub, "fig2");
     }
+    let folded_obs = match &obs_merged {
+        Some(acc) => acc.clone(),
+        None => hub.summary(),
+    };
+    write_folded(&scale, &folded_obs);
 }
 
 fn mode_labels(per_func: &[Vec<Cell>]) -> Vec<String> {

@@ -3,17 +3,107 @@
 //! asynchronous (rollback), and `Global_Read` ages, for each of the four
 //! Table 2 networks plus the average panel. With `NSCC_JSON=1` (or
 //! `--json`) also writes `BENCH_fig3.json`.
+//!
+//! With `NSCC_CKPT_DIR` set, every completed network cell is
+//! checkpointed; a killed sweep rerun with `NSCC_RESUME=1` (or
+//! `--resume`) skips the finished cells and produces a byte-identical
+//! report.
 
 use nscc_bayes::{StopRule, TABLE2};
-use nscc_bench::{banner, make_hub, write_report, write_trace, Scale};
+use nscc_bench::{
+    banner, make_hub, write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
+};
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_net::NetStats;
+use nscc_obs::{Hub, HubSummary};
 use nscc_sim::SimTime;
+
+/// What one belief-network cell contributes to the figure — the
+/// checkpoint unit of a resumable run.
+struct Cell {
+    net_name: String,
+    seq_time: SimTime,
+    labels: Vec<String>,
+    speedups: Vec<f64>,
+    mean_times: Vec<SimTime>,
+    rollbacks: Vec<f64>,
+    improvement: f64,
+    /// Mean samples drawn per mode — the checkpoint header's iteration
+    /// vector.
+    iters: Vec<u64>,
+    dsm: DsmStats,
+    net_stats: NetStats,
+    obs: HubSummary,
+}
+
+impl Cell {
+    fn from_result(r: &BayesExpResult) -> Cell {
+        Cell {
+            net_name: r.net.name().to_string(),
+            seq_time: r.seq_time,
+            labels: r.modes.iter().map(|m| m.label.clone()).collect(),
+            speedups: r.modes.iter().map(|m| m.speedup).collect(),
+            mean_times: r.modes.iter().map(|m| m.mean_time).collect(),
+            rollbacks: r.modes.iter().map(|m| m.mean_rollbacks).collect(),
+            improvement: r.improvement(),
+            iters: r.modes.iter().map(|m| m.mean_samples as u64).collect(),
+            dsm: r.dsm,
+            net_stats: r.net_stats.clone(),
+            obs: Hub::new().summary(),
+        }
+    }
+
+    /// Index of the best partially-asynchronous mode (for the rollback
+    /// footer line) — mirrors `BayesExpResult::best_partial`.
+    fn best_partial(&self) -> usize {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.starts_with("age="))
+            .max_by(|&(a, _), &(b, _)| self.speedups[a].total_cmp(&self.speedups[b]))
+            .map(|(i, _)| i)
+            .expect("age rows exist")
+    }
+}
+
+impl nscc_ckpt::Snapshot for Cell {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.net_name.encode(enc);
+        self.seq_time.encode(enc);
+        self.labels.encode(enc);
+        self.speedups.encode(enc);
+        self.mean_times.encode(enc);
+        self.rollbacks.encode(enc);
+        self.improvement.encode(enc);
+        self.iters.encode(enc);
+        self.dsm.encode(enc);
+        self.net_stats.encode(enc);
+        self.obs.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(Cell {
+            net_name: nscc_ckpt::Snapshot::decode(dec)?,
+            seq_time: nscc_ckpt::Snapshot::decode(dec)?,
+            labels: nscc_ckpt::Snapshot::decode(dec)?,
+            speedups: nscc_ckpt::Snapshot::decode(dec)?,
+            mean_times: nscc_ckpt::Snapshot::decode(dec)?,
+            rollbacks: nscc_ckpt::Snapshot::decode(dec)?,
+            improvement: nscc_ckpt::Snapshot::decode(dec)?,
+            iters: nscc_ckpt::Snapshot::decode(dec)?,
+            dsm: nscc_ckpt::Snapshot::decode(dec)?,
+            net_stats: nscc_ckpt::Snapshot::decode(dec)?,
+            obs: nscc_ckpt::Snapshot::decode(dec)?,
+        })
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
+    let ropts = ResumeOpts::from_env();
+    let mut ckpt = SweepCkpt::from_opts(&ropts, "fig3");
     print!(
         "{}",
         banner(
@@ -23,23 +113,63 @@ fn main() {
     );
 
     let hub = make_hub(&scale);
-    let mut results: Vec<BayesExpResult> = Vec::new();
-    for netid in TABLE2 {
-        let mut exp = BayesExperiment {
-            stop: StopRule {
-                halfwidth: scale.ci,
-                ..StopRule::default()
-            },
-            runs: scale.runs,
-            base_seed: scale.seed,
-            obs: (scale.json || scale.trace).then(|| hub.clone()),
-            ..BayesExperiment::new(netid, 2)
+    let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut results: Vec<Cell> = Vec::new();
+    for (ci, netid) in TABLE2.iter().enumerate() {
+        let cell_idx = ci as u64;
+        let loaded: Option<Cell> =
+            ckpt.as_ref()
+                .and_then(|c| c.load_cell(cell_idx))
+                .and_then(|payload| match nscc_ckpt::from_bytes(&payload) {
+                    Ok(cell) => Some(cell),
+                    Err(e) => {
+                        eprintln!("warning: recomputing cell {cell_idx}: {e}");
+                        None
+                    }
+                });
+        let cell = match loaded {
+            Some(cell) => cell,
+            None => {
+                let (exp_obs, cell_hub) = if ckpt.is_some() {
+                    let h = make_hub(&scale);
+                    (scale.wants_obs().then(|| h.clone()), Some(h))
+                } else {
+                    (scale.wants_obs().then(|| hub.clone()), None)
+                };
+                let mut exp = BayesExperiment {
+                    stop: StopRule {
+                        halfwidth: scale.ci,
+                        ..StopRule::default()
+                    },
+                    runs: scale.runs,
+                    base_seed: scale.seed,
+                    obs: exp_obs,
+                    ..BayesExperiment::new(*netid, 2)
+                };
+                exp.platform.msg.mailbox_warn = scale.mailbox_warn;
+                let res = run_bayes_experiment(&exp).expect("experiment runs");
+                let mut cell = Cell::from_result(&res);
+                if let Some(h) = cell_hub {
+                    cell.obs = h.summary();
+                }
+                if let Some(ck) = ckpt.as_mut() {
+                    ck.save_cell(
+                        cell_idx,
+                        cell.seq_time.as_nanos(),
+                        &cell.iters,
+                        &nscc_ckpt::to_bytes(&cell),
+                    );
+                }
+                cell
+            }
         };
-        exp.platform.msg.mailbox_warn = scale.mailbox_warn;
-        results.push(run_bayes_experiment(&exp).expect("experiment runs"));
+        if let Some(acc) = obs_merged.as_mut() {
+            acc.merge(&cell.obs);
+        }
+        results.push(cell);
     }
 
-    let labels: Vec<String> = results[0].modes.iter().map(|m| m.label.clone()).collect();
+    let labels: Vec<String> = results[0].labels.clone();
     let mut rows = vec![{
         let mut h = vec!["network".to_string(), "seq(s)".to_string()];
         h.extend(labels.iter().cloned());
@@ -48,13 +178,13 @@ fn main() {
     }];
     for r in &results {
         let mut row = vec![
-            r.net.name().to_string(),
+            r.net_name.clone(),
             format!("{:.2}", r.seq_time.as_secs_f64()),
         ];
-        for m in &r.modes {
-            row.push(f2(m.speedup));
+        for s in &r.speedups {
+            row.push(f2(*s));
         }
-        row.push(format!("{:+.0}%", r.improvement() * 100.0));
+        row.push(format!("{:+.0}%", r.improvement * 100.0));
         rows.push(row);
     }
     // Average panel: ratio of summed sequential to summed parallel times.
@@ -63,7 +193,7 @@ fn main() {
     let mut best_partial = f64::MIN;
     let mut best_comp = 1.0f64;
     for (mi, label) in labels.iter().enumerate() {
-        let mode_total: SimTime = results.iter().map(|r| r.modes[mi].mean_time).sum();
+        let mode_total: SimTime = results.iter().map(|r| r.mean_times[mi]).sum();
         let s = seq_total.as_secs_f64() / mode_total.as_secs_f64();
         if label.starts_with("age=") {
             best_partial = best_partial.max(s);
@@ -81,9 +211,9 @@ fn main() {
             .iter()
             .map(|r| format!(
                 "{}: async={:.0} best-age={:.0}",
-                r.net.name(),
-                r.modes[1].mean_rollbacks,
-                r.best_partial().mean_rollbacks
+                r.net_name,
+                r.rollbacks[1],
+                r.rollbacks[r.best_partial()]
             ))
             .collect::<Vec<_>>()
             .join("  ")
@@ -100,17 +230,34 @@ fn main() {
         for r in &results {
             dsm.merge(&r.dsm);
             net.merge(&r.net_stats);
-            let name = r.net.name();
+            let name = &r.net_name;
             rep.metric(format!("{name}_seq_s"), r.seq_time.as_secs_f64());
-            rep.metric(format!("{name}_improvement"), r.improvement());
-            for m in &r.modes {
-                rep.metric(format!("{name}_{}", m.label), m.speedup);
+            rep.metric(format!("{name}_improvement"), r.improvement);
+            for (label, s) in r.labels.iter().zip(&r.speedups) {
+                rep.metric(format!("{name}_{label}"), *s);
             }
         }
         rep.dsm = dsm;
         rep.net = Some(net);
+        if let Some(acc) = &obs_merged {
+            rep.obs = acc.clone();
+        }
         rep.note_degradation();
         write_report(&scale, &rep);
     }
-    write_trace(&scale, &hub, "fig3");
+    if ckpt.is_some() {
+        if scale.trace {
+            eprintln!(
+                "note: NSCC_TRACE is unsupported with NSCC_CKPT_DIR (events live in \
+                 per-cell hubs); no TRACE_fig3.json written"
+            );
+        }
+    } else {
+        write_trace(&scale, &hub, "fig3");
+    }
+    let folded_obs = match &obs_merged {
+        Some(acc) => acc.clone(),
+        None => hub.summary(),
+    };
+    write_folded(&scale, &folded_obs);
 }

@@ -5,18 +5,94 @@
 //! Prints function 1 and the average over the benchmark functions, and
 //! the best-partial-over-best-competitor improvement per load level —
 //! the paper's headline claim is that this improvement *grows* with load.
+//!
+//! With `NSCC_CKPT_DIR` set, every completed panel × load × function
+//! cell is checkpointed; a killed sweep rerun with `NSCC_RESUME=1` (or
+//! `--resume`) skips the finished cells and produces a byte-identical
+//! report.
 
-use nscc_bench::{banner, make_hub, modes_from_env, write_report, write_trace, Scale};
+use nscc_bench::{
+    banner, make_hub, modes_from_env, write_folded, write_report, write_trace, ResumeOpts, Scale,
+    SweepCkpt,
+};
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
 use nscc_msg::CommStats;
 use nscc_net::NetStats;
+use nscc_obs::{Hub, HubSummary};
 use nscc_sim::SimTime;
+
+/// What one panel × load × function cell contributes to the figure — the
+/// checkpoint unit of a resumable run. `times[i]` is mode `labels[i]`'s
+/// mean completion time (`SimTime::MAX` marks a DNF).
+struct Cell {
+    serial_time: SimTime,
+    labels: Vec<String>,
+    times: Vec<SimTime>,
+    warps: Vec<f64>,
+    /// Mean generations per mode — the checkpoint header's iteration
+    /// vector.
+    iters: Vec<u64>,
+    dsm: DsmStats,
+    net: NetStats,
+    comm: CommStats,
+    obs: HubSummary,
+}
+
+impl Cell {
+    fn from_result(r: &GaExpResult) -> Cell {
+        let mut dsm = DsmStats::default();
+        for m in &r.modes {
+            dsm.merge(&m.dsm);
+        }
+        Cell {
+            serial_time: r.serial_time,
+            labels: r.modes.iter().map(|m| m.label.clone()).collect(),
+            times: r.modes.iter().map(|m| m.mean_time).collect(),
+            warps: r.modes.iter().map(|m| m.mean_warp).collect(),
+            iters: r.modes.iter().map(|m| m.mean_generations as u64).collect(),
+            dsm,
+            net: r.net.clone(),
+            comm: r.comm,
+            obs: Hub::new().summary(),
+        }
+    }
+}
+
+impl nscc_ckpt::Snapshot for Cell {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.serial_time.encode(enc);
+        self.labels.encode(enc);
+        self.times.encode(enc);
+        self.warps.encode(enc);
+        self.iters.encode(enc);
+        self.dsm.encode(enc);
+        self.net.encode(enc);
+        self.comm.encode(enc);
+        self.obs.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(Cell {
+            serial_time: nscc_ckpt::Snapshot::decode(dec)?,
+            labels: nscc_ckpt::Snapshot::decode(dec)?,
+            times: nscc_ckpt::Snapshot::decode(dec)?,
+            warps: nscc_ckpt::Snapshot::decode(dec)?,
+            iters: nscc_ckpt::Snapshot::decode(dec)?,
+            dsm: nscc_ckpt::Snapshot::decode(dec)?,
+            net: nscc_ckpt::Snapshot::decode(dec)?,
+            comm: nscc_ckpt::Snapshot::decode(dec)?,
+            obs: nscc_ckpt::Snapshot::decode(dec)?,
+        })
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
+    let ropts = ResumeOpts::from_env();
+    let mut ckpt = SweepCkpt::from_opts(&ropts, "fig4");
     let all_functions = std::env::args().any(|a| a == "--all-functions");
     print!(
         "{}",
@@ -35,42 +111,82 @@ fn main() {
 
     let hub = make_hub(&scale);
     let modes = modes_from_env();
+    let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut dsm = DsmStats::default();
     let mut net = NetStats::default();
     let mut comm = CommStats::default();
     // Metric rows collected from the averaged panel for the JSON report.
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
-    for (title, funcs) in [
+    for (ti, (title, funcs)) in [
         ("best case: function 1 (sphere)", &functions[..1]),
         ("average over functions", functions),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         println!("\n-- {title} --");
         let mut rows: Vec<Vec<String>> = Vec::new();
-        for &load in &loads {
-            let mut per_func: Vec<GaExpResult> = Vec::new();
-            for &func in funcs {
-                let mut exp = GaExperiment {
-                    generations: scale.generations,
-                    runs: scale.runs,
-                    base_seed: scale.seed,
-                    platform: Platform::loaded_ethernet(4, load),
-                    obs: (scale.json || scale.trace).then(|| hub.clone()),
-                    modes: modes.clone().unwrap_or_else(GaExperiment::default_modes),
-                    ..GaExperiment::new(func, 4)
+        for (li, &load) in loads.iter().enumerate() {
+            let mut per_func: Vec<Cell> = Vec::new();
+            for (fi, &func) in funcs.iter().enumerate() {
+                let cell_idx = ((ti * loads.len() + li) * functions.len() + fi) as u64;
+                let loaded: Option<Cell> = ckpt
+                    .as_ref()
+                    .and_then(|c| c.load_cell(cell_idx))
+                    .and_then(|payload| match nscc_ckpt::from_bytes(&payload) {
+                        Ok(cell) => Some(cell),
+                        Err(e) => {
+                            eprintln!("warning: recomputing cell {cell_idx}: {e}");
+                            None
+                        }
+                    });
+                let cell = match loaded {
+                    Some(cell) => cell,
+                    None => {
+                        let (exp_obs, cell_hub) = if ckpt.is_some() {
+                            let h = make_hub(&scale);
+                            (scale.wants_obs().then(|| h.clone()), Some(h))
+                        } else {
+                            (scale.wants_obs().then(|| hub.clone()), None)
+                        };
+                        let mut exp = GaExperiment {
+                            generations: scale.generations,
+                            runs: scale.runs,
+                            base_seed: scale.seed,
+                            platform: Platform::loaded_ethernet(4, load),
+                            obs: exp_obs,
+                            modes: modes.clone().unwrap_or_else(GaExperiment::default_modes),
+                            ..GaExperiment::new(func, 4)
+                        };
+                        exp.platform.msg.mailbox_warn = scale.mailbox_warn;
+                        let res = run_ga_experiment(&exp).expect("experiment runs");
+                        let mut cell = Cell::from_result(&res);
+                        if let Some(h) = cell_hub {
+                            cell.obs = h.summary();
+                        }
+                        if let Some(ck) = ckpt.as_mut() {
+                            ck.save_cell(
+                                cell_idx,
+                                cell.serial_time.as_nanos(),
+                                &cell.iters,
+                                &nscc_ckpt::to_bytes(&cell),
+                            );
+                        }
+                        cell
+                    }
                 };
-                exp.platform.msg.mailbox_warn = scale.mailbox_warn;
-                let res = run_ga_experiment(&exp).expect("experiment runs");
-                net.merge(&res.net);
-                comm.merge(&res.comm);
-                for m in &res.modes {
-                    dsm.merge(&m.dsm);
+                if let Some(acc) = obs_merged.as_mut() {
+                    acc.merge(&cell.obs);
                 }
-                per_func.push(res);
+                net.merge(&cell.net);
+                comm.merge(&cell.comm);
+                dsm.merge(&cell.dsm);
+                per_func.push(cell);
             }
             if rows.is_empty() {
                 let mut h = vec!["load (Mbps)".to_string()];
-                h.extend(per_func[0].modes.iter().map(|m| m.label.clone()));
+                h.extend(per_func[0].labels.iter().cloned());
                 h.push("best-partial/best-comp".to_string());
                 h.push("warp(async)".to_string());
                 rows.push(h);
@@ -78,8 +194,8 @@ fn main() {
             let serial_total: SimTime = per_func.iter().map(|f| f.serial_time).sum();
             let mut row = vec![format!("{load}")];
             let mut speedups = Vec::new();
-            for mi in 0..per_func[0].modes.len() {
-                let times: Vec<SimTime> = per_func.iter().map(|f| f.modes[mi].mean_time).collect();
+            for mi in 0..per_func[0].labels.len() {
+                let times: Vec<SimTime> = per_func.iter().map(|f| f.times[mi]).collect();
                 if times.iter().any(|&t| t == SimTime::MAX) {
                     speedups.push(0.0);
                     row.push("DNF".to_string());
@@ -92,8 +208,7 @@ fn main() {
             }
             // Rows are matched by label, not position, so a restricted
             // `NSCC_MODES` list keeps the summary honest.
-            let mode_labels: Vec<&str> =
-                per_func[0].modes.iter().map(|m| m.label.as_str()).collect();
+            let mode_labels: Vec<&str> = per_func[0].labels.iter().map(String::as_str).collect();
             let best_partial = mode_labels
                 .iter()
                 .zip(&speedups)
@@ -115,14 +230,14 @@ fn main() {
             // Warp of the fully-async mode, averaged over functions (only
             // reported when `async` is in the mode set).
             let warp: Option<f64> = mode_labels.iter().position(|&l| l == "async").map(|ai| {
-                per_func.iter().map(|f| f.modes[ai].mean_warp).sum::<f64>() / per_func.len() as f64
+                per_func.iter().map(|f| f.warps[ai]).sum::<f64>() / per_func.len() as f64
             });
             row.push(warp.map_or("n/a".to_string(), |w| format!("{w:.2}")));
             rows.push(row);
             // Report metrics come from the averaged panel only.
             if funcs.len() == functions.len() {
                 for (mi, s) in speedups.iter().enumerate() {
-                    let label = &per_func[0].modes[mi].label;
+                    let label = &per_func[0].labels[mi];
                     metrics.push((format!("load{load}_{label}"), *s));
                 }
                 if improvement.is_finite() {
@@ -149,8 +264,25 @@ fn main() {
         rep.dsm = dsm;
         rep.net = Some(net);
         rep.comm = Some(comm);
+        if let Some(acc) = &obs_merged {
+            rep.obs = acc.clone();
+        }
         rep.note_degradation();
         write_report(&scale, &rep);
     }
-    write_trace(&scale, &hub, "fig4");
+    if ckpt.is_some() {
+        if scale.trace {
+            eprintln!(
+                "note: NSCC_TRACE is unsupported with NSCC_CKPT_DIR (events live in \
+                 per-cell hubs); no TRACE_fig4.json written"
+            );
+        }
+    } else {
+        write_trace(&scale, &hub, "fig4");
+    }
+    let folded_obs = match &obs_merged {
+        Some(acc) => acc.clone(),
+        None => hub.summary(),
+    };
+    write_folded(&scale, &folded_obs);
 }

@@ -4,7 +4,7 @@
 //! `--json`) also writes `BENCH_table1.json` (no simulation is involved,
 //! so the report carries only the per-function minima).
 
-use nscc_bench::{make_hub, write_report, write_trace, Scale};
+use nscc_bench::{make_hub, write_folded, write_report, write_trace, Scale};
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
@@ -52,6 +52,7 @@ fn main() {
         write_report(&scale, &rep);
     }
     write_trace(&scale, &hub, "table1");
+    write_folded(&scale, &hub.summary());
 }
 
 /// The minimum as printed in Table 1.

@@ -5,7 +5,7 @@
 //! baseline is sequential, so no DSM/network counters are involved).
 
 use nscc_bayes::{Plan, StopRule, TABLE2};
-use nscc_bench::{banner, make_hub, write_report, write_trace, Scale};
+use nscc_bench::{banner, make_hub, write_folded, write_report, write_trace, Scale};
 use nscc_core::fmt::render_table;
 use nscc_core::{run_sequential, BayesExperiment, RunReport};
 
@@ -77,4 +77,5 @@ fn main() {
     print!("{}", render_table(&rows));
     write_report(&scale, &rep);
     write_trace(&scale, &hub, "table2");
+    write_folded(&scale, &hub.summary());
 }

@@ -5,19 +5,56 @@
 //! `NSCC_JSON=1` (or `--json`) also writes `BENCH_warp_study.json`,
 //! including the observability hub's warp timeline and network-delay
 //! histogram aggregated over every load level.
+//!
+//! With `NSCC_CKPT_DIR` set, every completed load level is checkpointed;
+//! a killed sweep rerun with `NSCC_RESUME=1` (or `--resume`) skips the
+//! finished cells and produces a byte-identical report.
 
-use nscc_bench::{make_hub, write_report, write_trace, Scale};
+use nscc_bench::{make_hub, write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt};
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
 use nscc_msg::{CommWorld, MsgConfig};
 use nscc_net::{spawn_loaders, EthernetBus, LoaderConfig, Network, NodeId, WarpMeter};
-use nscc_obs::Hub;
+use nscc_obs::{Hub, HubSummary};
 use nscc_sim::{SimBuilder, SimTime};
+
+/// What one load level contributes to the study — the checkpoint unit of
+/// a resumable run.
+struct Cell {
+    warp_mean: f64,
+    warp_p95: f64,
+    warp_max: f64,
+    delay_ms: f64,
+    obs: HubSummary,
+}
+
+impl nscc_ckpt::Snapshot for Cell {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        self.warp_mean.encode(enc);
+        self.warp_p95.encode(enc);
+        self.warp_max.encode(enc);
+        self.delay_ms.encode(enc);
+        self.obs.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(Cell {
+            warp_mean: nscc_ckpt::Snapshot::decode(dec)?,
+            warp_p95: nscc_ckpt::Snapshot::decode(dec)?,
+            warp_max: nscc_ckpt::Snapshot::decode(dec)?,
+            delay_ms: nscc_ckpt::Snapshot::decode(dec)?,
+            obs: nscc_ckpt::Snapshot::decode(dec)?,
+        })
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
+    let ropts = ResumeOpts::from_env();
+    let mut ckpt = SweepCkpt::from_opts(&ropts, "warp_study");
     println!("=== Warp metric vs offered background load (10 Mbps Ethernet) ===");
     let hub = make_hub(&scale);
+    let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut rep = RunReport::new("warp_study", &hub);
     let mut rows = vec![vec![
         "load (Mbps)".to_string(),
@@ -26,19 +63,55 @@ fn main() {
         "max warp".to_string(),
         "mean delay (ms)".to_string(),
     ]];
-    for &load in &[0.0, 2.0, 4.0, 6.0, 8.0, 9.5] {
-        let (warp, delay_ms) = measure(load, (scale.json || scale.trace).then(|| hub.clone()));
+    for (ci, &load) in [0.0, 2.0, 4.0, 6.0, 8.0, 9.5].iter().enumerate() {
+        let cell_idx = ci as u64;
+        let loaded: Option<Cell> =
+            ckpt.as_ref()
+                .and_then(|c| c.load_cell(cell_idx))
+                .and_then(|payload| match nscc_ckpt::from_bytes(&payload) {
+                    Ok(cell) => Some(cell),
+                    Err(e) => {
+                        eprintln!("warning: recomputing cell {cell_idx}: {e}");
+                        None
+                    }
+                });
+        let cell = match loaded {
+            Some(cell) => cell,
+            None => {
+                let (exp_obs, cell_hub) = if ckpt.is_some() {
+                    let h = make_hub(&scale);
+                    (scale.wants_obs().then(|| h.clone()), Some(h))
+                } else {
+                    (scale.wants_obs().then(|| hub.clone()), None)
+                };
+                let (warp, delay_ms) = measure(load, exp_obs);
+                let cell = Cell {
+                    warp_mean: warp.0,
+                    warp_p95: warp.1,
+                    warp_max: warp.2,
+                    delay_ms,
+                    obs: cell_hub.map_or_else(|| Hub::new().summary(), |h| h.summary()),
+                };
+                if let Some(ck) = ckpt.as_mut() {
+                    ck.save_cell(cell_idx, 0, &[], &nscc_ckpt::to_bytes(&cell));
+                }
+                cell
+            }
+        };
+        if let Some(acc) = obs_merged.as_mut() {
+            acc.merge(&cell.obs);
+        }
         rows.push(vec![
             format!("{load}"),
-            format!("{:.3}", warp.0),
-            format!("{:.3}", warp.1),
-            format!("{:.2}", warp.2),
-            format!("{delay_ms:.2}"),
+            format!("{:.3}", cell.warp_mean),
+            format!("{:.3}", cell.warp_p95),
+            format!("{:.2}", cell.warp_max),
+            format!("{:.2}", cell.delay_ms),
         ]);
-        rep.metric(format!("load{load}_warp_mean"), warp.0);
-        rep.metric(format!("load{load}_warp_p95"), warp.1);
-        rep.metric(format!("load{load}_warp_max"), warp.2);
-        rep.metric(format!("load{load}_delay_ms"), delay_ms);
+        rep.metric(format!("load{load}_warp_mean"), cell.warp_mean);
+        rep.metric(format!("load{load}_warp_p95"), cell.warp_p95);
+        rep.metric(format!("load{load}_warp_max"), cell.warp_max);
+        rep.metric(format!("load{load}_delay_ms"), cell.delay_ms);
     }
     print!("{}", render_table(&rows));
     println!("\nwarp ≈ 1: stable network; warp ≫ 1: load is building up (§4.3).");
@@ -46,10 +119,27 @@ fn main() {
     if scale.json {
         // The hub summary was captured before the runs; refresh it so the
         // report carries the aggregated warp timeline and delay histogram.
-        rep.obs = hub.summary();
+        rep.obs = match &obs_merged {
+            Some(acc) => acc.clone(),
+            None => hub.summary(),
+        };
         write_report(&scale, &rep);
     }
-    write_trace(&scale, &hub, "warp_study");
+    if ckpt.is_some() {
+        if scale.trace {
+            eprintln!(
+                "note: NSCC_TRACE is unsupported with NSCC_CKPT_DIR (events live in \
+                 per-cell hubs); no TRACE_warp_study.json written"
+            );
+        }
+    } else {
+        write_trace(&scale, &hub, "warp_study");
+    }
+    let folded_obs = match &obs_merged {
+        Some(acc) => acc.clone(),
+        None => hub.summary(),
+    };
+    write_folded(&scale, &folded_obs);
 }
 
 /// Run a fixed two-node message pattern under `load` Mbps of background
@@ -61,11 +151,17 @@ fn measure(load: f64, hub: Option<Hub>) -> ((f64, f64, f64), f64) {
     let warp = WarpMeter::new();
     let mut world: CommWorld<u64> =
         CommWorld::new(net.clone(), 2, MsgConfig::default()).with_warp(warp.clone());
+    let mut sim = SimBuilder::new(7);
     if let Some(hub) = hub {
         net.attach_obs(hub.clone());
+        // The sampling profiler is driven by the scheduler; only attach
+        // it there when profiling is on, so plain json/trace runs keep
+        // their span-free reports byte-for-byte.
+        if hub.profile_period() > 0 {
+            sim.attach_obs(hub.clone());
+        }
         world = world.with_obs(hub);
     }
-    let mut sim = SimBuilder::new(7);
     if load > 0.0 {
         spawn_loaders(
             &mut sim,

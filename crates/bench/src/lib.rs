@@ -29,9 +29,17 @@
 //!   When set, a rank whose mailbox backlog crosses it emits a one-line
 //!   stderr warning plus an observability event, and the run report
 //!   records the high watermark.
+//! * `NSCC_FOLDED` — path of a collapsed-stack profile to write
+//!   (`process;phase;location count` lines, the input format of
+//!   `inferno` / `flamegraph.pl`). Setting it turns on the hub's
+//!   deterministic virtual-time sampling profiler; same seed → byte
+//!   identical output.
+//! * `NSCC_PROFILE_US` — sampling period of that profiler in virtual
+//!   microseconds (default 100; only meaningful with `NSCC_FOLDED`).
 //! * `NSCC_CKPT_DIR` — directory for sweep checkpoints. When set, the
-//!   sweep bins (`fault_study`, `fig2`) persist each completed cell so a
-//!   killed run can restart from the last completed point.
+//!   sweep bins (`fault_study`, `fig2`, `fig3`, `fig4`, `warp_study`)
+//!   persist each completed cell so a killed run can restart from the
+//!   last completed point.
 //! * `NSCC_RESUME` — set to `1`/`true` (or pass `--resume`) to reuse the
 //!   cells already in `NSCC_CKPT_DIR` instead of clearing them; the
 //!   resumed run produces a byte-identical `BENCH_<name>.json`.
@@ -49,10 +57,10 @@ use std::fmt::Write as _;
 
 use nscc_core::RunReport;
 use nscc_dsm::Coherence;
-use nscc_obs::Hub;
+use nscc_obs::{Hub, HubSummary};
 
 /// Harness scale, read from the environment with bench-friendly defaults.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Scale {
     /// Repetitions per experiment cell.
     pub runs: usize,
@@ -72,6 +80,12 @@ pub struct Scale {
     /// Mailbox-depth warning threshold (messages); `None` disables the
     /// warning (the high watermark is still recorded).
     pub mailbox_warn: Option<u64>,
+    /// Path of the collapsed-stack profile to write (`NSCC_FOLDED`);
+    /// `None` leaves the sampling profiler off entirely.
+    pub folded: Option<String>,
+    /// Sampling period of the virtual-time profiler, in virtual
+    /// microseconds (`NSCC_PROFILE_US`).
+    pub profile_us: u64,
 }
 
 impl Scale {
@@ -129,7 +143,30 @@ impl Scale {
                 "NSCC_MAILBOX_WARN",
                 "a positive integer (e.g. NSCC_MAILBOX_WARN=64)",
             )?,
+            folded: get("NSCC_FOLDED")
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty()),
+            profile_us: match env_num(
+                get,
+                "NSCC_PROFILE_US",
+                100,
+                "a positive integer of virtual microseconds (e.g. NSCC_PROFILE_US=100)",
+            )? {
+                0 => {
+                    return Err("NSCC_PROFILE_US=\"0\" is malformed: expected a positive \
+                                integer of virtual microseconds (e.g. NSCC_PROFILE_US=100)"
+                        .to_string())
+                }
+                us => us,
+            },
         })
+    }
+
+    /// Whether any observability consumer is enabled — JSON report, raw
+    /// trace, or folded profile — i.e. whether the bench should attach a
+    /// hub to the experiment at all.
+    pub fn wants_obs(&self) -> bool {
+        self.json || self.trace || self.folded.is_some()
     }
 
     /// The paper's full scale (25 GA runs, 1000 generations, CI ±0.01).
@@ -143,6 +180,8 @@ impl Scale {
             trace: false,
             snap_ms: 100,
             mailbox_warn: None,
+            folded: None,
+            profile_us: 100,
         }
     }
 }
@@ -433,6 +472,9 @@ pub fn make_hub(scale: &Scale) -> Hub {
     if scale.snap_ms > 0 {
         hub.sample_every(scale.snap_ms.saturating_mul(1_000_000));
     }
+    if scale.folded.is_some() {
+        hub.profile_every(scale.profile_us.saturating_mul(1_000));
+    }
     hub
 }
 
@@ -444,6 +486,50 @@ pub fn write_trace(scale: &Scale, hub: &Hub, name: &str) {
     }
     let path = format!("TRACE_{name}.json");
     match std::fs::write(&path, hub.export_events_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Render a hub summary's virtual-time profile as collapsed-stack lines
+/// (`process;phase;location count`, sorted) — the input format of
+/// `inferno` and `flamegraph.pl`. Rows that never accumulated a sample
+/// are omitted; rows whose phase has no detail collapse to two frames.
+pub fn folded_stacks(obs: &HubSummary) -> String {
+    let mut merged: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for row in &obs.profile {
+        if row.samples == 0 {
+            continue;
+        }
+        let proc = obs
+            .proc_names
+            .get(&row.pid)
+            .cloned()
+            .unwrap_or_else(|| format!("p{}", row.pid));
+        let stack = if row.detail.is_empty() {
+            format!("{proc};{}", row.phase)
+        } else {
+            format!("{proc};{};{}", row.phase, row.detail)
+        };
+        *merged.entry(stack).or_insert(0) += row.samples;
+    }
+    let mut out = String::new();
+    for (stack, samples) in merged {
+        let _ = writeln!(out, "{stack} {samples}");
+    }
+    out
+}
+
+/// Write the collapsed-stack profile to the `NSCC_FOLDED` path when one
+/// is set (no-op otherwise), echoing the path written. The profile is a
+/// pure function of the virtual clock, so same-seed runs produce byte
+/// identical files.
+pub fn write_folded(scale: &Scale, obs: &HubSummary) {
+    let path = match &scale.folded {
+        Some(p) => p,
+        None => return,
+    };
+    match std::fs::write(path, folded_stacks(obs)) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
@@ -560,6 +646,45 @@ mod tests {
         assert_eq!(s.mailbox_warn, Some(64));
         let e = Scale::parse(&env(&[("NSCC_MAILBOX_WARN", "lots")])).unwrap_err();
         assert!(e.contains("NSCC_MAILBOX_WARN"), "{e}");
+    }
+
+    #[test]
+    fn folded_profile_parses_and_renders() {
+        let s = Scale::parse(&env(&[])).unwrap();
+        assert_eq!(s.folded, None);
+        assert_eq!(s.profile_us, 100);
+        assert!(!s.wants_obs());
+        let s = Scale::parse(&env(&[
+            ("NSCC_FOLDED", " out.folded "),
+            ("NSCC_PROFILE_US", "50"),
+        ]))
+        .unwrap();
+        assert_eq!(s.folded.as_deref(), Some("out.folded"));
+        assert_eq!(s.profile_us, 50);
+        assert!(s.wants_obs(), "a folded profile needs an attached hub");
+        let e = Scale::parse(&env(&[("NSCC_PROFILE_US", "0")])).unwrap_err();
+        assert!(e.contains("NSCC_PROFILE_US"), "{e}");
+
+        let mut obs = Hub::new().summary();
+        obs.proc_names.insert(0, "island0".to_string());
+        for (pid, phase, detail, samples) in [
+            (0u32, "compute", "", 3u64),
+            (0, "Global_Read", "best", 2),
+            (1, "compute", "", 1),
+            (2, "barrier", "", 0),
+        ] {
+            obs.profile.push(nscc_obs::ProfileRow {
+                pid,
+                phase: phase.to_string(),
+                detail: detail.to_string(),
+                samples,
+            });
+        }
+        let text = folded_stacks(&obs);
+        assert_eq!(
+            text, "island0;Global_Read;best 2\nisland0;compute 3\np1;compute 1\n",
+            "sorted, named, zero-sample rows dropped"
+        );
     }
 
     #[test]

@@ -266,6 +266,12 @@ fn run_parallel_once(
     if let Some(hub) = exp.obs.as_ref().filter(|_| observe) {
         net.attach_obs(hub.clone());
         world = world.with_obs(hub.clone());
+        // The sampling profiler is driven by the scheduler; only attach
+        // it there when profiling is on, so plain json/trace runs keep
+        // their span-free reports byte-for-byte.
+        if hub.profile_period() > 0 {
+            sim.attach_obs(hub.clone());
+        }
     }
     if chaos {
         if let Some(to) = exp.read_timeout {

@@ -286,7 +286,10 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             if !readers.is_empty() {
                 self.stats.updates_sent += readers.len() as u64;
                 // One pack, one wire frame on broadcast media (pvm_mcast).
-                self.ep.multicast(
+                // Tagged with (writer, loc, iter) provenance so blocked
+                // readers can attribute their release; the stamp only
+                // exists when a hub is attached.
+                self.ep.multicast_tagged(
                     ctx,
                     &readers,
                     DsmMsg::Update {
@@ -294,6 +297,8 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                         age: iter,
                         value: value.clone(),
                     },
+                    loc.0,
+                    iter,
                 );
             }
         }
@@ -415,7 +420,18 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                 loc: loc.0,
                 required,
             });
+            // Tell the profiler what this process is blocked *on*: samples
+            // taken during the wait fold under `Global_Read;<locn>`.
+            hub.annotate_phase(
+                self.rank as u32,
+                "Global_Read",
+                self.dir.meta(loc).name.clone(),
+            );
         }
+        // Provenance of the last arriving update that satisfies this read:
+        // `(received_at, sent_at, stamp)`. Whichever such update was
+        // applied most recently is the one whose arrival released us.
+        let mut dep: Option<(SimTime, SimTime, nscc_msg::Provenance)> = None;
         let mut deadline = self.timeout.map(|to| t0 + to);
         loop {
             let env = match deadline {
@@ -439,6 +455,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                                     required,
                                     delivered: *have,
                                 });
+                                hub.clear_phase(self.rank as u32);
                             }
                             self.flush_stats();
                             return ReadOutcome {
@@ -455,6 +472,13 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                     }
                 },
             };
+            if self.obs.is_some() {
+                if let (Some(p), DsmMsg::Update { loc: l, age: a, .. }) = (env.prov, &env.payload) {
+                    if *l == loc && *a >= required {
+                        dep = Some((ctx.now(), env.sent_at, p));
+                    }
+                }
+            }
             self.apply(env);
             if let Some((have, v)) = self.cache.get(&loc) {
                 if *have >= required {
@@ -488,6 +512,28 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                             SpanKind::Phase,
                             format!("Global_Read:{}", self.dir.meta(loc).name),
                         );
+                        // Causal attribution: which write released us, and
+                        // where its latency went. In-flight time is the
+                        // delivery latency minus what queueing and the
+                        // retransmit protocol already account for.
+                        if let Some((recv_at, sent_at, p)) = dep {
+                            let total = recv_at.saturating_sub(sent_at).as_nanos();
+                            hub.emit(ObsEvent::ReadDep {
+                                t_ns: ctx.now().as_nanos(),
+                                reader: self.rank as u32,
+                                writer: p.writer,
+                                loc: loc.0,
+                                write_iter: p.write_iter,
+                                msg_seq: p.msg_seq,
+                                block_ns: block_time.as_nanos(),
+                                queued_ns: p.queued_ns,
+                                inflight_ns: total
+                                    .saturating_sub(p.queued_ns)
+                                    .saturating_sub(p.retrans_ns),
+                                retrans_ns: p.retrans_ns,
+                            });
+                        }
+                        hub.clear_phase(self.rank as u32);
                     }
                     self.flush_stats();
                     return out;

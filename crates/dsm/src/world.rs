@@ -54,8 +54,13 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
     /// Attach an observability hub: every node built afterwards emits
     /// structured read/write/barrier events, and the message layer
     /// forwards warp samples (when a meter is attached). Detached costs
-    /// one branch per operation.
+    /// one branch per operation. The directory's location names are
+    /// registered with the hub so heatmaps and dependency listings render
+    /// `best`/`mig3` instead of raw location ids.
     pub fn with_obs(mut self, hub: Hub) -> Self {
+        for (loc, meta) in self.dir.iter() {
+            hub.set_loc_name(loc.0, meta.name.clone());
+        }
         self.comm = self.comm.with_obs(hub.clone());
         self.obs = Some(hub);
         self

@@ -53,6 +53,32 @@ impl Default for MsgConfig {
     }
 }
 
+/// Causal provenance of one tagged message: which writer generated which
+/// location at which iteration, plus the frame's virtual-time budget so
+/// far. Stamped by [`Endpoint::send_tagged`] /
+/// [`Endpoint::multicast_tagged`] **only when an observability hub is
+/// attached** — detached worlds never allocate a sequence number or probe
+/// the medium, preserving the zero-cost-when-detached guarantee.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Provenance {
+    /// Writing rank.
+    pub writer: u32,
+    /// Location identifier (the DSM's `LocId.0`).
+    pub loc: u32,
+    /// Writer's iteration number when the value was generated.
+    pub write_iter: u64,
+    /// World-unique message sequence number (allocation order is
+    /// deterministic because the simulation is).
+    pub msg_seq: u64,
+    /// Time the frame waited for the medium before its first transmission
+    /// could start, in nanoseconds (probed at submit time).
+    pub queued_ns: u64,
+    /// Delay added by the reliable layer's retransmissions: original
+    /// submit → start of the delivering attempt. Zero on first-try
+    /// deliveries and on unreliable transports.
+    pub retrans_ns: u64,
+}
+
 /// A received message with its transport metadata.
 #[derive(Debug, Clone)]
 pub struct Envelope<T> {
@@ -60,6 +86,9 @@ pub struct Envelope<T> {
     pub src: usize,
     /// Virtual time at which the sender submitted the message.
     pub sent_at: SimTime,
+    /// Causal provenance, present only on tagged sends from a world with
+    /// an observability hub attached (see [`Provenance`]).
+    pub prov: Option<Provenance>,
     /// The payload.
     pub payload: T,
 }
@@ -137,6 +166,8 @@ impl nscc_ckpt::Snapshot for CommStats {
 pub(crate) struct WorldInner {
     pub(crate) stats: CommStats,
     pub(crate) rel: RelState,
+    /// Next provenance sequence number (see [`Provenance::msg_seq`]).
+    pub(crate) prov_seq: u64,
 }
 
 /// A communication world of `p` ranks over one simulated network.
@@ -172,6 +203,7 @@ impl<T: Send + 'static> CommWorld<T> {
             inner: Arc::new(Mutex::new(WorldInner {
                 stats: CommStats::default(),
                 rel: RelState::default(),
+                prov_seq: 0,
             })),
         }
     }
@@ -266,6 +298,33 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
     /// Send `payload` to `dst`, charging the sender's CPU overhead and
     /// occupying the network. Returns the scheduled arrival time.
     pub fn send(&self, ctx: &mut Ctx, dst: usize, payload: T) -> SimTime {
+        self.send_prov(ctx, dst, payload, None)
+    }
+
+    /// [`send`](Endpoint::send) with a causal provenance stamp: the
+    /// envelope records that this message carries `loc` as generated in
+    /// the sender's iteration `write_iter`. When no observability hub is
+    /// attached the stamp is skipped entirely (no sequence allocation, no
+    /// medium probe) and this is exactly `send`.
+    pub fn send_tagged(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        payload: T,
+        loc: u32,
+        write_iter: u64,
+    ) -> SimTime {
+        let prov = self.stamp(ctx, loc, write_iter);
+        self.send_prov(ctx, dst, payload, prov)
+    }
+
+    fn send_prov(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        payload: T,
+        prov: Option<Provenance>,
+    ) -> SimTime {
         assert!(
             dst < self.boxes.len(),
             "destination rank {dst} out of range"
@@ -284,6 +343,7 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
         let env = Envelope {
             src: self.rank,
             sent_at: ctx.now(),
+            prov,
             payload,
         };
         match self.cfg.reliable {
@@ -297,6 +357,32 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
             ),
             Some(rc) => self.rel_send(ctx, dst, bytes, env, rc),
         }
+    }
+
+    /// Build the provenance stamp for a tagged send, or `None` when the
+    /// world has no hub (the zero-cost-when-detached path: one branch).
+    /// The queueing probe is read *before* the send occupies the medium,
+    /// so it reflects the backlog this frame actually waits behind.
+    fn stamp(&self, ctx: &Ctx, loc: u32, write_iter: u64) -> Option<Provenance> {
+        if self.obs.is_none() {
+            return None;
+        }
+        let msg_seq = {
+            let mut inner = self.inner.lock();
+            let s = inner.prov_seq;
+            inner.prov_seq += 1;
+            s
+        };
+        // The probe uses the post-overhead submit time the frame will see.
+        let at = ctx.now() + self.cfg.send_overhead;
+        Some(Provenance {
+            writer: self.rank as u32,
+            loc,
+            write_iter,
+            msg_seq,
+            queued_ns: self.net.queue_delay(at).as_nanos(),
+            retrans_ns: 0,
+        })
     }
 
     /// Hand one envelope to the ack/retransmit layer (see
@@ -345,11 +431,29 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
     /// (one wire frame on broadcast media). Destination order must not
     /// include this rank.
     pub fn multicast(&self, ctx: &mut Ctx, dsts: &[usize], payload: T) {
+        self.multicast_prov(ctx, dsts, payload, None)
+    }
+
+    /// [`multicast`](Endpoint::multicast) with a causal provenance stamp
+    /// (see [`Endpoint::send_tagged`]); every copy carries the same stamp.
+    pub fn multicast_tagged(
+        &self,
+        ctx: &mut Ctx,
+        dsts: &[usize],
+        payload: T,
+        loc: u32,
+        write_iter: u64,
+    ) {
+        let prov = self.stamp(ctx, loc, write_iter);
+        self.multicast_prov(ctx, dsts, payload, prov)
+    }
+
+    fn multicast_prov(&self, ctx: &mut Ctx, dsts: &[usize], payload: T, prov: Option<Provenance>) {
         if dsts.is_empty() {
             return;
         }
         if dsts.len() == 1 {
-            self.send(ctx, dsts[0], payload);
+            self.send_prov(ctx, dsts[0], payload, prov);
             return;
         }
         for &d in dsts {
@@ -366,6 +470,7 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
         let env = Envelope {
             src: self.rank,
             sent_at: ctx.now(),
+            prov,
             payload,
         };
         if let Some(rc) = self.cfg.reliable {

@@ -30,6 +30,6 @@ mod comm;
 mod reliable;
 mod wire;
 
-pub use comm::{CommStats, CommWorld, Endpoint, Envelope, MsgConfig};
+pub use comm::{CommStats, CommWorld, Endpoint, Envelope, MsgConfig, Provenance};
 pub use reliable::ReliableConfig;
 pub use wire::wire_size;

@@ -182,6 +182,13 @@ pub(crate) fn attempt<T: Clone + Send + 'static>(
                     attempt: n + 1,
                 });
             }
+            let mut mm = mm;
+            if let Some(p) = &mut mm.env.prov {
+                // Provenance keeps the delay the retransmit protocol has
+                // added so far: original submit → start of this attempt.
+                // Receivers see the stamp of whichever attempt delivered.
+                p.retrans_ns = ec.now().saturating_sub(mm.env.sent_at).as_nanos();
+            }
             attempt(ec, &mm, n + 1);
         }),
     );

@@ -273,6 +273,15 @@ impl Network {
         self.plan(now, src, dst, payload_bytes).arrival
     }
 
+    /// How long a frame submitted at `now` would wait for the medium to go
+    /// idle before its transmission starts. A pure probe: nothing is
+    /// submitted, no statistics move. Provenance-stamping layers use this
+    /// to split a message's latency into queueing vs time on the wire.
+    pub fn queue_delay(&self, now: SimTime) -> SimTime {
+        let inner = self.inner.lock();
+        inner.medium.next_free(now).saturating_sub(now)
+    }
+
     /// Submit a frame, account for it, and return the planned
     /// [`Transmission`] — arrival time plus delivery verdict. Protocol
     /// layers that schedule their own delivery events (e.g. an

@@ -226,6 +226,32 @@ pub enum ObsEvent {
         /// which abandons state instead of rolling it back).
         rollback: u64,
     },
+    /// A blocking `Global_Read` was satisfied: the provenance of the
+    /// update that released it, plus the virtual-time breakdown of the
+    /// wait (queued-for-medium vs in-flight vs retransmit-delayed). This
+    /// is the edge of the causal read-dependency graph.
+    ReadDep {
+        /// Completion time of the read.
+        t_ns: u64,
+        /// Blocked reading rank.
+        reader: u32,
+        /// Rank that wrote the releasing update.
+        writer: u32,
+        /// Location index.
+        loc: u32,
+        /// Generation (iteration) tag of the releasing write.
+        write_iter: u64,
+        /// Writer-local sequence number of the releasing message.
+        msg_seq: u64,
+        /// Total time the read spent blocked.
+        block_ns: u64,
+        /// Time the releasing frame waited for the medium before service.
+        queued_ns: u64,
+        /// Service + propagation time of the delivering transmission.
+        inflight_ns: u64,
+        /// Extra delay attributable to retransmissions (0 on first try).
+        retrans_ns: u64,
+    },
     /// A mailbox's queue depth crossed its configured warn threshold
     /// (`NSCC_MAILBOX_WARN`) — backpressure is building.
     MailboxHigh {
@@ -266,6 +292,7 @@ impl ObsEvent {
             | ObsEvent::WriterSuspected { t_ns, .. }
             | ObsEvent::Checkpoint { t_ns, .. }
             | ObsEvent::Restore { t_ns, .. }
+            | ObsEvent::ReadDep { t_ns, .. }
             | ObsEvent::MailboxHigh { t_ns, .. }
             | ObsEvent::Custom { t_ns, .. } => t_ns,
         }
@@ -291,6 +318,7 @@ impl ObsEvent {
             ObsEvent::WriterSuspected { .. } => "writer_suspected",
             ObsEvent::Checkpoint { .. } => "checkpoint",
             ObsEvent::Restore { .. } => "restore",
+            ObsEvent::ReadDep { .. } => "read_dep",
             ObsEvent::MailboxHigh { .. } => "mailbox_high",
             ObsEvent::Custom { .. } => "custom",
         }

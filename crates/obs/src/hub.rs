@@ -34,6 +34,19 @@ struct EventStore {
     capacity: usize,
 }
 
+/// Aggregation cell behind one causal dependency edge (reader, loc,
+/// writer). Kept private; exported as [`DepEdge`] rows.
+#[derive(Default)]
+struct DepAgg {
+    blocks: u64,
+    block_ns: u64,
+    queued_ns: u64,
+    inflight_ns: u64,
+    retrans_ns: u64,
+    last_write_iter: u64,
+    last_msg_seq: u64,
+}
+
 struct HubInner {
     events: Mutex<EventStore>,
     trace: Trace,
@@ -43,6 +56,18 @@ struct HubInner {
     net_delay_ns: Mutex<Histogram>,
     rollback: Mutex<Histogram>,
     names: Mutex<BTreeMap<u32, String>>,
+    loc_names: Mutex<BTreeMap<u32, String>>,
+    /// Per-location staleness heatmap: loc → delivered-age histogram.
+    heat: Mutex<BTreeMap<u32, Histogram>>,
+    /// Causal dependency edges: (reader, loc, writer) → aggregate.
+    deps: Mutex<BTreeMap<(u32, u32, u32), DepAgg>>,
+    /// Virtual-time profiler samples: (pid, phase, detail) → count.
+    profile: Mutex<BTreeMap<(u32, String, String), u64>>,
+    /// Per-pid phase annotation for blocked-time attribution
+    /// (phase, detail), set by layers around blocking operations.
+    phase_ann: Mutex<BTreeMap<u32, (String, String)>>,
+    /// Profiler sampling period in virtual ns (0 = disabled).
+    profile_every_ns: AtomicU64,
     snapshots: Mutex<Vec<MetricSnapshot>>,
     /// Virtual-time snapshot cadence (0 = disabled).
     snap_every_ns: AtomicU64,
@@ -100,6 +125,12 @@ impl Hub {
                 net_delay_ns: Mutex::new(Histogram::new()),
                 rollback: Mutex::new(Histogram::new()),
                 names: Mutex::new(BTreeMap::new()),
+                loc_names: Mutex::new(BTreeMap::new()),
+                heat: Mutex::new(BTreeMap::new()),
+                deps: Mutex::new(BTreeMap::new()),
+                profile: Mutex::new(BTreeMap::new()),
+                phase_ann: Mutex::new(BTreeMap::new()),
+                profile_every_ns: AtomicU64::new(0),
                 snapshots: Mutex::new(Vec::new()),
                 snap_every_ns: AtomicU64::new(0),
                 snap_next_ns: AtomicU64::new(0),
@@ -127,6 +158,7 @@ impl Hub {
         let t_ns = ev.t_ns();
         match ev {
             ObsEvent::ReadDone {
+                loc,
                 staleness,
                 blocked,
                 block_ns,
@@ -134,8 +166,38 @@ impl Hub {
             } => {
                 self.inner.reads.fetch_add(1, Ordering::Relaxed);
                 self.inner.staleness.lock().record(staleness);
+                self.inner
+                    .heat
+                    .lock()
+                    .entry(loc)
+                    .or_insert_with(Histogram::new)
+                    .record(staleness);
                 if blocked {
                     self.inner.block_ns.lock().record(block_ns);
+                }
+            }
+            ObsEvent::ReadDep {
+                reader,
+                writer,
+                loc,
+                write_iter,
+                msg_seq,
+                block_ns,
+                queued_ns,
+                inflight_ns,
+                retrans_ns,
+                ..
+            } => {
+                let mut deps = self.inner.deps.lock();
+                let e = deps.entry((reader, loc, writer)).or_default();
+                e.blocks += 1;
+                e.block_ns += block_ns;
+                e.queued_ns += queued_ns;
+                e.inflight_ns += inflight_ns;
+                e.retrans_ns += retrans_ns;
+                if write_iter >= e.last_write_iter {
+                    e.last_write_iter = write_iter;
+                    e.last_msg_seq = msg_seq;
                 }
             }
             ObsEvent::Write { .. } => {
@@ -275,6 +337,115 @@ impl Hub {
         self.inner.names.lock().insert(pid, name.into());
     }
 
+    /// Name a DSM location for heatmap/`nscc why` rendering.
+    pub fn set_loc_name(&self, loc: u32, name: impl Into<String>) {
+        self.inner.loc_names.lock().insert(loc, name.into());
+    }
+
+    /// Registered location names.
+    pub fn loc_names(&self) -> BTreeMap<u32, String> {
+        self.inner.loc_names.lock().clone()
+    }
+
+    /// Per-location staleness heatmap rows, sorted by location.
+    pub fn heat(&self) -> Vec<HeatRow> {
+        self.inner
+            .heat
+            .lock()
+            .iter()
+            .map(|(loc, h)| HeatRow {
+                loc: *loc,
+                staleness: h.clone(),
+            })
+            .collect()
+    }
+
+    /// Aggregated causal dependency edges, sorted by (reader, loc, writer).
+    pub fn deps(&self) -> Vec<DepEdge> {
+        self.inner
+            .deps
+            .lock()
+            .iter()
+            .map(|(&(reader, loc, writer), a)| DepEdge {
+                reader,
+                loc,
+                writer,
+                blocks: a.blocks,
+                block_ns: a.block_ns,
+                queued_ns: a.queued_ns,
+                inflight_ns: a.inflight_ns,
+                retrans_ns: a.retrans_ns,
+                last_write_iter: a.last_write_iter,
+                last_msg_seq: a.last_msg_seq,
+            })
+            .collect()
+    }
+
+    /// Enable the deterministic virtual-time sampling profiler: span
+    /// sites contribute one sample per `period_ns` of virtual time
+    /// covered (0 disables). Storage is a sorted map, so the folded
+    /// export is byte-identical across same-seed runs.
+    pub fn profile_every(&self, period_ns: u64) {
+        self.inner
+            .profile_every_ns
+            .store(period_ns, Ordering::Relaxed);
+    }
+
+    /// The profiler sampling period (0 = disabled).
+    pub fn profile_period(&self) -> u64 {
+        self.inner.profile_every_ns.load(Ordering::Relaxed)
+    }
+
+    /// Credit `samples` profiler samples to `(pid, phase, detail)`.
+    /// `detail` may be empty (the folded line then has two segments).
+    pub fn profile_add(&self, pid: u32, phase: &str, detail: &str, samples: u64) {
+        if samples == 0 {
+            return;
+        }
+        *self
+            .inner
+            .profile
+            .lock()
+            .entry((pid, phase.to_string(), detail.to_string()))
+            .or_insert(0) += samples;
+    }
+
+    /// Profiler rows, sorted by (pid, phase, detail).
+    pub fn profile_rows(&self) -> Vec<ProfileRow> {
+        self.inner
+            .profile
+            .lock()
+            .iter()
+            .map(|((pid, phase, detail), n)| ProfileRow {
+                pid: *pid,
+                phase: phase.clone(),
+                detail: detail.clone(),
+                samples: *n,
+            })
+            .collect()
+    }
+
+    /// Annotate what `pid` is blocked on (e.g. `("Global_Read", "v3")`)
+    /// so profiler samples taken during the block attribute to the
+    /// location instead of a generic reason. Cleared with
+    /// [`Hub::clear_phase`].
+    pub fn annotate_phase(&self, pid: u32, phase: impl Into<String>, detail: impl Into<String>) {
+        self.inner
+            .phase_ann
+            .lock()
+            .insert(pid, (phase.into(), detail.into()));
+    }
+
+    /// Drop `pid`'s phase annotation.
+    pub fn clear_phase(&self, pid: u32) {
+        self.inner.phase_ann.lock().remove(&pid);
+    }
+
+    /// The current phase annotation for `pid`, if any.
+    pub fn phase_of(&self, pid: u32) -> Option<(String, String)> {
+        self.inner.phase_ann.lock().get(&pid).cloned()
+    }
+
     /// The span trace shared by this hub.
     pub fn trace(&self) -> &Trace {
         &self.inner.trace
@@ -362,6 +533,11 @@ impl Hub {
             rollback: self.rollback(),
             warp: self.inner.warp.summary(),
             snapshots: self.snapshots(),
+            heat: self.heat(),
+            deps: self.deps(),
+            profile: self.profile_rows(),
+            loc_names: self.loc_names(),
+            proc_names: self.proc_names(),
         }
     }
 
@@ -462,6 +638,69 @@ pub struct HubSummary {
     /// Periodic metric snapshots (empty unless [`Hub::sample_every`] was
     /// enabled): the convergence-vs-virtual-time curve of the run.
     pub snapshots: Vec<MetricSnapshot>,
+    /// Per-location staleness heatmap (sorted by location). Serialized as
+    /// an array so metric-diff tooling, which only walks numeric object
+    /// fields, stays blind to it.
+    pub heat: Vec<HeatRow>,
+    /// Aggregated causal read-dependency edges (sorted by reader, loc,
+    /// writer). Array-valued for the same diff-blindness reason.
+    pub deps: Vec<DepEdge>,
+    /// Virtual-time profiler rows (sorted by pid, phase, detail); empty
+    /// unless [`Hub::profile_every`] was enabled.
+    pub profile: Vec<ProfileRow>,
+    /// DSM location names, for rendering heat/deps human-readably.
+    pub loc_names: BTreeMap<u32, String>,
+    /// Process/rank names, mirrored from the trace layer.
+    pub proc_names: BTreeMap<u32, String>,
+}
+
+/// One row of the per-location staleness heatmap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HeatRow {
+    /// Location index.
+    pub loc: u32,
+    /// Delivered-age histogram for reads of this location.
+    pub staleness: Histogram,
+}
+
+/// One aggregated edge of the causal read-dependency graph: everything
+/// blocking reads by `reader` on `loc` owed to updates from `writer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DepEdge {
+    /// Blocked reading rank.
+    pub reader: u32,
+    /// Location index.
+    pub loc: u32,
+    /// Rank whose updates released the reads.
+    pub writer: u32,
+    /// Number of blocking reads this edge released.
+    pub blocks: u64,
+    /// Total virtual ns those reads spent blocked.
+    pub block_ns: u64,
+    /// Total queued-for-medium ns of the releasing frames.
+    pub queued_ns: u64,
+    /// Total in-flight (service + propagation) ns of the releasing frames.
+    pub inflight_ns: u64,
+    /// Total retransmit-attributable delay ns of the releasing frames.
+    pub retrans_ns: u64,
+    /// Generation tag of the newest releasing write on this edge.
+    pub last_write_iter: u64,
+    /// Writer-local sequence number of that newest releasing message.
+    pub last_msg_seq: u64,
+}
+
+/// One profiler row: virtual-time samples credited to a
+/// (process, phase, detail) collapsed stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ProfileRow {
+    /// Sampled process/rank.
+    pub pid: u32,
+    /// Phase name (`compute`, `Global_Read`, `blocked`, …).
+    pub phase: String,
+    /// Finer attribution (location name, block reason); may be empty.
+    pub detail: String,
+    /// Samples credited (one per profiler period of virtual time).
+    pub samples: u64,
 }
 
 impl HubSummary {
@@ -498,7 +737,76 @@ impl HubSummary {
         self.rollback.merge(&other.rollback);
         self.warp = merge_warp(&self.warp, &other.warp);
         self.snapshots.extend(other.snapshots.iter().copied());
+        merge_heat(&mut self.heat, &other.heat);
+        merge_deps(&mut self.deps, &other.deps);
+        merge_profile(&mut self.profile, &other.profile);
+        for (k, v) in &other.loc_names {
+            self.loc_names.entry(*k).or_insert_with(|| v.clone());
+        }
+        for (k, v) in &other.proc_names {
+            self.proc_names.entry(*k).or_insert_with(|| v.clone());
+        }
     }
+}
+
+/// Merge heatmap rows by location, keeping the sorted order.
+fn merge_heat(into: &mut Vec<HeatRow>, other: &[HeatRow]) {
+    let mut map: BTreeMap<u32, Histogram> = into.drain(..).map(|r| (r.loc, r.staleness)).collect();
+    for r in other {
+        map.entry(r.loc)
+            .or_insert_with(Histogram::new)
+            .merge(&r.staleness);
+    }
+    *into = map
+        .into_iter()
+        .map(|(loc, staleness)| HeatRow { loc, staleness })
+        .collect();
+}
+
+/// Merge dependency edges by (reader, loc, writer): counters add, the
+/// newest releasing write wins the `last_*` fields.
+fn merge_deps(into: &mut Vec<DepEdge>, other: &[DepEdge]) {
+    let mut map: BTreeMap<(u32, u32, u32), DepEdge> = into
+        .drain(..)
+        .map(|e| ((e.reader, e.loc, e.writer), e))
+        .collect();
+    for e in other {
+        map.entry((e.reader, e.loc, e.writer))
+            .and_modify(|m| {
+                m.blocks += e.blocks;
+                m.block_ns += e.block_ns;
+                m.queued_ns += e.queued_ns;
+                m.inflight_ns += e.inflight_ns;
+                m.retrans_ns += e.retrans_ns;
+                if e.last_write_iter >= m.last_write_iter {
+                    m.last_write_iter = e.last_write_iter;
+                    m.last_msg_seq = e.last_msg_seq;
+                }
+            })
+            .or_insert(*e);
+    }
+    *into = map.into_values().collect();
+}
+
+/// Merge profiler rows by (pid, phase, detail); sample counts add.
+fn merge_profile(into: &mut Vec<ProfileRow>, other: &[ProfileRow]) {
+    let mut map: BTreeMap<(u32, String, String), u64> = into
+        .drain(..)
+        .map(|r| ((r.pid, r.phase, r.detail), r.samples))
+        .collect();
+    for r in other {
+        *map.entry((r.pid, r.phase.clone(), r.detail.clone()))
+            .or_insert(0) += r.samples;
+    }
+    *into = map
+        .into_iter()
+        .map(|((pid, phase, detail), samples)| ProfileRow {
+            pid,
+            phase,
+            detail,
+            samples,
+        })
+        .collect();
 }
 
 /// Pairwise merge of two warp digests (see [`HubSummary::merge`]).
@@ -549,6 +857,11 @@ impl nscc_ckpt::Snapshot for HubSummary {
         self.rollback.encode(enc);
         self.warp.encode(enc);
         self.snapshots.encode(enc);
+        self.heat.encode(enc);
+        self.deps.encode(enc);
+        self.profile.encode(enc);
+        encode_name_map(&self.loc_names, enc);
+        encode_name_map(&self.proc_names, enc);
     }
 
     fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
@@ -581,6 +894,105 @@ impl nscc_ckpt::Snapshot for HubSummary {
             rollback: Histogram::decode(dec)?,
             warp: WarpSummary::decode(dec)?,
             snapshots: Vec::<MetricSnapshot>::decode(dec)?,
+            heat: Vec::<HeatRow>::decode(dec)?,
+            deps: Vec::<DepEdge>::decode(dec)?,
+            profile: Vec::<ProfileRow>::decode(dec)?,
+            loc_names: decode_name_map(dec)?,
+            proc_names: decode_name_map(dec)?,
+        })
+    }
+}
+
+/// Encode a name map as a length-prefixed vector of (id, name) pairs.
+fn encode_name_map(map: &BTreeMap<u32, String>, enc: &mut nscc_ckpt::Enc) {
+    enc.put_u64(map.len() as u64);
+    for (k, v) in map {
+        enc.put_u32(*k);
+        enc.put_str(v);
+    }
+}
+
+/// Decode the [`encode_name_map`] layout back into a sorted map.
+fn decode_name_map(
+    dec: &mut nscc_ckpt::Dec<'_>,
+) -> Result<BTreeMap<u32, String>, nscc_ckpt::CkptError> {
+    let n = dec.u64()?;
+    let mut map = BTreeMap::new();
+    for _ in 0..n {
+        let k = dec.u32()?;
+        let v = dec.str_()?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+impl nscc_ckpt::Snapshot for HeatRow {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u32(self.loc);
+        self.staleness.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(HeatRow {
+            loc: dec.u32()?,
+            staleness: Histogram::decode(dec)?,
+        })
+    }
+}
+
+impl nscc_ckpt::Snapshot for DepEdge {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u32(self.reader);
+        enc.put_u32(self.loc);
+        enc.put_u32(self.writer);
+        for v in [
+            self.blocks,
+            self.block_ns,
+            self.queued_ns,
+            self.inflight_ns,
+            self.retrans_ns,
+            self.last_write_iter,
+            self.last_msg_seq,
+        ] {
+            enc.put_u64(v);
+        }
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        let (reader, loc, writer) = (dec.u32()?, dec.u32()?, dec.u32()?);
+        let mut vals = [0u64; 7];
+        for v in &mut vals {
+            *v = dec.u64()?;
+        }
+        Ok(DepEdge {
+            reader,
+            loc,
+            writer,
+            blocks: vals[0],
+            block_ns: vals[1],
+            queued_ns: vals[2],
+            inflight_ns: vals[3],
+            retrans_ns: vals[4],
+            last_write_iter: vals[5],
+            last_msg_seq: vals[6],
+        })
+    }
+}
+
+impl nscc_ckpt::Snapshot for ProfileRow {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u32(self.pid);
+        enc.put_str(&self.phase);
+        enc.put_str(&self.detail);
+        enc.put_u64(self.samples);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(ProfileRow {
+            pid: dec.u32()?,
+            phase: dec.str_()?,
+            detail: dec.str_()?,
+            samples: dec.u64()?,
         })
     }
 }
@@ -893,8 +1305,15 @@ mod tests {
             bytes: 64,
         });
         hub.warp_sample(10, 1.25);
+        hub.emit(read_dep(1, 0, 2));
+        hub.profile_add(1, "compute", "", 12);
+        hub.set_loc_name(2, "v2");
+        hub.set_proc_name(1, "rank1");
         let s = hub.summary();
         assert!(!s.snapshots.is_empty());
+        assert!(!s.heat.is_empty());
+        assert!(!s.deps.is_empty());
+        assert!(!s.profile.is_empty());
         let bytes = nscc_ckpt::to_bytes(&s);
         let back: HubSummary = nscc_ckpt::from_bytes(&bytes).expect("decodes");
         assert_eq!(back.reads, s.reads);
@@ -905,8 +1324,124 @@ mod tests {
         assert_eq!(back.rollback, s.rollback);
         assert_eq!(back.warp, s.warp);
         assert_eq!(back.snapshots, s.snapshots);
+        assert_eq!(back.heat, s.heat);
+        assert_eq!(back.deps, s.deps);
+        assert_eq!(back.profile, s.profile);
+        assert_eq!(back.loc_names, s.loc_names);
+        assert_eq!(back.proc_names, s.proc_names);
         // Byte-identity of the re-encoding: decode∘encode is the identity.
         assert_eq!(nscc_ckpt::to_bytes(&back), bytes);
+    }
+
+    fn read_dep(reader: u32, loc: u32, writer: u32) -> ObsEvent {
+        ObsEvent::ReadDep {
+            t_ns: 50,
+            reader,
+            writer,
+            loc,
+            write_iter: 9,
+            msg_seq: 4,
+            block_ns: 1_000,
+            queued_ns: 100,
+            inflight_ns: 800,
+            retrans_ns: 0,
+        }
+    }
+
+    #[test]
+    fn read_done_feeds_per_location_heatmap() {
+        let hub = Hub::new();
+        hub.emit(read_done(3, false, 0));
+        hub.emit(ObsEvent::ReadDone {
+            t_ns: 1,
+            rank: 0,
+            loc: 7,
+            curr_iter: 10,
+            requested: 5,
+            delivered: 5,
+            staleness: 5,
+            blocked: false,
+            block_ns: 0,
+        });
+        let heat = hub.heat();
+        assert_eq!(heat.len(), 2);
+        assert_eq!(heat[0].loc, 0);
+        assert_eq!(heat[0].staleness.max(), 3);
+        assert_eq!(heat[1].loc, 7);
+        assert_eq!(heat[1].staleness.count(), 1);
+    }
+
+    #[test]
+    fn read_deps_aggregate_per_edge() {
+        let hub = Hub::new();
+        hub.emit(read_dep(1, 0, 2));
+        hub.emit(read_dep(1, 0, 2));
+        hub.emit(read_dep(3, 0, 2));
+        let deps = hub.deps();
+        assert_eq!(deps.len(), 2);
+        assert_eq!((deps[0].reader, deps[0].loc, deps[0].writer), (1, 0, 2));
+        assert_eq!(deps[0].blocks, 2);
+        assert_eq!(deps[0].block_ns, 2_000);
+        assert_eq!(deps[0].last_write_iter, 9);
+        assert_eq!(deps[0].last_msg_seq, 4);
+        assert_eq!(deps[1].reader, 3);
+    }
+
+    #[test]
+    fn profile_rows_sorted_and_mergeable() {
+        let hub = Hub::new();
+        hub.profile_every(1_000_000);
+        assert_eq!(hub.profile_period(), 1_000_000);
+        hub.profile_add(1, "blocked", "v0", 3);
+        hub.profile_add(0, "compute", "", 10);
+        hub.profile_add(1, "blocked", "v0", 2);
+        hub.profile_add(1, "compute", "", 0); // zero samples: no row
+        let rows = hub.profile_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].pid, rows[0].samples), (0, 10));
+        assert_eq!((rows[1].pid, rows[1].samples), (1, 5));
+
+        let mut a = hub.summary();
+        let b = hub.summary();
+        a.merge(&b);
+        assert_eq!(a.profile[0].samples, 20);
+        assert_eq!(a.profile[1].samples, 10);
+        assert_eq!(a.heat, hub.summary().heat); // both empty
+        assert_eq!(a.deps.len(), 0);
+    }
+
+    #[test]
+    fn phase_annotations_set_and_clear() {
+        let hub = Hub::new();
+        assert!(hub.phase_of(4).is_none());
+        hub.annotate_phase(4, "Global_Read", "v3");
+        assert_eq!(
+            hub.phase_of(4),
+            Some(("Global_Read".to_string(), "v3".to_string()))
+        );
+        hub.clear_phase(4);
+        assert!(hub.phase_of(4).is_none());
+    }
+
+    #[test]
+    fn summary_merge_folds_heat_and_deps() {
+        let a = Hub::new();
+        a.emit(read_done(3, false, 0));
+        a.emit(read_dep(1, 0, 2));
+        a.set_loc_name(0, "v0");
+        let b = Hub::new();
+        b.emit(read_done(1, false, 0));
+        b.emit(read_dep(1, 0, 2));
+        b.emit(read_dep(2, 5, 0));
+        b.set_loc_name(5, "v5");
+        let mut m = a.summary();
+        m.merge(&b.summary());
+        assert_eq!(m.heat.len(), 1);
+        assert_eq!(m.heat[0].staleness.count(), 2);
+        assert_eq!(m.deps.len(), 2);
+        assert_eq!(m.deps[0].blocks, 2);
+        assert_eq!(m.loc_names[&0], "v0");
+        assert_eq!(m.loc_names[&5], "v5");
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub mod warp;
 /// event dumps). Consumers such as `nscc-analyze` refuse files whose
 /// version does not match instead of guessing at missing or renamed keys.
 /// Bump it whenever the export schema changes shape.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3 adds the causal-attribution sections (per-location staleness
+/// heatmaps, read-dependency edges, profiler rows, loc/proc name maps);
+/// all are additive, so v3 readers keep accepting v1/v2 documents.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A span/event label: borrowed for the common static case, owned when a
 /// layer needs a dynamic label (per-location, per-island, …).
@@ -48,6 +52,6 @@ pub type Label = std::borrow::Cow<'static, str>;
 
 pub use event::ObsEvent;
 pub use hist::Histogram;
-pub use hub::{Hub, HubSummary, MetricSnapshot};
+pub use hub::{DepEdge, HeatRow, Hub, HubSummary, MetricSnapshot, ProfileRow};
 pub use span::{Span, SpanKind, Trace, TraceTotals};
 pub use warp::{WarpPoint, WarpSummary, WarpTimeline};

@@ -325,6 +325,19 @@ impl SimBuilder {
                                         SpanKind::Compute,
                                         "run",
                                     );
+                                    let period = hub.profile_period();
+                                    if period > 0 {
+                                        hub.profile_add(
+                                            pid.0,
+                                            "compute",
+                                            "",
+                                            profile_samples(
+                                                now.as_nanos(),
+                                                (now + d).as_nanos(),
+                                                period,
+                                            ),
+                                        );
+                                    }
                                 }
                                 pending.push((now + d, EventKind::Resume(pid)));
                                 break;
@@ -375,6 +388,21 @@ impl SimBuilder {
                         std::mem::replace(&mut slot.state, ProcState::Runnable)
                     {
                         if let Some(hub) = &self.obs {
+                            let period = hub.profile_period();
+                            if period > 0 {
+                                let samples =
+                                    profile_samples(since.as_nanos(), now.as_nanos(), period);
+                                if samples > 0 {
+                                    // A layer that annotated the wait (e.g.
+                                    // a DSM `Global_Read` naming its
+                                    // location) wins over the raw blocking
+                                    // reason.
+                                    let (phase, detail) = hub
+                                        .phase_of(w.0)
+                                        .unwrap_or_else(|| ("blocked".into(), reason.clone()));
+                                    hub.profile_add(w.0, &phase, &detail, samples);
+                                }
+                            }
                             hub.span(
                                 w.0,
                                 since.as_nanos(),
@@ -393,6 +421,14 @@ impl SimBuilder {
             }
         }
     }
+}
+
+/// Deterministic virtual-time sampling: the number of sampling ticks
+/// (multiples of `period`) falling in the half-open interval
+/// `(start_ns, end_ns]`. Purely arithmetic on the virtual clock, so two
+/// same-seed runs produce byte-identical profiles.
+fn profile_samples(start_ns: u64, end_ns: u64, period: u64) -> u64 {
+    (end_ns / period).saturating_sub(start_ns / period)
 }
 
 /// Park a fresh process thread until its first `Resume` arrives.

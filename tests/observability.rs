@@ -14,7 +14,12 @@ use nscc::sim::{SimBuilder, SimTime};
 /// Run an all-to-all read/write workload with every layer instrumented,
 /// returning the shared hub.
 fn instrumented_run(seed: u64, ranks: usize, iters: u64, mode: Coherence) -> Hub {
-    let hub = Hub::new();
+    instrumented_run_with(Hub::new(), seed, ranks, iters, mode)
+}
+
+/// Same workload, but streaming into a caller-configured hub (e.g. one
+/// with the sampling profiler enabled).
+fn instrumented_run_with(hub: Hub, seed: u64, ranks: usize, iters: u64, mode: Coherence) -> Hub {
     let net = Network::new(EthernetBus::ten_mbps(seed));
     net.attach_obs(hub.clone());
     let mut dir = Directory::new();
@@ -157,6 +162,36 @@ fn scheduler_spans_and_names_reach_the_hub() {
     );
     let t = hub.totals(0);
     assert!(t.compute_ns > 0, "pid 0 recorded no compute time");
+}
+
+/// The virtual-time sampling profiler is a pure function of the virtual
+/// clock, so the same seed yields identical rows — the byte-identical
+/// `NSCC_FOLDED` guarantee — and blocked samples are attributed to the
+/// phase/location the process was actually stuck in.
+#[test]
+fn profiler_rows_are_deterministic_and_attributed() {
+    let run = || {
+        let hub = Hub::new();
+        hub.profile_every(50_000);
+        instrumented_run_with(hub.clone(), 7, 3, 10, Coherence::PartialAsync { age: 0 });
+        hub.profile_rows()
+    };
+    let rows = run();
+    assert!(!rows.is_empty(), "profiler recorded nothing");
+    assert!(
+        rows.iter().any(|r| r.phase == "compute"),
+        "no compute samples: {rows:?}"
+    );
+    assert!(
+        rows.iter()
+            .any(|r| r.phase == "Global_Read" && !r.detail.is_empty()),
+        "blocked samples not attributed to a location: {rows:?}"
+    );
+    assert_eq!(
+        format!("{rows:?}"),
+        format!("{:?}", run()),
+        "same seed must produce identical profile rows"
+    );
 }
 
 /// The analyzer mirrors the writer's schema constant (it is
