@@ -12,6 +12,12 @@
 //!   --abs <A>            absolute floor (default: 0.02)
 //!   --all                gate every numeric scalar, not just metrics.*
 //!   --update-baselines   copy fresh reports over the baselines and exit
+//! nscc top [--once] [--interval MS] <FEED>    dashboard over an NSCC_LIVE feed
+//! nscc trend [OPTS] [POINT...]                metric trajectories over runs/
+//!   --dir <DIR>          series directory (default: runs)
+//!   --window <N>         rolling-median window (default: 5)
+//!   --rel <R> --abs <A>  drift tolerances (defaults: 0.05 / 0.02)
+//!   --check              exit 2 when any metric drifted
 //! ```
 //!
 //! Exit codes: 0 success/pass, 1 regression, 2 usage or config error.
@@ -20,7 +26,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nscc_analyze::{
-    diff, gate_all, heat, inspect, inspect_ckpt_dir, update_baselines, why, GateConfig, Report,
+    diff, follow, gate_all, heat, inspect, inspect_ckpt_dir, top_file, trend_dir, trend_files,
+    update_baselines, why, GateConfig, Report, TrendConfig,
 };
 
 const USAGE: &str = "\
@@ -33,10 +40,13 @@ usage:
   nscc heat <REPORT...>
   nscc why <REPORT> [--proc P] [--locn L]
   nscc gate [--baselines DIR] [--rel R] [--abs A] [--all] [--update-baselines] <FRESH...>
+  nscc top [--once] [--interval MS] <FEED>
+  nscc trend [--dir DIR] [--window N] [--rel R] [--abs A] [--check] [POINT...]
 
 Artifacts are the BENCH_*.json run reports (NSCC_JSON=1), TRACE_*.json
-event dumps (NSCC_TRACE=1) and NSCC_CKPT_DIR checkpoint stores written
-by the bench binaries.
+event dumps (NSCC_TRACE=1), NSCC_CKPT_DIR checkpoint stores and
+NSCC_LIVE telemetry feeds written by the bench binaries; trend points
+are numbered report copies (BENCH_<name>.<seq>.json, e.g. under runs/).
 Exit codes: 0 pass, 1 regression, 2 usage/config error.
 ";
 
@@ -52,6 +62,8 @@ fn main() -> ExitCode {
         "heat" => cmd_heat(rest),
         "why" => cmd_why(rest),
         "gate" => cmd_gate(rest),
+        "top" => cmd_top(rest),
+        "trend" => cmd_trend(rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -262,4 +274,134 @@ fn cmd_gate(args: &[String]) -> ExitCode {
     let (text, outcome) = gate_all(&baselines, &fresh, &cfg);
     print!("{text}");
     ExitCode::from(outcome.exit_code() as u8)
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut once = false;
+    let mut interval_ms = 500u64;
+    let mut feed: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                let parsed = it.next().and_then(|v| v.parse::<u64>().ok());
+                match parsed {
+                    Some(ms) if ms > 0 => interval_ms = ms,
+                    _ => {
+                        eprintln!("nscc top: --interval needs a positive millisecond count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("nscc top: unknown flag `{flag}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            path if feed.is_none() => feed = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("nscc top: unexpected argument `{extra}` (one feed at a time)\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = feed else {
+        eprintln!("nscc top: no feed file given (run a bench with NSCC_LIVE=<path>)\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = if once {
+        top_file(&path).map(|frame| print!("{frame}"))
+    } else {
+        follow(&path, interval_ms)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nscc top: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_trend(args: &[String]) -> ExitCode {
+    let mut cfg = TrendConfig::default();
+    let mut dir = PathBuf::from("runs");
+    let mut check = false;
+    let mut points: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("nscc trend: {name} needs a value");
+                ExitCode::from(2)
+            })
+        };
+        match arg.as_str() {
+            "--dir" => match value("--dir") {
+                Ok(v) => dir = PathBuf::from(v),
+                Err(code) => return code,
+            },
+            "--window" => {
+                let parsed = match value("--window") {
+                    Ok(v) => v.parse::<usize>(),
+                    Err(code) => return code,
+                };
+                match parsed {
+                    Ok(n) if n > 0 => cfg.window = n,
+                    _ => {
+                        eprintln!("nscc trend: --window needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--rel" | "--abs" => {
+                let parsed = match value(arg) {
+                    Ok(v) => v.parse::<f64>(),
+                    Err(code) => return code,
+                };
+                match parsed {
+                    Ok(v) if v >= 0.0 => {
+                        if arg == "--rel" {
+                            cfg.rel = v;
+                        } else {
+                            cfg.abs = v;
+                        }
+                    }
+                    _ => {
+                        eprintln!("nscc trend: {arg} needs a non-negative number");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--check" => check = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("nscc trend: unknown flag `{flag}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => points.push(PathBuf::from(path)),
+        }
+    }
+    let result = if points.is_empty() {
+        trend_dir(&dir, &cfg)
+    } else {
+        trend_files(&points, &cfg)
+    };
+    match result {
+        Ok((text, regressed)) => {
+            print!("{text}");
+            if regressed && check {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("nscc trend: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

@@ -25,6 +25,33 @@ pub fn ns(v: u64) -> String {
     }
 }
 
+/// Render a value series as a unicode sparkline (`▁▂▃▄▅▆▇█`), normalized
+/// to the series' own min..max (a flat series renders as all-low bars).
+/// Non-finite values render as spaces.
+pub fn spark(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if span <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v - lo) / span * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
 /// Left-pad to `width` (for simple aligned tables).
 pub fn pad(s: &str, width: usize) -> String {
     format!("{s:>width$}")
@@ -75,6 +102,15 @@ mod tests {
         assert_eq!(ns(1_500), "1.50us");
         assert_eq!(ns(2_500_000), "2.50ms");
         assert_eq!(ns(3_400_000_000), "3.40s");
+    }
+
+    #[test]
+    fn sparklines_normalize_to_the_series() {
+        assert_eq!(spark(&[]), "");
+        assert_eq!(spark(&[1.0, 1.0, 1.0]), "▁▁▁");
+        assert_eq!(spark(&[0.0, 7.0]), "▁█");
+        assert_eq!(spark(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]), "▁▂▃▄▅▆▇█");
+        assert_eq!(spark(&[1.0, f64::NAN, 2.0]), "▁ █");
     }
 
     #[test]

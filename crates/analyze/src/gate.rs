@@ -131,9 +131,14 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
 
     let scope = |r: &Report| -> BTreeMap<String, f64> {
         if cfg.all {
+            // `wall.*` is the scheduler's wall-clock self-accounting
+            // (NSCC_WALL=1): real host nanoseconds, nondeterministic by
+            // nature, so it is never gated — only reported.
             r.flatten()
                 .into_iter()
-                .filter(|(k, _)| !k.starts_with("params.") && k != "schema_version")
+                .filter(|(k, _)| {
+                    !k.starts_with("params.") && k != "schema_version" && !k.starts_with("wall.")
+                })
                 .collect()
         } else {
             r.numeric_map("metrics")
@@ -182,6 +187,12 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
         }
     }
 
+    // Throughput is reported, never gated: wall-clock events/sec is the
+    // scheduler-rearchitecture baseline and varies with the host.
+    if let Some(line) = throughput_line(fresh) {
+        out.push_str(&format!("  {line}\n"));
+    }
+
     let outcome = if failures == 0 {
         out.push_str(&format!(
             "  PASS: {total} metrics within rel={} abs={}\n",
@@ -198,6 +209,19 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
     (out, outcome)
 }
 
+/// The informational wall-clock throughput of a report's `wall` section
+/// (present only on `NSCC_WALL=1` runs), or `None`.
+fn throughput_line(rep: &Report) -> Option<String> {
+    let wall = rep.numeric_map("wall");
+    let eps = wall.get("events_per_sec").copied()?;
+    Some(format!(
+        "wall: {} events in {} ({} events/sec, informational — never gated)",
+        num(wall.get("events").copied().unwrap_or(0.0)),
+        crate::fmt::ns(wall.get("wall_ns").copied().unwrap_or(0.0) as u64),
+        num(eps.round())
+    ))
+}
+
 /// Gate a set of fresh reports against `<baselines_dir>/<same filename>`.
 /// Returns combined text and the worst outcome across all files.
 pub fn gate_all(
@@ -207,6 +231,7 @@ pub fn gate_all(
 ) -> (String, Outcome) {
     let mut out = String::new();
     let mut worst = Outcome::Pass;
+    let mut throughput: Vec<(String, f64)> = Vec::new();
     for path in fresh_paths {
         let fresh = match Report::load(path) {
             Ok(r) => r,
@@ -216,6 +241,9 @@ pub fn gate_all(
                 continue;
             }
         };
+        if let Some(eps) = fresh.numeric_map("wall").get("events_per_sec") {
+            throughput.push((fresh.name(), *eps));
+        }
         let Some(file_name) = path.file_name() else {
             out.push_str(&format!("{}: not a file path\n", path.display()));
             worst = worst.max(Outcome::ConfigError);
@@ -237,6 +265,19 @@ pub fn gate_all(
         let (text, outcome) = gate_pair(&base, &fresh, cfg);
         out.push_str(&text);
         worst = worst.max(outcome);
+    }
+    // The events/sec series across the gated set: the wall-clock
+    // throughput baseline the scheduler rearchitecture must beat.
+    // Informational only — it never moves the outcome.
+    if !throughput.is_empty() {
+        let values: Vec<f64> = throughput.iter().map(|(_, eps)| *eps).collect();
+        out.push_str(&format!(
+            "throughput (events/sec, informational): {}\n",
+            crate::fmt::spark(&values)
+        ));
+        for (name, eps) in &throughput {
+            out.push_str(&format!("  {name}: {}\n", num(eps.round())));
+        }
     }
     (out, worst)
 }
@@ -412,6 +453,63 @@ mod tests {
         // Default scope ignores the counter drift entirely.
         let (_, outcome) = gate_pair(&a, &b, &GateConfig::default());
         assert_eq!(outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn wall_section_is_reported_but_never_gated() {
+        // Two runs whose wall-clock accounting differs wildly (as it
+        // will, being host-dependent) but whose metrics agree: --all
+        // must still pass, and the throughput prints as information.
+        let a = report(
+            r#"{"schema_version":4,"name":"t","params":{},"metrics":{"m":1.0},
+               "wall":{"events":1000,"wall_ns":1000000,"events_per_sec":1000000.0}}"#,
+        );
+        let b = report(
+            r#"{"schema_version":4,"name":"t","params":{},"metrics":{"m":1.0},
+               "wall":{"events":1000,"wall_ns":2000000,"events_per_sec":500000.0}}"#,
+        );
+        let cfg = GateConfig {
+            all: true,
+            ..GateConfig::default()
+        };
+        let (text, outcome) = gate_pair(&a, &b, &cfg);
+        assert_eq!(outcome, Outcome::Pass, "{text}");
+        assert!(
+            text.contains("wall: 1000 events in 2.00ms (500000 events/sec, informational"),
+            "{text}"
+        );
+        // A wall-less baseline against a wall-stamped fresh run (or vice
+        // versa) is also fine: the section is outside the gated scope.
+        let (_, outcome) = gate_pair(&base(), &base(), &cfg);
+        assert_eq!(outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn gate_all_prints_the_throughput_series() {
+        let dir = std::env::temp_dir().join("nscc_gate_tp");
+        let baselines = dir.join("baselines");
+        std::fs::create_dir_all(&dir).unwrap();
+        let body = |eps: f64| {
+            format!(
+                r#"{{"schema_version":4,"name":"t","params":{{}},"metrics":{{"m":1.0}},
+                   "wall":{{"events":10,"wall_ns":100,"events_per_sec":{eps}}}}}"#
+            )
+        };
+        let f1 = dir.join("BENCH_a.json");
+        let f2 = dir.join("BENCH_b.json");
+        std::fs::write(&f1, body(100.0)).unwrap();
+        std::fs::write(&f2, body(200.0)).unwrap();
+        let fresh = vec![f1, f2];
+        update_baselines(&baselines, &fresh).unwrap();
+        let (text, outcome) = gate_all(&baselines, &fresh, &GateConfig::default());
+        assert_eq!(outcome, Outcome::Pass, "{text}");
+        assert!(
+            text.contains("throughput (events/sec, informational): ▁█"),
+            "{text}"
+        );
+        assert!(text.contains("  t: 100\n"), "{text}");
+        assert!(text.contains("  t: 200\n"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

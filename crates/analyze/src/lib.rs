@@ -31,6 +31,14 @@
 //! - [`inspect_ckpt_dir`] — what state is in a checkpoint store
 //!   (`NSCC_CKPT_DIR`)? Generation listing with virtual cut times,
 //!   sizes, checksums, per-node iteration vectors and corruption flags.
+//! - [`top`] — what is the run doing *right now*? Tails the
+//!   line-delimited `NSCC_LIVE` feed: per-snapshot rates, staleness and
+//!   fault pressure, warp, and the scheduler's wall-clock
+//!   self-accounting (`--once` renders a single deterministic frame).
+//! - [`trend`] — is a metric drifting across commits? Ordered
+//!   `BENCH_<name>.<seq>.json` trajectory series (committed under
+//!   `runs/`) rendered as per-metric sparklines with rolling-median
+//!   drift detection (`--check` turns drift into a CI failure).
 //!
 //! The crate depends only on `nscc-ckpt` (itself std-only, for reading
 //! checkpoint stores) and otherwise stays **dependency-free**: it parses
@@ -51,6 +59,8 @@ pub mod hist;
 pub mod inspect;
 pub mod json;
 pub mod report;
+pub mod top;
+pub mod trend;
 
 pub use causal::{heat, why};
 pub use ckpt::inspect_ckpt_dir;
@@ -59,3 +69,5 @@ pub use gate::{gate_all, gate_pair, update_baselines, GateConfig, Outcome};
 pub use hist::HistView;
 pub use inspect::inspect;
 pub use report::{Report, SCHEMA_VERSION};
+pub use top::{follow, parse_feed, top_file, FEED_VERSION};
+pub use trend::{trend_dir, trend_files, TrendConfig};

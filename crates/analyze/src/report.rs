@@ -11,8 +11,9 @@ use crate::json::{parse, Json};
 /// so the constant is mirrored here; `tests/observability.rs` in the
 /// workspace root pins the two together). Every version since
 /// [`MIN_SCHEMA_VERSION`] is additive, so older documents load too — a
-/// v2 report simply has no heatmap/dependency/profile sections.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v2 report simply has no heatmap/dependency/profile sections, a v3 one
+/// no `wall` scheduler-accounting section.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The oldest export schema this analyzer still reads.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -170,9 +171,10 @@ mod tests {
 
     #[test]
     fn accepts_older_schemas_refuses_newer_or_missing() {
-        // v1 and v2 documents predate the causal-attribution sections but
-        // remain loadable (the schema grows additively).
-        for v in 1..=3u64 {
+        // Older documents predate newer sections (causal attribution,
+        // wall accounting) but remain loadable (the schema grows
+        // additively).
+        for v in 1..=4u64 {
             let p = write_temp(
                 &format!("v{v}.json"),
                 &format!(r#"{{"schema_version":{v},"name":"x"}}"#),
@@ -181,10 +183,10 @@ mod tests {
             assert_eq!(rep.schema_version(), v);
             std::fs::remove_file(p).ok();
         }
-        let newer = write_temp("v4.json", r#"{"schema_version":4,"name":"x"}"#);
+        let newer = write_temp("v5.json", r#"{"schema_version":5,"name":"x"}"#);
         let err = Report::load(&newer).unwrap_err();
-        assert!(err.contains("schema version 4"), "{err}");
-        assert!(err.contains("1..=3"), "{err}");
+        assert!(err.contains("schema version 5"), "{err}");
+        assert!(err.contains("1..=4"), "{err}");
         let none = write_temp("none.json", r#"{"name":"x"}"#);
         let err = Report::load(&none).unwrap_err();
         assert!(err.contains("no schema_version"), "{err}");

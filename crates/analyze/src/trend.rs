@@ -1,0 +1,357 @@
+//! `nscc trend`: cross-run perf trajectories over committed report series.
+//!
+//! A *trajectory point* is a numbered copy of a run report:
+//! `BENCH_<name>.<seq>.json`. The repo keeps ordered series of them under
+//! `runs/` (CI appends a fresh point per merge), and this module answers
+//! the longitudinal question the per-commit [`crate::gate`] cannot: not
+//! "did this commit move a metric past a fixed baseline?" but "is this
+//! metric *drifting* across the recent history?"
+//!
+//! For every metric in a series it renders a sparkline plus the newest
+//! point's delta against the **rolling median** of the preceding window
+//! (median, not mean, so one outlier point cannot mask or fake a drift).
+//! A metric drifts when `|last − median| > max(rel·|median|, abs)` —
+//! the same tolerance shape as the gate. Drift in *either* direction is
+//! flagged: the simulation is deterministic per seed, so any movement at
+//! all is a code change showing up in the numbers, and an "improvement"
+//! can equally be a broken metric.
+//!
+//! `nscc trend --check` turns the flag into exit code 2 for CI.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::fmt::{num, spark};
+use crate::report::Report;
+
+/// Trend tolerances and window.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendConfig {
+    /// How many preceding points feed the rolling median.
+    pub window: usize,
+    /// Relative tolerance (fraction of the rolling median's magnitude).
+    pub rel: f64,
+    /// Absolute floor: deltas within this never count as drift.
+    pub abs: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            window: 5,
+            rel: 0.05,
+            abs: 0.02,
+        }
+    }
+}
+
+/// Split a trajectory-point filename into `(bench, seq)`.
+/// `BENCH_fig2.0003.json` → `("fig2", 3)`; anything else is `None`.
+pub fn series_key(path: &Path) -> Option<(String, u64)> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    let (bench, seq) = stem.rsplit_once('.')?;
+    if bench.is_empty() || seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((bench.to_string(), seq.parse().ok()?))
+}
+
+/// Trend every `BENCH_<name>.<seq>.json` series found in `dir`.
+/// Returns the rendered text and whether any metric drifted.
+pub fn trend_dir(dir: &Path, cfg: &TrendConfig) -> Result<(String, bool), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: cannot read: {e}", dir.display()))?;
+    let paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| series_key(p).is_some())
+        .collect();
+    if paths.is_empty() {
+        return Err(format!(
+            "{}: no trajectory points (expected BENCH_<name>.<seq>.json files)",
+            dir.display()
+        ));
+    }
+    trend_files(&paths, cfg)
+}
+
+/// Trend an explicit set of trajectory points, grouped by bench name and
+/// ordered by sequence number regardless of argument order.
+pub fn trend_files(paths: &[PathBuf], cfg: &TrendConfig) -> Result<(String, bool), String> {
+    let mut groups: BTreeMap<String, Vec<(u64, PathBuf)>> = BTreeMap::new();
+    for p in paths {
+        let Some((bench, seq)) = series_key(p) else {
+            return Err(format!(
+                "{}: not a trajectory point (expected BENCH_<name>.<seq>.json)",
+                p.display()
+            ));
+        };
+        groups.entry(bench).or_default().push((seq, p.clone()));
+    }
+
+    let mut out = String::new();
+    let mut drifted_total = 0usize;
+    let mut judged_total = 0usize;
+    for (bench, mut points) in groups {
+        points.sort();
+        let reports: Vec<Report> = points
+            .iter()
+            .map(|(_, p)| Report::load(p))
+            .collect::<Result<_, _>>()?;
+        let metric_series: Vec<BTreeMap<String, f64>> =
+            reports.iter().map(|r| r.numeric_map("metrics")).collect();
+        // Union of metric keys: a metric that vanished from newer points
+        // still shows (its series just goes blank at the tail).
+        let keys: std::collections::BTreeSet<&String> =
+            metric_series.iter().flat_map(|m| m.keys()).collect();
+
+        out.push_str(&format!(
+            "trend {bench}: {} points (seq {}..{}), window {}, rel {} abs {}\n",
+            points.len(),
+            points.first().map_or(0, |(s, _)| *s),
+            points.last().map_or(0, |(s, _)| *s),
+            cfg.window,
+            num(cfg.rel),
+            num(cfg.abs)
+        ));
+        for key in keys {
+            let values: Vec<f64> = metric_series
+                .iter()
+                .map(|m| m.get(key).copied().unwrap_or(f64::NAN))
+                .collect();
+            let verdict = judge(&values, cfg);
+            if let Verdict::Drift { .. } = verdict {
+                drifted_total += 1;
+            }
+            if !matches!(verdict, Verdict::TooFew) {
+                judged_total += 1;
+            }
+            out.push_str(&format!(
+                "  {key:<34} {}  last {}  {}\n",
+                spark(&values),
+                values
+                    .last()
+                    .filter(|v| v.is_finite())
+                    .map_or("(gone)".to_string(), |v| num(round6(*v))),
+                verdict
+            ));
+        }
+    }
+    let regressed = drifted_total > 0;
+    if regressed {
+        out.push_str(&format!(
+            "DRIFT: {drifted_total}/{judged_total} metrics moved beyond tolerance of their \
+             rolling median\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "PASS: {judged_total} metrics within tolerance of their rolling medians\n"
+        ));
+    }
+    Ok((out, regressed))
+}
+
+/// The per-metric trend verdict.
+enum Verdict {
+    /// Fewer than two usable points — nothing to compare yet.
+    TooFew,
+    /// Within tolerance of the rolling median.
+    Ok { delta: f64, median: f64 },
+    /// Beyond tolerance of the rolling median (either direction), or the
+    /// metric vanished from the newest point.
+    Drift { delta: f64, median: f64, gone: bool },
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::TooFew => write!(f, "n/a (need ≥2 points)"),
+            Verdict::Ok { delta, median } => write!(
+                f,
+                "Δ{:+} vs median {} (ok)",
+                round6(*delta),
+                num(round6(*median))
+            ),
+            Verdict::Drift { gone: true, .. } => write!(f, "DRIFT (missing from newest point)"),
+            Verdict::Drift { delta, median, .. } => write!(
+                f,
+                "Δ{:+} vs median {} DRIFT",
+                round6(*delta),
+                num(round6(*median))
+            ),
+        }
+    }
+}
+
+/// Display rounding only — drift detection compares exactly.
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
+}
+
+fn judge(values: &[f64], cfg: &TrendConfig) -> Verdict {
+    let Some((&last, prev)) = values.split_last() else {
+        return Verdict::TooFew;
+    };
+    // The rolling window: the newest `cfg.window` *present* values before
+    // the last point (a point missing the metric doesn't shrink history).
+    let window: Vec<f64> = prev
+        .iter()
+        .rev()
+        .filter(|v| v.is_finite())
+        .take(cfg.window.max(1))
+        .copied()
+        .collect();
+    if window.is_empty() {
+        return Verdict::TooFew;
+    }
+    let median = median(&window);
+    if !last.is_finite() {
+        return Verdict::Drift {
+            delta: f64::NAN,
+            median,
+            gone: true,
+        };
+    }
+    let delta = last - median;
+    let tol = (cfg.rel * median.abs()).max(cfg.abs);
+    if delta.abs() > tol {
+        Verdict::Drift {
+            delta,
+            median,
+            gone: false,
+        }
+    } else {
+        Verdict::Ok { delta, median }
+    }
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_point(dir: &Path, bench: &str, seq: u64, speedup: f64) -> PathBuf {
+        let path = dir.join(format!("BENCH_{bench}.{seq:04}.json"));
+        std::fs::write(
+            &path,
+            format!(
+                r#"{{"schema_version":4,"name":"{bench}","params":{{"runs":3}},"metrics":{{"speedup":{speedup}}}}}"#
+            ),
+        )
+        .unwrap();
+        path
+    }
+
+    fn temp_series(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nscc_trend_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn filenames_split_into_bench_and_seq() {
+        let key = |s: &str| series_key(Path::new(s));
+        assert_eq!(key("runs/BENCH_fig2.0003.json"), Some(("fig2".into(), 3)));
+        assert_eq!(
+            key("BENCH_fault_study.12.json"),
+            Some(("fault_study".into(), 12))
+        );
+        assert_eq!(key("BENCH_fig2.json"), None);
+        assert_eq!(key("BENCH_fig2.abc.json"), None);
+        assert_eq!(key("TRACE_fig2.0001.json"), None);
+    }
+
+    #[test]
+    fn a_seeded_regression_in_the_newest_point_is_flagged() {
+        let dir = temp_series("seeded");
+        for (seq, v) in [(1, 10.0), (2, 10.1), (3, 9.9), (4, 10.0)] {
+            write_point(&dir, "x", seq, v);
+        }
+        // Steady series: within tolerance of its rolling median.
+        let (text, regressed) = trend_dir(&dir, &TrendConfig::default()).unwrap();
+        assert!(!regressed, "{text}");
+        assert!(text.contains("(ok)"), "{text}");
+        assert!(text.contains("PASS: 1 metrics"), "{text}");
+
+        // Seed a drop well past rel=0.05 of the median (10.0): drift.
+        write_point(&dir, "x", 5, 8.0);
+        let (text, regressed) = trend_dir(&dir, &TrendConfig::default()).unwrap();
+        assert!(regressed, "{text}");
+        assert!(text.contains("Δ-2 vs median 10 DRIFT"), "{text}");
+        assert!(text.contains("DRIFT: 1/1 metrics"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn points_are_ordered_by_sequence_not_argument_order() {
+        let dir = temp_series("order");
+        // Passed newest-first: ordering by seq must still put the
+        // regression at the sparkline's right edge.
+        let paths = vec![
+            write_point(&dir, "x", 3, 5.0),
+            write_point(&dir, "x", 1, 10.0),
+            write_point(&dir, "x", 2, 10.0),
+        ];
+        let (text, regressed) = trend_files(&paths, &TrendConfig::default()).unwrap();
+        assert!(regressed, "{text}");
+        assert!(text.contains("██▁"), "{text}");
+        assert!(text.contains("last 5"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn golden_render_of_a_two_bench_directory() {
+        let dir = temp_series("golden");
+        for (seq, v) in [(1, 2.0), (2, 2.0), (3, 2.01)] {
+            write_point(&dir, "a", seq, v);
+        }
+        for (seq, v) in [(1, 1.0), (2, 1.5)] {
+            write_point(&dir, "b", seq, v);
+        }
+        let (text, regressed) = trend_dir(&dir, &TrendConfig::default()).unwrap();
+        let expected = "\
+trend a: 3 points (seq 1..3), window 5, rel 0.05 abs 0.02
+  speedup                            ▁▁█  last 2.01  Δ+0.01 vs median 2 (ok)
+trend b: 2 points (seq 1..2), window 5, rel 0.05 abs 0.02
+  speedup                            ▁█  last 1.5  Δ+0.5 vs median 1 DRIFT
+DRIFT: 1/2 metrics moved beyond tolerance of their rolling median
+";
+        assert_eq!(text, expected);
+        assert!(regressed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_vanished_metric_is_drift_and_single_points_are_not_judged() {
+        let dir = temp_series("gone");
+        write_point(&dir, "x", 1, 10.0);
+        let (text, regressed) = trend_dir(&dir, &TrendConfig::default()).unwrap();
+        assert!(!regressed, "{text}");
+        assert!(text.contains("n/a (need ≥2 points)"), "{text}");
+
+        // Point 2 drops the metric entirely.
+        let path = dir.join("BENCH_x.0002.json");
+        std::fs::write(
+            &path,
+            r#"{"schema_version":4,"name":"x","params":{"runs":3},"metrics":{}}"#,
+        )
+        .unwrap();
+        let (text, regressed) = trend_dir(&dir, &TrendConfig::default()).unwrap();
+        assert!(regressed, "{text}");
+        assert!(text.contains("DRIFT (missing from newest point)"), "{text}");
+        assert!(text.contains("last (gone)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

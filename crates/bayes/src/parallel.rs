@@ -585,6 +585,11 @@ pub fn run_parallel_inference(
     // The sampling profiler is driven by the scheduler; only attach it
     // there when profiling is on, so plain json/trace runs keep their
     // span-free reports byte-for-byte.
+    // Wall-clock scheduler accounting is span-free and kept outside the
+    // deterministic report sections, so it attaches whenever requested.
+    if let Some(hub) = cfg.obs.as_ref().filter(|h| h.wants_wall()) {
+        sim.attach_wall(hub.clone());
+    }
     if let Some(hub) = cfg.obs.as_ref().filter(|h| h.profile_period() > 0) {
         sim.attach_obs(hub.clone());
     }

@@ -19,8 +19,8 @@
 //! finished cells and produces a byte-identical report.
 
 use nscc_bench::{
-    ages_from_env, banner, loss_rates_from_env, make_hub, write_folded, write_report, write_trace,
-    ResumeOpts, Scale, SweepCkpt,
+    ages_from_env, attach_live, banner, loss_rates_from_env, make_hub, stamp_wall, write_folded,
+    write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
@@ -175,6 +175,7 @@ fn main() {
     );
 
     let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "fault_study");
     let mut rows = vec![[
         "loss", "age", "speedup", "ok", "rtx", "giveup", "dropped", "degraded", "cut",
     ]
@@ -211,6 +212,9 @@ fn main() {
                         let exp_obs = scale.wants_obs().then(|| cell_hub.clone());
                         let mut cell = run_cell(&scale, loss, age, exp_obs);
                         cell.obs = cell_hub.summary();
+                        // Carry the cell's wall-clock scheduler cost into
+                        // the main hub (the feed/report read from there).
+                        hub.adopt_sched(&cell_hub);
                         cell
                     } else {
                         let exp_obs = scale.wants_obs().then(|| hub.clone());
@@ -264,6 +268,7 @@ fn main() {
         None => hub.summary(),
     };
     rep.note_degradation();
+    stamp_wall(&scale, &hub, &mut rep);
     write_report(&scale, &rep);
     if ckpt.is_some() {
         if scale.trace {
@@ -276,4 +281,5 @@ fn main() {
         write_trace(&scale, &hub, "fault_study");
     }
     write_folded(&scale, &rep.obs);
+    hub.live_final(&rep.obs);
 }

@@ -15,8 +15,8 @@
 //! report.
 
 use nscc_bench::{
-    banner, make_hub, modes_from_env, write_folded, write_report, write_trace, ResumeOpts, Scale,
-    SweepCkpt,
+    attach_live, banner, make_hub, modes_from_env, stamp_wall, write_folded, write_report,
+    write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, RunReport};
@@ -99,6 +99,7 @@ fn main() {
     );
 
     let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "fig2");
     let modes = modes_from_env();
     let procs: Vec<usize> = vec![2, 4, 8, 16];
     let functions: &[TestFn] = if all_functions {
@@ -151,6 +152,9 @@ fn main() {
                     let mut cell = Cell::from_result(&res);
                     if let Some(h) = cell_hub {
                         cell.obs = h.summary();
+                        // Carry the cell's wall-clock scheduler cost into
+                        // the main hub (the feed/report read from there).
+                        hub.adopt_sched(&h);
                     }
                     if let Some(ck) = ckpt.as_mut() {
                         ck.save_cell(
@@ -212,6 +216,7 @@ fn main() {
             rep.obs = acc.clone();
         }
         rep.note_degradation();
+        stamp_wall(&scale, &hub, &mut rep);
         write_report(&scale, &rep);
     }
     if ckpt.is_some() {
@@ -229,6 +234,7 @@ fn main() {
         None => hub.summary(),
     };
     write_folded(&scale, &folded_obs);
+    hub.live_final(&folded_obs);
 }
 
 fn mode_labels(per_func: &[Vec<Cell>]) -> Vec<String> {

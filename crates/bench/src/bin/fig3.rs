@@ -11,7 +11,8 @@
 
 use nscc_bayes::{StopRule, TABLE2};
 use nscc_bench::{
-    banner, make_hub, write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
+    attach_live, banner, make_hub, stamp_wall, write_folded, write_report, write_trace, ResumeOpts,
+    Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment, RunReport};
@@ -113,6 +114,7 @@ fn main() {
     );
 
     let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "fig3");
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut results: Vec<Cell> = Vec::new();
     for (ci, netid) in TABLE2.iter().enumerate() {
@@ -151,6 +153,9 @@ fn main() {
                 let mut cell = Cell::from_result(&res);
                 if let Some(h) = cell_hub {
                     cell.obs = h.summary();
+                    // Carry the cell's wall-clock scheduler cost into the
+                    // main hub (the feed/report read from there).
+                    hub.adopt_sched(&h);
                 }
                 if let Some(ck) = ckpt.as_mut() {
                     ck.save_cell(
@@ -243,6 +248,7 @@ fn main() {
             rep.obs = acc.clone();
         }
         rep.note_degradation();
+        stamp_wall(&scale, &hub, &mut rep);
         write_report(&scale, &rep);
     }
     if ckpt.is_some() {
@@ -260,4 +266,5 @@ fn main() {
         None => hub.summary(),
     };
     write_folded(&scale, &folded_obs);
+    hub.live_final(&folded_obs);
 }

@@ -12,8 +12,8 @@
 //! report.
 
 use nscc_bench::{
-    banner, make_hub, modes_from_env, write_folded, write_report, write_trace, ResumeOpts, Scale,
-    SweepCkpt,
+    attach_live, banner, make_hub, modes_from_env, stamp_wall, write_folded, write_report,
+    write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform, RunReport};
@@ -110,6 +110,7 @@ fn main() {
     };
 
     let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "fig4");
     let modes = modes_from_env();
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut dsm = DsmStats::default();
@@ -164,6 +165,9 @@ fn main() {
                         let mut cell = Cell::from_result(&res);
                         if let Some(h) = cell_hub {
                             cell.obs = h.summary();
+                            // Carry the cell's wall-clock scheduler cost
+                            // into the main hub (feed/report read there).
+                            hub.adopt_sched(&h);
                         }
                         if let Some(ck) = ckpt.as_mut() {
                             ck.save_cell(
@@ -268,6 +272,7 @@ fn main() {
             rep.obs = acc.clone();
         }
         rep.note_degradation();
+        stamp_wall(&scale, &hub, &mut rep);
         write_report(&scale, &rep);
     }
     if ckpt.is_some() {
@@ -285,4 +290,5 @@ fn main() {
         None => hub.summary(),
     };
     write_folded(&scale, &folded_obs);
+    hub.live_final(&folded_obs);
 }

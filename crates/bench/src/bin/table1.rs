@@ -4,7 +4,9 @@
 //! `--json`) also writes `BENCH_table1.json` (no simulation is involved,
 //! so the report carries only the per-function minima).
 
-use nscc_bench::{make_hub, write_folded, write_report, write_trace, Scale};
+use nscc_bench::{
+    attach_live, make_hub, stamp_wall, write_folded, write_report, write_trace, Scale,
+};
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
@@ -42,6 +44,7 @@ fn main() {
     );
 
     let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "table1");
     if scale.json {
         let mut rep = RunReport::new("table1", &hub);
         rep.param("functions", ALL_FUNCTIONS.len() as f64);
@@ -49,10 +52,12 @@ fn main() {
             rep.metric(format!("f{}_at_argmin", f.number()), f.eval(&f.argmin()));
             rep.metric(format!("f{}_paper_min", f.number()), paper_min(f));
         }
+        stamp_wall(&scale, &hub, &mut rep);
         write_report(&scale, &rep);
     }
     write_trace(&scale, &hub, "table1");
     write_folded(&scale, &hub.summary());
+    hub.live_final(&hub.summary());
 }
 
 /// The minimum as printed in Table 1.

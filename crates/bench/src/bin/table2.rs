@@ -5,7 +5,9 @@
 //! baseline is sequential, so no DSM/network counters are involved).
 
 use nscc_bayes::{Plan, StopRule, TABLE2};
-use nscc_bench::{banner, make_hub, write_folded, write_report, write_trace, Scale};
+use nscc_bench::{
+    attach_live, banner, make_hub, stamp_wall, write_folded, write_report, write_trace, Scale,
+};
 use nscc_core::fmt::render_table;
 use nscc_core::{run_sequential, BayesExperiment, RunReport};
 
@@ -32,6 +34,7 @@ fn main() {
     let mut time_paper = vec!["  (paper)".to_string()];
     let mut samples = vec!["Samples".to_string()];
     let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "table2");
     let mut rep = RunReport::new("table2", &hub);
     rep.param("runs", scale.runs as f64)
         .param("ci", scale.ci)
@@ -75,7 +78,9 @@ fn main() {
     rows.push(time_paper);
     rows.push(samples);
     print!("{}", render_table(&rows));
+    stamp_wall(&scale, &hub, &mut rep);
     write_report(&scale, &rep);
     write_trace(&scale, &hub, "table2");
     write_folded(&scale, &hub.summary());
+    hub.live_final(&rep.obs);
 }

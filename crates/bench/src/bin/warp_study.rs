@@ -10,7 +10,10 @@
 //! a killed sweep rerun with `NSCC_RESUME=1` (or `--resume`) skips the
 //! finished cells and produces a byte-identical report.
 
-use nscc_bench::{make_hub, write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt};
+use nscc_bench::{
+    attach_live, make_hub, stamp_wall, write_folded, write_report, write_trace, ResumeOpts, Scale,
+    SweepCkpt,
+};
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
 use nscc_msg::{CommWorld, MsgConfig};
@@ -54,6 +57,7 @@ fn main() {
     let mut ckpt = SweepCkpt::from_opts(&ropts, "warp_study");
     println!("=== Warp metric vs offered background load (10 Mbps Ethernet) ===");
     let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "warp_study");
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut rep = RunReport::new("warp_study", &hub);
     let mut rows = vec![vec![
@@ -85,12 +89,21 @@ fn main() {
                     (scale.wants_obs().then(|| hub.clone()), None)
                 };
                 let (warp, delay_ms) = measure(load, exp_obs);
+                let obs = match cell_hub {
+                    Some(h) => {
+                        // Carry the cell's wall-clock scheduler cost into
+                        // the main hub (the feed/report read from there).
+                        hub.adopt_sched(&h);
+                        h.summary()
+                    }
+                    None => Hub::new().summary(),
+                };
                 let cell = Cell {
                     warp_mean: warp.0,
                     warp_p95: warp.1,
                     warp_max: warp.2,
                     delay_ms,
-                    obs: cell_hub.map_or_else(|| Hub::new().summary(), |h| h.summary()),
+                    obs,
                 };
                 if let Some(ck) = ckpt.as_mut() {
                     ck.save_cell(cell_idx, 0, &[], &nscc_ckpt::to_bytes(&cell));
@@ -123,6 +136,7 @@ fn main() {
             Some(acc) => acc.clone(),
             None => hub.summary(),
         };
+        stamp_wall(&scale, &hub, &mut rep);
         write_report(&scale, &rep);
     }
     if ckpt.is_some() {
@@ -140,6 +154,7 @@ fn main() {
         None => hub.summary(),
     };
     write_folded(&scale, &folded_obs);
+    hub.live_final(&folded_obs);
 }
 
 /// Run a fixed two-node message pattern under `load` Mbps of background
@@ -159,6 +174,11 @@ fn measure(load: f64, hub: Option<Hub>) -> ((f64, f64, f64), f64) {
         // their span-free reports byte-for-byte.
         if hub.profile_period() > 0 {
             sim.attach_obs(hub.clone());
+        }
+        // Wall-clock accounting is span-free, so it attaches whenever
+        // requested without perturbing report bytes.
+        if hub.wants_wall() {
+            sim.attach_wall(hub.clone());
         }
         world = world.with_obs(hub);
     }

@@ -17,7 +17,21 @@
 //!   `nscc inspect`.
 //! * `NSCC_SNAP_MS` — virtual-time cadence (milliseconds) of periodic
 //!   metric snapshots recorded into the report's `obs.snapshots` series
-//!   (0 disables; default 100).
+//!   (0 is the explicit "disabled" no-op; default 100).
+//! * `NSCC_LIVE` — live telemetry feed destination: a writable file path
+//!   (`NSCC_LIVE=live.ndjson`) or a raw open file descriptor
+//!   (`NSCC_LIVE=3`). Each periodic snapshot is streamed, as it is cut,
+//!   as one line of versioned JSON (`nscc_obs::live`) that `nscc top`
+//!   can tail while the run is going. Purely additive: reports, traces
+//!   and profiles stay byte-identical with the feed on or off, and an
+//!   unset `NSCC_LIVE` costs nothing.
+//! * `NSCC_WALL` — set to `1`/`true` to attach wall-clock scheduler
+//!   self-accounting (events/sec, park/unpark counts, per-process
+//!   executing vs. parked time) and embed it as the report's `wall`
+//!   section. Real host-clock numbers, so nondeterministic — off by
+//!   default to keep same-seed reports byte-identical (`"wall":null`).
+//!   `NSCC_LIVE` implies the accounting (the feed carries it) without
+//!   the report section.
 //! * `NSCC_MODES` — comma-separated coherence labels (`sync`, `async`,
 //!   `age=N`) restricting which modes the GA bins report; unset runs the
 //!   full Figure-2 mode family. Single-mode runs (e.g. `NSCC_MODES=age=0`
@@ -86,6 +100,23 @@ pub struct Scale {
     /// Sampling period of the virtual-time profiler, in virtual
     /// microseconds (`NSCC_PROFILE_US`).
     pub profile_us: u64,
+    /// Live telemetry feed destination (`NSCC_LIVE`); `None` leaves the
+    /// feed detached entirely.
+    pub live: Option<LiveTarget>,
+    /// Whether to embed wall-clock scheduler accounting as the report's
+    /// `wall` section (`NSCC_WALL`).
+    pub wall: bool,
+}
+
+/// Where the live telemetry feed goes: a file path the bench creates, or
+/// a raw file descriptor the caller already opened (e.g. a pipe to
+/// `nscc top`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiveTarget {
+    /// Create/truncate this file and stream lines into it.
+    Path(String),
+    /// Adopt this already-open descriptor (Unix only).
+    Fd(i32),
 }
 
 impl Scale {
@@ -159,14 +190,16 @@ impl Scale {
                 }
                 us => us,
             },
+            live: parse_live(get)?,
+            wall: env_flag(get, "NSCC_WALL")?,
         })
     }
 
     /// Whether any observability consumer is enabled — JSON report, raw
-    /// trace, or folded profile — i.e. whether the bench should attach a
-    /// hub to the experiment at all.
+    /// trace, folded profile, live feed, or wall accounting — i.e.
+    /// whether the bench should attach a hub to the experiment at all.
     pub fn wants_obs(&self) -> bool {
-        self.json || self.trace || self.folded.is_some()
+        self.json || self.trace || self.folded.is_some() || self.live.is_some() || self.wall
     }
 
     /// The paper's full scale (25 GA runs, 1000 generations, CI ±0.01).
@@ -182,8 +215,37 @@ impl Scale {
             mailbox_warn: None,
             folded: None,
             profile_us: 100,
+            live: None,
+            wall: false,
         }
     }
+}
+
+/// Parse `NSCC_LIVE`: absent → `None`; all-digits → an adopted file
+/// descriptor; anything else non-empty → a file path. An empty (or
+/// unparsable-fd) value is malformed — the one-line exit-2 contract.
+fn parse_live(get: &dyn Fn(&str) -> Option<String>) -> Result<Option<LiveTarget>, String> {
+    const EXPECTED: &str = "a writable file path or a raw open file descriptor \
+                            (e.g. NSCC_LIVE=live.ndjson or NSCC_LIVE=3)";
+    let raw = match get("NSCC_LIVE") {
+        None => return Ok(None),
+        Some(raw) => raw,
+    };
+    let val = raw.trim();
+    if val.is_empty() {
+        return Err(format!(
+            "NSCC_LIVE={raw:?} is malformed: expected {EXPECTED}"
+        ));
+    }
+    if val.bytes().all(|b| b.is_ascii_digit()) {
+        return match val.parse::<i32>() {
+            Ok(fd) => Ok(Some(LiveTarget::Fd(fd))),
+            Err(_) => Err(format!(
+                "NSCC_LIVE={raw:?} is malformed: expected {EXPECTED}"
+            )),
+        };
+    }
+    Ok(Some(LiveTarget::Path(val.to_string())))
 }
 
 /// Environment lookup used by the `*_from_env` readers.
@@ -466,16 +528,62 @@ impl SweepCkpt {
 }
 
 /// Build the observability hub for a bench binary: snapshot cadence from
-/// the scale (virtual-time milliseconds), everything else at defaults.
+/// the scale (virtual-time milliseconds; 0 is the explicit "disabled"
+/// no-op), wall accounting when the feed or `NSCC_WALL` asks for it,
+/// everything else at defaults.
 pub fn make_hub(scale: &Scale) -> Hub {
     let hub = Hub::new();
-    if scale.snap_ms > 0 {
-        hub.sample_every(scale.snap_ms.saturating_mul(1_000_000));
-    }
+    hub.sample_every(scale.snap_ms.saturating_mul(1_000_000));
     if scale.folded.is_some() {
         hub.profile_every(scale.profile_us.saturating_mul(1_000));
     }
+    if scale.wall || scale.live.is_some() {
+        hub.enable_wall();
+    }
     hub
+}
+
+/// Attach the live telemetry feed to `hub` when `NSCC_LIVE` is set (no-op
+/// otherwise). Call once, on the main hub, right after [`make_hub`] —
+/// per-cell checkpoint hubs must not each reopen the feed.
+pub fn attach_live(scale: &Scale, hub: &Hub, bench: &str) {
+    let target = match &scale.live {
+        Some(t) => t,
+        None => return,
+    };
+    let out: Box<dyn std::io::Write + Send> = match target {
+        LiveTarget::Path(path) => match std::fs::File::create(path) {
+            Ok(f) => Box::new(f),
+            Err(e) => die(&format!("cannot open NSCC_LIVE path {path:?}: {e}")),
+        },
+        LiveTarget::Fd(fd) => {
+            #[cfg(unix)]
+            {
+                use std::os::fd::FromRawFd;
+                // SAFETY: the caller handed us this descriptor via
+                // NSCC_LIVE precisely so we take ownership of it; nothing
+                // else in the bench touches raw fds.
+                unsafe { Box::new(std::fs::File::from_raw_fd(*fd)) }
+            }
+            #[cfg(not(unix))]
+            {
+                die(&format!(
+                    "NSCC_LIVE={fd} is a raw file descriptor, which only works on Unix; \
+                     use a file path instead"
+                ));
+            }
+        }
+    };
+    hub.set_live(out, bench);
+}
+
+/// Embed the wall-clock scheduler accounting as the report's `wall`
+/// section when `NSCC_WALL` asked for it (no-op otherwise — the section
+/// stays `null` and the report deterministic).
+pub fn stamp_wall(scale: &Scale, hub: &Hub, report: &mut RunReport) {
+    if scale.wall {
+        report.wall = Some(hub.sched());
+    }
 }
 
 /// Dump the hub's raw event/span streams as `TRACE_<name>.json` when
@@ -684,6 +792,62 @@ mod tests {
         assert_eq!(
             text, "island0;Global_Read;best 2\nisland0;compute 3\np1;compute 1\n",
             "sorted, named, zero-sample rows dropped"
+        );
+    }
+
+    #[test]
+    fn live_env_parses_paths_fds_and_rejects_junk() {
+        let s = Scale::parse(&env(&[])).unwrap();
+        assert_eq!(s.live, None);
+        assert!(!s.wall);
+
+        let s = Scale::parse(&env(&[("NSCC_LIVE", " live.ndjson ")])).unwrap();
+        assert_eq!(s.live, Some(LiveTarget::Path("live.ndjson".into())));
+        assert!(s.wants_obs(), "a live feed needs an attached hub");
+
+        let s = Scale::parse(&env(&[("NSCC_LIVE", "3")])).unwrap();
+        assert_eq!(s.live, Some(LiveTarget::Fd(3)));
+
+        // Empty value is malformed, not silently off.
+        let e = Scale::parse(&env(&[("NSCC_LIVE", "  ")])).unwrap_err();
+        assert!(e.contains("NSCC_LIVE"), "{e}");
+        assert!(e.contains("file descriptor"), "{e}");
+
+        // An fd-looking value too large for an fd is malformed.
+        let e = Scale::parse(&env(&[("NSCC_LIVE", "99999999999999999999")])).unwrap_err();
+        assert!(e.contains("NSCC_LIVE"), "{e}");
+
+        let s = Scale::parse(&env(&[("NSCC_WALL", "1")])).unwrap();
+        assert!(s.wall);
+        assert!(s.wants_obs(), "wall accounting needs an attached hub");
+        let e = Scale::parse(&env(&[("NSCC_WALL", "yes")])).unwrap_err();
+        assert!(e.contains("NSCC_WALL"), "{e}");
+    }
+
+    #[test]
+    fn make_hub_honours_explicit_snapshot_disable_and_wall() {
+        let mut scale = Scale::paper();
+        scale.snap_ms = 0;
+        let hub = make_hub(&scale);
+        hub.emit(nscc_obs::ObsEvent::Write {
+            t_ns: 10_000_000_000,
+            rank: 0,
+            loc: 0,
+            age: 1,
+        });
+        assert!(
+            hub.snapshots().is_empty(),
+            "NSCC_SNAP_MS=0 is an explicit disable"
+        );
+        assert!(!hub.wants_wall());
+
+        scale.wall = true;
+        assert!(make_hub(&scale).wants_wall());
+        scale.wall = false;
+        scale.live = Some(LiveTarget::Path("x".into()));
+        assert!(
+            make_hub(&scale).wants_wall(),
+            "a live feed implies wall accounting"
         );
     }
 

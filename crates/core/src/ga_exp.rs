@@ -273,6 +273,12 @@ fn run_parallel_once(
             sim.attach_obs(hub.clone());
         }
     }
+    // Wall-clock scheduler accounting is span-free and outside the report's
+    // deterministic sections, so it attaches whenever requested — even on
+    // unobserved reference runs, whose real cost is still real cost.
+    if let Some(hub) = exp.obs.as_ref().filter(|h| h.wants_wall()) {
+        sim.attach_wall(hub.clone());
+    }
     if chaos {
         if let Some(to) = exp.read_timeout {
             world = world.with_read_timeout(to);

@@ -50,6 +50,12 @@ pub struct RunReport {
     /// The observability hub's summary: staleness/block/delay histograms,
     /// warp distribution, event and drop counters.
     pub obs: HubSummary,
+    /// Wall-clock scheduler self-accounting ([`nscc_obs::SchedSummary`]):
+    /// events/sec throughput, park/unpark counts, per-process executing
+    /// vs. parked time. Real host-clock numbers, so nondeterministic —
+    /// populated only on explicit request (`NSCC_WALL=1`) and serialized
+    /// as `null` otherwise, keeping same-seed reports byte-identical.
+    pub wall: Option<nscc_obs::SchedSummary>,
 }
 
 impl RunReport {
@@ -67,6 +73,7 @@ impl RunReport {
             fault_reports: 0,
             degraded: false,
             obs: hub.summary(),
+            wall: None,
         }
     }
 
@@ -171,6 +178,22 @@ mod tests {
         assert!(s.contains("\"name\":\"unit\""));
         assert!(s.contains("\"speedup\":2.5"));
         assert!(s.contains("\"staleness\""));
+    }
+
+    #[test]
+    fn wall_section_is_null_unless_requested() {
+        let mut rep = sample_report();
+        assert!(
+            rep.to_json().contains("\"wall\":null"),
+            "default reports carry no nondeterministic wall data"
+        );
+        rep.wall = Some(nscc_obs::SchedSummary {
+            events: 10,
+            ..Default::default()
+        });
+        let s = rep.to_json();
+        json::validate(&s).expect("report with wall section validates");
+        assert!(s.contains("\"wall\":{\"events\":10,"));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -21,6 +21,7 @@ use serde::Serialize;
 
 use crate::event::ObsEvent;
 use crate::hist::Histogram;
+use crate::live::{LiveSink, ProcSched, SchedDelta, SchedSummary};
 use crate::span::{Span, SpanKind, Trace, TraceTotals};
 use crate::warp::{WarpSummary, WarpTimeline};
 use crate::Label;
@@ -73,6 +74,24 @@ struct HubInner {
     snap_every_ns: AtomicU64,
     /// Next virtual instant at which a snapshot is due.
     snap_next_ns: AtomicU64,
+    /// Attached live-feed sink, if any ([`Hub::set_live`]); `live_on`
+    /// mirrors its presence so the snapshot path pays one relaxed load
+    /// instead of a lock when no feed is attached.
+    live: Mutex<Option<LiveSink>>,
+    live_on: AtomicBool,
+    /// Whether wall-clock scheduler accounting was requested
+    /// ([`Hub::enable_wall`]); simulations check it before attaching
+    /// their accounting, so detached runs never touch `Instant::now`.
+    wall_on: AtomicBool,
+    /// Scheduler wall-clock accounting, accumulated across every
+    /// simulation that flushed into this hub ([`Hub::note_sched`]).
+    sched_events: AtomicU64,
+    sched_parks: AtomicU64,
+    sched_unparks: AtomicU64,
+    sched_exec_ns: AtomicU64,
+    sched_wall_ns: AtomicU64,
+    /// Per-pid `(exec_ns, slices)` scheduler accounting.
+    sched_procs: Mutex<BTreeMap<u32, (u64, u64)>>,
     reads: AtomicU64,
     writes: AtomicU64,
     messages: AtomicU64,
@@ -134,6 +153,15 @@ impl Hub {
                 snapshots: Mutex::new(Vec::new()),
                 snap_every_ns: AtomicU64::new(0),
                 snap_next_ns: AtomicU64::new(0),
+                live: Mutex::new(None),
+                live_on: AtomicBool::new(false),
+                wall_on: AtomicBool::new(false),
+                sched_events: AtomicU64::new(0),
+                sched_parks: AtomicU64::new(0),
+                sched_unparks: AtomicU64::new(0),
+                sched_exec_ns: AtomicU64::new(0),
+                sched_wall_ns: AtomicU64::new(0),
+                sched_procs: Mutex::new(BTreeMap::new()),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
                 messages: AtomicU64::new(0),
@@ -254,31 +282,176 @@ impl Hub {
         self.maybe_snapshot(t_ns);
     }
 
-    /// Enable periodic metric snapshots every `every_ns` of virtual time
-    /// (0 disables). Snapshots are cut lazily, on the first event at or
-    /// past each cadence boundary, so they cost nothing between events and
-    /// keep long runs analyzable even after raw-event storage saturates.
+    /// Enable periodic metric snapshots every `every_ns` of virtual time.
+    /// Snapshots are cut lazily, on the first event at or past each
+    /// cadence boundary, so they cost nothing between events and keep
+    /// long runs analyzable even after raw-event storage saturates.
+    ///
+    /// `sample_every(0)` is the explicit "disabled" no-op: no snapshots
+    /// are cut, no pending boundary survives (calling it after a nonzero
+    /// cadence turns sampling off), and an attached live feed carries
+    /// only its `start` and `final` lines.
     pub fn sample_every(&self, every_ns: u64) {
         self.inner.snap_every_ns.store(every_ns, Ordering::Relaxed);
-        self.inner.snap_next_ns.store(every_ns, Ordering::Relaxed);
+        // With every_ns == 0 the sentinel keeps maybe_snapshot's second
+        // check unreachable even for racing emitters mid-reconfiguration.
+        let next = if every_ns == 0 { u64::MAX } else { every_ns };
+        self.inner.snap_next_ns.store(next, Ordering::Relaxed);
     }
 
-    /// Cut a snapshot now if the cadence says one is due at `t_ns`.
+    /// Cut a snapshot now if the cadence says one is due at `t_ns`, and
+    /// stream it to the live feed when one is attached.
     fn maybe_snapshot(&self, t_ns: u64) {
         let every = self.inner.snap_every_ns.load(Ordering::Relaxed);
         if every == 0 || t_ns < self.inner.snap_next_ns.load(Ordering::Relaxed) {
             return;
         }
-        let mut snaps = self.inner.snapshots.lock();
-        // Re-check under the lock: a racing emitter may have taken this
-        // boundary's snapshot already.
-        if t_ns < self.inner.snap_next_ns.load(Ordering::Relaxed) {
+        let snap = {
+            let mut snaps = self.inner.snapshots.lock();
+            // Re-check under the lock: a racing emitter may have taken
+            // this boundary's snapshot already.
+            if t_ns < self.inner.snap_next_ns.load(Ordering::Relaxed) {
+                return;
+            }
+            self.inner
+                .snap_next_ns
+                .store(t_ns - t_ns % every + every, Ordering::Relaxed);
+            let snap = self.snapshot_at(t_ns);
+            snaps.push(snap);
+            snap
+        };
+        // Feed writes happen outside the snapshots lock: the live mutex
+        // alone serializes lines, and emitters without a feed attached
+        // pay exactly this one relaxed load.
+        if self.inner.live_on.load(Ordering::Relaxed) {
+            let sched = self.sched();
+            if let Some(sink) = self.inner.live.lock().as_mut() {
+                sink.snap(snap, sched);
+            }
+        }
+    }
+
+    /// Attach a live-feed sink: every snapshot cut from now on is also
+    /// written to `out` as one line of versioned JSON (see
+    /// [`crate::live`]), starting with a `start` header line. `bench`
+    /// names the producing binary in the header. The feed is an *extra*
+    /// output — the snapshot series, summary, and report bytes are
+    /// identical with and without it.
+    pub fn set_live(&self, out: Box<dyn std::io::Write + Send>, bench: &str) {
+        let every = self.inner.snap_every_ns.load(Ordering::Relaxed);
+        *self.inner.live.lock() = Some(LiveSink::new(out, bench, every));
+        self.inner.live_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a live-feed sink is attached.
+    pub fn live_enabled(&self) -> bool {
+        self.inner.live_on.load(Ordering::Relaxed)
+    }
+
+    /// Write the feed's closing `final` line from the end-of-run summary
+    /// (a no-op without an attached feed). `obs` is passed in rather than
+    /// resampled so the line carries exactly the counters of the summary
+    /// embedded in the run report — including merged per-cell summaries a
+    /// sweep accumulated outside this hub.
+    pub fn live_final(&self, obs: &HubSummary) {
+        if !self.inner.live_on.load(Ordering::Relaxed) {
             return;
         }
+        let sched = self.sched();
+        if let Some(sink) = self.inner.live.lock().as_mut() {
+            sink.finish(obs, sched);
+        }
+    }
+
+    /// Request wall-clock scheduler accounting: simulations that observe
+    /// this hub check [`wants_wall`](Hub::wants_wall) and attach their
+    /// accounting (`SimBuilder::attach_wall`) when set. Off by default —
+    /// wall accounting reads the host clock, so it is only ever opt-in.
+    pub fn enable_wall(&self) {
+        self.inner.wall_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether wall-clock scheduler accounting was requested.
+    pub fn wants_wall(&self) -> bool {
+        self.inner.wall_on.load(Ordering::Relaxed)
+    }
+
+    /// Fold one batch of scheduler wall-clock accounting into the hub
+    /// (deltas add; called periodically and at teardown by accounting
+    /// simulations).
+    pub fn note_sched(&self, d: &SchedDelta) {
         self.inner
-            .snap_next_ns
-            .store(t_ns - t_ns % every + every, Ordering::Relaxed);
-        snaps.push(self.snapshot_at(t_ns));
+            .sched_events
+            .fetch_add(d.events, Ordering::Relaxed);
+        self.inner.sched_parks.fetch_add(d.parks, Ordering::Relaxed);
+        self.inner
+            .sched_unparks
+            .fetch_add(d.unparks, Ordering::Relaxed);
+        self.inner
+            .sched_exec_ns
+            .fetch_add(d.exec_ns, Ordering::Relaxed);
+        self.inner
+            .sched_wall_ns
+            .fetch_add(d.wall_ns, Ordering::Relaxed);
+        if !d.per_proc.is_empty() {
+            let mut procs = self.inner.sched_procs.lock();
+            for &(pid, exec_ns, slices) in &d.per_proc {
+                let e = procs.entry(pid).or_insert((0, 0));
+                e.0 += exec_ns;
+                e.1 += slices;
+            }
+        }
+    }
+
+    /// Fold another hub's scheduler accounting into this one. Sweep bins
+    /// that run each checkpointed cell on its own hub use this to carry
+    /// the cells' wall-clock cost into the main hub (resumed cells spent
+    /// no wall time in this process, so they rightly contribute nothing).
+    pub fn adopt_sched(&self, other: &Hub) {
+        let o = &other.inner;
+        self.note_sched(&SchedDelta {
+            events: o.sched_events.load(Ordering::Relaxed),
+            parks: o.sched_parks.load(Ordering::Relaxed),
+            unparks: o.sched_unparks.load(Ordering::Relaxed),
+            exec_ns: o.sched_exec_ns.load(Ordering::Relaxed),
+            wall_ns: o.sched_wall_ns.load(Ordering::Relaxed),
+            per_proc: o
+                .sched_procs
+                .lock()
+                .iter()
+                .map(|(&pid, &(exec_ns, slices))| (pid, exec_ns, slices))
+                .collect(),
+        });
+    }
+
+    /// The accumulated scheduler wall-clock accounting (all zeros when no
+    /// simulation ever attached it).
+    pub fn sched(&self) -> SchedSummary {
+        let events = self.inner.sched_events.load(Ordering::Relaxed);
+        let wall_ns = self.inner.sched_wall_ns.load(Ordering::Relaxed);
+        SchedSummary {
+            events,
+            parks: self.inner.sched_parks.load(Ordering::Relaxed),
+            unparks: self.inner.sched_unparks.load(Ordering::Relaxed),
+            exec_ns: self.inner.sched_exec_ns.load(Ordering::Relaxed),
+            wall_ns,
+            events_per_sec: if wall_ns == 0 {
+                0.0
+            } else {
+                events as f64 / (wall_ns as f64 / 1e9)
+            },
+            procs: self
+                .inner
+                .sched_procs
+                .lock()
+                .iter()
+                .map(|(&pid, &(exec_ns, slices))| ProcSched {
+                    pid,
+                    exec_ns,
+                    slices,
+                })
+                .collect(),
+        }
     }
 
     /// Sample the current derived metrics as one [`MetricSnapshot`].
@@ -1200,6 +1373,163 @@ mod tests {
         }
         assert!(hub.snapshots().is_empty());
         assert!(hub.summary().snapshots.is_empty());
+    }
+
+    #[test]
+    fn sample_every_zero_is_an_explicit_disable() {
+        let hub = Hub::new();
+        hub.sample_every(1_000);
+        hub.sample_every(0);
+        for t in [500, 1_500, 10_000] {
+            hub.emit(ObsEvent::Write {
+                t_ns: t,
+                rank: 0,
+                loc: 0,
+                age: 1,
+            });
+        }
+        assert!(hub.snapshots().is_empty());
+    }
+
+    /// A cloneable in-memory writer for feed tests.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<parking_lot::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn lines(&self) -> Vec<String> {
+            String::from_utf8(self.0.lock().clone())
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn live_feed_streams_snapshots_and_final_counters() {
+        let hub = Hub::new();
+        hub.sample_every(1_000);
+        let buf = SharedBuf::default();
+        hub.set_live(Box::new(buf.clone()), "unit");
+        assert!(hub.live_enabled());
+        hub.emit(read_done(2, true, 50));
+        hub.emit(ObsEvent::Write {
+            t_ns: 1_200,
+            rank: 0,
+            loc: 0,
+            age: 1,
+        });
+        hub.emit(ObsEvent::Write {
+            t_ns: 2_400,
+            rank: 0,
+            loc: 0,
+            age: 2,
+        });
+        hub.live_final(&hub.summary());
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 4, "start + 2 snaps + final: {lines:?}");
+        assert!(lines[0].contains("\"kind\":\"start\""));
+        assert!(lines[0].contains("\"bench\":\"unit\""));
+        assert!(lines[0].contains("\"snap_every_ns\":1000"));
+        assert!(lines[1].contains("\"kind\":\"snap\""));
+        // First snap's deltas are the cumulative values so far.
+        assert!(lines[1].contains("\"delta\":{\"reads\":1,\"writes\":1,"));
+        // Second snap saw one more write, nothing else.
+        assert!(lines[2].contains("\"delta\":{\"reads\":0,\"writes\":1,"));
+        assert!(lines[3].contains("\"kind\":\"final\""));
+        assert!(lines[3].contains("\"reads\":1"));
+        assert!(lines[3].contains("\"writes\":2"));
+        for line in &lines {
+            assert!(line.starts_with("{\"feed_version\":1,"), "{line}");
+        }
+    }
+
+    #[test]
+    fn live_feed_without_cadence_is_start_plus_final_only() {
+        let hub = Hub::new();
+        hub.sample_every(0);
+        let buf = SharedBuf::default();
+        hub.set_live(Box::new(buf.clone()), "quiet");
+        for _ in 0..10 {
+            hub.emit(read_done(1, false, 0));
+        }
+        hub.live_final(&hub.summary());
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"snap_every_ns\":0"));
+        assert!(lines[1].contains("\"kind\":\"final\""));
+    }
+
+    #[test]
+    fn sched_accounting_accumulates_and_derives_rate() {
+        let hub = Hub::new();
+        assert!(!hub.wants_wall());
+        hub.enable_wall();
+        assert!(hub.wants_wall());
+        hub.note_sched(&SchedDelta {
+            events: 100,
+            parks: 10,
+            unparks: 12,
+            exec_ns: 4_000,
+            wall_ns: 500_000_000,
+            per_proc: vec![(0, 3_000, 7), (1, 1_000, 5)],
+        });
+        hub.note_sched(&SchedDelta {
+            events: 100,
+            parks: 5,
+            unparks: 5,
+            exec_ns: 1_000,
+            wall_ns: 500_000_000,
+            per_proc: vec![(1, 1_000, 3)],
+        });
+        let s = hub.sched();
+        assert_eq!(s.events, 200);
+        assert_eq!(s.parks, 15);
+        assert_eq!(s.unparks, 17);
+        assert_eq!(s.exec_ns, 5_000);
+        assert_eq!(s.wall_ns, 1_000_000_000);
+        assert!((s.events_per_sec - 200.0).abs() < 1e-9);
+        assert_eq!(
+            s.procs,
+            vec![
+                ProcSched {
+                    pid: 0,
+                    exec_ns: 3_000,
+                    slices: 7
+                },
+                ProcSched {
+                    pid: 1,
+                    exec_ns: 2_000,
+                    slices: 8
+                },
+            ]
+        );
+
+        // adopt_sched folds another hub's totals in.
+        let other = Hub::new();
+        other.note_sched(&SchedDelta {
+            events: 50,
+            parks: 1,
+            unparks: 1,
+            exec_ns: 500,
+            wall_ns: 1_000,
+            per_proc: vec![(2, 500, 1)],
+        });
+        hub.adopt_sched(&other);
+        let s = hub.sched();
+        assert_eq!(s.events, 250);
+        assert_eq!(s.procs.len(), 3);
+        assert_eq!(s.procs[2].pid, 2);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod event;
 pub mod hist;
 pub mod hub;
 pub mod json;
+pub mod live;
 pub mod perfetto;
 pub mod span;
 pub mod warp;
@@ -43,8 +44,11 @@ pub mod warp;
 ///
 /// v3 adds the causal-attribution sections (per-location staleness
 /// heatmaps, read-dependency edges, profiler rows, loc/proc name maps);
-/// all are additive, so v3 readers keep accepting v1/v2 documents.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4 adds the optional `wall` scheduler wall-clock accounting section on
+/// run reports and the live telemetry feed ([`live`], versioned
+/// separately by [`live::FEED_VERSION`]). All additions are additive, so
+/// v4 readers keep accepting v1–v3 documents.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// A span/event label: borrowed for the common static case, owned when a
 /// layer needs a dynamic label (per-location, per-island, …).
@@ -53,5 +57,6 @@ pub type Label = std::borrow::Cow<'static, str>;
 pub use event::ObsEvent;
 pub use hist::Histogram;
 pub use hub::{DepEdge, HeatRow, Hub, HubSummary, MetricSnapshot, ProfileRow};
+pub use live::{ProcSched, SchedDelta, SchedSummary, FEED_VERSION};
 pub use span::{Span, SpanKind, Trace, TraceTotals};
 pub use warp::{WarpPoint, WarpSummary, WarpTimeline};

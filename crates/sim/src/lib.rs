@@ -142,6 +142,39 @@ mod tests {
     }
 
     #[test]
+    fn wall_accounting_counts_events_slices_and_parks() {
+        let hub = Hub::new();
+        let mut sim = SimBuilder::new(0);
+        sim.attach_wall(hub.clone());
+        for p in 0..2 {
+            sim.spawn(format!("p{p}"), |ctx| {
+                for _ in 0..3 {
+                    ctx.advance(SimTime::from_millis(1));
+                }
+            });
+        }
+        let report = sim.run().unwrap();
+        let s = hub.sched();
+        assert_eq!(s.events, report.events_executed);
+        // Each process: 1 initial unpark + 3 advance re-resumes = 4 slices;
+        // the final slice ends in Done (no re-park), so parks = slices − 1.
+        assert_eq!(s.unparks, 8);
+        assert_eq!(s.parks, 6);
+        assert!(s.wall_ns > 0, "event loop spent some real time");
+        assert!(s.exec_ns <= s.wall_ns, "slices are inside the loop");
+        assert_eq!(s.procs.len(), 2);
+        assert_eq!(s.procs[0].pid, 0);
+        assert_eq!(s.procs[0].slices, 4);
+        assert_eq!(s.procs[1].slices, 4);
+        assert!(s.events_per_sec > 0.0);
+        // Wall accounting records no spans and no events: the hub's
+        // deterministic summary is untouched.
+        let sum = hub.summary();
+        assert_eq!(sum.events, 0);
+        assert_eq!(sum.spans, 0);
+    }
+
+    #[test]
     fn deadlock_is_detected_with_diagnostics() {
         let mb: Mailbox<()> = Mailbox::new("never");
         let mut sim = SimBuilder::new(0);

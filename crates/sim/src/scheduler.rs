@@ -1,12 +1,13 @@
 //! The virtual-time scheduler: owns the event queue and the process table,
 //! and executes exactly one thing (event or process slice) at a time.
 
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::panic::{self, AssertUnwindSafe};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
-use nscc_obs::{Hub, SpanKind};
+use nscc_obs::{Hub, SchedDelta, SpanKind};
 
 use crate::error::{DeadlockInfo, SimError};
 use crate::event::{Event, EventCtx, EventKind, QueueEntry};
@@ -71,6 +72,7 @@ pub struct SimBuilder {
     call_rx: Receiver<(Pid, ProcCall)>,
     ctxs: Vec<Option<Ctx>>,
     obs: Option<Hub>,
+    wall: Option<Hub>,
 }
 
 impl SimBuilder {
@@ -86,6 +88,7 @@ impl SimBuilder {
             call_rx,
             ctxs: Vec::new(),
             obs: None,
+            wall: None,
         }
     }
 
@@ -95,6 +98,20 @@ impl SimBuilder {
     /// Detached (the default) costs one branch per scheduling decision.
     pub fn attach_obs(&mut self, hub: Hub) -> &mut Self {
         self.obs = Some(hub);
+        self
+    }
+
+    /// Attach wall-clock scheduler self-accounting: the event loop counts
+    /// entries executed, park/unpark transitions, and real (host-clock)
+    /// nanoseconds spent inside process slices vs. total, flushing
+    /// [`SchedDelta`] batches into `hub` (see `Hub::sched`). Unlike
+    /// [`attach_obs`](SimBuilder::attach_obs) this records **no** spans or
+    /// events, so it never perturbs deterministic report output — but its
+    /// numbers are real time and differ run to run, which is why callers
+    /// gate it on `Hub::wants_wall` rather than attaching unconditionally.
+    /// Detached (the default) costs one `Option` check per entry.
+    pub fn attach_wall(&mut self, hub: Hub) -> &mut Self {
+        self.wall = Some(hub);
         self
     }
 
@@ -215,6 +232,15 @@ impl SimBuilder {
     }
 
     fn event_loop(&mut self) -> Result<SimReport, SimError> {
+        let mut acct = self.wall.take().map(WallAcct::new);
+        let result = self.event_loop_inner(&mut acct);
+        if let Some(mut a) = acct {
+            a.flush();
+        }
+        result
+    }
+
+    fn event_loop_inner(&mut self, acct: &mut Option<WallAcct>) -> Result<SimReport, SimError> {
         let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
         let mut seq: u64 = 0;
         let mut now = SimTime::ZERO;
@@ -269,6 +295,9 @@ impl SimBuilder {
             debug_assert!(entry.time >= now, "event queue went backwards in time");
             now = entry.time;
             executed += 1;
+            if let Some(a) = acct.as_mut() {
+                a.event();
+            }
             if now > self.time_limit {
                 return Err(SimError::TimeLimitExceeded {
                     limit: self.time_limit,
@@ -298,6 +327,8 @@ impl SimBuilder {
                         ProcState::Done | ProcState::Blocked { .. } => continue,
                     }
                     slot.last_progress = now;
+                    let slice_start = acct.as_ref().map(|_| Instant::now());
+                    let mut parked = false;
                     if slot.reply_tx.send(Reply::Resume { now }).is_err() {
                         // Thread died without reporting: treat as panic.
                         return Err(SimError::ProcessPanicked {
@@ -340,12 +371,14 @@ impl SimBuilder {
                                     }
                                 }
                                 pending.push((now + d, EventKind::Resume(pid)));
+                                parked = true;
                                 break;
                             }
                             ProcCall::Block { reason, probe } => {
                                 let slot = &mut self.procs[pid.index()];
                                 slot.probe = probe;
                                 slot.state = ProcState::Blocked { reason, since: now };
+                                parked = true;
                                 break;
                             }
                             ProcCall::Schedule { delay, event } => {
@@ -375,6 +408,9 @@ impl SimBuilder {
                                 });
                             }
                         }
+                    }
+                    if let (Some(a), Some(t0)) = (acct.as_mut(), slice_start) {
+                        a.slice(pid.0, t0.elapsed(), parked);
                     }
                 }
             }
@@ -420,6 +456,85 @@ impl SimBuilder {
                 seq += 1;
             }
         }
+    }
+}
+
+/// Wall-clock self-accounting for the event loop, active only when a hub
+/// requested it via [`SimBuilder::attach_wall`]. Counts are batched
+/// locally and flushed into the hub as [`SchedDelta`]s every
+/// `FLUSH_EVERY` entries (and once at loop exit), so the steady-state
+/// cost per entry is a handful of integer adds — the hub's atomics are
+/// touched ~once per 4096 events.
+struct WallAcct {
+    hub: Hub,
+    started: Instant,
+    /// Wall ns already attributed to the hub by previous flushes.
+    last_wall_flushed: u64,
+    events: u64,
+    since_flush: u64,
+    parks: u64,
+    unparks: u64,
+    exec_ns: u64,
+    per_proc: BTreeMap<u32, (u64, u64)>,
+}
+
+impl WallAcct {
+    const FLUSH_EVERY: u64 = 4096;
+
+    fn new(hub: Hub) -> WallAcct {
+        WallAcct {
+            hub,
+            started: Instant::now(),
+            last_wall_flushed: 0,
+            events: 0,
+            since_flush: 0,
+            parks: 0,
+            unparks: 0,
+            exec_ns: 0,
+            per_proc: BTreeMap::new(),
+        }
+    }
+
+    /// One queue entry executed.
+    fn event(&mut self) {
+        self.events += 1;
+        self.since_flush += 1;
+        if self.since_flush >= Self::FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    /// One process slice served: `dur` of real time between handing the
+    /// thread its `Resume` and it yielding control back. `parked` is true
+    /// when the slice ended with the thread re-parking on its reply
+    /// channel (advance/block) rather than exiting.
+    fn slice(&mut self, pid: u32, dur: std::time::Duration, parked: bool) {
+        let ns = dur.as_nanos() as u64;
+        self.exec_ns += ns;
+        self.unparks += 1;
+        self.parks += u64::from(parked);
+        let e = self.per_proc.entry(pid).or_insert((0, 0));
+        e.0 += ns;
+        e.1 += 1;
+    }
+
+    /// Hand the accumulated deltas to the hub.
+    fn flush(&mut self) {
+        let wall_total = self.started.elapsed().as_nanos() as u64;
+        let wall_ns = wall_total.saturating_sub(self.last_wall_flushed);
+        self.last_wall_flushed = wall_total;
+        self.since_flush = 0;
+        self.hub.note_sched(&SchedDelta {
+            events: std::mem::take(&mut self.events),
+            parks: std::mem::take(&mut self.parks),
+            unparks: std::mem::take(&mut self.unparks),
+            exec_ns: std::mem::take(&mut self.exec_ns),
+            wall_ns,
+            per_proc: std::mem::take(&mut self.per_proc)
+                .into_iter()
+                .map(|(pid, (exec_ns, slices))| (pid, exec_ns, slices))
+                .collect(),
+        });
     }
 }
 

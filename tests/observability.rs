@@ -194,13 +194,18 @@ fn profiler_rows_are_deterministic_and_attributed() {
     );
 }
 
-/// The analyzer mirrors the writer's schema constant (it is
-/// dependency-free by design, so it cannot import it). If this fails,
-/// bump `nscc_analyze::SCHEMA_VERSION` alongside the obs one.
+/// The analyzer mirrors the writer's schema constants (it is
+/// dependency-free by design, so it cannot import them). If this fails,
+/// bump `nscc_analyze::SCHEMA_VERSION` / `nscc_analyze::FEED_VERSION`
+/// alongside the obs ones.
 #[test]
 fn analyzer_schema_version_tracks_obs() {
     assert_eq!(
         nscc::analyze::SCHEMA_VERSION,
         u64::from(nscc::obs::SCHEMA_VERSION)
+    );
+    assert_eq!(
+        nscc::analyze::FEED_VERSION,
+        u64::from(nscc::obs::FEED_VERSION)
     );
 }
