@@ -12,6 +12,8 @@
 //!   --abs <A>            absolute floor (default: 0.02)
 //!   --all                gate every numeric scalar, not just metrics.*
 //!   --update-baselines   copy fresh reports over the baselines and exit
+//! nscc audit <REPORT...>                      coherence-monitor verdicts (NSCC_AUDIT=1)
+//! nscc postmortem <FLIGHT>                    analyze a flight-recorder dump
 //! nscc top [--once] [--interval MS] <FEED>    dashboard over an NSCC_LIVE feed
 //! nscc trend [OPTS] [POINT...]                metric trajectories over runs/
 //!   --dir <DIR>          series directory (default: runs)
@@ -26,8 +28,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nscc_analyze::{
-    diff, follow, gate_all, heat, inspect, inspect_ckpt_dir, top_file, trend_dir, trend_files,
-    update_baselines, why, GateConfig, Report, TrendConfig,
+    audit, diff, follow, gate_all, heat, inspect, inspect_ckpt_dir, postmortem, top_file,
+    trend_dir, trend_files, update_baselines, why, GateConfig, Report, TrendConfig,
 };
 
 const USAGE: &str = "\
@@ -40,14 +42,18 @@ usage:
   nscc heat <REPORT...>
   nscc why <REPORT> [--proc P] [--locn L]
   nscc gate [--baselines DIR] [--rel R] [--abs A] [--all] [--update-baselines] <FRESH...>
+  nscc audit <REPORT...>
+  nscc postmortem <FLIGHT>
   nscc top [--once] [--interval MS] <FEED>
   nscc trend [--dir DIR] [--window N] [--rel R] [--abs A] [--check] [POINT...]
 
 Artifacts are the BENCH_*.json run reports (NSCC_JSON=1), TRACE_*.json
-event dumps (NSCC_TRACE=1), NSCC_CKPT_DIR checkpoint stores and
-NSCC_LIVE telemetry feeds written by the bench binaries; trend points
-are numbered report copies (BENCH_<name>.<seq>.json, e.g. under runs/).
-Exit codes: 0 pass, 1 regression, 2 usage/config error.
+event dumps (NSCC_TRACE=1), FLIGHT_*.json flight-recorder dumps (cut
+from the NSCC_FLIGHT ring when a monitored run fails), NSCC_CKPT_DIR
+checkpoint stores and NSCC_LIVE telemetry feeds written by the bench
+binaries; trend points are numbered report copies (BENCH_<name>.<seq>
+.json, e.g. under runs/).
+Exit codes: 0 pass, 1 regression/violation, 2 usage/config error.
 ";
 
 fn main() -> ExitCode {
@@ -62,6 +68,8 @@ fn main() -> ExitCode {
         "heat" => cmd_heat(rest),
         "why" => cmd_why(rest),
         "gate" => cmd_gate(rest),
+        "audit" => cmd_audit(rest),
+        "postmortem" => cmd_postmortem(rest),
         "top" => cmd_top(rest),
         "trend" => cmd_trend(rest),
         "-h" | "--help" | "help" => {
@@ -274,6 +282,54 @@ fn cmd_gate(args: &[String]) -> ExitCode {
     let (text, outcome) = gate_all(&baselines, &fresh, &cfg);
     print!("{text}");
     ExitCode::from(outcome.exit_code() as u8)
+}
+
+fn cmd_audit(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("nscc audit: no reports given\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut dirty = false;
+    for (i, path) in files.iter().enumerate() {
+        let rep = match load(path) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        if i > 0 {
+            println!();
+        }
+        let (text, violations) = audit(&rep);
+        print!("{text}");
+        dirty |= violations > 0;
+    }
+    if dirty {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_postmortem(files: &[String]) -> ExitCode {
+    let [path] = files else {
+        eprintln!("nscc postmortem: expected exactly one FLIGHT_*.json dump\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rep = match load(path) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match postmortem(&rep) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("nscc postmortem: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_top(args: &[String]) -> ExitCode {

@@ -102,6 +102,26 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
         return (out, Outcome::ConfigError);
     }
 
+    // A coherence violation means the fresh run broke its own contract:
+    // its numbers describe an invalid execution, so comparing them to a
+    // baseline is meaningless — that's a config error (exit 2), not a
+    // regression.
+    let audit_violations = fresh
+        .root
+        .get("audit")
+        .and_then(|a| a.get("violations"))
+        .and_then(crate::json::Json::as_u64)
+        .unwrap_or(0);
+    if audit_violations > 0 {
+        out.push_str(&format!(
+            "  CONFIG ERROR: fresh run's coherence auditor recorded {audit_violations} \
+             violation(s) — the run is invalid; see `nscc audit {}` and any \
+             FLIGHT_*.json dump\n",
+            fresh.path.display()
+        ));
+        return (out, Outcome::ConfigError);
+    }
+
     // Raw trace truncation never moves a `metrics.*` value (those are
     // counter-derived), so the default scope gates soundly and only gets
     // a note. `--all` pulls the kept-stream counters (`obs.events`,
@@ -133,11 +153,17 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
         if cfg.all {
             // `wall.*` is the scheduler's wall-clock self-accounting
             // (NSCC_WALL=1): real host nanoseconds, nondeterministic by
-            // nature, so it is never gated — only reported.
+            // nature, so it is never gated — only reported. `audit.*`
+            // check counts exist only on NSCC_AUDIT=1 runs, so gating
+            // them would fail every monitored run against an unmonitored
+            // baseline; a *violation* is caught above instead.
             r.flatten()
                 .into_iter()
                 .filter(|(k, _)| {
-                    !k.starts_with("params.") && k != "schema_version" && !k.starts_with("wall.")
+                    !k.starts_with("params.")
+                        && k != "schema_version"
+                        && !k.starts_with("wall.")
+                        && !k.starts_with("audit.")
                 })
                 .collect()
         } else {
@@ -482,6 +508,37 @@ mod tests {
         // versa) is also fine: the section is outside the gated scope.
         let (_, outcome) = gate_pair(&base(), &base(), &cfg);
         assert_eq!(outcome, Outcome::Pass);
+    }
+
+    #[test]
+    fn audit_violations_make_the_fresh_run_ungateable() {
+        let dirty = report(
+            r#"{"schema_version":5,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.0},
+               "audit":{"monitors":[],"checked":10,"violations":3,"dropped":0,
+                        "recorded":[]}}"#,
+        );
+        let (text, outcome) = gate_pair(&base(), &dirty, &GateConfig::default());
+        assert_eq!(outcome, Outcome::ConfigError);
+        assert!(text.contains("coherence auditor recorded 3"), "{text}");
+        assert_eq!(outcome.exit_code(), 2);
+
+        // A clean audited run gates normally, including under --all: the
+        // audit check counts stay outside the gated scope so monitored
+        // and unmonitored runs compare equal.
+        let clean = report(
+            r#"{"schema_version":5,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.0},
+               "audit":{"monitors":[{"name":"staleness","checked":10,
+                        "violations":0}],"checked":10,"violations":0,
+                        "dropped":0,"recorded":[]}}"#,
+        );
+        let cfg = GateConfig {
+            all: true,
+            ..GateConfig::default()
+        };
+        let (text, outcome) = gate_pair(&base(), &clean, &cfg);
+        assert_eq!(outcome, Outcome::Pass, "{text}");
     }
 
     #[test]

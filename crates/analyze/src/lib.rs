@@ -39,6 +39,13 @@
 //!   `BENCH_<name>.<seq>.json` trajectory series (committed under
 //!   `runs/`) rendered as per-metric sparklines with rolling-median
 //!   drift detection (`--check` turns drift into a CI failure).
+//! - [`audit::audit`] — did the run uphold its coherence contract? The
+//!   online monitor verdict an `NSCC_AUDIT=1` run stamps into its
+//!   report: per-monitor check counts and every recorded violation.
+//! - [`postmortem`] — why did the run die? Reads the flight-recorder
+//!   dump (`FLIGHT_*.json`, cut from the `NSCC_FLIGHT` event ring on a
+//!   violation, fault, or deadlock): per-process last-events timelines
+//!   plus suspected-cause heuristics over the captured window.
 //!
 //! The crate depends only on `nscc-ckpt` (itself std-only, for reading
 //! checkpoint stores) and otherwise stays **dependency-free**: it parses
@@ -50,6 +57,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod causal;
 pub mod ckpt;
 pub mod diff;
@@ -58,16 +66,19 @@ pub mod gate;
 pub mod hist;
 pub mod inspect;
 pub mod json;
+pub mod postmortem;
 pub mod report;
 pub mod top;
 pub mod trend;
 
+pub use audit::audit;
 pub use causal::{heat, why};
 pub use ckpt::inspect_ckpt_dir;
 pub use diff::diff;
 pub use gate::{gate_all, gate_pair, update_baselines, GateConfig, Outcome};
 pub use hist::HistView;
 pub use inspect::inspect;
+pub use postmortem::postmortem;
 pub use report::{Report, SCHEMA_VERSION};
 pub use top::{follow, parse_feed, top_file, FEED_VERSION};
 pub use trend::{trend_dir, trend_files, TrendConfig};

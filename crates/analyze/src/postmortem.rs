@@ -1,0 +1,409 @@
+//! `nscc postmortem`: analyze a black-box flight-recorder dump.
+//!
+//! When a monitored run ends badly — a coherence-monitor violation, an
+//! injected fault that stuck, or a scheduler deadlock — the bench
+//! harness freezes the hub's bounded event ring (`NSCC_FLIGHT=<n>`) into
+//! a `FLIGHT_<bench>.json` document. This command reads it offline and
+//! answers "what was each process doing when it died": the violation
+//! list, a per-process tail of the captured events, and suspected-cause
+//! heuristics that walk the ring for the usual culprits (a stale write
+//! releasing a bounded read, an abandoned retransmission, a rank parked
+//! on a `Global_Read` that never released, a suspected writer).
+
+use std::collections::BTreeMap;
+
+use crate::fmt::{ns, num};
+use crate::json::Json;
+use crate::report::Report;
+
+/// Events shown per process in the timeline section.
+const TAIL: usize = 5;
+
+/// Render the post-mortem analysis of one flight dump.
+pub fn postmortem(rep: &Report) -> Result<String, String> {
+    if rep.root.get("kind").and_then(Json::as_str) != Some("flight") {
+        return Err(format!(
+            "{}: not a flight-recorder dump (expected \"kind\":\"flight\"; dumps are \
+             written as FLIGHT_<bench>.json when a run with NSCC_FLIGHT=<n> fails)",
+            rep.path.display()
+        ));
+    }
+    let get_str = |k: &str| rep.root.get(k).and_then(Json::as_str).unwrap_or("?");
+    let get_u64 = |k: &str| rep.root.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let names: Vec<&str> = rep
+        .root
+        .get("proc_names")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    let events = rep.root.get("events").and_then(Json::as_arr).unwrap_or(&[]);
+    let violations = rep
+        .root
+        .get("violations")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+
+    let reason = get_str("reason");
+    let gloss = match reason {
+        "violation" => "a coherence monitor flagged the run",
+        "deadlock" => "the scheduler found every runnable process blocked",
+        "fault" => "injected faults left reports behind",
+        _ => "unknown cause",
+    };
+    let mut out = format!("postmortem {} ({})\n", get_str("bench"), rep.path.display());
+    out.push_str(&format!("  reason: {reason} — {gloss}\n"));
+    out.push_str(&format!(
+        "  seed {}, ring capacity {}, {} events captured\n",
+        get_u64("seed"),
+        get_u64("capacity"),
+        events.len()
+    ));
+
+    if violations.is_empty() {
+        out.push_str("\nno recorded violations\n");
+    } else {
+        out.push_str(&format!("\nviolations ({}):\n", violations.len()));
+        for v in violations {
+            out.push_str(&format!(
+                "  [{}] {} rank {}: {}\n",
+                ns(v.get("t_ns").and_then(Json::as_u64).unwrap_or(0)),
+                v.get("monitor").and_then(Json::as_str).unwrap_or("?"),
+                num(v.get("rank").and_then(Json::as_f64).unwrap_or(0.0)),
+                v.get("detail").and_then(Json::as_str).unwrap_or("?"),
+            ));
+        }
+    }
+
+    // Per-process tail: the ring is oldest-first, so the last entries per
+    // rank are what each process did right before the dump was cut.
+    let mut per: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut unattributed: Vec<String> = Vec::new();
+    for ev in events {
+        let Some((kind, body)) = tagged(ev) else {
+            continue;
+        };
+        let line = format!(
+            "[{}] {}",
+            ns(body.get("t_ns").and_then(Json::as_u64).unwrap_or(0)),
+            describe(kind, body)
+        );
+        match event_rank(body) {
+            Some(rank) => per.entry(rank).or_default().push(line),
+            None => unattributed.push(line),
+        }
+    }
+    out.push_str("\nlast events per process (oldest first):\n");
+    if per.is_empty() && unattributed.is_empty() {
+        out.push_str("  (ring is empty)\n");
+    }
+    for (rank, lines) in &per {
+        out.push_str(&format!("  rank {}{}:\n", rank, rank_name(&names, *rank)));
+        let skipped = lines.len().saturating_sub(TAIL);
+        if skipped > 0 {
+            out.push_str(&format!("    … {skipped} earlier in the ring\n"));
+        }
+        for line in lines.iter().skip(skipped) {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    if !unattributed.is_empty() {
+        let skipped = unattributed.len().saturating_sub(TAIL);
+        out.push_str("  (no rank):\n");
+        if skipped > 0 {
+            out.push_str(&format!("    … {skipped} earlier in the ring\n"));
+        }
+        for line in unattributed.iter().skip(skipped) {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+
+    let suspects = suspected_causes(reason, violations, events, &names, &per);
+    out.push_str("\nsuspected causes:\n");
+    if suspects.is_empty() {
+        out.push_str(
+            "  none found in the captured window — the ring may not reach back far \
+             enough (raise NSCC_FLIGHT)\n",
+        );
+    } else {
+        for s in suspects {
+            out.push_str(&format!("  - {s}\n"));
+        }
+    }
+    Ok(out)
+}
+
+/// Split an externally-tagged event (`{"ReadDone":{...}}`) into its
+/// variant name and body.
+fn tagged(ev: &Json) -> Option<(&str, &Json)> {
+    let members = ev.as_obj()?;
+    members.first().map(|(k, v)| (k.as_str(), v))
+}
+
+/// The rank an event belongs to, for timeline grouping: `rank` when the
+/// variant carries one, else `src` (network / delivery events).
+fn event_rank(body: &Json) -> Option<u64> {
+    body.get("rank")
+        .or_else(|| body.get("src"))
+        .and_then(Json::as_u64)
+}
+
+/// ` (name)` when the dump carries a display name for the rank.
+fn rank_name(names: &[&str], rank: u64) -> String {
+    names
+        .get(rank as usize)
+        .map(|n| format!(" ({n})"))
+        .unwrap_or_default()
+}
+
+/// One event as `kind key=value …` (skipping the timestamp, which the
+/// caller renders). Field order follows the document, so output is
+/// deterministic and golden-testable.
+fn describe(kind: &str, body: &Json) -> String {
+    let mut out = String::from(kind);
+    if let Some(members) = body.as_obj() {
+        for (k, v) in members {
+            if k == "t_ns" {
+                continue;
+            }
+            let rendered = match v {
+                // u64::MAX sentinels (relaxed reads, unbounded modes,
+                // broadcast destinations) don't survive the f64 round-trip
+                // exactly; render them as what they mean.
+                Json::Num(n) if *n >= 1.8446744073709550e19 => "max".to_string(),
+                Json::Num(n) => num(*n),
+                Json::Str(s) => s.clone(),
+                Json::Bool(b) => b.to_string(),
+                other => format!("{other:?}"),
+            };
+            out.push_str(&format!(" {k}={rendered}"));
+        }
+    }
+    out
+}
+
+/// The deterministic cause heuristics: each is a cheap scan of the ring,
+/// ordered most-specific first.
+fn suspected_causes(
+    reason: &str,
+    violations: &[Json],
+    events: &[Json],
+    names: &[&str],
+    per: &BTreeMap<u64, Vec<String>>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+
+    // Staleness / monotonicity violations name a location in their
+    // detail; attribute the most recent publish to that location by
+    // another rank — on an injected-stale run this is the write whose
+    // value the fault layer re-delivered out of order.
+    for v in violations {
+        let Some(detail) = v.get("detail").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(loc) = loc_in(detail) else {
+            continue;
+        };
+        let v_rank = v.get("rank").and_then(Json::as_u64).unwrap_or(u64::MAX);
+        let v_t = v.get("t_ns").and_then(Json::as_u64).unwrap_or(u64::MAX);
+        let mut last_write: Option<(u64, u64, u64)> = None; // (t, rank, age)
+        for ev in events {
+            let Some((kind, body)) = tagged(ev) else {
+                continue;
+            };
+            if kind != "Write" && kind != "AntiMessage" {
+                continue;
+            }
+            let t = body.get("t_ns").and_then(Json::as_u64).unwrap_or(0);
+            let w_rank = body.get("rank").and_then(Json::as_u64).unwrap_or(u64::MAX);
+            if body.get("loc").and_then(Json::as_u64) == Some(loc) && t <= v_t && w_rank != v_rank {
+                last_write = Some((
+                    t,
+                    w_rank,
+                    body.get("age").and_then(Json::as_u64).unwrap_or(0),
+                ));
+            }
+        }
+        if let Some((t, w_rank, age)) = last_write {
+            out.push(format!(
+                "loc {loc} (flagged at [{}] on rank {v_rank}) was last published by rank \
+                 {w_rank}{} at [{}], generation {age} — the delivered value predates it",
+                ns(v_t),
+                rank_name(names, w_rank),
+                ns(t),
+            ));
+        }
+    }
+
+    // A rank whose final captured act is blocking on a Global_Read never
+    // got its release — on a deadlock dump that IS the hang.
+    for (&rank, lines) in per {
+        let Some(last) = lines.last() else {
+            continue;
+        };
+        if let Some(rest) = last.split("ReadBlocked").nth(1) {
+            let verb = if reason == "deadlock" {
+                "deadlocked on"
+            } else {
+                "still parked in"
+            };
+            out.push(format!(
+                "rank {rank}{} {verb} a blocking Global_Read ({}) with no release in \
+                 the captured window",
+                rank_name(names, rank),
+                rest.trim(),
+            ));
+        }
+    }
+
+    // Delivery-layer trouble: abandoned frames and suspected writers are
+    // rare, loud, and almost always causal.
+    let mut drops = 0u64;
+    for ev in events {
+        let Some((kind, body)) = tagged(ev) else {
+            continue;
+        };
+        match kind {
+            "RetransmitGiveUp" => out.push(format!(
+                "frame {}->{} seq {} abandoned at [{}] after exhausting retries",
+                num(body.get("src").and_then(Json::as_f64).unwrap_or(0.0)),
+                num(body.get("dst").and_then(Json::as_f64).unwrap_or(0.0)),
+                num(body.get("seq").and_then(Json::as_f64).unwrap_or(0.0)),
+                ns(body.get("t_ns").and_then(Json::as_u64).unwrap_or(0)),
+            )),
+            "WriterSuspected" => out.push(format!(
+                "rank {} declared rank {} dead at [{}]",
+                num(body.get("rank").and_then(Json::as_f64).unwrap_or(0.0)),
+                num(body.get("peer").and_then(Json::as_f64).unwrap_or(0.0)),
+                ns(body.get("t_ns").and_then(Json::as_u64).unwrap_or(0)),
+            )),
+            "FaultDrop" => drops += 1,
+            _ => {}
+        }
+    }
+    if drops > 0 {
+        out.push(format!(
+            "fault layer dropped {drops} frame{} inside the captured window",
+            if drops == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Parse the location index out of a violation detail (`… loc 9 …`).
+fn loc_in(detail: &str) -> Option<u64> {
+    let rest = detail.split("loc ").nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use std::path::PathBuf;
+
+    fn dump(doc: &str) -> Report {
+        Report {
+            path: PathBuf::from("FLIGHT_t.json"),
+            root: parse(doc).unwrap(),
+        }
+    }
+
+    #[test]
+    fn rejects_non_flight_documents() {
+        let rep = dump(r#"{"schema_version":5,"name":"t","metrics":{}}"#);
+        let err = postmortem(&rep).unwrap_err();
+        assert!(err.contains("not a flight-recorder dump"), "{err}");
+    }
+
+    #[test]
+    fn stale_violation_is_attributed_to_the_releasing_writer() {
+        let rep = dump(
+            r#"{"schema_version":5,"kind":"flight","bench":"fault_study","seed":7,
+                "reason":"violation","capacity":256,"proc_names":["ga-0","ga-1"],
+                "violations":[{"monitor":"staleness","t_ns":5000,"rank":1,
+                  "detail":"read of loc 9 delivered staleness 7 > requested bound 5"}],
+                "events":[
+                  {"Write":{"t_ns":1000,"rank":0,"loc":9,"age":3}},
+                  {"Write":{"t_ns":2000,"rank":0,"loc":9,"age":10}},
+                  {"ReadDone":{"t_ns":5000,"rank":1,"loc":9,"curr_iter":10,
+                    "requested":5,"delivered":3,"staleness":7,"blocked":false,
+                    "block_ns":0}}]}"#,
+        );
+        let text = postmortem(&rep).unwrap();
+        assert!(
+            text.contains("reason: violation — a coherence monitor"),
+            "{text}"
+        );
+        assert!(
+            text.contains("seed 7, ring capacity 256, 3 events"),
+            "{text}"
+        );
+        assert!(text.contains("rank 0 (ga-0):"), "{text}");
+        assert!(
+            text.contains("loc 9 (flagged at [5.00us] on rank 1) was last published by rank 0"),
+            "{text}"
+        );
+        assert!(text.contains("generation 10"), "{text}");
+        // Deterministic output: same input renders the same bytes.
+        assert_eq!(text, postmortem(&rep).unwrap());
+    }
+
+    #[test]
+    fn deadlock_dump_blames_the_parked_reader_and_abandoned_frames() {
+        let rep = dump(
+            r#"{"schema_version":5,"kind":"flight","bench":"fig2","seed":3,
+                "reason":"deadlock","capacity":64,"proc_names":[],
+                "violations":[],
+                "events":[
+                  {"RetransmitGiveUp":{"t_ns":900,"src":0,"dst":1,"seq":41}},
+                  {"ReadBlocked":{"t_ns":1000,"rank":1,"loc":2,"need":7}}]}"#,
+        );
+        let text = postmortem(&rep).unwrap();
+        assert!(
+            text.contains("rank 1 deadlocked on a blocking Global_Read (rank=1 loc=2 need=7)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("frame 0->1 seq 41 abandoned at [900ns]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_ring_points_at_the_capacity_knob() {
+        let rep = dump(
+            r#"{"schema_version":5,"kind":"flight","bench":"fig2","seed":3,
+                "reason":"fault","capacity":4,"proc_names":[],"violations":[],
+                "events":[]}"#,
+        );
+        let text = postmortem(&rep).unwrap();
+        assert!(text.contains("(ring is empty)"), "{text}");
+        assert!(text.contains("raise NSCC_FLIGHT"), "{text}");
+    }
+
+    #[test]
+    fn long_tails_are_truncated_per_process() {
+        let mut events = String::new();
+        for i in 0..8 {
+            if i > 0 {
+                events.push(',');
+            }
+            events.push_str(&format!(
+                r#"{{"Write":{{"t_ns":{},"rank":0,"loc":1,"age":{i}}}}}"#,
+                i * 100
+            ));
+        }
+        let rep = dump(&format!(
+            r#"{{"schema_version":5,"kind":"flight","bench":"t","seed":1,
+                "reason":"fault","capacity":8,"proc_names":[],"violations":[],
+                "events":[{events}]}}"#
+        ));
+        let text = postmortem(&rep).unwrap();
+        assert!(text.contains("… 3 earlier in the ring"), "{text}");
+        assert!(text.contains("Write rank=0 loc=1 age=7"), "{text}");
+        assert!(!text.contains("age=2\n"), "{text}");
+    }
+}

@@ -76,7 +76,17 @@ pub struct Feed {
     pub fin: Option<Final>,
     /// Lines skipped as unparseable or of unknown kind.
     pub skipped: usize,
+    /// The feed ended mid-line (no trailing newline and the fragment
+    /// does not parse): the writer was caught mid-append. Not an error
+    /// and not an unrecognized line — the fragment completes on the next
+    /// read.
+    pub partial: bool,
 }
+
+/// The `parse_feed` error prefix for "no start header yet" — the writer
+/// has not attached (or its first line is still being appended), which
+/// callers treat as *waiting*, not failure.
+const NO_START: &str = "no start line";
 
 /// How many sparkline cells a series row gets at most; longer series are
 /// bucket-averaged down so a frame stays terminal-width no matter how
@@ -134,17 +144,31 @@ pub fn parse_feed(text: &str) -> Result<Feed, String> {
     let mut snaps = Vec::new();
     let mut fin = None;
     let mut skipped = 0usize;
-    for line in text.lines() {
+    let mut partial = false;
+    let terminated = text.is_empty() || text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
+        // An unterminated last line is the writer caught mid-append; if
+        // the fragment doesn't parse it is *in progress*, not garbage.
+        let in_progress = !terminated && i == lines.len() - 1;
         let Ok(v) = parse(line) else {
-            skipped += 1;
+            if in_progress {
+                partial = true;
+            } else {
+                skipped += 1;
+            }
             continue;
         };
         let Some(fv) = v.get("feed_version").and_then(Json::as_u64) else {
-            skipped += 1;
+            if in_progress {
+                partial = true;
+            } else {
+                skipped += 1;
+            }
             continue;
         };
         if fv > FEED_VERSION {
@@ -183,10 +207,9 @@ pub fn parse_feed(text: &str) -> Result<Feed, String> {
         }
     }
     let Some((bench, feed_version, schema_version, snap_every_ns)) = header else {
-        return Err(
-            "no start line — not an NSCC_LIVE feed (or the writer has not attached yet)"
-                .to_string(),
-        );
+        return Err(format!(
+            "{NO_START} — not an NSCC_LIVE feed (or the writer has not attached yet)"
+        ));
     };
     Ok(Feed {
         bench,
@@ -196,6 +219,7 @@ pub fn parse_feed(text: &str) -> Result<Feed, String> {
         snaps,
         fin,
         skipped,
+        partial,
     })
 }
 
@@ -229,6 +253,9 @@ pub fn render(feed: &Feed) -> String {
             "note: {} unrecognized lines ignored\n",
             feed.skipped
         ));
+    }
+    if feed.partial {
+        out.push_str("note: trailing line still being written (will complete on the next read)\n");
     }
 
     if let Some(s) = feed.snaps.last() {
@@ -331,12 +358,22 @@ pub fn render(feed: &Feed) -> String {
     out
 }
 
-/// Read a feed file and render one frame (`nscc top --once`).
+/// Read a feed file and render one frame (`nscc top --once`). A feed
+/// whose `start` header has not landed yet (empty file, or only a
+/// partially-written first line) renders as a waiting note rather than
+/// failing — `--once` in a watch loop should not die on a race with the
+/// writer.
 pub fn top_file(path: &Path) -> Result<String, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
-    let feed = parse_feed(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    Ok(render(&feed))
+    match parse_feed(&text) {
+        Ok(feed) => Ok(render(&feed)),
+        Err(e) if e.starts_with(NO_START) => Ok(format!(
+            "nscc top — {}: waiting for the writer to attach…\n",
+            path.display()
+        )),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
 }
 
 /// Tail a feed file, repainting every `interval_ms`, until the `final`
@@ -350,16 +387,19 @@ pub fn follow(path: &Path, interval_ms: u64) -> Result<(), String> {
         let waiting = match std::fs::read_to_string(path) {
             Err(_) => Some("waiting for feed file to appear"),
             Ok(text) if text.trim().is_empty() => Some("waiting for the writer to attach"),
-            Ok(text) => {
-                let feed = parse_feed(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-                // Clear the terminal and repaint from the top-left.
-                let _ = write!(stdout, "\x1b[2J\x1b[H{}", render(&feed));
-                let _ = stdout.flush();
-                if feed.fin.is_some() {
-                    return Ok(());
+            Ok(text) => match parse_feed(&text) {
+                Ok(feed) => {
+                    // Clear the terminal and repaint from the top-left.
+                    let _ = write!(stdout, "\x1b[2J\x1b[H{}", render(&feed));
+                    let _ = stdout.flush();
+                    if feed.fin.is_some() {
+                        return Ok(());
+                    }
+                    None
                 }
-                None
-            }
+                Err(e) if e.starts_with(NO_START) => Some("waiting for the writer to attach"),
+                Err(e) => return Err(format!("{}: {e}", path.display())),
+            },
         };
         if let Some(why) = waiting {
             let _ = write!(
@@ -474,6 +514,63 @@ final — reads 30  writes 10  messages 16  retransmits 0  degraded 0  restores 
         for line in frame.lines() {
             assert!(line.chars().count() < 100, "overlong line: {line}");
         }
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_partial_not_unrecognized() {
+        // The writer was caught mid-append: the last line has no newline
+        // and doesn't parse. The frame renders from the complete prefix
+        // with a "still being written" note, not an "unrecognized" one.
+        let text = format!(
+            "{START}\n{}\n{{\"feed_version\":1,\"kind\":\"sn",
+            snap_line(1000, 1_000_000, 10, 10, 62500000.0)
+        );
+        let feed = parse_feed(&text).unwrap();
+        assert_eq!(feed.snaps.len(), 1);
+        assert_eq!(feed.skipped, 0);
+        assert!(feed.partial);
+        let frame = render(&feed);
+        assert!(frame.contains("still being written"), "{frame}");
+        assert!(!frame.contains("unrecognized"), "{frame}");
+
+        // A complete final line that merely lacks its newline parses and
+        // counts normally — no partial note.
+        let text = format!(
+            "{START}\n{}",
+            snap_line(1000, 1_000_000, 10, 10, 62500000.0)
+        );
+        let feed = parse_feed(&text).unwrap();
+        assert_eq!(feed.snaps.len(), 1);
+        assert!(!feed.partial);
+
+        // A truncated line in the *middle* of the feed is real garbage.
+        let text = format!(
+            "{START}\n{{\"feed_version\":1,\"kind\":\"sn\n{}\n",
+            snap_line(1000, 1_000_000, 10, 10, 62500000.0)
+        );
+        let feed = parse_feed(&text).unwrap();
+        assert_eq!(feed.skipped, 1);
+        assert!(!feed.partial);
+    }
+
+    #[test]
+    fn once_waits_on_a_headerless_feed_instead_of_erroring() {
+        let dir = std::env::temp_dir().join("nscc_top_partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.jsonl");
+        // Only a partially-written start line: --once renders a waiting
+        // note rather than failing the watch loop.
+        std::fs::write(&path, r#"{"feed_version":1,"kind":"sta"#).unwrap();
+        let frame = top_file(&path).unwrap();
+        assert!(
+            frame.contains("waiting for the writer to attach"),
+            "{frame}"
+        );
+        // A feed-version error is still fatal.
+        std::fs::write(&path, "{\"feed_version\":99,\"kind\":\"start\"}\n").unwrap();
+        let err = top_file(&path).unwrap_err();
+        assert!(err.contains("feed version 99"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //! killed sweep rerun with `NSCC_RESUME=1` (or `--resume`) skips the
 //! finished cells and produces a byte-identical report.
 
+use std::sync::Arc;
+
+use nscc_audit::Auditor;
 use nscc_bench::{
-    ages_from_env, attach_live, banner, loss_rates_from_env, make_hub, stamp_wall, write_folded,
-    write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
+    ages_from_env, attach_audit, attach_live, banner, loss_rates_from_env, make_hub, stamp_audit,
+    stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded, write_report, write_trace,
+    ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
@@ -83,8 +87,16 @@ impl nscc_ckpt::Snapshot for CellData {
 }
 
 /// Run one grid cell. `exp_obs` is the hub clone the experiment streams
-/// events into (`None` when observability is off for this run).
-fn run_cell(scale: &Scale, loss: f64, age: u64, exp_obs: Option<Hub>) -> CellData {
+/// events into (`None` when observability is off for this run);
+/// `auditor` is the bin's shared coherence auditor, used here only to
+/// label a deadlock-path flight dump.
+fn run_cell(
+    scale: &Scale,
+    loss: f64,
+    age: u64,
+    exp_obs: Option<Hub>,
+    auditor: &Option<Arc<Auditor>>,
+) -> CellData {
     // Every cell runs the same robustness stack; only the wire's loss
     // rate and the reads' age bound vary. The plan's seed is derived from
     // the cell so each cell's chaos is independent and reproducible.
@@ -113,9 +125,16 @@ fn run_cell(scale: &Scale, loss: f64, age: u64, exp_obs: Option<Hub>) -> CellDat
         heartbeat: Some(SimTime::from_millis(20)),
         watchdog: Some(SimTime::from_secs(3600)),
         recovery: Some(RecoveryStyle::Warm),
+        inject_stale: scale.inject_stale,
         ..GaExperiment::new(TestFn::F1Sphere, PROCS)
     };
-    let res = run_ga_experiment(&exp).expect("chaos cell runs");
+    let res = unwrap_or_flight(
+        run_ga_experiment(&exp),
+        scale,
+        exp.obs.as_ref(),
+        auditor,
+        "fault_study",
+    );
     let m = &res.modes[0];
     let row = vec![
         format!("{loss}"),
@@ -176,6 +195,7 @@ fn main() {
 
     let hub = make_hub(&scale);
     attach_live(&scale, &hub, "fault_study");
+    let auditor = attach_audit(&scale, &hub);
     let mut rows = vec![[
         "loss", "age", "speedup", "ok", "rtx", "giveup", "dropped", "degraded", "cut",
     ]
@@ -209,16 +229,19 @@ fn main() {
                 None => {
                     let cell = if ckpt.is_some() {
                         let cell_hub = make_hub(&scale);
+                        tap_audit(&auditor, &cell_hub);
                         let exp_obs = scale.wants_obs().then(|| cell_hub.clone());
-                        let mut cell = run_cell(&scale, loss, age, exp_obs);
+                        let mut cell = run_cell(&scale, loss, age, exp_obs, &auditor);
                         cell.obs = cell_hub.summary();
-                        // Carry the cell's wall-clock scheduler cost into
-                        // the main hub (the feed/report read from there).
+                        // Carry the cell's wall-clock scheduler cost and
+                        // flight ring into the main hub (the feed/report
+                        // and any post-mortem dump read from there).
                         hub.adopt_sched(&cell_hub);
+                        hub.adopt_flight(&cell_hub);
                         cell
                     } else {
                         let exp_obs = scale.wants_obs().then(|| hub.clone());
-                        run_cell(&scale, loss, age, exp_obs)
+                        run_cell(&scale, loss, age, exp_obs, &auditor)
                     };
                     if let Some(ck) = ckpt.as_mut() {
                         ck.save_cell(
@@ -269,7 +292,9 @@ fn main() {
     };
     rep.note_degradation();
     stamp_wall(&scale, &hub, &mut rep);
+    stamp_audit(&auditor, &mut rep);
     write_report(&scale, &rep);
+    write_flight(&scale, &hub, &auditor, rep.fault_reports, "fault_study");
     if ckpt.is_some() {
         if scale.trace {
             eprintln!(

@@ -11,8 +11,9 @@
 
 use nscc_bayes::{StopRule, TABLE2};
 use nscc_bench::{
-    attach_live, banner, make_hub, stamp_wall, write_folded, write_report, write_trace, ResumeOpts,
-    Scale, SweepCkpt,
+    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_wall, tap_audit,
+    unwrap_or_flight, write_flight, write_folded, write_report, write_trace, ResumeOpts, Scale,
+    SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment, RunReport};
@@ -115,6 +116,7 @@ fn main() {
 
     let hub = make_hub(&scale);
     attach_live(&scale, &hub, "fig3");
+    let auditor = attach_audit(&scale, &hub);
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut results: Vec<Cell> = Vec::new();
     for (ci, netid) in TABLE2.iter().enumerate() {
@@ -134,6 +136,7 @@ fn main() {
             None => {
                 let (exp_obs, cell_hub) = if ckpt.is_some() {
                     let h = make_hub(&scale);
+                    tap_audit(&auditor, &h);
                     (scale.wants_obs().then(|| h.clone()), Some(h))
                 } else {
                     (scale.wants_obs().then(|| hub.clone()), None)
@@ -149,13 +152,21 @@ fn main() {
                     ..BayesExperiment::new(*netid, 2)
                 };
                 exp.platform.msg.mailbox_warn = scale.mailbox_warn;
-                let res = run_bayes_experiment(&exp).expect("experiment runs");
+                let res = unwrap_or_flight(
+                    run_bayes_experiment(&exp),
+                    &scale,
+                    exp.obs.as_ref(),
+                    &auditor,
+                    "fig3",
+                );
                 let mut cell = Cell::from_result(&res);
                 if let Some(h) = cell_hub {
                     cell.obs = h.summary();
-                    // Carry the cell's wall-clock scheduler cost into the
-                    // main hub (the feed/report read from there).
+                    // Carry the cell's wall-clock scheduler cost and
+                    // flight ring into the main hub (the feed/report and
+                    // any post-mortem dump read from there).
                     hub.adopt_sched(&h);
+                    hub.adopt_flight(&h);
                 }
                 if let Some(ck) = ckpt.as_mut() {
                     ck.save_cell(
@@ -249,8 +260,10 @@ fn main() {
         }
         rep.note_degradation();
         stamp_wall(&scale, &hub, &mut rep);
+        stamp_audit(&auditor, &mut rep);
         write_report(&scale, &rep);
     }
+    write_flight(&scale, &hub, &auditor, 0, "fig3");
     if ckpt.is_some() {
         if scale.trace {
             eprintln!(

@@ -12,8 +12,9 @@
 //! report.
 
 use nscc_bench::{
-    attach_live, banner, make_hub, modes_from_env, stamp_wall, write_folded, write_report,
-    write_trace, ResumeOpts, Scale, SweepCkpt,
+    all_functions_flag, attach_audit, attach_live, banner, make_hub, modes_from_env, stamp_audit,
+    stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded, write_report, write_trace,
+    ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform, RunReport};
@@ -93,7 +94,7 @@ fn main() {
     let scale = Scale::from_env();
     let ropts = ResumeOpts::from_env();
     let mut ckpt = SweepCkpt::from_opts(&ropts, "fig4");
-    let all_functions = std::env::args().any(|a| a == "--all-functions");
+    let all_functions = all_functions_flag();
     print!(
         "{}",
         banner(
@@ -111,6 +112,7 @@ fn main() {
 
     let hub = make_hub(&scale);
     attach_live(&scale, &hub, "fig4");
+    let auditor = attach_audit(&scale, &hub);
     let modes = modes_from_env();
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut dsm = DsmStats::default();
@@ -147,6 +149,7 @@ fn main() {
                     None => {
                         let (exp_obs, cell_hub) = if ckpt.is_some() {
                             let h = make_hub(&scale);
+                            tap_audit(&auditor, &h);
                             (scale.wants_obs().then(|| h.clone()), Some(h))
                         } else {
                             (scale.wants_obs().then(|| hub.clone()), None)
@@ -161,13 +164,21 @@ fn main() {
                             ..GaExperiment::new(func, 4)
                         };
                         exp.platform.msg.mailbox_warn = scale.mailbox_warn;
-                        let res = run_ga_experiment(&exp).expect("experiment runs");
+                        let res = unwrap_or_flight(
+                            run_ga_experiment(&exp),
+                            &scale,
+                            exp.obs.as_ref(),
+                            &auditor,
+                            "fig4",
+                        );
                         let mut cell = Cell::from_result(&res);
                         if let Some(h) = cell_hub {
                             cell.obs = h.summary();
                             // Carry the cell's wall-clock scheduler cost
-                            // into the main hub (feed/report read there).
+                            // and flight ring into the main hub
+                            // (feed/report and any dump read there).
                             hub.adopt_sched(&h);
+                            hub.adopt_flight(&h);
                         }
                         if let Some(ck) = ckpt.as_mut() {
                             ck.save_cell(
@@ -273,8 +284,10 @@ fn main() {
         }
         rep.note_degradation();
         stamp_wall(&scale, &hub, &mut rep);
+        stamp_audit(&auditor, &mut rep);
         write_report(&scale, &rep);
     }
+    write_flight(&scale, &hub, &auditor, 0, "fig4");
     if ckpt.is_some() {
         if scale.trace {
             eprintln!(

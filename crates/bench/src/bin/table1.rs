@@ -5,7 +5,8 @@
 //! so the report carries only the per-function minima).
 
 use nscc_bench::{
-    attach_live, make_hub, stamp_wall, write_folded, write_report, write_trace, Scale,
+    attach_audit, attach_live, make_hub, stamp_audit, stamp_wall, write_flight, write_folded,
+    write_report, write_trace, Scale,
 };
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
@@ -45,6 +46,7 @@ fn main() {
 
     let hub = make_hub(&scale);
     attach_live(&scale, &hub, "table1");
+    let auditor = attach_audit(&scale, &hub);
     if scale.json {
         let mut rep = RunReport::new("table1", &hub);
         rep.param("functions", ALL_FUNCTIONS.len() as f64);
@@ -53,8 +55,10 @@ fn main() {
             rep.metric(format!("f{}_paper_min", f.number()), paper_min(f));
         }
         stamp_wall(&scale, &hub, &mut rep);
+        stamp_audit(&auditor, &mut rep);
         write_report(&scale, &rep);
     }
+    write_flight(&scale, &hub, &auditor, 0, "table1");
     write_trace(&scale, &hub, "table1");
     write_folded(&scale, &hub.summary());
     hub.live_final(&hub.summary());

@@ -6,7 +6,8 @@
 
 use nscc_bayes::{Plan, StopRule, TABLE2};
 use nscc_bench::{
-    attach_live, banner, make_hub, stamp_wall, write_folded, write_report, write_trace, Scale,
+    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_wall, write_flight,
+    write_folded, write_report, write_trace, Scale,
 };
 use nscc_core::fmt::render_table;
 use nscc_core::{run_sequential, BayesExperiment, RunReport};
@@ -35,6 +36,7 @@ fn main() {
     let mut samples = vec!["Samples".to_string()];
     let hub = make_hub(&scale);
     attach_live(&scale, &hub, "table2");
+    let auditor = attach_audit(&scale, &hub);
     let mut rep = RunReport::new("table2", &hub);
     rep.param("runs", scale.runs as f64)
         .param("ci", scale.ci)
@@ -79,7 +81,9 @@ fn main() {
     rows.push(samples);
     print!("{}", render_table(&rows));
     stamp_wall(&scale, &hub, &mut rep);
+    stamp_audit(&auditor, &mut rep);
     write_report(&scale, &rep);
+    write_flight(&scale, &hub, &auditor, 0, "table2");
     write_trace(&scale, &hub, "table2");
     write_folded(&scale, &hub.summary());
     hub.live_final(&rep.obs);

@@ -11,8 +11,8 @@
 //! finished cells and produces a byte-identical report.
 
 use nscc_bench::{
-    attach_live, make_hub, stamp_wall, write_folded, write_report, write_trace, ResumeOpts, Scale,
-    SweepCkpt,
+    attach_audit, attach_live, make_hub, stamp_audit, stamp_wall, tap_audit, write_flight,
+    write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
@@ -58,6 +58,7 @@ fn main() {
     println!("=== Warp metric vs offered background load (10 Mbps Ethernet) ===");
     let hub = make_hub(&scale);
     attach_live(&scale, &hub, "warp_study");
+    let auditor = attach_audit(&scale, &hub);
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
     let mut rep = RunReport::new("warp_study", &hub);
     let mut rows = vec![vec![
@@ -84,6 +85,7 @@ fn main() {
             None => {
                 let (exp_obs, cell_hub) = if ckpt.is_some() {
                     let h = make_hub(&scale);
+                    tap_audit(&auditor, &h);
                     (scale.wants_obs().then(|| h.clone()), Some(h))
                 } else {
                     (scale.wants_obs().then(|| hub.clone()), None)
@@ -91,9 +93,11 @@ fn main() {
                 let (warp, delay_ms) = measure(load, exp_obs);
                 let obs = match cell_hub {
                     Some(h) => {
-                        // Carry the cell's wall-clock scheduler cost into
-                        // the main hub (the feed/report read from there).
+                        // Carry the cell's wall-clock scheduler cost and
+                        // flight ring into the main hub (the feed/report
+                        // and any post-mortem dump read from there).
                         hub.adopt_sched(&h);
+                        hub.adopt_flight(&h);
                         h.summary()
                     }
                     None => Hub::new().summary(),
@@ -137,8 +141,10 @@ fn main() {
             None => hub.summary(),
         };
         stamp_wall(&scale, &hub, &mut rep);
+        stamp_audit(&auditor, &mut rep);
         write_report(&scale, &rep);
     }
+    write_flight(&scale, &hub, &auditor, 0, "warp_study");
     if ckpt.is_some() {
         if scale.trace {
             eprintln!(

@@ -60,6 +60,21 @@
 //! * `NSCC_CKPT_EXIT_AFTER` — testing hook: exit with code 3 after this
 //!   many cells have been computed *and checkpointed* by this process
 //!   (simulating a mid-sweep kill at a deterministic point).
+//! * `NSCC_AUDIT` — set to `1`/`true` to run the online coherence
+//!   auditor (`nscc-audit`): invariant monitors tap the event stream and
+//!   their findings land in the report's `audit` section (rendered by
+//!   `nscc audit`, enforced by `nscc gate`). Monitors are pure observers:
+//!   the rest of the report stays byte-identical with auditing on or off.
+//! * `NSCC_FLIGHT` — black-box flight recorder: keep the most recent N
+//!   events in a bounded ring and dump them as `FLIGHT_<name>.json` when
+//!   the run ends badly (a monitor violation, a watchdog-cut run, or a
+//!   deadlock). Read the dump with `nscc postmortem`. The ring is a side
+//!   channel; reports stay byte-identical with it on or off.
+//! * `NSCC_INJECT_STALE` — fault-injection knob honoured by the
+//!   `fault_study` bin: deliberately release this many would-block reads
+//!   with their stale cached value, *violating* the age bound so the
+//!   auditor and flight recorder have something real to catch. Testing
+//!   hook; leave unset for honest runs.
 //!
 //! A variable that is *set but malformed* is a hard error: the binary
 //! prints one line naming the variable and the expected format and exits
@@ -68,7 +83,9 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
+use nscc_audit::{render_flight_dump, Auditor, FlightDump};
 use nscc_core::RunReport;
 use nscc_dsm::Coherence;
 use nscc_obs::{Hub, HubSummary};
@@ -106,6 +123,15 @@ pub struct Scale {
     /// Whether to embed wall-clock scheduler accounting as the report's
     /// `wall` section (`NSCC_WALL`).
     pub wall: bool,
+    /// Whether to run the online coherence auditor (`NSCC_AUDIT`).
+    pub audit: bool,
+    /// Flight-recorder ring capacity in events (`NSCC_FLIGHT`); `None`
+    /// leaves the recorder off entirely.
+    pub flight: Option<u64>,
+    /// How many would-block reads the `fault_study` bin should release
+    /// stale, deliberately violating the age bound (`NSCC_INJECT_STALE`;
+    /// 0 = honest run).
+    pub inject_stale: u64,
 }
 
 /// Where the live telemetry feed goes: a file path the bench creates, or
@@ -192,6 +218,25 @@ impl Scale {
             },
             live: parse_live(get)?,
             wall: env_flag(get, "NSCC_WALL")?,
+            audit: env_flag(get, "NSCC_AUDIT")?,
+            flight: match env_opt_num(
+                get,
+                "NSCC_FLIGHT",
+                "a positive integer of events (e.g. NSCC_FLIGHT=256)",
+            )? {
+                Some(0) => {
+                    return Err("NSCC_FLIGHT=\"0\" is malformed: expected a positive \
+                                integer of events (e.g. NSCC_FLIGHT=256)"
+                        .to_string())
+                }
+                cap => cap,
+            },
+            inject_stale: env_num(
+                get,
+                "NSCC_INJECT_STALE",
+                0,
+                "an unsigned integer of reads (e.g. NSCC_INJECT_STALE=4)",
+            )?,
         })
     }
 
@@ -199,7 +244,14 @@ impl Scale {
     /// trace, folded profile, live feed, or wall accounting — i.e.
     /// whether the bench should attach a hub to the experiment at all.
     pub fn wants_obs(&self) -> bool {
-        self.json || self.trace || self.folded.is_some() || self.live.is_some() || self.wall
+        self.json
+            || self.trace
+            || self.folded.is_some()
+            || self.live.is_some()
+            || self.wall
+            || self.audit
+            || self.flight.is_some()
+            || self.inject_stale > 0
     }
 
     /// The paper's full scale (25 GA runs, 1000 generations, CI ±0.01).
@@ -217,6 +269,9 @@ impl Scale {
             profile_us: 100,
             live: None,
             wall: false,
+            audit: false,
+            flight: None,
+            inject_stale: 0,
         }
     }
 }
@@ -540,7 +595,122 @@ pub fn make_hub(scale: &Scale) -> Hub {
     if scale.wall || scale.live.is_some() {
         hub.enable_wall();
     }
+    if let Some(cap) = scale.flight {
+        hub.enable_flight(cap);
+    }
     hub
+}
+
+/// Whether the bin was asked (via `--all-functions`) to sweep the full
+/// eight-function GA test bed instead of the four cheapest.
+pub fn all_functions_flag() -> bool {
+    std::env::args().any(|a| a == "--all-functions")
+}
+
+/// Build the online coherence auditor and tap it into `hub` when
+/// `NSCC_AUDIT` asked for it (`None` otherwise). One auditor serves the
+/// whole bin — sweep bins with per-cell hubs tap each cell hub into the
+/// *same* auditor with [`tap_audit`], accumulating a single summary.
+pub fn attach_audit(scale: &Scale, hub: &Hub) -> Option<Arc<Auditor>> {
+    if !scale.audit {
+        return None;
+    }
+    let auditor = Arc::new(Auditor::new());
+    hub.set_tap(auditor.clone());
+    Some(auditor)
+}
+
+/// Tap a per-cell hub into the bin's shared auditor (no-op when auditing
+/// is off).
+pub fn tap_audit(auditor: &Option<Arc<Auditor>>, hub: &Hub) {
+    if let Some(a) = auditor {
+        hub.set_tap(a.clone());
+    }
+}
+
+/// Embed the auditor's findings as the report's `audit` section (no-op
+/// when auditing is off — the section stays `null` and the report
+/// byte-identical to an unaudited run).
+pub fn stamp_audit(auditor: &Option<Arc<Auditor>>, report: &mut RunReport) {
+    if let Some(a) = auditor {
+        report.audit = Some(a.summary());
+    }
+}
+
+/// Cut the black-box dump when the run ended badly: with `NSCC_FLIGHT`
+/// set and either a monitor violation or a watchdog-cut run on record,
+/// write the hub's event ring (plus the recorded violations) as
+/// `FLIGHT_<name>.json` for `nscc postmortem`. Clean runs write nothing.
+pub fn write_flight(
+    scale: &Scale,
+    hub: &Hub,
+    auditor: &Option<Arc<Auditor>>,
+    fault_reports: u64,
+    name: &str,
+) {
+    let cap = match scale.flight {
+        Some(cap) => cap,
+        None => return,
+    };
+    let violations = auditor.as_ref().map_or(0, |a| a.violation_count());
+    if violations == 0 && fault_reports == 0 {
+        return;
+    }
+    let reason = if violations > 0 { "violation" } else { "fault" };
+    let dump = FlightDump::new(
+        name,
+        scale.seed,
+        reason,
+        cap,
+        hub.flight_events(),
+        auditor.as_ref().map(|a| a.recorded()).unwrap_or_default(),
+    )
+    .with_proc_names(hub.summary().proc_names.values().cloned().collect());
+    write_flight_doc(&dump);
+}
+
+/// Write a flight dump to `FLIGHT_<bench>.json`, echoing the path.
+fn write_flight_doc(dump: &FlightDump) {
+    let path = format!("FLIGHT_{}.json", dump.bench);
+    let mut body = render_flight_dump(dump);
+    body.push('\n');
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Unwrap an experiment result; on a simulation error (deadlock — every
+/// live process blocked with nothing left to run) cut the flight dump
+/// first, then exit 1. With `NSCC_FLIGHT` set the ring holds the last
+/// events before the hang, including the scheduler's per-process
+/// deadlock breadcrumbs.
+pub fn unwrap_or_flight<T>(
+    res: Result<T, nscc_sim::SimError>,
+    scale: &Scale,
+    hub: Option<&Hub>,
+    auditor: &Option<Arc<Auditor>>,
+    name: &str,
+) -> T {
+    match res {
+        Ok(t) => t,
+        Err(e) => {
+            if let (Some(cap), Some(hub)) = (scale.flight, hub) {
+                let dump = FlightDump::new(
+                    name,
+                    scale.seed,
+                    "deadlock",
+                    cap,
+                    hub.flight_events(),
+                    auditor.as_ref().map(|a| a.recorded()).unwrap_or_default(),
+                )
+                .with_proc_names(hub.summary().proc_names.values().cloned().collect());
+                write_flight_doc(&dump);
+            }
+            eprintln!("error: {name}: simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Attach the live telemetry feed to `hub` when `NSCC_LIVE` is set (no-op
@@ -822,6 +992,93 @@ mod tests {
         assert!(s.wants_obs(), "wall accounting needs an attached hub");
         let e = Scale::parse(&env(&[("NSCC_WALL", "yes")])).unwrap_err();
         assert!(e.contains("NSCC_WALL"), "{e}");
+    }
+
+    #[test]
+    fn audit_and_flight_env_parse_and_reject_junk() {
+        let s = Scale::parse(&env(&[])).unwrap();
+        assert!(!s.audit);
+        assert_eq!(s.flight, None);
+        assert_eq!(s.inject_stale, 0);
+
+        let s = Scale::parse(&env(&[("NSCC_AUDIT", "1")])).unwrap();
+        assert!(s.audit);
+        assert!(s.wants_obs(), "the auditor needs an attached hub");
+        let e = Scale::parse(&env(&[("NSCC_AUDIT", "on")])).unwrap_err();
+        assert!(e.contains("NSCC_AUDIT"), "{e}");
+
+        let s = Scale::parse(&env(&[("NSCC_FLIGHT", " 256 ")])).unwrap();
+        assert_eq!(s.flight, Some(256));
+        assert!(s.wants_obs(), "the flight ring needs an attached hub");
+        // Malformed values are hard errors, not silent defaults.
+        let e = Scale::parse(&env(&[("NSCC_FLIGHT", "lots")])).unwrap_err();
+        assert!(e.contains("NSCC_FLIGHT=\"lots\""), "{e}");
+        assert!(e.contains("positive integer"), "{e}");
+        let e = Scale::parse(&env(&[("NSCC_FLIGHT", "0")])).unwrap_err();
+        assert!(e.contains("NSCC_FLIGHT"), "{e}");
+        let e = Scale::parse(&env(&[("NSCC_FLIGHT", "-5")])).unwrap_err();
+        assert!(e.contains("NSCC_FLIGHT"), "{e}");
+
+        let s = Scale::parse(&env(&[("NSCC_INJECT_STALE", "4")])).unwrap();
+        assert_eq!(s.inject_stale, 4);
+        assert!(s.wants_obs(), "stale injection is observe-gated");
+        let e = Scale::parse(&env(&[("NSCC_INJECT_STALE", "many")])).unwrap_err();
+        assert!(e.contains("NSCC_INJECT_STALE"), "{e}");
+    }
+
+    #[test]
+    fn make_hub_enables_flight_ring_on_request() {
+        let mut scale = Scale::paper();
+        assert!(!make_hub(&scale).flight_enabled());
+        scale.flight = Some(8);
+        let hub = make_hub(&scale);
+        assert!(hub.flight_enabled());
+        assert_eq!(hub.flight_capacity(), 8);
+    }
+
+    #[test]
+    fn attach_audit_taps_and_stamps() {
+        let mut scale = Scale::paper();
+        assert!(attach_audit(&scale, &Hub::new()).is_none());
+        scale.audit = true;
+        let hub = make_hub(&scale);
+        let auditor = attach_audit(&scale, &hub);
+        assert!(hub.tap_enabled());
+        // A violating ReadDone through the hub reaches the auditor.
+        hub.emit(nscc_obs::ObsEvent::ReadDone {
+            t_ns: 1,
+            rank: 0,
+            loc: 0,
+            curr_iter: 10,
+            requested: 2,
+            delivered: 3,
+            staleness: 7,
+            blocked: false,
+            block_ns: 0,
+        });
+        assert_eq!(auditor.as_ref().unwrap().violation_count(), 1);
+        // Per-cell hubs share the same auditor via tap_audit.
+        let cell = make_hub(&scale);
+        tap_audit(&auditor, &cell);
+        cell.emit(nscc_obs::ObsEvent::SeqAccept {
+            t_ns: 2,
+            src: 0,
+            dst: 1,
+            seq: 9,
+        });
+        cell.emit(nscc_obs::ObsEvent::SeqAccept {
+            t_ns: 3,
+            src: 0,
+            dst: 1,
+            seq: 9,
+        });
+        assert_eq!(auditor.as_ref().unwrap().violation_count(), 2);
+
+        let mut rep = RunReport::new("unit", &hub);
+        stamp_audit(&auditor, &mut rep);
+        let audit = rep.audit.expect("audit section stamped");
+        assert_eq!(audit.violations, 2);
+        stamp_audit(&None, &mut RunReport::new("unit2", &hub));
     }
 
     #[test]

@@ -88,6 +88,13 @@ pub struct GaExperiment {
     /// restarts are the baseline it is measured against. `None` (the
     /// default) restarts nodes with whatever state they had, as before.
     pub recovery: Option<RecoveryStyle>,
+    /// Deliberate coherence sabotage for audit-pipeline validation: each
+    /// node releases its first `inject_stale` would-block `Global_Read`s
+    /// immediately with whatever stale value it has cached, violating the
+    /// age bound on purpose (`NSCC_INJECT_STALE`). The emitted `ReadDone`
+    /// carries the true (excess) staleness, so the audit layer's
+    /// staleness monitor must flag every injected release. 0 disables.
+    pub inject_stale: u64,
 }
 
 impl GaExperiment {
@@ -109,6 +116,7 @@ impl GaExperiment {
             heartbeat: None,
             watchdog: None,
             recovery: None,
+            inject_stale: 0,
         }
     }
 
@@ -264,6 +272,11 @@ fn run_parallel_once(
     let mut world: DsmWorld<MigrantBatch> =
         DsmWorld::new(net.clone(), p, platform.msg.clone(), dir).with_warp(warp.clone());
     if let Some(hub) = exp.obs.as_ref().filter(|_| observe) {
+        // One hub often observes many back-to-back programs (sweeps);
+        // mark the boundary so an attached audit tap can reset its
+        // per-program monitor state (barrier epochs, seq dedup, write
+        // watermarks all legitimately restart here).
+        hub.note_run_boundary();
         net.attach_obs(hub.clone());
         world = world.with_obs(hub.clone());
         // The sampling profiler is driven by the scheduler; only attach
@@ -278,6 +291,9 @@ fn run_parallel_once(
     // unobserved reference runs, whose real cost is still real cost.
     if let Some(hub) = exp.obs.as_ref().filter(|h| h.wants_wall()) {
         sim.attach_wall(hub.clone());
+    }
+    if exp.inject_stale > 0 && observe {
+        world = world.with_stale_injection(exp.inject_stale);
     }
     if chaos {
         if let Some(to) = exp.read_timeout {
@@ -419,14 +435,12 @@ fn run_parallel_once(
         .map(|o| o.max_rollback)
         .max()
         .unwrap_or(0);
-    // The age-bounded-recovery invariant (§4.1): under Global_Read a warm
-    // restore may never roll a node back further than the staleness bound.
-    if let Coherence::PartialAsync { age } = mode {
-        assert!(
-            max_rollback <= age.max(1),
-            "warm-restore rollback {max_rollback} exceeds age bound {age}"
-        );
-    }
+    // The age-bounded-recovery invariant (§4.1) — under Global_Read a warm
+    // restore may never roll a node back further than the staleness bound —
+    // is no longer a process-killing assert here. Every Restore event
+    // carries its bound, and the audit layer's rollback monitor turns an
+    // excess into a structured violation (report `audit` section, `nscc
+    // gate` exit 2) with flight-recorder context instead of a panic.
     Ok(RunMeasure {
         time: report.end_time,
         last_improve,

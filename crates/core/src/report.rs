@@ -56,6 +56,13 @@ pub struct RunReport {
     /// populated only on explicit request (`NSCC_WALL=1`) and serialized
     /// as `null` otherwise, keeping same-seed reports byte-identical.
     pub wall: Option<nscc_obs::SchedSummary>,
+    /// The online coherence auditor's findings
+    /// ([`nscc_audit::AuditSummary`]): per-monitor checked/violation
+    /// counts plus the first recorded violations. Populated only when the
+    /// auditor ran (`NSCC_AUDIT=1`) and serialized as `null` otherwise —
+    /// monitors-on runs stay byte-identical to monitors-off runs outside
+    /// this one section.
+    pub audit: Option<nscc_audit::AuditSummary>,
 }
 
 impl RunReport {
@@ -74,6 +81,7 @@ impl RunReport {
             degraded: false,
             obs: hub.summary(),
             wall: None,
+            audit: None,
         }
     }
 
@@ -194,6 +202,21 @@ mod tests {
         let s = rep.to_json();
         json::validate(&s).expect("report with wall section validates");
         assert!(s.contains("\"wall\":{\"events\":10,"));
+    }
+
+    #[test]
+    fn audit_section_is_null_unless_requested() {
+        let mut rep = sample_report();
+        assert!(
+            rep.to_json().contains("\"audit\":null"),
+            "default reports carry no audit section"
+        );
+        let auditor = nscc_audit::Auditor::new();
+        rep.audit = Some(auditor.summary());
+        let s = rep.to_json();
+        json::validate(&s).expect("report with audit section validates");
+        assert!(s.contains("\"audit\":{\"monitors\":["));
+        assert!(s.contains("\"violations\":0"));
     }
 
     #[test]

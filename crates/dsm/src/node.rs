@@ -194,6 +194,11 @@ pub struct DsmNode<T: Send + 'static> {
     /// Give up on blocked reads / barrier waits after this long without
     /// progress (`None` = wait forever, the paper's semantics).
     timeout: Option<SimTime>,
+    /// Deliberate-sabotage budget: this many would-block `Global_Read`s
+    /// are released immediately with the stale cached value, violating
+    /// the age bound on purpose so the audit pipeline can be validated
+    /// end-to-end (see `DsmWorld::with_stale_injection`). 0 = off.
+    inject_stale: u64,
     /// Failure detector: when each peer was last heard from (send-time
     /// stamps of arriving messages, heartbeats included).
     last_heard: HashMap<usize, SimTime>,
@@ -228,6 +233,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             released: 0,
             arrivals: HashMap::new(),
             timeout: None,
+            inject_stale: 0,
             last_heard: HashMap::new(),
             suspected: HashSet::new(),
             stats: DsmStats::default(),
@@ -323,6 +329,15 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         self.timeout = Some(timeout);
     }
 
+    /// Arm the deliberate-sabotage budget: the next `n` would-block
+    /// `Global_Read`s return their stale cached value immediately instead
+    /// of waiting, emitting a `ReadDone` whose staleness exceeds the
+    /// requested bound. Exists solely to validate that the audit layer
+    /// catches real bound violations; never enabled by default.
+    pub fn set_stale_injection(&mut self, n: u64) {
+        self.inject_stale = n;
+    }
+
     /// Peers this node's failure detector has declared dead so far.
     pub fn suspected(&self) -> &HashSet<usize> {
         &self.suspected
@@ -387,6 +402,36 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         if let Some((have, v)) = self.cache.get(&loc) {
             if *have >= required {
                 self.stats.cache_hits += 1;
+                if let Some(hub) = &self.obs {
+                    hub.emit(read_done_event(
+                        ctx.now(),
+                        self.rank,
+                        loc,
+                        curr_iter,
+                        age,
+                        *have,
+                        false,
+                        SimTime::ZERO,
+                    ));
+                }
+                self.flush_stats();
+                return ReadOutcome {
+                    age: *have,
+                    value: v.clone(),
+                    blocked: false,
+                    block_time: SimTime::ZERO,
+                    required,
+                    degraded: false,
+                };
+            }
+        }
+        // Deliberate sabotage (audit validation only): spend one budget
+        // unit to release this would-block read with the stale cached
+        // value. The emitted ReadDone carries the true excess staleness,
+        // which the audit staleness monitor must flag.
+        if self.inject_stale > 0 {
+            if let Some((have, v)) = self.cache.get(&loc) {
+                self.inject_stale -= 1;
                 if let Some(hub) = &self.obs {
                     hub.emit(read_done_event(
                         ctx.now(),

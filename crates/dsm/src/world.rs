@@ -26,6 +26,7 @@ pub struct DsmWorld<T: Send + 'static> {
     history: usize,
     coalesce: u64,
     read_timeout: Option<SimTime>,
+    inject_stale: u64,
     stats: Arc<Mutex<Vec<DsmStats>>>,
     obs: Option<Hub>,
 }
@@ -40,6 +41,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
             history: 0,
             coalesce: 1,
             read_timeout: None,
+            inject_stale: 0,
             stats: Arc::new(Mutex::new(vec![DsmStats::default(); ranks])),
             obs: None,
         }
@@ -85,6 +87,16 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
     /// implies death rather than idleness.
     pub fn with_read_timeout(mut self, timeout: SimTime) -> Self {
         self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Arm deliberate coherence sabotage on every node built afterwards:
+    /// each node's first `n` would-block `Global_Read`s return their
+    /// stale cached value immediately, violating the age bound on
+    /// purpose (see [`DsmNode::set_stale_injection`]). This exists to
+    /// validate the audit pipeline end-to-end; 0 (the default) is off.
+    pub fn with_stale_injection(mut self, n: u64) -> Self {
+        self.inject_stale = n;
         self
     }
 
@@ -156,6 +168,9 @@ impl<T: Clone + Serialize + Send + 'static> DsmWorld<T> {
         }
         if let Some(to) = self.read_timeout {
             node.set_timeout(to);
+        }
+        if self.inject_stale > 0 {
+            node.set_stale_injection(self.inject_stale);
         }
         node
     }

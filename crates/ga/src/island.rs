@@ -354,12 +354,23 @@ pub fn run_island(
                 max_rollback = max_rollback.max(rollback);
                 restores += 1;
                 if let Some(hub) = node.hub() {
+                    // The coherence mode's promise travels on the event so
+                    // the audit layer can check `rollback ≤ bound` without
+                    // knowing the experiment config. Warm restores under
+                    // an age bound stay within `max(age, 1)` (a checkpoint
+                    // cadence of 1 still rolls back one generation);
+                    // anything else is unbounded by design.
+                    let bound = match cfg.mode {
+                        Coherence::PartialAsync { age } => age.max(1),
+                        _ => u64::MAX,
+                    };
                     hub.emit(ObsEvent::Restore {
                         t_ns: ctx.now().as_nanos(),
                         rank: rank as u32,
                         from_iter: from_gen,
                         to_iter: to_gen,
                         rollback,
+                        bound,
                     });
                 }
             }

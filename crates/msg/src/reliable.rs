@@ -209,6 +209,16 @@ fn deliver<T: Clone + Send + 'static>(ec: &mut EventCtx<'_>, m: &RelMsg<T>) {
         fresh
     };
     if fresh {
+        // The audit layer's sequence monitor watches these: a (src, dst,
+        // seq) triple accepted twice means the dedup above failed.
+        if let Some(hub) = &m.obs {
+            hub.emit(ObsEvent::SeqAccept {
+                t_ns: ec.now().as_nanos(),
+                src: m.src as u32,
+                dst: m.dst as u32,
+                seq: m.seq,
+            });
+        }
         m.mailbox.deliver(ec, m.env.clone());
     }
 

@@ -225,6 +225,25 @@ pub enum ObsEvent {
         /// Rollback distance, `from_iter − to_iter` (0 for a cold restart,
         /// which abandons state instead of rolling it back).
         rollback: u64,
+        /// The rollback bound the coherence mode promises (`max(age, 1)`
+        /// under `PartialAsync{age}`, `u64::MAX` when unbounded). Carried
+        /// on the event so the audit layer can check `rollback ≤ bound`
+        /// statelessly.
+        bound: u64,
+    },
+    /// The reliable-delivery layer accepted a fresh frame past its
+    /// receiver dedup (the only path by which a reliable frame reaches the
+    /// application mailbox). The audit layer checks that no `(src, dst,
+    /// seq)` triple is ever accepted twice.
+    SeqAccept {
+        /// Acceptance time.
+        t_ns: u64,
+        /// Source rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// World-unique sequence number of the frame.
+        seq: u64,
     },
     /// A blocking `Global_Read` was satisfied: the provenance of the
     /// update that released it, plus the virtual-time breakdown of the
@@ -292,6 +311,7 @@ impl ObsEvent {
             | ObsEvent::WriterSuspected { t_ns, .. }
             | ObsEvent::Checkpoint { t_ns, .. }
             | ObsEvent::Restore { t_ns, .. }
+            | ObsEvent::SeqAccept { t_ns, .. }
             | ObsEvent::ReadDep { t_ns, .. }
             | ObsEvent::MailboxHigh { t_ns, .. }
             | ObsEvent::Custom { t_ns, .. } => t_ns,
@@ -318,6 +338,7 @@ impl ObsEvent {
             ObsEvent::WriterSuspected { .. } => "writer_suspected",
             ObsEvent::Checkpoint { .. } => "checkpoint",
             ObsEvent::Restore { .. } => "restore",
+            ObsEvent::SeqAccept { .. } => "seq_accept",
             ObsEvent::ReadDep { .. } => "read_dep",
             ObsEvent::MailboxHigh { .. } => "mailbox_high",
             ObsEvent::Custom { .. } => "custom",

@@ -11,7 +11,7 @@
 //! Layers hold an `Option<Hub>`: detached (`None`) costs a single branch
 //! per event site — see the `obs/` group in `crates/bench/benches`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,6 +28,26 @@ use crate::Label;
 
 /// Events kept before the hub starts counting drops instead.
 const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
+
+/// A consumer of the hub's live event stream, attached with
+/// [`Hub::set_tap`]. The audit layer implements this to drive its
+/// invariant monitors online; the hub itself stays ignorant of what the
+/// sink does. A tap observes events but must never feed anything back
+/// into the hub's counters, histograms, or event store — that contract is
+/// what keeps tap-on runs byte-identical to tap-off runs in every report
+/// section the tap does not own.
+pub trait EventSink: Send + Sync {
+    /// Called synchronously for every [`Hub::emit`], after derived
+    /// metrics are updated and the flight ring is fed, before the event
+    /// enters raw storage.
+    fn on_event(&self, ev: &ObsEvent);
+
+    /// Called at each program (run) boundary when one hub observes many
+    /// back-to-back programs, as sweep bins do. Sinks tracking
+    /// per-program state (barrier epochs, sequence dedup, write
+    /// watermarks) reset it here.
+    fn on_run_boundary(&self) {}
+}
 
 struct EventStore {
     events: Vec<ObsEvent>,
@@ -83,6 +103,15 @@ struct HubInner {
     /// ([`Hub::enable_wall`]); simulations check it before attaching
     /// their accounting, so detached runs never touch `Instant::now`.
     wall_on: AtomicBool,
+    /// Attached event tap ([`Hub::set_tap`]); `tap_on` mirrors its
+    /// presence so emitters without a tap pay one relaxed load.
+    tap: Mutex<Option<Arc<dyn EventSink>>>,
+    tap_on: AtomicBool,
+    /// Flight-recorder ring of the most recent events
+    /// ([`Hub::enable_flight`]); bounded to `flight_cap` entries, oldest
+    /// dropped first. `flight_cap == 0` means disabled.
+    flight: Mutex<VecDeque<ObsEvent>>,
+    flight_cap: AtomicU64,
     /// Scheduler wall-clock accounting, accumulated across every
     /// simulation that flushed into this hub ([`Hub::note_sched`]).
     sched_events: AtomicU64,
@@ -92,6 +121,9 @@ struct HubInner {
     sched_wall_ns: AtomicU64,
     /// Per-pid `(exec_ns, slices)` scheduler accounting.
     sched_procs: Mutex<BTreeMap<u32, (u64, u64)>>,
+    /// Park-duration histogram (wall ns between a process re-parking and
+    /// its next slice), merged from simulation accounting batches.
+    sched_park: Mutex<Histogram>,
     reads: AtomicU64,
     writes: AtomicU64,
     messages: AtomicU64,
@@ -155,6 +187,10 @@ impl Hub {
                 snap_next_ns: AtomicU64::new(0),
                 live: Mutex::new(None),
                 live_on: AtomicBool::new(false),
+                tap: Mutex::new(None),
+                tap_on: AtomicBool::new(false),
+                flight: Mutex::new(VecDeque::new()),
+                flight_cap: AtomicU64::new(0),
                 wall_on: AtomicBool::new(false),
                 sched_events: AtomicU64::new(0),
                 sched_parks: AtomicU64::new(0),
@@ -162,6 +198,7 @@ impl Hub {
                 sched_exec_ns: AtomicU64::new(0),
                 sched_wall_ns: AtomicU64::new(0),
                 sched_procs: Mutex::new(BTreeMap::new()),
+                sched_park: Mutex::new(Histogram::new()),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
                 messages: AtomicU64::new(0),
@@ -271,6 +308,15 @@ impl Hub {
             }
             _ => {}
         }
+        if self.inner.flight_cap.load(Ordering::Relaxed) > 0 {
+            self.flight_push(ev.clone());
+        }
+        if self.inner.tap_on.load(Ordering::Relaxed) {
+            let tap = self.inner.tap.lock().clone();
+            if let Some(tap) = tap {
+                tap.on_event(&ev);
+            }
+        }
         {
             let mut store = self.inner.events.lock();
             if store.events.len() >= store.capacity {
@@ -280,6 +326,102 @@ impl Hub {
             }
         }
         self.maybe_snapshot(t_ns);
+    }
+
+    /// Attach an event tap: `sink.on_event` is called synchronously for
+    /// every emitted event from now on (see [`EventSink`]). One tap at a
+    /// time; attaching replaces the previous sink.
+    pub fn set_tap(&self, sink: Arc<dyn EventSink>) {
+        *self.inner.tap.lock() = Some(sink);
+        self.inner.tap_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether an event tap is attached.
+    pub fn tap_enabled(&self) -> bool {
+        self.inner.tap_on.load(Ordering::Relaxed)
+    }
+
+    /// Mark a program (run) boundary: sweep bins that observe many
+    /// back-to-back programs through one hub call this at each run start
+    /// so the attached tap can reset per-program monitor state. A no-op
+    /// without a tap.
+    pub fn note_run_boundary(&self) {
+        if self.inner.tap_on.load(Ordering::Relaxed) {
+            let tap = self.inner.tap.lock().clone();
+            if let Some(tap) = tap {
+                tap.on_run_boundary();
+            }
+        }
+    }
+
+    /// Enable the flight-recorder ring: keep the most recent `n` events
+    /// (oldest dropped first) for post-mortem dumps. `n == 0` disables
+    /// the ring and clears it. The ring is a side channel — it never
+    /// touches the counters, histograms, or raw event store, so
+    /// flight-on runs report byte-identical to flight-off runs.
+    pub fn enable_flight(&self, n: u64) {
+        self.inner.flight_cap.store(n, Ordering::Relaxed);
+        let mut ring = self.inner.flight.lock();
+        if n == 0 {
+            ring.clear();
+        } else {
+            while ring.len() as u64 > n {
+                ring.pop_front();
+            }
+        }
+    }
+
+    /// Whether the flight-recorder ring is enabled.
+    pub fn flight_enabled(&self) -> bool {
+        self.inner.flight_cap.load(Ordering::Relaxed) > 0
+    }
+
+    /// The flight ring's configured capacity (0 = disabled).
+    pub fn flight_capacity(&self) -> u64 {
+        self.inner.flight_cap.load(Ordering::Relaxed)
+    }
+
+    /// The flight ring's current contents, oldest first.
+    pub fn flight_events(&self) -> Vec<ObsEvent> {
+        self.inner.flight.lock().iter().cloned().collect()
+    }
+
+    /// Append a marker event to the flight ring *only* — bypassing the
+    /// counters, histograms, raw store, and tap. Layers use this to leave
+    /// post-mortem breadcrumbs (e.g. the scheduler's deadlock diagnosis)
+    /// without perturbing any deterministic report section. A no-op when
+    /// the ring is disabled.
+    pub fn flight_note(&self, ev: ObsEvent) {
+        if self.inner.flight_cap.load(Ordering::Relaxed) > 0 {
+            self.flight_push(ev);
+        }
+    }
+
+    /// Drain another hub's flight ring into this one (oldest first,
+    /// trimming to this hub's capacity). Sweep bins that give each cell
+    /// its own hub call this in grid order, so the main hub's ring is the
+    /// deterministic concatenation of the per-cell rings. A no-op when
+    /// this hub's ring is disabled.
+    pub fn adopt_flight(&self, other: &Hub) {
+        if !self.flight_enabled() {
+            return;
+        }
+        let drained: Vec<ObsEvent> = other.inner.flight.lock().drain(..).collect();
+        for ev in drained {
+            self.flight_push(ev);
+        }
+    }
+
+    fn flight_push(&self, ev: ObsEvent) {
+        let cap = self.inner.flight_cap.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        let mut ring = self.inner.flight.lock();
+        while ring.len() as u64 >= cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
     }
 
     /// Enable periodic metric snapshots every `every_ns` of virtual time.
@@ -401,6 +543,9 @@ impl Hub {
                 e.1 += slices;
             }
         }
+        if d.park.count() > 0 {
+            self.inner.sched_park.lock().merge(&d.park);
+        }
     }
 
     /// Fold another hub's scheduler accounting into this one. Sweep bins
@@ -421,6 +566,7 @@ impl Hub {
                 .iter()
                 .map(|(&pid, &(exec_ns, slices))| (pid, exec_ns, slices))
                 .collect(),
+            park: o.sched_park.lock().clone(),
         });
     }
 
@@ -429,6 +575,10 @@ impl Hub {
     pub fn sched(&self) -> SchedSummary {
         let events = self.inner.sched_events.load(Ordering::Relaxed);
         let wall_ns = self.inner.sched_wall_ns.load(Ordering::Relaxed);
+        let (park_p50_ns, park_p99_ns) = {
+            let park = self.inner.sched_park.lock();
+            (park.quantile(0.50), park.quantile(0.99))
+        };
         SchedSummary {
             events,
             parks: self.inner.sched_parks.load(Ordering::Relaxed),
@@ -440,6 +590,8 @@ impl Hub {
             } else {
                 events as f64 / (wall_ns as f64 / 1e9)
             },
+            park_p50_ns,
+            park_p99_ns,
             procs: self
                 .inner
                 .sched_procs
@@ -1482,6 +1634,12 @@ mod tests {
             unparks: 12,
             exec_ns: 4_000,
             wall_ns: 500_000_000,
+            park: {
+                let mut h = crate::hist::Histogram::new();
+                h.record(1_000);
+                h.record(2_000);
+                h
+            },
             per_proc: vec![(0, 3_000, 7), (1, 1_000, 5)],
         });
         hub.note_sched(&SchedDelta {
@@ -1490,6 +1648,11 @@ mod tests {
             unparks: 5,
             exec_ns: 1_000,
             wall_ns: 500_000_000,
+            park: {
+                let mut h = crate::hist::Histogram::new();
+                h.record(3_000);
+                h
+            },
             per_proc: vec![(1, 1_000, 3)],
         });
         let s = hub.sched();
@@ -1523,6 +1686,7 @@ mod tests {
             unparks: 1,
             exec_ns: 500,
             wall_ns: 1_000,
+            park: crate::hist::Histogram::new(),
             per_proc: vec![(2, 500, 1)],
         });
         hub.adopt_sched(&other);
@@ -1560,6 +1724,7 @@ mod tests {
             from_iter: 9,
             to_iter: 5,
             rollback: 4,
+            bound: 8,
         });
         hub.emit(ObsEvent::MailboxHigh {
             t_ns: 30,
@@ -1587,6 +1752,7 @@ mod tests {
             from_iter: 8,
             to_iter: 6,
             rollback: 2,
+            bound: 4,
         });
         b.warp_sample(0, 2.0);
         let mut merged = a.summary();

@@ -46,9 +46,13 @@ pub mod warp;
 /// heatmaps, read-dependency edges, profiler rows, loc/proc name maps);
 /// v4 adds the optional `wall` scheduler wall-clock accounting section on
 /// run reports and the live telemetry feed ([`live`], versioned
-/// separately by [`live::FEED_VERSION`]). All additions are additive, so
-/// v4 readers keep accepting v1–v3 documents.
-pub const SCHEMA_VERSION: u32 = 4;
+/// separately by [`live::FEED_VERSION`]); v5 adds the optional `audit`
+/// invariant-monitor section on run reports, the `SeqAccept` event and
+/// the `bound` field on `Restore` (audit inputs), park-duration
+/// quantiles on the wall section, and the flight-recorder dump document
+/// (`FLIGHT_*.json`). All additions are additive, so v5 readers keep
+/// accepting v1–v4 documents.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// A span/event label: borrowed for the common static case, owned when a
 /// layer needs a dynamic label (per-location, per-island, …).
@@ -56,7 +60,7 @@ pub type Label = std::borrow::Cow<'static, str>;
 
 pub use event::ObsEvent;
 pub use hist::Histogram;
-pub use hub::{DepEdge, HeatRow, Hub, HubSummary, MetricSnapshot, ProfileRow};
+pub use hub::{DepEdge, EventSink, HeatRow, Hub, HubSummary, MetricSnapshot, ProfileRow};
 pub use live::{ProcSched, SchedDelta, SchedSummary, FEED_VERSION};
 pub use span::{Span, SpanKind, Trace, TraceTotals};
 pub use warp::{WarpPoint, WarpSummary, WarpTimeline};

@@ -75,6 +75,13 @@ pub struct SchedSummary {
     /// Queue entries executed per wall-clock second (`events` over
     /// `wall_ns`; 0 when nothing was measured).
     pub events_per_sec: f64,
+    /// Median park duration in wall ns: the time between a process
+    /// re-parking at the end of a slice and its next slice starting.
+    /// Captures scheduler hand-off tail latency, not just totals — the
+    /// other half of the ROADMAP item-1 baseline.
+    pub park_p50_ns: u64,
+    /// 99th-percentile park duration in wall ns.
+    pub park_p99_ns: u64,
     /// Per-process slice accounting, sorted by pid. A process's parked
     /// wall time is `wall_ns − exec_ns` of its row (it is either running
     /// a slice or parked while the scheduler serves everyone else).
@@ -109,6 +116,9 @@ pub struct SchedDelta {
     pub wall_ns: u64,
     /// Per-process `(pid, exec_ns, slices)` deltas.
     pub per_proc: Vec<(u32, u64, u64)>,
+    /// Park-duration samples since the last flush (wall ns between a
+    /// process parking and its next slice), as a mergeable histogram.
+    pub park: crate::hist::Histogram,
 }
 
 /// Counter deltas between two consecutive snap lines (first snap line:

@@ -289,6 +289,35 @@ impl SimBuilder {
                             _ => None,
                         })
                         .collect();
+                    // Leave the diagnosis in the flight ring (a side
+                    // channel: never touches counters or the report) so a
+                    // post-mortem dump explains the hang per process.
+                    if let Some(hub) = &self.obs {
+                        if hub.flight_enabled() {
+                            hub.flight_note(nscc_obs::ObsEvent::Custom {
+                                t_ns: now.as_nanos(),
+                                label: format!("deadlock: {} process(es) blocked", blocked.len())
+                                    .into(),
+                            });
+                            for b in &blocked {
+                                hub.flight_note(nscc_obs::ObsEvent::Custom {
+                                    t_ns: now.as_nanos(),
+                                    label: format!(
+                                        "deadlock: pid {} ({}) blocked on {} since {} ns{}",
+                                        b.pid.0,
+                                        b.name,
+                                        b.reason,
+                                        b.since.as_nanos(),
+                                        match b.mailbox_depth {
+                                            Some(d) => format!(", mailbox depth {d}"),
+                                            None => String::new(),
+                                        }
+                                    )
+                                    .into(),
+                                });
+                            }
+                        }
+                    }
                     return Err(SimError::Deadlock { at: now, blocked });
                 }
             };
@@ -410,7 +439,7 @@ impl SimBuilder {
                         }
                     }
                     if let (Some(a), Some(t0)) = (acct.as_mut(), slice_start) {
-                        a.slice(pid.0, t0.elapsed(), parked);
+                        a.slice(pid.0, t0, parked);
                     }
                 }
             }
@@ -476,6 +505,10 @@ struct WallAcct {
     unparks: u64,
     exec_ns: u64,
     per_proc: BTreeMap<u32, (u64, u64)>,
+    /// When each parked process re-parked, for park-duration sampling.
+    parked_at: BTreeMap<u32, Instant>,
+    /// Park durations (re-park → next slice start) since the last flush.
+    park: nscc_obs::Histogram,
 }
 
 impl WallAcct {
@@ -492,6 +525,8 @@ impl WallAcct {
             unparks: 0,
             exec_ns: 0,
             per_proc: BTreeMap::new(),
+            parked_at: BTreeMap::new(),
+            park: nscc_obs::Histogram::new(),
         }
     }
 
@@ -504,18 +539,29 @@ impl WallAcct {
         }
     }
 
-    /// One process slice served: `dur` of real time between handing the
-    /// thread its `Resume` and it yielding control back. `parked` is true
-    /// when the slice ended with the thread re-parking on its reply
-    /// channel (advance/block) rather than exiting.
-    fn slice(&mut self, pid: u32, dur: std::time::Duration, parked: bool) {
-        let ns = dur.as_nanos() as u64;
+    /// One process slice served: `t0` is the real instant the scheduler
+    /// handed the thread its `Resume`; the slice ran until now. `parked`
+    /// is true when the slice ended with the thread re-parking on its
+    /// reply channel (advance/block) rather than exiting.
+    fn slice(&mut self, pid: u32, t0: Instant, parked: bool) {
+        let end = Instant::now();
+        let ns = end.saturating_duration_since(t0).as_nanos() as u64;
+        // The gap between this process's previous re-park and this
+        // slice's start is one park-duration sample: the hand-off tail
+        // the coroutine-scheduler rewrite must shrink.
+        if let Some(p) = self.parked_at.remove(&pid) {
+            self.park
+                .record(t0.saturating_duration_since(p).as_nanos() as u64);
+        }
         self.exec_ns += ns;
         self.unparks += 1;
         self.parks += u64::from(parked);
         let e = self.per_proc.entry(pid).or_insert((0, 0));
         e.0 += ns;
         e.1 += 1;
+        if parked {
+            self.parked_at.insert(pid, end);
+        }
     }
 
     /// Hand the accumulated deltas to the hub.
@@ -534,6 +580,7 @@ impl WallAcct {
                 .into_iter()
                 .map(|(pid, (exec_ns, slices))| (pid, exec_ns, slices))
                 .collect(),
+            park: std::mem::take(&mut self.park),
         });
     }
 }

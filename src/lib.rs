@@ -35,6 +35,10 @@
 //! * [`analyze`] — offline analysis of exported run reports and event
 //!   dumps: `nscc inspect` / `nscc diff` / the `nscc gate` perf
 //!   regression gate.
+//! * [`audit`] — the online coherence auditor: invariant monitors driven
+//!   from the event stream (staleness bound, write monotonicity,
+//!   delivery dedup, barrier lockstep, rollback bound) and the black-box
+//!   flight-recorder dump cut when a monitored run fails.
 //!
 //! ## Quick start
 //!
@@ -76,6 +80,7 @@
 //! ```
 
 pub use nscc_analyze as analyze;
+pub use nscc_audit as audit;
 pub use nscc_bayes as bayes;
 pub use nscc_ckpt as ckpt;
 pub use nscc_core as core;

@@ -19,7 +19,8 @@ use nscc::sim::{SimBuilder, SimTime};
 
 /// All-to-all read/write over a lossy, duplicating Ethernet with the
 /// reliable layer on and a read timeout, returning every read outcome
-/// plus the run's network/comm counters.
+/// plus the run's network/comm counters. `inject` arms the deliberate
+/// stale-release sabotage (audit validation; 0 = honest run).
 fn chaotic_readback(
     seed: u64,
     ranks: usize,
@@ -28,6 +29,7 @@ fn chaotic_readback(
     loss: f64,
     dup: f64,
     hub: Option<Hub>,
+    inject: u64,
 ) -> (Vec<ReadOutcome<u64>>, u64, u64, u64) {
     let plan = FaultPlan::new(seed).loss(loss).duplication(dup);
     let net = Network::new(FaultyMedium::new(EthernetBus::ten_mbps(seed), plan));
@@ -39,6 +41,9 @@ fn chaotic_readback(
         DsmWorld::new(net.clone(), ranks, cfg, dir).with_read_timeout(SimTime::from_millis(30));
     if let Some(h) = hub {
         world = world.with_obs(h);
+    }
+    if inject > 0 {
+        world = world.with_stale_injection(inject);
     }
     for &l in &locs {
         world.set_initial(l, 0);
@@ -95,7 +100,7 @@ proptest! {
         dup in 0.0f64..0.20,
     ) {
         let (outs, dropped, retransmits, give_ups) =
-            chaotic_readback(seed, ranks, iters, age, loss, dup, None);
+            chaotic_readback(seed, ranks, iters, age, loss, dup, None, 0);
         prop_assert!(!outs.is_empty(), "no reads recorded");
         for out in &outs {
             if !out.degraded {
@@ -190,7 +195,7 @@ proptest! {
         dup in 0.0f64..0.20,
     ) {
         let hub = Hub::new();
-        chaotic_readback(seed, ranks, iters, age, loss, dup, Some(hub.clone()));
+        chaotic_readback(seed, ranks, iters, age, loss, dup, Some(hub.clone()), 0);
         if let Err(e) = check_read_deps(&hub.events()) {
             prop_assert!(false, "{}", e);
         }
@@ -205,7 +210,7 @@ proptest! {
 fn read_deps_are_recorded_and_deterministic() {
     let run = || {
         let hub = Hub::new();
-        chaotic_readback(11, 3, 10, 0, 0.0, 0.0, Some(hub.clone()));
+        chaotic_readback(11, 3, 10, 0, 0.0, 0.0, Some(hub.clone()), 0);
         hub.events()
     };
     let events = run();
@@ -426,4 +431,165 @@ fn ga_survives_midrun_node_crash_with_degraded_marker() {
     assert_eq!(m.dsm.degraded_reads, res2.modes[0].dsm.degraded_reads);
     assert_eq!(m.comm.retransmits, res2.modes[0].comm.retransmits);
     assert_eq!(res.fault_reports.len(), res2.fault_reports.len());
+}
+
+/// The acceptance scenario for the online auditor: a seeded run with
+/// deliberate stale releases armed must (a) trip the staleness monitor
+/// and no other, (b) cut a byte-identical flight dump on every rerun,
+/// and (c) yield a post-mortem that attributes the flagged location to
+/// the rank that actually published it last.
+#[test]
+fn injected_stale_delivery_is_caught_with_provenance_in_the_dump() {
+    use nscc::audit::{render_flight_dump, Auditor, FlightDump};
+
+    let run = || {
+        let hub = Hub::new();
+        hub.enable_flight(4096);
+        let auditor = Arc::new(Auditor::new());
+        hub.set_tap(auditor.clone());
+        // Sabotage: the first 3 would-block reads per rank release the
+        // cached value immediately, past the age-0 bound.
+        chaotic_readback(11, 3, 12, 0, 0.0, 0.0, Some(hub.clone()), 3);
+        let summary = auditor.summary();
+        let dump = FlightDump::new(
+            "chaos",
+            11,
+            "violation",
+            hub.flight_capacity(),
+            hub.flight_events(),
+            auditor.recorded(),
+        )
+        .with_proc_names(vec!["rank0".into(), "rank1".into(), "rank2".into()]);
+        (summary, render_flight_dump(&dump))
+    };
+
+    let (summary, dump_json) = run();
+    assert!(
+        summary.violations > 0,
+        "auditor missed every injected stale release"
+    );
+    let stale = summary
+        .monitors
+        .iter()
+        .find(|m| m.name == "staleness")
+        .expect("staleness monitor installed");
+    assert!(stale.checked > 0 && stale.violations > 0, "{summary:?}");
+    for m in &summary.monitors {
+        if m.name != "staleness" {
+            assert_eq!(
+                m.violations, 0,
+                "{} monitor false-positived on a staleness-only sabotage",
+                m.name
+            );
+        }
+    }
+    assert!(
+        !summary.recorded.is_empty(),
+        "violations must be recorded, not just counted"
+    );
+
+    // Same seed, same sabotage: the black box must be byte-identical.
+    let (_, dump_again) = run();
+    assert_eq!(dump_json, dump_again, "flight dump is not deterministic");
+
+    // The dump round-trips through the analyzer's post-mortem, and the
+    // suspected-cause heuristic names the releasing writer. Location q
+    // is owned (written) by rank q alone, and a rank never reads its own
+    // location, so any correct attribution names another rank.
+    let path = std::env::temp_dir().join("nscc_chaos_flight_test.json");
+    std::fs::write(&path, format!("{dump_json}\n")).expect("write dump");
+    let rep = nscc::analyze::Report::load(&path).expect("dump parses");
+    let text = nscc::analyze::postmortem(&rep).expect("postmortem renders");
+    std::fs::remove_file(&path).ok();
+    assert!(text.contains("reason: violation"), "{text}");
+    assert!(
+        text.contains("was last published by rank"),
+        "no provenance attribution in:\n{text}"
+    );
+    assert!(
+        text.contains("(rank0)") || text.contains("(rank1)") || text.contains("(rank2)"),
+        "attribution lost the process name:\n{text}"
+    );
+}
+
+/// The standing determinism contract: attaching the full monitor set
+/// (and the flight ring) to a run must not perturb it — the rendered
+/// `RunReport` is byte-identical outside the `audit` section.
+#[test]
+fn monitors_on_and_off_reports_are_byte_identical_outside_audit() {
+    use nscc::audit::Auditor;
+
+    let render = |audit: bool| -> String {
+        let hub = Hub::new();
+        let auditor = Arc::new(Auditor::new());
+        if audit {
+            hub.enable_flight(1024);
+            hub.set_tap(auditor.clone());
+        }
+        chaotic_readback(23, 3, 10, 1, 0.02, 0.01, Some(hub.clone()), 0);
+        let mut rep = RunReport::new("determinism", &hub);
+        if audit {
+            rep.audit = Some(auditor.summary());
+        }
+        rep.to_json()
+    };
+
+    let on = render(true);
+    let off = render(false);
+    // `audit` is the report's last field; cut both at its key and the
+    // prefixes must match to the byte.
+    let cut = |s: &str| {
+        let at = s.rfind(",\"audit\":").expect("report carries an audit key");
+        s[..at].to_string()
+    };
+    assert_eq!(
+        cut(&on),
+        cut(&off),
+        "monitors perturbed the run they were watching"
+    );
+    assert!(off.ends_with("\"audit\":null}"), "{off}");
+    assert!(on.contains("\"audit\":{"), "{on}");
+    // An honest run under full monitoring: plenty checked, nothing flagged.
+    assert!(on.contains("\"violations\":0"), "{on}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Determinism contract under arbitrary fault pressure: for any
+    /// seed/loss/duplication mix, the monitored and unmonitored runs
+    /// agree byte-for-byte outside `audit`, and an honest run stays
+    /// violation-free no matter the weather.
+    #[test]
+    fn monitored_runs_are_undisturbed_under_any_fault_plan(
+        seed in 1u64..5000,
+        loss in 0.0f64..0.15,
+        dup in 0.0f64..0.10,
+    ) {
+        use nscc::audit::Auditor;
+
+        let render = |audit: bool| -> (String, u64) {
+            let hub = Hub::new();
+            let auditor = Arc::new(Auditor::new());
+            if audit {
+                hub.enable_flight(512);
+                hub.set_tap(auditor.clone());
+            }
+            chaotic_readback(seed, 3, 8, 1, loss, dup, Some(hub.clone()), 0);
+            let mut rep = RunReport::new("determinism", &hub);
+            if audit {
+                rep.audit = Some(auditor.summary());
+            }
+            (rep.to_json(), auditor.violation_count())
+        };
+
+        let (on, violations) = render(true);
+        let (off, _) = render(false);
+        let cut = |s: &str| {
+            let at = s.rfind(",\"audit\":").expect("report carries an audit key");
+            s[..at].to_string()
+        };
+        prop_assert_eq!(cut(&on), cut(&off));
+        prop_assert_eq!(violations, 0, "honest run flagged by the auditor: {}", on);
+    }
 }

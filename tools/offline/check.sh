@@ -108,6 +108,7 @@ binary() {
 
 E_CKPT="--extern nscc_ckpt=$OUT/libnscc_ckpt.rlib"
 E_OBS="--extern nscc_obs=$OUT/libnscc_obs.rlib"
+E_AUDIT="--extern nscc_audit=$OUT/libnscc_audit.rlib"
 E_SIM="--extern nscc_sim=$OUT/libnscc_sim.rlib"
 E_NET="--extern nscc_net=$OUT/libnscc_net.rlib"
 E_FAULTS="--extern nscc_faults=$OUT/libnscc_faults.rlib"
@@ -122,6 +123,7 @@ E_ANALYZE="--extern nscc_analyze=$OUT/libnscc_analyze.rlib"
 
 build nscc_ckpt crates/ckpt/src/lib.rs
 build nscc_obs crates/obs/src/lib.rs $EXT_PL $EXT_SERDE $E_CKPT
+build nscc_audit crates/audit/src/lib.rs $EXT_PL $EXT_SERDE $E_OBS
 build nscc_sim crates/sim/src/lib.rs $EXT_CB $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS
 build nscc_net crates/net/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM
 build nscc_faults crates/faults/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_SIM $E_NET
@@ -132,10 +134,10 @@ itest nscc_dsm crates/dsm/tests/resilience.rs $E_DSM $E_MSG $E_NET $E_SIM
 build nscc_partition crates/partition/src/lib.rs $EXT_RAND
 build nscc_ga crates/ga/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_SIM $E_NET $E_MSG $E_DSM
 build nscc_bayes crates/bayes/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_MSG $E_DSM $E_PART
-build nscc_core crates/core/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES
-build nscc_bench crates/bench/src/lib.rs $EXT_PL $EXT_RAND $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE
+build nscc_core crates/core/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES
+build nscc_bench crates/bench/src/lib.rs $EXT_PL $EXT_RAND $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE
 build nscc_analyze crates/analyze/src/lib.rs $E_CKPT
-build nscc src/lib.rs $EXT_RAND $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_ANALYZE
+build nscc src/lib.rs $EXT_RAND $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_ANALYZE
 # Root integration tests (proptest-based ones run against the shim: three
 # deterministic samples per axis instead of a random search).
 E_NSCC="--extern nscc=$OUT/libnscc.rlib"
@@ -144,7 +146,7 @@ for t in tests/*.rs; do
     itest nscc "$t" $E_NSCC $E_PROPTEST $EXT_RAND
 done
 
-ALL="$EXT_PL $EXT_RAND $EXT_SERDE $EXT_CB $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_BENCH"
+ALL="$EXT_PL $EXT_RAND $EXT_SERDE $EXT_CB $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_BENCH"
 if want nscc_bench; then
     for b in crates/bench/src/bin/*.rs; do
         binary "bench-$(basename "$b" .rs)" "$b" $ALL
