@@ -13,6 +13,7 @@
 //!   --all                gate every numeric scalar, not just metrics.*
 //!   --update-baselines   copy fresh reports over the baselines and exit
 //! nscc audit <REPORT...>                      coherence-monitor verdicts (NSCC_AUDIT=1)
+//! nscc drill <REPORT...>                      recovery-drill verdicts (snapshots/supervision)
 //! nscc postmortem <FLIGHT>                    analyze a flight-recorder dump
 //! nscc top [--once] [--interval MS] <FEED>    dashboard over an NSCC_LIVE feed
 //! nscc trend [OPTS] [POINT...]                metric trajectories over runs/
@@ -28,7 +29,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nscc_analyze::{
-    audit, diff, follow, gate_all, heat, inspect, inspect_ckpt_dir, postmortem, top_file,
+    audit, diff, drill, follow, gate_all, heat, inspect, inspect_ckpt_dir, postmortem, top_file,
     trend_dir, trend_files, update_baselines, why, GateConfig, Report, TrendConfig,
 };
 
@@ -43,6 +44,7 @@ usage:
   nscc why <REPORT> [--proc P] [--locn L]
   nscc gate [--baselines DIR] [--rel R] [--abs A] [--all] [--update-baselines] <FRESH...>
   nscc audit <REPORT...>
+  nscc drill <REPORT...>
   nscc postmortem <FLIGHT>
   nscc top [--once] [--interval MS] <FEED>
   nscc trend [--dir DIR] [--window N] [--rel R] [--abs A] [--check] [POINT...]
@@ -69,6 +71,7 @@ fn main() -> ExitCode {
         "why" => cmd_why(rest),
         "gate" => cmd_gate(rest),
         "audit" => cmd_audit(rest),
+        "drill" => cmd_drill(rest),
         "postmortem" => cmd_postmortem(rest),
         "top" => cmd_top(rest),
         "trend" => cmd_trend(rest),
@@ -304,6 +307,32 @@ fn cmd_audit(files: &[String]) -> ExitCode {
         dirty |= violations > 0;
     }
     if dirty {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_drill(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("nscc drill: no reports given\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut problems = 0u64;
+    for (i, path) in files.iter().enumerate() {
+        let rep = match load(path) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        if i > 0 {
+            println!();
+        }
+        let (text, found) = drill(&rep);
+        print!("{text}");
+        problems += found;
+    }
+    if problems > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -64,6 +64,7 @@ pub fn inspect_ckpt_dir(dir: &Path) -> Result<String, String> {
         ));
         let mut rows = vec![vec![
             "gen".to_string(),
+            "kind".to_string(),
             "t".to_string(),
             "bytes".to_string(),
             "checksum".to_string(),
@@ -79,6 +80,7 @@ pub fn inspect_ckpt_dir(dir: &Path) -> Result<String, String> {
                 .join(",");
             rows.push(vec![
                 g.gen.to_string(),
+                g.kind.label().to_string(),
                 ns(g.t_ns),
                 g.bytes.to_string(),
                 format!("{:016x}", g.checksum),
@@ -118,7 +120,30 @@ mod tests {
         assert!(text.contains("[12,13]"), "{text}");
         assert!(text.contains("checksum"), "{text}");
         assert!(text.contains("ok"), "{text}");
+        assert!(text.contains("stop-world"), "{text}");
         assert!(text.to_lowercase().contains("checksum mismatch"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn labels_consistent_cut_generations() {
+        use nscc_ckpt::{save_cut, CutFrame, GlobalCut};
+        let dir = tmpdir("cut");
+        let store = CkptStore::open(&dir).unwrap();
+        store.save(3, 1_000, &[9], b"stop-world frame").unwrap();
+        let cut = GlobalCut {
+            id: 6,
+            frames: vec![CutFrame {
+                rank: 0,
+                gen: 6,
+                state: vec![1, 2, 3],
+                inflight: Vec::new(),
+            }],
+        };
+        save_cut(&store, &cut, 2_000).unwrap();
+        let text = inspect_ckpt_dir(&dir).unwrap();
+        assert!(text.contains("stop-world"), "{text}");
+        assert!(text.contains("consistent-cut"), "{text}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -42,6 +42,10 @@
 //! - [`audit::audit`] — did the run uphold its coherence contract? The
 //!   online monitor verdict an `NSCC_AUDIT=1` run stamps into its
 //!   report: per-monitor check counts and every recorded violation.
+//! - [`drill::drill`] — did recovery actually work? Renders a report's
+//!   `recovery` section (marker waves, consistent cuts, cut-served
+//!   restores, supervisor restarts/retirements) and re-verifies the
+//!   rollback-within-age-bound invariant from the report alone.
 //! - [`postmortem`] — why did the run die? Reads the flight-recorder
 //!   dump (`FLIGHT_*.json`, cut from the `NSCC_FLIGHT` event ring on a
 //!   violation, fault, or deadlock): per-process last-events timelines
@@ -61,6 +65,7 @@ pub mod audit;
 pub mod causal;
 pub mod ckpt;
 pub mod diff;
+pub mod drill;
 pub mod fmt;
 pub mod gate;
 pub mod hist;
@@ -75,6 +80,7 @@ pub use audit::audit;
 pub use causal::{heat, why};
 pub use ckpt::inspect_ckpt_dir;
 pub use diff::diff;
+pub use drill::drill;
 pub use gate::{gate_all, gate_pair, update_baselines, GateConfig, Outcome};
 pub use hist::HistView;
 pub use inspect::inspect;

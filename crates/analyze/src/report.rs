@@ -13,8 +13,9 @@ use crate::json::{parse, Json};
 /// [`MIN_SCHEMA_VERSION`] is additive, so older documents load too — a
 /// v2 report simply has no heatmap/dependency/profile sections, a v3 one
 /// no `wall` scheduler-accounting section, a v4 one no `audit`
-/// coherence-auditor section.
-pub const SCHEMA_VERSION: u64 = 5;
+/// coherence-auditor section, a v5 one no `recovery`
+/// snapshot/supervision section.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The oldest export schema this analyzer still reads.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -175,7 +176,7 @@ mod tests {
         // Older documents predate newer sections (causal attribution,
         // wall accounting) but remain loadable (the schema grows
         // additively).
-        for v in 1..=5u64 {
+        for v in 1..=6u64 {
             let p = write_temp(
                 &format!("v{v}.json"),
                 &format!(r#"{{"schema_version":{v},"name":"x"}}"#),
@@ -184,10 +185,10 @@ mod tests {
             assert_eq!(rep.schema_version(), v);
             std::fs::remove_file(p).ok();
         }
-        let newer = write_temp("v6.json", r#"{"schema_version":6,"name":"x"}"#);
+        let newer = write_temp("v7.json", r#"{"schema_version":7,"name":"x"}"#);
         let err = Report::load(&newer).unwrap_err();
-        assert!(err.contains("schema version 6"), "{err}");
-        assert!(err.contains("1..=5"), "{err}");
+        assert!(err.contains("schema version 7"), "{err}");
+        assert!(err.contains("1..=6"), "{err}");
         let none = write_temp("none.json", r#"{"name":"x"}"#);
         let err = Report::load(&none).unwrap_err();
         assert!(err.contains("no schema_version"), "{err}");

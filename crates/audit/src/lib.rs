@@ -5,9 +5,10 @@
 //! `age` iterations stale, writes per location must never move backwards
 //! in time (outside an explicit rollback), the reliable-delivery layer
 //! must never hand the same frame to the application twice, barrier
-//! epochs must advance in lockstep, and a crash restore must never roll a
-//! node back further than the coherence mode promises. This crate checks
-//! all five invariants *online*, as a [`nscc_obs::EventSink`] tap on the
+//! epochs must advance in lockstep, a crash restore must never roll a
+//! node back further than the coherence mode promises, and a consistent
+//! snapshot must never pause the islands it cuts across. This crate
+//! checks all six invariants *online*, as a [`nscc_obs::EventSink`] tap on the
 //! observability hub, and packages the results two ways:
 //!
 //! * an [`AuditSummary`] that lands in the run report's `audit` section
@@ -38,7 +39,8 @@ use nscc_obs::{EventSink, ObsEvent};
 
 pub use flight::{render_flight_dump, FlightDump};
 pub use monitors::{
-    BarrierMonitor, MonotonicityMonitor, RollbackMonitor, SequenceMonitor, StalenessMonitor,
+    BarrierMonitor, MonotonicityMonitor, RollbackMonitor, SequenceMonitor, SnapshotMonitor,
+    StalenessMonitor,
 };
 
 /// Hard cap on individually recorded violations. Monitors keep exact
@@ -140,7 +142,7 @@ impl Default for Auditor {
 impl Auditor {
     /// An auditor with the full standard monitor set: staleness-bound,
     /// write monotonicity, reliable-delivery sequence sanity, barrier
-    /// epoch ordering and rollback bound.
+    /// epoch ordering, rollback bound and snapshot lifecycle.
     pub fn new() -> Self {
         Auditor::with_monitors(vec![
             Box::new(StalenessMonitor::default()),
@@ -148,6 +150,7 @@ impl Auditor {
             Box::new(SequenceMonitor::default()),
             Box::new(BarrierMonitor::default()),
             Box::new(RollbackMonitor::default()),
+            Box::new(SnapshotMonitor::default()),
         ])
     }
 
@@ -254,7 +257,7 @@ mod tests {
         let s = a.summary();
         assert!(s.clean());
         assert_eq!(s.checked, 2);
-        assert_eq!(s.monitors.len(), 5);
+        assert_eq!(s.monitors.len(), 6);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The five standard invariant monitors.
+//! The six standard invariant monitors.
 //!
 //! Each monitor audits one clause of the non-strict coherence contract.
 //! They are deliberately conservative: a monitor only flags conditions
@@ -316,6 +316,78 @@ impl Monitor for RollbackMonitor {
     }
 }
 
+/// Checks the consistent-snapshot protocol's contract: marker waves are
+/// well-formed per `(cut id, rank)` — at most one `SnapshotStart` before
+/// the matching `SnapshotComplete`, no completion without a start — and
+/// **snapshots never pause anyone**: a `SnapshotComplete` must report
+/// `pause_ns == 0`, because the whole point of the marker protocol here
+/// is that islands keep computing while the cut is recorded.
+#[derive(Debug, Default)]
+pub struct SnapshotMonitor {
+    checked: u64,
+    /// Open recordings: (rank, cut id) started but not yet completed.
+    open: HashSet<(u32, u64)>,
+}
+
+impl Monitor for SnapshotMonitor {
+    fn name(&self) -> &'static str {
+        "snapshot"
+    }
+
+    fn on_event(&mut self, ev: &ObsEvent, out: &mut Vec<Violation>) {
+        match *ev {
+            ObsEvent::SnapshotStart { t_ns, rank, id, .. } => {
+                self.checked += 1;
+                if !self.open.insert((rank, id)) {
+                    out.push(Violation {
+                        monitor: "snapshot",
+                        t_ns,
+                        rank,
+                        detail: format!("cut {id} started twice without completing"),
+                    });
+                }
+            }
+            ObsEvent::SnapshotComplete {
+                t_ns,
+                rank,
+                id,
+                pause_ns,
+                ..
+            } => {
+                self.checked += 1;
+                if !self.open.remove(&(rank, id)) {
+                    out.push(Violation {
+                        monitor: "snapshot",
+                        t_ns,
+                        rank,
+                        detail: format!("cut {id} completed with no matching start"),
+                    });
+                }
+                if pause_ns > 0 {
+                    out.push(Violation {
+                        monitor: "snapshot",
+                        t_ns,
+                        rank,
+                        detail: format!(
+                            "cut {id} paused the island for {pause_ns}ns — the marker \
+                             protocol must never block application progress"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_run_boundary(&mut self) {
+        self.open.clear();
+    }
+
+    fn checked(&self) -> u64 {
+        self.checked
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +533,46 @@ mod tests {
         assert_eq!(drain(&mut m, &[enter(3)]).len(), 1); // skipped 2
         assert_eq!(drain(&mut m, &[exit(4)]).len(), 1); // mismatched exit
         assert_eq!(drain(&mut m, &[exit(4)]).len(), 1); // orphan exit
+    }
+
+    #[test]
+    fn snapshot_lifecycle_passes_and_pauses_fail() {
+        let mut m = SnapshotMonitor::default();
+        let start = |rank, id| ObsEvent::SnapshotStart {
+            t_ns: 1,
+            rank,
+            id,
+            gen: 10,
+        };
+        let complete = |rank, id, pause_ns| ObsEvent::SnapshotComplete {
+            t_ns: 2,
+            rank,
+            id,
+            inflight: 3,
+            pause_ns,
+        };
+        // A clean wave across two ranks, then a preempted (abandoned)
+        // wave: neither is a violation.
+        assert!(drain(
+            &mut m,
+            &[
+                start(0, 5),
+                start(1, 5),
+                complete(0, 5, 0),
+                complete(1, 5, 0),
+                start(0, 8), // abandoned: never completes
+                start(0, 11),
+                complete(0, 11, 0),
+            ],
+        )
+        .is_empty());
+        // A double start of the same cut, an orphan completion, and any
+        // nonzero pause are violations.
+        assert_eq!(drain(&mut m, &[start(0, 9), start(0, 9)]).len(), 1);
+        assert_eq!(drain(&mut m, &[complete(1, 99, 0)]).len(), 1);
+        let v = drain(&mut m, &[start(2, 20), complete(2, 20, 7)]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("paused the island"));
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Automated recovery drill: crash islands mid-run under scheduled
+//! fault plans with the consistent-snapshot protocol and the crash
+//! supervisor on, then verify the whole recovery story end to end.
+//!
+//! Four scenarios run back to back:
+//!
+//! * `single-crash` — one island dies and restarts once; the supervisor
+//!   approves the restart and the warm restore (served from the newest
+//!   consistent cut when one completed) rolls back no further than the
+//!   `Global_Read` age bound.
+//! * `double-crash` — two different islands die in separate windows;
+//!   both restart under the same budget.
+//! * `budget-exhausted` — one island dies twice against a budget of one
+//!   restart; the supervisor gives up, the island retires, and the run
+//!   completes *degraded* instead of deadlocking.
+//! * `identity` — no crash at all: a snapshot-on run must reproduce the
+//!   snapshot-off run's application metrics exactly (marker waves are
+//!   out-of-band, so they must cost nothing and perturb nothing).
+//!
+//! Every check is printed as a table row; any failed check makes the
+//! drill exit 1 after the report is written. With `NSCC_AUDIT=1` the
+//! online auditor taps every scenario, so a rollback past the age bound
+//! or an island pausing on the snapshot path is also a recorded
+//! violation (and, with `NSCC_FLIGHT`, triggers a black-box dump for
+//! `nscc postmortem`). With `NSCC_JSON=1` (or `--json`) the drill writes
+//! `BENCH_drill.json` whose `recovery` section merges all scenarios —
+//! the input of `nscc drill`.
+
+use nscc_bench::{
+    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_wall, unwrap_or_flight,
+    write_flight, write_folded, write_report, write_trace, Scale,
+};
+use nscc_core::fmt::render_table;
+use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
+use nscc_dsm::Coherence;
+use nscc_ga::{CostModel, RecoverySummary, SupervisorPolicy, TestFn};
+use nscc_obs::Hub;
+use nscc_sim::SimTime;
+
+const PROCS: usize = 4;
+
+/// The drill's `Global_Read` age bound — also the rollback ceiling every
+/// warm restore is checked against.
+const AGE: u64 = 5;
+
+/// One pass/fail verdict from a scenario.
+struct Check {
+    scenario: &'static str,
+    what: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn check(
+    out: &mut Vec<Check>,
+    scenario: &'static str,
+    what: &'static str,
+    pass: bool,
+    detail: String,
+) {
+    out.push(Check {
+        scenario,
+        what,
+        pass,
+        detail,
+    });
+}
+
+/// The drill experiment: the full robustness stack (reliable delivery is
+/// platform default, read timeouts, heartbeats, watchdog, warm recovery)
+/// plus snapshots and supervision. One run per scenario — a drill wants
+/// exact counters, not averaged sweeps.
+fn drill_exp(
+    scale: &Scale,
+    plan: FaultPlan,
+    snapshots: Option<u64>,
+    supervision: Option<SupervisorPolicy>,
+    obs: Option<Hub>,
+) -> GaExperiment {
+    let mut platform = Platform::paper_ethernet(PROCS).with_faults(plan);
+    platform.msg.mailbox_warn = scale.mailbox_warn;
+    GaExperiment {
+        generations: scale.generations,
+        runs: 1,
+        base_seed: scale.seed,
+        cost: CostModel::deterministic(),
+        platform,
+        obs,
+        modes: vec![Coherence::PartialAsync { age: AGE }],
+        read_timeout: Some(SimTime::from_millis(50)),
+        heartbeat: Some(SimTime::from_millis(20)),
+        watchdog: Some(SimTime::from_secs(3600)),
+        recovery: Some(RecoveryStyle::Warm),
+        snapshots,
+        supervision,
+        // With NSCC_CKPT_DIR set, completed cuts also land on disk as
+        // consistent-cut generations (`nscc inspect --ckpt` shows them
+        // in the kind column). Scenarios share the store; a later wave
+        // with the same initiating generation overwrites atomically.
+        snap_dir: std::env::var_os("NSCC_CKPT_DIR").map(std::path::PathBuf::from),
+        ..GaExperiment::new(TestFn::F1Sphere, PROCS)
+    }
+}
+
+/// Fold one scenario's recovery summary into the drill report.
+fn absorb(
+    rep: &mut RunReport,
+    total: &mut RecoverySummary,
+    scenario: &str,
+    res: &nscc_core::GaExpResult,
+) {
+    let m = &res.modes[0];
+    rep.dsm.merge(&m.dsm);
+    match rep.net.as_mut() {
+        Some(net) => net.merge(&res.net),
+        None => rep.net = Some(res.net.clone()),
+    }
+    match rep.comm.as_mut() {
+        Some(comm) => comm.merge(&m.comm),
+        None => rep.comm = Some(m.comm),
+    }
+    rep.fault_reports += res.fault_reports.len() as u64;
+    let key = |metric: &str| format!("{scenario}_{metric}");
+    rep.metric(key("restores"), m.restores as f64);
+    rep.metric(key("max_rollback"), m.max_rollback as f64);
+    rep.metric(key("fault_reports"), res.fault_reports.len() as f64);
+    if let Some(rec) = &res.recovery {
+        rep.metric(key("snapshots_completed"), rec.snapshots_completed as f64);
+        rep.metric(key("cut_restores"), rec.cut_restores as f64);
+        rep.metric(key("give_ups"), rec.give_ups as f64);
+        total.merge(rec);
+    }
+}
+
+/// The standard recovery assertions every crash scenario must satisfy:
+/// the run completed (no watchdog cuts — degraded is fine, wedged is
+/// not), marker waves completed, and no warm restore rolled back past
+/// the age bound.
+fn common_checks(checks: &mut Vec<Check>, scenario: &'static str, res: &nscc_core::GaExpResult) {
+    let rec = res.recovery.clone().unwrap_or_default();
+    check(
+        checks,
+        scenario,
+        "run completed",
+        res.fault_reports.is_empty(),
+        format!("{} watchdog-cut run(s)", res.fault_reports.len()),
+    );
+    check(
+        checks,
+        scenario,
+        "marker waves completed",
+        rec.snapshots_completed >= 1,
+        format!(
+            "{} started, {} completed",
+            rec.snapshots_started, rec.snapshots_completed
+        ),
+    );
+    check(
+        checks,
+        scenario,
+        "rollback within age bound",
+        rec.max_rollback <= AGE,
+        format!("max rollback {} vs bound {AGE}", rec.max_rollback),
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    print!(
+        "{}",
+        banner("Recovery drill: crash, restore, verify", &scale)
+    );
+    println!("procs={PROCS} age-bound={AGE} (snapshots + supervision + warm recovery on)");
+
+    let hub = make_hub(&scale);
+    attach_live(&scale, &hub, "drill");
+    let auditor = attach_audit(&scale, &hub);
+    let obs = || scale.wants_obs().then(|| hub.clone());
+    let mut rep = RunReport::new("drill", &hub);
+    rep.param("generations", scale.generations as f64)
+        .param("seed", scale.seed as f64)
+        .param("procs", PROCS as f64)
+        .param("age", AGE as f64);
+    let mut total = RecoverySummary::default();
+    let mut checks: Vec<Check> = Vec::new();
+    let run = |exp: &GaExperiment, label: &str| {
+        unwrap_or_flight(run_ga_experiment(exp), &scale, Some(&hub), &auditor, label)
+    };
+
+    // --- single-crash: one island dies once, restarts, warm-restores. ---
+    let plan = FaultPlan::new(scale.seed).crash_and_restart(
+        1,
+        SimTime::from_millis(40),
+        SimTime::from_millis(55),
+    );
+    let exp = drill_exp(
+        &scale,
+        plan,
+        Some(AGE),
+        Some(SupervisorPolicy::default()),
+        obs(),
+    );
+    let res = run(&exp, "drill");
+    common_checks(&mut checks, "single-crash", &res);
+    let rec = res.recovery.clone().unwrap_or_default();
+    check(
+        &mut checks,
+        "single-crash",
+        "crash restored once",
+        rec.restores == 1 && rec.restarts_approved == 1,
+        format!(
+            "{} restore(s), {} approved",
+            rec.restores, rec.restarts_approved
+        ),
+    );
+    check(
+        &mut checks,
+        "single-crash",
+        "no island abandoned",
+        rec.give_ups == 0,
+        format!("{} give-up(s)", rec.give_ups),
+    );
+    absorb(&mut rep, &mut total, "single_crash", &res);
+
+    // --- double-crash: two islands die in separate windows. ---
+    let plan = FaultPlan::new(scale.seed ^ 0xD21)
+        .crash_and_restart(1, SimTime::from_millis(30), SimTime::from_millis(42))
+        .crash_and_restart(2, SimTime::from_millis(60), SimTime::from_millis(72));
+    let exp = drill_exp(
+        &scale,
+        plan,
+        Some(AGE),
+        Some(SupervisorPolicy::default()),
+        obs(),
+    );
+    let res = run(&exp, "drill");
+    common_checks(&mut checks, "double-crash", &res);
+    let rec = res.recovery.clone().unwrap_or_default();
+    check(
+        &mut checks,
+        "double-crash",
+        "both crashes restored",
+        rec.restores == 2 && rec.restarts_approved == 2 && rec.give_ups == 0,
+        format!(
+            "{} restore(s), {} approved, {} give-up(s)",
+            rec.restores, rec.restarts_approved, rec.give_ups
+        ),
+    );
+    absorb(&mut rep, &mut total, "double_crash", &res);
+
+    // --- budget-exhausted: two crashes against a budget of one. ---
+    // The windows sit late in the run: a consistent cut needs every
+    // rank's frame, so once the island retires no *new* wave can ever
+    // complete — the waves the drill asserts on must finish first.
+    let plan = FaultPlan::new(scale.seed ^ 0xBED)
+        .crash_and_restart(1, SimTime::from_millis(60), SimTime::from_millis(65))
+        .crash_and_restart(1, SimTime::from_millis(72), SimTime::from_millis(77));
+    let exp = drill_exp(
+        &scale,
+        plan,
+        Some(AGE),
+        Some(SupervisorPolicy {
+            max_restarts: 1,
+            backoff_base: SimTime::from_millis(2),
+            backoff_cap: SimTime::from_millis(4),
+        }),
+        obs(),
+    );
+    let res = run(&exp, "drill");
+    common_checks(&mut checks, "budget-exhausted", &res);
+    let rec = res.recovery.clone().unwrap_or_default();
+    check(
+        &mut checks,
+        "budget-exhausted",
+        "budget enforced then island retired",
+        rec.restarts_approved == 1 && rec.give_ups == 1 && rec.failed_ranks == vec![1],
+        format!(
+            "{} approved, {} give-up(s), failed ranks {:?}",
+            rec.restarts_approved, rec.give_ups, rec.failed_ranks
+        ),
+    );
+    check(
+        &mut checks,
+        "budget-exhausted",
+        "backoff was imposed",
+        rec.max_backoff_ns > 0,
+        format!("max backoff {} ns", rec.max_backoff_ns),
+    );
+    absorb(&mut rep, &mut total, "budget_exhausted", &res);
+
+    // --- identity: snapshots must not perturb a crash-free run. ---
+    // The marker plane is out-of-band (no frames on the wire, no virtual
+    // time, no RNG draws), so the application story must match exactly.
+    // The identity pair runs unobserved: its events would double-count in
+    // the shared hub, and determinism is what is under test.
+    let clean = || FaultPlan::new(scale.seed ^ 0x1DE);
+    let on = run(&drill_exp(&scale, clean(), Some(AGE), None, None), "drill");
+    let off = run(&drill_exp(&scale, clean(), None, None, None), "drill");
+    let (m_on, m_off) = (&on.modes[0], &off.modes[0]);
+    let rec_on = on.recovery.clone().unwrap_or_default();
+    check(
+        &mut checks,
+        "identity",
+        "waves ran on the clean platform",
+        rec_on.snapshots_completed >= 1 && rec_on.restores == 0,
+        format!(
+            "{} completed, {} restore(s)",
+            rec_on.snapshots_completed, rec_on.restores
+        ),
+    );
+    check(
+        &mut checks,
+        "identity",
+        "snapshots perturb nothing",
+        m_on.mean_time == m_off.mean_time
+            && m_on.mean_best == m_off.mean_best
+            && m_on.mean_messages == m_off.mean_messages
+            && m_on.max_rollback == m_off.max_rollback,
+        format!(
+            "on: t={:?} best={} msgs={}; off: t={:?} best={} msgs={}",
+            m_on.mean_time,
+            m_on.mean_best,
+            m_on.mean_messages,
+            m_off.mean_time,
+            m_off.mean_best,
+            m_off.mean_messages
+        ),
+    );
+    check(
+        &mut checks,
+        "identity",
+        "no recovery section when off",
+        off.recovery.is_none(),
+        format!("off.recovery = {:?}", off.recovery),
+    );
+    absorb(&mut rep, &mut total, "identity", &on);
+
+    // --- audit verdict: the monitors saw every scenario's events. ---
+    if let Some(a) = &auditor {
+        check(
+            &mut checks,
+            "audit",
+            "no invariant violations",
+            a.violation_count() == 0,
+            format!("{} violation(s) recorded", a.violation_count()),
+        );
+    }
+
+    let mut rows = vec![["scenario", "check", "verdict", "detail"]
+        .map(String::from)
+        .to_vec()];
+    for c in &checks {
+        rows.push(vec![
+            c.scenario.to_string(),
+            c.what.to_string(),
+            if c.pass { "ok" } else { "FAIL" }.to_string(),
+            c.detail.clone(),
+        ]);
+    }
+    println!("\n{}", render_table(&rows));
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    println!(
+        "drill: {}/{} checks passed; {} wave(s) completed, {} restore(s) \
+         ({} from consistent cuts), {} island(s) retired, max rollback {}",
+        checks.len() - failed,
+        checks.len(),
+        total.snapshots_completed,
+        total.restores,
+        total.cut_restores,
+        total.give_ups,
+        total.max_rollback
+    );
+
+    rep.recovery = Some(total);
+    rep.obs = hub.summary();
+    rep.note_degradation();
+    stamp_wall(&scale, &hub, &mut rep);
+    stamp_audit(&auditor, &mut rep);
+    write_report(&scale, &rep);
+    write_flight(&scale, &hub, &auditor, rep.fault_reports, "drill");
+    write_trace(&scale, &hub, "drill");
+    write_folded(&scale, &rep.obs);
+    hub.live_final(&rep.obs);
+    if failed > 0 {
+        eprintln!("error: drill: {failed} check(s) failed (see table)");
+        std::process::exit(1);
+    }
+}

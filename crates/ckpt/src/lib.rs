@@ -26,20 +26,28 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cut;
 pub mod store;
 pub mod wire;
 
 use std::fmt;
 
-pub use store::{CkptStore, GenerationInfo};
+pub use cut::{load_latest_cut, save_cut, CutFrame, GlobalCut};
+pub use store::{CkptKind, CkptStore, GenerationInfo};
 pub use wire::{fnv1a, Dec, Enc};
 
 /// Magic bytes opening every checkpoint file.
 pub const MAGIC: [u8; 4] = *b"NSCK";
 
-/// Version stamp of the checkpoint layout. Bump on any encoding change;
-/// readers reject mismatches rather than misinterpret bytes.
-pub const CKPT_VERSION: u32 = 1;
+/// Version stamp of the checkpoint layout this build writes. Bump on any
+/// encoding change; readers reject anything outside
+/// [`MIN_CKPT_VERSION`]`..=`[`CKPT_VERSION`] rather than misinterpret
+/// bytes. v2 appended a trailing generation-kind tag (stop-world vs.
+/// consistent-cut); v1 files load as stop-world.
+pub const CKPT_VERSION: u32 = 2;
+
+/// Oldest checkpoint layout this build still reads.
+pub const MIN_CKPT_VERSION: u32 = 1;
 
 /// Structured checkpoint failure. Corrupt or truncated data is always one
 /// of these — never a panic, never silently-wrong state.

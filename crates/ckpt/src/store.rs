@@ -1,16 +1,20 @@
 //! On-disk checkpoint generations: `gen-NNNNNN.nsck` files in one
-//! directory, written atomically (temp file + rename) so a kill mid-write
-//! can never corrupt an existing generation.
+//! directory, written atomically (temp file + rename, then an fsync of the
+//! parent directory) so a kill mid-write can never corrupt an existing
+//! generation and a completed rename survives a host crash.
 //!
 //! File layout (everything after the checksum is covered by it):
 //!
 //! ```text
 //! MAGIC "NSCK" | version u32 | checksum u64 | gen u64 | t_ns u64
-//!             | iters Vec<u64> | payload Vec<u8>
+//!             | iters Vec<u64> | payload Vec<u8> | kind u64 (v2+)
 //! ```
 //!
 //! `iters` is the producer's per-node iteration vector (which generation
-//! each island/sampler had completed), `t_ns` the virtual time of the cut.
+//! each island/sampler had completed), `t_ns` the virtual time of the cut,
+//! and `kind` how the cut was taken ([`CkptKind`]): a stop-the-world pause
+//! or a Chandy–Lamport consistent cut captured while the run kept serving.
+//! v1 files predate the kind tag and load as stop-world.
 //! [`CkptStore::load_latest`] falls back across corrupt generations: a
 //! damaged newest file degrades recovery by one cadence interval instead
 //! of killing it.
@@ -19,10 +23,52 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::wire::{fnv1a, Dec, Enc};
-use crate::{CkptError, CKPT_VERSION, MAGIC};
+use crate::{CkptError, CKPT_VERSION, MAGIC, MIN_CKPT_VERSION};
 
 /// Extension of checkpoint generation files.
 const EXT: &str = "nsck";
+
+/// How a checkpoint generation was captured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CkptKind {
+    /// Every producer paused at a barrier-like point while the cut was
+    /// taken (the PR 4 recovery path, and all v1 files).
+    #[default]
+    StopWorld,
+    /// A Chandy–Lamport marker-protocol consistent cut: per-process states
+    /// plus recorded in-flight channel messages, captured while the run
+    /// kept serving reads and writes.
+    ConsistentCut,
+}
+
+impl CkptKind {
+    /// Wire tag (trailing u64 of a v2 body).
+    fn to_tag(self) -> u64 {
+        match self {
+            CkptKind::StopWorld => 0,
+            CkptKind::ConsistentCut => 1,
+        }
+    }
+
+    fn from_tag(tag: u64) -> Result<Self, CkptError> {
+        match tag {
+            0 => Ok(CkptKind::StopWorld),
+            1 => Ok(CkptKind::ConsistentCut),
+            other => Err(CkptError::Malformed(format!(
+                "unknown checkpoint kind tag {other}"
+            ))),
+        }
+    }
+
+    /// Human-readable label (`stop-world` / `consistent-cut`), as shown by
+    /// `nscc inspect --ckpt`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CkptKind::StopWorld => "stop-world",
+            CkptKind::ConsistentCut => "consistent-cut",
+        }
+    }
+}
 
 /// Metadata of one on-disk checkpoint generation (the payload itself is
 /// loaded separately).
@@ -39,6 +85,8 @@ pub struct GenerationInfo {
     /// The frame checksum (FNV-1a over everything after the checksum
     /// field).
     pub checksum: u64,
+    /// How the cut was captured (v1 files report stop-world).
+    pub kind: CkptKind,
     /// Path of the generation file.
     pub path: PathBuf,
     /// `Some(error)` when the file failed integrity or structural checks.
@@ -75,13 +123,30 @@ impl CkptStore {
         self.dir.join(format!("gen-{gen:06}.{EXT}"))
     }
 
-    /// Write generation `gen` atomically. Returns the final path.
+    /// Write generation `gen` atomically as a stop-world cut. Returns the
+    /// final path.
     pub fn save(
         &self,
         gen: u64,
         t_ns: u64,
         iters: &[u64],
         payload: &[u8],
+    ) -> Result<PathBuf, CkptError> {
+        self.save_kind(gen, t_ns, iters, payload, CkptKind::StopWorld)
+    }
+
+    /// Write generation `gen` atomically with an explicit capture kind.
+    /// The temp file is flushed, renamed into place, and the parent
+    /// directory is fsynced so the rename itself is durable — without the
+    /// directory sync a host crash can forget the rename and resurrect
+    /// the previous (or no) generation even though `save` returned.
+    pub fn save_kind(
+        &self,
+        gen: u64,
+        t_ns: u64,
+        iters: &[u64],
+        payload: &[u8],
+        kind: CkptKind,
     ) -> Result<PathBuf, CkptError> {
         // Body = everything the checksum covers.
         let mut body = Enc::new();
@@ -92,6 +157,7 @@ impl CkptStore {
             body.put_u64(it);
         }
         body.put_bytes(payload);
+        body.put_u64(kind.to_tag());
         let body = body.into_bytes();
 
         let mut head = Enc::new();
@@ -105,6 +171,13 @@ impl CkptStore {
         let path = self.path_of(gen);
         fs::write(&tmp, &file).map_err(|e| CkptError::Io(format!("write {tmp:?}: {e}")))?;
         fs::rename(&tmp, &path).map_err(|e| CkptError::Io(format!("rename to {path:?}: {e}")))?;
+        if let Err(e) = fs::File::open(&self.dir).and_then(|d| d.sync_all()) {
+            // Some filesystems cannot fsync a directory handle; that only
+            // weakens durability, it does not invalidate the write.
+            if e.kind() != std::io::ErrorKind::Unsupported {
+                return Err(CkptError::Io(format!("fsync {:?}: {e}", self.dir)));
+            }
+        }
         Ok(path)
     }
 
@@ -118,7 +191,7 @@ impl CkptStore {
             return Err(CkptError::BadMagic);
         }
         let version = dec.u32()?;
-        if version != CKPT_VERSION {
+        if !(MIN_CKPT_VERSION..=CKPT_VERSION).contains(&version) {
             return Err(CkptError::BadVersion {
                 found: version,
                 expected: CKPT_VERSION,
@@ -138,6 +211,12 @@ impl CkptStore {
             iters.push(dec.u64()?);
         }
         let payload = dec.bytes()?.to_vec();
+        // v1 files end at the payload; v2 appends the capture-kind tag.
+        let kind = if version >= 2 {
+            CkptKind::from_tag(dec.u64()?)?
+        } else {
+            CkptKind::StopWorld
+        };
         dec.finish()?;
         Ok((
             GenerationInfo {
@@ -146,6 +225,7 @@ impl CkptStore {
                 iters,
                 bytes: data.len() as u64,
                 checksum: stored,
+                kind,
                 path: path.to_path_buf(),
                 error: None,
             },
@@ -182,6 +262,7 @@ impl CkptStore {
                     iters: Vec::new(),
                     bytes: fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
                     checksum: 0,
+                    kind: CkptKind::StopWorld,
                     path,
                     error: Some(e.to_string()),
                 }),
@@ -318,6 +399,49 @@ mod tests {
         data[0] = b'X';
         fs::write(&p, &data).unwrap();
         assert!(matches!(CkptStore::load_path(&p), Err(CkptError::BadMagic)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_tag_roundtrips_and_defaults_to_stop_world() {
+        let dir = tmpdir("kind");
+        let store = CkptStore::open(&dir).unwrap();
+        store.save(1, 10, &[1], b"sw").unwrap();
+        store
+            .save_kind(2, 20, &[2], b"cc", CkptKind::ConsistentCut)
+            .unwrap();
+        let gens = store.generations().unwrap();
+        assert_eq!(gens[0].kind, CkptKind::StopWorld);
+        assert_eq!(gens[0].kind.label(), "stop-world");
+        assert_eq!(gens[1].kind, CkptKind::ConsistentCut);
+        assert_eq!(gens[1].kind.label(), "consistent-cut");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_files_without_a_kind_tag_still_load() {
+        let dir = tmpdir("v1compat");
+        let store = CkptStore::open(&dir).unwrap();
+        // Hand-build a v1 file: same layout, no trailing kind tag.
+        let mut body = Enc::new();
+        body.put_u64(3); // gen
+        body.put_u64(77); // t_ns
+        body.put_u64(1); // iters len
+        body.put_u64(9);
+        body.put_bytes(b"old");
+        let body = body.into_bytes();
+        let mut head = Enc::new();
+        head.put_u32(u32::from_le_bytes(MAGIC));
+        head.put_u32(1);
+        head.put_u64(fnv1a(&body));
+        let mut file = head.into_bytes();
+        file.extend_from_slice(&body);
+        fs::write(dir.join("gen-000003.nsck"), &file).unwrap();
+
+        let (info, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(info.gen, 3);
+        assert_eq!(info.kind, CkptKind::StopWorld, "v1 loads as stop-world");
+        assert_eq!(payload, b"old");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -17,13 +17,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use nscc_dsm::{Coherence, Directory, DsmStats, DsmWorld};
+use nscc_dsm::{Coherence, Directory, DsmStats, DsmWorld, SnapConfig, SnapshotBoard};
 use nscc_faults::FaultReport;
 use nscc_ga::{
     run_island, ConvergenceBoard, CostModel, GaParams, IslandConfig, IslandOutcome, MigrantBatch,
-    RecoveryPlan, RecoveryStyle, SerialGa, TestFn,
+    RecoveryPlan, RecoveryStyle, RecoverySummary, SerialGa, Supervisor, SupervisorPolicy, TestFn,
 };
-use nscc_msg::CommStats;
+use nscc_msg::{CommStats, MarkerPlane};
 use nscc_net::{NetStats, WarpMeter};
 use nscc_obs::Hub;
 use nscc_sim::{SimBuilder, SimError, SimTime};
@@ -95,6 +95,24 @@ pub struct GaExperiment {
     /// carries the true (excess) staleness, so the audit layer's
     /// staleness monitor must flag every injected release. 0 disables.
     pub inject_stale: u64,
+    /// Chandy–Lamport consistent snapshots on barrier-free parallel runs:
+    /// `Some(every)` has rank 0 initiate a marker wave every `every`
+    /// generations; completed cuts become the preferred warm-restore
+    /// source. Islands never pause on the snapshot path, and snapshot-on
+    /// runs stay byte-identical to snapshot-off runs outside the report's
+    /// `recovery` section. `None` (the default) disables the protocol.
+    pub snapshots: Option<u64>,
+    /// Crash supervision: when set, every island crash consults a shared
+    /// [`Supervisor`] built from this policy — restarts come with capped
+    /// exponential backoff, and an exhausted per-rank budget retires the
+    /// island so the run completes degraded instead of deadlocking.
+    pub supervision: Option<SupervisorPolicy>,
+    /// Directory for persisting completed consistent cuts
+    /// (`CkptKind::ConsistentCut` generations, one per sealed wave, cut
+    /// id as the generation number). `None` keeps cuts in memory only;
+    /// ignored unless `snapshots` is on. `nscc inspect --ckpt` renders
+    /// the resulting store with a `kind` column.
+    pub snap_dir: Option<std::path::PathBuf>,
 }
 
 impl GaExperiment {
@@ -117,6 +135,9 @@ impl GaExperiment {
             watchdog: None,
             recovery: None,
             inject_stale: 0,
+            snapshots: None,
+            supervision: None,
+            snap_dir: None,
         }
     }
 
@@ -185,6 +206,9 @@ pub struct GaExpResult {
     /// One structured report per parallel run the watchdog (or deadlock
     /// detector) cut short under chaos — empty on fault-free cells.
     pub fault_reports: Vec<FaultReport>,
+    /// What the snapshot protocol and the supervision layer did, summed
+    /// over every run that had either enabled (`None` when neither was).
+    pub recovery: Option<RecoverySummary>,
 }
 
 impl GaExpResult {
@@ -233,6 +257,8 @@ struct RunMeasure {
     max_rollback: u64,
     /// Set when the run was cut short (watchdog/deadlock under chaos).
     fault: Option<FaultReport>,
+    /// Snapshot/supervision summary (`None` when neither was enabled).
+    recovery: Option<RecoverySummary>,
 }
 
 /// Run one parallel GA configuration once. `observe` gates hub
@@ -312,6 +338,36 @@ fn run_parallel_once(
 
     let board = ConvergenceBoard::new(p);
     let outcomes: Arc<Mutex<Vec<Option<IslandOutcome>>>> = Arc::new(Mutex::new(vec![None; p]));
+    // Consistent snapshots and supervision ride on injected, barrier-free
+    // parallel runs only (the synchronous reference must stay exactly the
+    // paper's program; under a barrier every generation is already a
+    // consistent cut). Snapshots run even on fault-free plans — that is
+    // precisely the configuration the byte-identity guarantee is proven
+    // against.
+    let snap_cfg = exp
+        .snapshots
+        .filter(|_| inject && p > 1 && !mode.uses_barrier())
+        .map(|every| {
+            let mut board = SnapshotBoard::new(p);
+            if let Some(dir) = &exp.snap_dir {
+                match nscc_ckpt::CkptStore::open(dir) {
+                    Ok(store) => board = board.with_store(store),
+                    Err(e) => eprintln!(
+                        "warning: consistent cuts stay in memory — cannot open {}: {e}",
+                        dir.display()
+                    ),
+                }
+            }
+            SnapConfig {
+                every: every.max(1),
+                plane: MarkerPlane::new(p, SimTime::from_millis(1)),
+                board,
+            }
+        });
+    let supervisor = exp
+        .supervision
+        .filter(|_| inject && !mode.uses_barrier())
+        .map(Supervisor::new);
     let cfg = IslandConfig {
         func: exp.func,
         params: GaParams::default(),
@@ -321,6 +377,32 @@ fn run_parallel_once(
         stop,
         adaptive: None,
         recovery: None,
+        snap: snap_cfg.clone(),
+        supervisor: supervisor.clone(),
+    };
+    let recovery_summary = |outs: &[Option<IslandOutcome>]| -> Option<RecoverySummary> {
+        if snap_cfg.is_none() && supervisor.is_none() {
+            return None;
+        }
+        let mut sum = RecoverySummary::default();
+        if let Some(sc) = &snap_cfg {
+            let c = sc.board.counters();
+            sum.snapshots_started = c.started;
+            sum.snapshots_completed = c.completed;
+            sum.inflight_recorded = c.inflight_recorded;
+        }
+        if let Some(sup) = &supervisor {
+            sup.fill(&mut sum);
+        }
+        sum.cut_restores = outs.iter().flatten().map(|o| o.cut_restores).sum();
+        sum.restores = outs.iter().flatten().map(|o| o.restores).sum();
+        sum.max_rollback = outs
+            .iter()
+            .flatten()
+            .map(|o| o.max_rollback)
+            .max()
+            .unwrap_or(0);
+        Some(sum)
     };
     // Crash-with-restart windows become per-rank recovery plans on the
     // barrier-free disciplines. The checkpoint cadence is the age bound
@@ -401,7 +483,11 @@ fn run_parallel_once(
                     .map(|o| o.max_rollback)
                     .max()
                     .unwrap_or(0),
-                fault: Some(FaultReport::from_sim_error(seed, &err)),
+                fault: Some(
+                    FaultReport::from_sim_error(seed, &err)
+                        .with_rto_cap(platform.msg.reliable.as_ref().map(|rc| rc.max_rto)),
+                ),
+                recovery: recovery_summary(&outs),
             });
         }
         Err(err) => return Err(err),
@@ -455,6 +541,7 @@ fn run_parallel_once(
         restores,
         max_rollback,
         fault: None,
+        recovery: recovery_summary(&outs),
     })
 }
 
@@ -527,6 +614,7 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
     let mut net_total = NetStats::default();
     let mut comm_total = CommStats::default();
     let mut fault_reports = Vec::new();
+    let mut recovery_total: Option<RecoverySummary> = None;
     let mode_results = modes
         .iter()
         .zip(acc)
@@ -557,6 +645,11 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
                 if let Some(f) = &m.fault {
                     fault_reports.push(f.clone());
                 }
+                if let Some(rs) = &m.recovery {
+                    recovery_total
+                        .get_or_insert_with(RecoverySummary::default)
+                        .merge(rs);
+                }
             }
             ModeResult {
                 label: mode.label(),
@@ -584,6 +677,7 @@ pub fn run_ga_experiment(exp: &GaExperiment) -> Result<GaExpResult, SimError> {
         net: net_total,
         comm: comm_total,
         fault_reports,
+        recovery: recovery_total,
     })
 }
 
@@ -696,6 +790,103 @@ mod tests {
         let res2 = run_ga_experiment(&exp).unwrap();
         assert_eq!(res2.modes[0].restores, 1);
         assert_eq!(res2.modes[0].max_rollback, m.max_rollback);
+    }
+
+    #[test]
+    fn snapshots_feed_warm_restores_and_stay_invisible() {
+        use crate::platform::Platform;
+        use nscc_faults::FaultPlan;
+
+        let platform =
+            Platform::paper_ethernet(2).with_faults(FaultPlan::new(42).crash_and_restart(
+                1,
+                SimTime::from_millis(40),
+                SimTime::from_millis(55),
+            ));
+        let exp = GaExperiment {
+            generations: 20,
+            runs: 1,
+            cap_factor: 3,
+            cost: CostModel::deterministic(),
+            platform,
+            modes: vec![Coherence::PartialAsync { age: 5 }],
+            watchdog: Some(SimTime::from_secs(600)),
+            recovery: Some(RecoveryStyle::Warm),
+            snapshots: Some(5),
+            ..GaExperiment::new(TestFn::F1Sphere, 2)
+        };
+        let res = run_ga_experiment(&exp).unwrap();
+        let rec = res.recovery.as_ref().expect("snapshots enabled");
+        assert!(
+            rec.snapshots_started >= 1 && rec.snapshots_completed >= 1,
+            "marker waves must complete: {rec:?}"
+        );
+        assert_eq!(rec.restores, 1, "the crash window must be taken");
+        assert!(
+            rec.max_rollback <= 5,
+            "rollback {} exceeds the age bound",
+            rec.max_rollback
+        );
+        // Snapshots must not perturb the run: the same cell with the
+        // protocol off reproduces the exact same application story.
+        let off = GaExperiment {
+            snapshots: None,
+            ..exp.clone()
+        };
+        let res_off = run_ga_experiment(&off).unwrap();
+        assert!(res_off.recovery.is_none(), "no recovery section when off");
+        let (m_on, m_off) = (&res.modes[0], &res_off.modes[0]);
+        assert_eq!(m_on.mean_time, m_off.mean_time, "virtual time shifted");
+        assert_eq!(m_on.mean_best, m_off.mean_best, "evolution shifted");
+        assert_eq!(m_on.mean_messages, m_off.mean_messages);
+        assert_eq!(m_on.max_rollback, m_off.max_rollback);
+    }
+
+    #[test]
+    fn supervisor_budget_exhaustion_completes_degraded() {
+        use crate::platform::Platform;
+        use nscc_faults::FaultPlan;
+
+        // Two crash windows against a budget of one: the first restart is
+        // approved, the second crash exhausts the budget and the island
+        // retires. The run must complete (degraded), not deadlock.
+        let plan = FaultPlan::new(7)
+            .crash_and_restart(1, SimTime::from_millis(20), SimTime::from_millis(25))
+            .crash_and_restart(1, SimTime::from_millis(32), SimTime::from_millis(37));
+        let platform = Platform::paper_ethernet(2).with_faults(plan);
+        let exp = GaExperiment {
+            generations: 20,
+            runs: 1,
+            cap_factor: 3,
+            cost: CostModel::deterministic(),
+            platform,
+            modes: vec![Coherence::PartialAsync { age: 5 }],
+            watchdog: Some(SimTime::from_secs(600)),
+            recovery: Some(RecoveryStyle::Warm),
+            snapshots: Some(5),
+            supervision: Some(SupervisorPolicy {
+                max_restarts: 1,
+                backoff_base: SimTime::from_millis(2),
+                backoff_cap: SimTime::from_millis(4),
+            }),
+            ..GaExperiment::new(TestFn::F1Sphere, 2)
+        };
+        let res = run_ga_experiment(&exp).unwrap();
+        assert!(res.fault_reports.is_empty(), "degraded ≠ wedged");
+        let rec = res.recovery.as_ref().expect("supervision enabled");
+        assert_eq!(rec.restarts_approved, 1, "first crash restarts");
+        assert_eq!(rec.give_ups, 1, "second crash exhausts the budget");
+        assert_eq!(rec.failed_ranks, vec![1]);
+        assert_eq!(rec.restores, 1, "only the approved restart restores");
+        assert!(
+            rec.max_rollback <= 5,
+            "rollback {} exceeds the age bound",
+            rec.max_rollback
+        );
+        assert!(rec.max_backoff_ns > 0, "backoff must have been imposed");
+        // Determinism: the same seed reproduces the same degradation.
+        let res2 = run_ga_experiment(&exp).unwrap();
+        assert_eq!(res2.recovery, res.recovery);
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct RunReport {
     /// The observability hub's summary: staleness/block/delay histograms,
     /// warp distribution, event and drop counters.
     pub obs: HubSummary,
+    /// What the consistent-snapshot protocol and the supervision layer
+    /// did ([`nscc_ga::RecoverySummary`]): marker waves, completed cuts,
+    /// cut-served restores, approved restarts and give-ups. Populated only
+    /// when either subsystem was enabled and serialized as `null`
+    /// otherwise — snapshot-on runs stay byte-identical to snapshot-off
+    /// runs outside this one section.
+    pub recovery: Option<nscc_ga::RecoverySummary>,
     /// Wall-clock scheduler self-accounting ([`nscc_obs::SchedSummary`]):
     /// events/sec throughput, park/unpark counts, per-process executing
     /// vs. parked time. Real host-clock numbers, so nondeterministic —
@@ -80,17 +87,21 @@ impl RunReport {
             fault_reports: 0,
             degraded: false,
             obs: hub.summary(),
+            recovery: None,
             wall: None,
             audit: None,
         }
     }
 
     /// Recompute the [`degraded`](RunReport::degraded) marker from the
-    /// merged stats. Call after filling `dsm`/`comm`/`fault_reports`.
+    /// merged stats. Call after filling `dsm`/`comm`/`fault_reports`/
+    /// `recovery`.
     pub fn note_degradation(&mut self) -> &mut Self {
         let give_ups = self.comm.map_or(0, |c| c.give_ups);
+        let retired = self.recovery.as_ref().map_or(0, |r| r.give_ups);
         self.degraded = self.fault_reports > 0
             || give_ups > 0
+            || retired > 0
             || self.dsm.degraded_reads > 0
             || self.dsm.suspected_writers > 0
             || self.dsm.barrier_timeouts > 0;
@@ -217,6 +228,29 @@ mod tests {
         json::validate(&s).expect("report with audit section validates");
         assert!(s.contains("\"audit\":{\"monitors\":["));
         assert!(s.contains("\"violations\":0"));
+    }
+
+    #[test]
+    fn recovery_section_is_null_unless_requested() {
+        let mut rep = sample_report();
+        assert!(
+            rep.to_json().contains("\"recovery\":null"),
+            "default reports carry no recovery section"
+        );
+        rep.recovery = Some(nscc_ga::RecoverySummary {
+            snapshots_completed: 3,
+            cut_restores: 1,
+            ..Default::default()
+        });
+        let s = rep.to_json();
+        json::validate(&s).expect("report with recovery section validates");
+        assert!(s.contains("\"recovery\":{\"snapshots_started\":0,\"snapshots_completed\":3,"));
+        // A supervisor give-up marks the whole report degraded.
+        rep.note_degradation();
+        assert!(!rep.degraded, "restores alone do not degrade the run");
+        rep.recovery.as_mut().unwrap().give_ups = 1;
+        rep.note_degradation();
+        assert!(rep.degraded, "an abandoned island degrades the report");
     }
 
     #[test]

@@ -23,10 +23,12 @@ mod adaptive;
 mod directory;
 mod modes;
 mod node;
+mod snap;
 mod world;
 
 pub use adaptive::AgeController;
 pub use directory::{Directory, LocId, LocMeta};
 pub use modes::Coherence;
 pub use node::{DsmMsg, DsmNode, DsmStats, ReadOutcome, Retired, RETIRE_AGE};
+pub use snap::{SnapConfig, SnapCounters, SnapshotBoard};
 pub use world::DsmWorld;

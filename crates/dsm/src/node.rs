@@ -204,9 +204,25 @@ pub struct DsmNode<T: Send + 'static> {
     last_heard: HashMap<usize, SimTime>,
     /// Peers declared dead by the failure detector.
     suspected: HashSet<usize>,
+    /// Active consistent-snapshot recording (Chandy–Lamport), if any:
+    /// updates arriving on still-open incoming channels are copied into
+    /// the cut's channel state as they are applied. `None` costs one
+    /// branch per applied update.
+    snap: Option<SnapRec<T>>,
     stats: DsmStats,
     shared_stats: Arc<Mutex<Vec<DsmStats>>>,
     obs: Option<Hub>,
+}
+
+/// In-progress marker-protocol recording for one cut (see
+/// [`DsmNode::snap_begin`]). The node keeps serving reads and writes
+/// throughout — recording is a copy on the apply path, never a pause.
+struct SnapRec<T> {
+    id: u64,
+    /// Incoming channels whose closing marker has not arrived yet.
+    open: HashSet<usize>,
+    /// Updates recorded from open channels, in arrival order.
+    recorded: Vec<(LocId, u64, T)>,
 }
 
 impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
@@ -236,6 +252,7 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             inject_stale: 0,
             last_heard: HashMap::new(),
             suspected: HashSet::new(),
+            snap: None,
             stats: DsmStats::default(),
             shared_stats,
             obs,
@@ -830,6 +847,49 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         self.flush_stats();
     }
 
+    /// Start recording for consistent cut `id` (local state was just
+    /// captured by the caller): every incoming channel is open except the
+    /// one the first marker arrived on (`closed`, `None` on the
+    /// initiator). Updates applied from open channels are copied into the
+    /// cut's channel state until [`snap_close`](DsmNode::snap_close)
+    /// closes them. A previous unfinished recording is discarded — a
+    /// newer marker wave preempts a cut stalled by a dead peer.
+    pub fn snap_begin(&mut self, id: u64, closed: Option<usize>) {
+        let mut open: HashSet<usize> = (0..self.ep.ranks()).filter(|&q| q != self.rank).collect();
+        if let Some(c) = closed {
+            open.remove(&c);
+        }
+        self.snap = Some(SnapRec {
+            id,
+            open,
+            recorded: Vec::new(),
+        });
+    }
+
+    /// The cut id currently being recorded, if any.
+    pub fn snap_active(&self) -> Option<u64> {
+        self.snap.as_ref().map(|s| s.id)
+    }
+
+    /// A marker from `src` arrived: stop recording that channel.
+    pub fn snap_close(&mut self, src: usize) {
+        if let Some(s) = &mut self.snap {
+            s.open.remove(&src);
+        }
+    }
+
+    /// Incoming channels still awaiting their closing marker (0 = the
+    /// local part of the cut is complete).
+    pub fn snap_open(&self) -> usize {
+        self.snap.as_ref().map_or(0, |s| s.open.len())
+    }
+
+    /// Finish (or abandon) the recording, returning the in-flight updates
+    /// captured from then-open channels, in arrival order.
+    pub fn snap_finish(&mut self) -> Vec<(LocId, u64, T)> {
+        self.snap.take().map(|s| s.recorded).unwrap_or_default()
+    }
+
     /// Drain the applied-update log (history mode): every `(loc, age)`
     /// whose value was applied (or corrected) since the previous call.
     pub fn take_update_log(&mut self) -> Vec<(LocId, u64)> {
@@ -893,6 +953,15 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         *heard = (*heard).max(sent_at);
         match env.payload {
             DsmMsg::Update { loc, age, value } => {
+                // Marker-protocol channel recording: a cut in progress
+                // copies updates from still-open channels into its channel
+                // state. The update is *also* applied normally below — the
+                // node never stops serving for a snapshot.
+                if let Some(s) = &mut self.snap {
+                    if s.open.contains(&env.src) {
+                        s.recorded.push((loc, age, value.clone()));
+                    }
+                }
                 if self.history > 0 {
                     // Versioned mode: retain a window of recent versions.
                     // An update re-using an existing age is a *correction*

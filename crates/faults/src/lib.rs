@@ -566,6 +566,11 @@ pub struct FaultReport {
     pub cause: String,
     /// Human-readable summary line.
     pub detail: String,
+    /// The reliable layer's retransmit backoff ceiling in nanoseconds,
+    /// when the run used one (`ReliableConfig::max_rto`). A report whose
+    /// `at` dwarfs this cap means the transport kept retrying on schedule
+    /// and the run still died — the failure is not a backoff runaway.
+    pub rto_cap_ns: Option<u64>,
     /// Per-process diagnostics (deadlocks only).
     pub blocked: Vec<BlockedDiag>,
 }
@@ -579,6 +584,7 @@ impl FaultReport {
                 at: *at,
                 cause: "deadlock".into(),
                 detail: format!("{} process(es) blocked with no future event", blocked.len()),
+                rto_cap_ns: None,
                 blocked: blocked
                     .iter()
                     .map(|b| BlockedDiag {
@@ -595,6 +601,7 @@ impl FaultReport {
                 at: *limit,
                 cause: "time_limit".into(),
                 detail: format!("watchdog horizon {limit} exceeded"),
+                rto_cap_ns: None,
                 blocked: Vec::new(),
             },
             SimError::EventLimitExceeded { limit } => FaultReport {
@@ -602,6 +609,7 @@ impl FaultReport {
                 at: SimTime::ZERO,
                 cause: "event_limit".into(),
                 detail: format!("event cap {limit} exceeded"),
+                rto_cap_ns: None,
                 blocked: Vec::new(),
             },
             SimError::ProcessPanicked { name, message, .. } => FaultReport {
@@ -609,9 +617,17 @@ impl FaultReport {
                 at: SimTime::ZERO,
                 cause: "panic".into(),
                 detail: format!("process `{name}` panicked: {message}"),
+                rto_cap_ns: None,
                 blocked: Vec::new(),
             },
         }
+    }
+
+    /// Stamp the transport's retransmit backoff ceiling onto the report
+    /// (see [`rto_cap_ns`](FaultReport::rto_cap_ns)).
+    pub fn with_rto_cap(mut self, cap: Option<SimTime>) -> Self {
+        self.rto_cap_ns = cap.map(|c| c.as_nanos());
+        self
     }
 
     /// One-line summary for logs.

@@ -11,8 +11,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use nscc_ckpt::Snapshot;
-use nscc_dsm::{AgeController, Coherence, DsmNode, LocId};
+use nscc_dsm::{AgeController, Coherence, DsmNode, LocId, SnapConfig};
 use nscc_sim::{Ctx, ObsEvent, SimTime};
+
+use crate::supervise::{Decision, Supervisor};
 
 use crate::cost::CostModel;
 use crate::functions::TestFn;
@@ -164,6 +166,20 @@ pub struct IslandConfig {
     /// which also keeps the RNG stream byte-identical to pre-recovery
     /// builds).
     pub recovery: Option<RecoveryPlan>,
+    /// Chandy–Lamport consistent snapshots (`None` = off). The island
+    /// takes part in marker waves on the out-of-band plane: local capture
+    /// reuses its newest sealed checkpoint frame (zero extra RNG draws,
+    /// zero virtual time), in-flight channel updates are recorded on the
+    /// apply path, and completed frames are posted to the shared board.
+    /// Islands never pause for a snapshot; snapshot-on runs stay
+    /// byte-identical to snapshot-off runs.
+    pub snap: Option<SnapConfig>,
+    /// Crash supervision (`None` = the pre-supervision behaviour:
+    /// unconditional restart, no backoff). When set, every crash consults
+    /// the shared supervisor: restarts come with capped exponential
+    /// backoff, and an exhausted budget retires the island so the run
+    /// completes degraded with the survivors.
+    pub supervisor: Option<Supervisor>,
 }
 
 impl IslandConfig {
@@ -179,6 +195,8 @@ impl IslandConfig {
             stop,
             adaptive: None,
             recovery: None,
+            snap: None,
+            supervisor: None,
         }
     }
 }
@@ -207,6 +225,11 @@ pub struct IslandOutcome {
     /// Largest rollback distance across its warm restores, in generations
     /// (0 when it never crashed, or only restarted cold).
     pub max_rollback: u64,
+    /// Warm restores served from a consistent cut (subset of `restores`).
+    pub cut_restores: u64,
+    /// Whether the supervisor exhausted this island's restart budget and
+    /// retired it (the island's metrics then describe a partial run).
+    pub gave_up: bool,
 }
 
 /// Harness-side convergence oracle: tracks which islands have reached the
@@ -276,6 +299,15 @@ pub fn run_island(
     let mut crash_idx = 0usize;
     let mut restores = 0u64;
     let mut max_rollback = 0u64;
+    let mut cut_restores = 0u64;
+    let mut gave_up = false;
+    // Marker-protocol state: the port on the out-of-band plane, the cut
+    // being recorded (id, captured frame, frame generation), and the
+    // newest cut already finished locally.
+    let snap_port = cfg.snap.as_ref().map(|sc| sc.plane.port(rank));
+    let mut snap_active: Option<(u64, Vec<u8>, u64)> = None;
+    let mut snap_done: u64 = 0;
+    let mut last_ckpt_gen: u64 = 0;
     let mut gen: u64 = 0;
     let mut time_to_target: Option<SimTime> = None;
     let mut last_incorporated: Vec<u64> = vec![0; p];
@@ -299,7 +331,7 @@ pub fn run_island(
         board.mark(rank);
     }
 
-    while gen < max_generations {
+    'gens: while gen < max_generations {
         // Crash windows: the fault layer has been dropping this island's
         // traffic since the crash instant; the island notices here, sits
         // out until the restart time, then recovers per the plan's style.
@@ -310,20 +342,92 @@ pub fn run_island(
                 if restart_at > ctx.now() {
                     ctx.advance(restart_at - ctx.now());
                 }
+                // Supervision: the shared policy brain approves the restart
+                // (imposing its capped exponential backoff) or retires the
+                // island when the budget is spent.
+                if let Some(sup) = &cfg.supervisor {
+                    match sup.on_crash(rank) {
+                        Decision::Restart { attempt, backoff } => {
+                            if backoff > SimTime::ZERO {
+                                ctx.advance(backoff);
+                            }
+                            if let Some(hub) = node.hub() {
+                                hub.emit(ObsEvent::SupervisorRestart {
+                                    t_ns: ctx.now().as_nanos(),
+                                    rank: rank as u32,
+                                    attempt,
+                                    backoff_ns: backoff.as_nanos(),
+                                });
+                            }
+                        }
+                        Decision::GiveUp { restarts: used } => {
+                            if let Some(hub) = node.hub() {
+                                hub.emit(ObsEvent::SupervisorGiveUp {
+                                    t_ns: ctx.now().as_nanos(),
+                                    rank: rank as u32,
+                                    restarts: used,
+                                });
+                            }
+                            // Degrade gracefully: leave the generation loop;
+                            // the retirement write below unblocks any peer
+                            // still parked on this island's location.
+                            gave_up = true;
+                            break 'gens;
+                        }
+                    }
+                }
                 let from_gen = gen;
                 let mut rolled: Option<IslandCkpt> = None;
+                let mut inflight: Option<Vec<(LocId, u64, MigrantBatch)>> = None;
                 if rec.style == RecoveryStyle::Warm {
-                    // Newest intact frame wins; a corrupt frame is dropped
-                    // and the previous generation tried instead.
+                    // Preferred restore source: the newest complete
+                    // consistent cut (this rank's frame plus the in-flight
+                    // updates its channels recorded)…
+                    let cut = cfg.snap.as_ref().and_then(|sc| {
+                        let cut = sc.board.latest_complete()?;
+                        let f = cut.frame(rank)?;
+                        if f.state.is_empty() {
+                            return None; // posted before any local frame existed
+                        }
+                        let ck = nscc_ckpt::unseal(&f.state)
+                            .and_then(nscc_ckpt::from_bytes::<IslandCkpt>)
+                            .ok()?;
+                        let inf =
+                            nscc_ckpt::from_bytes::<Vec<(LocId, u64, MigrantBatch)>>(&f.inflight)
+                                .unwrap_or_default();
+                        Some((ck, inf))
+                    });
+                    // …falling back to the newest intact local stop-world
+                    // frame; a corrupt frame is dropped and the previous
+                    // generation tried instead.
+                    let mut local: Option<IslandCkpt> = None;
                     while let Some(frame) = ckpts.pop_back() {
                         let decoded =
                             nscc_ckpt::unseal(&frame).and_then(nscc_ckpt::from_bytes::<IslandCkpt>);
                         if let Ok(ck) = decoded {
                             ckpts.push_back(frame);
-                            rolled = Some(ck);
+                            local = Some(ck);
                             break;
                         }
                     }
+                    // Newest state wins: a cut lagging behind the local
+                    // frames (marker latency) must not stretch the rollback
+                    // past what the age bound promises.
+                    rolled = match (cut, local) {
+                        (Some((c, inf)), Some(l)) => {
+                            if c.gen >= l.gen {
+                                inflight = Some(inf);
+                                Some(c)
+                            } else {
+                                Some(l)
+                            }
+                        }
+                        (Some((c, inf)), None) => {
+                            inflight = Some(inf);
+                            Some(c)
+                        }
+                        (None, l) => l,
+                    };
                 }
                 let to_gen = match rolled {
                     Some(ck) => {
@@ -337,6 +441,17 @@ pub fn run_island(
                         // — exactly the staleness Global_Read tolerates, so
                         // the node rejoins as if it were a slow peer (§4.1).
                         node.restore_cache(ck.cache);
+                        // A cut restore also replays the in-flight updates
+                        // the cut recorded — newer-wins, exactly as live
+                        // delivery would have applied them.
+                        if let Some(inf) = inflight.take() {
+                            cut_restores += 1;
+                            for (loc, age, v) in inf {
+                                if node.cached_age(loc).map_or(true, |have| age > have) {
+                                    node.restore_cache(vec![(loc, age, v)]);
+                                }
+                            }
+                        }
                         gen = ck.gen;
                         gen
                     }
@@ -452,8 +567,89 @@ pub fn run_island(
                     });
                 }
                 ckpts.push_back(sealed);
+                last_ckpt_gen = gen;
                 if ckpts.len() > 2 {
                     ckpts.pop_front();
+                }
+            }
+        }
+
+        // Marker-protocol consistent snapshots: poll the out-of-band plane,
+        // join a wave on first marker (capture + forward), finalize once
+        // every incoming channel has closed. The whole path costs zero
+        // virtual time and zero RNG draws — islands never pause for a
+        // snapshot, and snapshot-on runs stay byte-identical.
+        if p > 1 {
+            if let (Some(sc), Some(port)) = (cfg.snap.as_ref(), snap_port.as_ref()) {
+                let mut begin = |node: &mut DsmNode<MigrantBatch>,
+                                 ckpts: &VecDeque<Vec<u8>>,
+                                 id: u64,
+                                 closed: Option<usize>|
+                 -> (u64, Vec<u8>, u64) {
+                    // Local capture reuses the newest sealed stop-world
+                    // frame (empty when this rank checkpoints nothing):
+                    // the cut frame is ≤ `every` generations stale, which
+                    // the age bound already absorbs.
+                    let frame = ckpts.back().cloned().unwrap_or_default();
+                    let frame_gen = if frame.is_empty() { 0 } else { last_ckpt_gen };
+                    node.snap_begin(id, closed);
+                    port.broadcast(ctx, id);
+                    if let Some(hub) = node.hub() {
+                        hub.emit(ObsEvent::SnapshotStart {
+                            t_ns: ctx.now().as_nanos(),
+                            rank: rank as u32,
+                            id,
+                            gen: frame_gen,
+                        });
+                    }
+                    (id, frame, frame_gen)
+                };
+                for m in port.poll() {
+                    let active_id = snap_active.as_ref().map(|(id, _, _)| *id);
+                    if active_id == Some(m.id) {
+                        node.snap_close(m.src);
+                    } else if m.id > snap_done && active_id.map_or(true, |a| m.id > a) {
+                        // First marker of a newer wave; it preempts any
+                        // stalled older recording.
+                        node.snap_finish();
+                        snap_active = Some(begin(&mut node, &ckpts, m.id, Some(m.src)));
+                    }
+                    // Anything else is a stale marker of an abandoned wave.
+                }
+                // Initiation: rank 0 starts a wave at the cut cadence.
+                if rank == 0 && snap_active.is_none() && gen % sc.every == 0 && gen > snap_done {
+                    sc.board.note_start(gen);
+                    snap_active = Some(begin(&mut node, &ckpts, gen, None));
+                }
+                // Local completion: every incoming channel has delivered
+                // its marker — post the frame and the recorded in-flight
+                // updates to the board.
+                if snap_active.is_some() && node.snap_open() == 0 {
+                    let (id, frame, frame_gen) = snap_active.take().expect("active cut");
+                    let recorded = node.snap_finish();
+                    let count = recorded.len() as u64;
+                    let inflight_bytes = nscc_ckpt::to_bytes(&recorded);
+                    if let Some(hub) = node.hub() {
+                        hub.emit(ObsEvent::SnapshotComplete {
+                            t_ns: ctx.now().as_nanos(),
+                            rank: rank as u32,
+                            id,
+                            inflight: count,
+                            pause_ns: 0,
+                        });
+                    }
+                    sc.board.post(
+                        id,
+                        nscc_ckpt::CutFrame {
+                            rank: rank as u32,
+                            gen: frame_gen,
+                            state: frame,
+                            inflight: inflight_bytes,
+                        },
+                        count,
+                        ctx.now().as_nanos(),
+                    );
+                    snap_done = id;
                 }
             }
         }
@@ -497,6 +693,8 @@ pub fn run_island(
         work: deme.total_work(),
         restores,
         max_rollback,
+        cut_restores,
+        gave_up,
     }
 }
 
@@ -679,6 +877,126 @@ mod tests {
             crashed.max_rollback, 0,
             "cold restart abandons state instead of rolling back"
         );
+    }
+
+    fn run_with_snapshots(
+        crashes: Vec<(SimTime, SimTime)>,
+        supervisor: Option<Supervisor>,
+        seed: u64,
+    ) -> (Vec<IslandOutcome>, nscc_dsm::SnapshotBoard) {
+        let ranks = 3;
+        let mut dir = Directory::new();
+        let locs = dir.add_per_rank("best", ranks);
+        let mut world: DsmWorld<MigrantBatch> = DsmWorld::new(
+            Network::new(IdealMedium::new(SimTime::from_millis(1))),
+            ranks,
+            MsgConfig::default(),
+            dir,
+        );
+        for &l in &locs {
+            world.set_initial(l, Vec::new());
+        }
+        let snap = SnapConfig {
+            every: 3,
+            plane: nscc_msg::MarkerPlane::new(ranks, SimTime::from_micros(10)),
+            board: nscc_dsm::SnapshotBoard::new(ranks),
+        };
+        let cut_board = snap.board.clone();
+        let board = ConvergenceBoard::new(ranks);
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = SimBuilder::new(seed);
+        for r in 0..ranks {
+            let node = world.node(r);
+            let locs = locs.clone();
+            let board = board.clone();
+            let outcomes = Arc::clone(&outcomes);
+            let mut cfg = IslandConfig {
+                cost: CostModel::deterministic(),
+                ..IslandConfig::paper(
+                    TestFn::F1Sphere,
+                    Coherence::PartialAsync { age: 3 },
+                    StopPolicy::TargetQuality {
+                        target: 0.01,
+                        cap: 200,
+                    },
+                )
+            };
+            cfg.snap = Some(snap.clone());
+            cfg.supervisor = supervisor.clone();
+            if r == 1 {
+                cfg.recovery = Some(RecoveryPlan {
+                    every: 3,
+                    crashes: crashes.clone(),
+                    style: RecoveryStyle::Warm,
+                });
+            }
+            sim.spawn(format!("island{r}"), move |ctx| {
+                let out = run_island(ctx, node, &locs, &cfg, &board);
+                outcomes.lock().push(out);
+            });
+        }
+        sim.run().unwrap();
+        let mut v = Arc::try_unwrap(outcomes)
+            .map(|m| m.into_inner())
+            .unwrap_or_default();
+        v.sort_by_key(|o| o.rank);
+        (v, cut_board)
+    }
+
+    #[test]
+    fn marker_waves_complete_and_serve_warm_restores() {
+        let (outs, cut_board) = run_with_snapshots(
+            vec![(SimTime::from_millis(25), SimTime::from_millis(35))],
+            None,
+            29,
+        );
+        let c = cut_board.counters();
+        assert!(
+            c.started >= 1 && c.completed >= 1,
+            "cuts must complete without pausing anyone: {c:?}"
+        );
+        let crashed = &outs[1];
+        assert_eq!(crashed.restores, 1, "the scheduled crash must be taken");
+        assert!(
+            crashed.max_rollback <= 3,
+            "rollback {} exceeds the age bound even with cuts in play",
+            crashed.max_rollback
+        );
+        for o in [&outs[0], &outs[2]] {
+            assert_eq!(o.restores, 0, "survivors never restore");
+            assert!(!o.gave_up);
+        }
+        let global_best = outs.iter().map(|o| o.best).fold(f64::INFINITY, f64::min);
+        assert!(global_best <= 0.01, "crashed run failed to converge");
+    }
+
+    #[test]
+    fn supervisor_exhaustion_degrades_instead_of_deadlocking() {
+        let sup = Supervisor::new(crate::supervise::SupervisorPolicy {
+            max_restarts: 1,
+            backoff_base: SimTime::from_millis(2),
+            backoff_cap: SimTime::from_millis(4),
+        });
+        let (outs, _) = run_with_snapshots(
+            vec![
+                (SimTime::from_millis(20), SimTime::from_millis(25)),
+                (SimTime::from_millis(30), SimTime::from_millis(35)),
+            ],
+            Some(sup.clone()),
+            31,
+        );
+        let crashed = &outs[1];
+        assert!(crashed.gave_up, "second crash must exhaust the budget");
+        assert_eq!(crashed.restores, 1, "only the approved restart restores");
+        assert_eq!(sup.failed_ranks(), vec![1]);
+        // Survivors keep evolving past the give-up (the retirement write
+        // unblocks them) and the run still completes.
+        for o in [&outs[0], &outs[2]] {
+            assert!(!o.gave_up);
+            assert!(o.generations > 0);
+        }
+        let best = outs.iter().map(|o| o.best).fold(f64::INFINITY, f64::min);
+        assert!(best <= 0.01, "survivors still converge");
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod island;
 mod params;
 mod population;
 mod serial;
+mod supervise;
 
 pub use cache::FitnessCache;
 pub use cost::CostModel;
@@ -41,3 +42,4 @@ pub use island::{
 pub use params::{GaParams, Selection};
 pub use population::{Deme, DemeState, GenWork, Individual};
 pub use serial::{SerialGa, SerialResult};
+pub use supervise::{Decision, RecoverySummary, Supervisor, SupervisorPolicy};

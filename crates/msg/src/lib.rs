@@ -27,9 +27,11 @@
 #![warn(missing_docs)]
 
 mod comm;
+mod marker;
 mod reliable;
 mod wire;
 
 pub use comm::{CommStats, CommWorld, Endpoint, Envelope, MsgConfig, Provenance};
+pub use marker::{MarkerMsg, MarkerPlane, MarkerPort};
 pub use reliable::ReliableConfig;
 pub use wire::wire_size;

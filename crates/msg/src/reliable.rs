@@ -32,33 +32,48 @@ pub struct ReliableConfig {
     /// Wire size of an acknowledgement frame.
     pub ack_bytes: usize,
     /// Retransmission timeout for the first retry; each further retry
-    /// doubles it.
+    /// doubles it (up to [`max_rto`](ReliableConfig::max_rto)).
     pub base_rto: SimTime,
     /// Retransmissions attempted before giving up on a frame.
     pub max_retries: u32,
+    /// Ceiling on the exponential backoff: no retry interval exceeds this,
+    /// so a long partition cannot push the gap between attempts past a
+    /// watchdog's `time_limit` (a frame either delivers or gives up on a
+    /// bounded schedule). Must be ≥ `base_rto`; it is ignored below that.
+    pub max_rto: SimTime,
 }
 
 impl Default for ReliableConfig {
-    /// 32-byte acks, 10 ms initial RTO (several LAN round-trips), and five
-    /// retries — enough to ride out ~97% loss on an independent-loss link.
+    /// 32-byte acks, 10 ms initial RTO (several LAN round-trips), five
+    /// retries — enough to ride out ~97% loss on an independent-loss
+    /// link — and a 4 s backoff ceiling (far above the default schedule's
+    /// 320 ms final interval, so it only binds in long-partition tunings
+    /// with larger retry budgets).
     fn default() -> Self {
         ReliableConfig {
             ack_bytes: 32,
             base_rto: SimTime::from_millis(10),
             max_retries: 5,
+            max_rto: SimTime::from_secs(4),
         }
     }
 }
 
 impl ReliableConfig {
     /// Timeout before retry `n + 1` (0-based attempt `n`): `base_rto << n`,
-    /// with the shift capped so it cannot overflow.
+    /// with the shift capped so it cannot overflow, clamped to
+    /// [`max_rto`](ReliableConfig::max_rto) (but never below `base_rto`).
     fn rto_for(&self, attempt: u32) -> SimTime {
-        SimTime::from_nanos(
+        let exp = SimTime::from_nanos(
             self.base_rto
                 .as_nanos()
                 .saturating_mul(1u64 << attempt.min(16)),
-        )
+        );
+        if self.max_rto >= self.base_rto {
+            exp.min(self.max_rto)
+        } else {
+            exp
+        }
     }
 }
 
@@ -398,6 +413,59 @@ mod tests {
             ReliableConfig::default().max_retries as u64
         );
         assert_eq!(stats.give_ups, 1);
+    }
+
+    #[test]
+    fn backoff_ceiling_bounds_retry_intervals_under_a_long_partition() {
+        // Ten retries at base 10 ms would end with a 10.24 s interval
+        // uncapped; a 40 ms ceiling keeps the whole schedule (10 + 20 +
+        // 40 + 7·40 = 350 ms) inside a short watchdog budget.
+        let w = CommWorld::new(
+            Network::new(Chaotic::new(u32::MAX, false)),
+            2,
+            MsgConfig {
+                reliable: Some(ReliableConfig {
+                    max_retries: 10,
+                    max_rto: SimTime::from_millis(40),
+                    ..ReliableConfig::default()
+                }),
+                ..MsgConfig::default()
+            },
+        );
+        let (tx, rx) = (w.endpoint(0), w.endpoint(1));
+        let mut sim = SimBuilder::new(7);
+        sim.spawn("tx", move |ctx| {
+            tx.send(ctx, 1, 1);
+            ctx.advance(SimTime::from_millis(500));
+        });
+        sim.spawn("rx", move |ctx| {
+            assert!(rx.recv_deadline(ctx, SimTime::from_millis(500)).is_none());
+        });
+        sim.run().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.received, 0);
+        assert_eq!(stats.retransmits, 10, "every retry fired within 500 ms");
+        assert_eq!(stats.give_ups, 1, "the frame gave up on a bounded schedule");
+    }
+
+    #[test]
+    fn rto_ceiling_clamps_without_dropping_below_base() {
+        let rc = ReliableConfig {
+            base_rto: SimTime::from_millis(10),
+            max_rto: SimTime::from_millis(35),
+            ..ReliableConfig::default()
+        };
+        assert_eq!(rc.rto_for(0), SimTime::from_millis(10));
+        assert_eq!(rc.rto_for(1), SimTime::from_millis(20));
+        assert_eq!(rc.rto_for(2), SimTime::from_millis(35));
+        assert_eq!(rc.rto_for(9), SimTime::from_millis(35));
+        // A ceiling below base_rto is ignored rather than starving retries.
+        let bad = ReliableConfig {
+            base_rto: SimTime::from_millis(10),
+            max_rto: SimTime::from_millis(1),
+            ..ReliableConfig::default()
+        };
+        assert_eq!(bad.rto_for(3), SimTime::from_millis(80));
     }
 
     #[test]

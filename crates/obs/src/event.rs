@@ -281,6 +281,61 @@ pub enum ObsEvent {
         /// Queue depth at the crossing.
         depth: u64,
     },
+    /// A rank captured its local state for a marker-protocol consistent
+    /// snapshot (first marker received, or initiation on the coordinator).
+    /// Meta event: see [`ObsEvent::is_meta`].
+    SnapshotStart {
+        /// Capture time.
+        t_ns: u64,
+        /// Capturing rank.
+        rank: u32,
+        /// Cut id the markers carry.
+        id: u64,
+        /// Iteration (generation) the local capture represents.
+        gen: u64,
+    },
+    /// A rank finished its part of a consistent snapshot: every incoming
+    /// channel closed by a marker, recorded in-flight bytes attached.
+    /// Meta event: see [`ObsEvent::is_meta`].
+    SnapshotComplete {
+        /// Completion time (last marker's arrival).
+        t_ns: u64,
+        /// Completing rank.
+        rank: u32,
+        /// Cut id.
+        id: u64,
+        /// In-flight channel messages recorded for this rank.
+        inflight: u64,
+        /// Virtual time this rank spent *paused* on the snapshot path.
+        /// The marker protocol is non-blocking by construction, so this
+        /// is always 0; the audit layer asserts it (survivors must never
+        /// park for a snapshot).
+        pause_ns: u64,
+    },
+    /// The supervision layer approved a crash restart (warm restore from
+    /// the newest consistent cut, or stop-world fallback), with backoff.
+    /// Meta event: see [`ObsEvent::is_meta`].
+    SupervisorRestart {
+        /// Decision time.
+        t_ns: u64,
+        /// Restarting rank.
+        rank: u32,
+        /// Restart attempt for this rank (1 = first restart).
+        attempt: u32,
+        /// Backoff imposed before the restart.
+        backoff_ns: u64,
+    },
+    /// The supervision layer exhausted a rank's restart budget and
+    /// degraded the run: the rank is marked failed and survivors carry
+    /// on. Meta event: see [`ObsEvent::is_meta`].
+    SupervisorGiveUp {
+        /// Decision time.
+        t_ns: u64,
+        /// Abandoned rank.
+        rank: u32,
+        /// Restarts consumed before giving up.
+        restarts: u32,
+    },
     /// Application-defined marker.
     Custom {
         /// Event time.
@@ -314,8 +369,29 @@ impl ObsEvent {
             | ObsEvent::SeqAccept { t_ns, .. }
             | ObsEvent::ReadDep { t_ns, .. }
             | ObsEvent::MailboxHigh { t_ns, .. }
+            | ObsEvent::SnapshotStart { t_ns, .. }
+            | ObsEvent::SnapshotComplete { t_ns, .. }
+            | ObsEvent::SupervisorRestart { t_ns, .. }
+            | ObsEvent::SupervisorGiveUp { t_ns, .. }
             | ObsEvent::Custom { t_ns, .. } => t_ns,
         }
+    }
+
+    /// Whether this is a *meta* event: recovery-layer lifecycle
+    /// (snapshot markers, supervision decisions) that must stay invisible
+    /// to the hub's counters, histograms, raw event store, and
+    /// metric-snapshot clock. The non-blocking recovery contract is that
+    /// a snapshot-on run is byte-identical to a snapshot-off run in every
+    /// report section the recovery layer does not own; meta events still
+    /// reach the flight ring and the audit tap, which own their outputs.
+    pub fn is_meta(&self) -> bool {
+        matches!(
+            self,
+            ObsEvent::SnapshotStart { .. }
+                | ObsEvent::SnapshotComplete { .. }
+                | ObsEvent::SupervisorRestart { .. }
+                | ObsEvent::SupervisorGiveUp { .. }
+        )
     }
 
     /// Short kind name, for counting and debugging.
@@ -341,6 +417,10 @@ impl ObsEvent {
             ObsEvent::SeqAccept { .. } => "seq_accept",
             ObsEvent::ReadDep { .. } => "read_dep",
             ObsEvent::MailboxHigh { .. } => "mailbox_high",
+            ObsEvent::SnapshotStart { .. } => "snapshot_start",
+            ObsEvent::SnapshotComplete { .. } => "snapshot_complete",
+            ObsEvent::SupervisorRestart { .. } => "supervisor_restart",
+            ObsEvent::SupervisorGiveUp { .. } => "supervisor_give_up",
             ObsEvent::Custom { .. } => "custom",
         }
     }
@@ -366,5 +446,31 @@ mod tests {
         };
         assert_eq!(c.t_ns(), 9);
         assert_eq!(c.kind(), "custom");
+    }
+
+    #[test]
+    fn recovery_lifecycle_events_are_meta() {
+        let s = ObsEvent::SnapshotStart {
+            t_ns: 1,
+            rank: 0,
+            id: 3,
+            gen: 10,
+        };
+        assert!(s.is_meta());
+        assert_eq!(s.t_ns(), 1);
+        assert_eq!(s.kind(), "snapshot_start");
+        let g = ObsEvent::SupervisorGiveUp {
+            t_ns: 2,
+            rank: 1,
+            restarts: 3,
+        };
+        assert!(g.is_meta());
+        assert!(!ObsEvent::Write {
+            t_ns: 0,
+            rank: 0,
+            loc: 0,
+            age: 0
+        }
+        .is_meta());
     }
 }

@@ -221,6 +221,24 @@ impl Hub {
     /// survive raw-event overflow.
     pub fn emit(&self, ev: ObsEvent) {
         let t_ns = ev.t_ns();
+        if ev.is_meta() {
+            // Recovery-layer lifecycle events bypass counters, the raw
+            // store, and the metric-snapshot clock entirely (see
+            // `ObsEvent::is_meta`): snapshot-on runs must stay
+            // byte-identical to snapshot-off runs in every section the
+            // recovery layer does not own. The flight ring and the audit
+            // tap still see them — those own their outputs.
+            if self.inner.flight_cap.load(Ordering::Relaxed) > 0 {
+                self.flight_push(ev.clone());
+            }
+            if self.inner.tap_on.load(Ordering::Relaxed) {
+                let tap = self.inner.tap.lock().clone();
+                if let Some(tap) = tap {
+                    tap.on_event(&ev);
+                }
+            }
+            return;
+        }
         match ev {
             ObsEvent::ReadDone {
                 loc,

@@ -50,9 +50,13 @@ pub mod warp;
 /// invariant-monitor section on run reports, the `SeqAccept` event and
 /// the `bound` field on `Restore` (audit inputs), park-duration
 /// quantiles on the wall section, and the flight-recorder dump document
-/// (`FLIGHT_*.json`). All additions are additive, so v5 readers keep
-/// accepting v1–v4 documents.
-pub const SCHEMA_VERSION: u32 = 5;
+/// (`FLIGHT_*.json`); v6 adds the recovery lifecycle meta events
+/// (`SnapshotStart`/`SnapshotComplete`/`SupervisorRestart`/
+/// `SupervisorGiveUp`, visible only in flight dumps and to the audit
+/// tap) and the optional `recovery` supervision section on run reports.
+/// All additions are additive, so v6 readers keep accepting v1–v5
+/// documents.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// A span/event label: borrowed for the common static case, owned when a
 /// layer needs a dynamic label (per-location, per-island, …).

@@ -1,8 +1,11 @@
 //! Chaos-facing integration tests: the `Global_Read` staleness contract
 //! under arbitrary frame loss/duplication with reliable delivery on, the
 //! causal-attribution contract (every `ReadDep`'s releasing write honors
-//! the blocked read's age bound), and a GA experiment surviving a
-//! mid-run node crash with a `degraded` marker in its run report.
+//! the blocked read's age bound), a GA experiment surviving a mid-run
+//! node crash with a `degraded` marker in its run report, and the
+//! consistent-snapshot contracts: cut-served warm restores stay
+//! audit-clean, and crash-free snapshot-on runs render reports
+//! byte-identical to snapshot-off runs outside `recovery`.
 
 use std::sync::{Arc, Mutex};
 
@@ -11,7 +14,7 @@ use proptest::prelude::*;
 use nscc::core::{run_ga_experiment, GaExperiment, Platform, RecoveryStyle, RunReport};
 use nscc::dsm::{Coherence, Directory, DsmWorld, LocId, ReadOutcome};
 use nscc::faults::{FaultPlan, FaultyMedium};
-use nscc::ga::{CostModel, TestFn};
+use nscc::ga::{CostModel, SupervisorPolicy, TestFn};
 use nscc::msg::{MsgConfig, ReliableConfig};
 use nscc::net::{EthernetBus, Network};
 use nscc::obs::{Hub, ObsEvent};
@@ -592,4 +595,135 @@ proptest! {
         prop_assert_eq!(cut(&on), cut(&off));
         prop_assert_eq!(violations, 0, "honest run flagged by the auditor: {}", on);
     }
+
+    /// The marker protocol's determinism contract, proptest-pinned: for
+    /// any seed and wave cadence, a crash-free snapshot-on GA run renders
+    /// a `RunReport` byte-identical to the snapshot-off run outside the
+    /// `recovery` section. Markers travel on an out-of-band plane and a
+    /// local capture reuses the island's newest sealed checkpoint frame,
+    /// so the application story — virtual time, evolution, messages, obs
+    /// counters — must not move by a byte.
+    #[test]
+    fn snapshot_on_reports_are_byte_identical_outside_recovery(
+        seed in 1u64..5000,
+        every in 1u64..8,
+    ) {
+        let render = |snapshots: Option<u64>| -> String {
+            let hub = Hub::new();
+            let exp = GaExperiment {
+                generations: 16,
+                runs: 1,
+                cap_factor: 3,
+                base_seed: seed,
+                cost: CostModel::deterministic(),
+                platform: Platform::paper_ethernet(3),
+                obs: Some(hub.clone()),
+                modes: vec![Coherence::PartialAsync { age: 5 }],
+                recovery: Some(RecoveryStyle::Warm),
+                snapshots,
+                supervision: snapshots.map(|_| SupervisorPolicy::default()),
+                ..GaExperiment::new(TestFn::F1Sphere, 3)
+            };
+            let res = run_ga_experiment(&exp).expect("clean cell completes");
+            let m = &res.modes[0];
+            let mut rep = RunReport::new("snapdet", &hub);
+            rep.metric("mean_time_ns", m.mean_time.as_nanos() as f64)
+                .metric("mean_best", m.mean_best)
+                .metric("mean_messages", m.mean_messages);
+            rep.dsm = m.dsm.clone();
+            rep.net = Some(res.net.clone());
+            rep.comm = Some(m.comm);
+            rep.recovery = res.recovery.clone();
+            rep.note_degradation();
+            rep.to_json()
+        };
+
+        let on = render(Some(every));
+        let off = render(None);
+        // `recovery` sits between `obs` and `wall` in the schema, so the
+        // comparison is prefix + suffix around that one section; both
+        // halves must match to the byte.
+        let split = |s: &str| {
+            let a = s.rfind(",\"recovery\":").expect("report carries a recovery key");
+            let b = s.rfind(",\"wall\":").expect("report carries a wall key");
+            (s[..a].to_string(), s[b..].to_string())
+        };
+        let (on_pre, on_post) = split(&on);
+        let (off_pre, off_post) = split(&off);
+        prop_assert_eq!(on_pre, off_pre, "snapshots perturbed the run they were capturing");
+        prop_assert_eq!(on_post, off_post);
+        prop_assert!(off.contains("\"recovery\":null"), "{}", off);
+        prop_assert!(on.contains("\"recovery\":{"), "{}", on);
+    }
+}
+
+/// The recovery-drill acceptance story at integration level: a mid-run
+/// island crash under snapshots + supervision is warm-restored within the
+/// age bound while the full online monitor set — including the
+/// snapshot-lifecycle monitor — watches the run and stays silent.
+#[test]
+fn consistent_cut_recovery_is_audit_clean() {
+    use nscc::audit::Auditor;
+
+    let hub = Hub::new();
+    let auditor = Arc::new(Auditor::new());
+    hub.set_tap(auditor.clone());
+    let platform = Platform::paper_ethernet(3).with_faults(FaultPlan::new(42).crash_and_restart(
+        1,
+        SimTime::from_millis(40),
+        SimTime::from_millis(55),
+    ));
+    let exp = GaExperiment {
+        generations: 30,
+        runs: 1,
+        cap_factor: 3,
+        cost: CostModel::deterministic(),
+        platform,
+        obs: Some(hub.clone()),
+        modes: vec![Coherence::PartialAsync { age: 5 }],
+        read_timeout: Some(SimTime::from_millis(50)),
+        heartbeat: Some(SimTime::from_millis(20)),
+        watchdog: Some(SimTime::from_secs(3600)),
+        recovery: Some(RecoveryStyle::Warm),
+        snapshots: Some(5),
+        supervision: Some(SupervisorPolicy::default()),
+        ..GaExperiment::new(TestFn::F1Sphere, 3)
+    };
+
+    let res = run_ga_experiment(&exp).expect("supervised cell completes");
+    assert!(
+        res.fault_reports.is_empty(),
+        "run wedged: {:?}",
+        res.fault_reports
+    );
+    let rec = res
+        .recovery
+        .as_ref()
+        .expect("snapshots + supervision enabled");
+    assert!(
+        rec.snapshots_completed >= 1,
+        "no consistent cut ever completed: {rec:?}"
+    );
+    assert_eq!(rec.restores, 1, "the crash window must be taken: {rec:?}");
+    assert_eq!(rec.restarts_approved, 1, "the supervisor must approve it");
+    assert_eq!(rec.give_ups, 0, "no island should retire: {rec:?}");
+    assert!(
+        rec.max_rollback <= 5,
+        "rollback {} exceeds the age bound",
+        rec.max_rollback
+    );
+
+    // The snapshot monitor audited the wave lifecycle and found nothing —
+    // and neither did any other monitor.
+    let summary = auditor.summary();
+    let snap = summary
+        .monitors
+        .iter()
+        .find(|m| m.name == "snapshot")
+        .expect("snapshot monitor installed");
+    assert!(snap.checked > 0, "snapshot monitor never saw a wave");
+    assert_eq!(
+        summary.violations, 0,
+        "recovery tripped a monitor: {summary:?}"
+    );
 }
