@@ -21,7 +21,13 @@
 //!   --window <N>         rolling-median window (default: 5)
 //!   --rel <R> --abs <A>  drift tolerances (defaults: 0.05 / 0.02)
 //!   --check              exit 2 when any metric drifted
+//! nscc hunt|shrink|replay [ARGS...]           delegate to the nscc-hunt binary
 //! ```
+//!
+//! The hunt family is implemented by the sibling `nscc-hunt` binary
+//! (crate `nscc-hunt`); this front-end locates it (`NSCC_HUNT_BIN`, then
+//! next to the `nscc` executable, then `$PATH`) and forwards the
+//! arguments verbatim, propagating the exit code.
 //!
 //! Exit codes: 0 success/pass, 1 regression, 2 usage or config error.
 
@@ -48,6 +54,9 @@ usage:
   nscc postmortem <FLIGHT>
   nscc top [--once] [--interval MS] <FEED>
   nscc trend [--dir DIR] [--window N] [--rel R] [--abs A] [--check] [POINT...]
+  nscc hunt --seed S --budget N [--workers W] [--out DIR] [--sabotage] [--shrink-cap K]
+  nscc shrink <repro.json> [--out PATH]
+  nscc replay <file-or-dir>...
 
 Artifacts are the BENCH_*.json run reports (NSCC_JSON=1), TRACE_*.json
 event dumps (NSCC_TRACE=1), FLIGHT_*.json flight-recorder dumps (cut
@@ -75,6 +84,7 @@ fn main() -> ExitCode {
         "postmortem" => cmd_postmortem(rest),
         "top" => cmd_top(rest),
         "trend" => cmd_trend(rest),
+        "hunt" | "shrink" | "replay" => cmd_hunt_family(cmd, rest),
         "-h" | "--help" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -406,6 +416,44 @@ fn cmd_top(args: &[String]) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("nscc top: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locate the sibling `nscc-hunt` binary and forward `cmd` + `rest` to
+/// it verbatim, propagating its exit code. Search order: the
+/// `NSCC_HUNT_BIN` override, then `nscc-hunt` / `bin_nscc-hunt` next to
+/// the running executable, then bare `nscc-hunt` from `$PATH`.
+fn cmd_hunt_family(cmd: &str, rest: &[String]) -> ExitCode {
+    // An explicit override is authoritative: if it is wrong, fail
+    // loudly below instead of silently falling back to some sibling.
+    let program = match std::env::var("NSCC_HUNT_BIN") {
+        Ok(over) if !over.trim().is_empty() => PathBuf::from(over),
+        _ => {
+            let siblings = std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+                .map(|dir| [dir.join("nscc-hunt"), dir.join("bin_nscc-hunt")]);
+            siblings
+                .into_iter()
+                .flatten()
+                .find(|p| p.is_file())
+                .unwrap_or_else(|| PathBuf::from("nscc-hunt"))
+        }
+    };
+    match std::process::Command::new(&program)
+        .arg(cmd)
+        .args(rest)
+        .status()
+    {
+        Ok(status) => ExitCode::from(status.code().unwrap_or(2).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!(
+                "nscc {cmd}: cannot run {} ({e}); build the nscc-hunt binary \
+                 or point NSCC_HUNT_BIN at it",
+                program.display()
+            );
             ExitCode::from(2)
         }
     }

@@ -59,19 +59,34 @@ pub fn series_key(path: &Path) -> Option<(String, u64)> {
 
 /// Trend every `BENCH_<name>.<seq>.json` series found in `dir`.
 /// Returns the rendered text and whether any metric drifted.
+///
+/// A directory with no series yet — missing entirely, or holding no
+/// `BENCH_<name>.<seq>.json` files — is not an error: a fresh clone has
+/// simply not accumulated history, so the result is a one-line note and
+/// a clean exit rather than a failure that scares CI.
 pub fn trend_dir(dir: &Path, cfg: &TrendConfig) -> Result<(String, bool), String> {
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| format!("{}: cannot read: {e}", dir.display()))?;
+    let no_series = || {
+        Ok((
+            format!(
+                "no series yet under {} (trajectory points are BENCH_<name>.<seq>.json copies \
+                 of run reports)\n",
+                dir.display()
+            ),
+            false,
+        ))
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return no_series(),
+        Err(e) => return Err(format!("{}: cannot read: {e}", dir.display())),
+    };
     let paths: Vec<PathBuf> = entries
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| series_key(p).is_some())
         .collect();
     if paths.is_empty() {
-        return Err(format!(
-            "{}: no trajectory points (expected BENCH_<name>.<seq>.json files)",
-            dir.display()
-        ));
+        return no_series();
     }
     trend_files(&paths, cfg)
 }
@@ -331,6 +346,20 @@ DRIFT: 1/2 metrics moved beyond tolerance of their rolling median
         assert_eq!(text, expected);
         assert!(regressed);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn an_empty_or_missing_series_directory_is_a_note_not_an_error() {
+        let dir = temp_series("empty");
+        let (text, regressed) = trend_dir(&dir, &TrendConfig::default()).unwrap();
+        assert!(!regressed);
+        assert!(text.starts_with("no series yet under "), "{text}");
+        assert_eq!(text.lines().count(), 1, "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+        let (text, regressed) = trend_dir(&dir, &TrendConfig::default()).unwrap();
+        assert!(!regressed);
+        assert!(text.starts_with("no series yet under "), "{text}");
     }
 
     #[test]

@@ -17,14 +17,19 @@
 //! With `NSCC_CKPT_DIR` set, every completed cell is checkpointed; a
 //! killed sweep rerun with `NSCC_RESUME=1` (or `--resume`) skips the
 //! finished cells and produces a byte-identical report.
+//!
+//! With `NSCC_FAULT_PLAN=<path>` the wire runs the fault plan from that
+//! JSON document (the portable format `nscc hunt` repros carry) instead
+//! of the loss-derived plan — reseeded per cell, so the grid still
+//! varies. Lets a shrunk repro drive the full bench harness.
 
 use std::sync::Arc;
 
 use nscc_audit::Auditor;
 use nscc_bench::{
-    ages_from_env, attach_audit, attach_live, banner, loss_rates_from_env, make_hub, stamp_audit,
-    stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded, write_report, write_trace,
-    ResumeOpts, Scale, SweepCkpt,
+    ages_from_env, attach_audit, attach_live, banner, fault_plan_from_env, loss_rates_from_env,
+    make_hub, stamp_audit, stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded,
+    write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
@@ -94,16 +99,23 @@ fn run_cell(
     scale: &Scale,
     loss: f64,
     age: u64,
+    plan_override: Option<&FaultPlan>,
     exp_obs: Option<Hub>,
     auditor: &Option<Arc<Auditor>>,
 ) -> CellData {
     // Every cell runs the same robustness stack; only the wire's loss
     // rate and the reads' age bound vary. The plan's seed is derived from
-    // the cell so each cell's chaos is independent and reproducible.
+    // the cell so each cell's chaos is independent and reproducible —
+    // an NSCC_FAULT_PLAN override keeps its events but is reseeded the
+    // same way, so the grid still varies cell to cell.
     let plan_seed = scale.seed ^ ((loss * 1e6) as u64).wrapping_mul(31) ^ age;
     let mut platform = Platform::paper_ethernet(PROCS);
-    if loss > 0.0 {
-        platform = platform.with_faults(FaultPlan::new(plan_seed).loss(loss));
+    match plan_override {
+        Some(plan) => platform = platform.with_faults(plan.clone().with_seed(plan_seed)),
+        None if loss > 0.0 => {
+            platform = platform.with_faults(FaultPlan::new(plan_seed).loss(loss));
+        }
+        None => {}
     }
     // The default 10 ms RTO suits low-latency links; the shared 10 Mbps
     // Ethernet queues migrant batches for longer than that under load,
@@ -184,6 +196,10 @@ fn main() {
     let mut ckpt = SweepCkpt::from_opts(&ropts, "fault_study");
     let losses = loss_rates_from_env();
     let ages = ages_from_env();
+    let plan_override = fault_plan_from_env();
+    if let Some(plan) = &plan_override {
+        println!("fault plan override (NSCC_FAULT_PLAN): {}", plan.describe());
+    }
     print!(
         "{}",
         banner("Fault study: GA resilience under frame loss", &scale)
@@ -231,7 +247,8 @@ fn main() {
                         let cell_hub = make_hub(&scale);
                         tap_audit(&auditor, &cell_hub);
                         let exp_obs = scale.wants_obs().then(|| cell_hub.clone());
-                        let mut cell = run_cell(&scale, loss, age, exp_obs, &auditor);
+                        let mut cell =
+                            run_cell(&scale, loss, age, plan_override.as_ref(), exp_obs, &auditor);
                         cell.obs = cell_hub.summary();
                         // Carry the cell's wall-clock scheduler cost and
                         // flight ring into the main hub (the feed/report
@@ -241,7 +258,7 @@ fn main() {
                         cell
                     } else {
                         let exp_obs = scale.wants_obs().then(|| hub.clone());
-                        run_cell(&scale, loss, age, exp_obs, &auditor)
+                        run_cell(&scale, loss, age, plan_override.as_ref(), exp_obs, &auditor)
                     };
                     if let Some(ck) = ckpt.as_mut() {
                         ck.save_cell(

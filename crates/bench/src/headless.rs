@@ -1,0 +1,211 @@
+//! Library-level headless experiment entrypoint for the fuzz hunter.
+//!
+//! The bench binaries print tables, write reports and `exit(1)` on a
+//! simulation error — none of which a fuzzing driver can use. This
+//! module runs the same chaos-study experiment cell as `fault_study`
+//! (island GA, `Global_Read` at one age bound, full robustness stack,
+//! watchdog always armed) but returns every verdict as data:
+//!
+//! * the online auditor's recorded violations, as deterministic strings;
+//! * structured fault reports (watchdog cuts, deadlocks under chaos);
+//! * a hard simulation error (deadlock outside the watchdog's reach),
+//!   including any deadlock breadcrumbs, instead of a process exit;
+//! * recovery counters (`restores`, `max_rollback`) and the completion
+//!   rate, for the rollback-bound and completion oracles.
+//!
+//! Same [`HeadlessSpec`] → byte-identical [`HeadlessOutcome`]: the run
+//! is a deterministic discrete-event simulation, so a hunt finding
+//! replays exactly from its spec alone.
+
+use std::sync::Arc;
+
+use nscc_audit::Auditor;
+use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle};
+use nscc_dsm::Coherence;
+use nscc_ga::{CostModel, SupervisorPolicy, TestFn};
+use nscc_msg::ReliableConfig;
+use nscc_obs::Hub;
+use nscc_sim::SimTime;
+
+/// One complete headless trial: everything the generator mutates,
+/// nothing read from the environment.
+#[derive(Debug, Clone)]
+pub struct HeadlessSpec {
+    /// Island count (the experiment's processor count).
+    pub procs: usize,
+    /// Serial-baseline generations (small for fuzzing; the paper's 1000
+    /// would make each trial cost seconds).
+    pub generations: u64,
+    /// Repetitions per trial (fuzzing wants 1).
+    pub runs: usize,
+    /// Base seed for the GA runs.
+    pub seed: u64,
+    /// `Global_Read` age bound (the one coherence mode exercised).
+    pub age: u64,
+    /// Fault plan for the wire; `None` (or a no-op plan) keeps it clean.
+    pub plan: Option<FaultPlan>,
+    /// Reliable-delivery configuration; `None` runs the raw datagram
+    /// layer (no retransmits — loss then shows up as degraded reads and
+    /// watchdog cuts instead).
+    pub reliable: Option<ReliableConfig>,
+    /// Blocked reads degrade to the cached value after this long.
+    pub read_timeout: Option<SimTime>,
+    /// Failure-detector heartbeat period.
+    pub heartbeat: Option<SimTime>,
+    /// Virtual-time watchdog — always armed: a fuzzer must never hang.
+    pub watchdog: SimTime,
+    /// Deliberately release this many would-block reads stale (the
+    /// `NSCC_INJECT_STALE` sabotage; the staleness oracle must catch it).
+    pub inject_stale: u64,
+    /// Chandy–Lamport snapshot cadence in generations (`None` = off).
+    pub snapshots: Option<u64>,
+    /// Whether crashes go through the default supervision policy.
+    pub supervision: bool,
+}
+
+impl HeadlessSpec {
+    /// A clean, fast, fault-free trial — the baseline the generator
+    /// mutates away from.
+    pub fn quick(seed: u64) -> HeadlessSpec {
+        HeadlessSpec {
+            procs: 4,
+            generations: 40,
+            runs: 1,
+            seed,
+            age: 10,
+            plan: None,
+            reliable: Some(ReliableConfig {
+                base_rto: SimTime::from_millis(80),
+                ..ReliableConfig::default()
+            }),
+            read_timeout: Some(SimTime::from_millis(50)),
+            heartbeat: Some(SimTime::from_millis(20)),
+            watchdog: SimTime::from_secs(3600),
+            inject_stale: 0,
+            snapshots: None,
+            supervision: false,
+        }
+    }
+}
+
+/// Everything one headless trial reported, as plain data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HeadlessOutcome {
+    /// The auditor's recorded violations, one deterministic line each
+    /// (`monitor@t_ns rank=N: detail`).
+    pub violations: Vec<String>,
+    /// Total violations counted (recording caps at the auditor's ring
+    /// size; this is the uncapped count).
+    pub violation_count: u64,
+    /// One summary line per watchdog-cut / deadlocked run under chaos.
+    pub fault_summaries: Vec<String>,
+    /// A hard simulation error (deadlock with the watchdog never firing),
+    /// rendered with its breadcrumb notes. The run produced no report.
+    pub sim_error: Option<String>,
+    /// Fraction of runs in which every island reached the quality bar.
+    pub success_rate: f64,
+    /// Crash recoveries performed across all islands and runs.
+    pub restores: u64,
+    /// Largest warm-restore rollback (generations) seen in any run.
+    pub max_rollback: u64,
+    /// Reliable-layer frames abandoned after exhausting retries.
+    pub give_ups: u64,
+}
+
+/// Run one trial and collect every verdict. Never exits and never
+/// panics on a simulation error; the worst outcome is an
+/// [`HeadlessOutcome::sim_error`].
+pub fn run_headless(spec: &HeadlessSpec) -> HeadlessOutcome {
+    let hub = Hub::new();
+    let auditor = Arc::new(Auditor::new());
+    hub.set_tap(auditor.clone());
+
+    let mut platform = Platform::paper_ethernet(spec.procs);
+    if let Some(plan) = spec.plan.as_ref().filter(|p| !p.is_noop()) {
+        platform = platform.with_faults(plan.clone());
+    }
+    platform.msg.reliable = spec.reliable.clone();
+
+    let exp = GaExperiment {
+        generations: spec.generations,
+        runs: spec.runs,
+        base_seed: spec.seed,
+        cost: CostModel::deterministic(),
+        platform,
+        obs: Some(hub),
+        modes: vec![Coherence::PartialAsync { age: spec.age }],
+        read_timeout: spec.read_timeout,
+        heartbeat: spec.heartbeat,
+        watchdog: Some(spec.watchdog),
+        recovery: Some(RecoveryStyle::Warm),
+        inject_stale: spec.inject_stale,
+        snapshots: spec.snapshots,
+        supervision: spec.supervision.then(SupervisorPolicy::default),
+        ..GaExperiment::new(TestFn::F1Sphere, spec.procs)
+    };
+
+    let mut out = HeadlessOutcome::default();
+    match run_ga_experiment(&exp) {
+        Ok(res) => {
+            let m = &res.modes[0];
+            out.success_rate = m.success_rate;
+            out.restores = m.restores;
+            out.max_rollback = m.max_rollback;
+            out.give_ups = m.comm.give_ups;
+            out.fault_summaries = res.fault_reports.iter().map(|f| f.summary()).collect();
+        }
+        Err(e) => out.sim_error = Some(e.to_string()),
+    }
+    out.violation_count = auditor.violation_count();
+    out.violations = auditor
+        .recorded()
+        .iter()
+        .map(|v| format!("{}@{} rank={}: {}", v.monitor, v.t_ns, v.rank, v.detail))
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_quick_trial_is_quiet_and_deterministic() {
+        let spec = HeadlessSpec::quick(7);
+        let a = run_headless(&spec);
+        assert_eq!(a.sim_error, None);
+        assert_eq!(a.violation_count, 0, "clean run must not trip the audit");
+        assert!(a.fault_summaries.is_empty());
+        assert_eq!(a.success_rate, 1.0);
+        let b = run_headless(&spec);
+        assert_eq!(a, b, "same spec must reproduce byte-identically");
+    }
+
+    #[test]
+    fn inject_stale_sabotage_trips_the_staleness_monitor() {
+        let spec = HeadlessSpec {
+            inject_stale: 2,
+            ..HeadlessSpec::quick(7)
+        };
+        let out = run_headless(&spec);
+        assert!(
+            out.violation_count > 0,
+            "sabotaged reads must be flagged: {out:?}"
+        );
+        assert!(
+            out.violations.iter().any(|v| v.starts_with("staleness@")),
+            "the staleness monitor names the violation: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn noop_plan_matches_no_plan() {
+        let clean = run_headless(&HeadlessSpec::quick(11));
+        let noop = run_headless(&HeadlessSpec {
+            plan: Some(FaultPlan::new(99)),
+            ..HeadlessSpec::quick(11)
+        });
+        assert_eq!(clean, noop, "a no-op plan must not perturb the wire");
+    }
+}

@@ -75,12 +75,19 @@
 //!   with their stale cached value, *violating* the age bound so the
 //!   auditor and flight recorder have something real to catch. Testing
 //!   hook; leave unset for honest runs.
+//! * `NSCC_FAULT_PLAN` — path to a versioned fault-plan JSON document
+//!   (the portable format `nscc hunt` repros carry). The `fault_study`
+//!   bin then wraps the wire in *that* plan — reseeded per cell, so the
+//!   grid stays meaningful — instead of deriving a loss-only plan from
+//!   `NSCC_LOSS`. Lets a shrunk hunt repro drive the full bench harness.
 //!
 //! A variable that is *set but malformed* is a hard error: the binary
 //! prints one line naming the variable and the expected format and exits
 //! with code 2, rather than silently running at a default scale.
 
 #![warn(missing_docs)]
+
+pub mod headless;
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -417,6 +424,25 @@ pub fn ages_from_env() -> Vec<u64> {
         "comma-separated unsigned integers (e.g. NSCC_AGES=0,10,30)",
     )
     .unwrap_or_else(|e| die(&e))
+}
+
+/// The fault-plan override: `NSCC_FAULT_PLAN` as a path to a versioned
+/// fault-plan JSON document (the portable format hunt repros carry).
+/// Absent → `None` (the bin derives its own plan); present but
+/// unreadable or malformed → the one-line exit-2 contract, naming the
+/// path and the first parse error.
+pub fn fault_plan_from_env() -> Option<nscc_core::FaultPlan> {
+    let raw = env_lookup("NSCC_FAULT_PLAN")?;
+    let path = raw.trim();
+    if path.is_empty() {
+        die(&format!(
+            "NSCC_FAULT_PLAN={raw:?} is malformed: expected a path to a fault-plan JSON file"
+        ));
+    }
+    match nscc_core::FaultPlan::load(std::path::Path::new(path)) {
+        Ok(plan) => Some(plan),
+        Err(e) => die(&format!("NSCC_FAULT_PLAN: {e}")),
+    }
 }
 
 /// The coherence modes the GA bins should report: the `NSCC_MODES`

@@ -364,6 +364,12 @@ fn run_parallel_once(
                 board,
             }
         });
+    if let Some(sc) = &snap_cfg {
+        // Should the run wedge, the deadlock report names the marker
+        // plane's open waves and per-channel in-flight recording depths.
+        let board = sc.board.clone();
+        sim.deadlock_note(move || board.wave_notes());
+    }
     let supervisor = exp
         .supervision
         .filter(|_| inject && !mode.uses_barrier())

@@ -884,6 +884,13 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
         self.snap.as_ref().map_or(0, |s| s.open.len())
     }
 
+    /// In-flight updates recorded so far for the active cut (deadlock
+    /// breadcrumbs: a large depth with channels still open points at the
+    /// writer whose marker never arrived).
+    pub fn snap_recorded(&self) -> usize {
+        self.snap.as_ref().map_or(0, |s| s.recorded.len())
+    }
+
     /// Finish (or abandon) the recording, returning the in-flight updates
     /// captured from then-open channels, in arrival order.
     pub fn snap_finish(&mut self) -> Vec<(LocId, u64, T)> {

@@ -50,6 +50,11 @@ struct BoardInner {
     /// Persistence failures (never fatal for the run; the in-memory cut
     /// is still available for warm restores).
     persist_errors: u64,
+    /// Live recording state per rank: rank → (cut id, open channels,
+    /// in-flight updates recorded so far). Pure diagnostics — ranks
+    /// refresh it while a wave is active and clear it on finish, and the
+    /// sim watchdog reads it as deadlock breadcrumbs.
+    waves: BTreeMap<u32, (u64, usize, usize)>,
 }
 
 /// Shared collection point for one world's consistent cuts.
@@ -80,6 +85,7 @@ impl SnapshotBoard {
                 store: None,
                 counters: SnapCounters::default(),
                 persist_errors: 0,
+                waves: BTreeMap::new(),
             })),
         }
     }
@@ -147,6 +153,47 @@ impl SnapshotBoard {
     /// Completed cuts that failed to persist to the attached store.
     pub fn persist_errors(&self) -> u64 {
         self.inner.lock().persist_errors
+    }
+
+    /// Refresh one rank's live recording state: the cut it is recording,
+    /// how many incoming channels still await their closing marker, and
+    /// how many in-flight updates it captured so far.
+    pub fn note_wave(&self, rank: u32, id: u64, open: usize, recorded: usize) {
+        self.inner.lock().waves.insert(rank, (id, open, recorded));
+    }
+
+    /// Clear one rank's live recording state (its local cut finished).
+    pub fn clear_wave(&self, rank: u32) {
+        self.inner.lock().waves.remove(&rank);
+    }
+
+    /// Deadlock breadcrumbs: one line per rank still mid-recording (cut
+    /// id, open channel count, in-flight depth) and one line per pending
+    /// cut naming the ranks whose frames never arrived. Empty when no
+    /// wave is in trouble — register this with the sim watchdog
+    /// (`SimBuilder::deadlock_note`) so a wedged run explains its marker
+    /// plane.
+    pub fn wave_notes(&self) -> Vec<String> {
+        let g = self.inner.lock();
+        let mut notes = Vec::new();
+        for (rank, (id, open, recorded)) in &g.waves {
+            notes.push(format!(
+                "marker plane: rank {rank} recording cut {id} ({open} channel(s) open, {recorded} in-flight update(s) recorded)"
+            ));
+        }
+        for (id, frames) in &g.pending {
+            let missing: Vec<String> = (0..g.ranks as u32)
+                .filter(|r| !frames.contains_key(r))
+                .map(|r| r.to_string())
+                .collect();
+            notes.push(format!(
+                "marker plane: cut {id} incomplete ({}/{} frames posted, missing rank(s) {})",
+                frames.len(),
+                g.ranks,
+                missing.join(",")
+            ));
+        }
+        notes
     }
 }
 

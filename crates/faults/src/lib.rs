@@ -38,6 +38,11 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+mod plan_json;
+
+pub use plan_json::PLAN_SCHEMA_VERSION;
+
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -579,11 +584,19 @@ impl FaultReport {
     /// Build a report from the [`SimError`] that killed a run.
     pub fn from_sim_error(seed: u64, err: &SimError) -> Self {
         match err {
-            SimError::Deadlock { at, blocked } => FaultReport {
+            SimError::Deadlock { at, blocked, notes } => FaultReport {
                 seed,
                 at: *at,
                 cause: "deadlock".into(),
-                detail: format!("{} process(es) blocked with no future event", blocked.len()),
+                detail: if notes.is_empty() {
+                    format!("{} process(es) blocked with no future event", blocked.len())
+                } else {
+                    format!(
+                        "{} process(es) blocked with no future event; {}",
+                        blocked.len(),
+                        notes.join("; ")
+                    )
+                },
                 rto_cap_ns: None,
                 blocked: blocked
                     .iter()

@@ -649,7 +649,14 @@ pub fn run_island(
                         count,
                         ctx.now().as_nanos(),
                     );
+                    sc.board.clear_wave(rank as u32);
                     snap_done = id;
+                } else if let Some((id, _, _)) = snap_active.as_ref() {
+                    // Still mid-recording: refresh the board's live wave
+                    // state so a wedged run's deadlock report can name the
+                    // open channels and in-flight depth per rank.
+                    sc.board
+                        .note_wave(rank as u32, *id, node.snap_open(), node.snap_recorded());
                 }
             }
         }

@@ -1,0 +1,234 @@
+//! Delta-debugging shrinker: reduce a failing scenario to a locally
+//! minimal repro while preserving its most severe failure kind.
+//!
+//! Two reduction moves, applied to fixpoint:
+//!
+//! 1. **Plan events** — drop one fault-plan event (base faults, a link
+//!    override, a degradation window, a crash, a stall, a partition) at
+//!    a time via [`FaultPlan::without_event`]; keep the removal if the
+//!    re-run still exhibits the primary failure kind.
+//! 2. **Knobs** — simplify configuration one knob at a time: fewer
+//!    generations, fewer islands, sabotage off, snapshots off,
+//!    supervision off, heartbeat off, read-timeout off, reliable layer
+//!    off.
+//!
+//! Every candidate is an actual re-run of the deterministic simulation,
+//! so acceptance is exact, not heuristic. The result is locally minimal:
+//! removing any single remaining event or knob loses the failure.
+
+use nscc_bench::headless::{run_headless, HeadlessSpec};
+
+use crate::oracle::{judge, Verdict};
+
+/// Whether `spec` still exhibits failure kind `kind`.
+fn still_fails(spec: &HeadlessSpec, kind: &str) -> bool {
+    judge(spec, &run_headless(spec)).has_kind(kind)
+}
+
+/// The one-knob simplifications applicable to `spec`, most aggressive
+/// first. Each candidate differs from `spec` in exactly one knob.
+fn knob_candidates(spec: &HeadlessSpec) -> Vec<(String, HeadlessSpec)> {
+    let mut out = Vec::new();
+    if spec.runs > 1 {
+        out.push((
+            format!("runs {} -> 1", spec.runs),
+            HeadlessSpec {
+                runs: 1,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.generations > 10 {
+        let g = (spec.generations / 2).max(10);
+        out.push((
+            format!("generations {} -> {g}", spec.generations),
+            HeadlessSpec {
+                generations: g,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.procs > 2 {
+        out.push((
+            format!("procs {} -> {}", spec.procs, spec.procs - 1),
+            HeadlessSpec {
+                procs: spec.procs - 1,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.inject_stale > 1 {
+        out.push((
+            format!("inject_stale {} -> 1", spec.inject_stale),
+            HeadlessSpec {
+                inject_stale: 1,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.inject_stale == 1 {
+        out.push((
+            "inject_stale 1 -> 0".to_string(),
+            HeadlessSpec {
+                inject_stale: 0,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.snapshots.is_some() {
+        out.push((
+            "snapshots off".to_string(),
+            HeadlessSpec {
+                snapshots: None,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.supervision {
+        out.push((
+            "supervision off".to_string(),
+            HeadlessSpec {
+                supervision: false,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.heartbeat.is_some() {
+        out.push((
+            "heartbeat off".to_string(),
+            HeadlessSpec {
+                heartbeat: None,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.read_timeout.is_some() {
+        out.push((
+            "read timeout off".to_string(),
+            HeadlessSpec {
+                read_timeout: None,
+                ..spec.clone()
+            },
+        ));
+    }
+    if spec.reliable.is_some() {
+        out.push((
+            "reliable layer off".to_string(),
+            HeadlessSpec {
+                reliable: None,
+                ..spec.clone()
+            },
+        ));
+    }
+    out
+}
+
+/// Shrink `spec0` to a locally minimal scenario preserving its primary
+/// failure kind; `log` receives one line per accepted reduction.
+/// Returns the minimal spec and its fresh verdict. Returns `spec0`
+/// unchanged (with its verdict) when the scenario is clean — there is
+/// nothing to preserve.
+pub fn shrink(spec0: &HeadlessSpec, mut log: impl FnMut(&str)) -> (HeadlessSpec, Verdict) {
+    let verdict0 = judge(spec0, &run_headless(spec0));
+    let kind = match verdict0.primary() {
+        Some(k) => k.to_string(),
+        None => return (spec0.clone(), verdict0),
+    };
+    let mut best = spec0.clone();
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop plan events one at a time until none can go.
+        while let Some(plan) = best.plan.clone() {
+            let mut removed = false;
+            for idx in 0..plan.events() {
+                let shrunk = plan.without_event(idx).expect("idx < events()");
+                let cand = HeadlessSpec {
+                    plan: (!shrunk.is_noop()).then_some(shrunk),
+                    ..best.clone()
+                };
+                if still_fails(&cand, &kind) {
+                    log(&format!("drop plan event: {}", plan.event_label(idx)));
+                    best = cand;
+                    removed = true;
+                    improved = true;
+                    break;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+
+        // Pass 2: simplify one knob; restart both passes on success so
+        // the plan gets re-minimised under the simpler configuration.
+        for (label, cand) in knob_candidates(&best) {
+            if still_fails(&cand, &kind) {
+                log(&format!("simplify knob: {label}"));
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    let verdict = judge(&best, &run_headless(&best));
+    (best, verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nscc_core::FaultPlan;
+    use nscc_sim::SimTime;
+
+    /// A sabotage scenario dressed up with irrelevant chaos: the
+    /// staleness violation comes from `inject_stale` alone, so the
+    /// shrinker must strip the fault plan and the optional machinery.
+    #[test]
+    fn shrink_strips_irrelevant_chaos_from_a_sabotage_repro() {
+        let noisy = HeadlessSpec {
+            inject_stale: 3,
+            plan: Some(FaultPlan::new(5).loss(0.02).crash_and_restart(
+                1,
+                SimTime::from_millis(40),
+                SimTime::from_millis(80),
+            )),
+            snapshots: Some(8),
+            supervision: true,
+            ..HeadlessSpec::quick(13)
+        };
+        let before = judge(&noisy, &run_headless(&noisy));
+        assert_eq!(before.primary(), Some("audit:staleness"), "{before:?}");
+
+        let mut steps = Vec::new();
+        let (min, verdict) = shrink(&noisy, |s| steps.push(s.to_string()));
+        assert_eq!(verdict.primary(), Some("audit:staleness"), "{steps:?}");
+        assert!(min.plan.is_none(), "fault plan was irrelevant: {steps:?}");
+        assert_eq!(min.snapshots, None, "{steps:?}");
+        assert!(!min.supervision, "{steps:?}");
+        assert_eq!(min.inject_stale, 1, "sabotage shrinks to one read");
+        assert!(!steps.is_empty());
+
+        // Local minimality: removing the one remaining cause loses the
+        // preserved failure kind.
+        let without = HeadlessSpec {
+            inject_stale: 0,
+            ..min.clone()
+        };
+        assert!(!judge(&without, &run_headless(&without)).has_kind("audit:staleness"));
+    }
+
+    #[test]
+    fn clean_scenarios_shrink_to_themselves() {
+        let clean = HeadlessSpec::quick(3);
+        let mut steps = Vec::new();
+        let (min, verdict) = shrink(&clean, |s| steps.push(s.to_string()));
+        assert!(verdict.is_clean());
+        assert!(steps.is_empty());
+        assert_eq!(format!("{min:?}"), format!("{clean:?}"));
+    }
+}

@@ -469,6 +469,96 @@ mod tests {
     }
 
     #[test]
+    fn rto_cap_equal_to_base_pins_every_retry_at_base() {
+        // Boundary: a ceiling exactly at the initial RTO is honored — the
+        // whole schedule degenerates to fixed-interval retries at base_rto
+        // (the smallest schedule a cap can produce).
+        let rc = ReliableConfig {
+            base_rto: SimTime::from_millis(10),
+            max_rto: SimTime::from_millis(10),
+            ..ReliableConfig::default()
+        };
+        for attempt in [0, 1, 2, 5, 16, 40] {
+            assert_eq!(rc.rto_for(attempt), SimTime::from_millis(10), "attempt {attempt}");
+        }
+    }
+
+    #[test]
+    fn rto_cap_below_base_is_ignored_not_clamped() {
+        // Pinned decision: a ceiling below base_rto is *ignored* — the
+        // schedule runs uncapped exponential backoff exactly as if no
+        // ceiling were set. It is neither an error nor clamped up to
+        // base_rto, so a misconfigured cap can never starve retries.
+        let rc = ReliableConfig {
+            base_rto: SimTime::from_millis(10),
+            max_rto: SimTime::from_millis(1),
+            ..ReliableConfig::default()
+        };
+        assert_eq!(rc.rto_for(0), SimTime::from_millis(10));
+        assert_eq!(rc.rto_for(1), SimTime::from_millis(20));
+        assert_eq!(rc.rto_for(6), SimTime::from_millis(640));
+    }
+
+    #[test]
+    fn give_up_accounting_under_a_shrunk_minimal_loss_plan() {
+        use nscc_faults::{FaultPlan, FaultyMedium, LinkFaults};
+        use nscc_net::IdealMedium;
+
+        // The locally-minimal repro shape `nscc shrink` converges to: one
+        // removable event (a total-loss override on the 0→1 data link;
+        // acks travel 1→0 untouched), removing which makes the plan noop.
+        let plan = FaultPlan::new(7).link(
+            0,
+            1,
+            LinkFaults {
+                drop_prob: 1.0,
+                ..LinkFaults::default()
+            },
+        );
+        assert_eq!(plan.events(), 1, "locally minimal: exactly one event");
+        assert!(plan.without_event(0).unwrap().is_noop());
+
+        let w: CommWorld<u64> = CommWorld::new(
+            Network::new(FaultyMedium::new(
+                IdealMedium::new(SimTime::from_millis(1)),
+                plan,
+            )),
+            2,
+            MsgConfig {
+                reliable: Some(ReliableConfig::default()),
+                ..MsgConfig::default()
+            },
+        );
+        let (tx, rx) = (w.endpoint(0), w.endpoint(1));
+        let back = w.endpoint(1);
+        let front = w.endpoint(0);
+        let mut sim = SimBuilder::new(7);
+        sim.spawn("tx", move |ctx| {
+            tx.send(ctx, 1, 41);
+            tx.send(ctx, 1, 42);
+            // Default schedule: 10+20+40+80+160 ms of retries, then the
+            // give-up; stay alive well past it.
+            ctx.advance(SimTime::from_secs(2));
+            // The reverse link is clean: proof the loss is the one event.
+            back.send(ctx, 0, 7);
+        });
+        sim.spawn("rx", move |ctx| {
+            assert!(rx.recv_deadline(ctx, SimTime::from_secs(1)).is_none());
+            assert_eq!(front.recv(ctx).payload, 7);
+        });
+        sim.run().unwrap();
+        let stats = w.stats();
+        // Exactly one give-up per swallowed frame, each after a full retry
+        // budget; the clean reverse frame inflates neither counter.
+        assert_eq!(stats.give_ups, 2);
+        assert_eq!(
+            stats.retransmits,
+            2 * ReliableConfig::default().max_retries as u64
+        );
+        assert_eq!(stats.received, 1);
+    }
+
+    #[test]
     fn clean_link_needs_no_retransmits() {
         let w = reliable_world(Chaotic::new(0, false));
         let (tx, rx) = (w.endpoint(0), w.endpoint(1));

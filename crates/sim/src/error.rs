@@ -52,6 +52,12 @@ pub enum SimError {
         at: SimTime,
         /// Diagnostics for every blocked non-daemon process.
         blocked: Vec<DeadlockInfo>,
+        /// Subsystem breadcrumbs collected at the moment of the wedge
+        /// from probes registered via
+        /// [`SimBuilder::deadlock_note`](crate::SimBuilder::deadlock_note)
+        /// (e.g. the marker plane's open snapshot waves and per-channel
+        /// in-flight recording depths).
+        notes: Vec<String>,
     },
     /// A simulated process panicked; the panic message is captured.
     ProcessPanicked {
@@ -79,10 +85,13 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { at, blocked } => {
+            SimError::Deadlock { at, blocked, notes } => {
                 writeln!(f, "simulation deadlocked at t={at}: all processes blocked")?;
                 for info in blocked {
                     writeln!(f, "  {info}")?;
+                }
+                for note in notes {
+                    writeln!(f, "  note: {note}")?;
                 }
                 Ok(())
             }

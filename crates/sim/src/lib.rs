@@ -214,7 +214,7 @@ mod tests {
             ctx.schedule_fn(SimTime::from_micros(1500), move |ec| jam.deliver(ec, 9));
         });
         match sim.run() {
-            Err(SimError::Deadlock { at, blocked }) => {
+            Err(SimError::Deadlock { at, blocked, notes }) => {
                 assert_eq!(at, SimTime::from_millis(2));
                 assert_eq!(blocked.len(), 1);
                 let info = &blocked[0];
@@ -223,9 +223,32 @@ mod tests {
                 assert_eq!(info.since, SimTime::from_millis(2));
                 assert_eq!(info.last_progress, SimTime::from_millis(2));
                 assert_eq!(info.mailbox_depth, Some(1));
-                let rendered = format!("{}", SimError::Deadlock { at, blocked });
+                let rendered = format!("{}", SimError::Deadlock { at, blocked, notes });
                 assert!(rendered.contains("flush signal"));
                 assert!(rendered.contains("mailbox depth 1"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_notes_surface_registered_breadcrumbs() {
+        let mb: Mailbox<()> = Mailbox::new("never");
+        let mut sim = SimBuilder::new(0);
+        sim.deadlock_note(|| vec!["marker plane: cut 4 incomplete".into()]);
+        sim.deadlock_note(Vec::new); // empty probes contribute nothing
+        let mb2 = mb.clone();
+        sim.spawn("stuck", move |ctx| {
+            let _ = mb2.recv(ctx);
+        });
+        match sim.run() {
+            Err(err @ SimError::Deadlock { .. }) => {
+                let SimError::Deadlock { ref notes, .. } = err else {
+                    unreachable!()
+                };
+                assert_eq!(notes, &["marker plane: cut 4 incomplete".to_string()]);
+                let rendered = format!("{err}");
+                assert!(rendered.contains("note: marker plane: cut 4 incomplete"));
             }
             other => panic!("expected deadlock, got {other:?}"),
         }

@@ -73,6 +73,7 @@ pub struct SimBuilder {
     ctxs: Vec<Option<Ctx>>,
     obs: Option<Hub>,
     wall: Option<Hub>,
+    diag: Vec<Box<dyn Fn() -> Vec<String> + Send>>,
 }
 
 impl SimBuilder {
@@ -89,7 +90,19 @@ impl SimBuilder {
             ctxs: Vec::new(),
             obs: None,
             wall: None,
+            diag: Vec::new(),
         }
+    }
+
+    /// Register a deadlock breadcrumb probe: should the run wedge, `f` is
+    /// invoked once and every line it returns is appended to the
+    /// [`SimError::Deadlock`] report (and the flight ring, when armed).
+    /// Probes run on the scheduler thread after all processes stopped, so
+    /// they may freely lock shared state (e.g. a snapshot board) to report
+    /// open marker waves and per-channel in-flight recording depths.
+    pub fn deadlock_note(&mut self, f: impl Fn() -> Vec<String> + Send + 'static) -> &mut Self {
+        self.diag.push(Box::new(f));
+        self
     }
 
     /// Attach an observability hub: the scheduler records a compute span
@@ -289,6 +302,8 @@ impl SimBuilder {
                             _ => None,
                         })
                         .collect();
+                    let notes: Vec<String> =
+                        self.diag.iter().flat_map(|probe| probe()).collect();
                     // Leave the diagnosis in the flight ring (a side
                     // channel: never touches counters or the report) so a
                     // post-mortem dump explains the hang per process.
@@ -316,9 +331,19 @@ impl SimBuilder {
                                     .into(),
                                 });
                             }
+                            for note in &notes {
+                                hub.flight_note(nscc_obs::ObsEvent::Custom {
+                                    t_ns: now.as_nanos(),
+                                    label: format!("deadlock: {note}").into(),
+                                });
+                            }
                         }
                     }
-                    return Err(SimError::Deadlock { at: now, blocked });
+                    return Err(SimError::Deadlock {
+                        at: now,
+                        blocked,
+                        notes,
+                    });
                 }
             };
             debug_assert!(entry.time >= now, "event queue went backwards in time");

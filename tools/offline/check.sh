@@ -119,6 +119,7 @@ E_GA="--extern nscc_ga=$OUT/libnscc_ga.rlib"
 E_BAYES="--extern nscc_bayes=$OUT/libnscc_bayes.rlib"
 E_CORE="--extern nscc_core=$OUT/libnscc_core.rlib"
 E_BENCH="--extern nscc_bench=$OUT/libnscc_bench.rlib"
+E_HUNT="--extern nscc_hunt=$OUT/libnscc_hunt.rlib"
 E_ANALYZE="--extern nscc_analyze=$OUT/libnscc_analyze.rlib"
 
 build nscc_ckpt crates/ckpt/src/lib.rs
@@ -127,7 +128,7 @@ build nscc_audit crates/audit/src/lib.rs $EXT_PL $EXT_SERDE $E_OBS
 build nscc_sim crates/sim/src/lib.rs $EXT_CB $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS
 build nscc_net crates/net/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM
 build nscc_faults crates/faults/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_SIM $E_NET
-build nscc_msg crates/msg/src/lib.rs $EXT_PL $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET
+build nscc_msg crates/msg/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_FAULTS
 build nscc_dsm crates/dsm/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_MSG
 itest nscc_dsm crates/dsm/tests/global_read.rs $EXT_PL $E_DSM $E_MSG $E_NET $E_SIM
 itest nscc_dsm crates/dsm/tests/resilience.rs $E_DSM $E_MSG $E_NET $E_SIM
@@ -136,6 +137,7 @@ build nscc_ga crates/ga/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_SIM $
 build nscc_bayes crates/bayes/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_SIM $E_NET $E_MSG $E_DSM $E_PART
 build nscc_core crates/core/src/lib.rs $EXT_PL $EXT_RAND $EXT_SERDE $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES
 build nscc_bench crates/bench/src/lib.rs $EXT_PL $EXT_RAND $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE
+build nscc_hunt crates/hunt/src/lib.rs $EXT_PL $EXT_RAND $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_BENCH
 build nscc_analyze crates/analyze/src/lib.rs $E_CKPT
 build nscc src/lib.rs $EXT_RAND $E_CKPT $E_OBS $E_AUDIT $E_SIM $E_NET $E_FAULTS $E_MSG $E_DSM $E_PART $E_GA $E_BAYES $E_CORE $E_ANALYZE
 # Root integration tests (proptest-based ones run against the shim: three
@@ -151,6 +153,9 @@ if want nscc_bench; then
     for b in crates/bench/src/bin/*.rs; do
         binary "bench-$(basename "$b" .rs)" "$b" $ALL
     done
+fi
+if want nscc_hunt; then
+    binary nscc-hunt crates/hunt/src/bin/nscc-hunt.rs $ALL $E_HUNT
 fi
 if want nscc_analyze; then
     binary nscc-cli crates/analyze/src/bin/nscc.rs $E_ANALYZE $E_CKPT
