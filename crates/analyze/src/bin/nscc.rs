@@ -13,6 +13,7 @@
 //!   --all                gate every numeric scalar, not just metrics.*
 //!   --update-baselines   copy fresh reports over the baselines and exit
 //! nscc audit <REPORT...>                      coherence-monitor verdicts (NSCC_AUDIT=1)
+//! nscc anatomy <REPORT...>                    staleness stage decomposition (NSCC_STALENESS=1)
 //! nscc drill <REPORT...>                      recovery-drill verdicts (snapshots/supervision)
 //! nscc postmortem <FLIGHT>                    analyze a flight-recorder dump
 //! nscc top [--once] [--interval MS] <FEED>    dashboard over an NSCC_LIVE feed
@@ -35,8 +36,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use nscc_analyze::{
-    audit, diff, drill, follow, gate_all, heat, inspect, inspect_ckpt_dir, postmortem, top_file,
-    trend_dir, trend_files, update_baselines, why, GateConfig, Report, TrendConfig,
+    anatomy, audit, diff, drill, follow, gate_all, heat, inspect, inspect_ckpt_dir, postmortem,
+    top_file, trend_dir, trend_files, update_baselines, why, GateConfig, Report, TrendConfig,
 };
 
 const USAGE: &str = "\
@@ -50,6 +51,7 @@ usage:
   nscc why <REPORT> [--proc P] [--locn L]
   nscc gate [--baselines DIR] [--rel R] [--abs A] [--all] [--update-baselines] <FRESH...>
   nscc audit <REPORT...>
+  nscc anatomy <REPORT...>
   nscc drill <REPORT...>
   nscc postmortem <FLIGHT>
   nscc top [--once] [--interval MS] <FEED>
@@ -80,6 +82,7 @@ fn main() -> ExitCode {
         "why" => cmd_why(rest),
         "gate" => cmd_gate(rest),
         "audit" => cmd_audit(rest),
+        "anatomy" => cmd_anatomy(rest),
         "drill" => cmd_drill(rest),
         "postmortem" => cmd_postmortem(rest),
         "top" => cmd_top(rest),
@@ -102,6 +105,30 @@ fn load(path: &str) -> Result<Report, ExitCode> {
         eprintln!("nscc: {e}");
         ExitCode::from(2)
     })
+}
+
+/// Forward-compatible load for the read-only renderers (`inspect`,
+/// `diff`): a report stamped by a newer schema still loads, with a
+/// one-line note naming the sections this nscc cannot render, instead of
+/// the strict loader's exit 2. Enforcement commands (`gate`) keep the
+/// strict loader.
+fn load_lenient(path: &str) -> Result<Report, ExitCode> {
+    let rep = Report::load_lenient(path).map_err(|e| {
+        eprintln!("nscc: {e}");
+        ExitCode::from(2)
+    })?;
+    let unknown = rep.unknown_sections();
+    if !unknown.is_empty() {
+        eprintln!(
+            "nscc: note: {}: schema v{} is newer than this analyzer's v{}; \
+             skipping unrecognized section(s): {}",
+            path,
+            rep.schema_version(),
+            nscc_analyze::SCHEMA_VERSION,
+            unknown.join(", ")
+        );
+    }
+    Ok(rep)
 }
 
 fn cmd_inspect(files: &[String]) -> ExitCode {
@@ -128,7 +155,7 @@ fn cmd_inspect(files: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     for (i, path) in files.iter().enumerate() {
-        let rep = match load(path) {
+        let rep = match load_lenient(path) {
             Ok(r) => r,
             Err(code) => return code,
         };
@@ -146,7 +173,7 @@ fn cmd_diff(files: &[String]) -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     };
-    let (a, b) = match (load(old), load(new)) {
+    let (a, b) = match (load_lenient(old), load_lenient(new)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(code), _) | (_, Err(code)) => return code,
     };
@@ -317,6 +344,32 @@ fn cmd_audit(files: &[String]) -> ExitCode {
         dirty |= violations > 0;
     }
     if dirty {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_anatomy(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("nscc anatomy: no reports given\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut leaks = 0u64;
+    for (i, path) in files.iter().enumerate() {
+        let rep = match load(path) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        if i > 0 {
+            println!();
+        }
+        let (text, violations) = anatomy(&rep);
+        print!("{text}");
+        leaks += violations;
+    }
+    if leaks > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -156,7 +156,10 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
             // nature, so it is never gated — only reported. `audit.*`
             // check counts exist only on NSCC_AUDIT=1 runs, so gating
             // them would fail every monitored run against an unmonitored
-            // baseline; a *violation* is caught above instead.
+            // baseline; a *violation* is caught above instead. Same for
+            // `staleness.*`: the anatomy counters exist only on
+            // NSCC_STALENESS=1 runs, and a decomposition leak is caught
+            // by the audit `conservation` monitor, not the gate.
             r.flatten()
                 .into_iter()
                 .filter(|(k, _)| {
@@ -164,6 +167,7 @@ pub fn gate_pair(base: &Report, fresh: &Report, cfg: &GateConfig) -> (String, Ou
                         && k != "schema_version"
                         && !k.starts_with("wall.")
                         && !k.starts_with("audit.")
+                        && !k.starts_with("staleness.")
                 })
                 .collect()
         } else {
@@ -538,6 +542,27 @@ mod tests {
             ..GateConfig::default()
         };
         let (text, outcome) = gate_pair(&base(), &clean, &cfg);
+        assert_eq!(outcome, Outcome::Pass, "{text}");
+    }
+
+    #[test]
+    fn staleness_section_is_reported_but_never_gated() {
+        // A tracer-armed fresh run carries a `staleness` section whose
+        // counters an untraced baseline lacks entirely: --all must not
+        // fail the union over those keys, exactly like wall/audit.
+        let traced = report(
+            r#"{"schema_version":7,"name":"t","params":{"runs":3,"seed":42},
+               "metrics":{"speedup":10.0,"zeroish":0.0},
+               "staleness":{"released":120,"conservation_checked":120,
+                 "conservation_violations":0,"flows_kept":120,"flows_dropped":0}}"#,
+        );
+        let cfg = GateConfig {
+            all: true,
+            ..GateConfig::default()
+        };
+        let (text, outcome) = gate_pair(&base(), &traced, &cfg);
+        assert_eq!(outcome, Outcome::Pass, "{text}");
+        let (text, outcome) = gate_pair(&traced, &base(), &cfg);
         assert_eq!(outcome, Outcome::Pass, "{text}");
     }
 

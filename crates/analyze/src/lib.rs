@@ -42,6 +42,11 @@
 //! - [`audit::audit`] — did the run uphold its coherence contract? The
 //!   online monitor verdict an `NSCC_AUDIT=1` run stamps into its
 //!   report: per-monitor check counts and every recorded violation.
+//! - [`anatomy::anatomy`] — where did every nanosecond of staleness go?
+//!   Renders the `staleness` section an `NSCC_STALENESS=1` run stamps:
+//!   the observed-age distribution, the seven-stage decomposition ranked
+//!   by total time, the top offending locations and links, and the
+//!   conservation verdict (stage sums must equal observed ages exactly).
 //! - [`drill::drill`] — did recovery actually work? Renders a report's
 //!   `recovery` section (marker waves, consistent cuts, cut-served
 //!   restores, supervisor restarts/retirements) and re-verifies the
@@ -61,6 +66,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod anatomy;
 pub mod audit;
 pub mod causal;
 pub mod ckpt;
@@ -76,6 +82,7 @@ pub mod report;
 pub mod top;
 pub mod trend;
 
+pub use anatomy::anatomy;
 pub use audit::audit;
 pub use causal::{heat, why};
 pub use ckpt::inspect_ckpt_dir;

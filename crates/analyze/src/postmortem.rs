@@ -142,10 +142,12 @@ fn tagged(ev: &Json) -> Option<(&str, &Json)> {
 }
 
 /// The rank an event belongs to, for timeline grouping: `rank` when the
-/// variant carries one, else `src` (network / delivery events).
+/// variant carries one, else `src` (network / delivery events), else
+/// `reader` (staleness-anatomy events).
 fn event_rank(body: &Json) -> Option<u64> {
     body.get("rank")
         .or_else(|| body.get("src"))
+        .or_else(|| body.get("reader"))
         .and_then(Json::as_u64)
 }
 
@@ -288,7 +290,71 @@ fn suspected_causes(
             if drops == 1 { "" } else { "s" }
         ));
     }
+
+    if let Some(s) = guilty_stage(events) {
+        out.push(s);
+    }
     out
+}
+
+/// When the hop tracer was armed, the ring carries `ReadAnatomy` events
+/// — each one a released read's observed age decomposed into the seven
+/// named stages. Aggregate them and name the guilty stage: where the
+/// captured window's staleness actually accrued.
+fn guilty_stage(events: &[Json]) -> Option<String> {
+    const STAGES: [&str; 7] = [
+        "wait_ns",
+        "publish_ns",
+        "transit_ns",
+        "fault_ns",
+        "retrans_ns",
+        "queue_ns",
+        "apply_ns",
+    ];
+    let mut sums = [0u64; 7];
+    let mut age_total = 0u64;
+    let mut releases = 0u64;
+    let mut leaks = 0u64;
+    for ev in events {
+        let Some(("ReadAnatomy", body)) = tagged(ev) else {
+            continue;
+        };
+        releases += 1;
+        let mut stage_sum = 0u64;
+        for (i, key) in STAGES.iter().enumerate() {
+            let v = body.get(key).and_then(Json::as_u64).unwrap_or(0);
+            sums[i] += v;
+            stage_sum += v;
+        }
+        let age = body.get("age_ns").and_then(Json::as_u64).unwrap_or(0);
+        age_total += age;
+        if stage_sum != age {
+            leaks += 1;
+        }
+    }
+    if releases == 0 || age_total == 0 {
+        return None;
+    }
+    let (i, &worst) = sums
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))?;
+    let name = STAGES[i].strip_suffix("_ns").unwrap_or(STAGES[i]);
+    let mut line = format!(
+        "staleness anatomy ({releases} traced release{} captured): guilty stage is \
+         {name} — {} of {} total observed age ({:.1}%)",
+        if releases == 1 { "" } else { "s" },
+        ns(worst),
+        ns(age_total),
+        worst as f64 / age_total as f64 * 100.0,
+    );
+    if leaks > 0 {
+        line.push_str(&format!(
+            "; {leaks} decomposition{} did NOT sum to the observed age (hop-stamp bug)",
+            if leaks == 1 { "" } else { "s" }
+        ));
+    }
+    Some(line)
 }
 
 /// Parse the location index out of a violation detail (`… loc 9 …`).
@@ -382,6 +448,38 @@ mod tests {
         let text = postmortem(&rep).unwrap();
         assert!(text.contains("(ring is empty)"), "{text}");
         assert!(text.contains("raise NSCC_FLIGHT"), "{text}");
+    }
+
+    #[test]
+    fn anatomy_events_name_the_guilty_stage() {
+        let rep = dump(
+            r#"{"schema_version":7,"kind":"flight","bench":"fault_study","seed":9,
+                "reason":"violation","capacity":64,"proc_names":[],
+                "violations":[],
+                "events":[
+                  {"ReadAnatomy":{"t_ns":9000,"reader":1,"writer":0,"loc":2,
+                    "write_iter":4,"msg_seq":7,"age_ns":8000,"wait_ns":500,
+                    "publish_ns":500,"transit_ns":5000,"fault_ns":1000,
+                    "retrans_ns":0,"queue_ns":600,"apply_ns":400}},
+                  {"ReadAnatomy":{"t_ns":9500,"reader":1,"writer":0,"loc":2,
+                    "write_iter":5,"msg_seq":8,"age_ns":2000,"wait_ns":0,
+                    "publish_ns":0,"transit_ns":1000,"fault_ns":0,
+                    "retrans_ns":0,"queue_ns":500,"apply_ns":400}}]}"#,
+        );
+        let text = postmortem(&rep).unwrap();
+        // 6000ns of transit out of 10000ns total observed age, and the
+        // second event leaks 100ns (sum 1900 != age 2000).
+        assert!(
+            text.contains(
+                "staleness anatomy (2 traced releases captured): guilty stage is \
+                 transit — 6.00us of 10.00us total observed age (60.0%)"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("1 decomposition did NOT sum to the observed age"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -14,11 +14,48 @@ use crate::json::{parse, Json};
 /// v2 report simply has no heatmap/dependency/profile sections, a v3 one
 /// no `wall` scheduler-accounting section, a v4 one no `audit`
 /// coherence-auditor section, a v5 one no `recovery`
-/// snapshot/supervision section.
-pub const SCHEMA_VERSION: u64 = 6;
+/// snapshot/supervision section, a v6 one no `staleness`
+/// anatomy section.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// The oldest export schema this analyzer still reads.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
+
+/// Every top-level key this analyzer's subcommands know how to render,
+/// across run reports, event dumps and flight dumps. Used by the lenient
+/// loaders ([`Report::load_lenient`]) to tell the user which sections of
+/// a newer-schema document they are skipping, instead of refusing the
+/// file outright.
+pub const KNOWN_SECTIONS: &[&str] = &[
+    // Run reports.
+    "schema_version",
+    "name",
+    "params",
+    "metrics",
+    "dsm",
+    "net",
+    "comm",
+    "fault_reports",
+    "degraded",
+    "obs",
+    "recovery",
+    "wall",
+    "audit",
+    "staleness",
+    // Event dumps.
+    "proc_names",
+    "events_dropped",
+    "spans_dropped",
+    "events",
+    "spans",
+    // Flight dumps.
+    "kind",
+    "bench",
+    "seed",
+    "reason",
+    "capacity",
+    "violations",
+];
 
 /// A loaded, schema-checked JSON artifact (run report or event dump).
 #[derive(Debug, Clone)]
@@ -63,6 +100,58 @@ impl Report {
             path: path.to_path_buf(),
             root,
         })
+    }
+
+    /// Like [`load`](Report::load), but *forward-compatible*: a document
+    /// stamped with a schema **newer** than [`SCHEMA_VERSION`] loads
+    /// anyway. Read-only renderers (`nscc inspect`, `nscc diff`) use this
+    /// — every schema bump so far has been additive, so the sections this
+    /// analyzer knows still render correctly and the caller surfaces the
+    /// ones it doesn't via [`unknown_sections`](Report::unknown_sections)
+    /// as a one-line note instead of a hard exit. Enforcement paths
+    /// (`nscc gate`) stay on the strict loader: silently half-comparing a
+    /// newer report could pass a regression.
+    pub fn load_lenient(path: impl AsRef<Path>) -> Result<Report, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+        let root = parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+        match root.get("schema_version").and_then(Json::as_u64) {
+            Some(v) if v >= MIN_SCHEMA_VERSION => {}
+            Some(v) => {
+                return Err(format!(
+                    "{}: schema version {v} predates the oldest supported export \
+                     ({MIN_SCHEMA_VERSION})",
+                    path.display()
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "{}: no schema_version field — not an NSCC run report or event \
+                     dump (or one predating schema stamping)",
+                    path.display()
+                ))
+            }
+        }
+        Ok(Report {
+            path: path.to_path_buf(),
+            root,
+        })
+    }
+
+    /// Top-level keys this analyzer has no renderer for, in document
+    /// order. Non-empty only for documents written by a newer schema than
+    /// [`SCHEMA_VERSION`] (or hand-edited ones); callers print them as a
+    /// one-line "skipping sections …" note.
+    pub fn unknown_sections(&self) -> Vec<String> {
+        let Some(members) = self.root.as_obj() else {
+            return Vec::new();
+        };
+        members
+            .iter()
+            .filter(|(k, _)| !KNOWN_SECTIONS.contains(&k.as_str()))
+            .map(|(k, _)| k.clone())
+            .collect()
     }
 
     /// The document's stamped `schema_version` (validated by
@@ -176,7 +265,7 @@ mod tests {
         // Older documents predate newer sections (causal attribution,
         // wall accounting) but remain loadable (the schema grows
         // additively).
-        for v in 1..=6u64 {
+        for v in 1..=7u64 {
             let p = write_temp(
                 &format!("v{v}.json"),
                 &format!(r#"{{"schema_version":{v},"name":"x"}}"#),
@@ -185,14 +274,47 @@ mod tests {
             assert_eq!(rep.schema_version(), v);
             std::fs::remove_file(p).ok();
         }
-        let newer = write_temp("v7.json", r#"{"schema_version":7,"name":"x"}"#);
+        let newer = write_temp("v8.json", r#"{"schema_version":8,"name":"x"}"#);
         let err = Report::load(&newer).unwrap_err();
-        assert!(err.contains("schema version 7"), "{err}");
-        assert!(err.contains("1..=6"), "{err}");
+        assert!(err.contains("schema version 8"), "{err}");
+        assert!(err.contains("1..=7"), "{err}");
         let none = write_temp("none.json", r#"{"name":"x"}"#);
         let err = Report::load(&none).unwrap_err();
         assert!(err.contains("no schema_version"), "{err}");
         std::fs::remove_file(newer).ok();
+        std::fs::remove_file(none).ok();
+    }
+
+    #[test]
+    fn lenient_load_accepts_newer_schemas_and_names_unknown_sections() {
+        // A future writer stamps v99 and adds a section this analyzer
+        // has never heard of: the lenient loader still reads the file and
+        // reports exactly the foreign keys, so read-only commands can
+        // render what they know and note what they skipped.
+        let p = write_temp(
+            "future.json",
+            r#"{"schema_version":99,"name":"x","metrics":{"m":1.0},
+                "hologram":{"qubits":3},"metrics2":[]}"#,
+        );
+        let err = Report::load(&p).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+        let rep = Report::load_lenient(&p).expect("lenient load succeeds");
+        assert_eq!(rep.schema_version(), 99);
+        assert_eq!(rep.unknown_sections(), vec!["hologram", "metrics2"]);
+        std::fs::remove_file(p).ok();
+
+        // Current-schema documents have no unknown sections, and garbage
+        // is still refused.
+        let ok = write_temp("now.json", r#"{"schema_version":7,"name":"x"}"#);
+        assert!(Report::load_lenient(&ok)
+            .unwrap()
+            .unknown_sections()
+            .is_empty());
+        std::fs::remove_file(ok).ok();
+        let none = write_temp("lenient_none.json", r#"{"name":"x"}"#);
+        assert!(Report::load_lenient(&none)
+            .unwrap_err()
+            .contains("no schema_version"));
         std::fs::remove_file(none).ok();
     }
 

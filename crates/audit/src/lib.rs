@@ -6,9 +6,11 @@
 //! in time (outside an explicit rollback), the reliable-delivery layer
 //! must never hand the same frame to the application twice, barrier
 //! epochs must advance in lockstep, a crash restore must never roll a
-//! node back further than the coherence mode promises, and a consistent
-//! snapshot must never pause the islands it cuts across. This crate
-//! checks all six invariants *online*, as a [`nscc_obs::EventSink`] tap on the
+//! node back further than the coherence mode promises, a consistent
+//! snapshot must never pause the islands it cuts across, and — when the
+//! staleness tracer is armed — every released read's named stage
+//! durations must sum exactly to its observed age. This crate checks all
+//! seven invariants *online*, as a [`nscc_obs::EventSink`] tap on the
 //! observability hub, and packages the results two ways:
 //!
 //! * an [`AuditSummary`] that lands in the run report's `audit` section
@@ -39,8 +41,8 @@ use nscc_obs::{EventSink, ObsEvent};
 
 pub use flight::{render_flight_dump, FlightDump};
 pub use monitors::{
-    BarrierMonitor, MonotonicityMonitor, RollbackMonitor, SequenceMonitor, SnapshotMonitor,
-    StalenessMonitor,
+    BarrierMonitor, ConservationMonitor, MonotonicityMonitor, RollbackMonitor, SequenceMonitor,
+    SnapshotMonitor, StalenessMonitor,
 };
 
 /// Hard cap on individually recorded violations. Monitors keep exact
@@ -142,7 +144,8 @@ impl Default for Auditor {
 impl Auditor {
     /// An auditor with the full standard monitor set: staleness-bound,
     /// write monotonicity, reliable-delivery sequence sanity, barrier
-    /// epoch ordering, rollback bound and snapshot lifecycle.
+    /// epoch ordering, rollback bound, snapshot lifecycle and staleness
+    /// anatomy conservation.
     pub fn new() -> Self {
         Auditor::with_monitors(vec![
             Box::new(StalenessMonitor::default()),
@@ -151,6 +154,7 @@ impl Auditor {
             Box::new(BarrierMonitor::default()),
             Box::new(RollbackMonitor::default()),
             Box::new(SnapshotMonitor::default()),
+            Box::new(ConservationMonitor::default()),
         ])
     }
 
@@ -257,7 +261,7 @@ mod tests {
         let s = a.summary();
         assert!(s.clean());
         assert_eq!(s.checked, 2);
-        assert_eq!(s.monitors.len(), 6);
+        assert_eq!(s.monitors.len(), 7);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The six standard invariant monitors.
+//! The seven standard invariant monitors.
 //!
 //! Each monitor audits one clause of the non-strict coherence contract.
 //! They are deliberately conservative: a monitor only flags conditions
@@ -388,6 +388,71 @@ impl Monitor for SnapshotMonitor {
     }
 }
 
+/// Checks the staleness tracer's conservation contract on every
+/// `ReadAnatomy` event: the seven named stage durations must sum to
+/// *exactly* the observed age. The stages are differences of adjacent
+/// virtual-time hop stamps, so any stamping bug — a hop skipped, a
+/// retransmit double-counted, an overhead booked twice — breaks the
+/// telescoping sum and is flagged here, online.
+///
+/// Trivially green (zero checks) when the tracer is off: the DSM only
+/// emits `ReadAnatomy` when [`nscc_obs::Hub::enable_staleness`] was
+/// called.
+#[derive(Debug, Default)]
+pub struct ConservationMonitor {
+    checked: u64,
+}
+
+impl Monitor for ConservationMonitor {
+    fn name(&self) -> &'static str {
+        "conservation"
+    }
+
+    fn on_event(&mut self, ev: &ObsEvent, out: &mut Vec<Violation>) {
+        if let ObsEvent::ReadAnatomy {
+            t_ns,
+            reader,
+            loc,
+            age_ns,
+            wait_ns,
+            publish_ns,
+            transit_ns,
+            fault_ns,
+            retrans_ns,
+            queue_ns,
+            apply_ns,
+            ..
+        } = *ev
+        {
+            self.checked += 1;
+            let sum = wait_ns
+                .wrapping_add(publish_ns)
+                .wrapping_add(transit_ns)
+                .wrapping_add(fault_ns)
+                .wrapping_add(retrans_ns)
+                .wrapping_add(queue_ns)
+                .wrapping_add(apply_ns);
+            if sum != age_ns {
+                out.push(Violation {
+                    monitor: self.name(),
+                    t_ns,
+                    rank: reader,
+                    detail: format!(
+                        "read of loc {loc} released with stage sum {sum}ns != observed age \
+                         {age_ns}ns (wait {wait_ns} + publish {publish_ns} + transit \
+                         {transit_ns} + fault {fault_ns} + retrans {retrans_ns} + queue \
+                         {queue_ns} + apply {apply_ns})"
+                    ),
+                });
+            }
+        }
+    }
+
+    fn checked(&self) -> u64 {
+        self.checked
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,5 +655,37 @@ mod tests {
         let v = drain(&mut m, &[restore(6, 5)]);
         assert_eq!(v.len(), 1);
         assert!(v[0].detail.contains("past the mode's bound"));
+    }
+
+    #[test]
+    fn conserving_anatomy_passes_and_leaks_fail() {
+        let anatomy = |transit: u64| ObsEvent::ReadAnatomy {
+            t_ns: 50_000,
+            reader: 1,
+            writer: 0,
+            loc: 3,
+            write_iter: 7,
+            msg_seq: 42,
+            age_ns: 10_000,
+            wait_ns: 1_000,
+            publish_ns: 500,
+            transit_ns: transit,
+            fault_ns: 2_000,
+            retrans_ns: 1_500,
+            queue_ns: 700,
+            apply_ns: 300,
+        };
+        let mut m = ConservationMonitor::default();
+        // 1000+500+4000+2000+1500+700+300 == 10_000: conserved.
+        assert!(drain(&mut m, &[anatomy(4_000)]).is_empty());
+        // One nanosecond leaks: flagged, with the full decomposition in
+        // the detail so postmortems can name the guilty stage.
+        let v = drain(&mut m, &[anatomy(3_999)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rank, 1);
+        assert!(v[0]
+            .detail
+            .contains("stage sum 9999ns != observed age 10000ns"));
+        assert_eq!(m.checked(), 2);
     }
 }

@@ -27,8 +27,8 @@
 //! the input of `nscc drill`.
 
 use nscc_bench::{
-    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_wall, unwrap_or_flight,
-    write_flight, write_folded, write_report, write_trace, Scale,
+    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_staleness, stamp_wall,
+    unwrap_or_flight, write_flight, write_folded, write_report, write_trace, Scale,
 };
 use nscc_core::fmt::render_table;
 use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
@@ -376,6 +376,7 @@ fn main() {
     rep.note_degradation();
     stamp_wall(&scale, &hub, &mut rep);
     stamp_audit(&auditor, &mut rep);
+    stamp_staleness(&scale, &hub, None, &mut rep);
     write_report(&scale, &rep);
     write_flight(&scale, &hub, &auditor, rep.fault_reports, "drill");
     write_trace(&scale, &hub, "drill");

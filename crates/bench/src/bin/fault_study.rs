@@ -28,8 +28,8 @@ use std::sync::Arc;
 use nscc_audit::Auditor;
 use nscc_bench::{
     ages_from_env, attach_audit, attach_live, banner, fault_plan_from_env, loss_rates_from_env,
-    make_hub, stamp_audit, stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded,
-    write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
+    make_hub, stamp_audit, stamp_staleness, stamp_wall, tap_audit, unwrap_or_flight, write_flight,
+    write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, FaultPlan, GaExperiment, Platform, RecoveryStyle, RunReport};
@@ -37,7 +37,7 @@ use nscc_dsm::{Coherence, DsmStats};
 use nscc_ga::{CostModel, TestFn};
 use nscc_msg::{CommStats, ReliableConfig};
 use nscc_net::NetStats;
-use nscc_obs::{Hub, HubSummary};
+use nscc_obs::{Hub, HubSummary, StalenessSummary};
 use nscc_sim::SimTime;
 
 const PROCS: usize = 4;
@@ -59,6 +59,7 @@ struct CellData {
     net: NetStats,
     comm: CommStats,
     obs: HubSummary,
+    staleness: StalenessSummary,
 }
 
 impl nscc_ckpt::Snapshot for CellData {
@@ -73,6 +74,7 @@ impl nscc_ckpt::Snapshot for CellData {
         self.net.encode(enc);
         self.comm.encode(enc);
         self.obs.encode(enc);
+        self.staleness.encode(enc);
     }
 
     fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
@@ -87,6 +89,7 @@ impl nscc_ckpt::Snapshot for CellData {
             net: nscc_ckpt::Snapshot::decode(dec)?,
             comm: nscc_ckpt::Snapshot::decode(dec)?,
             obs: nscc_ckpt::Snapshot::decode(dec)?,
+            staleness: nscc_ckpt::Snapshot::decode(dec)?,
         })
     }
 }
@@ -187,6 +190,7 @@ fn run_cell(
         net: res.net.clone(),
         comm: m.comm,
         obs: Hub::new().summary(),
+        staleness: StalenessSummary::default(),
     }
 }
 
@@ -227,6 +231,7 @@ fn main() {
     // carries its own summary) and merge the summaries in grid order;
     // plain runs keep the single shared hub.
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut stal_merged = ckpt.as_ref().map(|_| StalenessSummary::default());
     let mut cell_idx = 0u64;
     for &loss in &losses {
         for &age in &ages {
@@ -250,6 +255,7 @@ fn main() {
                         let mut cell =
                             run_cell(&scale, loss, age, plan_override.as_ref(), exp_obs, &auditor);
                         cell.obs = cell_hub.summary();
+                        cell.staleness = cell_hub.staleness_summary();
                         // Carry the cell's wall-clock scheduler cost and
                         // flight ring into the main hub (the feed/report
                         // and any post-mortem dump read from there).
@@ -291,6 +297,9 @@ fn main() {
             if let Some(acc) = obs_merged.as_mut() {
                 acc.merge(&cell.obs);
             }
+            if let Some(acc) = stal_merged.as_mut() {
+                acc.merge(&cell.staleness);
+            }
             cell_idx += 1;
         }
     }
@@ -310,6 +319,7 @@ fn main() {
     rep.note_degradation();
     stamp_wall(&scale, &hub, &mut rep);
     stamp_audit(&auditor, &mut rep);
+    stamp_staleness(&scale, &hub, stal_merged, &mut rep);
     write_report(&scale, &rep);
     write_flight(&scale, &hub, &auditor, rep.fault_reports, "fault_study");
     if ckpt.is_some() {

@@ -16,8 +16,8 @@
 
 use nscc_bench::{
     all_functions_flag, attach_audit, attach_live, banner, make_hub, modes_from_env, stamp_audit,
-    stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded, write_report, write_trace,
-    ResumeOpts, Scale, SweepCkpt,
+    stamp_staleness, stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded,
+    write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, RunReport};
@@ -25,7 +25,7 @@ use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
 use nscc_msg::CommStats;
 use nscc_net::NetStats;
-use nscc_obs::{Hub, HubSummary};
+use nscc_obs::{Hub, HubSummary, StalenessSummary};
 use nscc_sim::SimTime;
 
 /// What one function × processor cell contributes to the figure — the
@@ -42,6 +42,7 @@ struct Cell {
     net: NetStats,
     comm: CommStats,
     obs: HubSummary,
+    staleness: StalenessSummary,
 }
 
 impl Cell {
@@ -59,6 +60,7 @@ impl Cell {
             net: r.net.clone(),
             comm: r.comm,
             obs: Hub::new().summary(),
+            staleness: StalenessSummary::default(),
         }
     }
 }
@@ -73,6 +75,7 @@ impl nscc_ckpt::Snapshot for Cell {
         self.net.encode(enc);
         self.comm.encode(enc);
         self.obs.encode(enc);
+        self.staleness.encode(enc);
     }
 
     fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
@@ -85,6 +88,7 @@ impl nscc_ckpt::Snapshot for Cell {
             net: nscc_ckpt::Snapshot::decode(dec)?,
             comm: nscc_ckpt::Snapshot::decode(dec)?,
             obs: nscc_ckpt::Snapshot::decode(dec)?,
+            staleness: nscc_ckpt::Snapshot::decode(dec)?,
         })
     }
 }
@@ -117,6 +121,7 @@ fn main() {
     // and merge the summaries in grid order; plain runs keep the single
     // shared hub.
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut stal_merged = ckpt.as_ref().map(|_| StalenessSummary::default());
     let mut results: Vec<Vec<Cell>> = Vec::new();
     for (fi, &func) in functions.iter().enumerate() {
         let mut per_proc = Vec::new();
@@ -161,6 +166,7 @@ fn main() {
                     let mut cell = Cell::from_result(&res);
                     if let Some(h) = cell_hub {
                         cell.obs = h.summary();
+                        cell.staleness = h.staleness_summary();
                         // Carry the cell's wall-clock scheduler cost and
                         // flight ring into the main hub (the feed/report
                         // and any post-mortem dump read from there).
@@ -180,6 +186,9 @@ fn main() {
             };
             if let Some(acc) = obs_merged.as_mut() {
                 acc.merge(&cell.obs);
+            }
+            if let Some(acc) = stal_merged.as_mut() {
+                acc.merge(&cell.staleness);
             }
             per_proc.push(cell);
         }
@@ -229,6 +238,7 @@ fn main() {
         rep.note_degradation();
         stamp_wall(&scale, &hub, &mut rep);
         stamp_audit(&auditor, &mut rep);
+        stamp_staleness(&scale, &hub, stal_merged, &mut rep);
         write_report(&scale, &rep);
     }
     write_flight(&scale, &hub, &auditor, 0, "fig2");

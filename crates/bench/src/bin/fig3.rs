@@ -11,15 +11,15 @@
 
 use nscc_bayes::{StopRule, TABLE2};
 use nscc_bench::{
-    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_wall, tap_audit,
-    unwrap_or_flight, write_flight, write_folded, write_report, write_trace, ResumeOpts, Scale,
-    SweepCkpt,
+    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_staleness, stamp_wall,
+    tap_audit, unwrap_or_flight, write_flight, write_folded, write_report, write_trace, ResumeOpts,
+    Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_bayes_experiment, BayesExpResult, BayesExperiment, RunReport};
 use nscc_dsm::DsmStats;
 use nscc_net::NetStats;
-use nscc_obs::{Hub, HubSummary};
+use nscc_obs::{Hub, HubSummary, StalenessSummary};
 use nscc_sim::SimTime;
 
 /// What one belief-network cell contributes to the figure — the
@@ -38,6 +38,7 @@ struct Cell {
     dsm: DsmStats,
     net_stats: NetStats,
     obs: HubSummary,
+    staleness: StalenessSummary,
 }
 
 impl Cell {
@@ -54,6 +55,7 @@ impl Cell {
             dsm: r.dsm,
             net_stats: r.net_stats.clone(),
             obs: Hub::new().summary(),
+            staleness: StalenessSummary::default(),
         }
     }
 
@@ -83,6 +85,7 @@ impl nscc_ckpt::Snapshot for Cell {
         self.dsm.encode(enc);
         self.net_stats.encode(enc);
         self.obs.encode(enc);
+        self.staleness.encode(enc);
     }
 
     fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
@@ -98,6 +101,7 @@ impl nscc_ckpt::Snapshot for Cell {
             dsm: nscc_ckpt::Snapshot::decode(dec)?,
             net_stats: nscc_ckpt::Snapshot::decode(dec)?,
             obs: nscc_ckpt::Snapshot::decode(dec)?,
+            staleness: nscc_ckpt::Snapshot::decode(dec)?,
         })
     }
 }
@@ -118,6 +122,7 @@ fn main() {
     attach_live(&scale, &hub, "fig3");
     let auditor = attach_audit(&scale, &hub);
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut stal_merged = ckpt.as_ref().map(|_| StalenessSummary::default());
     let mut results: Vec<Cell> = Vec::new();
     for (ci, netid) in TABLE2.iter().enumerate() {
         let cell_idx = ci as u64;
@@ -162,6 +167,7 @@ fn main() {
                 let mut cell = Cell::from_result(&res);
                 if let Some(h) = cell_hub {
                     cell.obs = h.summary();
+                    cell.staleness = h.staleness_summary();
                     // Carry the cell's wall-clock scheduler cost and
                     // flight ring into the main hub (the feed/report and
                     // any post-mortem dump read from there).
@@ -181,6 +187,9 @@ fn main() {
         };
         if let Some(acc) = obs_merged.as_mut() {
             acc.merge(&cell.obs);
+        }
+        if let Some(acc) = stal_merged.as_mut() {
+            acc.merge(&cell.staleness);
         }
         results.push(cell);
     }
@@ -261,6 +270,7 @@ fn main() {
         rep.note_degradation();
         stamp_wall(&scale, &hub, &mut rep);
         stamp_audit(&auditor, &mut rep);
+        stamp_staleness(&scale, &hub, stal_merged, &mut rep);
         write_report(&scale, &rep);
     }
     write_flight(&scale, &hub, &auditor, 0, "fig3");

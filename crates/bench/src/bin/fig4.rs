@@ -13,8 +13,8 @@
 
 use nscc_bench::{
     all_functions_flag, attach_audit, attach_live, banner, make_hub, modes_from_env, stamp_audit,
-    stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded, write_report, write_trace,
-    ResumeOpts, Scale, SweepCkpt,
+    stamp_staleness, stamp_wall, tap_audit, unwrap_or_flight, write_flight, write_folded,
+    write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::{f2, render_table};
 use nscc_core::{run_ga_experiment, GaExpResult, GaExperiment, Platform, RunReport};
@@ -22,7 +22,7 @@ use nscc_dsm::DsmStats;
 use nscc_ga::{TestFn, ALL_FUNCTIONS};
 use nscc_msg::CommStats;
 use nscc_net::NetStats;
-use nscc_obs::{Hub, HubSummary};
+use nscc_obs::{Hub, HubSummary, StalenessSummary};
 use nscc_sim::SimTime;
 
 /// What one panel × load × function cell contributes to the figure — the
@@ -40,6 +40,7 @@ struct Cell {
     net: NetStats,
     comm: CommStats,
     obs: HubSummary,
+    staleness: StalenessSummary,
 }
 
 impl Cell {
@@ -58,6 +59,7 @@ impl Cell {
             net: r.net.clone(),
             comm: r.comm,
             obs: Hub::new().summary(),
+            staleness: StalenessSummary::default(),
         }
     }
 }
@@ -73,6 +75,7 @@ impl nscc_ckpt::Snapshot for Cell {
         self.net.encode(enc);
         self.comm.encode(enc);
         self.obs.encode(enc);
+        self.staleness.encode(enc);
     }
 
     fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
@@ -86,6 +89,7 @@ impl nscc_ckpt::Snapshot for Cell {
             net: nscc_ckpt::Snapshot::decode(dec)?,
             comm: nscc_ckpt::Snapshot::decode(dec)?,
             obs: nscc_ckpt::Snapshot::decode(dec)?,
+            staleness: nscc_ckpt::Snapshot::decode(dec)?,
         })
     }
 }
@@ -115,6 +119,7 @@ fn main() {
     let auditor = attach_audit(&scale, &hub);
     let modes = modes_from_env();
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut stal_merged = ckpt.as_ref().map(|_| StalenessSummary::default());
     let mut dsm = DsmStats::default();
     let mut net = NetStats::default();
     let mut comm = CommStats::default();
@@ -174,6 +179,7 @@ fn main() {
                         let mut cell = Cell::from_result(&res);
                         if let Some(h) = cell_hub {
                             cell.obs = h.summary();
+                            cell.staleness = h.staleness_summary();
                             // Carry the cell's wall-clock scheduler cost
                             // and flight ring into the main hub
                             // (feed/report and any dump read there).
@@ -193,6 +199,9 @@ fn main() {
                 };
                 if let Some(acc) = obs_merged.as_mut() {
                     acc.merge(&cell.obs);
+                }
+                if let Some(acc) = stal_merged.as_mut() {
+                    acc.merge(&cell.staleness);
                 }
                 net.merge(&cell.net);
                 comm.merge(&cell.comm);
@@ -285,6 +294,7 @@ fn main() {
         rep.note_degradation();
         stamp_wall(&scale, &hub, &mut rep);
         stamp_audit(&auditor, &mut rep);
+        stamp_staleness(&scale, &hub, stal_merged, &mut rep);
         write_report(&scale, &rep);
     }
     write_flight(&scale, &hub, &auditor, 0, "fig4");

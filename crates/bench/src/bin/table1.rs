@@ -5,8 +5,8 @@
 //! so the report carries only the per-function minima).
 
 use nscc_bench::{
-    attach_audit, attach_live, make_hub, stamp_audit, stamp_wall, write_flight, write_folded,
-    write_report, write_trace, Scale,
+    attach_audit, attach_live, make_hub, stamp_audit, stamp_staleness, stamp_wall, write_flight,
+    write_folded, write_report, write_trace, Scale,
 };
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
@@ -56,6 +56,7 @@ fn main() {
         }
         stamp_wall(&scale, &hub, &mut rep);
         stamp_audit(&auditor, &mut rep);
+        stamp_staleness(&scale, &hub, None, &mut rep);
         write_report(&scale, &rep);
     }
     write_flight(&scale, &hub, &auditor, 0, "table1");

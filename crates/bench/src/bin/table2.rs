@@ -6,8 +6,8 @@
 
 use nscc_bayes::{Plan, StopRule, TABLE2};
 use nscc_bench::{
-    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_wall, write_flight,
-    write_folded, write_report, write_trace, Scale,
+    attach_audit, attach_live, banner, make_hub, stamp_audit, stamp_staleness, stamp_wall,
+    write_flight, write_folded, write_report, write_trace, Scale,
 };
 use nscc_core::fmt::render_table;
 use nscc_core::{run_sequential, BayesExperiment, RunReport};
@@ -82,6 +82,7 @@ fn main() {
     print!("{}", render_table(&rows));
     stamp_wall(&scale, &hub, &mut rep);
     stamp_audit(&auditor, &mut rep);
+    stamp_staleness(&scale, &hub, None, &mut rep);
     write_report(&scale, &rep);
     write_flight(&scale, &hub, &auditor, 0, "table2");
     write_trace(&scale, &hub, "table2");

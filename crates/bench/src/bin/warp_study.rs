@@ -11,14 +11,14 @@
 //! finished cells and produces a byte-identical report.
 
 use nscc_bench::{
-    attach_audit, attach_live, make_hub, stamp_audit, stamp_wall, tap_audit, write_flight,
-    write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
+    attach_audit, attach_live, make_hub, stamp_audit, stamp_staleness, stamp_wall, tap_audit,
+    write_flight, write_folded, write_report, write_trace, ResumeOpts, Scale, SweepCkpt,
 };
 use nscc_core::fmt::render_table;
 use nscc_core::RunReport;
 use nscc_msg::{CommWorld, MsgConfig};
 use nscc_net::{spawn_loaders, EthernetBus, LoaderConfig, Network, NodeId, WarpMeter};
-use nscc_obs::{Hub, HubSummary};
+use nscc_obs::{Hub, HubSummary, StalenessSummary};
 use nscc_sim::{SimBuilder, SimTime};
 
 /// What one load level contributes to the study — the checkpoint unit of
@@ -29,6 +29,7 @@ struct Cell {
     warp_max: f64,
     delay_ms: f64,
     obs: HubSummary,
+    staleness: StalenessSummary,
 }
 
 impl nscc_ckpt::Snapshot for Cell {
@@ -38,6 +39,7 @@ impl nscc_ckpt::Snapshot for Cell {
         self.warp_max.encode(enc);
         self.delay_ms.encode(enc);
         self.obs.encode(enc);
+        self.staleness.encode(enc);
     }
 
     fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
@@ -47,6 +49,7 @@ impl nscc_ckpt::Snapshot for Cell {
             warp_max: nscc_ckpt::Snapshot::decode(dec)?,
             delay_ms: nscc_ckpt::Snapshot::decode(dec)?,
             obs: nscc_ckpt::Snapshot::decode(dec)?,
+            staleness: nscc_ckpt::Snapshot::decode(dec)?,
         })
     }
 }
@@ -60,6 +63,7 @@ fn main() {
     attach_live(&scale, &hub, "warp_study");
     let auditor = attach_audit(&scale, &hub);
     let mut obs_merged = ckpt.as_ref().map(|_| Hub::new().summary());
+    let mut stal_merged = ckpt.as_ref().map(|_| StalenessSummary::default());
     let mut rep = RunReport::new("warp_study", &hub);
     let mut rows = vec![vec![
         "load (Mbps)".to_string(),
@@ -91,16 +95,16 @@ fn main() {
                     (scale.wants_obs().then(|| hub.clone()), None)
                 };
                 let (warp, delay_ms) = measure(load, exp_obs);
-                let obs = match cell_hub {
+                let (obs, staleness) = match cell_hub {
                     Some(h) => {
                         // Carry the cell's wall-clock scheduler cost and
                         // flight ring into the main hub (the feed/report
                         // and any post-mortem dump read from there).
                         hub.adopt_sched(&h);
                         hub.adopt_flight(&h);
-                        h.summary()
+                        (h.summary(), h.staleness_summary())
                     }
-                    None => Hub::new().summary(),
+                    None => (Hub::new().summary(), StalenessSummary::default()),
                 };
                 let cell = Cell {
                     warp_mean: warp.0,
@@ -108,6 +112,7 @@ fn main() {
                     warp_max: warp.2,
                     delay_ms,
                     obs,
+                    staleness,
                 };
                 if let Some(ck) = ckpt.as_mut() {
                     ck.save_cell(cell_idx, 0, &[], &nscc_ckpt::to_bytes(&cell));
@@ -117,6 +122,9 @@ fn main() {
         };
         if let Some(acc) = obs_merged.as_mut() {
             acc.merge(&cell.obs);
+        }
+        if let Some(acc) = stal_merged.as_mut() {
+            acc.merge(&cell.staleness);
         }
         rows.push(vec![
             format!("{load}"),
@@ -142,6 +150,7 @@ fn main() {
         };
         stamp_wall(&scale, &hub, &mut rep);
         stamp_audit(&auditor, &mut rep);
+        stamp_staleness(&scale, &hub, stal_merged, &mut rep);
         write_report(&scale, &rep);
     }
     write_flight(&scale, &hub, &auditor, 0, "warp_study");

@@ -11,7 +11,10 @@
 //! * a hard simulation error (deadlock outside the watchdog's reach),
 //!   including any deadlock breadcrumbs, instead of a process exit;
 //! * recovery counters (`restores`, `max_rollback`) and the completion
-//!   rate, for the rollback-bound and completion oracles.
+//!   rate, for the rollback-bound and completion oracles;
+//! * the staleness tracer's conservation verdict (`traced_releases`,
+//!   `conservation_violations`) — the hop tracer is always armed here,
+//!   so the fuzzer hunts decomposition bugs for free.
 //!
 //! Same [`HeadlessSpec`] → byte-identical [`HeadlessOutcome`]: the run
 //! is a deterministic discrete-event simulation, so a hunt finding
@@ -110,6 +113,12 @@ pub struct HeadlessOutcome {
     pub max_rollback: u64,
     /// Reliable-layer frames abandoned after exhausting retries.
     pub give_ups: u64,
+    /// Blocked reads the staleness tracer decomposed into stage
+    /// durations (the tracer is always armed in headless runs).
+    pub traced_releases: u64,
+    /// Traced releases whose stage sum did NOT equal the observed age —
+    /// nonzero means a hop stamp is wrong or missing.
+    pub conservation_violations: u64,
 }
 
 /// Run one trial and collect every verdict. Never exits and never
@@ -117,6 +126,9 @@ pub struct HeadlessOutcome {
 /// [`HeadlessOutcome::sim_error`].
 pub fn run_headless(spec: &HeadlessSpec) -> HeadlessOutcome {
     let hub = Hub::new();
+    // The hop tracer is free under fuzzing and turns every trial into a
+    // conservation check: stage sums must equal observed ages exactly.
+    hub.enable_staleness();
     let auditor = Arc::new(Auditor::new());
     hub.set_tap(auditor.clone());
 
@@ -132,7 +144,7 @@ pub fn run_headless(spec: &HeadlessSpec) -> HeadlessOutcome {
         base_seed: spec.seed,
         cost: CostModel::deterministic(),
         platform,
-        obs: Some(hub),
+        obs: Some(hub.clone()),
         modes: vec![Coherence::PartialAsync { age: spec.age }],
         read_timeout: spec.read_timeout,
         heartbeat: spec.heartbeat,
@@ -156,6 +168,9 @@ pub fn run_headless(spec: &HeadlessSpec) -> HeadlessOutcome {
         }
         Err(e) => out.sim_error = Some(e.to_string()),
     }
+    let stal = hub.staleness_summary();
+    out.traced_releases = stal.released;
+    out.conservation_violations = stal.conservation_violations;
     out.violation_count = auditor.violation_count();
     out.violations = auditor
         .recorded()
@@ -177,6 +192,11 @@ mod tests {
         assert_eq!(a.violation_count, 0, "clean run must not trip the audit");
         assert!(a.fault_summaries.is_empty());
         assert_eq!(a.success_rate, 1.0);
+        assert!(a.traced_releases > 0, "the armed tracer saw releases");
+        assert_eq!(
+            a.conservation_violations, 0,
+            "stage sums must equal observed ages exactly"
+        );
         let b = run_headless(&spec);
         assert_eq!(a, b, "same spec must reproduce byte-identically");
     }

@@ -70,6 +70,16 @@
 //!   the run ends badly (a monitor violation, a watchdog-cut run, or a
 //!   deadlock). Read the dump with `nscc postmortem`. The ring is a side
 //!   channel; reports stay byte-identical with it on or off.
+//! * `NSCC_STALENESS` — set to `1`/`true` to arm the per-hop staleness
+//!   tracer: every DSM update's provenance is stamped as it crosses each
+//!   layer (publish, transit, fault delay, retransmits, mailbox dwell,
+//!   apply), and on every read release the observed age is decomposed
+//!   into the seven named stage durations. The per-stage log₂ histograms
+//!   — overall, by location and by writer→reader link — land in the
+//!   report's `staleness` section (rendered by `nscc anatomy`), and
+//!   write→apply→release flow arrows join the Perfetto spans. Purely
+//!   additive: outside that one section the report stays byte-identical
+//!   with the tracer on or off.
 //! * `NSCC_INJECT_STALE` — fault-injection knob honoured by the
 //!   `fault_study` bin: deliberately release this many would-block reads
 //!   with their stale cached value, *violating* the age bound so the
@@ -139,6 +149,9 @@ pub struct Scale {
     /// stale, deliberately violating the age bound (`NSCC_INJECT_STALE`;
     /// 0 = honest run).
     pub inject_stale: u64,
+    /// Whether to arm the per-hop staleness tracer and stamp the
+    /// report's `staleness` anatomy section (`NSCC_STALENESS`).
+    pub staleness: bool,
 }
 
 /// Where the live telemetry feed goes: a file path the bench creates, or
@@ -244,6 +257,7 @@ impl Scale {
                 0,
                 "an unsigned integer of reads (e.g. NSCC_INJECT_STALE=4)",
             )?,
+            staleness: env_flag(get, "NSCC_STALENESS")?,
         })
     }
 
@@ -259,6 +273,7 @@ impl Scale {
             || self.audit
             || self.flight.is_some()
             || self.inject_stale > 0
+            || self.staleness
     }
 
     /// The paper's full scale (25 GA runs, 1000 generations, CI ±0.01).
@@ -279,6 +294,7 @@ impl Scale {
             audit: false,
             flight: None,
             inject_stale: 0,
+            staleness: false,
         }
     }
 }
@@ -624,6 +640,9 @@ pub fn make_hub(scale: &Scale) -> Hub {
     if let Some(cap) = scale.flight {
         hub.enable_flight(cap);
     }
+    if scale.staleness {
+        hub.enable_staleness();
+    }
     hub
 }
 
@@ -660,6 +679,23 @@ pub fn tap_audit(auditor: &Option<Arc<Auditor>>, hub: &Hub) {
 pub fn stamp_audit(auditor: &Option<Arc<Auditor>>, report: &mut RunReport) {
     if let Some(a) = auditor {
         report.audit = Some(a.summary());
+    }
+}
+
+/// Embed the staleness tracer's anatomy as the report's `staleness`
+/// section when `NSCC_STALENESS` asked for it (no-op otherwise — the
+/// section stays `null` and the report byte-identical to an untraced
+/// run). Sweep bins that aggregate per-cell hubs pass the merged
+/// summary; single-hub bins pass `None` and the main hub's own anatomy
+/// is stamped.
+pub fn stamp_staleness(
+    scale: &Scale,
+    hub: &Hub,
+    merged: Option<nscc_obs::StalenessSummary>,
+    report: &mut RunReport,
+) {
+    if scale.staleness {
+        report.staleness = Some(merged.unwrap_or_else(|| hub.staleness_summary()));
     }
 }
 
@@ -1050,6 +1086,34 @@ mod tests {
         assert!(s.wants_obs(), "stale injection is observe-gated");
         let e = Scale::parse(&env(&[("NSCC_INJECT_STALE", "many")])).unwrap_err();
         assert!(e.contains("NSCC_INJECT_STALE"), "{e}");
+    }
+
+    #[test]
+    fn staleness_env_arms_the_tracer_and_stamps_the_section() {
+        let s = Scale::parse(&env(&[])).unwrap();
+        assert!(!s.staleness);
+        assert!(!make_hub(&s).staleness_enabled());
+
+        let s = Scale::parse(&env(&[("NSCC_STALENESS", "1")])).unwrap();
+        assert!(s.staleness);
+        assert!(s.wants_obs(), "the hop tracer needs an attached hub");
+        let hub = make_hub(&s);
+        assert!(hub.staleness_enabled());
+        let e = Scale::parse(&env(&[("NSCC_STALENESS", "armed")])).unwrap_err();
+        assert!(e.contains("NSCC_STALENESS"), "{e}");
+
+        // Untraced runs keep the section null; traced runs stamp the
+        // main hub's anatomy, and sweep bins can pass a merged one.
+        let mut rep = RunReport::new("unit", &hub);
+        stamp_staleness(&Scale::paper(), &hub, None, &mut rep);
+        assert!(rep.staleness.is_none());
+        stamp_staleness(&s, &hub, None, &mut rep);
+        assert!(rep.staleness.is_some());
+        let mut merged = nscc_obs::StalenessSummary::default();
+        merged.released = 7;
+        let mut rep2 = RunReport::new("unit2", &hub);
+        stamp_staleness(&s, &hub, Some(merged), &mut rep2);
+        assert_eq!(rep2.staleness.expect("stamped").released, 7);
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub struct RunReport {
     /// monitors-on runs stay byte-identical to monitors-off runs outside
     /// this one section.
     pub audit: Option<nscc_audit::AuditSummary>,
+    /// The staleness tracer's per-hop anatomy
+    /// ([`nscc_obs::StalenessSummary`]): observed-age and per-stage log₂
+    /// histograms (wait/publish/transit/fault/retrans/queue/apply), broken
+    /// down by location and by writer→reader link, plus conservation
+    /// counters and Perfetto flow bookkeeping. Populated only when the
+    /// tracer was armed (`NSCC_STALENESS=1`) and serialized as `null`
+    /// otherwise — tracer-on runs stay byte-identical to tracer-off runs
+    /// outside this one section.
+    pub staleness: Option<nscc_obs::StalenessSummary>,
 }
 
 impl RunReport {
@@ -90,6 +99,7 @@ impl RunReport {
             recovery: None,
             wall: None,
             audit: None,
+            staleness: None,
         }
     }
 
@@ -228,6 +238,21 @@ mod tests {
         json::validate(&s).expect("report with audit section validates");
         assert!(s.contains("\"audit\":{\"monitors\":["));
         assert!(s.contains("\"violations\":0"));
+    }
+
+    #[test]
+    fn staleness_section_is_null_unless_requested() {
+        let mut rep = sample_report();
+        assert!(
+            rep.to_json().contains("\"staleness\":null"),
+            "default reports carry no staleness anatomy section"
+        );
+        let hub = Hub::new();
+        hub.enable_staleness();
+        rep.staleness = Some(hub.staleness_summary());
+        let s = rep.to_json();
+        json::validate(&s).expect("report with staleness section validates");
+        assert!(s.contains("\"staleness\":{\"released\":0,"));
     }
 
     #[test]

@@ -450,6 +450,29 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
             if let Some((have, v)) = self.cache.get(&loc) {
                 self.inject_stale -= 1;
                 if let Some(hub) = &self.obs {
+                    if hub.staleness_enabled() {
+                        // A sabotaged release gets a deliberately empty
+                        // decomposition: no stage accounts for the excess
+                        // age, so the conservation monitor must flag it
+                        // just as the staleness monitor flags the bound
+                        // violation the ReadDone below carries.
+                        hub.emit(ObsEvent::ReadAnatomy {
+                            t_ns: ctx.now().as_nanos(),
+                            reader: self.rank as u32,
+                            writer: self.rank as u32,
+                            loc: loc.0,
+                            write_iter: *have,
+                            msg_seq: 0,
+                            age_ns: required.saturating_sub(*have).max(1),
+                            wait_ns: 0,
+                            publish_ns: 0,
+                            transit_ns: 0,
+                            fault_ns: 0,
+                            retrans_ns: 0,
+                            queue_ns: 0,
+                            apply_ns: 0,
+                        });
+                    }
                     hub.emit(read_done_event(
                         ctx.now(),
                         self.rank,
@@ -555,6 +578,40 @@ impl<T: Clone + Serialize + Send + 'static> DsmNode<T> {
                         degraded: false,
                     };
                     if let Some(hub) = &self.obs {
+                        // Staleness anatomy: decompose this release's
+                        // observed age into named hop stages from the
+                        // releasing update's virtual-time stamps. Each
+                        // stage is a difference of adjacent stamps, so
+                        // the seven stages telescope to exactly
+                        // `t_rel - min(t0, write_ns)` — the conservation
+                        // contract the audit monitor asserts online.
+                        if hub.staleness_enabled() {
+                            if let Some((_, sent_at, p)) = dep {
+                                let t_rel = ctx.now().as_nanos();
+                                let t0_ns = t0.as_nanos();
+                                let s = sent_at.as_nanos();
+                                hub.emit(ObsEvent::ReadAnatomy {
+                                    t_ns: t_rel,
+                                    reader: self.rank as u32,
+                                    writer: p.writer,
+                                    loc: loc.0,
+                                    write_iter: p.write_iter,
+                                    msg_seq: p.msg_seq,
+                                    age_ns: t_rel - t0_ns.min(p.write_ns),
+                                    wait_ns: p.write_ns.saturating_sub(t0_ns),
+                                    publish_ns: s.saturating_sub(p.write_ns),
+                                    transit_ns: p
+                                        .arrive_ns
+                                        .saturating_sub(s)
+                                        .saturating_sub(p.retrans_ns)
+                                        .saturating_sub(p.fault_ns),
+                                    fault_ns: p.fault_ns,
+                                    retrans_ns: p.retrans_ns,
+                                    queue_ns: p.recv_ns.saturating_sub(p.arrive_ns),
+                                    apply_ns: t_rel.saturating_sub(p.recv_ns),
+                                });
+                            }
+                        }
                         hub.emit(read_done_event(
                             ctx.now(),
                             self.rank,

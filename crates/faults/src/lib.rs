@@ -455,6 +455,9 @@ impl Medium for FaultyMedium {
         // The wire is occupied regardless of the frame's fate: a frame
         // lost downstream still consumed bandwidth and created contention.
         let mut arrival = self.inner.transmit(now, src, dst, payload_bytes);
+        // Everything this layer adds on top of the healthy medium's
+        // arrival is booked as injected fault delay.
+        let baseline = arrival;
 
         // Stalled endpoints hold the frame until the window ends.
         let floor = self
@@ -476,6 +479,7 @@ impl Medium for FaultyMedium {
             return Transmission {
                 arrival,
                 verdict: Verdict::Drop(DropReason::NodeDown),
+                fault: arrival - baseline,
             };
         }
 
@@ -485,6 +489,7 @@ impl Medium for FaultyMedium {
             return Transmission {
                 arrival,
                 verdict: Verdict::Drop(DropReason::Partitioned),
+                fault: arrival - baseline,
             };
         }
 
@@ -496,6 +501,7 @@ impl Medium for FaultyMedium {
             return Transmission {
                 arrival,
                 verdict: Verdict::Drop(DropReason::Loss),
+                fault: arrival - baseline,
             };
         }
 
@@ -513,12 +519,14 @@ impl Medium for FaultyMedium {
                 verdict: Verdict::Duplicate {
                     second: arrival.saturating_add(gap),
                 },
+                fault: arrival - baseline,
             };
         }
 
         Transmission {
             arrival,
             verdict: Verdict::Deliver,
+            fault: arrival - baseline,
         }
     }
 
@@ -778,6 +786,29 @@ mod tests {
         );
         let outside = m.plan_transmit(SimTime::from_millis(2500), NodeId(0), NodeId(1), 64);
         assert_eq!(outside.verdict, Verdict::Deliver);
+    }
+
+    #[test]
+    fn injected_delay_is_booked_as_fault() {
+        // Clean path: the fault share of the arrival is zero, so the
+        // staleness tracer books the whole delay as transit.
+        let mut clean = FaultyMedium::new(ideal(), FaultPlan::new(1));
+        let tx = clean.plan_transmit(SimTime::ZERO, NodeId(0), NodeId(1), 64);
+        assert_eq!(tx.fault, SimTime::ZERO);
+
+        // Degraded window: exactly the injected extra latency is booked,
+        // and `arrival - fault` recovers the healthy medium's arrival.
+        let plan = FaultPlan::new(9).degrade(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            0.0,
+            SimTime::from_millis(50),
+        );
+        let mut m = FaultyMedium::new(ideal(), plan);
+        let now = SimTime::from_millis(1500);
+        let tx = m.plan_transmit(now, NodeId(0), NodeId(1), 64);
+        assert_eq!(tx.fault, SimTime::from_millis(50));
+        assert_eq!(tx.arrival - tx.fault, now + SimTime::from_millis(1));
     }
 
     #[test]

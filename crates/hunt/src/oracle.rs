@@ -9,9 +9,9 @@ use nscc_bench::headless::{HeadlessOutcome, HeadlessSpec};
 /// concrete `detail` line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Failure class: `deadlock`, `audit:<monitor>`, `rollback`, `fault`
-    /// or `incomplete`. The shrinker preserves the most severe kind; the
-    /// replay digest covers the full detail.
+    /// Failure class: `deadlock`, `audit:<monitor>`, `conservation`,
+    /// `rollback`, `fault` or `incomplete`. The shrinker preserves the
+    /// most severe kind; the replay digest covers the full detail.
     pub kind: String,
     /// The concrete, deterministic evidence line.
     pub detail: String,
@@ -27,8 +27,8 @@ impl Finding {
 /// Every oracle hit of one trial, in deterministic order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Verdict {
-    /// The findings, ordered: deadlock, audit violations, rollback,
-    /// fault reports, completion.
+    /// The findings, ordered: deadlock, audit violations, staleness
+    /// conservation, rollback, fault reports, completion.
     pub findings: Vec<Finding>,
 }
 
@@ -42,7 +42,14 @@ impl Verdict {
     /// severity order matters to the shrinker: a deadlock must not decay
     /// into a mere incomplete run while shrinking.
     pub fn primary(&self) -> Option<&str> {
-        for prefix in ["deadlock", "audit:", "rollback", "fault", "incomplete"] {
+        for prefix in [
+            "deadlock",
+            "audit:",
+            "conservation",
+            "rollback",
+            "fault",
+            "incomplete",
+        ] {
             if let Some(f) = self.findings.iter().find(|f| f.kind.starts_with(prefix)) {
                 return Some(&f.kind);
             }
@@ -86,6 +93,19 @@ pub fn judge(spec: &HeadlessSpec, out: &HeadlessOutcome) -> Verdict {
                 "{} violation(s) total, {} recorded",
                 out.violation_count,
                 out.violations.len()
+            ),
+        });
+    }
+    if out.conservation_violations > 0 {
+        // The staleness tracer decomposes every released read's age into
+        // named stage durations; the sums must telescope exactly. A leak
+        // here is a tracing bug (a wrong or missing hop stamp), distinct
+        // from any age-bound violation the audit monitors report.
+        v.findings.push(Finding {
+            kind: "conservation".into(),
+            detail: format!(
+                "{} of {} traced decomposition(s) do not sum to the observed age",
+                out.conservation_violations, out.traced_releases
             ),
         });
     }
@@ -161,11 +181,14 @@ mod tests {
             sim_error: Some("deadlock at 12ms: 4 blocked".into()),
             success_rate: 0.0,
             max_rollback: 99,
+            traced_releases: 40,
+            conservation_violations: 3,
             ..HeadlessOutcome::default()
         };
         let v = judge(&spec, &out);
         assert_eq!(v.primary(), Some("deadlock"));
         assert!(v.has_kind("audit:staleness"));
+        assert!(v.has_kind("conservation"));
         assert!(v.has_kind("rollback"));
         assert!(v.has_kind("fault"));
         // A sim error means the run never reported; `incomplete` would
@@ -182,6 +205,39 @@ mod tests {
         };
         let v = judge(&spec, &out);
         assert_eq!(v.primary(), Some("incomplete"));
+    }
+
+    #[test]
+    fn conservation_leak_outranks_rollback_but_not_audit() {
+        let spec = HeadlessSpec::quick(1);
+        let out = HeadlessOutcome {
+            traced_releases: 12,
+            conservation_violations: 1,
+            max_rollback: 99,
+            ..outcome()
+        };
+        let v = judge(&spec, &out);
+        assert_eq!(v.primary(), Some("conservation"));
+        assert!(v.has_kind("rollback"));
+        let with_audit = HeadlessOutcome {
+            violations: vec!["age@7 rank=0: x".into()],
+            violation_count: 1,
+            ..out
+        };
+        let v = judge(&spec, &with_audit);
+        assert_eq!(v.primary(), Some("audit:age"));
+        assert!(v.has_kind("conservation"));
+    }
+
+    #[test]
+    fn traced_clean_runs_stay_clean() {
+        let spec = HeadlessSpec::quick(1);
+        let out = HeadlessOutcome {
+            traced_releases: 500,
+            conservation_violations: 0,
+            ..outcome()
+        };
+        assert!(judge(&spec, &out).is_clean());
     }
 
     #[test]

@@ -468,7 +468,14 @@ mod tests {
             ..HeadlessSpec::quick(21)
         };
         let verdict = judge(&scenario, &run_headless(&scenario));
-        assert_eq!(verdict.primary(), Some("audit:staleness"));
+        // The injected-stale release trips two oracles: the staleness
+        // monitor (age bound broken) and the conservation plane (the
+        // sabotaged release has no honest hop stamps to account for its
+        // age). The anatomy event precedes the read-done on the wire, so
+        // the conservation violation is recorded first.
+        assert_eq!(verdict.primary(), Some("audit:conservation"));
+        assert!(verdict.has_kind("audit:staleness"));
+        assert!(verdict.has_kind("conservation"));
         let repro = Repro::from_finding(scenario, &verdict, "e2e test");
         let back = Repro::from_json(&repro.to_json()).unwrap();
         let confirmation = back.replay().expect("replay confirms");

@@ -202,11 +202,16 @@ mod tests {
             ..HeadlessSpec::quick(13)
         };
         let before = judge(&noisy, &run_headless(&noisy));
-        assert_eq!(before.primary(), Some("audit:staleness"), "{before:?}");
+        // A sabotaged release carries no honest hop stamps, so its
+        // anatomy trips the conservation monitor just before the
+        // read-done trips the staleness monitor.
+        assert_eq!(before.primary(), Some("audit:conservation"), "{before:?}");
+        assert!(before.has_kind("audit:staleness"), "{before:?}");
 
         let mut steps = Vec::new();
         let (min, verdict) = shrink(&noisy, |s| steps.push(s.to_string()));
-        assert_eq!(verdict.primary(), Some("audit:staleness"), "{steps:?}");
+        assert_eq!(verdict.primary(), Some("audit:conservation"), "{steps:?}");
+        assert!(verdict.has_kind("audit:staleness"), "{steps:?}");
         assert!(min.plan.is_none(), "fault plan was irrelevant: {steps:?}");
         assert_eq!(min.snapshots, None, "{steps:?}");
         assert!(!min.supervision, "{steps:?}");
@@ -219,7 +224,9 @@ mod tests {
             inject_stale: 0,
             ..min.clone()
         };
-        assert!(!judge(&without, &run_headless(&without)).has_kind("audit:staleness"));
+        let v = judge(&without, &run_headless(&without));
+        assert!(!v.has_kind("audit:conservation"), "{v:?}");
+        assert!(!v.has_kind("audit:staleness"), "{v:?}");
     }
 
     #[test]

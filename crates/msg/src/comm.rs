@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::Serialize;
 
-use nscc_net::{Network, NodeId, WarpMeter};
+use nscc_net::{Network, NodeId, Verdict, WarpMeter};
 use nscc_obs::{Hub, ObsEvent};
 use nscc_sim::{Ctx, Mailbox, SimTime};
 
@@ -77,6 +77,25 @@ pub struct Provenance {
     /// submit → start of the delivering attempt. Zero on first-try
     /// deliveries and on unreliable transports.
     pub retrans_ns: u64,
+    /// Virtual time the value was written — stamped in
+    /// [`Endpoint::stamp`] *before* the sender's per-message CPU overhead
+    /// advances the clock, so `sent_at - write_ns` is exactly the
+    /// writer-side publish cost.
+    pub write_ns: u64,
+    /// Injected fault delay carried by the delivering frame copy (stall
+    /// floors, degradation windows, delay faults; a duplicate's second
+    /// copy also books its inter-copy gap here). The staleness tracer's
+    /// `fault` stage.
+    pub fault_ns: u64,
+    /// Virtual time this frame copy arrives at the destination — stamped
+    /// per delivered copy at plan time, so retransmitted and duplicated
+    /// copies each carry their own arrival.
+    pub arrive_ns: u64,
+    /// Virtual time the receiver popped the envelope from its mailbox —
+    /// stamped in `finish_recv` *before* the receiver's per-message CPU
+    /// overhead advances the clock, so `arrive_ns..recv_ns` is exactly
+    /// the mailbox dwell.
+    pub recv_ns: u64,
 }
 
 /// A received message with its transport metadata.
@@ -347,16 +366,58 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
             payload,
         };
         match self.cfg.reliable {
-            None => self.net.send_to(
-                ctx,
-                self.nodes[self.rank],
-                self.nodes[dst],
-                bytes,
-                &self.boxes[dst],
-                env,
-            ),
+            None => self.plan_and_deliver(ctx, dst, bytes, env),
             Some(rc) => self.rel_send(ctx, dst, bytes, env, rc),
         }
+    }
+
+    /// Plan one unicast frame and schedule the surviving copies into the
+    /// destination mailbox — behaviorally identical to
+    /// [`Network::send_to`], except each scheduled copy's provenance (when
+    /// present) is stamped with that copy's own arrival instant and fault
+    /// share, which per-mailbox scheduling cannot do from inside the net
+    /// layer.
+    fn plan_and_deliver(
+        &self,
+        ctx: &mut Ctx,
+        dst: usize,
+        bytes: usize,
+        env: Envelope<T>,
+    ) -> SimTime {
+        let now = ctx.now();
+        let tx = self
+            .net
+            .plan(now, self.nodes[self.rank], self.nodes[dst], bytes);
+        match tx.verdict {
+            Verdict::Deliver => {
+                let mut env = env;
+                if let Some(p) = env.prov.as_mut() {
+                    p.arrive_ns = tx.arrival.as_nanos();
+                    p.fault_ns = tx.fault.as_nanos();
+                }
+                let mb = self.boxes[dst].clone();
+                ctx.schedule_fn(tx.arrival - now, move |ec| mb.deliver(ec, env));
+            }
+            Verdict::Drop(_) => {}
+            Verdict::Duplicate { second } => {
+                let (mb, mb2) = (self.boxes[dst].clone(), self.boxes[dst].clone());
+                let mut copy = env.clone();
+                let mut env = env;
+                if let Some(p) = env.prov.as_mut() {
+                    p.arrive_ns = tx.arrival.as_nanos();
+                    p.fault_ns = tx.fault.as_nanos();
+                }
+                if let Some(p) = copy.prov.as_mut() {
+                    // The spurious copy's extra gap past the first arrival
+                    // is fault-injected too.
+                    p.arrive_ns = second.as_nanos();
+                    p.fault_ns = (tx.fault + second.saturating_sub(tx.arrival)).as_nanos();
+                }
+                ctx.schedule_fn(tx.arrival - now, move |ec| mb.deliver(ec, env));
+                ctx.schedule_fn(second.saturating_sub(now), move |ec| mb2.deliver(ec, copy));
+            }
+        }
+        tx.arrival
     }
 
     /// Build the provenance stamp for a tagged send, or `None` when the
@@ -382,6 +443,12 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
             msg_seq,
             queued_ns: self.net.queue_delay(at).as_nanos(),
             retrans_ns: 0,
+            // Stamped before the send overhead advances the clock: the
+            // value exists *now*; everything until `sent_at` is publish.
+            write_ns: ctx.now().as_nanos(),
+            fault_ns: 0,
+            arrive_ns: 0,
+            recv_ns: 0,
         })
     }
 
@@ -482,19 +549,36 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
             }
             return;
         }
-        let dests: Vec<(NodeId, nscc_sim::Mailbox<Envelope<T>>)> = dsts
-            .iter()
-            .map(|&d| (self.nodes[d], self.boxes[d].clone()))
-            .collect();
-        self.net
-            .multicast_to(ctx, self.nodes[self.rank], &dests, bytes, env);
+        let now = ctx.now();
+        match self.net.plan_broadcast(now, self.nodes[self.rank], bytes) {
+            Some(arrival) => {
+                // One frame on the wire, heard by all: every copy arrives
+                // at the broadcast instant, and broadcast-capable media
+                // are never fault-wrapped (the fault layer masks hardware
+                // broadcast), so there is no fault share to book.
+                let delay = arrival - now;
+                for &d in dsts {
+                    let mb = self.boxes[d].clone();
+                    let mut m = env.clone();
+                    if let Some(p) = m.prov.as_mut() {
+                        p.arrive_ns = arrival.as_nanos();
+                    }
+                    ctx.schedule_fn(delay, move |ec| mb.deliver(ec, m));
+                }
+            }
+            None => {
+                for &d in dsts {
+                    self.plan_and_deliver(ctx, d, bytes, env.clone());
+                }
+            }
+        }
     }
 
     /// Blocking receive: suspends in virtual time until a message arrives,
     /// then charges the receiver's CPU overhead.
     pub fn recv(&self, ctx: &mut Ctx) -> Envelope<T> {
-        let env = self.boxes[self.rank].recv(ctx);
-        self.finish_recv(ctx, &env);
+        let mut env = self.boxes[self.rank].recv(ctx);
+        self.finish_recv(ctx, &mut env);
         env
     }
 
@@ -502,15 +586,15 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
     /// message arrives by `deadline` (overhead is charged only on
     /// success). The degradation primitive for fault-tolerant layers.
     pub fn recv_deadline(&self, ctx: &mut Ctx, deadline: SimTime) -> Option<Envelope<T>> {
-        let env = self.boxes[self.rank].recv_deadline(ctx, deadline)?;
-        self.finish_recv(ctx, &env);
+        let mut env = self.boxes[self.rank].recv_deadline(ctx, deadline)?;
+        self.finish_recv(ctx, &mut env);
         Some(env)
     }
 
     /// Non-blocking receive; charges receive overhead only on success.
     pub fn try_recv(&self, ctx: &mut Ctx) -> Option<Envelope<T>> {
-        let env = self.boxes[self.rank].try_recv()?;
-        self.finish_recv(ctx, &env);
+        let mut env = self.boxes[self.rank].try_recv()?;
+        self.finish_recv(ctx, &mut env);
         Some(env)
     }
 
@@ -519,7 +603,13 @@ impl<T: Serialize + Clone + Send + 'static> Endpoint<T> {
         self.boxes[self.rank].len()
     }
 
-    fn finish_recv(&self, ctx: &mut Ctx, env: &Envelope<T>) {
+    fn finish_recv(&self, ctx: &mut Ctx, env: &mut Envelope<T>) {
+        // Stamp the pop instant before the receive overhead advances the
+        // clock: `arrive_ns..recv_ns` is pure mailbox dwell, the overhead
+        // is booked downstream (the DSM's apply stage).
+        if let Some(p) = env.prov.as_mut() {
+            p.recv_ns = ctx.now().as_nanos();
+        }
         ctx.advance(self.cfg.recv_overhead);
         self.inner.lock().stats.received += 1;
         if let Some(depth) = self.boxes[self.rank].take_warn() {

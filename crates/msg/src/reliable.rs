@@ -164,7 +164,15 @@ pub(crate) fn attempt<T: Clone + Send + 'static>(
         Verdict::Duplicate { second } => &[tx.arrival, second],
     };
     for &at in arrivals {
-        let mm = m.clone();
+        let mut mm = m.clone();
+        if let Some(p) = &mut mm.env.prov {
+            // Each copy carries its own hop stamps: this attempt's arrival
+            // and fault share (a duplicate's second copy also books its
+            // extra gap as fault). Whichever copy delivers first wins the
+            // dedup, so the receiver sees a consistent decomposition.
+            p.arrive_ns = at.as_nanos();
+            p.fault_ns = (tx.fault + at.saturating_sub(tx.arrival)).as_nanos();
+        }
         s.after(at.saturating_sub(now), Box::new(move |ec| deliver(ec, &mm)));
     }
 
@@ -310,6 +318,7 @@ mod tests {
                     return Transmission {
                         arrival,
                         verdict: Verdict::Drop(DropReason::Loss),
+                        fault: SimTime::ZERO,
                     };
                 }
                 if self.duplicate {
@@ -318,12 +327,14 @@ mod tests {
                         verdict: Verdict::Duplicate {
                             second: arrival + self.delay,
                         },
+                        fault: SimTime::ZERO,
                     };
                 }
             }
             Transmission {
                 arrival,
                 verdict: Verdict::Deliver,
+                fault: SimTime::ZERO,
             }
         }
 
@@ -479,7 +490,11 @@ mod tests {
             ..ReliableConfig::default()
         };
         for attempt in [0, 1, 2, 5, 16, 40] {
-            assert_eq!(rc.rto_for(attempt), SimTime::from_millis(10), "attempt {attempt}");
+            assert_eq!(
+                rc.rto_for(attempt),
+                SimTime::from_millis(10),
+                "attempt {attempt}"
+            );
         }
     }
 

@@ -86,6 +86,12 @@ pub struct Transmission {
     pub arrival: SimTime,
     /// Whether/how the frame is actually delivered.
     pub verdict: Verdict,
+    /// How much of `arrival` a fault layer injected on top of what the
+    /// healthy medium would have charged (stall floors, degradation,
+    /// delay faults). Zero for well-behaved media; the staleness tracer
+    /// books it as the `fault` stage so `arrival - now - fault` is the
+    /// baseline transit.
+    pub fault: SimTime,
 }
 
 /// A transmission medium: computes when a frame submitted now will arrive,
@@ -114,6 +120,7 @@ pub trait Medium: Send {
         Transmission {
             arrival: self.transmit(now, src, dst, payload_bytes),
             verdict: Verdict::Deliver,
+            fault: SimTime::ZERO,
         }
     }
 

@@ -213,43 +213,9 @@ impl Network {
         msg: T,
     ) -> SimTime {
         let now = ctx.now();
-        let (bcast, queue_ns) = {
-            let mut inner = self.inner.lock();
-            let queue_ns = if inner.obs.is_some() {
-                inner.medium.next_free(now).saturating_sub(now).as_nanos()
-            } else {
-                0
-            };
-            (
-                inner.medium.transmit_broadcast(now, src, payload_bytes),
-                queue_ns,
-            )
-        };
-        match bcast {
+        match self.plan_broadcast(now, src, payload_bytes) {
             Some(arrival) => {
-                debug_assert!(arrival >= now);
                 let delay = arrival - now;
-                {
-                    let mut inner = self.inner.lock();
-                    inner.messages += 1;
-                    inner.total_delay = inner.total_delay.saturating_add(delay);
-                    inner.max_delay = inner.max_delay.max(delay);
-                    if let Some(hub) = &inner.obs {
-                        hub.emit(ObsEvent::NetSend {
-                            t_ns: now.as_nanos(),
-                            src: src.0,
-                            dst: BROADCAST,
-                            bytes: payload_bytes as u64,
-                            queue_ns,
-                        });
-                        hub.emit(ObsEvent::NetDeliver {
-                            t_ns: arrival.as_nanos(),
-                            src: src.0,
-                            dst: BROADCAST,
-                            delay_ns: delay.as_nanos(),
-                        });
-                    }
-                }
                 for (_, mb) in dests {
                     let mb = mb.clone();
                     let m = msg.clone();
@@ -265,6 +231,59 @@ impl Network {
                 last
             }
         }
+    }
+
+    /// Plan one *broadcast* frame: submit it to the medium, account for
+    /// it, and emit the `NetSend`/`NetDeliver` pair (with the broadcast
+    /// destination sentinel) exactly as the broadcast arm of
+    /// [`multicast_to`](Network::multicast_to) always has. Returns
+    /// `Some(arrival)` on broadcast-capable media — every destination
+    /// hears the frame at that one instant and the caller schedules the
+    /// per-destination deliveries — or `None` when the medium has no
+    /// hardware broadcast and the caller must fall back to unicast
+    /// fan-out. Provenance-stamping layers call this directly so they can
+    /// stamp each destination's copy before scheduling it.
+    pub fn plan_broadcast(
+        &self,
+        now: SimTime,
+        src: NodeId,
+        payload_bytes: usize,
+    ) -> Option<SimTime> {
+        let (bcast, queue_ns) = {
+            let mut inner = self.inner.lock();
+            let queue_ns = if inner.obs.is_some() {
+                inner.medium.next_free(now).saturating_sub(now).as_nanos()
+            } else {
+                0
+            };
+            (
+                inner.medium.transmit_broadcast(now, src, payload_bytes),
+                queue_ns,
+            )
+        };
+        let arrival = bcast?;
+        debug_assert!(arrival >= now);
+        let delay = arrival - now;
+        let mut inner = self.inner.lock();
+        inner.messages += 1;
+        inner.total_delay = inner.total_delay.saturating_add(delay);
+        inner.max_delay = inner.max_delay.max(delay);
+        if let Some(hub) = &inner.obs {
+            hub.emit(ObsEvent::NetSend {
+                t_ns: now.as_nanos(),
+                src: src.0,
+                dst: BROADCAST,
+                bytes: payload_bytes as u64,
+                queue_ns,
+            });
+            hub.emit(ObsEvent::NetDeliver {
+                t_ns: arrival.as_nanos(),
+                src: src.0,
+                dst: BROADCAST,
+                delay_ns: delay.as_nanos(),
+            });
+        }
+        Some(arrival)
     }
 
     /// Occupy the medium without delivering anything (used by background

@@ -336,6 +336,49 @@ pub enum ObsEvent {
         /// Restarts consumed before giving up.
         restarts: u32,
     },
+    /// The per-hop anatomy of one released blocking `Global_Read`: the
+    /// observed age of the delivered value decomposed into named stage
+    /// durations, each the difference of two consecutive virtual-time hop
+    /// stamps carried on the releasing update's `Provenance`. The
+    /// conservation contract is `wait + publish + transit + fault +
+    /// retrans + queue + apply == age` exactly (the audit layer's
+    /// conservation monitor asserts it online). Meta event: see
+    /// [`ObsEvent::is_meta`] — tracer-on runs stay byte-identical to
+    /// tracer-off runs in every report section the tracer does not own.
+    ReadAnatomy {
+        /// Release time of the read.
+        t_ns: u64,
+        /// Blocked reading rank.
+        reader: u32,
+        /// Rank that wrote the releasing update.
+        writer: u32,
+        /// Location index.
+        loc: u32,
+        /// Generation (iteration) tag of the releasing write.
+        write_iter: u64,
+        /// Writer-local sequence number of the releasing message.
+        msg_seq: u64,
+        /// Observed age of the delivered value: release instant minus the
+        /// earlier of (write instant, block start), in virtual ns.
+        age_ns: u64,
+        /// Reader blocked before the write existed (block start → write).
+        wait_ns: u64,
+        /// Writer-side publish cost (write → frame submitted), the
+        /// `nscc-msg` enqueue including send CPU overhead.
+        publish_ns: u64,
+        /// Baseline medium time of the delivering copy (queueing + wire).
+        transit_ns: u64,
+        /// Injected fault delay on the delivering copy (stall windows,
+        /// degradation latency, reorder delay, duplicate-copy gap).
+        fault_ns: u64,
+        /// Delay added by the reliable layer's retransmissions (original
+        /// submit → start of the delivering attempt).
+        retrans_ns: u64,
+        /// Receiver mailbox dwell (arrival → application pop).
+        queue_ns: u64,
+        /// DSM apply cost (pop → release), including receive CPU overhead.
+        apply_ns: u64,
+    },
     /// Application-defined marker.
     Custom {
         /// Event time.
@@ -373,17 +416,20 @@ impl ObsEvent {
             | ObsEvent::SnapshotComplete { t_ns, .. }
             | ObsEvent::SupervisorRestart { t_ns, .. }
             | ObsEvent::SupervisorGiveUp { t_ns, .. }
+            | ObsEvent::ReadAnatomy { t_ns, .. }
             | ObsEvent::Custom { t_ns, .. } => t_ns,
         }
     }
 
     /// Whether this is a *meta* event: recovery-layer lifecycle
-    /// (snapshot markers, supervision decisions) that must stay invisible
-    /// to the hub's counters, histograms, raw event store, and
-    /// metric-snapshot clock. The non-blocking recovery contract is that
-    /// a snapshot-on run is byte-identical to a snapshot-off run in every
-    /// report section the recovery layer does not own; meta events still
-    /// reach the flight ring and the audit tap, which own their outputs.
+    /// (snapshot markers, supervision decisions) and the staleness
+    /// tracer's anatomy records, which must stay invisible to the hub's
+    /// counters, histograms, raw event store, and metric-snapshot clock.
+    /// The non-blocking recovery contract is that a snapshot-on run is
+    /// byte-identical to a snapshot-off run in every report section the
+    /// recovery layer does not own (and likewise tracer-on vs tracer-off
+    /// outside the `staleness` section); meta events still reach the
+    /// flight ring and the audit tap, which own their outputs.
     pub fn is_meta(&self) -> bool {
         matches!(
             self,
@@ -391,6 +437,7 @@ impl ObsEvent {
                 | ObsEvent::SnapshotComplete { .. }
                 | ObsEvent::SupervisorRestart { .. }
                 | ObsEvent::SupervisorGiveUp { .. }
+                | ObsEvent::ReadAnatomy { .. }
         )
     }
 
@@ -421,6 +468,7 @@ impl ObsEvent {
             ObsEvent::SnapshotComplete { .. } => "snapshot_complete",
             ObsEvent::SupervisorRestart { .. } => "supervisor_restart",
             ObsEvent::SupervisorGiveUp { .. } => "supervisor_give_up",
+            ObsEvent::ReadAnatomy { .. } => "read_anatomy",
             ObsEvent::Custom { .. } => "custom",
         }
     }
@@ -472,5 +520,28 @@ mod tests {
             age: 0
         }
         .is_meta());
+    }
+
+    #[test]
+    fn read_anatomy_is_meta_and_conserves() {
+        let a = ObsEvent::ReadAnatomy {
+            t_ns: 1_000,
+            reader: 1,
+            writer: 0,
+            loc: 2,
+            write_iter: 9,
+            msg_seq: 4,
+            age_ns: 600,
+            wait_ns: 100,
+            publish_ns: 150,
+            transit_ns: 200,
+            fault_ns: 0,
+            retrans_ns: 0,
+            queue_ns: 50,
+            apply_ns: 100,
+        };
+        assert!(a.is_meta());
+        assert_eq!(a.t_ns(), 1_000);
+        assert_eq!(a.kind(), "read_anatomy");
     }
 }

@@ -29,6 +29,10 @@ use crate::Label;
 /// Events kept before the hub starts counting drops instead.
 const DEFAULT_EVENT_CAPACITY: usize = 1 << 18;
 
+/// Write→release flow records kept for Perfetto export before the anatomy
+/// state starts counting drops instead (the aggregates stay exact).
+const FLOW_CAPACITY: usize = 1 << 14;
+
 /// A consumer of the hub's live event stream, attached with
 /// [`Hub::set_tap`]. The audit layer implements this to drive its
 /// invariant monitors online; the hub itself stays ignorant of what the
@@ -112,6 +116,15 @@ struct HubInner {
     /// dropped first. `flight_cap == 0` means disabled.
     flight: Mutex<VecDeque<ObsEvent>>,
     flight_cap: AtomicU64,
+    /// Whether the staleness-anatomy tracer is armed
+    /// ([`Hub::enable_staleness`]); DSM layers check it before emitting
+    /// `ReadAnatomy` events, so tracer-off runs never see one.
+    staleness_on: AtomicBool,
+    /// Per-stage staleness anatomy aggregation, fed by `ReadAnatomy` meta
+    /// events when the tracer is armed. Lives outside [`HubSummary`] so
+    /// tracer-on reports stay byte-identical to tracer-off reports in
+    /// every section the tracer does not own.
+    anatomy: Mutex<Anatomy>,
     /// Scheduler wall-clock accounting, accumulated across every
     /// simulation that flushed into this hub ([`Hub::note_sched`]).
     sched_events: AtomicU64,
@@ -191,6 +204,8 @@ impl Hub {
                 tap_on: AtomicBool::new(false),
                 flight: Mutex::new(VecDeque::new()),
                 flight_cap: AtomicU64::new(0),
+                staleness_on: AtomicBool::new(false),
+                anatomy: Mutex::new(Anatomy::default()),
                 wall_on: AtomicBool::new(false),
                 sched_events: AtomicU64::new(0),
                 sched_parks: AtomicU64::new(0),
@@ -228,6 +243,11 @@ impl Hub {
             // byte-identical to snapshot-off runs in every section the
             // recovery layer does not own. The flight ring and the audit
             // tap still see them — those own their outputs.
+            if self.inner.staleness_on.load(Ordering::Relaxed) {
+                if let ObsEvent::ReadAnatomy { .. } = &ev {
+                    self.anatomy_record(&ev);
+                }
+            }
             if self.inner.flight_cap.load(Ordering::Relaxed) > 0 {
                 self.flight_push(ev.clone());
             }
@@ -908,13 +928,169 @@ impl Hub {
     }
 
     /// Export all spans as Chrome trace-event JSON (see [`crate::perfetto`]).
+    /// When the staleness tracer kept write→apply→release flow records,
+    /// they are appended as Chrome flow events binding the existing slices.
     pub fn perfetto(&self) -> String {
-        crate::perfetto::export(&self.inner.trace.spans(), &self.proc_names())
+        let flows = self.staleness_flows();
+        crate::perfetto::export_with_flows(&self.inner.trace.spans(), &self.proc_names(), &flows)
     }
 
     /// All kept spans, sorted by start time.
     pub fn spans(&self) -> Vec<Span> {
         self.inner.trace.spans()
+    }
+
+    /// Arm the staleness-anatomy tracer: DSM nodes that observe this hub
+    /// check [`staleness_enabled`](Hub::staleness_enabled) before emitting
+    /// `ReadAnatomy` meta events, so tracer-off runs never see one and
+    /// their report bytes are untouched. Off by default.
+    pub fn enable_staleness(&self) {
+        self.inner.staleness_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the staleness-anatomy tracer is armed.
+    pub fn staleness_enabled(&self) -> bool {
+        self.inner.staleness_on.load(Ordering::Relaxed)
+    }
+
+    /// Fold one `ReadAnatomy` event into the anatomy aggregates.
+    /// Conservation (`stage sum == observed age`) is re-checked here so the
+    /// report section carries its own verdict even when no auditor taps the
+    /// stream.
+    fn anatomy_record(&self, ev: &ObsEvent) {
+        let &ObsEvent::ReadAnatomy {
+            t_ns,
+            reader,
+            writer,
+            loc,
+            age_ns,
+            wait_ns,
+            publish_ns,
+            transit_ns,
+            fault_ns,
+            retrans_ns,
+            queue_ns,
+            apply_ns,
+            ..
+        } = ev
+        else {
+            return;
+        };
+        let sum = wait_ns
+            .wrapping_add(publish_ns)
+            .wrapping_add(transit_ns)
+            .wrapping_add(fault_ns)
+            .wrapping_add(retrans_ns)
+            .wrapping_add(queue_ns)
+            .wrapping_add(apply_ns);
+        let mut a = self.inner.anatomy.lock();
+        a.released += 1;
+        a.conservation_checked += 1;
+        if sum != age_ns {
+            a.conservation_violations += 1;
+        }
+        a.age_ns.record(age_ns);
+        a.stages.record(
+            wait_ns, publish_ns, transit_ns, fault_ns, retrans_ns, queue_ns, apply_ns,
+        );
+        a.by_loc.entry(loc).or_insert_with(StageSet::new).record(
+            wait_ns, publish_ns, transit_ns, fault_ns, retrans_ns, queue_ns, apply_ns,
+        );
+        a.by_link
+            .entry((writer, reader))
+            .or_insert_with(StageSet::new)
+            .record(
+                wait_ns, publish_ns, transit_ns, fault_ns, retrans_ns, queue_ns, apply_ns,
+            );
+        if a.flows.len() < FLOW_CAPACITY {
+            a.flow_seq += 1;
+            let id = a.flow_seq;
+            a.flows.push(FlowRec {
+                id,
+                writer,
+                reader,
+                loc,
+                // The write existed `age - wait` before the release (wait
+                // covers only the part of the block that predates it).
+                write_ns: t_ns.saturating_sub(age_ns.saturating_sub(wait_ns)),
+                recv_ns: t_ns.saturating_sub(apply_ns),
+                release_ns: t_ns,
+            });
+        } else {
+            a.flows_dropped += 1;
+        }
+    }
+
+    /// The anatomy aggregates as a serializable report section. Callers
+    /// decide `null`-ness: bench bins embed this only when the tracer was
+    /// armed, keeping tracer-off report bytes identical.
+    pub fn staleness_summary(&self) -> StalenessSummary {
+        let a = self.inner.anatomy.lock();
+        StalenessSummary {
+            released: a.released,
+            conservation_checked: a.conservation_checked,
+            conservation_violations: a.conservation_violations,
+            flows_kept: a.flows.len() as u64,
+            flows_dropped: a.flows_dropped,
+            age_ns: a.age_ns.clone(),
+            stages: a.stages.clone(),
+            by_loc: a
+                .by_loc
+                .iter()
+                .map(|(&loc, stages)| LocStages {
+                    loc,
+                    stages: stages.clone(),
+                })
+                .collect(),
+            by_link: a
+                .by_link
+                .iter()
+                .map(|(&(writer, reader), stages)| LinkStages {
+                    writer,
+                    reader,
+                    stages: stages.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Drain another hub's anatomy aggregates into this one (sweep bins
+    /// with per-cell hubs call this in grid order, mirroring
+    /// [`adopt_flight`](Hub::adopt_flight) / [`adopt_sched`](Hub::adopt_sched)).
+    /// Flow records are re-numbered into this hub's id sequence and trimmed
+    /// to its capacity.
+    pub fn adopt_anatomy(&self, other: &Hub) {
+        let o = std::mem::take(&mut *other.inner.anatomy.lock());
+        let mut a = self.inner.anatomy.lock();
+        a.released += o.released;
+        a.conservation_checked += o.conservation_checked;
+        a.conservation_violations += o.conservation_violations;
+        a.flows_dropped += o.flows_dropped;
+        a.age_ns.merge(&o.age_ns);
+        a.stages.merge(&o.stages);
+        for (loc, s) in o.by_loc {
+            a.by_loc.entry(loc).or_insert_with(StageSet::new).merge(&s);
+        }
+        for (link, s) in o.by_link {
+            a.by_link
+                .entry(link)
+                .or_insert_with(StageSet::new)
+                .merge(&s);
+        }
+        for f in o.flows {
+            if a.flows.len() < FLOW_CAPACITY {
+                a.flow_seq += 1;
+                let id = a.flow_seq;
+                a.flows.push(FlowRec { id, ..f });
+            } else {
+                a.flows_dropped += 1;
+            }
+        }
+    }
+
+    /// The write→apply→release flow records kept for Perfetto export.
+    pub fn staleness_flows(&self) -> Vec<FlowRec> {
+        self.inner.anatomy.lock().flows.clone()
     }
 }
 
@@ -1167,6 +1343,305 @@ fn merge_warp(a: &WarpSummary, b: &WarpSummary) -> WarpSummary {
         p50: a.p50.max(b.p50),
         p95: a.p95.max(b.p95),
         max: a.max.max(b.max),
+    }
+}
+
+/// Internal accumulation state for the staleness-anatomy tracer
+/// ([`Hub::enable_staleness`]). Fed exclusively by `ReadAnatomy` meta
+/// events, so it stays empty — and the `staleness` report section stays
+/// `null` — in tracer-off runs.
+#[derive(Default)]
+struct Anatomy {
+    released: u64,
+    conservation_checked: u64,
+    conservation_violations: u64,
+    flows_dropped: u64,
+    flow_seq: u64,
+    age_ns: Histogram,
+    stages: StageSet,
+    by_loc: BTreeMap<u32, StageSet>,
+    by_link: BTreeMap<(u32, u32), StageSet>,
+    flows: Vec<FlowRec>,
+}
+
+/// One log₂ histogram per named stage of a released read's age. The seven
+/// stages partition the observed age exactly: `wait + publish + transit +
+/// fault + retrans + queue + apply == age` for every traced release (the
+/// conservation contract of `ObsEvent::ReadAnatomy`).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StageSet {
+    /// Reader blocked before the releasing write even existed.
+    pub wait_ns: Histogram,
+    /// Writer-side publish overhead (value written → on the wire).
+    pub publish_ns: Histogram,
+    /// Baseline medium transit — what the healthy network charged.
+    pub transit_ns: Histogram,
+    /// Injected fault delay (stall floors, degradation, duplicate gaps).
+    pub fault_ns: Histogram,
+    /// Time added by retransmit attempts of the reliable layer.
+    pub retrans_ns: Histogram,
+    /// Receiver mailbox dwell (arrival → the DSM popped the update).
+    pub queue_ns: Histogram,
+    /// DSM apply and release handoff (pop → reader unblocked).
+    pub apply_ns: Histogram,
+}
+
+impl StageSet {
+    /// An empty stage set (all histograms empty).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one release's stage durations, one sample per histogram.
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        wait: u64,
+        publish: u64,
+        transit: u64,
+        fault: u64,
+        retrans: u64,
+        queue: u64,
+        apply: u64,
+    ) {
+        self.wait_ns.record(wait);
+        self.publish_ns.record(publish);
+        self.transit_ns.record(transit);
+        self.fault_ns.record(fault);
+        self.retrans_ns.record(retrans);
+        self.queue_ns.record(queue);
+        self.apply_ns.record(apply);
+    }
+
+    /// Fold another stage set's samples into this one.
+    pub fn merge(&mut self, other: &StageSet) {
+        self.wait_ns.merge(&other.wait_ns);
+        self.publish_ns.merge(&other.publish_ns);
+        self.transit_ns.merge(&other.transit_ns);
+        self.fault_ns.merge(&other.fault_ns);
+        self.retrans_ns.merge(&other.retrans_ns);
+        self.queue_ns.merge(&other.queue_ns);
+        self.apply_ns.merge(&other.apply_ns);
+    }
+
+    /// `(name, histogram)` pairs in canonical stage order — the render
+    /// order `nscc anatomy` uses and the serialization field order.
+    pub fn named(&self) -> [(&'static str, &Histogram); 7] {
+        [
+            ("wait", &self.wait_ns),
+            ("publish", &self.publish_ns),
+            ("transit", &self.transit_ns),
+            ("fault", &self.fault_ns),
+            ("retrans", &self.retrans_ns),
+            ("queue", &self.queue_ns),
+            ("apply", &self.apply_ns),
+        ]
+    }
+
+    /// Total nanoseconds across all stages (Σ per-stage sums).
+    pub fn total_ns(&self) -> u64 {
+        self.named().iter().map(|(_, h)| h.sum()).sum()
+    }
+}
+
+/// Per-location stage decomposition row of [`StalenessSummary`].
+#[derive(Debug, Clone, Serialize)]
+pub struct LocStages {
+    /// DSM location index.
+    pub loc: u32,
+    /// Stage histograms over releases of reads of this location.
+    pub stages: StageSet,
+}
+
+/// Per-link (writer → reader) stage decomposition row of
+/// [`StalenessSummary`].
+#[derive(Debug, Clone, Serialize)]
+pub struct LinkStages {
+    /// Rank whose write released the reads.
+    pub writer: u32,
+    /// Rank whose reads were released.
+    pub reader: u32,
+    /// Stage histograms over releases on this link.
+    pub stages: StageSet,
+}
+
+/// One write→apply→release flow kept for Perfetto export: binds the
+/// writer's compute lane at `write_ns`, the reader's blocked lane at
+/// `recv_ns`, and the reader's phase lane at `release_ns` into one Chrome
+/// flow (`ph:"s"/"t"/"f"`), so the age decomposition is walkable in the
+/// trace viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRec {
+    /// Flow id shared by the three Chrome events of this record.
+    pub id: u64,
+    /// Rank whose write released the read.
+    pub writer: u32,
+    /// Rank whose read was released.
+    pub reader: u32,
+    /// DSM location read.
+    pub loc: u32,
+    /// Virtual time the releasing value was written.
+    pub write_ns: u64,
+    /// Virtual time the DSM popped the update from the mailbox.
+    pub recv_ns: u64,
+    /// Virtual time the blocked read released.
+    pub release_ns: u64,
+}
+
+/// Serializable aggregate of the staleness-anatomy tracer — the
+/// `staleness` section of a run report (schema v7). Embedded only when the
+/// tracer was armed; tracer-off reports carry `"staleness":null` and are
+/// byte-identical to pre-v7 output everywhere else.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StalenessSummary {
+    /// Traced read releases.
+    pub released: u64,
+    /// Releases whose stage sum was checked against the observed age.
+    pub conservation_checked: u64,
+    /// Releases whose stage sum did NOT equal the observed age (always 0
+    /// for an honest pipeline; nonzero flags a decomposition bug).
+    pub conservation_violations: u64,
+    /// Flow records kept for Perfetto export.
+    pub flows_kept: u64,
+    /// Flow records dropped at the capacity bound (aggregates stay exact).
+    pub flows_dropped: u64,
+    /// Observed age per traced release.
+    pub age_ns: Histogram,
+    /// Global per-stage decomposition.
+    pub stages: StageSet,
+    /// Per-location decomposition, sorted by location.
+    pub by_loc: Vec<LocStages>,
+    /// Per-link decomposition, sorted by (writer, reader).
+    pub by_link: Vec<LinkStages>,
+}
+
+impl StalenessSummary {
+    /// Fold another summary in (sweep bins merge per-cell sections).
+    pub fn merge(&mut self, other: &StalenessSummary) {
+        self.released += other.released;
+        self.conservation_checked += other.conservation_checked;
+        self.conservation_violations += other.conservation_violations;
+        self.flows_kept += other.flows_kept;
+        self.flows_dropped += other.flows_dropped;
+        self.age_ns.merge(&other.age_ns);
+        self.stages.merge(&other.stages);
+        let mut by_loc: BTreeMap<u32, StageSet> =
+            self.by_loc.drain(..).map(|r| (r.loc, r.stages)).collect();
+        for r in &other.by_loc {
+            by_loc
+                .entry(r.loc)
+                .or_insert_with(StageSet::new)
+                .merge(&r.stages);
+        }
+        self.by_loc = by_loc
+            .into_iter()
+            .map(|(loc, stages)| LocStages { loc, stages })
+            .collect();
+        let mut by_link: BTreeMap<(u32, u32), StageSet> = self
+            .by_link
+            .drain(..)
+            .map(|r| ((r.writer, r.reader), r.stages))
+            .collect();
+        for r in &other.by_link {
+            by_link
+                .entry((r.writer, r.reader))
+                .or_insert_with(StageSet::new)
+                .merge(&r.stages);
+        }
+        self.by_link = by_link
+            .into_iter()
+            .map(|((writer, reader), stages)| LinkStages {
+                writer,
+                reader,
+                stages,
+            })
+            .collect();
+    }
+}
+
+impl nscc_ckpt::Snapshot for StageSet {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        for (_, h) in self.named() {
+            h.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(StageSet {
+            wait_ns: Histogram::decode(dec)?,
+            publish_ns: Histogram::decode(dec)?,
+            transit_ns: Histogram::decode(dec)?,
+            fault_ns: Histogram::decode(dec)?,
+            retrans_ns: Histogram::decode(dec)?,
+            queue_ns: Histogram::decode(dec)?,
+            apply_ns: Histogram::decode(dec)?,
+        })
+    }
+}
+
+impl nscc_ckpt::Snapshot for LocStages {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u32(self.loc);
+        self.stages.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(LocStages {
+            loc: dec.u32()?,
+            stages: StageSet::decode(dec)?,
+        })
+    }
+}
+
+impl nscc_ckpt::Snapshot for LinkStages {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        enc.put_u32(self.writer);
+        enc.put_u32(self.reader);
+        self.stages.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        Ok(LinkStages {
+            writer: dec.u32()?,
+            reader: dec.u32()?,
+            stages: StageSet::decode(dec)?,
+        })
+    }
+}
+
+impl nscc_ckpt::Snapshot for StalenessSummary {
+    fn encode(&self, enc: &mut nscc_ckpt::Enc) {
+        for v in [
+            self.released,
+            self.conservation_checked,
+            self.conservation_violations,
+            self.flows_kept,
+            self.flows_dropped,
+        ] {
+            enc.put_u64(v);
+        }
+        self.age_ns.encode(enc);
+        self.stages.encode(enc);
+        self.by_loc.encode(enc);
+        self.by_link.encode(enc);
+    }
+
+    fn decode(dec: &mut nscc_ckpt::Dec<'_>) -> Result<Self, nscc_ckpt::CkptError> {
+        let mut vals = [0u64; 5];
+        for v in &mut vals {
+            *v = dec.u64()?;
+        }
+        Ok(StalenessSummary {
+            released: vals[0],
+            conservation_checked: vals[1],
+            conservation_violations: vals[2],
+            flows_kept: vals[3],
+            flows_dropped: vals[4],
+            age_ns: Histogram::decode(dec)?,
+            stages: StageSet::decode(dec)?,
+            by_loc: Vec::<LocStages>::decode(dec)?,
+            by_link: Vec::<LinkStages>::decode(dec)?,
+        })
     }
 }
 
@@ -1968,5 +2443,153 @@ mod tests {
         assert_eq!(hub.spans().len(), 1);
         assert_eq!(hub.warp().len(), 1);
         assert_eq!(hub.proc_names()[&0], "island0");
+    }
+
+    /// A conserving anatomy event: the seven stages sum to `age_ns`.
+    fn anatomy(reader: u32, writer: u32, loc: u32, t_ns: u64) -> ObsEvent {
+        ObsEvent::ReadAnatomy {
+            t_ns,
+            reader,
+            writer,
+            loc,
+            write_iter: 3,
+            msg_seq: 9,
+            age_ns: 7_000,
+            wait_ns: 1_000,
+            publish_ns: 500,
+            transit_ns: 2_000,
+            fault_ns: 1_500,
+            retrans_ns: 1_000,
+            queue_ns: 600,
+            apply_ns: 400,
+        }
+    }
+
+    #[test]
+    fn anatomy_aggregates_only_when_armed() {
+        let hub = Hub::new();
+        // Unarmed: the event is ignored by the anatomy state (and the DSM
+        // would not even emit it).
+        hub.emit(anatomy(1, 0, 4, 10_000));
+        assert_eq!(hub.staleness_summary().released, 0);
+
+        hub.enable_staleness();
+        assert!(hub.staleness_enabled());
+        hub.emit(anatomy(1, 0, 4, 10_000));
+        hub.emit(anatomy(2, 0, 4, 20_000));
+        hub.emit(anatomy(1, 0, 5, 30_000));
+        let s = hub.staleness_summary();
+        assert_eq!(s.released, 3);
+        assert_eq!(s.conservation_checked, 3);
+        assert_eq!(s.conservation_violations, 0);
+        assert_eq!(s.age_ns.count(), 3);
+        assert_eq!(s.stages.wait_ns.sum(), 3_000);
+        assert_eq!(s.stages.total_ns(), s.age_ns.sum());
+        assert_eq!(s.by_loc.len(), 2);
+        assert_eq!(s.by_loc[0].loc, 4);
+        assert_eq!(s.by_loc[0].stages.apply_ns.count(), 2);
+        assert_eq!(s.by_link.len(), 2);
+        assert_eq!((s.by_link[0].writer, s.by_link[0].reader), (0, 1));
+        assert_eq!(s.by_link[0].stages.transit_ns.count(), 2);
+        // Flow records bind write → pop → release instants.
+        let flows = hub.staleness_flows();
+        assert_eq!(flows.len(), 3);
+        assert_eq!(flows[0].id, 1);
+        assert_eq!(flows[0].release_ns, 10_000);
+        assert_eq!(flows[0].recv_ns, 10_000 - 400);
+        assert_eq!(flows[0].write_ns, 10_000 - (7_000 - 1_000));
+    }
+
+    #[test]
+    fn anatomy_flags_nonconserving_decompositions() {
+        let hub = Hub::new();
+        hub.enable_staleness();
+        hub.emit(anatomy(1, 0, 4, 10_000));
+        hub.emit(ObsEvent::ReadAnatomy {
+            t_ns: 20_000,
+            reader: 1,
+            writer: 0,
+            loc: 4,
+            write_iter: 3,
+            msg_seq: 9,
+            age_ns: 7_001, // one ns unaccounted for
+            wait_ns: 1_000,
+            publish_ns: 500,
+            transit_ns: 2_000,
+            fault_ns: 1_500,
+            retrans_ns: 1_000,
+            queue_ns: 600,
+            apply_ns: 400,
+        });
+        let s = hub.staleness_summary();
+        assert_eq!(s.conservation_checked, 2);
+        assert_eq!(s.conservation_violations, 1);
+    }
+
+    #[test]
+    fn anatomy_events_do_not_perturb_the_summary() {
+        // The tracer owns only the staleness section: HubSummary bytes with
+        // the tracer armed and fed must equal an idle hub's.
+        let hub = Hub::new();
+        hub.enable_staleness();
+        hub.emit(anatomy(1, 0, 4, 10_000));
+        let idle = Hub::new();
+        assert_eq!(
+            crate::json::to_json(&hub.summary()),
+            crate::json::to_json(&idle.summary())
+        );
+        assert_eq!(hub.event_count(), 0);
+    }
+
+    #[test]
+    fn adopt_anatomy_merges_and_renumbers() {
+        let main = Hub::new();
+        main.enable_staleness();
+        main.emit(anatomy(1, 0, 4, 10_000));
+        let cell = Hub::new();
+        cell.enable_staleness();
+        cell.emit(anatomy(2, 0, 4, 20_000));
+        cell.emit(anatomy(1, 0, 5, 30_000));
+        main.adopt_anatomy(&cell);
+        let s = main.staleness_summary();
+        assert_eq!(s.released, 3);
+        assert_eq!(s.by_loc.len(), 2);
+        assert_eq!(cell.staleness_summary().released, 0, "cell was drained");
+        let ids: Vec<u64> = main.staleness_flows().iter().map(|f| f.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn staleness_summary_merge_matches_adoption() {
+        let a = Hub::new();
+        a.enable_staleness();
+        a.emit(anatomy(1, 0, 4, 10_000));
+        let b = Hub::new();
+        b.enable_staleness();
+        b.emit(anatomy(2, 0, 4, 20_000));
+        let mut merged = a.staleness_summary();
+        merged.merge(&b.staleness_summary());
+        a.adopt_anatomy(&b);
+        assert_eq!(
+            crate::json::to_json(&merged),
+            crate::json::to_json(&a.staleness_summary())
+        );
+    }
+
+    #[test]
+    fn staleness_summary_roundtrips_through_ckpt() {
+        let hub = Hub::new();
+        hub.enable_staleness();
+        hub.emit(anatomy(1, 0, 4, 10_000));
+        hub.emit(anatomy(2, 3, 5, 20_000));
+        let s = hub.staleness_summary();
+        let bytes = nscc_ckpt::to_bytes(&s);
+        let back: StalenessSummary = nscc_ckpt::from_bytes(&bytes).expect("decodes");
+        assert_eq!(
+            crate::json::to_json(&s),
+            crate::json::to_json(&back),
+            "ckpt roundtrip preserves the section"
+        );
+        assert_eq!(nscc_ckpt::to_bytes(&back), bytes);
     }
 }

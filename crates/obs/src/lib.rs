@@ -53,10 +53,13 @@ pub mod warp;
 /// (`FLIGHT_*.json`); v6 adds the recovery lifecycle meta events
 /// (`SnapshotStart`/`SnapshotComplete`/`SupervisorRestart`/
 /// `SupervisorGiveUp`, visible only in flight dumps and to the audit
-/// tap) and the optional `recovery` supervision section on run reports.
-/// All additions are additive, so v6 readers keep accepting v1–v5
-/// documents.
-pub const SCHEMA_VERSION: u32 = 6;
+/// tap) and the optional `recovery` supervision section on run reports;
+/// v7 adds the `ReadAnatomy` staleness-decomposition meta event and the
+/// optional `staleness` per-stage anatomy section on run reports
+/// ([`hub::StalenessSummary`]), plus Perfetto flow events linking each
+/// traced write to its releasing read. All additions are additive, so v7
+/// readers keep accepting v1–v6 documents.
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// A span/event label: borrowed for the common static case, owned when a
 /// layer needs a dynamic label (per-location, per-island, …).
@@ -64,7 +67,10 @@ pub type Label = std::borrow::Cow<'static, str>;
 
 pub use event::ObsEvent;
 pub use hist::Histogram;
-pub use hub::{DepEdge, EventSink, HeatRow, Hub, HubSummary, MetricSnapshot, ProfileRow};
+pub use hub::{
+    DepEdge, EventSink, FlowRec, HeatRow, Hub, HubSummary, LinkStages, LocStages, MetricSnapshot,
+    ProfileRow, StageSet, StalenessSummary,
+};
 pub use live::{ProcSched, SchedDelta, SchedSummary, FEED_VERSION};
 pub use span::{Span, SpanKind, Trace, TraceTotals};
 pub use warp::{WarpPoint, WarpSummary, WarpTimeline};

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::Serialize;
 
+use crate::hub::FlowRec;
 use crate::json::to_json;
 use crate::span::{Span, SpanKind};
 
@@ -51,10 +52,24 @@ struct Meta<'a> {
 }
 
 #[derive(Serialize)]
+struct Flow {
+    name: &'static str,
+    cat: &'static str,
+    ph: &'static str,
+    ts: f64,
+    pid: u32,
+    tid: u32,
+    id: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    bp: Option<&'static str>,
+}
+
+#[derive(Serialize)]
 #[serde(untagged)]
 enum Event<'a> {
     Complete(Complete<'a>),
     Meta(Meta<'a>),
+    Flow(Flow),
 }
 
 #[derive(Serialize)]
@@ -68,7 +83,21 @@ struct Doc<'a> {
 /// Render spans (plus pid/rank display names) as a complete JSON trace
 /// document.
 pub fn export(spans: &[Span], names: &BTreeMap<u32, String>) -> String {
-    let mut events: Vec<Event<'_>> = Vec::with_capacity(spans.len() + 16);
+    export_with_flows(spans, names, &[])
+}
+
+/// [`export`], plus one Chrome flow (`ph:"s"/"t"/"f"`, category
+/// `staleness`) per write→apply→release record from the staleness tracer:
+/// a start arrow on the writer's compute lane at the write time, a step on
+/// the reader's blocked lane at mailbox pop, and an enclosing-slice finish
+/// (`bp:"e"`) on the reader's phase lane at release. In the viewer the
+/// arrows walk exactly the hops the anatomy histograms aggregate.
+pub fn export_with_flows(
+    spans: &[Span],
+    names: &BTreeMap<u32, String>,
+    flows: &[FlowRec],
+) -> String {
+    let mut events: Vec<Event<'_>> = Vec::with_capacity(spans.len() + 3 * flows.len() + 16);
     let mut rows: BTreeSet<(u32, u32)> = BTreeSet::new();
     for s in spans {
         let (pid, cat) = lane(s.kind);
@@ -82,6 +111,30 @@ pub fn export(spans: &[Span], names: &BTreeMap<u32, String>) -> String {
             pid,
             tid: s.pid,
         }));
+    }
+    let (compute, _) = lane(SpanKind::Compute);
+    let (blocked, _) = lane(SpanKind::Blocked);
+    let (phase, _) = lane(SpanKind::Phase);
+    for f in flows {
+        rows.insert((compute, f.writer));
+        rows.insert((blocked, f.reader));
+        rows.insert((phase, f.reader));
+        for (ph, ts, pid, tid, bp) in [
+            ("s", f.write_ns, compute, f.writer, None),
+            ("t", f.recv_ns, blocked, f.reader, None),
+            ("f", f.release_ns, phase, f.reader, Some("e")),
+        ] {
+            events.push(Event::Flow(Flow {
+                name: "staleness",
+                cat: "staleness",
+                ph,
+                ts: ts as f64 / 1_000.0,
+                pid,
+                tid,
+                id: f.id,
+                bp,
+            }));
+        }
     }
     let mut fallback: BTreeMap<u32, String> = BTreeMap::new();
     for &(_, tid) in &rows {
@@ -167,5 +220,40 @@ mod tests {
     fn empty_trace_is_still_valid() {
         let doc = export(&[], &BTreeMap::new());
         validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn flow_records_render_as_start_step_finish_triples() {
+        let spans = vec![Span {
+            pid: 0,
+            start_ns: 0,
+            end_ns: 5_000,
+            kind: SpanKind::Compute,
+            label: "run".into(),
+        }];
+        let flows = vec![FlowRec {
+            id: 1,
+            writer: 0,
+            reader: 2,
+            loc: 7,
+            write_ns: 1_000,
+            recv_ns: 4_000,
+            release_ns: 6_000,
+        }];
+        let doc = export_with_flows(&spans, &BTreeMap::new(), &flows);
+        validate(&doc).unwrap();
+        assert!(doc.contains("\"ph\":\"s\""));
+        assert!(doc.contains("\"ph\":\"t\""));
+        assert!(doc.contains("\"ph\":\"f\""));
+        assert!(doc.contains("\"bp\":\"e\""));
+        assert!(doc.contains("\"cat\":\"staleness\""));
+        // Flow rows get thread_name metas even without spans of their own:
+        // the reader appears in both the blocked and phase lanes.
+        assert!(doc.contains("\"p2\""));
+        // No flows → byte-identical to the plain export.
+        assert_eq!(export(&spans, &BTreeMap::new()), {
+            let no_flows: Vec<FlowRec> = Vec::new();
+            export_with_flows(&spans, &BTreeMap::new(), &no_flows)
+        });
     }
 }

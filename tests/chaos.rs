@@ -539,8 +539,8 @@ fn monitors_on_and_off_reports_are_byte_identical_outside_audit() {
 
     let on = render(true);
     let off = render(false);
-    // `audit` is the report's last field; cut both at its key and the
-    // prefixes must match to the byte.
+    // `audit` sits just before the (here untraced) `staleness` tail; cut
+    // both at its key and the prefixes must match to the byte.
     let cut = |s: &str| {
         let at = s.rfind(",\"audit\":").expect("report carries an audit key");
         s[..at].to_string()
@@ -550,7 +550,7 @@ fn monitors_on_and_off_reports_are_byte_identical_outside_audit() {
         cut(&off),
         "monitors perturbed the run they were watching"
     );
-    assert!(off.ends_with("\"audit\":null}"), "{off}");
+    assert!(off.ends_with("\"audit\":null,\"staleness\":null}"), "{off}");
     assert!(on.contains("\"audit\":{"), "{on}");
     // An honest run under full monitoring: plenty checked, nothing flagged.
     assert!(on.contains("\"violations\":0"), "{on}");
